@@ -1,0 +1,127 @@
+//! A collision-*detection* presence probe: the "beep wave".
+//!
+//! In the CD model a listener can distinguish silence from collision, so
+//! *any* energy on the channel — message or collision — carries one bit.
+//! A beep wave exploits this: sources beep in round 0; every node that
+//! hears anything (delivery or collision) in round `t` beeps once in round
+//! `t + 1`. Presence reaches distance `d` in exactly `d` rounds, no matter
+//! how many sources beep at once: collisions *help* rather than hurt.
+//!
+//! This is the mechanism behind the CD-model broadcasting line of work the
+//! paper cites (\[11\], `O(D + log⁶ n)`), reduced to its 1-bit core — content
+//! still needs a real broadcast, but binary-search leader election only
+//! needs presence probes, which makes the beep wave the natural CD
+//! comparator for E9/E12.
+//!
+//! In the paper's no-CD model the same protocol *breaks* (collisions read
+//! as silence); the tests pin down exactly that separation.
+
+use rn_graph::NodeId;
+use rn_sim::{Protocol, Round, TxBuf};
+
+/// One-shot presence wave from a set of sources. Run under
+/// [`rn_sim::CollisionModel::CollisionDetection`] it reaches every node at
+/// distance `d` from the source set in exactly `d` rounds.
+#[derive(Debug, Clone)]
+pub struct BeepWave {
+    /// Round in which each node beeps (sources: 0), `None` = never reached.
+    beep_at: Vec<Option<Round>>,
+}
+
+impl BeepWave {
+    /// Creates a wave from `sources` on an `n`-node network.
+    pub fn new(n: usize, sources: &[NodeId]) -> BeepWave {
+        let mut beep_at = vec![None; n];
+        for &s in sources {
+            beep_at[s as usize] = Some(0);
+        }
+        BeepWave { beep_at }
+    }
+
+    /// Whether `node` was reached by the wave (sources count as reached).
+    pub fn reached(&self, node: NodeId) -> bool {
+        self.beep_at[node as usize].is_some()
+    }
+
+    /// Number of reached nodes.
+    pub fn reached_count(&self) -> usize {
+        self.beep_at.iter().filter(|x| x.is_some()).count()
+    }
+
+    fn activate(&mut self, node: NodeId, round: Round) {
+        let slot = &mut self.beep_at[node as usize];
+        if slot.is_none() {
+            *slot = Some(round + 1);
+        }
+    }
+}
+
+impl Protocol for BeepWave {
+    type Msg = ();
+
+    fn transmit(&mut self, round: Round, tx: &mut TxBuf<()>) {
+        for (v, &at) in self.beep_at.iter().enumerate() {
+            if at == Some(round) {
+                tx.send(v as NodeId, ());
+            }
+        }
+    }
+
+    fn deliver(&mut self, round: Round, node: NodeId, _from: NodeId, _msg: &()) {
+        self.activate(node, round);
+    }
+
+    fn collision(&mut self, round: Round, node: NodeId) {
+        // The CD model's extra power: collisions carry the presence bit too.
+        self.activate(node, round);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rn_graph::generators;
+    use rn_sim::{CollisionModel, NetParams, Simulator};
+
+    #[test]
+    fn wave_reaches_distance_d_in_d_rounds_under_cd() {
+        let g = generators::grid(9, 9);
+        let net = NetParams::of_graph(&g);
+        let mut p = BeepWave::new(g.n(), &[0]);
+        let mut sim = Simulator::new(&g, CollisionModel::CollisionDetection, 1);
+        sim.run(&mut p, net.diameter() as u64 + 1);
+        assert_eq!(p.reached_count(), g.n(), "everyone hears presence in D+1 rounds");
+    }
+
+    #[test]
+    fn multiple_sources_still_work_under_cd() {
+        // Many simultaneous beepers collide everywhere — and that is fine.
+        let g = generators::cycle(24);
+        let sources: Vec<u32> = (0..8).map(|i| i * 3).collect();
+        let mut p = BeepWave::new(g.n(), &sources);
+        let mut sim = Simulator::new(&g, CollisionModel::CollisionDetection, 2);
+        sim.run(&mut p, 24);
+        assert_eq!(p.reached_count(), g.n());
+    }
+
+    #[test]
+    fn wave_breaks_without_collision_detection() {
+        // The same protocol in the paper's no-CD model: symmetric collisions
+        // read as silence and the wave stalls — the models really differ.
+        let g = generators::cycle(4);
+        let mut p = BeepWave::new(g.n(), &[0]);
+        let mut sim = Simulator::new(&g, CollisionModel::NoCollisionDetection, 3);
+        sim.run(&mut p, 50);
+        assert!(p.reached_count() < g.n(), "no-CD must strand the antipode");
+    }
+
+    #[test]
+    fn no_sources_means_silence() {
+        let g = generators::path(10);
+        let mut p = BeepWave::new(g.n(), &[]);
+        let mut sim = Simulator::new(&g, CollisionModel::CollisionDetection, 4);
+        let stats = sim.run(&mut p, 20);
+        assert_eq!(stats.metrics.transmissions, 0);
+        assert_eq!(p.reached_count(), 0);
+    }
+}

@@ -1,0 +1,94 @@
+use rn_core::{broadcast as cd_broadcast, CompeteParams, CompeteReport};
+use rn_decay::{DecayBroadcast, TruncatedDecayBroadcast};
+use rn_graph::{Graph, NodeId};
+use rn_sim::{CollisionModel, NetParams, Simulator};
+use serde::{Deserialize, Serialize};
+
+/// Outcome of a baseline broadcast run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BroadcastOutcome {
+    /// Whether every node was informed within the budget.
+    pub completed: bool,
+    /// Rounds until completion (or the budget, if not completed).
+    pub rounds: u64,
+}
+
+/// Default budget generous enough for every baseline:
+/// `64·(D + log n)·log n + 4096`.
+fn default_budget(net: &NetParams) -> u64 {
+    let log_n = net.log2_n() as u64;
+    64 * (net.diameter() as u64 + log_n) * log_n + 4096
+}
+
+/// Runs BGI'92 decay broadcasting from `source` and reports rounds until all
+/// nodes are informed.
+pub fn bgi_broadcast(g: &Graph, net: NetParams, source: NodeId, seed: u64) -> BroadcastOutcome {
+    let mut p = DecayBroadcast::single_source(net, source, 1, seed);
+    let mut sim = Simulator::new(g, CollisionModel::NoCollisionDetection, seed);
+    let stats = sim.run_until(&mut p, default_budget(&net), |_, p| p.all_informed());
+    BroadcastOutcome { completed: p.all_informed(), rounds: stats.rounds }
+}
+
+/// Runs the truncated-decay (CR/KP-style) broadcast from `source`.
+pub fn truncated_broadcast(
+    g: &Graph,
+    net: NetParams,
+    source: NodeId,
+    seed: u64,
+) -> BroadcastOutcome {
+    let mut p = TruncatedDecayBroadcast::single_source(net, source, 1, seed);
+    let mut sim = Simulator::new(g, CollisionModel::NoCollisionDetection, seed);
+    let stats = sim.run_until(&mut p, default_budget(&net), |_, p| p.all_informed());
+    BroadcastOutcome { completed: p.all_informed(), rounds: stats.rounds }
+}
+
+/// Runs the clustering pipeline in Haeupler–Wajc mode (the predecessor's
+/// `log log n`-longer curtailment) — the head-to-head ablation for E8/E11.
+///
+/// # Errors
+///
+/// Propagates [`rn_core::CompeteError`] (disconnected graph, bad source).
+pub fn hw_broadcast(
+    g: &Graph,
+    source: NodeId,
+    seed: u64,
+) -> Result<CompeteReport, rn_core::CompeteError> {
+    cd_broadcast(g, source, &CompeteParams::haeupler_wajc(), seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rn_graph::generators;
+
+    #[test]
+    fn bgi_completes_on_grid() {
+        let g = generators::grid(12, 12);
+        let net = NetParams::of_graph(&g);
+        let out = bgi_broadcast(&g, net, 0, 3);
+        assert!(out.completed);
+        assert!(out.rounds > 0);
+    }
+
+    #[test]
+    fn truncated_completes_on_grid() {
+        let g = generators::grid(12, 12);
+        let net = NetParams::of_graph(&g);
+        let out = truncated_broadcast(&g, net, 0, 3);
+        assert!(out.completed);
+    }
+
+    #[test]
+    fn hw_mode_completes_and_runs_longer_schedules() {
+        let g = generators::grid(10, 10);
+        let r = hw_broadcast(&g, 0, 5).expect("runs");
+        assert!(r.completed);
+    }
+
+    #[test]
+    fn budget_scales_with_d() {
+        let small = default_budget(&NetParams::new(256, 16));
+        let large = default_budget(&NetParams::new(256, 1024));
+        assert!(large > small);
+    }
+}

@@ -1,0 +1,49 @@
+//! E7/E8 micro-bench: end-to-end broadcast, ours vs the baselines.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rn_baselines::{bgi_broadcast, truncated_broadcast};
+use rn_core::{compete_with_net, CompeteParams};
+use rn_graph::generators;
+use rn_sim::NetParams;
+
+fn bench_broadcast_algorithms(c: &mut Criterion) {
+    let g = generators::grid(24, 24);
+    let net = NetParams::new(g.n(), 46);
+    let mut group = c.benchmark_group("broadcast_grid24");
+    group.sample_size(10);
+
+    group.bench_function("bgi", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let out = bgi_broadcast(&g, net, 0, seed);
+            assert!(out.completed);
+            out.rounds
+        });
+    });
+
+    group.bench_function("truncated_decay", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let out = truncated_broadcast(&g, net, 0, seed);
+            assert!(out.completed);
+            out.rounds
+        });
+    });
+
+    let params = CompeteParams::default();
+    group.bench_function("czumaj_davies", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let r = compete_with_net(&g, net, &[(0, 1)], &params, seed).expect("valid");
+            assert!(r.completed);
+            r.propagation_rounds
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_broadcast_algorithms);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! E10 micro-bench: Compete with growing source sets (Theorem 4.1's
+//! `|S|·D^0.125` term).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rn_core::{compete_with_net, CompeteParams};
+use rn_graph::{generators, NodeId};
+use rn_sim::NetParams;
+
+fn bench_compete_sources(c: &mut Criterion) {
+    let g = generators::grid(24, 24);
+    let net = NetParams::new(g.n(), 46);
+    let params = CompeteParams::default();
+    let mut group = c.benchmark_group("compete_sources_grid24");
+    group.sample_size(10);
+    for s_count in [1usize, 16, 64] {
+        let sources: Vec<(NodeId, u64)> =
+            (0..s_count).map(|k| (((k * 577) % g.n()) as NodeId, k as u64 + 1)).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(s_count), &s_count, |b, _| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let r = compete_with_net(&g, net, &sources, &params, seed).expect("valid");
+                assert!(r.completed);
+                r.propagation_rounds
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compete_sources);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! E1 micro-bench: the Decay primitive (Lemma 3.1) and BGI broadcast.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rn_decay::{DecayBroadcast, SingleDecayRound};
+use rn_graph::generators;
+use rn_sim::{CollisionModel, NetParams, Simulator};
+
+fn bench_single_decay_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decay_round");
+    group.sample_size(20);
+    for k in [16usize, 256] {
+        let g = generators::star(k + 1);
+        let participants: Vec<u32> = (1..=k as u32).collect();
+        group.bench_with_input(BenchmarkId::new("star", k), &k, |b, _| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut p = SingleDecayRound::new(k + 1, 10, participants.clone(), seed);
+                let mut sim = Simulator::new(&g, CollisionModel::NoCollisionDetection, seed);
+                sim.run(&mut p, 10);
+                p.has_received(0)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_bgi_broadcast(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bgi_broadcast");
+    group.sample_size(10);
+    for m in [16usize, 24] {
+        let g = generators::grid(m, m);
+        let net = NetParams::new(g.n(), (2 * (m - 1)) as u32);
+        group.bench_with_input(BenchmarkId::new("grid", m), &m, |b, _| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut p = DecayBroadcast::single_source(net, 0, 1, seed);
+                let mut sim = Simulator::new(&g, CollisionModel::NoCollisionDetection, seed);
+                let stats = sim.run_until(&mut p, 1_000_000, |_, p| p.all_informed());
+                assert!(p.all_informed());
+                stats.rounds
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_decay_round, bench_bgi_broadcast);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! E9 micro-bench: leader election — Algorithm 6 vs the binary-search
+//! reduction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rn_baselines::{binary_search_leader_election, BroadcastKind};
+use rn_core::{leader_election_with_net, CompeteParams};
+use rn_graph::generators;
+use rn_sim::NetParams;
+
+fn bench_leader_election(c: &mut Criterion) {
+    let g = generators::grid(16, 16);
+    let net = NetParams::new(g.n(), 30);
+    let mut group = c.benchmark_group("leader_election_grid16");
+    group.sample_size(10);
+
+    let params = CompeteParams::default();
+    group.bench_function("algorithm6", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let r = leader_election_with_net(&g, net, &params, seed).expect("connected");
+            assert!(r.compete.completed);
+            r.compete.propagation_rounds
+        });
+    });
+
+    group.bench_function("binary_search_bgi", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let r = binary_search_leader_election(&g, net, BroadcastKind::Bgi, 1.0, seed);
+            r.rounds
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_leader_election);
+criterion_main!(benches);

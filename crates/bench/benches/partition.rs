@@ -1,0 +1,38 @@
+//! E2/E3 micro-bench: Partition(β) oracle construction and property
+//! measurement.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rn_cluster::{stats::PartitionStats, Partition};
+use rn_graph::generators;
+
+fn bench_partition_compute(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partition_compute");
+    group.sample_size(20);
+    let g = generators::grid(32, 32);
+    for j in [1i32, 4] {
+        let beta = (2.0f64).powi(-j);
+        group.bench_with_input(BenchmarkId::new("grid32_beta", format!("2^-{j}")), &j, |b, _| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut rng = SmallRng::seed_from_u64(seed);
+                Partition::compute(&g, beta, &mut rng).num_clusters()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_partition_stats(c: &mut Criterion) {
+    let g = generators::grid(32, 32);
+    let mut rng = SmallRng::seed_from_u64(7);
+    let p = Partition::compute(&g, 0.25, &mut rng);
+    c.bench_function("partition_stats_grid32", |b| {
+        b.iter(|| PartitionStats::measure(&g, &p).cut_edges)
+    });
+}
+
+criterion_group!(benches, bench_partition_compute, bench_partition_stats);
+criterion_main!(benches);

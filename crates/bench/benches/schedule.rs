@@ -1,0 +1,43 @@
+//! E6 micro-bench: schedule construction and downcast execution
+//! (the Lemma 2.3 substrate).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rn_cluster::Partition;
+use rn_graph::generators;
+use rn_schedule::{Downcast, SlotPolicy, TreeSchedule};
+use rn_sim::{CollisionModel, Simulator};
+
+fn bench_schedule_build(c: &mut Criterion) {
+    let g = generators::grid(32, 32);
+    let mut rng = SmallRng::seed_from_u64(3);
+    let part = Partition::compute(&g, 0.25, &mut rng);
+    c.bench_function("schedule_build_grid32", |b| {
+        b.iter(|| TreeSchedule::build(&g, &part, SlotPolicy::Auto).window())
+    });
+}
+
+fn bench_downcast_pass(c: &mut Criterion) {
+    let g = generators::grid(32, 32);
+    let mut rng = SmallRng::seed_from_u64(4);
+    let part = Partition::compute(&g, 1e-9, &mut rng); // single cluster
+    let sched = TreeSchedule::build(&g, &part, SlotPolicy::Auto);
+    let mut group = c.benchmark_group("downcast_pass");
+    group.sample_size(20);
+    group.bench_function("grid32_full_radius", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut dc = Downcast::from_center_values(&sched, sched.max_depth(), &[Some(1)]);
+            let budget = dc.pass_len();
+            let mut sim = Simulator::new(&g, CollisionModel::NoCollisionDetection, seed);
+            sim.run(&mut dc, budget);
+            dc.value_of(0)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedule_build, bench_downcast_pass);
+criterion_main!(benches);

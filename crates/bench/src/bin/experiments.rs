@@ -1,0 +1,51 @@
+//! Experiment runner: regenerates the tables of `EXPERIMENTS.md`.
+//!
+//! Usage:
+//!
+//! ```text
+//! experiments [--seed N] all | e1 [e2 ...]
+//! ```
+
+use rn_bench::experiments::{run, ALL_IDS};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut seed = 20170725u64; // PODC 2017 paper, why not
+    let mut ids: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("missing/invalid --seed value"));
+            }
+            "all" => ids.extend(ALL_IDS.iter().map(|s| s.to_string())),
+            other if other.starts_with('e') => ids.push(other.to_string()),
+            other => usage(&format!("unexpected argument {other:?}")),
+        }
+    }
+    if ids.is_empty() {
+        usage("no experiments requested");
+    }
+
+    println!("# Experiment run (seed {seed})\n");
+    let t_total = Instant::now();
+    for id in &ids {
+        let t0 = Instant::now();
+        let tables = run(id, seed);
+        for t in &tables {
+            t.print();
+        }
+        println!("\n_[{id} took {:.1?}]_", t0.elapsed());
+    }
+    println!("\n_total: {:.1?}_", t_total.elapsed());
+}
+
+fn usage(err: &str) -> ! {
+    eprintln!("error: {err}");
+    eprintln!("usage: experiments [--seed N] all | e1 [e2 ...]");
+    std::process::exit(2);
+}

@@ -1,0 +1,159 @@
+use std::fmt::Write as _;
+
+/// A simple markdown table builder for experiment output.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+    notes: Vec<String>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Table {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringified cells).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count does not match the header count.
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Appends a footnote line printed under the table.
+    pub fn note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as github-flavored markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "\n### {}\n", self.title);
+        let widths: Vec<usize> = self
+            .headers
+            .iter()
+            .enumerate()
+            .map(|(i, h)| {
+                self.rows.iter().map(|r| r[i].len()).chain([h.len()]).max().unwrap_or(3)
+            })
+            .collect();
+        let fmt_row = |cells: &[String]| {
+            let mut line = String::from("|");
+            for (c, w) in cells.iter().zip(&widths) {
+                let _ = write!(line, " {c:>w$} |");
+            }
+            line
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.headers));
+        let mut sep = String::from("|");
+        for w in &widths {
+            let _ = write!(sep, "{}|", "-".repeat(w + 2));
+        }
+        let _ = writeln!(out, "{sep}");
+        for r in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(r));
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "\n> {n}");
+        }
+        out
+    }
+
+    /// Prints the markdown rendering to stdout.
+    pub fn print(&self) {
+        print!("{}", self.to_markdown());
+    }
+}
+
+/// Runs `trials` seeded executions of `f` across threads (one logical trial
+/// per seed `0..trials`), preserving seed order in the output.
+pub fn parallel_trials<T: Send>(
+    trials: u64,
+    f: impl Fn(u64) -> T + Sync,
+) -> Vec<T> {
+    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4).min(16);
+    let mut results: Vec<Option<T>> = (0..trials).map(|_| None).collect();
+    let next = std::sync::atomic::AtomicU64::new(0);
+    let results_mutex = std::sync::Mutex::new(&mut results);
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= trials {
+                    break;
+                }
+                let value = f(i);
+                let mut guard = results_mutex.lock().expect("no poisoned trials");
+                guard[i as usize] = Some(value);
+            });
+        }
+    })
+    .expect("trial threads do not panic");
+    results.into_iter().map(|r| r.expect("all trials filled")).collect()
+}
+
+/// Mean of an f64 slice (0 for empty).
+pub(crate) fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_markdown() {
+        let mut t = Table::new("demo", &["a", "bb"]);
+        t.row(&["1".into(), "2".into()]);
+        t.note("a note");
+        let md = t.to_markdown();
+        assert!(md.contains("### demo"));
+        assert!(md.contains("| a |"));
+        assert!(md.contains("> a note"));
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(&["1".into()]);
+    }
+
+    #[test]
+    fn parallel_trials_preserves_seed_order() {
+        let out = parallel_trials(64, |seed| seed * 2);
+        assert_eq!(out, (0..64).map(|s| s * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn mean_of_values() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+    }
+}

@@ -1,0 +1,21 @@
+//! Benchmark harness: the experiment suite that regenerates every
+//! quantitative claim of the paper (`EXPERIMENTS.md`), plus shared table /
+//! trial utilities used by the criterion benches.
+//!
+//! Run everything with:
+//!
+//! ```text
+//! cargo run --release -p rn-bench --bin experiments -- all
+//! ```
+//!
+//! or a single experiment with its id (`e1` … `e12`). Every experiment is a
+//! pure function of a master seed; tables record the seed they were
+//! produced from.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+mod harness;
+
+pub use harness::{parallel_trials, Table};

@@ -1,0 +1,355 @@
+use crate::shifts::ExponentialShifts;
+use rand::Rng;
+use rn_graph::{traversal, Graph, NodeId, INVALID_NODE};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Total-order wrapper for `f64` race keys (shifts are continuous, so ties
+/// are measure-zero; `total_cmp` still makes the race fully deterministic).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Key(f64);
+
+impl Eq for Key {}
+
+impl PartialOrd for Key {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Key {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// A clustering of the network produced by Partition(β).
+///
+/// Guarantees (the paper's §2.1 requirements, upheld by construction and
+/// checked by tests):
+///
+/// * each node identifies exactly one cluster center;
+/// * any node that is a cluster center to anyone is its own center;
+/// * the subgraph of each cluster is connected, and moreover each node has a
+///   shortest path to its center that stays inside the cluster (so *strong*
+///   distance to the center equals graph distance).
+#[derive(Debug, Clone)]
+pub struct Partition {
+    beta: f64,
+    /// Cluster center per node.
+    center: Vec<NodeId>,
+    /// Dense cluster index per node.
+    cluster_of: Vec<u32>,
+    /// Distinct centers; `centers[cluster_of[v]] == center[v]`.
+    centers: Vec<NodeId>,
+    /// Members per cluster.
+    members: Vec<Vec<NodeId>>,
+}
+
+impl Partition {
+    /// Runs the oracle Partition(β) construction: samples fresh exponential
+    /// shifts and resolves the shifted BFS race exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `beta <= 0`.
+    pub fn compute(g: &Graph, beta: f64, rng: &mut impl Rng) -> Partition {
+        let shifts = ExponentialShifts::sample(g.n(), beta, rng);
+        Partition::with_shifts(g, &shifts)
+    }
+
+    /// Resolves the race for pre-sampled shifts: node `v` joins the cluster
+    /// of `argmin_u (dist(u, v) − δ_u)` (equivalently `argmax δ_u − dist`),
+    /// ties broken by smaller node id.
+    pub fn with_shifts(g: &Graph, shifts: &ExponentialShifts) -> Partition {
+        Partition::race(g, shifts, None)
+    }
+
+    /// Partition(β) **within regions**: the race never crosses a region
+    /// boundary, so every cluster is contained in one region. This is how
+    /// the paper computes *fine* clusterings inside each *coarse* cluster
+    /// (Algorithm 1, step 3): pass the coarse cluster indices as `region`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `region.len() != g.n()` or `beta <= 0`.
+    pub fn compute_within(
+        g: &Graph,
+        beta: f64,
+        region: &[u32],
+        rng: &mut impl Rng,
+    ) -> Partition {
+        assert_eq!(region.len(), g.n(), "one region label per node");
+        let shifts = ExponentialShifts::sample(g.n(), beta, rng);
+        Partition::race(g, &shifts, Some(region))
+    }
+
+    fn race(g: &Graph, shifts: &ExponentialShifts, region: Option<&[u32]>) -> Partition {
+        assert_eq!(shifts.len(), g.n(), "one shift per node");
+        let n = g.n();
+        // Lazy-deletion Dijkstra over (key, center) with unit edge weights.
+        let mut heap: BinaryHeap<Reverse<(Key, NodeId, NodeId)>> = BinaryHeap::with_capacity(n * 2);
+        for u in g.nodes() {
+            heap.push(Reverse((Key(-shifts.delta(u)), u, u)));
+        }
+        let mut center = vec![INVALID_NODE; n];
+        while let Some(Reverse((key, c, v))) = heap.pop() {
+            if center[v as usize] != INVALID_NODE {
+                continue;
+            }
+            center[v as usize] = c;
+            for &w in g.neighbors(v) {
+                let crosses = region.is_some_and(|r| r[w as usize] != r[v as usize]);
+                if center[w as usize] == INVALID_NODE && !crosses {
+                    heap.push(Reverse((Key(key.0 + 1.0), c, w)));
+                }
+            }
+        }
+        Partition::from_center_assignment(shifts.beta(), center)
+    }
+
+    /// Builds the bookkeeping (cluster indices, member lists) from a raw
+    /// center assignment. Exposed for the distributed construction.
+    pub(crate) fn from_center_assignment(beta: f64, center: Vec<NodeId>) -> Partition {
+        let n = center.len();
+        let mut cluster_of = vec![u32::MAX; n];
+        let mut centers = Vec::new();
+        let mut index_of_center = vec![u32::MAX; n];
+        for v in 0..n {
+            let c = center[v] as usize;
+            debug_assert!(center[c] == c as NodeId, "center of anyone is center of itself");
+            if index_of_center[c] == u32::MAX {
+                index_of_center[c] = centers.len() as u32;
+                centers.push(c as NodeId);
+            }
+            cluster_of[v] = index_of_center[c];
+        }
+        let mut members = vec![Vec::new(); centers.len()];
+        for v in 0..n {
+            members[cluster_of[v] as usize].push(v as NodeId);
+        }
+        Partition { beta, center, cluster_of, centers, members }
+    }
+
+    /// The β this partition was computed with.
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.center.len()
+    }
+
+    /// The cluster center of `v`.
+    #[inline]
+    pub fn center_of(&self, v: NodeId) -> NodeId {
+        self.center[v as usize]
+    }
+
+    /// Dense index (in `0..num_clusters()`) of `v`'s cluster.
+    #[inline]
+    pub fn cluster_index(&self, v: NodeId) -> u32 {
+        self.cluster_of[v as usize]
+    }
+
+    /// Whether `u` and `v` are in the same cluster.
+    #[inline]
+    pub fn same_cluster(&self, u: NodeId, v: NodeId) -> bool {
+        self.cluster_of[u as usize] == self.cluster_of[v as usize]
+    }
+
+    /// Whether `v` is a cluster center.
+    #[inline]
+    pub fn is_center(&self, v: NodeId) -> bool {
+        self.center[v as usize] == v
+    }
+
+    /// Number of clusters.
+    pub fn num_clusters(&self) -> usize {
+        self.centers.len()
+    }
+
+    /// The distinct cluster centers (index = cluster index).
+    pub fn centers(&self) -> &[NodeId] {
+        &self.centers
+    }
+
+    /// The members of cluster `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= num_clusters()`.
+    pub fn members(&self, idx: u32) -> &[NodeId] {
+        &self.members[idx as usize]
+    }
+
+    /// Strong (intra-cluster) BFS distance from every node to its cluster
+    /// center. With the exact oracle construction this equals the global
+    /// graph distance (MPX shortest-path property); entries are `u32::MAX`
+    /// if a cluster is internally disconnected, which the oracle
+    /// construction never produces.
+    pub fn strong_dist_to_center(&self, g: &Graph) -> Vec<u32> {
+        let mut dist = vec![u32::MAX; g.n()];
+        for (idx, &c) in self.centers.iter().enumerate() {
+            let idx = idx as u32;
+            let d = traversal::bfs_filtered(g, &[c], |v| self.cluster_of[v as usize] == idx);
+            for &m in &self.members[idx as usize] {
+                dist[m as usize] = d[m as usize];
+            }
+        }
+        dist
+    }
+
+    /// Validates the three §2.1 invariants; returns a human-readable reason
+    /// on failure. Used by tests and by the distributed construction's
+    /// repair logic.
+    pub fn validate(&self, g: &Graph) -> Result<(), String> {
+        for v in g.nodes() {
+            let c = self.center_of(v);
+            if self.center_of(c) != c {
+                return Err(format!("center {c} of node {v} is not its own center"));
+            }
+            if self.cluster_of[v as usize] != self.cluster_of[c as usize] {
+                return Err(format!("node {v} not in its center {c}'s cluster"));
+            }
+        }
+        let dist = self.strong_dist_to_center(g);
+        if let Some(v) = (0..g.n()).find(|&v| dist[v] == u32::MAX) {
+            return Err(format!("cluster of node {v} is internally disconnected"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use rn_graph::generators;
+
+    fn rng(seed: u64) -> SmallRng {
+        SmallRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn partition_covers_all_nodes_exactly_once() {
+        let g = generators::grid(15, 15);
+        let p = Partition::compute(&g, 0.3, &mut rng(1));
+        let total: usize = (0..p.num_clusters() as u32).map(|i| p.members(i).len()).sum();
+        assert_eq!(total, g.n());
+        for v in g.nodes() {
+            assert!(p.members(p.cluster_index(v)).contains(&v));
+        }
+    }
+
+    #[test]
+    fn invariants_hold_across_graphs_and_betas() {
+        let mut r = rng(2);
+        let graphs = vec![
+            generators::path(100),
+            generators::grid(12, 12),
+            generators::random_geometric(150, 0.12, &mut r),
+            generators::random_tree(120, &mut r),
+            generators::barbell(20, 15),
+        ];
+        for g in &graphs {
+            for beta in [0.05, 0.2, 0.7] {
+                let p = Partition::compute(g, beta, &mut r);
+                p.validate(g).expect("invariants");
+            }
+        }
+    }
+
+    #[test]
+    fn strong_distance_equals_graph_distance() {
+        // The MPX property: the shortest path to your center stays in your
+        // cluster, so strong distance = BFS distance.
+        let g = generators::grid(14, 14);
+        let p = Partition::compute(&g, 0.2, &mut rng(3));
+        let strong = p.strong_dist_to_center(&g);
+        for v in g.nodes() {
+            let c = p.center_of(v);
+            let global = traversal::bfs(&g, c)[v as usize];
+            assert_eq!(strong[v as usize], global, "node {v} center {c}");
+        }
+    }
+
+    #[test]
+    fn beta_one_half_gives_many_clusters_beta_tiny_gives_one() {
+        let g = generators::grid(16, 16);
+        let many = Partition::compute(&g, 0.9, &mut rng(4));
+        let few = Partition::compute(&g, 1e-6, &mut rng(4));
+        assert!(many.num_clusters() > 20, "large beta fragments: {}", many.num_clusters());
+        assert_eq!(few.num_clusters(), 1, "tiny beta produces one giant cluster");
+    }
+
+    #[test]
+    fn with_shifts_is_deterministic() {
+        let g = generators::grid(10, 10);
+        let shifts = ExponentialShifts::sample(g.n(), 0.3, &mut rng(5));
+        let p1 = Partition::with_shifts(&g, &shifts);
+        let p2 = Partition::with_shifts(&g, &shifts);
+        assert_eq!(p1.center, p2.center);
+    }
+
+    #[test]
+    fn winner_has_max_shifted_distance() {
+        // Brute-force check of the defining argmax on a small graph.
+        let g = generators::grid(6, 6);
+        let shifts = ExponentialShifts::sample(g.n(), 0.4, &mut rng(6));
+        let p = Partition::with_shifts(&g, &shifts);
+        for v in g.nodes() {
+            let dist = traversal::bfs(&g, v);
+            let winner = p.center_of(v);
+            let wkey = shifts.delta(winner) - dist[winner as usize] as f64;
+            for u in g.nodes() {
+                let ukey = shifts.delta(u) - dist[u as usize] as f64;
+                assert!(
+                    ukey <= wkey + 1e-9,
+                    "node {v}: center {winner} (key {wkey}) beaten by {u} (key {ukey})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_node_graph() {
+        let g = Graph::from_edges(1, &[]).unwrap();
+        let p = Partition::compute(&g, 0.5, &mut rng(7));
+        assert_eq!(p.num_clusters(), 1);
+        assert!(p.is_center(0));
+    }
+
+    #[test]
+    fn compute_within_respects_region_boundaries() {
+        // Coarse: grid split into left/right halves. Fine clusters must not
+        // span the boundary.
+        let g = generators::grid(12, 6);
+        let region: Vec<u32> = g.nodes().map(|v| if v % 12 < 6 { 0 } else { 1 }).collect();
+        for seed in 0..5 {
+            let p = Partition::compute_within(&g, 0.2, &region, &mut rng(seed));
+            p.validate(&g).expect("valid partition");
+            for idx in 0..p.num_clusters() as u32 {
+                let members = p.members(idx);
+                let r0 = region[members[0] as usize];
+                assert!(
+                    members.iter().all(|&m| region[m as usize] == r0),
+                    "cluster {idx} spans regions"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn compute_within_single_region_matches_unrestricted_shape() {
+        let g = generators::grid(10, 10);
+        let region = vec![0u32; g.n()];
+        let p = Partition::compute_within(&g, 0.3, &region, &mut rng(8));
+        p.validate(&g).expect("valid partition");
+        // With one region the restriction is vacuous: same invariants,
+        // plausible cluster count.
+        assert!(p.num_clusters() >= 1 && p.num_clusters() <= g.n());
+    }
+}

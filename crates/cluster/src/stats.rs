@@ -1,0 +1,347 @@
+//! Measurement of clustering properties: everything the paper's Lemmas 2.1,
+//! 4.2–4.4 and Corollaries 3.8/3.9 (of \[12\]) quantify.
+
+use crate::partition::Partition;
+use rn_graph::{traversal, Graph, NodeId};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Aggregate statistics of one partition on one graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PartitionStats {
+    /// β used.
+    pub beta: f64,
+    /// Number of clusters.
+    pub num_clusters: usize,
+    /// Maximum strong distance from a node to its cluster center
+    /// (the cluster *radius*; strong diameter is at most twice this).
+    pub max_radius: u32,
+    /// Mean strong distance to the cluster center over all nodes.
+    pub mean_dist_to_center: f64,
+    /// Number of cut edges (endpoints in different clusters).
+    pub cut_edges: usize,
+    /// Fraction of edges cut.
+    pub cut_fraction: f64,
+    /// Nodes adjacent to at least one other cluster ("risky" nodes in the
+    /// paper's Lemma 4.2 terminology).
+    pub boundary_nodes: usize,
+    /// Maximum number of *other* clusters any single node borders
+    /// (Corollary 3.9 of \[12\] bounds this by `O(log n / log D)` whp).
+    pub max_bordering_clusters: usize,
+}
+
+impl PartitionStats {
+    /// Measures `partition` over `g`.
+    pub fn measure(g: &Graph, partition: &Partition) -> PartitionStats {
+        let dist = partition.strong_dist_to_center(g);
+        let max_radius = dist.iter().copied().filter(|&d| d != u32::MAX).max().unwrap_or(0);
+        let mean_dist_to_center =
+            dist.iter().copied().map(|d| d as f64).sum::<f64>() / g.n() as f64;
+
+        let mut cut_edges = 0;
+        for (u, v) in g.edges() {
+            if !partition.same_cluster(u, v) {
+                cut_edges += 1;
+            }
+        }
+        let cut_fraction = if g.m() == 0 { 0.0 } else { cut_edges as f64 / g.m() as f64 };
+
+        let mut boundary_nodes = 0;
+        let mut max_bordering = 0;
+        let mut seen: Vec<u32> = Vec::new();
+        for v in g.nodes() {
+            seen.clear();
+            let mine = partition.cluster_index(v);
+            for &w in g.neighbors(v) {
+                let c = partition.cluster_index(w);
+                if c != mine && !seen.contains(&c) {
+                    seen.push(c);
+                }
+            }
+            if !seen.is_empty() {
+                boundary_nodes += 1;
+            }
+            max_bordering = max_bordering.max(seen.len());
+        }
+
+        PartitionStats {
+            beta: partition.beta(),
+            num_clusters: partition.num_clusters(),
+            max_radius,
+            mean_dist_to_center,
+            cut_edges,
+            cut_fraction,
+            boundary_nodes,
+            max_bordering_clusters: max_bordering,
+        }
+    }
+}
+
+/// Number of distinct clusters with a node within distance `d` of `v`
+/// (including `v`'s own) — the quantity of the paper's Lemma 4.3.
+pub fn clusters_within(g: &Graph, partition: &Partition, v: NodeId, d: u32) -> usize {
+    let mut dist = vec![u32::MAX; g.n()];
+    let mut queue = VecDeque::new();
+    dist[v as usize] = 0;
+    queue.push_back(v);
+    let mut clusters = Vec::new();
+    while let Some(u) = queue.pop_front() {
+        let c = partition.cluster_index(u);
+        if !clusters.contains(&c) {
+            clusters.push(c);
+        }
+        let du = dist[u as usize];
+        if du == d {
+            continue;
+        }
+        for &w in g.neighbors(u) {
+            if dist[w as usize] == u32::MAX {
+                dist[w as usize] = du + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    clusters.len()
+}
+
+/// The number of distinct neighboring clusters of `v` (excluding its own):
+/// the `q` of the paper's Lemma 4.2 background-process analysis.
+pub fn bordering_clusters(g: &Graph, partition: &Partition, v: NodeId) -> usize {
+    let mine = partition.cluster_index(v);
+    let mut seen = Vec::new();
+    for &w in g.neighbors(v) {
+        let c = partition.cluster_index(w);
+        if c != mine && !seen.contains(&c) {
+            seen.push(c);
+        }
+    }
+    seen.len()
+}
+
+/// Result of classifying the subpaths of one path (paper's §4 terminology).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SubpathBadness {
+    /// Total number of length-`sub_len` subpaths the path splits into.
+    pub total: usize,
+    /// How many are *bad*: some node within `nbhd_radius` of the subpath lies
+    /// in a different coarse cluster than the rest of the neighborhood.
+    pub bad: usize,
+}
+
+/// Splits `path` (a node sequence) into consecutive subpaths of `sub_len`
+/// nodes and classifies each as good/bad with respect to the coarse
+/// `partition`: a subpath is **good** iff all nodes within distance
+/// `nbhd_radius` of it belong to one single coarse cluster (paper §4,
+/// before Lemma 4.4).
+///
+/// # Panics
+///
+/// Panics if `sub_len == 0` or `path` is empty.
+pub fn classify_subpaths(
+    g: &Graph,
+    partition: &Partition,
+    path: &[NodeId],
+    sub_len: usize,
+    nbhd_radius: u32,
+) -> SubpathBadness {
+    assert!(sub_len > 0, "subpath length must be positive");
+    assert!(!path.is_empty(), "path must be nonempty");
+    let mut total = 0;
+    let mut bad = 0;
+    for chunk in path.chunks(sub_len) {
+        total += 1;
+        if !neighborhood_is_monochromatic(g, partition, chunk, nbhd_radius) {
+            bad += 1;
+        }
+    }
+    SubpathBadness { total, bad }
+}
+
+/// Whether the ball of radius `r` around the node set `seeds` lies entirely
+/// in one cluster.
+fn neighborhood_is_monochromatic(
+    g: &Graph,
+    partition: &Partition,
+    seeds: &[NodeId],
+    r: u32,
+) -> bool {
+    let mut dist = vec![u32::MAX; g.n()];
+    let mut queue = VecDeque::new();
+    let want = partition.cluster_index(seeds[0]);
+    for &s in seeds {
+        if dist[s as usize] == u32::MAX {
+            dist[s as usize] = 0;
+            queue.push_back(s);
+        }
+    }
+    while let Some(u) = queue.pop_front() {
+        if partition.cluster_index(u) != want {
+            return false;
+        }
+        let du = dist[u as usize];
+        if du == r {
+            continue;
+        }
+        for &w in g.neighbors(u) {
+            if dist[w as usize] == u32::MAX {
+                dist[w as usize] = du + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    true
+}
+
+/// Empirical Lemma 4.3 check: the upper bound `(1 − e^{−β(2d+1)})^{t−1}` on
+/// `P[t distinct clusters within distance d]`.
+pub fn lemma_4_3_bound(beta: f64, d: u32, t: usize) -> f64 {
+    if t <= 1 {
+        return 1.0;
+    }
+    (1.0 - (-beta * (2.0 * d as f64 + 1.0)).exp()).powi(t as i32 - 1)
+}
+
+/// Mean distance to cluster center over many partition trials of one node —
+/// the expectation Theorem 2.2 bounds.
+pub fn mean_dist_to_center_of(
+    g: &Graph,
+    beta: f64,
+    v: NodeId,
+    trials: u32,
+    rng: &mut impl rand::Rng,
+) -> f64 {
+    let mut total = 0u64;
+    for _ in 0..trials {
+        let p = Partition::compute(g, beta, rng);
+        let c = p.center_of(v);
+        total += traversal::bfs(g, v)[c as usize] as u64;
+    }
+    total as f64 / trials as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use rn_graph::generators;
+
+    fn rng(seed: u64) -> SmallRng {
+        SmallRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn stats_are_internally_consistent() {
+        let g = generators::grid(12, 12);
+        let p = Partition::compute(&g, 0.3, &mut rng(1));
+        let s = PartitionStats::measure(&g, &p);
+        assert_eq!(s.num_clusters, p.num_clusters());
+        assert!(s.cut_fraction >= 0.0 && s.cut_fraction <= 1.0);
+        assert!(s.boundary_nodes <= g.n());
+        assert!(s.mean_dist_to_center <= s.max_radius as f64);
+    }
+
+    #[test]
+    fn single_cluster_has_no_cuts_or_boundaries() {
+        let g = generators::grid(8, 8);
+        let p = Partition::compute(&g, 1e-9, &mut rng(2));
+        assert_eq!(p.num_clusters(), 1);
+        let s = PartitionStats::measure(&g, &p);
+        assert_eq!(s.cut_edges, 0);
+        assert_eq!(s.boundary_nodes, 0);
+        assert_eq!(s.max_bordering_clusters, 0);
+    }
+
+    #[test]
+    fn cut_fraction_scales_with_beta() {
+        // Lemma 2.1: each edge is cut with probability O(β). Halving β
+        // should roughly halve the cut fraction.
+        let g = generators::grid(25, 25);
+        let mut r = rng(3);
+        let avg = |beta: f64, r: &mut SmallRng| {
+            let mut total = 0.0;
+            for _ in 0..30 {
+                let p = Partition::compute(&g, beta, r);
+                total += PartitionStats::measure(&g, &p).cut_fraction;
+            }
+            total / 30.0
+        };
+        let hi = avg(0.4, &mut r);
+        let lo = avg(0.1, &mut r);
+        assert!(hi > lo, "cut fraction grows with beta ({lo} vs {hi})");
+        let ratio = hi / lo;
+        assert!(ratio > 2.0 && ratio < 8.0, "roughly linear in beta, ratio {ratio}");
+    }
+
+    #[test]
+    fn radius_scales_inversely_with_beta() {
+        let g = generators::path(400);
+        let mut r = rng(4);
+        let avg = |beta: f64, r: &mut SmallRng| {
+            let mut total = 0.0;
+            for _ in 0..20 {
+                let p = Partition::compute(&g, beta, r);
+                total += PartitionStats::measure(&g, &p).max_radius as f64;
+            }
+            total / 20.0
+        };
+        let small_beta = avg(0.05, &mut r);
+        let large_beta = avg(0.4, &mut r);
+        assert!(
+            small_beta > 2.0 * large_beta,
+            "radius should shrink with beta: {small_beta} vs {large_beta}"
+        );
+    }
+
+    #[test]
+    fn clusters_within_counts_at_least_own() {
+        let g = generators::grid(10, 10);
+        let p = Partition::compute(&g, 0.3, &mut rng(5));
+        for v in [0u32, 37, 99] {
+            assert!(clusters_within(&g, &p, v, 0) == 1, "radius 0 sees own cluster only");
+            let c3 = clusters_within(&g, &p, v, 3);
+            assert!(c3 >= 1 && c3 <= p.num_clusters());
+        }
+    }
+
+    #[test]
+    fn bordering_clusters_zero_iff_interior() {
+        let g = generators::grid(10, 10);
+        let p = Partition::compute(&g, 0.25, &mut rng(6));
+        let s = PartitionStats::measure(&g, &p);
+        let computed_boundary =
+            g.nodes().filter(|&v| bordering_clusters(&g, &p, v) > 0).count();
+        assert_eq!(computed_boundary, s.boundary_nodes);
+    }
+
+    #[test]
+    fn classify_subpaths_counts_chunks() {
+        let g = generators::path(100);
+        let p = Partition::compute(&g, 0.1, &mut rng(7));
+        let path: Vec<NodeId> = (0..100).collect();
+        let b = classify_subpaths(&g, &p, &path, 10, 2);
+        assert_eq!(b.total, 10);
+        assert!(b.bad <= b.total);
+    }
+
+    #[test]
+    fn monochromatic_neighborhood_detects_boundaries() {
+        // With one giant cluster every subpath is good.
+        let g = generators::path(60);
+        let p = Partition::compute(&g, 1e-9, &mut rng(8));
+        let path: Vec<NodeId> = (0..60).collect();
+        let b = classify_subpaths(&g, &p, &path, 6, 3);
+        assert_eq!(b.bad, 0);
+    }
+
+    #[test]
+    fn lemma_4_3_bound_shape() {
+        assert_eq!(lemma_4_3_bound(0.1, 5, 1), 1.0);
+        let b2 = lemma_4_3_bound(0.1, 5, 2);
+        let b3 = lemma_4_3_bound(0.1, 5, 3);
+        assert!(b2 > b3, "more clusters are less likely");
+        assert!(b2 > 0.0 && b2 < 1.0);
+        // Smaller beta → bound decreases (clusters are bigger).
+        assert!(lemma_4_3_bound(0.01, 5, 2) < lemma_4_3_bound(0.5, 5, 2));
+    }
+}

@@ -1,0 +1,312 @@
+//! Executable form of the paper's Section 6 — the analysis that proves
+//! Theorem 2.2 (the `O(log n / (β log D))` expected distance to the cluster
+//! center, removing Haeupler–Wajc's extra `log log n` factor).
+//!
+//! All quantities operate on a *layer vector* `x` where `x[i] = |A_i(v)|` is
+//! the number of nodes at distance exactly `i` from a fixed node `v`
+//! (compute one with [`layer_vector`]). The paper bounds the expected
+//! distance from `v` to its cluster center by `5·S_{x,β}` (Lemma 6.1) and
+//! then controls `S_{x,β}` through two norm-preserving transformations `f`
+//! and `g` and the ratio sequence `k_i` of the transformed vector.
+//!
+//! Because these are concrete, finite computations, the inequalities of
+//! Lemmas 6.2, 6.4 and 6.5 are *property-tested* here — the analysis is
+//! reproduced as running code, not just prose.
+
+use rn_graph::{traversal::LayerHistogram, Graph, NodeId};
+
+/// `T_{x,β} = Σ_i i·x_i·e^{−iβ}` (numerator of `S_{x,β}`).
+pub fn t_value(x: &[f64], beta: f64) -> f64 {
+    x.iter().enumerate().map(|(i, &xi)| i as f64 * xi * (-(i as f64) * beta).exp()).sum()
+}
+
+/// `B_{x,β} = Σ_i x_i·e^{−iβ}` (denominator of `S_{x,β}`).
+pub fn b_value(x: &[f64], beta: f64) -> f64 {
+    x.iter().enumerate().map(|(i, &xi)| xi * (-(i as f64) * beta).exp()).sum()
+}
+
+/// `S_{x,β} = T_{x,β} / B_{x,β}` — the exponentially-damped mean layer index.
+/// Lemma 6.1: the expected distance from `v` to its Partition(β) cluster
+/// center is at most `5·S_{x,β}`.
+///
+/// # Panics
+///
+/// Panics if `B_{x,β} = 0` (e.g. `x` identically zero).
+pub fn s_value(x: &[f64], beta: f64) -> f64 {
+    let b = b_value(x, beta);
+    assert!(b > 0.0, "S undefined: B_x,beta is zero");
+    t_value(x, beta) / b
+}
+
+/// The paper's first transformation `f`: collates coefficients into
+/// power-of-two indices, `f(x)_i = Σ_{ℓ=2i}^{4i−1} x_ℓ` for `i = 2^k`, else 0.
+/// Lemma 6.2: `S_{x,β} ≤ 11·S_{f(x),β}`.
+pub fn transform_f(x: &[f64]) -> Vec<f64> {
+    let len = x.len();
+    let mut out = vec![0.0; len];
+    let mut i = 1usize;
+    while i < len {
+        let lo = 2 * i;
+        let hi = (4 * i).min(len); // exclusive; paper's 4i−1 inclusive
+        if lo < len {
+            out[i] = x[lo..hi].iter().sum();
+        }
+        i *= 2;
+    }
+    out
+}
+
+/// The paper's second transformation `g`: prefix-averages onto power-of-two
+/// indices, `g(x)_i = (Σ_{ℓ≤i} ℓ·x_ℓ)/i` for `i = 2^k`, else 0. Guarantees
+/// the "not too decreasing" property `2·g(x)_{2i} ≥ g(x)_i`. Lemma 6.4 (for
+/// `x` supported on powers of two): `S_{x,β} ≤ 2·S_{g(x),β}`.
+pub fn transform_g(x: &[f64]) -> Vec<f64> {
+    let len = x.len();
+    // prefix[i] = Σ_{ℓ≤i} ℓ·x_ℓ.
+    let mut prefix = vec![0.0; len];
+    let mut acc = 0.0;
+    for (l, &xl) in x.iter().enumerate() {
+        acc += l as f64 * xl;
+        prefix[l] = acc;
+    }
+    let mut out = vec![0.0; len];
+    let mut i = 1usize;
+    while i < len {
+        out[i] = prefix[i] / i as f64;
+        i *= 2;
+    }
+    out
+}
+
+/// The composite `x' = g(f(x))` the paper analyzes (Lemma 6.5 lists its four
+/// structural properties; see the tests below).
+pub fn x_prime(x: &[f64]) -> Vec<f64> {
+    transform_g(&transform_f(x))
+}
+
+/// The ratio sequence `k_i = log₂(x'_{2^{i+1}} / x'_{2^i})`, for as long as
+/// both entries exist and the denominator is positive.
+pub fn ratio_sequence(xp: &[f64]) -> Vec<f64> {
+    let mut ks = Vec::new();
+    let mut i = 1usize;
+    while 2 * i < xp.len() {
+        if xp[i] <= 0.0 {
+            break;
+        }
+        ks.push((xp[2 * i] / xp[i]).log2());
+        i *= 2;
+    }
+    ks
+}
+
+/// Checks the Lemma 6.6 condition for a fixed `j`: for all `m ≥ 8`,
+/// `Σ_{ℓ=start}^{start+m} k_ℓ ≤ 2^m · log n / log D`, where
+/// `start = j + log₂(log n / log D)` (rounded). Out-of-range indices are
+/// clamped. When the condition holds, Lemma 6.6 yields
+/// `S_{x',2^{-j}} = O(2^j · log n / log D)`.
+pub fn lemma_6_6_condition(ks: &[f64], j: i64, log_n: f64, log_d: f64) -> bool {
+    let ratio = log_n / log_d;
+    let start = j + ratio.log2().round() as i64;
+    for m in 8..(ks.len() as i64) {
+        let lo = start.max(0) as usize;
+        let hi = ((start + m).min(ks.len() as i64 - 1)) as usize;
+        if lo > hi {
+            continue;
+        }
+        let sum: f64 = ks[lo..=hi].iter().sum();
+        if sum > (2.0f64).powi(m as i32) * ratio {
+            return false;
+        }
+    }
+    true
+}
+
+/// Counts the `j` in `j_min..=j_max` violating the Lemma 6.6 condition.
+/// Lemma 6.7 bounds this by `0.04·log D` for the paper's range
+/// `[0.01·log D, 0.1·log D]`.
+pub fn count_bad_j(ks: &[f64], j_min: i64, j_max: i64, log_n: f64, log_d: f64) -> usize {
+    (j_min..=j_max).filter(|&j| !lemma_6_6_condition(ks, j, log_n, log_d)).count()
+}
+
+/// The layer vector `x` of node `v`: `x[i] = |A_i(v)|` as `f64`s.
+pub fn layer_vector(g: &Graph, v: NodeId) -> Vec<f64> {
+    LayerHistogram::of(g, v).counts.iter().map(|&c| c as f64).collect()
+}
+
+/// Lemma 6.1's bound on the expected distance from `v` to its cluster
+/// center: `5·S_{x,β}`.
+pub fn lemma_6_1_bound(x: &[f64], beta: f64) -> f64 {
+    5.0 * s_value(x, beta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rn_graph::generators;
+
+    #[test]
+    fn s_value_of_point_mass() {
+        // All mass at layer 3: S = 3 regardless of beta.
+        let mut x = vec![0.0; 10];
+        x[3] = 5.0;
+        assert!((s_value(&x, 0.2) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn s_value_decreases_with_beta() {
+        // Exponential damping pulls the weighted mean toward small layers.
+        let x: Vec<f64> = (0..64).map(|_| 1.0).collect();
+        let s_small = s_value(&x, 0.01);
+        let s_large = s_value(&x, 0.5);
+        assert!(s_large < s_small);
+    }
+
+    #[test]
+    fn transform_f_collates_doubling_windows() {
+        // x = indicator of layer 5: lands in f at index 2 (window 4..=7).
+        let mut x = vec![0.0; 32];
+        x[5] = 3.0;
+        let f = transform_f(&x);
+        assert_eq!(f[2], 3.0);
+        assert_eq!(f[1], 0.0);
+        assert_eq!(f[4], 0.0);
+        // Non-powers stay zero.
+        assert!(f.iter().enumerate().all(|(i, &v)| i.is_power_of_two() || v == 0.0));
+    }
+
+    #[test]
+    fn transform_f_preserves_l1_up_to_truncation() {
+        let x: Vec<f64> = (0..64).map(|i| (i % 5) as f64).collect();
+        let f = transform_f(&x);
+        let sum_f: f64 = f.iter().sum();
+        let sum_x: f64 = x.iter().sum();
+        assert!(sum_f <= sum_x + 1e-9, "f does not increase the L1 norm");
+    }
+
+    #[test]
+    fn transform_g_prefix_average() {
+        // x = e_1 (one unit at layer 1): g_1 = 1, g_2 = 1/2, g_4 = 1/4 …
+        let mut x = vec![0.0; 16];
+        x[1] = 1.0;
+        let g = transform_g(&x);
+        assert!((g[1] - 1.0).abs() < 1e-12);
+        assert!((g[2] - 0.5).abs() < 1e-12);
+        assert!((g[4] - 0.25).abs() < 1e-12);
+        assert!((g[8] - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn g_output_is_not_too_decreasing() {
+        // The defining property: 2·g(x)_{2i} ≥ g(x)_i.
+        let x: Vec<f64> = (0..128).map(|i| ((i * 7) % 11) as f64).collect();
+        let g = transform_g(&x);
+        let mut i = 1;
+        while 2 * i < g.len() {
+            assert!(2.0 * g[2 * i] + 1e-9 >= g[i], "2·g[{}] ≥ g[{}]", 2 * i, i);
+            i *= 2;
+        }
+    }
+
+    #[test]
+    fn lemma_6_5_structural_properties_on_graph_layers() {
+        // On real layer vectors (connected graphs, ecc ≥ 3): the four
+        // properties of Lemma 6.5.
+        let graphs =
+            vec![generators::path(200), generators::grid(16, 16), generators::binary_tree(127)];
+        for g in &graphs {
+            let x = layer_vector(g, 0);
+            let n: f64 = x.iter().sum();
+            let xp = x_prime(&x);
+            // (1) supported on powers of two
+            assert!(xp.iter().enumerate().all(|(i, &v)| i.is_power_of_two() || v == 0.0));
+            // (2) x'_1 ≥ 2
+            assert!(xp[1] >= 2.0, "x'_1 = {} on graph", xp[1]);
+            // (3) ||x'||_1 ≤ 2n
+            let l1: f64 = xp.iter().sum();
+            assert!(l1 <= 2.0 * n + 1e-6);
+            // (4) 2x'_{2i} ≥ x'_i
+            let mut i = 1;
+            while 2 * i < xp.len() {
+                assert!(2.0 * xp[2 * i] + 1e-9 >= xp[i]);
+                i *= 2;
+            }
+        }
+    }
+
+    #[test]
+    fn lemma_6_2_inequality_on_graph_layers() {
+        // S_{x,β} ≤ 11·S_{f(x),β} on real layer vectors across betas.
+        let graphs =
+            vec![generators::path(300), generators::grid(20, 20), generators::binary_tree(255)];
+        for g in &graphs {
+            let x = layer_vector(g, 0);
+            for j in 1..6 {
+                let beta = (2.0f64).powi(-j);
+                let f = transform_f(&x);
+                if b_value(&f, beta) == 0.0 {
+                    continue;
+                }
+                let s_x = s_value(&x, beta);
+                let s_f = s_value(&f, beta);
+                assert!(
+                    s_x <= 11.0 * s_f + 1e-6,
+                    "Lemma 6.2 violated: S_x={s_x}, S_f={s_f}, beta={beta}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lemma_6_4_inequality_on_power_supported_vectors() {
+        // S_{x,β} ≤ 2·S_{g(x),β} for x supported on powers of two.
+        let graphs = vec![generators::path(300), generators::grid(20, 20)];
+        for g in &graphs {
+            let x = transform_f(&layer_vector(g, 0)); // power-supported by construction
+            for j in 1..6 {
+                let beta = (2.0f64).powi(-j);
+                if b_value(&x, beta) == 0.0 {
+                    continue;
+                }
+                let s_x = s_value(&x, beta);
+                let s_g = s_value(&transform_g(&x), beta);
+                assert!(
+                    s_x <= 2.0 * s_g + 1e-6,
+                    "Lemma 6.4 violated: S_x={s_x}, S_g={s_g}, beta={beta}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ratio_sequence_bounded_below_by_minus_one() {
+        // k_i ≥ -1 follows from property (4) of Lemma 6.5.
+        let x = layer_vector(&generators::grid(24, 24), 10);
+        let ks = ratio_sequence(&x_prime(&x));
+        assert!(!ks.is_empty());
+        for (i, &k) in ks.iter().enumerate() {
+            assert!(k >= -1.0 - 1e-9, "k_{i} = {k} < -1");
+        }
+    }
+
+    #[test]
+    fn lemma_6_6_condition_trivially_holds_for_flat_vectors() {
+        // A path's layer vector is flat (all ones): every k_i ≈ log(2)=1 …
+        // actually x'_i are prefix averages; the condition comfortably holds.
+        let x = layer_vector(&generators::path(1024), 0);
+        let ks = ratio_sequence(&x_prime(&x));
+        let log_n = 10.0;
+        let log_d = 10.0;
+        for j in 0..4 {
+            assert!(lemma_6_6_condition(&ks, j, log_n, log_d));
+        }
+        assert_eq!(count_bad_j(&ks, 0, 3, log_n, log_d), 0);
+    }
+
+    #[test]
+    fn layer_vector_matches_histogram() {
+        let g = generators::grid(3, 3);
+        let x = layer_vector(&g, 0);
+        assert_eq!(x, vec![1.0, 2.0, 3.0, 2.0, 1.0]);
+        assert_eq!(lemma_6_1_bound(&x, 1.0) / 5.0, s_value(&x, 1.0));
+    }
+}

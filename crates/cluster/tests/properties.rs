@@ -1,0 +1,166 @@
+//! Property-based tests: Partition invariants and the Section 6 lemmas.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rn_cluster::{theory, Partition};
+use rn_graph::{generators, traversal, Graph};
+
+/// A connected graph built from a spanning path plus arbitrary chords.
+fn arb_connected_graph() -> impl Strategy<Value = Graph> {
+    (3usize..48).prop_flat_map(|n| {
+        let edge = (0..n as u32, 1..n as u32).prop_map(move |(u, k)| {
+            let v = (u + k) % n as u32;
+            if u < v {
+                (u, v)
+            } else {
+                (v, u)
+            }
+        });
+        proptest::collection::vec(edge, 0..80).prop_map(move |mut edges| {
+            for v in 1..n as u32 {
+                edges.push((v - 1, v));
+            }
+            Graph::from_edges(n, &edges).expect("valid edges")
+        })
+    })
+}
+
+/// A layer-like vector: strictly positive entries (as every connected
+/// graph's layer vector is, up to its eccentricity), length ≥ 8.
+fn arb_layer_vector() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(1u32..1000, 8..200)
+        .prop_map(|v| v.into_iter().map(|x| x as f64).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn partition_invariants_hold(g in arb_connected_graph(), seed in any::<u64>(),
+                                 beta_milli in 10u32..900) {
+        let beta = beta_milli as f64 / 1000.0;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let p = Partition::compute(&g, beta, &mut rng);
+        prop_assert!(p.validate(&g).is_ok());
+        // Strong distance equals global distance (MPX shortest-path property).
+        let strong = p.strong_dist_to_center(&g);
+        for v in g.nodes() {
+            let c = p.center_of(v);
+            let global = traversal::bfs(&g, c)[v as usize];
+            prop_assert_eq!(strong[v as usize], global);
+        }
+    }
+
+    #[test]
+    fn clusters_partition_the_vertex_set(g in arb_connected_graph(), seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let p = Partition::compute(&g, 0.3, &mut rng);
+        let mut seen = vec![false; g.n()];
+        for idx in 0..p.num_clusters() as u32 {
+            for &m in p.members(idx) {
+                prop_assert!(!seen[m as usize], "node in two clusters");
+                seen[m as usize] = true;
+                prop_assert_eq!(p.cluster_index(m), idx);
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn lemma_6_2_s_x_le_11_s_fx(x in arb_layer_vector(), j in 1u32..8) {
+        let beta = (2.0f64).powi(-(j as i32));
+        let s_x = theory::s_value(&x, beta);
+        // The paper's Claim 6.3 step needs S_x ≥ 4 for integrality of p.
+        prop_assume!(s_x >= 4.0);
+        let f = theory::transform_f(&x);
+        prop_assume!(theory::b_value(&f, beta) > 0.0);
+        let s_f = theory::s_value(&f, beta);
+        prop_assert!(s_x <= 11.0 * s_f + 1e-6,
+            "S_x = {}, 11 S_f = {}", s_x, 11.0 * s_f);
+    }
+
+    #[test]
+    fn lemma_6_4_s_x_le_2_s_gx(x in arb_layer_vector(), j in 1u32..8) {
+        let beta = (2.0f64).powi(-(j as i32));
+        // Lemma 6.4 requires x supported on powers of two: apply f first.
+        let xf = theory::transform_f(&x);
+        prop_assume!(theory::b_value(&xf, beta) > 0.0);
+        let s_x = theory::s_value(&xf, beta);
+        let g = theory::transform_g(&xf);
+        let s_g = theory::s_value(&g, beta);
+        prop_assert!(s_x <= 2.0 * s_g + 1e-6,
+            "S_x = {}, 2 S_g = {}", s_x, 2.0 * s_g);
+    }
+
+    #[test]
+    fn lemma_6_5_properties(x in arb_layer_vector()) {
+        let n: f64 = x.iter().sum();
+        let xp = theory::x_prime(&x);
+        // Supported on powers of two.
+        for (i, &v) in xp.iter().enumerate() {
+            if !(i.is_power_of_two()) {
+                prop_assert_eq!(v, 0.0);
+            }
+        }
+        // x'_1 = x_2 + x_3 ≥ 2 for strictly positive layer vectors.
+        prop_assert!(xp[1] >= 2.0);
+        // L1 norm at most doubled.
+        let l1: f64 = xp.iter().sum();
+        prop_assert!(l1 <= 2.0 * n + 1e-6);
+        // Not too decreasing.
+        let mut i = 1usize;
+        while 2 * i < xp.len() {
+            prop_assert!(2.0 * xp[2 * i] + 1e-9 >= xp[i]);
+            i *= 2;
+        }
+    }
+
+    #[test]
+    fn ratio_sequence_lower_bound(x in arb_layer_vector()) {
+        let ks = theory::ratio_sequence(&theory::x_prime(&x));
+        for &k in &ks {
+            prop_assert!(k >= -1.0 - 1e-9, "k = {}", k);
+        }
+    }
+
+    #[test]
+    fn s_value_is_a_weighted_mean(x in arb_layer_vector(), j in 0u32..10) {
+        // 0 ≤ S ≤ max index with nonzero coefficient.
+        let beta = (2.0f64).powi(-(j as i32));
+        let s = theory::s_value(&x, beta);
+        prop_assert!(s >= 0.0);
+        prop_assert!(s <= (x.len() - 1) as f64 + 1e-9);
+    }
+}
+
+#[test]
+fn theorem_2_2_shape_on_path() {
+    // Monte-Carlo sanity check of Theorem 2.2's *form* on a path: for most
+    // choices of j, E[dist to center] · β · log D / log n stays below a
+    // modest constant (the paper proves ≥ 55% of j are good with constant
+    // 258-ish; empirically the constant is small).
+    let g = generators::path(512);
+    let log_n = (512f64).log2();
+    let log_d = (511f64).log2();
+    let mut rng = SmallRng::seed_from_u64(99);
+    let mut good = 0;
+    let js = [2u32, 3, 4];
+    for &j in &js {
+        let beta = (2.0f64).powi(-(j as i32));
+        let mut total = 0.0;
+        let trials = 15;
+        for _ in 0..trials {
+            let p = Partition::compute(&g, beta, &mut rng);
+            let strong = p.strong_dist_to_center(&g);
+            let v = 256; // middle node
+            total += strong[v] as f64;
+        }
+        let mean = total / trials as f64;
+        let normalized = mean * beta * log_d / log_n;
+        if normalized < 6.0 {
+            good += 1;
+        }
+    }
+    assert!(good >= 2, "at least 2 of 3 js give O(log n/(beta log D)) distance");
+}

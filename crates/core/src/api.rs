@@ -1,0 +1,218 @@
+use crate::params::CompeteParams;
+use crate::precompute::Precomputed;
+use crate::protocol::CompeteProtocol;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rn_graph::{Graph, NodeId};
+use rn_sim::{rng, CollisionModel, Metrics, NetParams, RunOutcome, Simulator};
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Errors from the top-level Compete entry points.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CompeteError {
+    /// The graph is not connected; global propagation is impossible.
+    Disconnected,
+    /// No sources were provided.
+    NoSources,
+    /// A source node id is out of range.
+    SourceOutOfRange {
+        /// The offending node id.
+        node: NodeId,
+    },
+}
+
+impl fmt::Display for CompeteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompeteError::Disconnected => write!(f, "graph is not connected"),
+            CompeteError::NoSources => write!(f, "source set is empty"),
+            CompeteError::SourceOutOfRange { node } => {
+                write!(f, "source node {node} out of range")
+            }
+        }
+    }
+}
+
+impl Error for CompeteError {}
+
+/// Outcome of one Compete (or broadcast / leader election) execution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompeteReport {
+    /// Whether every node learned the highest source message within budget.
+    pub completed: bool,
+    /// Rounds of the packet-level propagation phase actually executed.
+    pub propagation_rounds: u64,
+    /// Rounds charged for precomputation (see `PrecomputeMode`).
+    pub charged_precompute_rounds: u64,
+    /// `propagation_rounds + charged_precompute_rounds`.
+    pub total_rounds: u64,
+    /// Channel statistics of the propagation phase.
+    pub metrics: Metrics,
+    /// The highest source message (what had to be spread).
+    pub target: u64,
+    /// Number of nodes knowing the target at the end.
+    pub nodes_knowing: usize,
+    /// The master seed used (for exact reproduction).
+    pub seed: u64,
+}
+
+/// Outcome of a leader-election execution (Algorithm 6).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LeaderElectionReport {
+    /// The underlying Compete execution.
+    pub compete: CompeteReport,
+    /// Number of candidates that self-selected.
+    pub num_candidates: usize,
+    /// The elected leader (node whose ID won), if election completed cleanly.
+    pub leader: Option<NodeId>,
+    /// Whether exactly one node holds the winning ID (whp true; collisions
+    /// in the ID space are detected and reported here).
+    pub unique_winner: bool,
+}
+
+fn validate(g: &Graph, sources: &[(NodeId, u64)]) -> Result<(), CompeteError> {
+    if sources.is_empty() {
+        return Err(CompeteError::NoSources);
+    }
+    for &(s, _) in sources {
+        if s as usize >= g.n() {
+            return Err(CompeteError::SourceOutOfRange { node: s });
+        }
+    }
+    if !g.is_connected() {
+        return Err(CompeteError::Disconnected);
+    }
+    Ok(())
+}
+
+/// Runs **Compete(S)** (Algorithm 1 + 2): spreads the highest source message
+/// to every node. Network parameters are derived from the graph with the
+/// double-sweep diameter estimate; use [`compete_with_net`] to supply exact
+/// values.
+///
+/// # Errors
+///
+/// [`CompeteError`] on empty/invalid sources or a disconnected graph.
+pub fn compete(
+    g: &Graph,
+    sources: &[(NodeId, u64)],
+    params: &CompeteParams,
+    seed: u64,
+) -> Result<CompeteReport, CompeteError> {
+    validate(g, sources)?;
+    let net = NetParams::new(g.n(), g.diameter_double_sweep());
+    compete_with_net(g, net, sources, params, seed)
+}
+
+/// As [`compete`], with explicit [`NetParams`] (the `n` and `D` the model
+/// assumes known to all nodes).
+///
+/// # Errors
+///
+/// [`CompeteError`] on empty/invalid sources or a disconnected graph.
+pub fn compete_with_net(
+    g: &Graph,
+    net: NetParams,
+    sources: &[(NodeId, u64)],
+    params: &CompeteParams,
+    seed: u64,
+) -> Result<CompeteReport, CompeteError> {
+    validate(g, sources)?;
+    let pre = Precomputed::build(g, net, params, rng::derive(seed, 0x9DE));
+    let mut proto = CompeteProtocol::new(&pre, *params, sources, rng::derive(seed, 0x9D0));
+    let mut sim = Simulator::new(g, CollisionModel::NoCollisionDetection, seed);
+    let budget = params.max_rounds(&net);
+    let stats = sim.run(&mut proto, budget);
+    debug_assert!(matches!(stats.outcome, RunOutcome::ProtocolDone | RunOutcome::BudgetExhausted));
+    let completed = proto.all_know_target();
+    Ok(CompeteReport {
+        completed,
+        propagation_rounds: stats.rounds,
+        charged_precompute_rounds: pre.charged_rounds,
+        total_rounds: stats.rounds + pre.charged_rounds,
+        metrics: stats.metrics,
+        target: proto.target(),
+        nodes_knowing: proto.num_knowing(),
+        seed,
+    })
+}
+
+/// Runs **broadcasting** (Theorem 5.1): `Compete({source})`.
+///
+/// # Errors
+///
+/// [`CompeteError`] on an invalid source or a disconnected graph.
+pub fn broadcast(
+    g: &Graph,
+    source: NodeId,
+    params: &CompeteParams,
+    seed: u64,
+) -> Result<CompeteReport, CompeteError> {
+    compete(g, &[(source, 1)], params, seed)
+}
+
+/// Runs **leader election** (Algorithm 6): nodes self-select as candidates
+/// with probability `Θ(log n / n)`, draw random IDs, and Compete on the IDs.
+///
+/// # Errors
+///
+/// [`CompeteError::Disconnected`] on a disconnected graph.
+pub fn leader_election(
+    g: &Graph,
+    params: &CompeteParams,
+    seed: u64,
+) -> Result<LeaderElectionReport, CompeteError> {
+    if !g.is_connected() {
+        return Err(CompeteError::Disconnected);
+    }
+    let net = NetParams::new(g.n(), g.diameter_double_sweep());
+    leader_election_with_net(g, net, params, seed)
+}
+
+/// As [`leader_election`], with explicit [`NetParams`].
+///
+/// # Errors
+///
+/// [`CompeteError::Disconnected`] on a disconnected graph.
+pub fn leader_election_with_net(
+    g: &Graph,
+    net: NetParams,
+    params: &CompeteParams,
+    seed: u64,
+) -> Result<LeaderElectionReport, CompeteError> {
+    if !g.is_connected() {
+        return Err(CompeteError::Disconnected);
+    }
+    let n = g.n();
+    // Step 1: candidates with probability Θ(log n / n); the constant 2 keeps
+    // P[no candidate] ≤ n^-2 while |C| = O(log n) whp.
+    let p_cand = (2.0 * net.log2_n() as f64 / n as f64).min(1.0);
+    let mut crng = SmallRng::seed_from_u64(rng::derive(seed, 0xCA4D));
+    let mut candidates: Vec<(NodeId, u64)> = Vec::new();
+    for v in g.nodes() {
+        if crng.gen::<f64>() < p_cand {
+            // Step 2: random Θ(log n)-bit IDs (node id in the low bits only
+            // as a deterministic tiebreaker against measure-zero collisions).
+            let id: u64 = crng.gen::<u64>() & !0xFFFF_FFFFu64 | v as u64;
+            candidates.push((v, id));
+        }
+    }
+    if candidates.is_empty() {
+        // Degenerate (probability ≤ n^-2): retry with the next seed stream,
+        // exactly as restarting the algorithm would.
+        return leader_election_with_net(g, net, params, rng::derive(seed, 0x9999));
+    }
+    let report = compete_with_net(g, net, &candidates, params, seed)?;
+    let target = report.target;
+    let winners: Vec<NodeId> =
+        candidates.iter().filter(|&&(_, id)| id == target).map(|&(v, _)| v).collect();
+    Ok(LeaderElectionReport {
+        compete: report,
+        num_candidates: candidates.len(),
+        leader: winners.first().copied(),
+        unique_winner: winners.len() == 1,
+    })
+}

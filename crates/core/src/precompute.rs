@@ -1,0 +1,257 @@
+use crate::params::{CompeteParams, PrecomputeMode};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rn_cluster::Partition;
+use rn_graph::Graph;
+use rn_schedule::{SlotPolicy, TreeSchedule};
+use rn_sim::{rng, NetParams};
+
+/// One fine clustering ready for Intra-Cluster Propagation: its partition,
+/// its tree schedule, and the curtailment geometry derived from the paper's
+/// parameters.
+#[derive(Debug)]
+pub struct FineClustering {
+    /// The `j` such that `β = 2^-j` (0 for background clusterings, which use
+    /// `β = D^-0.1` directly).
+    pub j: u32,
+    /// The clustering rate β.
+    pub beta: f64,
+    /// The Partition(β) result.
+    pub partition: Partition,
+    /// The per-cluster BFS-tree schedule.
+    pub schedule: TreeSchedule,
+    /// ICP curtailment radius ℓ for this clustering.
+    pub radius: u32,
+    /// Rounds per down- or up-cast pass: `(min(ℓ, depth)+1)·W`.
+    pub pass_len: u64,
+    /// Rounds per full ICP (down + up + down).
+    pub icp_len: u64,
+}
+
+impl FineClustering {
+    fn new(j: u32, beta: f64, partition: Partition, schedule: TreeSchedule, radius: u32) -> Self {
+        let pass_len = schedule.pass_len(radius);
+        FineClustering { j, beta, partition, schedule, radius, pass_len, icp_len: 3 * pass_len }
+    }
+}
+
+/// Everything Algorithm 1 steps 1–6 and Algorithm 2 steps 1–2 produce,
+/// plus the charged round cost of producing it distributedly.
+#[derive(Debug)]
+pub struct Precomputed {
+    /// Network parameters the computation was done for.
+    pub net: NetParams,
+    /// The coarse clustering (`β = D^-0.5`), whose only role is to scope the
+    /// shared randomness of the fine-clustering sequences.
+    pub coarse: Partition,
+    /// Coarse cluster index per node (cached).
+    pub coarse_idx: Vec<u32>,
+    /// The `j` values in use (so `fines[ji * copies + t]` has `j = js[ji]`).
+    pub js: Vec<u32>,
+    /// Copies per `j`.
+    pub copies: u32,
+    /// Main-process fine clusterings, computed *within* coarse clusters.
+    pub fines: Vec<FineClustering>,
+    /// Background-process clusterings (global, `β = D^-0.1`), round-robin.
+    pub bg: Vec<FineClustering>,
+    /// Global ICP slot length of the main process: every slot lasts this
+    /// long so heterogeneous per-coarse choices stay globally aligned
+    /// (slower β's finish early and idle).
+    pub main_slot_len: u64,
+    /// Global ICP slot length of the background process.
+    pub bg_slot_len: u64,
+    /// Sequence length (`D^0.99` scaled).
+    pub seq_len: u64,
+    /// Rounds charged for the whole precomputation per the paper's formulas
+    /// (0 under [`PrecomputeMode::Ignored`]).
+    pub charged_rounds: u64,
+}
+
+impl Precomputed {
+    /// Runs the oracle precomputation for `g` under `params`, seeding all
+    /// randomness from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is disconnected (cluster BFS would not cover it).
+    pub fn build(g: &Graph, net: NetParams, params: &CompeteParams, seed: u64) -> Precomputed {
+        let log_n = net.log2_n() as u64;
+        let mut charged: u64 = 0;
+
+        // Step 1: coarse clustering with β = D^-0.5.
+        let beta_c = params.coarse_beta(&net);
+        let mut rng_c = SmallRng::seed_from_u64(rng::derive(seed, 1));
+        let coarse = Partition::compute(g, beta_c, &mut rng_c);
+        charged += ((log_n * log_n * log_n) as f64 / beta_c).ceil() as u64;
+
+        // Step 2: coarse schedule (needed for charging the sequence
+        // transmission; the propagation phase itself does not replay it).
+        let coarse_sched = TreeSchedule::build(g, &coarse, SlotPolicy::Auto);
+        charged += coarse_sched.charged_build_rounds(&net);
+
+        let coarse_idx: Vec<u32> = g.nodes().map(|v| coarse.cluster_index(v)).collect();
+
+        // Steps 3–4: fine clusterings within coarse clusters, for every j and
+        // copy, plus their schedules.
+        let js = params.j_values(&net);
+        let copies = params.fine_copies(&net);
+        let mut fines = Vec::with_capacity(js.len() * copies as usize);
+        for (ji, &j) in js.iter().enumerate() {
+            let beta = (2.0f64).powi(-(j as i32));
+            let radius = params.curtail_radius(&net, j);
+            for t in 0..copies {
+                let stream = 1000 + (ji as u64) * 512 + t as u64;
+                let mut r = SmallRng::seed_from_u64(rng::derive(seed, stream));
+                let part = Partition::compute_within(g, beta, &coarse_idx, &mut r);
+                let sched = TreeSchedule::build(g, &part, SlotPolicy::Auto);
+                charged += ((log_n * log_n * log_n) as f64 / beta).ceil() as u64;
+                charged += sched.charged_build_rounds(&net);
+                fines.push(FineClustering::new(j, beta, part, sched, radius));
+            }
+        }
+
+        // Steps 5–6: sequences are generated lazily from per-coarse-cluster
+        // seed streams (local computation, free); their transmission through
+        // the coarse schedule is charged per Lemma 2.3's k-message bound.
+        let seq_len = params.seq_len(&net);
+        charged += coarse_sched.pass_len(coarse_sched.max_depth());
+        charged += seq_len * log_n + log_n * log_n * log_n;
+
+        // Background process steps 1–2: global clusterings at β = D^-0.1.
+        let beta_bg = params.bg_beta(&net);
+        let bg_radius = params.bg_curtail_radius(&net);
+        let bg_count = copies.max(2);
+        let mut bg = Vec::with_capacity(bg_count as usize);
+        for t in 0..bg_count {
+            let mut r = SmallRng::seed_from_u64(rng::derive(seed, 9000 + t as u64));
+            let part = Partition::compute(g, beta_bg, &mut r);
+            let sched = TreeSchedule::build(g, &part, SlotPolicy::Auto);
+            charged += ((log_n * log_n * log_n) as f64 / beta_bg).ceil() as u64;
+            charged += sched.charged_build_rounds(&net);
+            bg.push(FineClustering::new(0, beta_bg, part, sched, bg_radius));
+        }
+
+        let main_slot_len = fines.iter().map(|f| f.icp_len).max().unwrap_or(1).max(1);
+        let bg_slot_len = bg.iter().map(|f| f.icp_len).max().unwrap_or(1).max(1);
+
+        let charged_rounds = match params.precompute {
+            PrecomputeMode::Charged => charged,
+            PrecomputeMode::Ignored => 0,
+        };
+
+        Precomputed {
+            net,
+            coarse,
+            coarse_idx,
+            js,
+            copies,
+            fines,
+            bg,
+            main_slot_len,
+            bg_slot_len,
+            seq_len,
+            charged_rounds,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rn_graph::generators;
+
+    fn build(g: &Graph) -> Precomputed {
+        let net = NetParams::of_graph(g);
+        Precomputed::build(g, net, &CompeteParams::default(), 42)
+    }
+
+    #[test]
+    fn fine_clusters_stay_within_coarse_clusters() {
+        let g = generators::grid(14, 14);
+        let pre = build(&g);
+        for fine in &pre.fines {
+            for idx in 0..fine.partition.num_clusters() as u32 {
+                let members = fine.partition.members(idx);
+                let cc = pre.coarse_idx[members[0] as usize];
+                assert!(
+                    members.iter().all(|&m| pre.coarse_idx[m as usize] == cc),
+                    "fine cluster spans coarse clusters"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn counts_follow_params() {
+        let g = generators::grid(14, 14);
+        let net = NetParams::of_graph(&g);
+        let params = CompeteParams::default();
+        let pre = build(&g);
+        assert_eq!(pre.fines.len(), pre.js.len() * pre.copies as usize);
+        assert_eq!(pre.js, params.j_values(&net));
+        assert!(pre.bg.len() >= 2);
+    }
+
+    #[test]
+    fn slot_lengths_cover_every_icp() {
+        let g = generators::grid(12, 12);
+        let pre = build(&g);
+        for f in &pre.fines {
+            assert!(f.icp_len <= pre.main_slot_len);
+            assert_eq!(f.icp_len, 3 * f.pass_len);
+        }
+        for f in &pre.bg {
+            assert!(f.icp_len <= pre.bg_slot_len);
+        }
+    }
+
+    #[test]
+    fn charged_cost_is_positive_and_suppressible() {
+        let g = generators::grid(10, 10);
+        let net = NetParams::of_graph(&g);
+        let pre = Precomputed::build(&g, net, &CompeteParams::default(), 1);
+        assert!(pre.charged_rounds > 0);
+        let free = Precomputed::build(
+            &g,
+            net,
+            &CompeteParams { precompute: PrecomputeMode::Ignored, ..CompeteParams::default() },
+            1,
+        );
+        assert_eq!(free.charged_rounds, 0);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let g = generators::grid(10, 10);
+        let net = NetParams::of_graph(&g);
+        let a = Precomputed::build(&g, net, &CompeteParams::default(), 7);
+        let b = Precomputed::build(&g, net, &CompeteParams::default(), 7);
+        assert_eq!(a.charged_rounds, b.charged_rounds);
+        for (fa, fb) in a.fines.iter().zip(&b.fines) {
+            for v in g.nodes() {
+                assert_eq!(fa.partition.center_of(v), fb.partition.center_of(v));
+            }
+        }
+    }
+
+    #[test]
+    fn background_clusterings_are_global_and_coarser_than_fines() {
+        // β_bg = 0.25·D^-0.1 is smaller than the finest β = 2^-j_min = 0.5,
+        // so background clusters should be no more fragmented than the
+        // finest main clusterings (and they ignore coarse boundaries).
+        let g = generators::grid(20, 20);
+        let pre = build(&g);
+        let bg_clusters = pre.bg[0].partition.num_clusters();
+        let finest = pre
+            .fines
+            .iter()
+            .max_by(|a, b| a.beta.total_cmp(&b.beta))
+            .expect("fines nonempty");
+        assert!(finest.beta > pre.bg[0].beta, "finest β above background β");
+        assert!(
+            bg_clusters <= finest.partition.num_clusters(),
+            "bg {bg_clusters} should be no more fragmented than finest {}",
+            finest.partition.num_clusters()
+        );
+    }
+}

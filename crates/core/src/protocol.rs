@@ -1,0 +1,820 @@
+use crate::params::{CompeteParams, SequenceScope};
+use crate::precompute::{FineClustering, Precomputed};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rn_graph::NodeId;
+use rn_sim::{rng, Protocol, Round, TxBuf};
+
+/// Messages on the channel during Compete's propagation phase. Every message
+/// names the clustering and cluster it belongs to, so receivers can filter
+/// (intra-cluster propagation is per-cluster; cross-cluster transfer happens
+/// across successive clusterings).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompeteMsg {
+    /// Main-process ICP schedule transmission (Algorithm 3 over Algorithm 1's
+    /// fine clusterings).
+    Sched {
+        /// Index into the precomputed fine clusterings.
+        fine: u32,
+        /// Cluster index within that clustering.
+        cluster: u32,
+        /// The message value being propagated.
+        value: u64,
+    },
+    /// Main-process ICP background decay (Algorithm 4).
+    Alg4 {
+        /// Index into the precomputed fine clusterings.
+        fine: u32,
+        /// Cluster index within that clustering.
+        cluster: u32,
+        /// The message value being propagated.
+        value: u64,
+    },
+    /// Background-process ICP schedule transmission (Algorithm 2).
+    BgSched {
+        /// Index into the background clusterings.
+        bg: u32,
+        /// Cluster index within that clustering.
+        cluster: u32,
+        /// The message value being propagated.
+        value: u64,
+    },
+    /// Background-process ICP decay (Algorithm 4 under Algorithm 2).
+    BgAlg4 {
+        /// Index into the background clusterings.
+        bg: u32,
+        /// Cluster index within that clustering.
+        cluster: u32,
+        /// The message value being propagated.
+        value: u64,
+    },
+}
+
+/// ICP phase geometry: where a within-slot position falls in the
+/// down/up/down structure of Algorithm 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Down1(u64),
+    Up(u64),
+    Down2(u64),
+    Idle,
+}
+
+fn icp_phase(pos: u64, pass: u64) -> Phase {
+    if pos < pass {
+        Phase::Down1(pos)
+    } else if pos < 2 * pass {
+        Phase::Up(pos - pass)
+    } else if pos < 3 * pass {
+        Phase::Down2(pos - 2 * pass)
+    } else {
+        Phase::Idle
+    }
+}
+
+/// Stamped per-node scratch value (reset implicitly at each slot).
+#[derive(Debug)]
+struct Scratch {
+    val: Vec<u64>,
+    stamp: Vec<u64>,
+}
+
+impl Scratch {
+    fn new(n: usize) -> Scratch {
+        Scratch { val: vec![0; n], stamp: vec![0; n] }
+    }
+
+    #[inline]
+    fn get(&self, v: NodeId, stamp: u64) -> Option<u64> {
+        if self.stamp[v as usize] == stamp {
+            Some(self.val[v as usize])
+        } else {
+            None
+        }
+    }
+
+    #[inline]
+    fn merge_max(&mut self, v: NodeId, stamp: u64, value: u64) {
+        let vi = v as usize;
+        if self.stamp[vi] == stamp {
+            if self.val[vi] < value {
+                self.val[vi] = value;
+            }
+        } else {
+            self.stamp[vi] = stamp;
+            self.val[vi] = value;
+        }
+    }
+}
+
+/// Per-process Algorithm 4 state: which clusters participate in the current
+/// decay block.
+#[derive(Debug, Default)]
+struct Alg4State {
+    /// `(clustering index, cluster index)` pairs participating this block.
+    participating: Vec<(u32, u32)>,
+    /// Key identifying the block the list was computed for.
+    key: Option<(u64, u64)>, // (slot-scope, block)
+}
+
+/// The Compete propagation protocol (Algorithms 1–4 combined):
+///
+/// * global even rounds run the **main process**, odd rounds the
+///   **background process** (Algorithm 2), exactly the paper's interleaving;
+/// * within each process, even sub-rounds execute the current Intra-Cluster
+///   Propagation schedule step and odd sub-rounds the ICP **background
+///   decay** (Algorithm 4);
+/// * the main process consumes, per coarse cluster, a random sequence of
+///   fine clusterings (Algorithm 1 steps 5–7), executing one curtailed ICP
+///   (down/up/down, Algorithm 3) per sequence element;
+/// * the background process round-robins over its global clusterings.
+///
+/// The per-node state is the highest message known (`know`); completion is
+/// every node knowing the highest source message.
+#[derive(Debug)]
+pub struct CompeteProtocol<'p> {
+    pre: &'p Precomputed,
+    params: CompeteParams,
+    seed: u64,
+    log_n: u64,
+
+    know: Vec<Option<u64>>,
+    target: u64,
+    num_know_target: usize,
+
+    /// Current main-process slot and the fine clustering chosen by each
+    /// coarse cluster for it.
+    cur_slot: Option<u64>,
+    chosen: Vec<u32>,
+    active_fines: Vec<u32>,
+
+    /// Per-fine count of knowing members per cluster, plus the list of
+    /// clusters that have any knowledge (grow-only).
+    fine_knowing: Vec<Vec<u32>>,
+    fine_live: Vec<Vec<u32>>,
+    bg_knowing: Vec<Vec<u32>>,
+    bg_live: Vec<Vec<u32>>,
+
+    // Main ICP scratch.
+    m_down: Scratch,
+    m_up: Scratch,
+    m_down2: Scratch,
+    // Background ICP scratch.
+    b_down: Scratch,
+    b_up: Scratch,
+    b_down2: Scratch,
+
+    alg4_main: Alg4State,
+    alg4_bg: Alg4State,
+
+    rng: SmallRng,
+    scratch_idx: Vec<usize>,
+}
+
+impl<'p> CompeteProtocol<'p> {
+    /// Creates the propagation protocol with the given informed `sources`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sources` is empty or contains an out-of-range node.
+    pub fn new(
+        pre: &'p Precomputed,
+        params: CompeteParams,
+        sources: &[(NodeId, u64)],
+        seed: u64,
+    ) -> CompeteProtocol<'p> {
+        assert!(!sources.is_empty(), "Compete needs at least one source");
+        let n = pre.net.n();
+        let mut know = vec![None; n];
+        let target = sources.iter().map(|&(_, v)| v).max().expect("nonempty");
+        for &(s, v) in sources {
+            assert!((s as usize) < n, "source {s} out of range");
+            let slot = &mut know[s as usize];
+            *slot = Some(slot.map_or(v, |old: u64| old.max(v)));
+        }
+        let num_know_target =
+            know.iter().filter(|k| k.is_some_and(|v| v >= target)).count();
+
+        let fine_knowing: Vec<Vec<u32>> =
+            pre.fines.iter().map(|f| vec![0; f.partition.num_clusters()]).collect();
+        let bg_knowing: Vec<Vec<u32>> =
+            pre.bg.iter().map(|f| vec![0; f.partition.num_clusters()]).collect();
+
+        let mut proto = CompeteProtocol {
+            pre,
+            params,
+            seed,
+            log_n: pre.net.log2_n() as u64,
+            know,
+            target,
+            num_know_target,
+            cur_slot: None,
+            chosen: vec![0; pre.coarse.num_clusters()],
+            active_fines: Vec::new(),
+            fine_knowing,
+            fine_live: vec![Vec::new(); pre.fines.len()],
+            bg_knowing,
+            bg_live: vec![Vec::new(); pre.bg.len()],
+            m_down: Scratch::new(n),
+            m_up: Scratch::new(n),
+            m_down2: Scratch::new(n),
+            b_down: Scratch::new(n),
+            b_up: Scratch::new(n),
+            b_down2: Scratch::new(n),
+            alg4_main: Alg4State::default(),
+            alg4_bg: Alg4State::default(),
+            rng: SmallRng::seed_from_u64(rng::derive(seed, 0xC0)),
+            scratch_idx: Vec::new(),
+        };
+        // Register initial knowledge in the per-cluster counters.
+        for v in 0..n as u32 {
+            if proto.know[v as usize].is_some() {
+                proto.register_knowing(v);
+            }
+        }
+        proto
+    }
+
+    /// Highest message known by `node`.
+    pub fn value_of(&self, node: NodeId) -> Option<u64> {
+        self.know[node as usize]
+    }
+
+    /// Whether every node knows the highest source message.
+    pub fn all_know_target(&self) -> bool {
+        self.num_know_target == self.know.len()
+    }
+
+    /// Number of nodes that know the highest source message.
+    pub fn num_knowing(&self) -> usize {
+        self.num_know_target
+    }
+
+    /// The highest source message (the value Compete must spread).
+    pub fn target(&self) -> u64 {
+        self.target
+    }
+
+    fn register_knowing(&mut self, v: NodeId) {
+        for (fi, fine) in self.pre.fines.iter().enumerate() {
+            let c = fine.partition.cluster_index(v) as usize;
+            if self.fine_knowing[fi][c] == 0 {
+                self.fine_live[fi].push(c as u32);
+            }
+            self.fine_knowing[fi][c] += 1;
+        }
+        for (bi, bg) in self.pre.bg.iter().enumerate() {
+            let c = bg.partition.cluster_index(v) as usize;
+            if self.bg_knowing[bi][c] == 0 {
+                self.bg_live[bi].push(c as u32);
+            }
+            self.bg_knowing[bi][c] += 1;
+        }
+    }
+
+    fn learn(&mut self, v: NodeId, value: u64) {
+        let old = self.know[v as usize];
+        let new = old.map_or(value, |o| o.max(value));
+        if old == Some(new) {
+            return;
+        }
+        self.know[v as usize] = Some(new);
+        if old.is_none() {
+            self.register_knowing(v);
+        }
+        if old.is_none_or(|o| o < self.target) && new >= self.target {
+            self.num_know_target += 1;
+        }
+    }
+
+    /// Routes a protocol-local round to (stream, kind, step).
+    /// stream: 0 = main, 1 = background; kind: 0 = schedule, 1 = Alg-4 decay.
+    fn route(&self, m: Round) -> (u8, u8, u64) {
+        let (stream, sub) = if self.params.background_process {
+            ((m % 2) as u8, m / 2)
+        } else {
+            (0u8, m)
+        };
+        let (kind, step) =
+            if self.params.icp_background { ((sub % 2) as u8, sub / 2) } else { (0u8, sub) };
+        (stream, kind, step)
+    }
+
+    fn roll_slot(&mut self, slot: u64) {
+        if self.cur_slot == Some(slot) {
+            return;
+        }
+        self.cur_slot = Some(slot);
+        let nf = self.pre.fines.len() as u64;
+        match self.params.sequence_scope {
+            SequenceScope::PerCoarseCluster => {
+                for cc in 0..self.chosen.len() {
+                    let r = rng::derive(rng::derive(self.seed, 0xA11CE ^ cc as u64), slot);
+                    self.chosen[cc] = (r % nf) as u32;
+                }
+            }
+            SequenceScope::Global => {
+                let pick = (rng::derive(self.seed, 0xA11CE ^ slot) % nf) as u32;
+                for c in self.chosen.iter_mut() {
+                    *c = pick;
+                }
+            }
+        }
+        self.active_fines.clear();
+        for &f in &self.chosen {
+            if !self.active_fines.contains(&f) {
+                self.active_fines.push(f);
+            }
+        }
+    }
+
+    /// Executes one main-process schedule step.
+    fn main_sched_transmit(&mut self, step: u64, tx: &mut TxBuf<CompeteMsg>) {
+        let slot = step / self.pre.main_slot_len;
+        if slot >= self.pre.seq_len {
+            return; // sequence exhausted (Algorithm 1's fixed budget)
+        }
+        let pos = step % self.pre.main_slot_len;
+        if pos == 0 || self.cur_slot != Some(slot) {
+            self.roll_slot(slot);
+        }
+        let stamp = slot + 1;
+        let actives = std::mem::take(&mut self.active_fines);
+        for &fi in &actives {
+            let fine = &self.pre.fines[fi as usize];
+            match icp_phase(pos, fine.pass_len) {
+                Phase::Down1(p) => self.down_transmit(fi, fine, p, stamp, false, false, tx),
+                Phase::Up(p) => self.up_transmit(fi, fine, p, stamp, false, tx),
+                Phase::Down2(p) => self.down_transmit(fi, fine, p, stamp, true, false, tx),
+                Phase::Idle => {}
+            }
+        }
+        self.active_fines = actives;
+    }
+
+    /// Executes one background-process schedule step.
+    fn bg_sched_transmit(&mut self, step: u64, tx: &mut TxBuf<CompeteMsg>) {
+        let slot = step / self.pre.bg_slot_len;
+        let pos = step % self.pre.bg_slot_len;
+        let bgi = (slot % self.pre.bg.len() as u64) as u32;
+        let fine = &self.pre.bg[bgi as usize];
+        let stamp = slot + 1;
+        match icp_phase(pos, fine.pass_len) {
+            Phase::Down1(p) => self.down_transmit(bgi, fine, p, stamp, false, true, tx),
+            Phase::Up(p) => self.up_transmit(bgi, fine, p, stamp, true, tx),
+            Phase::Down2(p) => self.down_transmit(bgi, fine, p, stamp, true, true, tx),
+            Phase::Idle => {}
+        }
+    }
+
+    /// A downcast step (`second_pass` selects the post-upcast repeat; `bg`
+    /// selects the background process structures).
+    #[allow(clippy::too_many_arguments)]
+    fn down_transmit(
+        &mut self,
+        ci: u32,
+        fine: &FineClustering,
+        ppos: u64,
+        stamp: u64,
+        second_pass: bool,
+        bg: bool,
+        tx: &mut TxBuf<CompeteMsg>,
+    ) {
+        let w = fine.schedule.window() as u64;
+        let window = (ppos / w) as u32;
+        let slot_in = (ppos % w) as u32;
+        for &u in fine.schedule.nodes_at_depth(window) {
+            if fine.schedule.down_slot(u) != slot_in {
+                continue;
+            }
+            if !bg && self.chosen[self.pre.coarse_idx[u as usize] as usize] != ci {
+                continue;
+            }
+            let value = if window == 0 {
+                self.know[u as usize]
+            } else if second_pass {
+                let s = if bg { &self.b_down2 } else { &self.m_down2 };
+                s.get(u, stamp)
+            } else {
+                let s = if bg { &self.b_down } else { &self.m_down };
+                s.get(u, stamp)
+            };
+            if let Some(v) = value {
+                let cluster = fine.schedule.cluster(u);
+                let msg = if bg {
+                    CompeteMsg::BgSched { bg: ci, cluster, value: v }
+                } else {
+                    CompeteMsg::Sched { fine: ci, cluster, value: v }
+                };
+                tx.send(u, msg);
+            }
+        }
+    }
+
+    /// An upcast step: deepest layers first, values aggregated via scratch.
+    fn up_transmit(
+        &mut self,
+        ci: u32,
+        fine: &FineClustering,
+        ppos: u64,
+        stamp: u64,
+        bg: bool,
+        tx: &mut TxBuf<CompeteMsg>,
+    ) {
+        let w = fine.schedule.window() as u64;
+        let window = (ppos / w) as u32;
+        let slot_in = (ppos % w) as u32;
+        let top = fine.radius.min(fine.schedule.max_depth());
+        if window > top {
+            return;
+        }
+        let depth = top - window;
+        if depth == 0 {
+            return; // centers do not transmit upward
+        }
+        for &u in fine.schedule.nodes_at_depth(depth) {
+            if fine.schedule.up_slot(u) != slot_in {
+                continue;
+            }
+            if !bg && self.chosen[self.pre.coarse_idx[u as usize] as usize] != ci {
+                continue;
+            }
+            // Aggregated value from children plus own participation:
+            // a node participates if it knows a message strictly higher than
+            // what the first downcast delivered to it (Algorithm 3 step 2).
+            let up = if bg { &self.b_up } else { &self.m_up };
+            let down = if bg { &self.b_down } else { &self.m_down };
+            let aggregated = up.get(u, stamp);
+            let own = match (self.know[u as usize], down.get(u, stamp)) {
+                (Some(k), Some(d)) if k > d => Some(k),
+                (Some(k), None) => Some(k),
+                _ => None,
+            };
+            let value = match (aggregated, own) {
+                (Some(a), Some(o)) => Some(a.max(o)),
+                (Some(a), None) => Some(a),
+                (None, Some(o)) => Some(o),
+                (None, None) => None,
+            };
+            if let Some(v) = value {
+                let cluster = fine.schedule.cluster(u);
+                let msg = if bg {
+                    CompeteMsg::BgSched { bg: ci, cluster, value: v }
+                } else {
+                    CompeteMsg::Sched { fine: ci, cluster, value: v }
+                };
+                tx.send(u, msg);
+            }
+        }
+    }
+
+    /// One Algorithm-4 decay step for the main or background process.
+    fn alg4_transmit(&mut self, step: u64, bg: bool, tx: &mut TxBuf<CompeteMsg>) {
+        let block = step / self.log_n;
+        let sblock = step % self.log_n;
+        let i = (block % self.log_n) as i32 + 1;
+
+        // Scope key: which clusterings are active (main: depends on slot).
+        let scope = if bg {
+            (step / self.pre.bg_slot_len) % self.pre.bg.len() as u64
+        } else {
+            self.cur_slot.unwrap_or(0)
+        };
+        let state_key = Some((scope, block));
+        let need_refresh =
+            if bg { self.alg4_bg.key != state_key } else { self.alg4_main.key != state_key };
+        if need_refresh {
+            let p_participate = (2.0f64).powi(-i);
+            let mut participating = Vec::new();
+            if bg {
+                let bgi = scope as u32;
+                for &c in &self.bg_live[bgi as usize] {
+                    let coin = rng::derive(
+                        rng::derive(rng::derive(self.seed, 0xB6 ^ bgi as u64), c as u64),
+                        block,
+                    );
+                    if (coin as f64 / u64::MAX as f64) < p_participate {
+                        participating.push((bgi, c));
+                    }
+                }
+                self.alg4_bg = Alg4State { participating, key: state_key };
+            } else {
+                let actives = self.active_fines.clone();
+                for &fi in &actives {
+                    for &c in &self.fine_live[fi as usize] {
+                        // Only clusters whose coarse cluster chose this fine
+                        // clustering take part.
+                        let center = self.pre.fines[fi as usize].partition.centers()[c as usize];
+                        let cc = self.pre.coarse_idx[center as usize] as usize;
+                        if self.chosen[cc] != fi {
+                            continue;
+                        }
+                        let coin = rng::derive(
+                            rng::derive(rng::derive(self.seed, 0xF1 ^ fi as u64), c as u64),
+                            block,
+                        );
+                        if (coin as f64 / u64::MAX as f64) < p_participate {
+                            participating.push((fi, c));
+                        }
+                    }
+                }
+                self.alg4_main = Alg4State { participating, key: state_key };
+            }
+        }
+
+        let p_tx = (2.0f64).powi(-(sblock as i32 + 1));
+        let participating = if bg {
+            std::mem::take(&mut self.alg4_bg.participating)
+        } else {
+            std::mem::take(&mut self.alg4_main.participating)
+        };
+        for &(ci, c) in &participating {
+            let fine =
+                if bg { &self.pre.bg[ci as usize] } else { &self.pre.fines[ci as usize] };
+            let members = fine.partition.members(c);
+            self.scratch_idx.clear();
+            bernoulli_into(&mut self.rng, members.len(), p_tx, &mut self.scratch_idx);
+            for &mi in &self.scratch_idx {
+                let u = members[mi];
+                if let Some(v) = self.know[u as usize] {
+                    let msg = if bg {
+                        CompeteMsg::BgAlg4 { bg: ci, cluster: c, value: v }
+                    } else {
+                        CompeteMsg::Alg4 { fine: ci, cluster: c, value: v }
+                    };
+                    tx.send(u, msg);
+                }
+            }
+        }
+        if bg {
+            self.alg4_bg.participating = participating;
+        } else {
+            self.alg4_main.participating = participating;
+        }
+    }
+
+    fn deliver_sched(&mut self, step: u64, node: NodeId, fine_idx: u32, cluster: u32, value: u64) {
+        let slot = step / self.pre.main_slot_len;
+        let pos = step % self.pre.main_slot_len;
+        // The receiver must currently be using the same fine clustering.
+        let cc = self.pre.coarse_idx[node as usize] as usize;
+        if self.cur_slot != Some(slot) || self.chosen[cc] != fine_idx {
+            return;
+        }
+        let fine = &self.pre.fines[fine_idx as usize];
+        if fine.schedule.cluster(node) != cluster {
+            return;
+        }
+        if fine.schedule.depth(node) > fine.radius {
+            return; // curtailment
+        }
+        let stamp = slot + 1;
+        match icp_phase(pos, fine.pass_len) {
+            Phase::Down1(_) => self.m_down.merge_max(node, stamp, value),
+            Phase::Up(_) => self.m_up.merge_max(node, stamp, value),
+            Phase::Down2(_) => self.m_down2.merge_max(node, stamp, value),
+            Phase::Idle => return,
+        }
+        self.learn(node, value);
+    }
+
+    fn deliver_bg_sched(&mut self, step: u64, node: NodeId, bgi: u32, cluster: u32, value: u64) {
+        let slot = step / self.pre.bg_slot_len;
+        let pos = step % self.pre.bg_slot_len;
+        if (slot % self.pre.bg.len() as u64) as u32 != bgi {
+            return;
+        }
+        let fine = &self.pre.bg[bgi as usize];
+        if fine.schedule.cluster(node) != cluster {
+            return;
+        }
+        if fine.schedule.depth(node) > fine.radius {
+            return;
+        }
+        let stamp = slot + 1;
+        match icp_phase(pos, fine.pass_len) {
+            Phase::Down1(_) => self.b_down.merge_max(node, stamp, value),
+            Phase::Up(_) => self.b_up.merge_max(node, stamp, value),
+            Phase::Down2(_) => self.b_down2.merge_max(node, stamp, value),
+            Phase::Idle => return,
+        }
+        self.learn(node, value);
+    }
+}
+
+/// `bernoulli_indices` over `usize` output (local alias to keep call sites
+/// short).
+fn bernoulli_into(rng: &mut SmallRng, k: usize, p: f64, out: &mut Vec<usize>) {
+    rn_sim::rng::bernoulli_indices(rng, k, p, out);
+}
+
+impl Protocol for CompeteProtocol<'_> {
+    type Msg = CompeteMsg;
+
+    fn transmit(&mut self, round: Round, tx: &mut TxBuf<CompeteMsg>) {
+        let (stream, kind, step) = self.route(round);
+        match (stream, kind) {
+            (0, 0) => self.main_sched_transmit(step, tx),
+            (0, 1) => self.alg4_transmit(step, false, tx),
+            (1, 0) => self.bg_sched_transmit(step, tx),
+            (1, 1) => self.alg4_transmit(step, true, tx),
+            _ => unreachable!(),
+        }
+    }
+
+    fn deliver(&mut self, round: Round, node: NodeId, _from: NodeId, msg: &CompeteMsg) {
+        let (stream, kind, step) = self.route(round);
+        match (msg, stream, kind) {
+            (&CompeteMsg::Sched { fine, cluster, value }, 0, 0) => {
+                self.deliver_sched(step, node, fine, cluster, value)
+            }
+            (&CompeteMsg::Alg4 { fine, cluster, value }, 0, 1) => {
+                // Accept if the node's coarse cluster currently uses this
+                // clustering and the cluster matches — or unconditionally
+                // when foreign values are merged (they are true source
+                // messages; see `CompeteParams::alg4_accept_foreign`).
+                let cc = self.pre.coarse_idx[node as usize] as usize;
+                if self.params.alg4_accept_foreign
+                    || (self.chosen[cc] == fine
+                        && self.pre.fines[fine as usize].partition.cluster_index(node) == cluster)
+                {
+                    self.learn(node, value);
+                }
+            }
+            (&CompeteMsg::BgSched { bg, cluster, value }, 1, 0) => {
+                self.deliver_bg_sched(step, node, bg, cluster, value)
+            }
+            (&CompeteMsg::BgAlg4 { bg, cluster, value }, 1, 1) => {
+                let slot = step / self.pre.bg_slot_len;
+                if self.params.alg4_accept_foreign
+                    || ((slot % self.pre.bg.len() as u64) as u32 == bg
+                        && self.pre.bg[bg as usize].partition.cluster_index(node) == cluster)
+                {
+                    self.learn(node, value);
+                }
+            }
+            // Message type arriving on the wrong parity: the transmission
+            // was triggered by the matching stream, so this cannot happen.
+            _ => {}
+        }
+    }
+
+    fn done(&self, _round: Round) -> bool {
+        self.all_know_target()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::CompeteParams;
+    use crate::precompute::Precomputed;
+    use rn_graph::generators;
+    use rn_sim::{CollisionModel, NetParams, Simulator};
+
+    fn run_broadcast(g: &rn_graph::Graph, seed: u64, params: CompeteParams) -> (bool, u64) {
+        let net = NetParams::of_graph(g);
+        let pre = Precomputed::build(g, net, &params, seed);
+        let mut proto = CompeteProtocol::new(&pre, params, &[(0, 42)], seed);
+        let mut sim = Simulator::new(g, CollisionModel::NoCollisionDetection, seed);
+        let stats = sim.run(&mut proto, params.max_rounds(&net));
+        (proto.all_know_target(), stats.rounds)
+    }
+
+    #[test]
+    fn phase_geometry() {
+        assert_eq!(icp_phase(0, 10), Phase::Down1(0));
+        assert_eq!(icp_phase(9, 10), Phase::Down1(9));
+        assert_eq!(icp_phase(10, 10), Phase::Up(0));
+        assert_eq!(icp_phase(25, 10), Phase::Down2(5));
+        assert_eq!(icp_phase(30, 10), Phase::Idle);
+    }
+
+    #[test]
+    fn completes_on_small_grid() {
+        let g = generators::grid(8, 8);
+        let (ok, rounds) = run_broadcast(&g, 3, CompeteParams::default());
+        assert!(ok, "broadcast did not complete in {rounds} rounds");
+    }
+
+    #[test]
+    fn completes_on_path() {
+        let g = generators::path(96);
+        let (ok, rounds) = run_broadcast(&g, 5, CompeteParams::default());
+        assert!(ok, "broadcast did not complete in {rounds} rounds");
+    }
+
+    #[test]
+    fn completes_without_compete_background_inside_one_coarse_cluster() {
+        // Fine clusterings live strictly inside coarse clusters, so the main
+        // process can never cross a coarse boundary — crossing is the
+        // background process's entire job (the paper analyzes bad subpaths
+        // with "only the background process", Lemma 4.5). With a single
+        // coarse cluster, main + Algorithm 4 must complete on their own.
+        let g = generators::grid(8, 8);
+        let params = CompeteParams {
+            background_process: false,
+            coarse_beta_exp: 4.0, // β_c = D^-4: one giant coarse cluster
+            ..CompeteParams::default()
+        };
+        let net = NetParams::of_graph(&g);
+        let pre = Precomputed::build(&g, net, &params, 7);
+        assert_eq!(pre.coarse.num_clusters(), 1, "test needs a single coarse cluster");
+        let mut proto = CompeteProtocol::new(&pre, params, &[(0, 42)], 7);
+        let mut sim = Simulator::new(&g, CollisionModel::NoCollisionDetection, 7);
+        let stats = sim.run(&mut proto, params.max_rounds(&net));
+        assert!(proto.all_know_target(), "did not complete in {} rounds", stats.rounds);
+    }
+
+    #[test]
+    fn main_process_fills_the_source_coarse_cluster() {
+        // With BOTH background processes off, the main process must inform
+        // (at least) the source's entire coarse cluster — and, since fine
+        // clusters cannot span coarse boundaries, nothing outside it.
+        let g = generators::grid(8, 8);
+        let params = CompeteParams {
+            background_process: false,
+            icp_background: false,
+            ..CompeteParams::default()
+        };
+        let net = NetParams::of_graph(&g);
+        let pre = Precomputed::build(&g, net, &params, 7);
+        let source: NodeId = 0;
+        let cc = pre.coarse.cluster_index(source);
+        let coarse_size = pre.coarse.members(cc).len();
+        let mut proto = CompeteProtocol::new(&pre, params, &[(source, 42)], 7);
+        let mut sim = Simulator::new(&g, CollisionModel::NoCollisionDetection, 7);
+        sim.run(&mut proto, 200_000);
+        let knowing = proto.num_knowing();
+        assert!(
+            knowing >= coarse_size * 3 / 4,
+            "main process informed {knowing} < 3/4 of the coarse cluster ({coarse_size})"
+        );
+        for v in g.nodes() {
+            if proto.value_of(v).is_some() {
+                assert_eq!(
+                    pre.coarse.cluster_index(v),
+                    cc,
+                    "knowledge escaped the coarse cluster without the background process"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn multi_source_highest_wins() {
+        let g = generators::grid(8, 8);
+        let params = CompeteParams::default();
+        let net = NetParams::of_graph(&g);
+        let pre = Precomputed::build(&g, net, &params, 9);
+        let sources = vec![(0 as NodeId, 10u64), (63, 99), (32, 50)];
+        let mut proto = CompeteProtocol::new(&pre, params, &sources, 9);
+        assert_eq!(proto.target(), 99);
+        let mut sim = Simulator::new(&g, CollisionModel::NoCollisionDetection, 9);
+        sim.run(&mut proto, params.max_rounds(&net));
+        assert!(proto.all_know_target());
+        for v in g.nodes() {
+            assert_eq!(proto.value_of(v), Some(99));
+        }
+    }
+
+    #[test]
+    fn single_node_network_is_trivially_done() {
+        let g = rn_graph::Graph::from_edges(1, &[]).unwrap();
+        let net = NetParams::of_graph(&g);
+        let params = CompeteParams::default();
+        let pre = Precomputed::build(&g, net, &params, 1);
+        let proto = CompeteProtocol::new(&pre, params, &[(0, 5)], 1);
+        assert!(proto.all_know_target());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one source")]
+    fn empty_sources_rejected() {
+        let g = generators::path(4);
+        let net = NetParams::of_graph(&g);
+        let params = CompeteParams::default();
+        let pre = Precomputed::build(&g, net, &params, 1);
+        let _ = CompeteProtocol::new(&pre, params, &[], 1);
+    }
+
+    #[test]
+    fn knowledge_only_grows() {
+        let g = generators::grid(6, 6);
+        let net = NetParams::of_graph(&g);
+        let params = CompeteParams::default();
+        let pre = Precomputed::build(&g, net, &params, 2);
+        let mut proto = CompeteProtocol::new(&pre, params, &[(0, 7)], 2);
+        let mut sim = Simulator::new(&g, CollisionModel::NoCollisionDetection, 2);
+        let mut last = proto.num_knowing();
+        for _ in 0..50 {
+            sim.run(&mut proto, 100);
+            let now = proto.num_knowing();
+            assert!(now >= last, "knowledge must be monotone");
+            last = now;
+            if proto.all_know_target() {
+                break;
+            }
+        }
+    }
+}

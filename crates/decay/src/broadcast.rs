@@ -1,0 +1,360 @@
+use crate::primitive::DecaySteps;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rn_graph::NodeId;
+use rn_sim::{rng::bernoulli_indices, NetParams, Protocol, Round, TxBuf};
+
+/// The Bar-Yehuda–Goldreich–Itai broadcasting algorithm (1992).
+///
+/// All informed nodes run globally synchronized decay rounds; a node that
+/// receives the message joins from the next step on. Completes broadcasting
+/// in `O((D + log n)·log n)` rounds with high probability — the classical
+/// baseline of the paper's §1.3. Nodes *never transmit spontaneously*: this
+/// algorithm is correct in the more restrictive no-spontaneous-transmissions
+/// model, which is exactly why it is the comparison point for the paper's
+/// spontaneous-transmission speedups.
+///
+/// The implementation is multi-source and max-propagating: every source
+/// starts with a `u64` value, informed nodes always transmit the highest
+/// value they know, and receivers upgrade. With a single source this is
+/// plain broadcasting; with many it is the multi-source broadcast needed by
+/// the binary-search leader-election reduction.
+#[derive(Debug)]
+pub struct DecayBroadcast {
+    steps: DecaySteps,
+    /// Highest value known per node (`None` = uninformed).
+    value: Vec<Option<u64>>,
+    /// Dense list of informed nodes, in the order they were informed.
+    informed_list: Vec<NodeId>,
+    rng: SmallRng,
+    scratch: Vec<usize>,
+}
+
+impl DecayBroadcast {
+    /// Multi-source broadcast: each `(node, value)` pair starts informed.
+    pub fn new(params: NetParams, sources: &[(NodeId, u64)], seed: u64) -> DecayBroadcast {
+        let mut value = vec![None; params.n()];
+        let mut informed_list = Vec::with_capacity(sources.len());
+        for &(s, v) in sources {
+            if value[s as usize].is_none() {
+                informed_list.push(s);
+            }
+            value[s as usize] = Some(value[s as usize].map_or(v, |old: u64| old.max(v)));
+        }
+        DecayBroadcast {
+            steps: DecaySteps::for_params(&params),
+            value,
+            informed_list,
+            rng: SmallRng::seed_from_u64(seed),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Single-source broadcast of `value` from `source`.
+    pub fn single_source(
+        params: NetParams,
+        source: NodeId,
+        value: u64,
+        seed: u64,
+    ) -> DecayBroadcast {
+        DecayBroadcast::new(params, &[(source, value)], seed)
+    }
+
+    /// Whether every node knows some value.
+    pub fn all_informed(&self) -> bool {
+        self.informed_list.len() == self.value.len()
+    }
+
+    /// Whether every node knows a value `>= target`.
+    pub fn all_know_at_least(&self, target: u64) -> bool {
+        self.value.iter().all(|v| v.is_some_and(|x| x >= target))
+    }
+
+    /// The value currently known by `node`.
+    pub fn value_of(&self, node: NodeId) -> Option<u64> {
+        self.value[node as usize]
+    }
+
+    /// Number of informed nodes.
+    pub fn informed_count(&self) -> usize {
+        self.informed_list.len()
+    }
+}
+
+impl Protocol for DecayBroadcast {
+    type Msg = u64;
+
+    fn transmit(&mut self, round: Round, tx: &mut TxBuf<u64>) {
+        let p = self.steps.probability(round);
+        self.scratch.clear();
+        bernoulli_indices(&mut self.rng, self.informed_list.len(), p, &mut self.scratch);
+        for &idx in &self.scratch {
+            let u = self.informed_list[idx];
+            let v = self.value[u as usize].expect("informed nodes have values");
+            tx.send(u, v);
+        }
+    }
+
+    fn deliver(&mut self, _round: Round, node: NodeId, _from: NodeId, msg: &u64) {
+        let slot = &mut self.value[node as usize];
+        match slot {
+            None => {
+                *slot = Some(*msg);
+                self.informed_list.push(node);
+            }
+            Some(old) if *msg > *old => *old = *msg,
+            _ => {}
+        }
+    }
+}
+
+/// Truncated-decay broadcast: the Czumaj–Rytter / Kowalski–Pelc-*style*
+/// baseline with running time shape `O(D·log(n/D) + log² n)`.
+///
+/// Informed nodes run decay rounds truncated to depth
+/// `k = ⌈log₂(n/D)⌉ + 2`: along a shortest path the number of simultaneously
+/// competing informed neighbors is typically `O(n/D)`, so the truncated
+/// rounds advance the frontier in `O(log(n/D))` steps instead of
+/// `O(log n)`. Every `full_every`-th decay round runs at full depth
+/// `⌈log₂ n⌉` to resolve high-degree hot spots (dense blobs attached to long
+/// paths), which truncation alone cannot break.
+///
+/// This reproduces the *complexity shape* of [9, 14], not their exact
+/// selection-sequence constructions (documented substitution, `DESIGN.md`
+/// §3.3).
+#[derive(Debug)]
+pub struct TruncatedDecayBroadcast {
+    trunc: DecaySteps,
+    full: DecaySteps,
+    /// Full-depth decay round every this many rounds (≥ 1).
+    full_every: u64,
+    value: Vec<Option<u64>>,
+    informed_list: Vec<NodeId>,
+    rng: SmallRng,
+    scratch: Vec<usize>,
+    /// Precomputed cycle: step offsets → probability, spanning
+    /// `(full_every - 1)` truncated rounds followed by one full round.
+    cycle_probs: Vec<f64>,
+}
+
+impl TruncatedDecayBroadcast {
+    /// Multi-source truncated-decay broadcast.
+    pub fn new(params: NetParams, sources: &[(NodeId, u64)], seed: u64) -> TruncatedDecayBroadcast {
+        let log_n = params.log2_n();
+        let d = params.diameter().max(1) as f64;
+        let ratio = (params.n() as f64 / d).max(2.0);
+        let trunc_depth = (ratio.log2().ceil() as u32 + 2).clamp(2, log_n.max(2));
+        // Full rounds rare enough not to dominate: one per ⌈log n / k⌉ rounds.
+        let full_every = ((log_n as f64 / trunc_depth as f64).ceil() as u64).max(2);
+
+        let trunc = DecaySteps::new(trunc_depth);
+        let full = DecaySteps::new(log_n.max(trunc_depth));
+        let mut cycle_probs = Vec::new();
+        for _ in 0..(full_every - 1) {
+            for i in 0..trunc.round_len() {
+                cycle_probs.push(trunc.probability(i as u64));
+            }
+        }
+        for i in 0..full.round_len() {
+            cycle_probs.push(full.probability(i as u64));
+        }
+
+        let mut value = vec![None; params.n()];
+        let mut informed_list = Vec::with_capacity(sources.len());
+        for &(s, v) in sources {
+            if value[s as usize].is_none() {
+                informed_list.push(s);
+            }
+            value[s as usize] = Some(value[s as usize].map_or(v, |old: u64| old.max(v)));
+        }
+        TruncatedDecayBroadcast {
+            trunc,
+            full,
+            full_every,
+            value,
+            informed_list,
+            rng: SmallRng::seed_from_u64(seed),
+            scratch: Vec::new(),
+            cycle_probs,
+        }
+    }
+
+    /// Single-source variant.
+    pub fn single_source(
+        params: NetParams,
+        source: NodeId,
+        value: u64,
+        seed: u64,
+    ) -> TruncatedDecayBroadcast {
+        TruncatedDecayBroadcast::new(params, &[(source, value)], seed)
+    }
+
+    /// Whether every node knows some value.
+    pub fn all_informed(&self) -> bool {
+        self.informed_list.len() == self.value.len()
+    }
+
+    /// The value currently known by `node`.
+    pub fn value_of(&self, node: NodeId) -> Option<u64> {
+        self.value[node as usize]
+    }
+
+    /// Depth of the truncated rounds (exposed for tests/diagnostics).
+    pub fn truncated_depth(&self) -> u32 {
+        self.trunc.round_len()
+    }
+
+    /// Depth of the periodic full rounds.
+    pub fn full_depth(&self) -> u32 {
+        self.full.round_len()
+    }
+
+    /// How often (in decay rounds) a full-depth round runs.
+    pub fn full_round_period(&self) -> u64 {
+        self.full_every
+    }
+}
+
+impl Protocol for TruncatedDecayBroadcast {
+    type Msg = u64;
+
+    fn transmit(&mut self, round: Round, tx: &mut TxBuf<u64>) {
+        let p = self.cycle_probs[(round % self.cycle_probs.len() as u64) as usize];
+        self.scratch.clear();
+        bernoulli_indices(&mut self.rng, self.informed_list.len(), p, &mut self.scratch);
+        for &idx in &self.scratch {
+            let u = self.informed_list[idx];
+            let v = self.value[u as usize].expect("informed nodes have values");
+            tx.send(u, v);
+        }
+    }
+
+    fn deliver(&mut self, _round: Round, node: NodeId, _from: NodeId, msg: &u64) {
+        let slot = &mut self.value[node as usize];
+        match slot {
+            None => {
+                *slot = Some(*msg);
+                self.informed_list.push(node);
+            }
+            Some(old) if *msg > *old => *old = *msg,
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rn_graph::{generators, Graph};
+    use rn_sim::{CollisionModel, Simulator};
+
+    fn run_to_completion<P: Protocol>(
+        g: &Graph,
+        p: &mut P,
+        all_done: impl Fn(&P) -> bool,
+        budget: u64,
+        seed: u64,
+    ) -> Option<u64> {
+        let mut sim = Simulator::new(g, CollisionModel::NoCollisionDetection, seed);
+        let stats = sim.run_until(p, budget, |_, p| all_done(p));
+        if all_done(p) {
+            Some(stats.rounds)
+        } else {
+            None
+        }
+    }
+
+    #[test]
+    fn bgi_completes_on_path() {
+        let g = generators::path(64);
+        let params = NetParams::of_graph(&g);
+        let mut p = DecayBroadcast::single_source(params, 0, 42, 7);
+        let rounds =
+            run_to_completion(&g, &mut p, |p| p.all_informed(), 200_000, 7).expect("completes");
+        assert!(rounds > 0);
+        assert!(g.nodes().all(|v| p.value_of(v) == Some(42)));
+    }
+
+    #[test]
+    fn bgi_completes_on_dense_star() {
+        // High-degree hub: decay's low-probability steps are what resolve it.
+        let g = generators::star(256);
+        let params = NetParams::of_graph(&g);
+        let mut p = DecayBroadcast::single_source(params, 5, 1, 3);
+        assert!(run_to_completion(&g, &mut p, |p| p.all_informed(), 100_000, 3).is_some());
+    }
+
+    #[test]
+    fn bgi_multi_source_propagates_max() {
+        let g = generators::path(32);
+        let params = NetParams::of_graph(&g);
+        let mut p = DecayBroadcast::new(params, &[(0, 10), (31, 99), (16, 50)], 11);
+        run_to_completion(&g, &mut p, |p| p.all_know_at_least(99), 200_000, 11)
+            .expect("max value reaches everyone");
+        assert!(g.nodes().all(|v| p.value_of(v) == Some(99)));
+    }
+
+    #[test]
+    fn bgi_never_transmits_spontaneously() {
+        // Uninformed nodes must stay silent: run on a disconnected-ish star
+        // where the source is a leaf; total transmissions in the first round
+        // can only come from the single informed node.
+        let g = generators::star(8);
+        let params = NetParams::new(8, 2);
+        let mut p = DecayBroadcast::single_source(params, 1, 1, 13);
+        let mut sim = Simulator::new(&g, CollisionModel::NoCollisionDetection, 13);
+        let stats = sim.run(&mut p, 1);
+        assert!(stats.metrics.transmissions <= 1);
+    }
+
+    #[test]
+    fn duplicate_sources_are_merged() {
+        let g = generators::path(4);
+        let params = NetParams::of_graph(&g);
+        let p = DecayBroadcast::new(params, &[(0, 5), (0, 9)], 1);
+        assert_eq!(p.informed_count(), 1);
+        assert_eq!(p.value_of(0), Some(9), "keeps the max");
+    }
+
+    #[test]
+    fn truncated_completes_on_path() {
+        let g = generators::path(128);
+        let params = NetParams::of_graph(&g);
+        let mut p = TruncatedDecayBroadcast::single_source(params, 0, 1, 17);
+        assert!(p.truncated_depth() < p.full_depth() || params.log2_n() <= 3);
+        assert!(run_to_completion(&g, &mut p, |p| p.all_informed(), 400_000, 17).is_some());
+    }
+
+    #[test]
+    fn truncated_completes_on_barbell() {
+        // The hard case for pure truncation: a dense clique must elect a
+        // single speaker to push the message over the bridge. The periodic
+        // full-depth rounds handle it.
+        let g = generators::barbell(40, 20);
+        let params = NetParams::of_graph(&g);
+        let mut p = TruncatedDecayBroadcast::single_source(params, 0, 1, 23);
+        assert!(run_to_completion(&g, &mut p, |p| p.all_informed(), 400_000, 23).is_some());
+    }
+
+    #[test]
+    fn truncated_beats_bgi_on_long_paths() {
+        // On a long path with n/D = O(1), truncated rounds are ~2-4 steps vs
+        // log n for BGI: the paper's §1.3 complexity separation in miniature.
+        let g = generators::path(512);
+        let params = NetParams::of_graph(&g);
+        let mut bgi_total = 0u64;
+        let mut trunc_total = 0u64;
+        for seed in 0..3 {
+            let mut bgi = DecayBroadcast::single_source(params, 0, 1, seed);
+            bgi_total +=
+                run_to_completion(&g, &mut bgi, |p| p.all_informed(), 2_000_000, seed).unwrap();
+            let mut tr = TruncatedDecayBroadcast::single_source(params, 0, 1, seed);
+            trunc_total +=
+                run_to_completion(&g, &mut tr, |p| p.all_informed(), 2_000_000, seed).unwrap();
+        }
+        assert!(
+            trunc_total < bgi_total,
+            "truncated ({trunc_total}) should beat BGI ({bgi_total}) on paths"
+        );
+    }
+}

@@ -1,0 +1,48 @@
+//! The **Decay** transmission primitive and the classic decay-based
+//! broadcasting algorithms.
+//!
+//! Decay (Bar-Yehuda, Goldreich & Itai, 1992 — Algorithm 5 of Czumaj &
+//! Davies) is the fundamental randomized collision-avoidance primitive of
+//! radio networks: over `⌈log n⌉` steps, each participating node transmits
+//! with probability `2^-i` in step `i`. Whatever the number of participants
+//! around a listener, some step's probability is within a factor two of the
+//! inverse of that number, so the listener receives with constant
+//! probability per decay round (Lemma 3.1).
+//!
+//! This crate provides:
+//!
+//! * [`DecaySteps`] — the step/probability bookkeeping shared by every
+//!   decay-based protocol in the workspace;
+//! * [`SingleDecayRound`] — a one-round experiment protocol for measuring
+//!   Lemma 3.1 directly;
+//! * [`DecayBroadcast`] — the BGI broadcasting algorithm
+//!   (`O((D + log n)·log n)` whp), the baseline the paper's §1.3 compares
+//!   against, in its multi-source max-propagating form;
+//! * [`TruncatedDecayBroadcast`] — a truncated-decay variant exhibiting the
+//!   `O(D·log(n/D) + log² n)` complexity *shape* of Czumaj–Rytter /
+//!   Kowalski–Pelc (documented substitution; see `DESIGN.md` §3.3).
+//!
+//! # Example
+//!
+//! ```
+//! use rn_decay::DecayBroadcast;
+//! use rn_graph::generators;
+//! use rn_sim::{CollisionModel, NetParams, Simulator};
+//!
+//! let g = generators::path(32);
+//! let params = NetParams::of_graph(&g);
+//! let mut p = DecayBroadcast::single_source(params, 0, 7, 123);
+//! let mut sim = Simulator::new(&g, CollisionModel::NoCollisionDetection, 123);
+//! let stats = sim.run_until(&mut p, 100_000, |_, p| p.all_informed());
+//! assert!(p.all_informed());
+//! assert!(stats.rounds < 100_000);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod broadcast;
+mod primitive;
+
+pub use broadcast::{DecayBroadcast, TruncatedDecayBroadcast};
+pub use primitive::{DecaySteps, SingleDecayRound};

@@ -1,0 +1,92 @@
+//! Property tests for the decay broadcasts: completion on arbitrary
+//! connected graphs and structural invariants of the truncated schedule.
+
+use proptest::prelude::*;
+use rn_decay::{DecayBroadcast, DecaySteps, TruncatedDecayBroadcast};
+use rn_graph::Graph;
+use rn_sim::{CollisionModel, NetParams, Simulator};
+
+fn arb_connected_graph() -> impl Strategy<Value = Graph> {
+    (2usize..36).prop_flat_map(|n| {
+        let edge = (0..n as u32, 1..n as u32).prop_map(move |(u, k)| {
+            let v = (u + k) % n as u32;
+            if u < v {
+                (u, v)
+            } else {
+                (v, u)
+            }
+        });
+        proptest::collection::vec(edge, 0..60).prop_map(move |mut edges| {
+            for v in 1..n as u32 {
+                edges.push((v - 1, v));
+            }
+            Graph::from_edges(n, &edges).expect("valid")
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn bgi_completes_on_arbitrary_connected_graphs(
+        g in arb_connected_graph(), seed in any::<u64>(),
+    ) {
+        let net = NetParams::new(g.n(), g.diameter());
+        let source = (seed % g.n() as u64) as u32;
+        let mut p = DecayBroadcast::single_source(net, source, 9, seed);
+        let mut sim = Simulator::new(&g, CollisionModel::NoCollisionDetection, seed);
+        sim.run_until(&mut p, 500_000, |_, p| p.all_informed());
+        prop_assert!(p.all_informed(), "BGI stalled on n={}", g.n());
+        for v in g.nodes() {
+            prop_assert_eq!(p.value_of(v), Some(9));
+        }
+    }
+
+    #[test]
+    fn truncated_completes_on_arbitrary_connected_graphs(
+        g in arb_connected_graph(), seed in any::<u64>(),
+    ) {
+        let net = NetParams::new(g.n(), g.diameter());
+        let mut p = TruncatedDecayBroadcast::single_source(net, 0, 9, seed);
+        let mut sim = Simulator::new(&g, CollisionModel::NoCollisionDetection, seed);
+        sim.run_until(&mut p, 500_000, |_, p| p.all_informed());
+        prop_assert!(p.all_informed(), "truncated decay stalled on n={}", g.n());
+    }
+
+    #[test]
+    fn truncated_depths_are_ordered(n in 4usize..100_000, d in 2u32..10_000) {
+        prop_assume!((d as usize) < n);
+        let net = NetParams::new(n, d);
+        let p = TruncatedDecayBroadcast::single_source(net, 0, 1, 0);
+        prop_assert!(p.truncated_depth() >= 2);
+        prop_assert!(p.truncated_depth() <= p.full_depth());
+        prop_assert!(p.full_round_period() >= 2);
+    }
+
+    #[test]
+    fn decay_probabilities_are_halving_and_bounded(depth in 1u32..40, step in 0u64..500) {
+        let d = DecaySteps::new(depth);
+        let p = d.probability(step);
+        prop_assert!(p > 0.0 && p <= 0.5);
+        // Within one round, each step halves the previous step's probability.
+        if step % depth as u64 != 0 {
+            prop_assert!((d.probability(step - 1) - 2.0 * p).abs() < 1e-12);
+        }
+        prop_assert_eq!(d.round_index(step), step / depth as u64);
+    }
+
+    #[test]
+    fn informed_set_grows_monotonically(g in arb_connected_graph(), seed in any::<u64>()) {
+        let net = NetParams::new(g.n(), g.diameter());
+        let mut p = DecayBroadcast::single_source(net, 0, 1, seed);
+        let mut sim = Simulator::new(&g, CollisionModel::NoCollisionDetection, seed);
+        let mut last = p.informed_count();
+        for _ in 0..50 {
+            sim.step_with(&mut p);
+            let now = p.informed_count();
+            prop_assert!(now >= last);
+            last = now;
+        }
+    }
+}

@@ -1,0 +1,413 @@
+use crate::error::GraphError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a node (station) in a radio network.
+///
+/// Node ids are dense: a graph with `n` nodes uses ids `0..n`.
+pub type NodeId = u32;
+
+/// Sentinel id used by traversals to mean "no node" (e.g. unreachable).
+pub const INVALID_NODE: NodeId = u32::MAX;
+
+/// A simple undirected graph in CSR (compressed sparse row) form.
+///
+/// This is the topology substrate shared by the simulator and all algorithm
+/// crates. The representation is immutable after construction: radio-network
+/// topologies are fixed for the duration of an execution.
+///
+/// Invariants (enforced by every constructor):
+/// * no self loops, no parallel edges;
+/// * adjacency lists are sorted ascending;
+/// * the graph is symmetric (undirected): `v ∈ adj(u) ⇔ u ∈ adj(v)`.
+///
+/// # Example
+///
+/// ```
+/// use rn_graph::Graph;
+///
+/// let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)])?;
+/// assert_eq!(g.n(), 4);
+/// assert_eq!(g.m(), 4);
+/// assert_eq!(g.neighbors(0), &[1, 3]);
+/// assert_eq!(g.degree(2), 2);
+/// # Ok::<(), rn_graph::GraphError>(())
+/// ```
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Graph {
+    n: usize,
+    /// `offsets[v]..offsets[v + 1]` indexes `targets` for node `v`'s adjacency.
+    offsets: Vec<u32>,
+    /// Concatenated sorted adjacency lists.
+    targets: Vec<NodeId>,
+}
+
+impl Graph {
+    /// Builds a graph with `n` nodes from an edge list.
+    ///
+    /// Duplicate edges (in either orientation) are merged; edge order is
+    /// irrelevant. Isolated nodes are allowed here (connectivity is checked
+    /// separately by [`Graph::is_connected`]).
+    ///
+    /// # Errors
+    ///
+    /// * [`GraphError::Empty`] if `n == 0`;
+    /// * [`GraphError::TooManyNodes`] if `n` exceeds the `u32` id space;
+    /// * [`GraphError::NodeOutOfRange`] if an endpoint is `>= n`;
+    /// * [`GraphError::SelfLoop`] if an edge connects a node to itself.
+    pub fn from_edges(n: usize, edges: &[(NodeId, NodeId)]) -> Result<Graph, GraphError> {
+        if n == 0 {
+            return Err(GraphError::Empty);
+        }
+        if n >= INVALID_NODE as usize {
+            return Err(GraphError::TooManyNodes { requested: n });
+        }
+        for &(u, v) in edges {
+            if u as usize >= n {
+                return Err(GraphError::NodeOutOfRange { node: u, n });
+            }
+            if v as usize >= n {
+                return Err(GraphError::NodeOutOfRange { node: v, n });
+            }
+            if u == v {
+                return Err(GraphError::SelfLoop { node: u });
+            }
+        }
+
+        // Counting sort into CSR, then dedup each adjacency list.
+        let mut deg = vec![0u32; n];
+        for &(u, v) in edges {
+            deg[u as usize] += 1;
+            deg[v as usize] += 1;
+        }
+        let mut offsets = vec![0u32; n + 1];
+        for v in 0..n {
+            offsets[v + 1] = offsets[v] + deg[v];
+        }
+        let mut targets = vec![0 as NodeId; offsets[n] as usize];
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        for &(u, v) in edges {
+            targets[cursor[u as usize] as usize] = v;
+            cursor[u as usize] += 1;
+            targets[cursor[v as usize] as usize] = u;
+            cursor[v as usize] += 1;
+        }
+
+        // Sort + dedup per node, then re-compact.
+        let mut compact_targets = Vec::with_capacity(targets.len());
+        let mut compact_offsets = vec![0u32; n + 1];
+        for v in 0..n {
+            let lo = offsets[v] as usize;
+            let hi = offsets[v + 1] as usize;
+            let list = &mut targets[lo..hi];
+            list.sort_unstable();
+            let mut prev = INVALID_NODE;
+            for &t in list.iter() {
+                if t != prev {
+                    compact_targets.push(t);
+                    prev = t;
+                }
+            }
+            compact_offsets[v + 1] = compact_targets.len() as u32;
+        }
+
+        Ok(Graph { n, offsets: compact_offsets, targets: compact_targets })
+    }
+
+    /// Number of nodes `n = |V|`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of undirected edges `m = |E|`.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.targets.len() / 2
+    }
+
+    /// Degree of node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n`.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        let v = v as usize;
+        (self.offsets[v + 1] - self.offsets[v]) as usize
+    }
+
+    /// Maximum degree over all nodes (0 for the single-node graph).
+    pub fn max_degree(&self) -> usize {
+        (0..self.n).map(|v| self.degree(v as NodeId)).max().unwrap_or(0)
+    }
+
+    /// Average degree `2m / n`.
+    pub fn avg_degree(&self) -> f64 {
+        2.0 * self.m() as f64 / self.n as f64
+    }
+
+    /// Sorted adjacency list of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n`.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        let v = v as usize;
+        &self.targets[self.offsets[v] as usize..self.offsets[v + 1] as usize]
+    }
+
+    /// Whether `{u, v}` is an edge (binary search over `u`'s list).
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Iterates over all nodes `0..n`.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        0..self.n as NodeId
+    }
+
+    /// Iterates over each undirected edge exactly once, as `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.nodes().flat_map(move |u| {
+            self.neighbors(u).iter().copied().filter(move |&v| u < v).map(move |v| (u, v))
+        })
+    }
+
+    /// Whether the graph is connected (single-node graphs are connected).
+    pub fn is_connected(&self) -> bool {
+        let dist = crate::traversal::bfs(self, 0);
+        dist.iter().all(|&d| d != u32::MAX)
+    }
+
+    /// Exact diameter via all-pairs BFS (`O(n·m)`).
+    ///
+    /// Suitable for the graph sizes used in tests and experiments; for very
+    /// large instances prefer [`Graph::diameter_double_sweep`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is disconnected.
+    pub fn diameter(&self) -> u32 {
+        let mut best = 0;
+        for v in self.nodes() {
+            let ecc = crate::traversal::eccentricity(self, v)
+                .expect("diameter of a disconnected graph");
+            best = best.max(ecc);
+        }
+        best
+    }
+
+    /// Lower bound on the diameter via the double-sweep heuristic (`O(m)`);
+    /// exact on trees, and typically exact or near-exact on the geometric and
+    /// grid-like topologies radio networks model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is disconnected.
+    pub fn diameter_double_sweep(&self) -> u32 {
+        let d0 = crate::traversal::bfs(self, 0);
+        let far = argmax_dist(&d0).expect("disconnected graph");
+        let d1 = crate::traversal::bfs(self, far);
+        let far2 = argmax_dist(&d1).expect("disconnected graph");
+        let _ = far2;
+        d1.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Builds the subgraph induced by `members`, together with the mapping
+    /// from new (dense) ids to original ids.
+    ///
+    /// `members` must contain distinct, in-range nodes.
+    pub fn induced_subgraph(&self, members: &[NodeId]) -> (Graph, Vec<NodeId>) {
+        let mut map = vec![INVALID_NODE; self.n];
+        for (new, &old) in members.iter().enumerate() {
+            debug_assert!(map[old as usize] == INVALID_NODE, "duplicate member");
+            map[old as usize] = new as NodeId;
+        }
+        let mut edges = Vec::new();
+        for &old in members {
+            let nu = map[old as usize];
+            for &w in self.neighbors(old) {
+                let nw = map[w as usize];
+                if nw != INVALID_NODE && nu < nw {
+                    edges.push((nu, nw));
+                }
+            }
+        }
+        let g = Graph::from_edges(members.len().max(1), &edges)
+            .expect("induced subgraph construction cannot fail");
+        (g, members.to_vec())
+    }
+
+    /// Serializes to a compact edge-list text format (`n` on the first line,
+    /// one `u v` pair per following line). Inverse of [`Graph::parse_edge_list`].
+    pub fn to_edge_list(&self) -> String {
+        let mut s = String::with_capacity(self.m() * 8 + 16);
+        s.push_str(&self.n.to_string());
+        s.push('\n');
+        for (u, v) in self.edges() {
+            s.push_str(&u.to_string());
+            s.push(' ');
+            s.push_str(&v.to_string());
+            s.push('\n');
+        }
+        s
+    }
+
+    /// Parses the format produced by [`Graph::to_edge_list`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError`] for malformed headers/edges or invalid endpoints;
+    /// malformed integers surface as [`GraphError::Empty`] (header) or
+    /// [`GraphError::NodeOutOfRange`].
+    pub fn parse_edge_list(text: &str) -> Result<Graph, GraphError> {
+        let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+        let n: usize = lines.next().and_then(|l| l.trim().parse().ok()).ok_or(GraphError::Empty)?;
+        let mut edges = Vec::new();
+        for line in lines {
+            let mut it = line.split_whitespace();
+            let u: NodeId = it
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or(GraphError::NodeOutOfRange { node: INVALID_NODE, n })?;
+            let v: NodeId = it
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or(GraphError::NodeOutOfRange { node: INVALID_NODE, n })?;
+            edges.push((u, v));
+        }
+        Graph::from_edges(n, &edges)
+    }
+}
+
+fn argmax_dist(dist: &[u32]) -> Option<NodeId> {
+    let mut best: Option<(u32, NodeId)> = None;
+    for (v, &d) in dist.iter().enumerate() {
+        if d == u32::MAX {
+            return None;
+        }
+        if best.is_none_or(|(bd, _)| d > bd) {
+            best = Some((d, v as NodeId));
+        }
+    }
+    best.map(|(_, v)| v)
+}
+
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Graph")
+            .field("n", &self.n)
+            .field("m", &self.m())
+            .field("max_degree", &self.max_degree())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cycle4() -> Graph {
+        Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap()
+    }
+
+    #[test]
+    fn builds_and_reports_basic_shape() {
+        let g = cycle4();
+        assert_eq!(g.n(), 4);
+        assert_eq!(g.m(), 4);
+        assert_eq!(g.max_degree(), 2);
+        assert!((g.avg_degree() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn neighbors_sorted_and_symmetric() {
+        let g = Graph::from_edges(5, &[(3, 1), (0, 3), (4, 0), (1, 0)]).unwrap();
+        for u in g.nodes() {
+            let adj = g.neighbors(u);
+            assert!(adj.windows(2).all(|w| w[0] < w[1]), "sorted");
+            for &v in adj {
+                assert!(g.has_edge(v, u), "symmetric");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_edges_are_merged() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 0), (0, 1), (1, 2)]).unwrap();
+        assert_eq!(g.m(), 2);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(1), 2);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert_eq!(Graph::from_edges(0, &[]), Err(GraphError::Empty));
+        assert_eq!(
+            Graph::from_edges(2, &[(0, 2)]),
+            Err(GraphError::NodeOutOfRange { node: 2, n: 2 })
+        );
+        assert_eq!(Graph::from_edges(2, &[(1, 1)]), Err(GraphError::SelfLoop { node: 1 }));
+    }
+
+    #[test]
+    fn single_node_graph_is_connected_with_zero_diameter() {
+        let g = Graph::from_edges(1, &[]).unwrap();
+        assert!(g.is_connected());
+        assert_eq!(g.diameter(), 0);
+        assert_eq!(g.m(), 0);
+    }
+
+    #[test]
+    fn isolated_node_disconnects() {
+        let g = Graph::from_edges(3, &[(0, 1)]).unwrap();
+        assert!(!g.is_connected());
+    }
+
+    #[test]
+    fn edges_iterator_lists_each_edge_once() {
+        let g = cycle4();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (0, 3), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn diameter_of_cycle() {
+        let g = cycle4();
+        assert_eq!(g.diameter(), 2);
+        assert_eq!(g.diameter_double_sweep(), 2);
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges_only() {
+        let g = cycle4();
+        let (sub, map) = g.induced_subgraph(&[0, 1, 2]);
+        assert_eq!(sub.n(), 3);
+        assert_eq!(sub.m(), 2); // 0-1, 1-2 survive; 3's edges dropped
+        assert_eq!(map, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn edge_list_round_trip() {
+        let g = cycle4();
+        let text = g.to_edge_list();
+        let back = Graph::parse_edge_list(&text).unwrap();
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn parse_edge_list_rejects_garbage() {
+        assert!(Graph::parse_edge_list("").is_err());
+        assert!(Graph::parse_edge_list("3\n0 zebra\n").is_err());
+        assert!(Graph::parse_edge_list("2\n0 5\n").is_err());
+    }
+
+    #[test]
+    fn debug_output_mentions_shape() {
+        let g = cycle4();
+        let s = format!("{g:?}");
+        assert!(s.contains("n: 4") && s.contains("m: 4"));
+    }
+}

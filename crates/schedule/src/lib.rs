@@ -1,0 +1,40 @@
+//! Intra-cluster **schedules** — the substrate behind the paper's Lemma 2.3.
+//!
+//! The paper (following Ghaffari–Haeupler–Khabbazian \[11\] and Haeupler–Wajc
+//! \[12\]) assumes each cluster can be preprocessed into a *schedule* that
+//! afterwards moves messages between the cluster center and nodes at
+//! distance ℓ in `O(ℓ + polylog n)` rounds, with period `O(log n)`. This
+//! crate realizes that contract concretely:
+//!
+//! * [`TreeSchedule::build`] computes, for every cluster of a
+//!   [`rn_cluster::Partition`] simultaneously, a BFS tree rooted at the
+//!   cluster center plus a **conflict-free slot coloring** of each tree
+//!   layer: within a cluster, a node's reception from its tree parent is
+//!   never collided by another same-layer transmitter of the same cluster.
+//!   Layers are served in consecutive *windows* of a fixed width `W`
+//!   (the schedule's period), so a downcast pass to radius ℓ costs exactly
+//!   `(ℓ + 1) · W` rounds — the `O(ℓ + polylog n)` of Lemma 2.3 with the
+//!   `polylog` spread across windows.
+//! * [`Downcast`] executes one-to-all broadcast of every cluster center's
+//!   value out to radius ℓ, as real radio transmissions in all clusters at
+//!   once (inter-cluster collisions are *not* prevented — exactly as in the
+//!   paper, where they are handled by the Intra-Cluster Propagation
+//!   background process, Algorithm 4).
+//! * [`Upcast`] executes the reverse max-convergecast: participating nodes'
+//!   values flow layer by layer to the center, aggregated at each hop.
+//!
+//! The construction itself is performed centrally (the oracle stand-in for
+//! \[11\]'s `O(D·polylog n)`-round distributed preprocessing; substitution
+//! documented in `DESIGN.md` §4.2) and its charged cost is reported by
+//! [`TreeSchedule::charged_build_rounds`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod executors;
+mod pipeline;
+mod tree;
+
+pub use executors::{Downcast, SchedMsg, Upcast};
+pub use pipeline::{PipelineMsg, PipelinedDowncast};
+pub use tree::{SlotPolicy, TreeSchedule};

@@ -1,0 +1,470 @@
+use rn_cluster::Partition;
+use rn_graph::{Graph, NodeId, INVALID_NODE};
+use rn_sim::NetParams;
+use std::collections::VecDeque;
+
+/// How the window width `W` (slots per tree layer = schedule period) is set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotPolicy {
+    /// Use the maximum number of colors any layer needs, capped at
+    /// `4·⌈log₂ n⌉` (the cap keeps the period `O(log n)` as in Lemma 2.3;
+    /// layers needing more overflow onto reused slots and are repaired by
+    /// the ICP background process).
+    Auto,
+    /// A fixed window width.
+    Fixed(u32),
+}
+
+/// Per-cluster BFS trees plus a conflict-free layer/slot schedule, for all
+/// clusters of one [`Partition`] at once.
+///
+/// # Example
+///
+/// ```
+/// use rn_cluster::Partition;
+/// use rn_graph::generators;
+/// use rn_schedule::{SlotPolicy, TreeSchedule};
+/// use rand::SeedableRng;
+///
+/// let g = generators::grid(12, 12);
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(3);
+/// let part = Partition::compute(&g, 0.3, &mut rng);
+/// let sched = TreeSchedule::build(&g, &part, SlotPolicy::Auto);
+/// assert!(sched.window() >= 1);
+/// assert_eq!(sched.pass_len(sched.max_depth()), (sched.max_depth() as u64 + 1) * sched.window() as u64);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TreeSchedule {
+    window: u32,
+    max_depth: u32,
+    /// BFS-tree parent within the cluster; `INVALID_NODE` for centers.
+    parent: Vec<NodeId>,
+    /// Depth within the cluster tree (0 for centers).
+    depth: Vec<u32>,
+    /// Cluster index per node (copied from the partition).
+    cluster: Vec<u32>,
+    /// Downcast slot of a node (valid if it has tree children), else `u32::MAX`.
+    down_slot: Vec<u32>,
+    /// Upcast slot of a node (valid unless it is a center), else `u32::MAX`.
+    up_slot: Vec<u32>,
+    /// Nodes grouped by depth, across all clusters (they share windows).
+    nodes_at_depth: Vec<Vec<NodeId>>,
+    /// Tree children per node (CSR-ish).
+    children: Vec<Vec<NodeId>>,
+    /// Number of nodes whose down/up color exceeded the window and wrapped.
+    overflow: usize,
+}
+
+impl TreeSchedule {
+    /// Builds trees and slot colorings for every cluster of `partition`.
+    pub fn build(g: &Graph, partition: &Partition, policy: SlotPolicy) -> TreeSchedule {
+        let n = g.n();
+        let mut parent = vec![INVALID_NODE; n];
+        let mut depth = vec![u32::MAX; n];
+        let cluster: Vec<u32> = (0..n).map(|v| partition.cluster_index(v as NodeId)).collect();
+
+        // Per-cluster BFS with parents, restricted to the cluster.
+        for (idx, &c) in partition.centers().iter().enumerate() {
+            let idx = idx as u32;
+            let mut queue = VecDeque::new();
+            depth[c as usize] = 0;
+            queue.push_back(c);
+            while let Some(u) = queue.pop_front() {
+                let du = depth[u as usize];
+                for &w in g.neighbors(u) {
+                    if cluster[w as usize] == idx && depth[w as usize] == u32::MAX {
+                        depth[w as usize] = du + 1;
+                        parent[w as usize] = u;
+                        queue.push_back(w);
+                    }
+                }
+            }
+        }
+        debug_assert!(depth.iter().all(|&d| d != u32::MAX), "clusters are connected");
+
+        let max_depth = depth.iter().copied().max().unwrap_or(0);
+        let mut nodes_at_depth: Vec<Vec<NodeId>> = vec![Vec::new(); max_depth as usize + 1];
+        for v in 0..n {
+            nodes_at_depth[depth[v] as usize].push(v as NodeId);
+        }
+        let mut children: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        for (v, &p) in parent.iter().enumerate() {
+            if p != INVALID_NODE {
+                children[p as usize].push(v as NodeId);
+            }
+        }
+
+        // Greedy conflict colorings, one layer at a time.
+        let mut down_color = vec![u32::MAX; n];
+        let mut up_color = vec![u32::MAX; n];
+        let mut max_color = 0u32;
+        for layer in &nodes_at_depth {
+            // --- Downcast: transmitters are nodes with children.
+            for &p in layer {
+                if children[p as usize].is_empty() {
+                    continue;
+                }
+                let mut used = Vec::new();
+                // Conflicts: same cluster+depth transmitters p' that are
+                // adjacent to one of p's children, or whose children are
+                // adjacent to p.
+                for &u in &children[p as usize] {
+                    for &w in g.neighbors(u) {
+                        if w != p && is_peer_transmitter(w, p, &cluster, &depth, &children) {
+                            push_color(&mut used, down_color[w as usize]);
+                        }
+                    }
+                }
+                for &w in g.neighbors(p) {
+                    // w is a child of a peer p'' ⇒ p ∈ N(child of p'').
+                    let pw = parent[w as usize];
+                    if pw != INVALID_NODE
+                        && pw != p
+                        && is_peer_transmitter(pw, p, &cluster, &depth, &children)
+                    {
+                        push_color(&mut used, down_color[pw as usize]);
+                    }
+                }
+                let c = smallest_free(&used);
+                down_color[p as usize] = c;
+                max_color = max_color.max(c);
+            }
+
+            // --- Upcast: transmitters are all non-center nodes of the layer;
+            // the receiver that matters is the tree parent.
+            for &u in layer {
+                let pu = parent[u as usize];
+                if pu == INVALID_NODE {
+                    continue;
+                }
+                let mut used = Vec::new();
+                // u' adjacent to u's parent (same cluster+depth) collides at p(u).
+                for &w in g.neighbors(pu) {
+                    if w != u
+                        && cluster[w as usize] == cluster[u as usize]
+                        && depth[w as usize] == depth[u as usize]
+                    {
+                        push_color(&mut used, up_color[w as usize]);
+                    }
+                }
+                // u adjacent to p(u') collides at p(u'): conflict with u'.
+                for &w in g.neighbors(u) {
+                    for &ch in &children[w as usize] {
+                        if ch != u
+                            && cluster[ch as usize] == cluster[u as usize]
+                            && depth[ch as usize] == depth[u as usize]
+                        {
+                            push_color(&mut used, up_color[ch as usize]);
+                        }
+                    }
+                }
+                let c = smallest_free(&used);
+                up_color[u as usize] = c;
+                max_color = max_color.max(c);
+            }
+        }
+
+        let params_cap = 4 * NetParams::new(n, max_depth).log2_n();
+        let window = match policy {
+            SlotPolicy::Auto => (max_color + 1).min(params_cap.max(1)),
+            SlotPolicy::Fixed(w) => w.max(1),
+        };
+
+        // Fold colors into the window; count overflows.
+        let mut overflow = 0;
+        let mut down_slot = vec![u32::MAX; n];
+        let mut up_slot = vec![u32::MAX; n];
+        for v in 0..n {
+            if down_color[v] != u32::MAX {
+                if down_color[v] >= window {
+                    overflow += 1;
+                }
+                down_slot[v] = down_color[v] % window;
+            }
+            if up_color[v] != u32::MAX {
+                if up_color[v] >= window {
+                    overflow += 1;
+                }
+                up_slot[v] = up_color[v] % window;
+            }
+        }
+
+        TreeSchedule {
+            window,
+            max_depth,
+            parent,
+            depth,
+            cluster,
+            down_slot,
+            up_slot,
+            nodes_at_depth,
+            children,
+            overflow,
+        }
+    }
+
+    /// The window width `W` (slots per layer; the schedule's period).
+    pub fn window(&self) -> u32 {
+        self.window
+    }
+
+    /// Deepest layer over all clusters.
+    pub fn max_depth(&self) -> u32 {
+        self.max_depth
+    }
+
+    /// Length in rounds of one downcast or upcast pass to `radius`:
+    /// `(min(radius, max_depth) + 1) · W`.
+    pub fn pass_len(&self, radius: u32) -> u64 {
+        (radius.min(self.max_depth) as u64 + 1) * self.window as u64
+    }
+
+    /// Tree parent of `v` (`INVALID_NODE` for cluster centers).
+    pub fn parent(&self, v: NodeId) -> NodeId {
+        self.parent[v as usize]
+    }
+
+    /// Tree depth of `v` within its cluster.
+    pub fn depth(&self, v: NodeId) -> u32 {
+        self.depth[v as usize]
+    }
+
+    /// Cluster index of `v`.
+    pub fn cluster(&self, v: NodeId) -> u32 {
+        self.cluster[v as usize]
+    }
+
+    /// Downcast slot of `v` (`u32::MAX` if `v` has no tree children).
+    pub fn down_slot(&self, v: NodeId) -> u32 {
+        self.down_slot[v as usize]
+    }
+
+    /// Upcast slot of `v` (`u32::MAX` for centers).
+    pub fn up_slot(&self, v: NodeId) -> u32 {
+        self.up_slot[v as usize]
+    }
+
+    /// Tree children of `v`.
+    pub fn children(&self, v: NodeId) -> &[NodeId] {
+        &self.children[v as usize]
+    }
+
+    /// Nodes at tree depth `d`, across all clusters.
+    pub fn nodes_at_depth(&self, d: u32) -> &[NodeId] {
+        static EMPTY: Vec<NodeId> = Vec::new();
+        self.nodes_at_depth.get(d as usize).unwrap_or(&EMPTY)
+    }
+
+    /// How many node colors wrapped past the window (0 = fully conflict-free
+    /// within clusters).
+    pub fn overflow(&self) -> usize {
+        self.overflow
+    }
+
+    /// Charged preprocessing cost of building this schedule distributedly,
+    /// per the Lemma 2.3 contract: `O((max_depth + 1) · W · log n)` rounds
+    /// (`log n` passes of one wave each). Used by the Compete pipeline's
+    /// `Charged` precompute mode.
+    pub fn charged_build_rounds(&self, params: &NetParams) -> u64 {
+        (self.max_depth as u64 + 1) * self.window as u64 * params.log2_n() as u64
+    }
+
+    /// Verifies the intra-cluster conflict-freeness guarantee: for every
+    /// non-center node `u`, no same-cluster, same-depth transmitter other
+    /// than `parent(u)` shares `parent(u)`'s downcast slot among `u`'s
+    /// neighbors; and symmetrically for upcast at `parent(u)`. Returns the
+    /// number of violations (0 unless slots overflowed).
+    pub fn conflict_violations(&self, g: &Graph) -> usize {
+        let mut violations = 0;
+        for u in g.nodes() {
+            let p = self.parent[u as usize];
+            if p == INVALID_NODE {
+                continue;
+            }
+            let pslot = self.down_slot[p as usize];
+            let pdepth = self.depth[p as usize];
+            for &w in g.neighbors(u) {
+                if w != p
+                    && self.cluster[w as usize] == self.cluster[u as usize]
+                    && self.depth[w as usize] == pdepth
+                    && self.down_slot[w as usize] == pslot
+                {
+                    violations += 1;
+                }
+            }
+            // Upcast: at p, another same-cluster same-depth-as-u neighbor of p
+            // sharing u's up slot would collide with u's transmission.
+            let uslot = self.up_slot[u as usize];
+            let udepth = self.depth[u as usize];
+            for &w in g.neighbors(p) {
+                if w != u
+                    && self.cluster[w as usize] == self.cluster[u as usize]
+                    && self.depth[w as usize] == udepth
+                    && self.up_slot[w as usize] == uslot
+                {
+                    violations += 1;
+                }
+            }
+        }
+        violations
+    }
+}
+
+#[inline]
+fn is_peer_transmitter(
+    w: NodeId,
+    p: NodeId,
+    cluster: &[u32],
+    depth: &[u32],
+    children: &[Vec<NodeId>],
+) -> bool {
+    cluster[w as usize] == cluster[p as usize]
+        && depth[w as usize] == depth[p as usize]
+        && !children[w as usize].is_empty()
+}
+
+#[inline]
+fn push_color(used: &mut Vec<u32>, c: u32) {
+    if c != u32::MAX && !used.contains(&c) {
+        used.push(c);
+    }
+}
+
+#[inline]
+fn smallest_free(used: &[u32]) -> u32 {
+    let mut c = 0u32;
+    loop {
+        if !used.contains(&c) {
+            return c;
+        }
+        c += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use rn_cluster::Partition;
+    use rn_graph::generators;
+
+    fn single_cluster(g: &Graph) -> Partition {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let p = Partition::compute(g, 1e-9, &mut rng);
+        assert_eq!(p.num_clusters(), 1);
+        p
+    }
+
+    #[test]
+    fn tree_depths_match_bfs_on_single_cluster() {
+        let g = generators::grid(9, 9);
+        let part = single_cluster(&g);
+        let sched = TreeSchedule::build(&g, &part, SlotPolicy::Auto);
+        let center = part.centers()[0];
+        let dist = rn_graph::traversal::bfs(&g, center);
+        for v in g.nodes() {
+            assert_eq!(sched.depth(v), dist[v as usize]);
+        }
+        assert_eq!(sched.parent(center), INVALID_NODE);
+    }
+
+    #[test]
+    fn parents_are_one_layer_up_and_in_cluster() {
+        let g = generators::grid(10, 10);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let part = Partition::compute(&g, 0.3, &mut rng);
+        let sched = TreeSchedule::build(&g, &part, SlotPolicy::Auto);
+        for v in g.nodes() {
+            let p = sched.parent(v);
+            if p == INVALID_NODE {
+                assert!(part.is_center(v));
+                assert_eq!(sched.depth(v), 0);
+            } else {
+                assert!(g.has_edge(v, p));
+                assert_eq!(sched.depth(v), sched.depth(p) + 1);
+                assert_eq!(sched.cluster(v), sched.cluster(p));
+                assert!(sched.children(p).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn coloring_is_conflict_free_without_overflow() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        for g in [
+            generators::path(150),
+            generators::grid(13, 13),
+            generators::random_geometric(200, 0.12, &mut rng),
+            generators::binary_tree(127),
+        ] {
+            for beta in [1e-9, 0.2, 0.5] {
+                let part = Partition::compute(&g, beta, &mut rng);
+                let sched = TreeSchedule::build(&g, &part, SlotPolicy::Auto);
+                if sched.overflow() == 0 {
+                    assert_eq!(
+                        sched.conflict_violations(&g),
+                        0,
+                        "graph n={} beta={beta}",
+                        g.n()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn window_respects_fixed_policy_and_floors_at_one() {
+        let g = generators::path(20);
+        let part = single_cluster(&g);
+        let sched = TreeSchedule::build(&g, &part, SlotPolicy::Fixed(7));
+        assert_eq!(sched.window(), 7);
+        let sched0 = TreeSchedule::build(&g, &part, SlotPolicy::Fixed(0));
+        assert_eq!(sched0.window(), 1, "floored");
+    }
+
+    #[test]
+    fn path_needs_tiny_window() {
+        // On a path every layer has ≤ 2 nodes per cluster; greedy coloring
+        // needs O(1) colors — the bounded-growth property the design relies on.
+        let g = generators::path(300);
+        let part = single_cluster(&g);
+        let sched = TreeSchedule::build(&g, &part, SlotPolicy::Auto);
+        assert!(sched.window() <= 3, "window {} too large for a path", sched.window());
+        assert_eq!(sched.overflow(), 0);
+    }
+
+    #[test]
+    fn pass_len_clamps_to_max_depth() {
+        let g = generators::path(50);
+        let part = single_cluster(&g);
+        let sched = TreeSchedule::build(&g, &part, SlotPolicy::Auto);
+        let full = sched.pass_len(u32::MAX);
+        assert_eq!(full, (sched.max_depth() as u64 + 1) * sched.window() as u64);
+        assert!(sched.pass_len(3) <= full);
+        assert_eq!(sched.pass_len(3), 4 * sched.window() as u64);
+    }
+
+    #[test]
+    fn nodes_at_depth_partitions_nodes() {
+        let g = generators::grid(8, 8);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let part = Partition::compute(&g, 0.4, &mut rng);
+        let sched = TreeSchedule::build(&g, &part, SlotPolicy::Auto);
+        let total: usize = (0..=sched.max_depth()).map(|d| sched.nodes_at_depth(d).len()).sum();
+        assert_eq!(total, g.n());
+        assert!(sched.nodes_at_depth(sched.max_depth() + 5).is_empty());
+    }
+
+    #[test]
+    fn charged_cost_formula() {
+        let g = generators::grid(8, 8);
+        let part = single_cluster(&g);
+        let sched = TreeSchedule::build(&g, &part, SlotPolicy::Auto);
+        let params = rn_sim::NetParams::of_graph(&g);
+        assert_eq!(
+            sched.charged_build_rounds(&params),
+            (sched.max_depth() as u64 + 1) * sched.window() as u64 * params.log2_n() as u64
+        );
+    }
+}

@@ -1,0 +1,278 @@
+//! Protocol combinators.
+//!
+//! The paper's Compete algorithm runs two processes "concurrently,
+//! alternating between steps of each" (main on even steps, background on odd
+//! steps). [`Interleave`] implements exactly that time-slicing at the engine
+//! level. [`Jammer`] is a failure-injection wrapper used by robustness tests.
+
+use crate::protocol::{Protocol, Round, TxBuf};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rn_graph::NodeId;
+
+/// A tagged union of two message types sharing one channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Either<L, R> {
+    /// A message of the first protocol.
+    Left(L),
+    /// A message of the second protocol.
+    Right(R),
+}
+
+/// Runs protocol `A` on even rounds and protocol `B` on odd rounds.
+///
+/// Each sub-protocol sees its own contiguous round numbering (`0, 1, 2, …`
+/// counting only its slots), so protocols need no awareness of being
+/// interleaved. Deliveries are routed by message tag; in a well-formed
+/// execution `Left` messages only ever arrive on even global rounds.
+///
+/// # Example
+///
+/// ```
+/// use rn_graph::generators;
+/// use rn_sim::{testing::OneShot, CollisionModel, Interleave, Simulator};
+///
+/// let g = generators::star(3);
+/// let a = OneShot::new(3, vec![(0, 1u64)]);
+/// let b = OneShot::new(3, vec![(0, 2u64)]);
+/// let mut both = Interleave::new(a, b);
+/// let mut sim = Simulator::new(&g, CollisionModel::NoCollisionDetection, 9);
+/// sim.run(&mut both, 2); // round 0 runs A, round 1 runs B
+/// assert_eq!(both.first().received(1), &[(0, 1)]);
+/// assert_eq!(both.second().received(1), &[(0, 2)]);
+/// ```
+#[derive(Debug)]
+pub struct Interleave<A: Protocol, B: Protocol> {
+    a: A,
+    b: B,
+    buf_a: TxBuf<A::Msg>,
+    buf_b: TxBuf<B::Msg>,
+}
+
+impl<A: Protocol, B: Protocol> Interleave<A, B> {
+    /// Combines `a` (even rounds) and `b` (odd rounds).
+    pub fn new(a: A, b: B) -> Interleave<A, B> {
+        Interleave { a, b, buf_a: TxBuf::new(), buf_b: TxBuf::new() }
+    }
+
+    /// The even-slot protocol.
+    pub fn first(&self) -> &A {
+        &self.a
+    }
+
+    /// The odd-slot protocol.
+    pub fn second(&self) -> &B {
+        &self.b
+    }
+
+    /// Mutable access to the even-slot protocol.
+    pub fn first_mut(&mut self) -> &mut A {
+        &mut self.a
+    }
+
+    /// Mutable access to the odd-slot protocol.
+    pub fn second_mut(&mut self) -> &mut B {
+        &mut self.b
+    }
+
+    /// Consumes the combinator, returning both protocols.
+    pub fn into_parts(self) -> (A, B) {
+        (self.a, self.b)
+    }
+}
+
+impl<A: Protocol, B: Protocol> Protocol for Interleave<A, B> {
+    type Msg = Either<A::Msg, B::Msg>;
+
+    fn transmit(&mut self, round: Round, tx: &mut TxBuf<Self::Msg>) {
+        if round.is_multiple_of(2) {
+            self.buf_a.clear();
+            self.a.transmit(round / 2, &mut self.buf_a);
+            for (u, m) in self.buf_a.drain() {
+                tx.send(u, Either::Left(m));
+            }
+        } else {
+            self.buf_b.clear();
+            self.b.transmit(round / 2, &mut self.buf_b);
+            for (u, m) in self.buf_b.drain() {
+                tx.send(u, Either::Right(m));
+            }
+        }
+    }
+
+    fn deliver(&mut self, round: Round, node: NodeId, from: NodeId, msg: &Self::Msg) {
+        match msg {
+            Either::Left(m) => self.a.deliver(round / 2, node, from, m),
+            Either::Right(m) => self.b.deliver(round / 2, node, from, m),
+        }
+    }
+
+    fn collision(&mut self, round: Round, node: NodeId) {
+        if round.is_multiple_of(2) {
+            self.a.collision(round / 2, node);
+        } else {
+            self.b.collision(round / 2, node);
+        }
+    }
+
+    fn done(&self, round: Round) -> bool {
+        // Both sub-protocols must be done at their respective local clocks.
+        self.a.done(round / 2 + round % 2) && self.b.done(round / 2)
+    }
+}
+
+/// Failure injection: a set of adversarial nodes that transmit noise with a
+/// per-round probability, overriding whatever the wrapped protocol wanted
+/// them to do. Robustness tests use this to check that protocols degrade
+/// gracefully (no panics, no false completion) under jamming.
+#[derive(Debug)]
+pub struct Jammer<P: Protocol> {
+    inner: P,
+    jammers: Vec<NodeId>,
+    is_jammer: Vec<bool>,
+    prob: f64,
+    rng: SmallRng,
+    buf: TxBuf<P::Msg>,
+}
+
+impl<P: Protocol> Jammer<P> {
+    /// Wraps `inner`; each node in `jammers` transmits noise with
+    /// probability `prob` each round (instead of its protocol action).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prob` is not in `[0, 1]`.
+    pub fn new(inner: P, n: usize, jammers: Vec<NodeId>, prob: f64, seed: u64) -> Jammer<P> {
+        assert!((0.0..=1.0).contains(&prob), "probability out of range");
+        let mut is_jammer = vec![false; n];
+        for &j in &jammers {
+            is_jammer[j as usize] = true;
+        }
+        Jammer {
+            inner,
+            jammers,
+            is_jammer,
+            prob,
+            rng: SmallRng::seed_from_u64(seed),
+            buf: TxBuf::new(),
+        }
+    }
+
+    /// The wrapped protocol.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+
+    /// Consumes the wrapper, returning the protocol.
+    pub fn into_inner(self) -> P {
+        self.inner
+    }
+}
+
+/// Noise payload transmitted by jammers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Noise;
+
+impl<P: Protocol> Protocol for Jammer<P> {
+    type Msg = Either<P::Msg, Noise>;
+
+    fn transmit(&mut self, round: Round, tx: &mut TxBuf<Self::Msg>) {
+        self.buf.clear();
+        self.inner.transmit(round, &mut self.buf);
+        for (u, m) in self.buf.drain() {
+            if !self.is_jammer[u as usize] {
+                tx.send(u, Either::Left(m));
+            }
+        }
+        for i in 0..self.jammers.len() {
+            if self.rng.gen::<f64>() < self.prob {
+                tx.send(self.jammers[i], Either::Right(Noise));
+            }
+        }
+    }
+
+    fn deliver(&mut self, round: Round, node: NodeId, from: NodeId, msg: &Self::Msg) {
+        match msg {
+            Either::Left(m) => self.inner.deliver(round, node, from, m),
+            Either::Right(_) => {} // noise carries no information
+        }
+    }
+
+    fn collision(&mut self, round: Round, node: NodeId) {
+        self.inner.collision(round, node);
+    }
+
+    fn done(&self, round: Round) -> bool {
+        self.inner.done(round)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{CollisionModel, Simulator};
+    use crate::testing::{EveryRound, OneShot};
+    use rn_graph::generators;
+
+    #[test]
+    fn interleave_routes_rounds_by_parity() {
+        let g = generators::star(3);
+        let a = EveryRound::new(0, 10u64); // hub transmits every A-slot
+        let b = EveryRound::new(0, 20u64);
+        let mut p = Interleave::new(a, b);
+        let mut sim = Simulator::new(&g, CollisionModel::NoCollisionDetection, 5);
+        sim.run(&mut p, 4);
+        // A saw rounds 0,1 (global 0,2); B saw rounds 0,1 (global 1,3).
+        assert_eq!(p.first().rounds_seen(), 2);
+        assert_eq!(p.second().rounds_seen(), 2);
+        assert_eq!(sim.metrics().transmissions, 4);
+    }
+
+    #[test]
+    fn interleave_deliveries_reach_the_right_protocol() {
+        let g = generators::star(3);
+        let a = OneShot::new(3, vec![(0, 1u64)]);
+        let b = OneShot::new(3, vec![(0, 2u64)]);
+        let mut p = Interleave::new(a, b);
+        let mut sim = Simulator::new(&g, CollisionModel::NoCollisionDetection, 5);
+        sim.run(&mut p, 2);
+        assert_eq!(p.first().received(1), &[(0, 1)]);
+        assert_eq!(p.first().received(2), &[(0, 1)]);
+        assert_eq!(p.second().received(1), &[(0, 2)]);
+    }
+
+    #[test]
+    fn interleave_sub_round_numbering_is_contiguous() {
+        let g = generators::path(2);
+        let a = EveryRound::new(0, 0u64);
+        let b = EveryRound::new(1, 0u64);
+        let mut p = Interleave::new(a, b);
+        let mut sim = Simulator::new(&g, CollisionModel::NoCollisionDetection, 5);
+        sim.run(&mut p, 9);
+        assert_eq!(p.first().rounds_seen(), 5); // global rounds 0,2,4,6,8
+        assert_eq!(p.second().rounds_seen(), 4); // global rounds 1,3,5,7
+    }
+
+    #[test]
+    fn jammer_overrides_inner_transmissions() {
+        let g = generators::star(3);
+        // Hub wants to broadcast every round, but the hub is a jammer with prob 0.
+        let inner = EveryRound::new(0, 7u64);
+        let mut p = Jammer::new(inner, 3, vec![0], 0.0, 11);
+        let mut sim = Simulator::new(&g, CollisionModel::NoCollisionDetection, 5);
+        sim.run(&mut p, 4);
+        assert_eq!(sim.metrics().transmissions, 0, "jammer silenced the hub");
+    }
+
+    #[test]
+    fn jammer_noise_collides_with_real_traffic() {
+        // Star: leaf 1 transmits every round; leaf 2 jams with prob 1.
+        let g = generators::star(3);
+        let inner = EveryRound::new(1, 7u64);
+        let mut p = Jammer::new(inner, 3, vec![2], 1.0, 11);
+        let mut sim = Simulator::new(&g, CollisionModel::NoCollisionDetection, 5);
+        sim.run(&mut p, 8);
+        assert_eq!(sim.metrics().deliveries, 0, "hub always hears a collision");
+        assert_eq!(sim.metrics().collisions, 8);
+    }
+}

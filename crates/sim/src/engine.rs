@@ -1,0 +1,388 @@
+use crate::protocol::{Protocol, Round, TxBuf};
+use crate::trace::{Event, Trace};
+use rn_graph::{Graph, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// Which interference model the channel follows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CollisionModel {
+    /// The model of the paper: a listening node receives iff exactly one
+    /// neighbor transmits; collisions are indistinguishable from silence.
+    NoCollisionDetection,
+    /// A listening node with ≥ 2 transmitting neighbors is told a collision
+    /// happened (via [`Protocol::collision`]). Used for ablations only.
+    CollisionDetection,
+}
+
+/// Cumulative channel statistics for a simulator instance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Metrics {
+    /// Rounds executed.
+    pub rounds: u64,
+    /// Individual node transmissions.
+    pub transmissions: u64,
+    /// Successful receptions (exactly-one-transmitter events).
+    pub deliveries: u64,
+    /// Listener-side collision events (≥ 2 transmitting neighbors).
+    pub collisions: u64,
+}
+
+impl Metrics {
+    fn diff(self, earlier: Metrics) -> Metrics {
+        Metrics {
+            rounds: self.rounds - earlier.rounds,
+            transmissions: self.transmissions - earlier.transmissions,
+            deliveries: self.deliveries - earlier.deliveries,
+            collisions: self.collisions - earlier.collisions,
+        }
+    }
+}
+
+/// Why a [`Simulator::run`] call returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RunOutcome {
+    /// The protocol reported [`Protocol::done`].
+    ProtocolDone,
+    /// The external stop predicate fired (see [`Simulator::run_until`]).
+    StopConditionMet,
+    /// The round budget was exhausted.
+    BudgetExhausted,
+}
+
+/// Result of one [`Simulator::run`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunStats {
+    /// Rounds executed by this call.
+    pub rounds: u64,
+    /// Metrics accumulated during this call only.
+    pub metrics: Metrics,
+    /// Why the run stopped.
+    pub outcome: RunOutcome,
+}
+
+/// The radio-channel engine: executes a [`Protocol`] over a [`Graph`] under
+/// exact radio collision semantics.
+///
+/// Per-round cost is proportional to the degree sum of the transmitting
+/// nodes, not to `n` — protocols with sparse activity (decay frontiers,
+/// schedule waves) simulate cheaply even on large networks.
+#[derive(Debug)]
+pub struct Simulator<'g> {
+    graph: &'g Graph,
+    model: CollisionModel,
+    round: Round,
+    metrics: Metrics,
+    trace: Option<Trace>,
+    // Stamp-based scratch state, reset implicitly each round.
+    hear_stamp: Vec<u64>,
+    hear_count: Vec<u32>,
+    hear_from: Vec<u32>,
+    tx_stamp: Vec<u64>,
+    touched: Vec<NodeId>,
+    seed: u64,
+}
+
+impl<'g> Simulator<'g> {
+    /// Creates an engine over `graph` with the given interference `model`.
+    ///
+    /// `seed` is recorded for reproducibility metadata (protocols own their
+    /// actual randomness; see [`crate::rng`] for seed derivation helpers).
+    pub fn new(graph: &'g Graph, model: CollisionModel, seed: u64) -> Simulator<'g> {
+        let n = graph.n();
+        Simulator {
+            graph,
+            model,
+            round: 0,
+            metrics: Metrics::default(),
+            trace: None,
+            hear_stamp: vec![0; n],
+            hear_count: vec![0; n],
+            hear_from: vec![0; n],
+            tx_stamp: vec![0; n],
+            touched: Vec::new(),
+            seed,
+        }
+    }
+
+    /// The graph being simulated (measurement/observer use only; protocols
+    /// must not see this).
+    pub fn graph(&self) -> &Graph {
+        self.graph
+    }
+
+    /// Current round (total rounds executed since construction).
+    pub fn round(&self) -> Round {
+        self.round
+    }
+
+    /// The interference model in force.
+    pub fn model(&self) -> CollisionModel {
+        self.model
+    }
+
+    /// Master seed recorded at construction.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Cumulative metrics since construction.
+    pub fn metrics(&self) -> Metrics {
+        self.metrics
+    }
+
+    /// Enables event tracing with the given capacity (newest events win).
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Some(Trace::new(capacity));
+    }
+
+    /// The trace, if enabled.
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
+
+    /// Runs `protocol` for at most `max_rounds` rounds.
+    pub fn run<P: Protocol>(&mut self, protocol: &mut P, max_rounds: u64) -> RunStats {
+        self.run_until(protocol, max_rounds, |_, _| false)
+    }
+
+    /// Runs `protocol` until `stop(round, protocol)` returns true (checked
+    /// before each round), the protocol reports done, or the budget runs out.
+    ///
+    /// The protocol sees a fresh clock starting at round 0 for this call
+    /// (the engine's global round keeps advancing across calls), so one
+    /// protocol corresponds to one `run`/`run_until` invocation.
+    ///
+    /// The stop predicate is *measurement instrumentation* — e.g. "all nodes
+    /// informed" oracles — and is allowed to inspect global protocol state
+    /// that real nodes could not observe.
+    pub fn run_until<P: Protocol>(
+        &mut self,
+        protocol: &mut P,
+        max_rounds: u64,
+        mut stop: impl FnMut(Round, &P) -> bool,
+    ) -> RunStats {
+        let before = self.metrics;
+        let start = self.round;
+        let mut tx = TxBuf::new();
+        let outcome = loop {
+            let local = self.round - start;
+            if local >= max_rounds {
+                break RunOutcome::BudgetExhausted;
+            }
+            if stop(local, protocol) {
+                break RunOutcome::StopConditionMet;
+            }
+            if protocol.done(local) {
+                break RunOutcome::ProtocolDone;
+            }
+            self.step_at(protocol, &mut tx, local);
+        };
+        RunStats {
+            rounds: self.round - start,
+            metrics: self.metrics.diff(before),
+            outcome,
+        }
+    }
+
+    /// Executes exactly one round of `protocol`, presenting the engine's
+    /// global round as the protocol's round (manual stepping; prefer
+    /// [`Simulator::run`] which gives the protocol a fresh clock).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the protocol transmits twice from one node in one round, or
+    /// transmits from an out-of-range node id.
+    pub fn step_with<P: Protocol>(&mut self, protocol: &mut P) {
+        let mut tx = TxBuf::new();
+        let local = self.round;
+        self.step_at(protocol, &mut tx, local);
+    }
+
+    /// One round of `protocol` with an explicit protocol-local round number,
+    /// reusing a caller-provided buffer.
+    fn step_at<P: Protocol>(&mut self, protocol: &mut P, tx: &mut TxBuf<P::Msg>, local: Round) {
+        tx.clear();
+        protocol.transmit(local, tx);
+        let stamp = self.round + 1;
+
+        // Mark transmitters.
+        for &(u, _) in tx.entries() {
+            let ui = u as usize;
+            assert!(ui < self.graph.n(), "protocol transmitted from invalid node {u}");
+            assert!(
+                self.tx_stamp[ui] != stamp,
+                "protocol bug: node {u} transmitted twice in round {}",
+                self.round
+            );
+            self.tx_stamp[ui] = stamp;
+            if let Some(t) = &mut self.trace {
+                t.push(self.round, Event::Transmit { node: u });
+            }
+        }
+
+        // Count what every potential listener hears.
+        self.touched.clear();
+        for (idx, &(u, _)) in tx.entries().iter().enumerate() {
+            for &v in self.graph.neighbors(u) {
+                let vi = v as usize;
+                if self.hear_stamp[vi] != stamp {
+                    self.hear_stamp[vi] = stamp;
+                    self.hear_count[vi] = 1;
+                    self.hear_from[vi] = idx as u32;
+                    self.touched.push(v);
+                } else {
+                    self.hear_count[vi] += 1;
+                }
+            }
+        }
+
+        // Deliver / report collisions to listeners.
+        let global = self.round;
+        for i in 0..self.touched.len() {
+            let v = self.touched[i];
+            let vi = v as usize;
+            if self.tx_stamp[vi] == stamp {
+                continue; // transmitters cannot listen
+            }
+            if self.hear_count[vi] == 1 {
+                let (from, msg) = &tx.entries()[self.hear_from[vi] as usize];
+                protocol.deliver(local, v, *from, msg);
+                self.metrics.deliveries += 1;
+                if let Some(t) = &mut self.trace {
+                    t.push(global, Event::Receive { node: v, from: *from });
+                }
+            } else {
+                self.metrics.collisions += 1;
+                if let Some(t) = &mut self.trace {
+                    t.push(global, Event::Collision { node: v });
+                }
+                if self.model == CollisionModel::CollisionDetection {
+                    protocol.collision(local, v);
+                }
+            }
+        }
+
+        self.metrics.transmissions += tx.len() as u64;
+        self.metrics.rounds += 1;
+        self.round += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::{OneShot, Silence};
+    use rn_graph::generators;
+
+    #[test]
+    fn silence_delivers_nothing() {
+        let g = generators::complete(5);
+        let mut sim = Simulator::new(&g, CollisionModel::NoCollisionDetection, 1);
+        let stats = sim.run(&mut Silence, 10);
+        assert_eq!(stats.rounds, 10);
+        assert_eq!(stats.metrics.deliveries, 0);
+        assert_eq!(stats.metrics.transmissions, 0);
+        assert_eq!(stats.outcome, RunOutcome::BudgetExhausted);
+    }
+
+    #[test]
+    fn unique_transmitter_reaches_all_neighbors() {
+        let g = generators::star(5);
+        let mut sim = Simulator::new(&g, CollisionModel::NoCollisionDetection, 1);
+        let mut p = OneShot::new(5, vec![(0, 99u64)]); // hub speaks
+        sim.run(&mut p, 1);
+        for leaf in 1..5 {
+            assert_eq!(p.received(leaf), &[(0, 99)]);
+        }
+    }
+
+    #[test]
+    fn two_transmitters_collide_at_common_neighbor_only() {
+        // Path 0-1-2-3: 0 and 2 transmit. Node 1 hears both (collision);
+        // node 3 hears only 2 (delivery). Node 0 and 2 transmit, hear nothing.
+        let g = generators::path(4);
+        let mut sim = Simulator::new(&g, CollisionModel::NoCollisionDetection, 1);
+        let mut p = OneShot::new(4, vec![(0, 5u64), (2, 6u64)]);
+        let stats = sim.run(&mut p, 1);
+        assert!(p.received(1).is_empty(), "collision at node 1");
+        assert_eq!(p.received(3), &[(2, 6)]);
+        assert_eq!(stats.metrics.collisions, 1);
+        assert_eq!(stats.metrics.deliveries, 1);
+    }
+
+    #[test]
+    fn transmitter_does_not_hear_its_neighbor() {
+        // Edge 0-1, both transmit: neither receives.
+        let g = generators::path(2);
+        let mut sim = Simulator::new(&g, CollisionModel::NoCollisionDetection, 1);
+        let mut p = OneShot::new(2, vec![(0, 1u64), (1, 2u64)]);
+        sim.run(&mut p, 1);
+        assert!(p.received(0).is_empty());
+        assert!(p.received(1).is_empty());
+    }
+
+    #[test]
+    fn collision_detection_model_notifies_listeners() {
+        let g = generators::star(4);
+        let mut sim = Simulator::new(&g, CollisionModel::CollisionDetection, 1);
+        let mut p = OneShot::new(4, vec![(1, 1u64), (2, 2u64)]);
+        sim.run(&mut p, 1);
+        assert_eq!(p.collisions(0), 1, "hub detects the collision");
+        assert_eq!(p.collisions(3), 0, "leaf 3 hears plain silence");
+    }
+
+    #[test]
+    fn no_cd_model_stays_silent_on_collision() {
+        let g = generators::star(4);
+        let mut sim = Simulator::new(&g, CollisionModel::NoCollisionDetection, 1);
+        let mut p = OneShot::new(4, vec![(1, 1u64), (2, 2u64)]);
+        sim.run(&mut p, 1);
+        assert_eq!(p.collisions(0), 0, "no notification without CD");
+        assert_eq!(sim.metrics().collisions, 1, "engine still counts it");
+    }
+
+    #[test]
+    #[should_panic(expected = "transmitted twice")]
+    fn double_transmission_is_a_protocol_bug() {
+        let g = generators::path(2);
+        let mut sim = Simulator::new(&g, CollisionModel::NoCollisionDetection, 1);
+        let mut p = OneShot::new(2, vec![(0, 1u64), (0, 2u64)]);
+        sim.run(&mut p, 1);
+    }
+
+    #[test]
+    fn run_until_stop_condition() {
+        let g = generators::path(2);
+        let mut sim = Simulator::new(&g, CollisionModel::NoCollisionDetection, 1);
+        let stats = sim.run_until(&mut Silence, 100, |round, _| round == 7);
+        assert_eq!(stats.outcome, RunOutcome::StopConditionMet);
+        assert_eq!(stats.rounds, 7);
+    }
+
+    #[test]
+    fn metrics_accumulate_across_runs() {
+        let g = generators::star(3);
+        let mut sim = Simulator::new(&g, CollisionModel::NoCollisionDetection, 1);
+        let mut p = OneShot::new(3, vec![(0, 1u64)]);
+        sim.run(&mut p, 1);
+        let mut p2 = OneShot::new(3, vec![(0, 2u64)]);
+        sim.run(&mut p2, 1);
+        assert_eq!(sim.metrics().rounds, 2);
+        assert_eq!(sim.metrics().transmissions, 2);
+        assert_eq!(sim.metrics().deliveries, 4);
+        assert_eq!(sim.round(), 2);
+    }
+
+    #[test]
+    fn trace_records_events_in_order() {
+        let g = generators::star(3);
+        let mut sim = Simulator::new(&g, CollisionModel::NoCollisionDetection, 1);
+        sim.enable_trace(16);
+        let mut p = OneShot::new(3, vec![(0, 1u64)]);
+        sim.run(&mut p, 1);
+        let trace = sim.trace().unwrap();
+        let events: Vec<_> = trace.iter().collect();
+        assert_eq!(events.len(), 3); // 1 transmit + 2 receives
+        assert!(matches!(events[0].1, Event::Transmit { node: 0 }));
+    }
+}

@@ -1,0 +1,138 @@
+use serde::{Deserialize, Serialize};
+
+/// The network knowledge the model grants every node.
+///
+/// In the ad-hoc radio model nodes know nothing about the topology except the
+/// two global parameters `n` (number of nodes) and `D` (diameter). Protocols
+/// receive a `NetParams` at construction and must derive all their tuning
+/// (decay depths, schedule lengths, cluster radii, …) from it — never from
+/// the graph, which only the engine sees.
+///
+/// # Example
+///
+/// ```
+/// use rn_sim::NetParams;
+///
+/// let p = NetParams::new(1000, 50);
+/// assert_eq!(p.log2_n(), 10);  // ⌈log₂ 1000⌉
+/// assert_eq!(p.log2_d(), 6);   // ⌈log₂ 50⌉, never below 1
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct NetParams {
+    n: usize,
+    diameter: u32,
+}
+
+impl NetParams {
+    /// Creates parameters for a network with `n` nodes and diameter `diameter`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize, diameter: u32) -> NetParams {
+        assert!(n > 0, "network must have at least one node");
+        NetParams { n, diameter }
+    }
+
+    /// Derives parameters from a graph (exact diameter). Convenience for
+    /// tests and experiment setup; the values handed to protocols are the
+    /// same `n`/`D` the model assumes known.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is disconnected.
+    pub fn of_graph(g: &rn_graph::Graph) -> NetParams {
+        NetParams::new(g.n(), g.diameter())
+    }
+
+    /// Number of nodes `n`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Diameter `D`.
+    #[inline]
+    pub fn diameter(&self) -> u32 {
+        self.diameter
+    }
+
+    /// `⌈log₂ n⌉`, at least 1 — the length of one Decay round and the
+    /// ubiquitous "log n" of the paper's bounds.
+    #[inline]
+    pub fn log2_n(&self) -> u32 {
+        ceil_log2(self.n as u64).max(1)
+    }
+
+    /// `⌈log₂ D⌉`, at least 1.
+    #[inline]
+    pub fn log2_d(&self) -> u32 {
+        ceil_log2(self.diameter.max(1) as u64).max(1)
+    }
+
+    /// `D^exp` rounded to the nearest integer, at least `min` — the paper's
+    /// `D^0.2`, `D^0.5`, `D^0.99`-style quantities as practical integers.
+    pub fn d_pow(&self, exp: f64, min: u64) -> u64 {
+        ((self.diameter.max(1) as f64).powf(exp).round() as u64).max(min)
+    }
+}
+
+/// `⌈log₂ x⌉` for `x ≥ 1`; 0 for `x ∈ {0, 1}`.
+pub(crate) fn ceil_log2(x: u64) -> u32 {
+    if x <= 1 {
+        0
+    } else {
+        64 - (x - 1).leading_zeros()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ceil_log2_values() {
+        assert_eq!(ceil_log2(0), 0);
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(4), 2);
+        assert_eq!(ceil_log2(5), 3);
+        assert_eq!(ceil_log2(1024), 10);
+        assert_eq!(ceil_log2(1025), 11);
+    }
+
+    #[test]
+    fn params_accessors() {
+        let p = NetParams::new(1, 0);
+        assert_eq!(p.log2_n(), 1, "log n floored at 1");
+        assert_eq!(p.log2_d(), 1, "log D floored at 1");
+
+        let p = NetParams::new(4096, 256);
+        assert_eq!(p.log2_n(), 12);
+        assert_eq!(p.log2_d(), 8);
+    }
+
+    #[test]
+    fn d_pow_is_monotone_and_floored() {
+        let p = NetParams::new(1000, 1024);
+        assert_eq!(p.d_pow(0.5, 1), 32);
+        assert_eq!(p.d_pow(0.0, 1), 1);
+        assert_eq!(p.d_pow(1.0, 1), 1024);
+        assert_eq!(p.d_pow(0.2, 10), 10, "floor applies");
+    }
+
+    #[test]
+    fn of_graph_matches_manual() {
+        let g = rn_graph::generators::grid(5, 5);
+        let p = NetParams::of_graph(&g);
+        assert_eq!(p.n(), 25);
+        assert_eq!(p.diameter(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_rejected() {
+        let _ = NetParams::new(0, 0);
+    }
+}

@@ -1,0 +1,174 @@
+//! Minimal protocols for testing the engine and composing fixtures.
+//!
+//! These are deliberately simple: they let tests construct exact channel
+//! configurations (who transmits when) and observe exact outcomes.
+
+use crate::protocol::{Protocol, Round, TxBuf};
+use rn_graph::NodeId;
+
+/// A protocol where nobody ever transmits.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Silence;
+
+impl Protocol for Silence {
+    type Msg = u64;
+
+    fn transmit(&mut self, _round: Round, _tx: &mut TxBuf<u64>) {}
+
+    fn deliver(&mut self, _round: Round, _node: NodeId, _from: NodeId, _msg: &u64) {}
+}
+
+/// Transmits a fixed set of `(node, message)` pairs in round 0, then stays
+/// silent; records everything every node receives and every collision
+/// notification (CD model).
+#[derive(Debug, Clone)]
+pub struct OneShot {
+    sends: Vec<(NodeId, u64)>,
+    received: Vec<Vec<(NodeId, u64)>>,
+    collisions: Vec<u32>,
+}
+
+impl OneShot {
+    /// Creates the fixture for an `n`-node network.
+    pub fn new(n: usize, sends: Vec<(NodeId, u64)>) -> OneShot {
+        OneShot { sends, received: vec![Vec::new(); n], collisions: vec![0; n] }
+    }
+
+    /// Messages received by `node`, in delivery order.
+    pub fn received(&self, node: NodeId) -> &[(NodeId, u64)] {
+        &self.received[node as usize]
+    }
+
+    /// Collision notifications seen by `node` (CD model only).
+    pub fn collisions(&self, node: NodeId) -> u32 {
+        self.collisions[node as usize]
+    }
+}
+
+impl Protocol for OneShot {
+    type Msg = u64;
+
+    fn transmit(&mut self, round: Round, tx: &mut TxBuf<u64>) {
+        if round == 0 {
+            for &(u, m) in &self.sends {
+                tx.send(u, m);
+            }
+        }
+    }
+
+    fn deliver(&mut self, _round: Round, node: NodeId, from: NodeId, msg: &u64) {
+        self.received[node as usize].push((from, *msg));
+    }
+
+    fn collision(&mut self, _round: Round, node: NodeId) {
+        self.collisions[node as usize] += 1;
+    }
+}
+
+/// A single node transmitting the same message every round. Counts how many
+/// rounds it has been asked to act in (used to verify interleaving).
+#[derive(Debug, Clone)]
+pub struct EveryRound {
+    node: NodeId,
+    msg: u64,
+    rounds_seen: u64,
+}
+
+impl EveryRound {
+    /// `node` transmits `msg` every round.
+    pub fn new(node: NodeId, msg: u64) -> EveryRound {
+        EveryRound { node, msg, rounds_seen: 0 }
+    }
+
+    /// Number of `transmit` calls observed.
+    pub fn rounds_seen(&self) -> u64 {
+        self.rounds_seen
+    }
+}
+
+impl Protocol for EveryRound {
+    type Msg = u64;
+
+    fn transmit(&mut self, _round: Round, tx: &mut TxBuf<u64>) {
+        self.rounds_seen += 1;
+        tx.send(self.node, self.msg);
+    }
+
+    fn deliver(&mut self, _round: Round, _node: NodeId, _from: NodeId, _msg: &u64) {}
+}
+
+/// Naive flooding: the source transmits in round 0; every node transmits in
+/// the round after it first receives. On trees and paths this succeeds; on
+/// dense graphs it collides — both behaviors are useful fixtures.
+#[derive(Debug, Clone)]
+pub struct NaiveFlood {
+    /// Round in which each node is due to transmit (source: round 0;
+    /// receivers: the round after first reception). `None` = uninformed.
+    transmit_at: Vec<Option<Round>>,
+}
+
+impl NaiveFlood {
+    /// Creates a flood from `source` on an `n`-node network.
+    pub fn new(n: usize, source: NodeId) -> NaiveFlood {
+        let mut transmit_at = vec![None; n];
+        transmit_at[source as usize] = Some(0);
+        NaiveFlood { transmit_at }
+    }
+
+    /// Whether `node` has received (or originated) the flood.
+    pub fn is_informed(&self, node: NodeId) -> bool {
+        self.transmit_at[node as usize].is_some()
+    }
+
+    /// Number of informed nodes.
+    pub fn informed_count(&self) -> usize {
+        self.transmit_at.iter().filter(|x| x.is_some()).count()
+    }
+}
+
+impl Protocol for NaiveFlood {
+    type Msg = u64;
+
+    fn transmit(&mut self, round: Round, tx: &mut TxBuf<u64>) {
+        for (v, &at) in self.transmit_at.iter().enumerate() {
+            if at == Some(round) {
+                tx.send(v as NodeId, 1);
+            }
+        }
+    }
+
+    fn deliver(&mut self, round: Round, node: NodeId, _from: NodeId, _msg: &u64) {
+        let slot = &mut self.transmit_at[node as usize];
+        if slot.is_none() {
+            *slot = Some(round + 1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{CollisionModel, Simulator};
+    use rn_graph::generators;
+
+    #[test]
+    fn naive_flood_crosses_a_path() {
+        let g = generators::path(6);
+        let mut p = NaiveFlood::new(6, 0);
+        let mut sim = Simulator::new(&g, CollisionModel::NoCollisionDetection, 3);
+        sim.run(&mut p, 10);
+        assert_eq!(p.informed_count(), 6);
+    }
+
+    #[test]
+    fn naive_flood_stalls_on_even_cycles() {
+        // On a 4-cycle, the two neighbors of the source get informed in round
+        // 0 and both transmit in round 1: permanent collision at the antipode.
+        let g = generators::cycle(4);
+        let mut p = NaiveFlood::new(4, 0);
+        let mut sim = Simulator::new(&g, CollisionModel::NoCollisionDetection, 3);
+        sim.run(&mut p, 20);
+        assert_eq!(p.informed_count(), 3, "antipodal node starves under collisions");
+        assert!(!p.is_informed(2));
+    }
+}

@@ -1,0 +1,96 @@
+use crate::protocol::Round;
+use rn_graph::NodeId;
+use std::collections::VecDeque;
+
+/// A channel-level event observed by the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// `node` transmitted.
+    Transmit {
+        /// The transmitting node.
+        node: NodeId,
+    },
+    /// `node` successfully received from `from`.
+    Receive {
+        /// The receiving node.
+        node: NodeId,
+        /// The unique transmitting neighbor.
+        from: NodeId,
+    },
+    /// `node` was listening while ≥ 2 neighbors transmitted.
+    Collision {
+        /// The node experiencing the collision.
+        node: NodeId,
+    },
+}
+
+/// A bounded ring buffer of recent channel events, for debugging protocols.
+///
+/// When full, the oldest events are dropped (the most recent window is what
+/// you want when a long run misbehaves at the end).
+#[derive(Debug)]
+pub struct Trace {
+    capacity: usize,
+    events: VecDeque<(Round, Event)>,
+    dropped: u64,
+}
+
+impl Trace {
+    /// Creates a trace holding at most `capacity` events.
+    pub fn new(capacity: usize) -> Trace {
+        Trace { capacity: capacity.max(1), events: VecDeque::new(), dropped: 0 }
+    }
+
+    pub(crate) fn push(&mut self, round: Round, event: Event) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back((round, event));
+    }
+
+    /// Iterates events oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &(Round, Event)> {
+        self.events.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of events evicted due to the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_buffer_drops_oldest() {
+        let mut t = Trace::new(2);
+        t.push(0, Event::Transmit { node: 0 });
+        t.push(1, Event::Transmit { node: 1 });
+        t.push(2, Event::Transmit { node: 2 });
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.dropped(), 1);
+        let rounds: Vec<u64> = t.iter().map(|&(r, _)| r).collect();
+        assert_eq!(rounds, vec![1, 2]);
+    }
+
+    #[test]
+    fn capacity_floor_is_one() {
+        let mut t = Trace::new(0);
+        t.push(0, Event::Collision { node: 3 });
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+}

@@ -1,0 +1,161 @@
+//! Differential testing of the engine against a brute-force reference model.
+//!
+//! The optimized engine processes only transmitters and their neighborhoods
+//! (stamp arrays, sparse touch lists). The reference below recomputes each
+//! round from the definition: *for every node*, count transmitting
+//! neighbors; deliver iff the node listens and the count is exactly one.
+//! Property tests drive both with identical random transmission patterns on
+//! random graphs and require identical outcomes.
+
+use proptest::prelude::*;
+use rn_graph::{Graph, NodeId};
+use rn_sim::{CollisionModel, Protocol, Round, Simulator, TxBuf};
+
+/// A scripted protocol: transmits exactly the given `(round, node, msg)`
+/// triples and records everything it observes.
+#[derive(Debug, Clone)]
+struct Scripted {
+    /// sends[r] = list of (node, msg) transmitting in round r.
+    sends: Vec<Vec<(NodeId, u64)>>,
+    received: Vec<(Round, NodeId, NodeId, u64)>,
+    collisions: Vec<(Round, NodeId)>,
+}
+
+impl Scripted {
+    fn new(sends: Vec<Vec<(NodeId, u64)>>) -> Scripted {
+        Scripted { sends, received: Vec::new(), collisions: Vec::new() }
+    }
+}
+
+impl Protocol for Scripted {
+    type Msg = u64;
+
+    fn transmit(&mut self, round: Round, tx: &mut TxBuf<u64>) {
+        if let Some(batch) = self.sends.get(round as usize) {
+            for &(u, m) in batch {
+                tx.send(u, m);
+            }
+        }
+    }
+
+    fn deliver(&mut self, round: Round, node: NodeId, from: NodeId, msg: &u64) {
+        self.received.push((round, node, from, *msg));
+    }
+
+    fn collision(&mut self, round: Round, node: NodeId) {
+        self.collisions.push((round, node));
+    }
+}
+
+type Deliveries = Vec<(Round, NodeId, NodeId, u64)>;
+type Collisions = Vec<(Round, NodeId)>;
+
+/// The definitional reference: returns (deliveries, collisions) per round.
+fn reference(
+    g: &Graph,
+    sends: &[Vec<(NodeId, u64)>],
+    cd: bool,
+) -> (Deliveries, Collisions) {
+    let mut deliveries = Vec::new();
+    let mut collisions = Vec::new();
+    for (r, batch) in sends.iter().enumerate() {
+        let transmitting: Vec<bool> = {
+            let mut t = vec![false; g.n()];
+            for &(u, _) in batch {
+                t[u as usize] = true;
+            }
+            t
+        };
+        for v in g.nodes() {
+            if transmitting[v as usize] {
+                continue; // transmitters cannot listen
+            }
+            let heard: Vec<&(NodeId, u64)> =
+                batch.iter().filter(|(u, _)| g.has_edge(*u, v)).collect();
+            match heard.len() {
+                0 => {}
+                1 => deliveries.push((r as Round, v, heard[0].0, heard[0].1)),
+                _ => {
+                    if cd {
+                        collisions.push((r as Round, v));
+                    }
+                }
+            }
+        }
+    }
+    (deliveries, collisions)
+}
+
+/// Strategy: a connected graph and a 1–6 round transmission script with
+/// each node transmitting at most once per round.
+fn arb_scenario() -> impl Strategy<Value = (Graph, Vec<Vec<(NodeId, u64)>>)> {
+    (2usize..24).prop_flat_map(|n| {
+        let edge = (0..n as u32, 1..n as u32).prop_map(move |(u, k)| {
+            let v = (u + k) % n as u32;
+            if u < v {
+                (u, v)
+            } else {
+                (v, u)
+            }
+        });
+        let graph = proptest::collection::vec(edge, 0..40).prop_map(move |mut edges| {
+            for v in 1..n as u32 {
+                edges.push((v - 1, v));
+            }
+            Graph::from_edges(n, &edges).expect("valid")
+        });
+        let round = proptest::collection::btree_map(0..n as u32, 0u64..100, 0..=n)
+            .prop_map(|m| m.into_iter().collect::<Vec<(NodeId, u64)>>());
+        let script = proptest::collection::vec(round, 1..6);
+        (graph, script)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn engine_matches_reference_no_cd((g, sends) in arb_scenario()) {
+        let mut p = Scripted::new(sends.clone());
+        let mut sim = Simulator::new(&g, CollisionModel::NoCollisionDetection, 1);
+        sim.run(&mut p, sends.len() as u64);
+        let (expect_deliv, _) = reference(&g, &sends, false);
+        let mut got = p.received.clone();
+        let mut want = expect_deliv;
+        got.sort_unstable();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+        prop_assert!(p.collisions.is_empty(), "no CD notifications in the no-CD model");
+    }
+
+    #[test]
+    fn engine_matches_reference_cd((g, sends) in arb_scenario()) {
+        let mut p = Scripted::new(sends.clone());
+        let mut sim = Simulator::new(&g, CollisionModel::CollisionDetection, 1);
+        sim.run(&mut p, sends.len() as u64);
+        let (expect_deliv, expect_coll) = reference(&g, &sends, true);
+        let mut got_d = p.received.clone();
+        let mut want_d = expect_deliv;
+        got_d.sort_unstable();
+        want_d.sort_unstable();
+        prop_assert_eq!(got_d, want_d);
+        let mut got_c = p.collisions.clone();
+        let mut want_c = expect_coll;
+        got_c.sort_unstable();
+        want_c.sort_unstable();
+        prop_assert_eq!(got_c, want_c);
+    }
+
+    #[test]
+    fn metrics_match_reference_counts((g, sends) in arb_scenario()) {
+        let mut p = Scripted::new(sends.clone());
+        let mut sim = Simulator::new(&g, CollisionModel::NoCollisionDetection, 1);
+        let stats = sim.run(&mut p, sends.len() as u64);
+        let (expect_deliv, _) = reference(&g, &sends, false);
+        let (_, expect_coll) = reference(&g, &sends, true);
+        prop_assert_eq!(stats.metrics.deliveries, expect_deliv.len() as u64);
+        prop_assert_eq!(stats.metrics.collisions, expect_coll.len() as u64);
+        let total_tx: usize = sends.iter().map(|b| b.len()).sum();
+        prop_assert_eq!(stats.metrics.transmissions, total_tx as u64);
+    }
+}

@@ -1,0 +1,68 @@
+//! Tour of the Partition(β) clustering the whole construction rests on:
+//! Lemma 2.1's radius/cut guarantees, Theorem 2.2's distance-to-center
+//! bound, and the Section 6 quantities — all measured on one deployment.
+//!
+//! ```text
+//! cargo run --release --example clustering_tour
+//! ```
+
+use radio_networks::cluster::{stats, theory, Partition};
+use radio_networks::prelude::*;
+
+fn main() {
+    let mut rng = SmallRng::seed_from_u64(5);
+    let g = graph::generators::random_geometric(1200, 0.05, &mut rng);
+    let d = g.diameter();
+    println!("deployment: n = {}, D = {d}\n", g.n());
+
+    println!("Lemma 2.1 — Partition(β) guarantees (10 trials per β):");
+    println!("{:>8} {:>10} {:>14} {:>12} {:>8}", "β", "clusters", "max radius", "cut frac", "cut/β");
+    for j in 1..=6 {
+        let beta = (2.0f64).powi(-j);
+        let mut clusters = 0.0;
+        let mut radius = 0.0;
+        let mut cut = 0.0;
+        for _ in 0..10 {
+            let p = Partition::compute(&g, beta, &mut rng);
+            let s = stats::PartitionStats::measure(&g, &p);
+            clusters += s.num_clusters as f64 / 10.0;
+            radius += s.max_radius as f64 / 10.0;
+            cut += s.cut_fraction / 10.0;
+        }
+        println!(
+            "{:>8} {:>10.1} {:>14.1} {:>12.4} {:>8.3}",
+            format!("2^-{j}"),
+            clusters,
+            radius,
+            cut,
+            cut / beta
+        );
+    }
+
+    // Theorem 2.2: expected distance to the cluster center, normalized.
+    let v = (g.n() / 2) as NodeId;
+    let log_n = (g.n() as f64).log2();
+    let log_d = (d as f64).log2();
+    println!("\nTheorem 2.2 — E[dist(v, center)]·β·logD/logn for node {v} (20 trials per j):");
+    for j in 1..=6 {
+        let beta = (2.0f64).powi(-j);
+        let e = stats::mean_dist_to_center_of(&g, beta, v, 20, &mut rng);
+        println!("  j={j}: E[dist] = {e:>6.2}, normalized = {:.3}", e * beta * log_d / log_n);
+    }
+
+    // Section 6: the computable analysis quantities.
+    let x = theory::layer_vector(&g, v);
+    let beta = 0.25;
+    println!("\nSection 6 quantities at β = 1/4 for node {v}:");
+    println!("  S_x,β                = {:.2}", theory::s_value(&x, beta));
+    println!("  Lemma 6.1 bound 5S   = {:.2}", theory::lemma_6_1_bound(&x, beta));
+    let f = theory::transform_f(&x);
+    println!("  S_f(x),β             = {:.2} (Lemma 6.2: S_x ≤ 11·S_f)", theory::s_value(&f, beta));
+    let ks = theory::ratio_sequence(&theory::x_prime(&x));
+    println!("  ratio sequence k_i   = {:?}", ks.iter().map(|k| (k * 100.0).round() / 100.0).collect::<Vec<_>>());
+    println!(
+        "  bad j in [1, logD/2] = {} (Lemma 6.7 bound: {:.2})",
+        theory::count_bad_j(&ks, 1, (0.5 * log_d) as i64, log_n, log_d),
+        0.04 * log_d
+    );
+}

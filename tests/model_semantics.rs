@@ -1,0 +1,111 @@
+//! Cross-crate checks of the radio model semantics: the collision rule is
+//! exactly the paper's, and protocols experience it identically whichever
+//! crate they come from.
+
+use radio_networks::prelude::*;
+use radio_networks::sim::testing::NaiveFlood;
+
+#[test]
+fn naive_flooding_hits_the_deterministic_collision_trap() {
+    // The canonical example: on an even cycle, symmetric flooding produces a
+    // permanent collision at the antipode. Randomized decay resolves it.
+    let g = graph::generators::cycle(4);
+    let mut flood = NaiveFlood::new(4, 0);
+    let mut sim = Simulator::new(&g, CollisionModel::NoCollisionDetection, 1);
+    sim.run(&mut flood, 100);
+    assert_eq!(flood.informed_count(), 3, "antipode starves forever");
+
+    let net = NetParams::of_graph(&g);
+    let mut bgi = decay::DecayBroadcast::single_source(net, 0, 1, 1);
+    let mut sim = Simulator::new(&g, CollisionModel::NoCollisionDetection, 1);
+    sim.run_until(&mut bgi, 10_000, |_, p| p.all_informed());
+    assert!(bgi.all_informed(), "decay breaks the symmetry");
+}
+
+#[test]
+fn collision_detection_model_changes_observations_not_deliveries() {
+    // The same protocol run under CD and no-CD must deliver identically —
+    // CD only adds collision notifications.
+    let g = graph::generators::grid(6, 6);
+    let net = NetParams::of_graph(&g);
+    let run = |model: CollisionModel| {
+        let mut p = decay::DecayBroadcast::single_source(net, 0, 1, 9);
+        let mut sim = Simulator::new(&g, model, 9);
+        let stats = sim.run_until(&mut p, 100_000, |_, p| p.all_informed());
+        (stats.rounds, stats.metrics.deliveries, stats.metrics.collisions)
+    };
+    let nocd = run(CollisionModel::NoCollisionDetection);
+    let cd = run(CollisionModel::CollisionDetection);
+    assert_eq!(nocd, cd, "DecayBroadcast ignores collision events, so runs must be identical");
+}
+
+#[test]
+fn jamming_degrades_gracefully_never_panics() {
+    // Failure injection: jammed nodes never relay (their protocol actions
+    // are replaced by noise), so the message must route around them. On a
+    // grid with two interior jammers every other node is still reached.
+    let g = graph::generators::grid(8, 8);
+    let net = NetParams::of_graph(&g);
+    let jammers = vec![9u32, 18];
+    let inner = decay::DecayBroadcast::single_source(net, 0, 1, 5);
+    let mut jammed = sim::Jammer::new(inner, g.n(), jammers.clone(), 0.5, 99);
+    let mut simulator = Simulator::new(&g, CollisionModel::NoCollisionDetection, 5);
+    simulator.run_until(&mut jammed, 100_000, |_, p| {
+        g.nodes().all(|v| p.inner().value_of(v).is_some() || jammers.contains(&v))
+    });
+    for v in g.nodes() {
+        if !jammers.contains(&v) {
+            assert_eq!(jammed.inner().value_of(v), Some(1), "node {v} not reached");
+        }
+    }
+
+    // An always-on jammer at a cut vertex stops everything behind it.
+    let path = graph::generators::path(40);
+    let pnet = NetParams::of_graph(&path);
+    let inner = decay::DecayBroadcast::single_source(pnet, 0, 1, 5);
+    let mut blocked = sim::Jammer::new(inner, path.n(), vec![1], 1.0, 99);
+    let mut simulator = Simulator::new(&path, CollisionModel::NoCollisionDetection, 5);
+    simulator.run(&mut blocked, 20_000);
+    let informed = path.nodes().filter(|&v| blocked.inner().value_of(v).is_some()).count();
+    assert!(informed <= 2, "nothing can pass a permanently jammed cut vertex");
+}
+
+#[test]
+fn compete_survives_jamming_without_false_completion() {
+    let g = graph::generators::grid(8, 8);
+    let net = NetParams::of_graph(&g);
+    let params = core::CompeteParams::default();
+    let pre = core::Precomputed::build(&g, net, &params, 3);
+    let inner = core::CompeteProtocol::new(&pre, params, &[(0, 7)], 3);
+    let jam_nodes: Vec<NodeId> = (1..8).collect();
+    let mut jammed = sim::Jammer::new(inner, g.n(), jam_nodes, 0.9, 17);
+    let mut simulator = Simulator::new(&g, CollisionModel::NoCollisionDetection, 3);
+    simulator.run_until(&mut jammed, 200_000, |_, p| p.inner().all_know_target());
+    // Whatever happened, knowledge must only ever be the true source value.
+    for v in g.nodes() {
+        if let Some(x) = jammed.inner().value_of(v) {
+            assert_eq!(x, 7, "node {v} learned a fabricated value");
+        }
+    }
+}
+
+#[test]
+fn interleaved_protocols_do_not_interfere_semantically() {
+    // Run two independent decay broadcasts time-sliced on one channel: both
+    // must complete, and each node's value must come from its own protocol.
+    let g = graph::generators::path(30);
+    let net = NetParams::of_graph(&g);
+    let a = decay::DecayBroadcast::single_source(net, 0, 111, 1);
+    let b = decay::DecayBroadcast::single_source(net, 29, 222, 2);
+    let mut both = sim::Interleave::new(a, b);
+    let mut simulator = Simulator::new(&g, CollisionModel::NoCollisionDetection, 4);
+    simulator.run_until(&mut both, 400_000, |_, p| {
+        p.first().all_informed() && p.second().all_informed()
+    });
+    assert!(both.first().all_informed());
+    assert!(both.second().all_informed());
+    for v in g.nodes() {
+        assert_eq!(both.first().value_of(v), Some(111));
+        assert_eq!(both.second().value_of(v), Some(222));
+    }
+}
