@@ -65,8 +65,7 @@ pub fn binary_search_leader_election(
     let log_n = net.log2_n();
     let bits = 2 * log_n;
     let mut idrng = SmallRng::seed_from_u64(rng::derive(seed, 0x1D5));
-    let ids: Vec<u64> =
-        (0..n).map(|_| idrng.gen::<u64>() & ((1u64 << bits.min(63)) - 1)).collect();
+    let ids: Vec<u64> = (0..n).map(|_| idrng.gen::<u64>() & ((1u64 << bits.min(63)) - 1)).collect();
 
     // Per-node search state (kept per node so probe failures surface as
     // inconsistency instead of being silently repaired).
@@ -169,11 +168,8 @@ pub fn binary_search_leader_election(
     }
 
     let consistent = lo.windows(2).all(|w| w[0] == w[1]) && hi.windows(2).all(|w| w[0] == w[1]);
-    let leader = if consistent {
-        (0..n).find(|&v| ids[v] == lo[0]).map(|v| v as NodeId)
-    } else {
-        None
-    };
+    let leader =
+        if consistent { (0..n).find(|&v| ids[v] == lo[0]).map(|v| v as NodeId) } else { None };
     BinarySearchLeReport { leader, rounds: total_rounds, phases: bits, consistent }
 }
 

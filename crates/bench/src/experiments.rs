@@ -152,8 +152,7 @@ pub fn e3_theorem_2_2(seed: u64) -> Vec<Table> {
         let mut sorted = normalized_all.clone();
         sorted.sort_by(f64::total_cmp);
         let median = sorted[sorted.len() / 2];
-        let good =
-            normalized_all.iter().filter(|&&x| x <= 3.0 * median.max(1e-9)).count() as f64;
+        let good = normalized_all.iter().filter(|&&x| x <= 3.0 * median.max(1e-9)).count() as f64;
         good_fraction.push((name.to_string(), good / normalized_all.len() as f64));
     }
     for (name, frac) in good_fraction {
@@ -198,8 +197,7 @@ pub fn e4_section6(seed: u64) -> Vec<Table> {
         let log_d = (d as f64).log2();
         let log_n = (g.n() as f64).log2();
         let ks = theory::ratio_sequence(&theory::x_prime(&x));
-        let bad =
-            theory::count_bad_j(&ks, 1, (0.5 * log_d).round() as i64, log_n, log_d);
+        let bad = theory::count_bad_j(&ks, 1, (0.5 * log_d).round() as i64, log_n, log_d);
         for j in [2u32, 4] {
             let beta = (2.0f64).powi(-(j as i32));
             let s_x = theory::s_value(&x, beta);
@@ -337,9 +335,7 @@ pub fn e6_schedule_contract(seed: u64) -> Vec<Table> {
             let mut sim = Simulator::new(g, CollisionModel::NoCollisionDetection, seed);
             // Stop as soon as every node within ℓ is served.
             let stats = sim.run_until(&mut dc, budget, |_, dc| {
-                g.nodes()
-                    .filter(|&v| sched.depth(v) <= l)
-                    .all(|v| dc.value_of(v).is_some())
+                g.nodes().filter(|&v| sched.depth(v) <= l).all(|v| dc.value_of(v).is_some())
             });
             t.row(&[
                 name.to_string(),
@@ -407,7 +403,16 @@ pub fn e7_broadcast_scaling(seed: u64) -> Vec<Table> {
 pub fn e8_comparison(seed: u64) -> Vec<Table> {
     let mut t = Table::new(
         "E8 (§1.3 table): broadcast rounds by algorithm (3 seeds each)",
-        &["graph", "n", "D", "BGI'92", "CR/KP-style", "HW'16 (prop)", "CD'17 (prop)", "CD speedup vs BGI"],
+        &[
+            "graph",
+            "n",
+            "D",
+            "BGI'92",
+            "CR/KP-style",
+            "HW'16 (prop)",
+            "CD'17 (prop)",
+            "CD speedup vs BGI",
+        ],
     );
     let mut configs: Vec<(String, Graph)> = Vec::new();
     for m in [32usize, 64, 96] {
@@ -418,9 +423,9 @@ pub fn e8_comparison(seed: u64) -> Vec<Table> {
     }
     for (name, g) in &configs {
         let net = NetParams::new(g.n(), g.diameter_double_sweep());
-        let bgi = mean(
-            &parallel_trials(3, |i| bgi_broadcast(g, net, 0, rng::derive(seed, i)).rounds as f64),
-        );
+        let bgi = mean(&parallel_trials(3, |i| {
+            bgi_broadcast(g, net, 0, rng::derive(seed, i)).rounds as f64
+        }));
         let cr = mean(&parallel_trials(3, |i| {
             truncated_broadcast(g, net, 0, rng::derive(seed, 0x10 + i)).rounds as f64
         }));
@@ -478,19 +483,17 @@ pub fn e9_leader_election(seed: u64) -> Vec<Table> {
     for (name, g) in &configs {
         let net = NetParams::new(g.n(), g.diameter_double_sweep());
         let le = mean(&parallel_trials(3, |i| {
-            let r = leader_election_with_net(g, net, &params, rng::derive(seed, i))
-                .expect("connected");
+            let r =
+                leader_election_with_net(g, net, &params, rng::derive(seed, i)).expect("connected");
             assert!(r.compete.completed && r.unique_winner);
             r.compete.propagation_rounds as f64
         }));
         let bc = mean(&parallel_trials(3, |i| {
             cd_rounds(g, net, &params, rng::derive(seed, 0x40 + i)).1 as f64
         }));
-        let bgi_bc = mean(
-            &parallel_trials(3, |i| {
-                bgi_broadcast(g, net, 0, rng::derive(seed, 0x50 + i)).rounds as f64
-            }),
-        );
+        let bgi_bc = mean(&parallel_trials(3, |i| {
+            bgi_broadcast(g, net, 0, rng::derive(seed, 0x50 + i)).rounds as f64
+        }));
         let bs = mean(&parallel_trials(2, |i| {
             binary_search_leader_election(g, net, BroadcastKind::Bgi, 1.0, rng::derive(seed, i))
                 .rounds as f64
@@ -532,20 +535,14 @@ pub fn e10_compete_sources(seed: u64) -> Vec<Table> {
                 let v = srng.gen_range(0..g.n()) as NodeId;
                 sources.push((v, (k + 1) as u64));
             }
-            let r = compete_with_net(&g, net, &sources, &params, rng::derive(seed, i))
-                .expect("valid");
+            let r =
+                compete_with_net(&g, net, &sources, &params, rng::derive(seed, i)).expect("valid");
             (r.completed, r.propagation_rounds as f64)
         });
         let rounds = mean(&outcomes.iter().map(|o| o.1).collect::<Vec<_>>());
         let ok = outcomes.iter().all(|o| o.0);
-        let bound = d * net.log2_n() as f64 / net.log2_d() as f64
-            + s_count as f64 * d.powf(0.125);
-        t.row(&[
-            s_count.to_string(),
-            fmt_f(rounds),
-            ok.to_string(),
-            fmt_f(rounds / bound),
-        ]);
+        let bound = d * net.log2_n() as f64 / net.log2_d() as f64 + s_count as f64 * d.powf(0.125);
+        t.row(&[s_count.to_string(), fmt_f(rounds), ok.to_string(), fmt_f(rounds / bound)]);
     }
     t.note(
         "Paper: O(D·logn/logD + |S|·D^0.125 + polylog). More sources generally *help* \
@@ -573,15 +570,14 @@ pub fn e11_ablations(seed: u64) -> Vec<Table> {
         ("no curtailment (full radius)", CompeteParams { curtail_const: 1e6, ..base }),
         ("wide j range (0.5 log D)", CompeteParams { j_frac_max: 0.5, ..base }),
         ("no Alg-4 decay", CompeteParams { icp_background: false, ..base }),
-        ("strict Alg-4 filter (paper-literal)", CompeteParams { alg4_accept_foreign: false, ..base }),
+        (
+            "strict Alg-4 filter (paper-literal)",
+            CompeteParams { alg4_accept_foreign: false, ..base },
+        ),
         ("no background process", CompeteParams { background_process: false, ..base }),
         (
             "strict filter + no background",
-            CompeteParams {
-                alg4_accept_foreign: false,
-                background_process: false,
-                ..base
-            },
+            CompeteParams { alg4_accept_foreign: false, background_process: false, ..base },
         ),
         ("global sequence", CompeteParams { sequence_scope: SequenceScope::Global, ..base }),
     ];
@@ -594,12 +590,7 @@ pub fn e11_ablations(seed: u64) -> Vec<Table> {
                 parallel_trials(3, |i| cd_rounds(g, net, &capped, rng::derive(seed, 0xAB + i)));
             let ok = outcomes.iter().filter(|o| o.0).count();
             let rounds = mean(&outcomes.iter().map(|o| o.1 as f64).collect::<Vec<_>>());
-            t.row(&[
-                gname.to_string(),
-                vname.to_string(),
-                format!("{ok}/3"),
-                fmt_f(rounds),
-            ]);
+            t.row(&[gname.to_string(), vname.to_string(), format!("{ok}/3"), fmt_f(rounds)]);
         }
     }
     t.note(
@@ -691,13 +682,7 @@ pub fn e12_model(seed: u64) -> Vec<Table> {
                 cd_rounds(&g, net, &params, rng::derive(seed, 0x70 + i)).1 as f64
             }));
             let d = (n - 1) as f64;
-            tc.row(&[
-                n.to_string(),
-                fmt_f(bgi),
-                fmt_f(bgi / d),
-                fmt_f(cd),
-                fmt_f(cd / d),
-            ]);
+            tc.row(&[n.to_string(), fmt_f(bgi), fmt_f(bgi / d), fmt_f(cd), fmt_f(cd / d)]);
         }
         tc.note(
             "BGI/D grows like log n; CD/D stays near-constant — the paper's asymptotically \

@@ -53,9 +53,7 @@ impl Table {
             .headers
             .iter()
             .enumerate()
-            .map(|(i, h)| {
-                self.rows.iter().map(|r| r[i].len()).chain([h.len()]).max().unwrap_or(3)
-            })
+            .map(|(i, h)| self.rows.iter().map(|r| r[i].len()).chain([h.len()]).max().unwrap_or(3))
             .collect();
         let fmt_row = |cells: &[String]| {
             let mut line = String::from("|");
@@ -87,17 +85,14 @@ impl Table {
 
 /// Runs `trials` seeded executions of `f` across threads (one logical trial
 /// per seed `0..trials`), preserving seed order in the output.
-pub fn parallel_trials<T: Send>(
-    trials: u64,
-    f: impl Fn(u64) -> T + Sync,
-) -> Vec<T> {
+pub fn parallel_trials<T: Send>(trials: u64, f: impl Fn(u64) -> T + Sync) -> Vec<T> {
     let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4).min(16);
     let mut results: Vec<Option<T>> = (0..trials).map(|_| None).collect();
     let next = std::sync::atomic::AtomicU64::new(0);
     let results_mutex = std::sync::Mutex::new(&mut results);
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= trials {
                     break;
@@ -107,8 +102,7 @@ pub fn parallel_trials<T: Send>(
                 guard[i as usize] = Some(value);
             });
         }
-    })
-    .expect("trial threads do not panic");
+    });
     results.into_iter().map(|r| r.expect("all trials filled")).collect()
 }
 

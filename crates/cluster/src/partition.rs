@@ -73,12 +73,7 @@ impl Partition {
     /// # Panics
     ///
     /// Panics if `region.len() != g.n()` or `beta <= 0`.
-    pub fn compute_within(
-        g: &Graph,
-        beta: f64,
-        region: &[u32],
-        rng: &mut impl Rng,
-    ) -> Partition {
+    pub fn compute_within(g: &Graph, beta: f64, region: &[u32], rng: &mut impl Rng) -> Partition {
         assert_eq!(region.len(), g.n(), "one region label per node");
         let shifts = ExponentialShifts::sample(g.n(), beta, rng);
         Partition::race(g, &shifts, Some(region))

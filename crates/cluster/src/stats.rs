@@ -309,8 +309,7 @@ mod tests {
         let g = generators::grid(10, 10);
         let p = Partition::compute(&g, 0.25, &mut rng(6));
         let s = PartitionStats::measure(&g, &p);
-        let computed_boundary =
-            g.nodes().filter(|&v| bordering_clusters(&g, &p, v) > 0).count();
+        let computed_boundary = g.nodes().filter(|&v| bordering_clusters(&g, &p, v) > 0).count();
         assert_eq!(computed_boundary, s.boundary_nodes);
     }
 

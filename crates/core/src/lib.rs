@@ -54,8 +54,8 @@ mod precompute;
 mod protocol;
 
 pub use api::{
-    broadcast, compete, compete_with_net, leader_election, leader_election_with_net,
-    CompeteError, CompeteReport, LeaderElectionReport,
+    broadcast, compete, compete_with_net, leader_election, leader_election_with_net, CompeteError,
+    CompeteReport, LeaderElectionReport,
 };
 pub use params::{CompeteParams, CurtailMode, PrecomputeMode, SequenceScope};
 pub use precompute::{FineClustering, Precomputed};

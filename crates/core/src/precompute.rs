@@ -242,11 +242,8 @@ mod tests {
         let g = generators::grid(20, 20);
         let pre = build(&g);
         let bg_clusters = pre.bg[0].partition.num_clusters();
-        let finest = pre
-            .fines
-            .iter()
-            .max_by(|a, b| a.beta.total_cmp(&b.beta))
-            .expect("fines nonempty");
+        let finest =
+            pre.fines.iter().max_by(|a, b| a.beta.total_cmp(&b.beta)).expect("fines nonempty");
         assert!(finest.beta > pre.bg[0].beta, "finest β above background β");
         assert!(
             bg_clusters <= finest.partition.num_clusters(),

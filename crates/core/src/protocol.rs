@@ -192,8 +192,7 @@ impl<'p> CompeteProtocol<'p> {
             let slot = &mut know[s as usize];
             *slot = Some(slot.map_or(v, |old: u64| old.max(v)));
         }
-        let num_know_target =
-            know.iter().filter(|k| k.is_some_and(|v| v >= target)).count();
+        let num_know_target = know.iter().filter(|k| k.is_some_and(|v| v >= target)).count();
 
         let fine_knowing: Vec<Vec<u32>> =
             pre.fines.iter().map(|f| vec![0; f.partition.num_clusters()]).collect();
@@ -290,11 +289,8 @@ impl<'p> CompeteProtocol<'p> {
     /// Routes a protocol-local round to (stream, kind, step).
     /// stream: 0 = main, 1 = background; kind: 0 = schedule, 1 = Alg-4 decay.
     fn route(&self, m: Round) -> (u8, u8, u64) {
-        let (stream, sub) = if self.params.background_process {
-            ((m % 2) as u8, m / 2)
-        } else {
-            (0u8, m)
-        };
+        let (stream, sub) =
+            if self.params.background_process { ((m % 2) as u8, m / 2) } else { (0u8, m) };
         let (kind, step) =
             if self.params.icp_background { ((sub % 2) as u8, sub / 2) } else { (0u8, sub) };
         (stream, kind, step)
@@ -529,8 +525,7 @@ impl<'p> CompeteProtocol<'p> {
             std::mem::take(&mut self.alg4_main.participating)
         };
         for &(ci, c) in &participating {
-            let fine =
-                if bg { &self.pre.bg[ci as usize] } else { &self.pre.fines[ci as usize] };
+            let fine = if bg { &self.pre.bg[ci as usize] } else { &self.pre.fines[ci as usize] };
             let members = fine.partition.members(c);
             self.scratch_idx.clear();
             bernoulli_into(&mut self.rng, members.len(), p_tx, &mut self.scratch_idx);

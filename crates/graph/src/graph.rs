@@ -192,8 +192,8 @@ impl Graph {
     pub fn diameter(&self) -> u32 {
         let mut best = 0;
         for v in self.nodes() {
-            let ecc = crate::traversal::eccentricity(self, v)
-                .expect("diameter of a disconnected graph");
+            let ecc =
+                crate::traversal::eccentricity(self, v).expect("diameter of a disconnected graph");
             best = best.max(ecc);
         }
         best

@@ -32,8 +32,8 @@
 #![warn(missing_docs)]
 
 mod error;
-mod graph;
 pub mod generators;
+mod graph;
 pub mod traversal;
 
 pub use error::GraphError;

@@ -35,7 +35,11 @@ impl<'s> Downcast<'s> {
     /// # Panics
     ///
     /// Panics if `seed_values.len()` differs from the schedule's node count.
-    pub fn new(sched: &'s TreeSchedule, radius: u32, seed_values: Vec<Option<u64>>) -> Downcast<'s> {
+    pub fn new(
+        sched: &'s TreeSchedule,
+        radius: u32,
+        seed_values: Vec<Option<u64>>,
+    ) -> Downcast<'s> {
         assert_eq!(seed_values.len(), sched_len(sched), "one seed per node");
         Downcast { sched, radius: radius.min(sched.max_depth()), value: seed_values }
     }
@@ -133,7 +137,11 @@ impl<'s> Upcast<'s> {
     /// # Panics
     ///
     /// Panics if `participating.len()` differs from the schedule's node count.
-    pub fn new(sched: &'s TreeSchedule, radius: u32, participating: Vec<Option<u64>>) -> Upcast<'s> {
+    pub fn new(
+        sched: &'s TreeSchedule,
+        radius: u32,
+        participating: Vec<Option<u64>>,
+    ) -> Upcast<'s> {
         assert_eq!(participating.len(), sched_len(sched), "one entry per node");
         Upcast { sched, radius: radius.min(sched.max_depth()), value: participating }
     }
@@ -258,10 +266,7 @@ mod tests {
         let sched = TreeSchedule::build(&g, &part, SlotPolicy::Auto);
         // Three participants with different values; deepest holds the max.
         let mut participating = vec![None; g.n()];
-        let deepest = g
-            .nodes()
-            .max_by_key(|&v| sched.depth(v))
-            .unwrap();
+        let deepest = g.nodes().max_by_key(|&v| sched.depth(v)).unwrap();
         participating[deepest as usize] = Some(900);
         participating[10] = Some(5);
         participating[30] = Some(17);

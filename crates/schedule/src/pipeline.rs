@@ -158,7 +158,12 @@ mod tests {
         Partition::compute(g, 1e-9, &mut rng)
     }
 
-    fn run_pipeline(g: &Graph, sched: &TreeSchedule, radius: u32, msgs: Vec<u64>) -> Vec<Vec<Option<u64>>> {
+    fn run_pipeline(
+        g: &Graph,
+        sched: &TreeSchedule,
+        radius: u32,
+        msgs: Vec<u64>,
+    ) -> Vec<Vec<Option<u64>>> {
         let k = msgs.len();
         let mut p = PipelinedDowncast::new(sched, radius, &[msgs]);
         let budget = p.pass_len();

@@ -402,12 +402,7 @@ mod tests {
                 let part = Partition::compute(&g, beta, &mut rng);
                 let sched = TreeSchedule::build(&g, &part, SlotPolicy::Auto);
                 if sched.overflow() == 0 {
-                    assert_eq!(
-                        sched.conflict_violations(&g),
-                        0,
-                        "graph n={} beta={beta}",
-                        g.n()
-                    );
+                    assert_eq!(sched.conflict_violations(&g), 0, "graph n={} beta={beta}", g.n());
                 }
             }
         }

@@ -132,7 +132,8 @@ proptest! {
         prop_assume!(part.num_clusters() == 1);
         let sched = TreeSchedule::build(&g, &part, SlotPolicy::Auto);
         let msgs: Vec<u64> = (0..k as u64).map(|i| 50 + i).collect();
-        let mut p = PipelinedDowncast::new(&sched, sched.max_depth(), &[msgs.clone()]);
+        let mut p =
+            PipelinedDowncast::new(&sched, sched.max_depth(), std::slice::from_ref(&msgs));
         let budget = p.pass_len();
         let mut sim = Simulator::new(&g, CollisionModel::NoCollisionDetection, 6);
         sim.run(&mut p, budget);

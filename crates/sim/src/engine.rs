@@ -177,11 +177,7 @@ impl<'g> Simulator<'g> {
             }
             self.step_at(protocol, &mut tx, local);
         };
-        RunStats {
-            rounds: self.round - start,
-            metrics: self.metrics.diff(before),
-            outcome,
-        }
+        RunStats { rounds: self.round - start, metrics: self.metrics.diff(before), outcome }
     }
 
     /// Executes exactly one round of `protocol`, presenting the engine's

@@ -51,11 +51,7 @@ type Deliveries = Vec<(Round, NodeId, NodeId, u64)>;
 type Collisions = Vec<(Round, NodeId)>;
 
 /// The definitional reference: returns (deliveries, collisions) per round.
-fn reference(
-    g: &Graph,
-    sends: &[Vec<(NodeId, u64)>],
-    cd: bool,
-) -> (Deliveries, Collisions) {
+fn reference(g: &Graph, sends: &[Vec<(NodeId, u64)>], cd: bool) -> (Deliveries, Collisions) {
     let mut deliveries = Vec::new();
     let mut collisions = Vec::new();
     for (r, batch) in sends.iter().enumerate() {

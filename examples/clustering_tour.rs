@@ -16,7 +16,10 @@ fn main() {
     println!("deployment: n = {}, D = {d}\n", g.n());
 
     println!("Lemma 2.1 — Partition(β) guarantees (10 trials per β):");
-    println!("{:>8} {:>10} {:>14} {:>12} {:>8}", "β", "clusters", "max radius", "cut frac", "cut/β");
+    println!(
+        "{:>8} {:>10} {:>14} {:>12} {:>8}",
+        "β", "clusters", "max radius", "cut frac", "cut/β"
+    );
     for j in 1..=6 {
         let beta = (2.0f64).powi(-j);
         let mut clusters = 0.0;
@@ -59,7 +62,10 @@ fn main() {
     let f = theory::transform_f(&x);
     println!("  S_f(x),β             = {:.2} (Lemma 6.2: S_x ≤ 11·S_f)", theory::s_value(&f, beta));
     let ks = theory::ratio_sequence(&theory::x_prime(&x));
-    println!("  ratio sequence k_i   = {:?}", ks.iter().map(|k| (k * 100.0).round() / 100.0).collect::<Vec<_>>());
+    println!(
+        "  ratio sequence k_i   = {:?}",
+        ks.iter().map(|k| (k * 100.0).round() / 100.0).collect::<Vec<_>>()
+    );
     println!(
         "  bad j in [1, logD/2] = {} (Lemma 6.7 bound: {:.2})",
         theory::count_bad_j(&ks, 1, (0.5 * log_d) as i64, log_n, log_d),

@@ -64,12 +64,7 @@ fn main() {
     let budget = down2.pass_len();
     sim.run(&mut down2, budget);
     let knowing_77 = g.nodes().filter(|&v| down2.value_of(v) == Some(77)).count();
-    println!(
-        "down pass 2: {} rounds, {} of {} nodes now know 77",
-        budget,
-        knowing_77,
-        g.n()
-    );
+    println!("down pass 2: {} rounds, {} of {} nodes now know 77", budget, knowing_77, g.n());
     println!(
         "\ntotal: 3 passes × (depth+1)·W = {} rounds — Lemma 2.3's O(ℓ + polylog) at work;\n\
          Compete chains thousands of these slots over ever-changing clusterings.",

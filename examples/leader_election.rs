@@ -32,13 +32,8 @@ fn main() {
     // with multi-source BGI broadcast probes — a Θ(log n) multiplicative
     // overhead that Algorithm 6 removes.
     let net = NetParams::new(g.n(), g.diameter());
-    let classic = baselines::binary_search_leader_election(
-        &g,
-        net,
-        baselines::BroadcastKind::Bgi,
-        1.0,
-        0,
-    );
+    let classic =
+        baselines::binary_search_leader_election(&g, net, baselines::BroadcastKind::Bgi, 1.0, 0);
     println!(
         "classical binary-search reduction: leader = {:?}, rounds = {} ({} phases)",
         classic.leader, classic.rounds, classic.phases

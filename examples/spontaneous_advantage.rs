@@ -15,8 +15,7 @@ fn main() {
     // before any broadcast message exists — all of them spontaneous.
     let g = graph::generators::grid(24, 24);
     let net = NetParams::of_graph(&g);
-    let mut proto =
-        DistributedPartition::new(net, 0.25, DistributedPartitionConfig::default(), 11);
+    let mut proto = DistributedPartition::new(net, 0.25, DistributedPartitionConfig::default(), 11);
     let budget = proto.total_rounds();
     let mut sim = Simulator::new(&g, CollisionModel::NoCollisionDetection, 11);
     let stats = sim.run(&mut proto, budget);

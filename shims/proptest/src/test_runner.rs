@@ -1,0 +1,127 @@
+//! Case execution: configuration, per-case RNG derivation, pass/reject
+//! accounting and failure reporting.
+
+pub use rand::rngs::SmallRng as TestRng;
+use rand::SeedableRng;
+
+/// Configuration for a `proptest!` block.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful (non-rejected) cases required.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        // Real proptest defaults to 256; the shim favors fast CI suites.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case failed an assertion.
+    Fail(String),
+    /// The case was rejected by `prop_assume!` and should not count.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure.
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Builds a rejection.
+    pub fn reject(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+fn base_seed() -> u64 {
+    match std::env::var("PROPTEST_SHIM_SEED") {
+        Ok(s) => s
+            .parse::<u64>()
+            .unwrap_or_else(|_| panic!("PROPTEST_SHIM_SEED must be a u64, got {s:?}")),
+        Err(_) => 0x5ee0_d075_u64,
+    }
+}
+
+/// Runs `f` until `config.cases` cases pass, panicking on the first failure
+/// with enough context (case index + seed) to replay it.
+pub fn run_cases<F>(config: &ProptestConfig, name: &str, mut f: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let base = base_seed();
+    let mut passed: u32 = 0;
+    let mut rejected: u64 = 0;
+    let mut case: u64 = 0;
+    let reject_budget = 16 * u64::from(config.cases) + 256;
+    while passed < config.cases {
+        let case_seed = base ^ (case.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let mut rng = TestRng::seed_from_u64(case_seed);
+        match f(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                assert!(
+                    rejected <= reject_budget,
+                    "[{name}] too many rejected cases ({rejected}) — \
+                     prop_assume! conditions are too restrictive"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "[{name}] property failed at case {case} \
+                     (base seed {base:#x}, case seed {case_seed:#x}):\n{msg}"
+                );
+            }
+        }
+        case += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn failing_case_panics_with_replay_info() {
+        let cfg = ProptestConfig::with_cases(5);
+        let err = std::panic::catch_unwind(|| {
+            run_cases(&cfg, "demo", |_rng| Err(TestCaseError::fail("boom")));
+        })
+        .expect_err("a failing property must panic");
+        let msg = err.downcast_ref::<String>().expect("panic carries a String");
+        assert!(msg.contains("[demo]"), "panic names the test: {msg}");
+        assert!(msg.contains("case 0"), "panic names the case index: {msg}");
+        assert!(msg.contains("boom"), "panic carries the assertion message: {msg}");
+        assert!(msg.contains("case seed"), "panic carries the replay seed: {msg}");
+    }
+
+    #[test]
+    fn rejections_do_not_count_as_cases() {
+        let cfg = ProptestConfig::with_cases(8);
+        let mut calls = 0u32;
+        run_cases(&cfg, "demo", |_rng| {
+            calls += 1;
+            if calls.is_multiple_of(2) {
+                Err(TestCaseError::reject("even call"))
+            } else {
+                Ok(())
+            }
+        });
+        // Passes land on odd calls, so the 8th pass is call 15 and the
+        // runner stops there: 8 passes, 7 interleaved rejections.
+        assert_eq!(calls, 15, "8 passes interleaved with 7 rejections");
+    }
+}

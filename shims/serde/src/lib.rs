@@ -1,0 +1,27 @@
+//! Offline shim for the `serde` facade.
+//!
+//! No serializer backend ships in this environment, so `Serialize` and
+//! `Deserialize` are marker traits with blanket implementations and the
+//! re-exported derives expand to nothing. Code can keep its
+//! `#[derive(Serialize, Deserialize)]` annotations and trait bounds;
+//! swapping in real serde later is a manifest-only change.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all types.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub mod de {
+    /// Blanket-implemented owned-deserialization marker.
+    pub trait DeserializeOwned {}
+
+    impl<T: ?Sized> DeserializeOwned for T {}
+}

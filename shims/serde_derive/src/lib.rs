@@ -1,0 +1,19 @@
+//! Offline shim for `serde_derive`.
+//!
+//! The workspace's `serde` shim gives `Serialize`/`Deserialize` blanket
+//! implementations, so the derives only need to accept the attribute
+//! grammar (`#[serde(...)]`) and emit nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

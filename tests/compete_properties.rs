@@ -66,8 +66,7 @@ fn charged_vs_ignored_precompute_same_propagation() {
     // The accounting mode must not change the execution, only the report.
     let g = graph::generators::grid(8, 8);
     let charged = core::CompeteParams::default();
-    let ignored =
-        core::CompeteParams { precompute: core::PrecomputeMode::Ignored, ..charged };
+    let ignored = core::CompeteParams { precompute: core::PrecomputeMode::Ignored, ..charged };
     let a = core::broadcast(&g, 0, &charged, 31).unwrap();
     let b = core::broadcast(&g, 0, &ignored, 31).unwrap();
     assert_eq!(a.propagation_rounds, b.propagation_rounds);

@@ -19,11 +19,7 @@ fn broadcast_reports_are_seed_deterministic() {
 
 #[test]
 fn leader_election_is_seed_deterministic() {
-    let g = graph::generators::random_geometric(
-        150,
-        0.12,
-        &mut SmallRng::seed_from_u64(5),
-    );
+    let g = graph::generators::random_geometric(150, 0.12, &mut SmallRng::seed_from_u64(5));
     let params = core::CompeteParams::default();
     let a = core::leader_election(&g, &params, 9).unwrap();
     let b = core::leader_election(&g, &params, 9).unwrap();
