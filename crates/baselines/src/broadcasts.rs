@@ -13,19 +13,12 @@ pub struct BroadcastOutcome {
     pub rounds: u64,
 }
 
-/// Default budget generous enough for every baseline:
-/// `64·(D + log n)·log n + 4096`.
-fn default_budget(net: &NetParams) -> u64 {
-    let log_n = net.log2_n() as u64;
-    64 * (net.diameter() as u64 + log_n) * log_n + 4096
-}
-
 /// Runs BGI'92 decay broadcasting from `source` and reports rounds until all
 /// nodes are informed.
 pub fn bgi_broadcast(g: &Graph, net: NetParams, source: NodeId, seed: u64) -> BroadcastOutcome {
     let mut p = DecayBroadcast::single_source(net, source, 1, seed);
     let mut sim = Simulator::new(g, CollisionModel::NoCollisionDetection, seed);
-    let stats = sim.run_until(&mut p, default_budget(&net), |_, p| p.all_informed());
+    let stats = sim.run_until(&mut p, net.decay_broadcast_budget(), |_, p| p.all_informed());
     BroadcastOutcome { completed: p.all_informed(), rounds: stats.rounds }
 }
 
@@ -38,7 +31,7 @@ pub fn truncated_broadcast(
 ) -> BroadcastOutcome {
     let mut p = TruncatedDecayBroadcast::single_source(net, source, 1, seed);
     let mut sim = Simulator::new(g, CollisionModel::NoCollisionDetection, seed);
-    let stats = sim.run_until(&mut p, default_budget(&net), |_, p| p.all_informed());
+    let stats = sim.run_until(&mut p, net.decay_broadcast_budget(), |_, p| p.all_informed());
     BroadcastOutcome { completed: p.all_informed(), rounds: stats.rounds }
 }
 
@@ -83,12 +76,5 @@ mod tests {
         let g = generators::grid(10, 10);
         let r = hw_broadcast(&g, 0, 5).expect("runs");
         assert!(r.completed);
-    }
-
-    #[test]
-    fn budget_scales_with_d() {
-        let small = default_budget(&NetParams::new(256, 16));
-        let large = default_budget(&NetParams::new(256, 1024));
-        assert!(large > small);
     }
 }

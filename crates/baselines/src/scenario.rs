@@ -1,0 +1,160 @@
+//! [`Runnable`] scenarios for the comparator algorithms, so baselines plug
+//! into campaigns on exactly the same footing as the paper's algorithms.
+
+use crate::binary_search::{binary_search_leader_election, BroadcastKind};
+use rn_decay::{DecayBroadcast, TruncatedDecayBroadcast};
+use rn_graph::Graph;
+use rn_sim::{CollisionModel, NetParams, Runnable, Simulator, TrialRecord};
+
+/// BGI'92 decay broadcasting from node 0 — the classical
+/// no-spontaneous-transmissions baseline (`O((D + log n)·log n)`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BgiScenario;
+
+impl Runnable for BgiScenario {
+    fn name(&self) -> String {
+        "bgi".into()
+    }
+
+    fn run_trial(
+        &self,
+        g: &Graph,
+        net: NetParams,
+        model: CollisionModel,
+        seed: u64,
+    ) -> TrialRecord {
+        let mut p = DecayBroadcast::single_source(net, 0, 1, seed);
+        let mut sim = Simulator::new(g, model, seed);
+        let stats = sim.run_until(&mut p, net.decay_broadcast_budget(), |_, p| p.all_informed());
+        TrialRecord::new(p.all_informed(), stats.rounds, stats.metrics)
+    }
+}
+
+/// Truncated-decay (Czumaj–Rytter / Kowalski–Pelc-style) broadcasting from
+/// node 0 (`O(D·log(n/D) + log² n)` shape).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TruncatedScenario;
+
+impl Runnable for TruncatedScenario {
+    fn name(&self) -> String {
+        "truncated".into()
+    }
+
+    fn run_trial(
+        &self,
+        g: &Graph,
+        net: NetParams,
+        model: CollisionModel,
+        seed: u64,
+    ) -> TrialRecord {
+        let mut p = TruncatedDecayBroadcast::single_source(net, 0, 1, seed);
+        let mut sim = Simulator::new(g, model, seed);
+        let stats = sim.run_until(&mut p, net.decay_broadcast_budget(), |_, p| p.all_informed());
+        TrialRecord::new(p.all_informed(), stats.rounds, stats.metrics)
+    }
+}
+
+/// The classical binary-search leader-election reduction over a pluggable
+/// broadcast probe (`Θ(T_BC · log n)` — the overhead Algorithm 6 removes).
+///
+/// The probe kind dictates the channel model it needs
+/// ([`BroadcastKind::BeepWaveCd`] runs under collision detection, the others
+/// without), so this scenario overrides [`Runnable::effective_model`] to the
+/// probe's native model — campaign records always state the model the trial
+/// truly ran under, whatever the requested axis value.
+#[derive(Debug, Clone, Copy)]
+pub struct BinarySearchLeScenario {
+    /// The broadcast subroutine probed in each search phase.
+    pub kind: BroadcastKind,
+}
+
+impl BinarySearchLeScenario {
+    /// Registry name suffix for the probe kind.
+    fn kind_name(&self) -> &'static str {
+        match self.kind {
+            BroadcastKind::Bgi => "bgi",
+            BroadcastKind::CzumajDavies => "cd17",
+            BroadcastKind::BeepWaveCd => "beep",
+        }
+    }
+}
+
+impl Runnable for BinarySearchLeScenario {
+    fn name(&self) -> String {
+        format!("binsearch_le({})", self.kind_name())
+    }
+
+    fn effective_model(&self, _requested: CollisionModel) -> CollisionModel {
+        match self.kind {
+            BroadcastKind::BeepWaveCd => CollisionModel::CollisionDetection,
+            BroadcastKind::Bgi | BroadcastKind::CzumajDavies => {
+                CollisionModel::NoCollisionDetection
+            }
+        }
+    }
+
+    fn run_trial(
+        &self,
+        g: &Graph,
+        net: NetParams,
+        _model: CollisionModel,
+        seed: u64,
+    ) -> TrialRecord {
+        let r = binary_search_leader_election(g, net, self.kind, 1.0, seed);
+        TrialRecord::rounds_only(r.consistent && r.leader.is_some(), r.rounds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rn_graph::generators;
+
+    #[test]
+    fn baseline_scenarios_complete_on_small_grid() {
+        let g = generators::grid(8, 8);
+        let net = NetParams::of_graph(&g);
+        let cases: Vec<Box<dyn Runnable>> = vec![
+            Box::new(BgiScenario),
+            Box::new(TruncatedScenario),
+            Box::new(BinarySearchLeScenario { kind: BroadcastKind::BeepWaveCd }),
+        ];
+        for s in cases {
+            let r = s.run_trial(&g, net, CollisionModel::NoCollisionDetection, 5);
+            assert!(r.completed, "{} must complete on grid-8x8", s.name());
+            assert!(r.rounds > 0);
+        }
+    }
+
+    #[test]
+    fn binsearch_effective_model_follows_the_probe() {
+        for req in [CollisionModel::NoCollisionDetection, CollisionModel::CollisionDetection] {
+            assert_eq!(
+                BinarySearchLeScenario { kind: BroadcastKind::BeepWaveCd }.effective_model(req),
+                CollisionModel::CollisionDetection,
+                "beep probes always run under CD"
+            );
+            assert_eq!(
+                BinarySearchLeScenario { kind: BroadcastKind::Bgi }.effective_model(req),
+                CollisionModel::NoCollisionDetection,
+                "decay probes always run without CD"
+            );
+        }
+        // Plain scenarios honor the request (trait default).
+        assert_eq!(
+            BgiScenario.effective_model(CollisionModel::CollisionDetection),
+            CollisionModel::CollisionDetection
+        );
+    }
+
+    #[test]
+    fn scenario_names_are_stable() {
+        assert_eq!(BgiScenario.name(), "bgi");
+        assert_eq!(TruncatedScenario.name(), "truncated");
+        assert_eq!(BinarySearchLeScenario { kind: BroadcastKind::Bgi }.name(), "binsearch_le(bgi)");
+        assert_eq!(
+            BinarySearchLeScenario { kind: BroadcastKind::CzumajDavies }.name(),
+            "binsearch_le(cd17)"
+        );
+    }
+}

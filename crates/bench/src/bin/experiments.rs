@@ -1,51 +1,234 @@
-//! Experiment runner: regenerates the tables of `EXPERIMENTS.md`.
+//! Experiment runner: dispatches through the preset registry
+//! (`rn_bench::presets`) and the scenario registry (`rn_bench::registry`).
 //!
 //! Usage:
 //!
 //! ```text
-//! experiments [--seed N] all | e1 [e2 ...]
+//! experiments [--seed N] [--trials N] [--model nocd|cd] [--json PATH]
+//!             (--list | --check PATH | --scenario SPEC | all | ID [ID ...])
 //! ```
+//!
+//! * `--list` — print every topology form, protocol and preset, then exit;
+//! * `--scenario "PROTO@TOPO"` — run an ad-hoc one-cell campaign, e.g.
+//!   `--scenario "leader_election@torus(32x32)" --trials 20 --json out.json`;
+//! * `ID` — a preset id: a table experiment (`e1`…`e12`) or a campaign
+//!   (`smoke`, `sweep_broadcast`, …); `all` runs every preset;
+//! * `--json PATH` — additionally write the campaign's versioned JSON
+//!   results file (campaign targets only, one target per run);
+//! * `--check PATH` — parse and schema-validate a results file, then exit
+//!   (the CI smoke gate).
 
-use rn_bench::experiments::{run, ALL_IDS};
+use rn_bench::presets::{self, PresetKind};
+use rn_bench::registry::parse_model;
+use rn_bench::{Campaign, Json, ScenarioSpec, TrialPlan};
+use rn_graph::TopologySpec;
+use rn_sim::CollisionModel;
 use std::time::Instant;
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut seed = 20170725u64; // PODC 2017 paper, why not
-    let mut ids: Vec<String> = Vec::new();
-    let mut it = args.iter();
+/// Everything the CLI accepted, before target resolution.
+struct Args {
+    seed: u64,
+    trials: Option<u64>,
+    model: Option<CollisionModel>,
+    json: Option<String>,
+    scenario: Option<String>,
+    check: Option<String>,
+    list: bool,
+    ids: Vec<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        seed: 20170725, // PODC 2017 paper, why not
+        trials: None,
+        model: None,
+        json: None,
+        scenario: None,
+        check: None,
+        list: false,
+        ids: Vec::new(),
+    };
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = raw.iter();
     while let Some(a) = it.next() {
+        let mut value = |flag: &str| {
+            it.next().cloned().unwrap_or_else(|| usage(&format!("missing value for {flag}")))
+        };
         match a.as_str() {
             "--seed" => {
-                seed = it
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or_else(|| usage("missing/invalid --seed value"));
+                args.seed = value("--seed")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--seed takes an unsigned integer"));
             }
-            "all" => ids.extend(ALL_IDS.iter().map(|s| s.to_string())),
-            other if other.starts_with('e') => ids.push(other.to_string()),
+            "--trials" => {
+                args.trials = Some(
+                    value("--trials")
+                        .parse()
+                        .unwrap_or_else(|_| usage("--trials takes an unsigned integer")),
+                );
+            }
+            "--model" => {
+                args.model =
+                    Some(parse_model(&value("--model")).unwrap_or_else(|e| usage(&e.to_string())));
+            }
+            "--json" => args.json = Some(value("--json")),
+            "--scenario" => args.scenario = Some(value("--scenario")),
+            "--check" => args.check = Some(value("--check")),
+            "--list" => args.list = true,
+            "all" => {
+                args.ids.extend(presets::presets().iter().map(|p| p.id.to_string()));
+            }
+            other if !other.starts_with('-') => args.ids.push(other.to_string()),
             other => usage(&format!("unexpected argument {other:?}")),
         }
     }
-    if ids.is_empty() {
-        usage("no experiments requested");
+    args
+}
+
+fn main() {
+    let args = parse_args();
+
+    if args.list {
+        print_list();
+        return;
+    }
+    if let Some(path) = &args.check {
+        // --check is exclusive: silently skipping other targets would let a
+        // typo'd invocation look like it ran them.
+        if args.scenario.is_some() || !args.ids.is_empty() {
+            usage("--check cannot be combined with --scenario or preset ids");
+        }
+        check_results_file(path);
+        return;
+    }
+    if args.scenario.is_some() && !args.ids.is_empty() {
+        usage("--scenario cannot be combined with preset ids (run them separately)");
     }
 
-    println!("# Experiment run (seed {seed})\n");
     let t_total = Instant::now();
-    for id in &ids {
-        let t0 = Instant::now();
-        let tables = run(id, seed);
-        for t in &tables {
-            t.print();
-        }
-        println!("\n_[{id} took {:.1?}]_", t0.elapsed());
+    if let Some(spec_str) = &args.scenario {
+        run_scenario(&args, spec_str);
+    } else if args.ids.is_empty() {
+        usage("no experiments requested");
+    } else {
+        run_presets(&args);
     }
     println!("\n_total: {:.1?}_", t_total.elapsed());
 }
 
+/// Runs an ad-hoc one-cell campaign from a `protocol@topology` spec.
+fn run_scenario(args: &Args, spec_str: &str) {
+    let spec: ScenarioSpec =
+        spec_str.parse().unwrap_or_else(|e| usage(&format!("--scenario: {e}")));
+    let mut campaign = Campaign::single(&spec, args.trials.unwrap_or(10));
+    if let Some(model) = args.model {
+        campaign.models = vec![model];
+    }
+    println!("# Scenario run: {spec} (seed {})\n", args.seed);
+    run_campaign(&campaign, args.seed, args.json.as_deref());
+}
+
+/// Runs every requested preset id through the registry.
+fn run_presets(args: &Args) {
+    let campaign_targets = args
+        .ids
+        .iter()
+        .filter(
+            |id| matches!(presets::find(id), Some(p) if matches!(p.kind, PresetKind::Campaign(_))),
+        )
+        .count();
+    if args.json.is_some() && campaign_targets != 1 {
+        usage("--json needs exactly one campaign target (a campaign preset or --scenario)");
+    }
+    // Table presets have hard-coded sweeps: silently ignoring --trials or
+    // --model would print tables that look like the requested configuration
+    // but are not.
+    if (args.trials.is_some() || args.model.is_some()) && campaign_targets != args.ids.len() {
+        usage("--trials/--model only apply to campaign targets, not table presets (e1..e12)");
+    }
+    println!("# Experiment run (seed {})\n", args.seed);
+    for id in &args.ids {
+        let preset = presets::find(id).unwrap_or_else(|| {
+            usage(&format!("unknown preset {id:?} (run with --list to see the registry)"))
+        });
+        let t0 = Instant::now();
+        match preset.kind {
+            PresetKind::Tables(run) => {
+                for t in run(args.seed) {
+                    t.print();
+                }
+            }
+            PresetKind::Campaign(build) => {
+                let mut campaign = build();
+                if let Some(trials) = args.trials {
+                    campaign.plan = TrialPlan::new(trials);
+                }
+                if let Some(model) = args.model {
+                    campaign.models = vec![model];
+                }
+                run_campaign(&campaign, args.seed, args.json.as_deref());
+            }
+        }
+        println!("\n_[{id} took {:.1?}]_", t0.elapsed());
+    }
+}
+
+/// Runs one campaign: markdown to stdout, JSON to `json_path` when given.
+fn run_campaign(campaign: &Campaign, seed: u64, json_path: Option<&str>) {
+    let result = campaign.run(seed);
+    result.to_table().print();
+    if let Some(path) = json_path {
+        let doc = result.to_json();
+        std::fs::write(path, &doc).unwrap_or_else(|e| {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("\n_[results written to {path} ({} bytes)]_", doc.len());
+    }
+}
+
+/// Parses and schema-validates a results file (CI smoke gate).
+fn check_results_file(path: &str) {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("error: cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    let doc = Json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("error: {path}: {e}");
+        std::process::exit(1);
+    });
+    match rn_bench::validate_results(&doc) {
+        Ok(summary) => println!("ok: {path}: {summary}"),
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Prints the full registry: topology grammar, protocols, presets.
+fn print_list() {
+    println!("topology specs:");
+    for form in TopologySpec::GRAMMAR {
+        println!("  {form}");
+    }
+    println!("\nprotocols:");
+    for p in rn_bench::ProtocolSpec::all() {
+        println!("  {p}");
+    }
+    println!("\ncollision models:\n  nocd\n  cd");
+    println!("\npresets:");
+    for p in presets::presets() {
+        println!("  {:<16} [{:>8}]  {}", p.id, p.kind_name(), p.about);
+    }
+    println!("\nscenario syntax: PROTOCOL@TOPOLOGY, e.g. \"leader_election@torus(32x32)\"");
+}
+
 fn usage(err: &str) -> ! {
     eprintln!("error: {err}");
-    eprintln!("usage: experiments [--seed N] all | e1 [e2 ...]");
+    eprintln!(
+        "usage: experiments [--seed N] [--trials N] [--model nocd|cd] [--json PATH]\n\
+         \x20                  (--list | --check PATH | --scenario SPEC | all | ID [ID ...])"
+    );
     std::process::exit(2);
 }

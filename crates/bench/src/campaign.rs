@@ -1,0 +1,418 @@
+//! The campaign runner: crosses topology × protocol × collision model ×
+//! trial plan, fans trials out across threads, and reports every cell both
+//! as a markdown table and as a versioned, machine-readable JSON document
+//! for cross-PR performance tracking.
+//!
+//! A [`Campaign`] is pure data — strings for protocols and topologies — so
+//! defining a new workload never touches experiment code. Running one is
+//! deterministic in the master seed: topologies, per-trial seeds and cell
+//! order all derive from it, and [`CampaignResult::to_json`] renders through
+//! the order-preserving [`crate::json`] writer, so the same `(campaign,
+//! seed)` pair always produces a byte-identical results file.
+
+use crate::harness::{mean, parallel_trials, Table};
+use crate::json::Json;
+use crate::registry::{model_name, ProtocolSpec, ScenarioSpec};
+use rn_graph::TopologySpec;
+use rn_sim::{rng, CollisionModel, NetParams, TrialRecord};
+
+/// Schema tag written into every results file; bump on breaking changes.
+pub const RESULTS_SCHEMA: &str = "rn-bench-results/v1";
+
+/// How many trials each cell runs (the "trial plan" axis of a campaign).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrialPlan {
+    /// Trials per cell (each trial gets an independent derived seed).
+    pub trials: u64,
+}
+
+impl TrialPlan {
+    /// A plan with `trials` trials per cell (at least 1).
+    pub fn new(trials: u64) -> TrialPlan {
+        TrialPlan { trials: trials.max(1) }
+    }
+}
+
+/// A declarative experiment campaign: the full cross product of its axes.
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    /// Identifier used in output headers and the JSON `id` field.
+    pub id: String,
+    /// Topology axis.
+    pub topologies: Vec<TopologySpec>,
+    /// Protocol axis.
+    pub protocols: Vec<ProtocolSpec>,
+    /// Collision-model axis.
+    pub models: Vec<CollisionModel>,
+    /// Trial plan shared by every cell.
+    pub plan: TrialPlan,
+}
+
+impl Campaign {
+    /// A one-cell campaign from a `protocol@topology` scenario spec.
+    pub fn single(scenario: &ScenarioSpec, trials: u64) -> Campaign {
+        Campaign {
+            id: scenario.to_string(),
+            topologies: vec![scenario.topology.clone()],
+            protocols: vec![scenario.protocol],
+            models: vec![CollisionModel::NoCollisionDetection],
+            plan: TrialPlan::new(trials),
+        }
+    }
+
+    /// Number of axis-cross positions (topologies × protocols × models); an
+    /// upper bound on emitted cells, since positions whose effective model
+    /// duplicates an earlier one are skipped (see [`Campaign::run`]).
+    pub fn num_cells(&self) -> usize {
+        self.topologies.len() * self.protocols.len() * self.models.len()
+    }
+
+    /// Runs every cell, parallelizing trials within each cell.
+    ///
+    /// Each topology is built once (from a seed derived off `master_seed`
+    /// and the topology's position) and shared by all its cells; each trial
+    /// seed derives from the master seed, the cell index and the trial
+    /// index, so any single trial can be reproduced in isolation.
+    pub fn run(&self, master_seed: u64) -> CampaignResult {
+        let mut cells = Vec::with_capacity(self.num_cells());
+        let mut cell_index = 0u64;
+        for (ti, topo) in self.topologies.iter().enumerate() {
+            let g = topo.build(rng::derive(master_seed, 0x7070_0000 + ti as u64));
+            let net = NetParams::new(g.n(), g.diameter_double_sweep());
+            for proto in &self.protocols {
+                let runnable = proto.instantiate();
+                let mut models_run = Vec::with_capacity(self.models.len());
+                for &requested in &self.models {
+                    // Scenarios whose probe dictates a fixed model (e.g. beep
+                    // waves need CD) remap the axis value; the record always
+                    // states the model the trials truly ran under, and axis
+                    // values collapsing onto an already-run model are skipped
+                    // so (topology, protocol, model) keys stay unique.
+                    let model = runnable.effective_model(requested);
+                    // Each axis position owns its seed stream whether or not
+                    // it runs, so adding a model never reseeds later cells.
+                    let cell_seed = rng::derive(master_seed, 0xCE11_0000 + cell_index);
+                    cell_index += 1;
+                    if models_run.contains(&model) {
+                        continue;
+                    }
+                    models_run.push(model);
+                    let records = parallel_trials(self.plan.trials, |i| {
+                        runnable.run_trial(&g, net, model, rng::derive(cell_seed, i))
+                    });
+                    cells.push(CellResult::aggregate(
+                        topo.to_string(),
+                        runnable.name(),
+                        model,
+                        net,
+                        &records,
+                    ));
+                }
+            }
+        }
+        CampaignResult {
+            id: self.id.clone(),
+            master_seed,
+            trials_per_cell: self.plan.trials,
+            cells,
+        }
+    }
+}
+
+/// Mean/min/max summary of one per-trial quantity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellStats {
+    /// Mean over trials.
+    pub mean: f64,
+    /// Minimum over trials.
+    pub min: u64,
+    /// Maximum over trials.
+    pub max: u64,
+}
+
+impl CellStats {
+    fn over(values: impl Iterator<Item = u64> + Clone) -> CellStats {
+        let xs: Vec<f64> = values.clone().map(|v| v as f64).collect();
+        CellStats {
+            mean: mean(&xs),
+            min: values.clone().min().unwrap_or(0),
+            max: values.max().unwrap_or(0),
+        }
+    }
+
+    fn to_json(self) -> Json {
+        Json::obj(vec![
+            ("mean", Json::Num(self.mean)),
+            ("min", Json::UInt(self.min)),
+            ("max", Json::UInt(self.max)),
+        ])
+    }
+}
+
+/// Aggregated outcome of one campaign cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellResult {
+    /// Topology spec string.
+    pub topology: String,
+    /// Protocol registry name.
+    pub protocol: String,
+    /// Collision model (`nocd` / `cd`).
+    pub model: &'static str,
+    /// Number of nodes of the built graph.
+    pub n: usize,
+    /// Diameter handed to protocols (double-sweep estimate).
+    pub diameter: u32,
+    /// Trials run.
+    pub trials: u64,
+    /// Trials that reached their goal within budget.
+    pub completed: u64,
+    /// Rounds per trial (including charged precomputation).
+    pub rounds: CellStats,
+    /// Successful receptions per trial.
+    pub deliveries: CellStats,
+    /// Listener-side collisions per trial.
+    pub collisions: CellStats,
+    /// Node transmissions per trial.
+    pub transmissions: CellStats,
+}
+
+impl CellResult {
+    fn aggregate(
+        topology: String,
+        protocol: String,
+        model: CollisionModel,
+        net: NetParams,
+        records: &[TrialRecord],
+    ) -> CellResult {
+        CellResult {
+            topology,
+            protocol,
+            model: model_name(model),
+            n: net.n(),
+            diameter: net.diameter(),
+            trials: records.len() as u64,
+            completed: records.iter().filter(|r| r.completed).count() as u64,
+            rounds: CellStats::over(records.iter().map(|r| r.rounds)),
+            deliveries: CellStats::over(records.iter().map(|r| r.metrics.deliveries)),
+            collisions: CellStats::over(records.iter().map(|r| r.metrics.collisions)),
+            transmissions: CellStats::over(records.iter().map(|r| r.metrics.transmissions)),
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("topology", Json::Str(self.topology.clone())),
+            ("protocol", Json::Str(self.protocol.clone())),
+            ("model", Json::Str(self.model.to_string())),
+            ("n", Json::UInt(self.n as u64)),
+            ("diameter", Json::UInt(self.diameter as u64)),
+            ("trials", Json::UInt(self.trials)),
+            ("completed", Json::UInt(self.completed)),
+            ("rounds", self.rounds.to_json()),
+            ("deliveries", self.deliveries.to_json()),
+            ("collisions", self.collisions.to_json()),
+            ("transmissions", self.transmissions.to_json()),
+        ])
+    }
+}
+
+/// All cell results of one campaign run, renderable as markdown or JSON.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignResult {
+    /// Campaign identifier.
+    pub id: String,
+    /// The master seed the run derived everything from.
+    pub master_seed: u64,
+    /// Trials per cell.
+    pub trials_per_cell: u64,
+    /// One aggregate per cell, in deterministic axis order.
+    pub cells: Vec<CellResult>,
+}
+
+impl CampaignResult {
+    /// Renders the campaign as one markdown [`Table`] (the human half of the
+    /// output; [`CampaignResult::to_json`] is the machine half).
+    pub fn to_table(&self) -> Table {
+        let mut t = Table::new(
+            format!(
+                "Campaign {} (seed {}, {} trials/cell)",
+                self.id, self.master_seed, self.trials_per_cell
+            ),
+            &[
+                "topology",
+                "protocol",
+                "model",
+                "n",
+                "D",
+                "ok",
+                "rounds mean",
+                "rounds min..max",
+                "deliveries",
+                "collisions",
+            ],
+        );
+        for c in &self.cells {
+            t.row(&[
+                c.topology.clone(),
+                c.protocol.clone(),
+                c.model.to_string(),
+                c.n.to_string(),
+                c.diameter.to_string(),
+                format!("{}/{}", c.completed, c.trials),
+                format!("{:.1}", c.rounds.mean),
+                format!("{}..{}", c.rounds.min, c.rounds.max),
+                format!("{:.0}", c.deliveries.mean),
+                format!("{:.0}", c.collisions.mean),
+            ]);
+        }
+        t.note(format!(
+            "Machine-readable form: schema {RESULTS_SCHEMA}; reproduce any cell with \
+             --seed {}.",
+            self.master_seed
+        ));
+        t
+    }
+
+    /// Renders the versioned JSON results document (compact, byte-stable
+    /// for a fixed campaign and master seed).
+    pub fn to_json(&self) -> String {
+        Json::obj(vec![
+            ("schema", Json::Str(RESULTS_SCHEMA.into())),
+            ("id", Json::Str(self.id.clone())),
+            ("master_seed", Json::UInt(self.master_seed)),
+            ("trials_per_cell", Json::UInt(self.trials_per_cell)),
+            ("cells", Json::Arr(self.cells.iter().map(CellResult::to_json).collect())),
+        ])
+        .render()
+    }
+}
+
+/// Validates a parsed results document against the v1 schema, returning a
+/// short human summary (`id`, cell count) on success. Used by the CLI
+/// `--check` flag and the CI campaign-smoke job.
+///
+/// # Errors
+///
+/// A description of the first schema violation.
+pub fn validate_results(doc: &Json) -> Result<String, String> {
+    let schema = doc.get("schema").and_then(Json::as_str).ok_or("missing schema field")?;
+    if schema != RESULTS_SCHEMA {
+        return Err(format!("unknown schema {schema:?} (expected {RESULTS_SCHEMA})"));
+    }
+    let id = doc.get("id").and_then(Json::as_str).ok_or("missing id field")?;
+    doc.get("master_seed").and_then(Json::as_u64).ok_or("missing master_seed field")?;
+    let cells = doc.get("cells").and_then(Json::as_arr).ok_or("missing cells array")?;
+    if cells.is_empty() {
+        return Err("results file has no cells".into());
+    }
+    for (i, cell) in cells.iter().enumerate() {
+        for key in ["topology", "protocol", "model"] {
+            cell.get(key)
+                .and_then(Json::as_str)
+                .ok_or(format!("cell {i}: missing string field {key:?}"))?;
+        }
+        for key in ["n", "diameter", "trials", "completed"] {
+            cell.get(key)
+                .and_then(Json::as_u64)
+                .ok_or(format!("cell {i}: missing integer field {key:?}"))?;
+        }
+        for key in ["rounds", "deliveries", "collisions", "transmissions"] {
+            let stats = cell.get(key).ok_or(format!("cell {i}: missing stats field {key:?}"))?;
+            for sub in ["mean", "min", "max"] {
+                stats
+                    .get(sub)
+                    .and_then(Json::as_f64)
+                    .ok_or(format!("cell {i}: {key}.{sub} missing or non-numeric"))?;
+            }
+        }
+    }
+    Ok(format!("{id}: {} cell(s), schema {RESULTS_SCHEMA}", cells.len()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::ProbeSpec;
+
+    fn tiny_campaign() -> Campaign {
+        Campaign {
+            id: "unit".into(),
+            topologies: vec![TopologySpec::Path(16), TopologySpec::Star(9)],
+            protocols: vec![ProtocolSpec::Bgi, ProtocolSpec::Decay(2)],
+            models: vec![CollisionModel::NoCollisionDetection],
+            plan: TrialPlan::new(2),
+        }
+    }
+
+    #[test]
+    fn campaign_runs_all_cells_in_axis_order() {
+        let r = tiny_campaign().run(5);
+        assert_eq!(r.cells.len(), 4);
+        assert_eq!(r.cells[0].topology, "path(16)");
+        assert_eq!(r.cells[0].protocol, "bgi");
+        assert_eq!(r.cells[1].protocol, "decay(2)");
+        assert_eq!(r.cells[2].topology, "star(9)");
+        for c in &r.cells {
+            assert_eq!(c.trials, 2);
+            assert_eq!(c.completed, 2, "{}/{} must complete", c.topology, c.protocol);
+            assert!(c.rounds.min <= c.rounds.max);
+            assert!(c.rounds.mean > 0.0);
+        }
+    }
+
+    #[test]
+    fn campaign_json_validates_and_table_renders() {
+        let r = tiny_campaign().run(5);
+        let doc = Json::parse(&r.to_json()).expect("own JSON parses");
+        let summary = validate_results(&doc).expect("schema-valid");
+        assert!(summary.contains("4 cell(s)"), "{summary}");
+        let md = r.to_table().to_markdown();
+        assert!(md.contains("path(16)") && md.contains("bgi"));
+    }
+
+    #[test]
+    fn single_scenario_campaign_from_spec_string() {
+        let spec: ScenarioSpec = "binsearch_le(beep)@grid(6x6)".parse().expect("parses");
+        assert_eq!(spec.protocol, ProtocolSpec::BinsearchLe(ProbeSpec::Beep));
+        let r = Campaign::single(&spec, 2).run(9);
+        assert_eq!(r.cells.len(), 1);
+        assert_eq!(r.cells[0].protocol, "binsearch_le(beep)");
+        assert_eq!(r.cells[0].completed, 2);
+    }
+
+    #[test]
+    fn model_axis_collapsing_onto_one_effective_model_dedupes_cells() {
+        // Both axis values remap to CD for a beep probe: one cell, not two
+        // identically-keyed ones.
+        let campaign = Campaign {
+            id: "dedup".into(),
+            topologies: vec![TopologySpec::Grid { w: 6, h: 6 }],
+            protocols: vec![ProtocolSpec::BinsearchLe(ProbeSpec::Beep), ProtocolSpec::Bgi],
+            models: vec![CollisionModel::NoCollisionDetection, CollisionModel::CollisionDetection],
+            plan: TrialPlan::new(1),
+        };
+        let r = campaign.run(4);
+        assert_eq!(r.cells.len(), 3, "beep collapses to one cell, bgi keeps both models");
+        assert_eq!((r.cells[0].protocol.as_str(), r.cells[0].model), ("binsearch_le(beep)", "cd"));
+        assert_eq!((r.cells[1].protocol.as_str(), r.cells[1].model), ("bgi", "nocd"));
+        assert_eq!((r.cells[2].protocol.as_str(), r.cells[2].model), ("bgi", "cd"));
+        // Keys are unique across the whole result.
+        let mut keys: Vec<_> =
+            r.cells.iter().map(|c| (c.topology.clone(), c.protocol.clone(), c.model)).collect();
+        keys.dedup();
+        assert_eq!(keys.len(), r.cells.len());
+    }
+
+    #[test]
+    fn validate_rejects_broken_documents() {
+        for bad in [
+            r#"{}"#,
+            r#"{"schema":"other/v9","id":"x","master_seed":1,"cells":[{}]}"#,
+            r#"{"schema":"rn-bench-results/v1","id":"x","master_seed":1,"cells":[]}"#,
+            r#"{"schema":"rn-bench-results/v1","id":"x","master_seed":1,"cells":[{"topology":"p"}]}"#,
+        ] {
+            let doc = Json::parse(bad).expect("well-formed JSON");
+            assert!(validate_results(&doc).is_err(), "{bad} must fail validation");
+        }
+    }
+}

@@ -1,8 +1,11 @@
-//! The experiment suite: one function per experiment id of `DESIGN.md` §5.
+//! The paper-reproduction experiment suite: one function per experiment id
+//! of `DESIGN.md` §5.
 //!
 //! Every function takes a master seed, runs its sweep (parallel over
 //! trials), and returns markdown [`Table`]s. The `experiments` binary
-//! dispatches on ids and prints.
+//! reaches these through the preset registry ([`crate::presets`]), which
+//! also hosts the declarative campaign presets built on
+//! [`crate::campaign`].
 
 use crate::harness::{mean, parallel_trials, Table};
 use rand::rngs::SmallRng;

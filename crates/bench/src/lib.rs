@@ -1,21 +1,38 @@
-//! Benchmark harness: the experiment suite that regenerates every
-//! quantitative claim of the paper (`EXPERIMENTS.md`), plus shared table /
-//! trial utilities used by the criterion benches.
+//! Benchmark harness: the declarative scenario subsystem (registry +
+//! campaign runner), the paper-reproduction experiment suite
+//! (`EXPERIMENTS.md`), and shared table / trial utilities used by the
+//! criterion benches.
 //!
 //! Run everything with:
 //!
 //! ```text
-//! cargo run --release -p rn-bench --bin experiments -- all
+//! cargo run --release -p rn_bench --bin experiments -- all
 //! ```
 //!
-//! or a single experiment with its id (`e1` … `e12`). Every experiment is a
-//! pure function of a master seed; tables record the seed they were
-//! produced from.
+//! a single preset with its id (`e1` … `e12`, `smoke`, `sweep_*`), or any
+//! ad-hoc protocol/topology pair with
+//!
+//! ```text
+//! cargo run --release -p rn_bench --bin experiments -- \
+//!     --scenario "leader_election@torus(32x32)" --trials 20 --json out.json
+//! ```
+//!
+//! Every run is a pure function of a master seed; campaign JSON results are
+//! byte-identical for a fixed seed.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod campaign;
 pub mod experiments;
 mod harness;
+pub mod json;
+pub mod presets;
+pub mod registry;
 
+pub use campaign::{
+    validate_results, Campaign, CampaignResult, CellResult, CellStats, TrialPlan, RESULTS_SCHEMA,
+};
 pub use harness::{parallel_trials, Table};
+pub use json::{Json, JsonError};
+pub use registry::{model_name, parse_model, ProbeSpec, ProtocolSpec, RegistryError, ScenarioSpec};

@@ -1,0 +1,349 @@
+//! The scenario registry: every [`Runnable`] protocol in the workspace,
+//! addressable by a stable string form, plus the combined
+//! `protocol@topology` scenario spec.
+//!
+//! The registry is the seam that makes workloads data instead of code: a
+//! campaign (or the `experiments --scenario` CLI) names protocols and
+//! topologies as strings, and the registry instantiates the matching
+//! [`Runnable`] from `rn_core`, `rn_baselines` or `rn_decay`. Adding an
+//! algorithm means implementing `Runnable` in its home crate and adding one
+//! arm here — no experiment code changes anywhere.
+
+use rn_baselines::{BgiScenario, BinarySearchLeScenario, BroadcastKind, TruncatedScenario};
+use rn_core::{BroadcastScenario, CompeteScenario, LeaderElectionScenario};
+use rn_decay::DecayScenario;
+use rn_graph::TopologySpec;
+use rn_sim::{CollisionModel, Runnable};
+use std::error::Error;
+use std::fmt;
+use std::str::FromStr;
+
+/// A protocol from the registry, in declarative form with a stable string
+/// representation (`Display` and `FromStr` round-trip).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ProtocolSpec {
+    /// `broadcast` — the paper's broadcast (Theorem 5.1, default params).
+    Broadcast,
+    /// `broadcast_hw` — same pipeline under Haeupler–Wajc curtailment.
+    BroadcastHw,
+    /// `compete(K)` — Compete(S) with `K` random sources (Theorem 4.1).
+    Compete(usize),
+    /// `leader_election` — Algorithm 6 (Theorem 5.2).
+    LeaderElection,
+    /// `bgi` — BGI'92 decay broadcast baseline.
+    Bgi,
+    /// `truncated` — CR/KP-style truncated decay baseline.
+    Truncated,
+    /// `decay(K)` — raw multi-source decay with `K` spread sources.
+    Decay(usize),
+    /// `decay_trunc(K)` — truncated multi-source decay.
+    DecayTrunc(usize),
+    /// `binsearch_le(PROBE)` — the classical leader-election reduction over
+    /// probe `bgi`, `cd17` or `beep`.
+    BinsearchLe(ProbeSpec),
+}
+
+/// The probe of the binary-search leader-election reduction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeSpec {
+    /// BGI decay broadcast probe (the classical setup).
+    Bgi,
+    /// This paper's Compete broadcast as the probe.
+    Cd17,
+    /// A beep wave in the collision-detection model (`D + 1` per probe).
+    Beep,
+}
+
+impl ProbeSpec {
+    fn as_str(self) -> &'static str {
+        match self {
+            ProbeSpec::Bgi => "bgi",
+            ProbeSpec::Cd17 => "cd17",
+            ProbeSpec::Beep => "beep",
+        }
+    }
+
+    fn kind(self) -> BroadcastKind {
+        match self {
+            ProbeSpec::Bgi => BroadcastKind::Bgi,
+            ProbeSpec::Cd17 => BroadcastKind::CzumajDavies,
+            ProbeSpec::Beep => BroadcastKind::BeepWaveCd,
+        }
+    }
+}
+
+/// Error from parsing a [`ProtocolSpec`] or [`ScenarioSpec`] string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegistryError {
+    msg: String,
+}
+
+impl RegistryError {
+    fn new(msg: impl Into<String>) -> RegistryError {
+        RegistryError { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid scenario spec: {}", self.msg)
+    }
+}
+
+impl Error for RegistryError {}
+
+impl ProtocolSpec {
+    /// Every protocol in the registry, one canonical instance per family
+    /// (parameterized forms use their default arity). The list is checked
+    /// exhaustive against the enum by [`ProtocolSpec::family_index`].
+    pub fn all() -> Vec<ProtocolSpec> {
+        vec![
+            ProtocolSpec::Broadcast,
+            ProtocolSpec::BroadcastHw,
+            ProtocolSpec::Compete(4),
+            ProtocolSpec::LeaderElection,
+            ProtocolSpec::Bgi,
+            ProtocolSpec::Truncated,
+            ProtocolSpec::Decay(4),
+            ProtocolSpec::DecayTrunc(4),
+            ProtocolSpec::BinsearchLe(ProbeSpec::Bgi),
+            ProtocolSpec::BinsearchLe(ProbeSpec::Cd17),
+            ProtocolSpec::BinsearchLe(ProbeSpec::Beep),
+        ]
+    }
+
+    /// Dense index of the protocol *family* (ignoring parameters). The
+    /// exhaustive match here is the registry's completeness guard: adding an
+    /// enum variant without registering it in [`ProtocolSpec::all`] fails
+    /// the `registry_lists_every_protocol_family` test.
+    pub fn family_index(&self) -> usize {
+        match self {
+            ProtocolSpec::Broadcast => 0,
+            ProtocolSpec::BroadcastHw => 1,
+            ProtocolSpec::Compete(_) => 2,
+            ProtocolSpec::LeaderElection => 3,
+            ProtocolSpec::Bgi => 4,
+            ProtocolSpec::Truncated => 5,
+            ProtocolSpec::Decay(_) => 6,
+            ProtocolSpec::DecayTrunc(_) => 7,
+            ProtocolSpec::BinsearchLe(_) => 8,
+        }
+    }
+
+    /// Number of protocol families (the range of
+    /// [`ProtocolSpec::family_index`]).
+    pub const FAMILIES: usize = 9;
+
+    /// Instantiates the matching [`Runnable`] from its home crate. The
+    /// returned object's [`Runnable::name`] equals `self.to_string()`.
+    pub fn instantiate(&self) -> Box<dyn Runnable> {
+        match *self {
+            ProtocolSpec::Broadcast => Box::new(BroadcastScenario::czumaj_davies()),
+            ProtocolSpec::BroadcastHw => Box::new(BroadcastScenario::haeupler_wajc()),
+            ProtocolSpec::Compete(k) => Box::new(CompeteScenario::new(k)),
+            ProtocolSpec::LeaderElection => Box::new(LeaderElectionScenario::new()),
+            ProtocolSpec::Bgi => Box::new(BgiScenario),
+            ProtocolSpec::Truncated => Box::new(TruncatedScenario),
+            ProtocolSpec::Decay(k) => Box::new(DecayScenario::new(k)),
+            ProtocolSpec::DecayTrunc(k) => Box::new(DecayScenario::truncated(k)),
+            ProtocolSpec::BinsearchLe(probe) => {
+                Box::new(BinarySearchLeScenario { kind: probe.kind() })
+            }
+        }
+    }
+}
+
+impl fmt::Display for ProtocolSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ProtocolSpec::Broadcast => write!(f, "broadcast"),
+            ProtocolSpec::BroadcastHw => write!(f, "broadcast_hw"),
+            ProtocolSpec::Compete(k) => write!(f, "compete({k})"),
+            ProtocolSpec::LeaderElection => write!(f, "leader_election"),
+            ProtocolSpec::Bgi => write!(f, "bgi"),
+            ProtocolSpec::Truncated => write!(f, "truncated"),
+            ProtocolSpec::Decay(k) => write!(f, "decay({k})"),
+            ProtocolSpec::DecayTrunc(k) => write!(f, "decay_trunc({k})"),
+            ProtocolSpec::BinsearchLe(p) => write!(f, "binsearch_le({})", p.as_str()),
+        }
+    }
+}
+
+impl FromStr for ProtocolSpec {
+    type Err = RegistryError;
+
+    fn from_str(s: &str) -> Result<ProtocolSpec, RegistryError> {
+        let s = s.trim();
+        let (family, arg) = match s.find('(') {
+            Some(open) if s.ends_with(')') => (&s[..open], Some(s[open + 1..s.len() - 1].trim())),
+            Some(_) => {
+                return Err(RegistryError::new(format!("{s:?} is missing a closing parenthesis")))
+            }
+            None => (s, None),
+        };
+        let count = |arg: Option<&str>| -> Result<usize, RegistryError> {
+            let a =
+                arg.ok_or_else(|| RegistryError::new(format!("{family} needs a source count")))?;
+            let k: usize = a
+                .parse()
+                .map_err(|_| RegistryError::new(format!("{family}: {a:?} is not an integer")))?;
+            if k == 0 {
+                return Err(RegistryError::new(format!("{family} needs at least one source")));
+            }
+            Ok(k)
+        };
+        match (family, arg) {
+            ("broadcast", None) => Ok(ProtocolSpec::Broadcast),
+            ("broadcast_hw", None) => Ok(ProtocolSpec::BroadcastHw),
+            ("leader_election", None) => Ok(ProtocolSpec::LeaderElection),
+            ("bgi", None) => Ok(ProtocolSpec::Bgi),
+            ("truncated", None) => Ok(ProtocolSpec::Truncated),
+            ("compete", arg) => Ok(ProtocolSpec::Compete(count(arg)?)),
+            ("decay", arg) => Ok(ProtocolSpec::Decay(count(arg)?)),
+            ("decay_trunc", arg) => Ok(ProtocolSpec::DecayTrunc(count(arg)?)),
+            ("binsearch_le", Some(probe)) => {
+                let p = match probe {
+                    "bgi" => ProbeSpec::Bgi,
+                    "cd17" => ProbeSpec::Cd17,
+                    "beep" => ProbeSpec::Beep,
+                    other => {
+                        return Err(RegistryError::new(format!(
+                            "unknown binsearch_le probe {other:?} (bgi | cd17 | beep)"
+                        )))
+                    }
+                };
+                Ok(ProtocolSpec::BinsearchLe(p))
+            }
+            _ => Err(RegistryError::new(format!(
+                "unknown protocol {s:?} (known: {})",
+                ProtocolSpec::all()
+                    .iter()
+                    .map(ProtocolSpec::to_string)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ))),
+        }
+    }
+}
+
+/// A full scenario: `protocol@topology`, e.g.
+/// `leader_election@torus(32x32)` or `bgi@rgg(1600,0.05)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// The protocol half (before `@`).
+    pub protocol: ProtocolSpec,
+    /// The topology half (after `@`).
+    pub topology: TopologySpec,
+}
+
+impl fmt::Display for ScenarioSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.protocol, self.topology)
+    }
+}
+
+impl FromStr for ScenarioSpec {
+    type Err = RegistryError;
+
+    fn from_str(s: &str) -> Result<ScenarioSpec, RegistryError> {
+        let (proto, topo) = s
+            .split_once('@')
+            .ok_or_else(|| RegistryError::new(format!("{s:?} must be protocol@topology")))?;
+        Ok(ScenarioSpec {
+            protocol: proto.parse()?,
+            topology: topo
+                .trim()
+                .parse()
+                .map_err(|e: rn_graph::TopologySpecError| RegistryError::new(e.to_string()))?,
+        })
+    }
+}
+
+/// Stable string form of a collision model (`nocd` / `cd`).
+pub fn model_name(model: CollisionModel) -> &'static str {
+    match model {
+        CollisionModel::NoCollisionDetection => "nocd",
+        CollisionModel::CollisionDetection => "cd",
+    }
+}
+
+/// Parses a collision-model name (`nocd` / `cd`).
+///
+/// # Errors
+///
+/// [`RegistryError`] on anything else.
+pub fn parse_model(s: &str) -> Result<CollisionModel, RegistryError> {
+    match s.trim() {
+        "nocd" => Ok(CollisionModel::NoCollisionDetection),
+        "cd" => Ok(CollisionModel::CollisionDetection),
+        other => Err(RegistryError::new(format!("unknown collision model {other:?} (nocd | cd)"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_lists_every_protocol_family() {
+        let all = ProtocolSpec::all();
+        let mut seen = vec![false; ProtocolSpec::FAMILIES];
+        for spec in &all {
+            seen[spec.family_index()] = true;
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "ProtocolSpec::all() must cover every family: coverage {seen:?}"
+        );
+    }
+
+    #[test]
+    fn every_protocol_round_trips_and_names_match_runnable() {
+        for spec in ProtocolSpec::all() {
+            let s = spec.to_string();
+            let back: ProtocolSpec = s.parse().unwrap_or_else(|e| panic!("{s}: {e}"));
+            assert_eq!(back, spec, "parse(display) round trip for {s}");
+            assert_eq!(
+                spec.instantiate().name(),
+                s,
+                "registry name and Runnable::name must agree for {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn scenario_spec_round_trips() {
+        let s = "leader_election@torus(32x32)";
+        let spec: ScenarioSpec = s.parse().expect("parses");
+        assert_eq!(spec.to_string(), s);
+        assert_eq!(spec.protocol, ProtocolSpec::LeaderElection);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_specs() {
+        for bad in [
+            "nosuch",
+            "compete",
+            "compete(0)",
+            "compete(x)",
+            "binsearch_le",
+            "binsearch_le(zz)",
+            "broadcast(3)",
+            "decay(3",
+        ] {
+            assert!(bad.parse::<ProtocolSpec>().is_err(), "{bad:?} must be rejected");
+        }
+        for bad in ["broadcast", "broadcast@", "@grid(3x3)", "broadcast@nosuch(1)"] {
+            assert!(bad.parse::<ScenarioSpec>().is_err(), "{bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn model_names_round_trip() {
+        for m in [CollisionModel::NoCollisionDetection, CollisionModel::CollisionDetection] {
+            assert_eq!(parse_model(model_name(m)).expect("round trips"), m);
+        }
+        assert!(parse_model("loud").is_err());
+    }
+}

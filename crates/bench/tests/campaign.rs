@@ -1,0 +1,80 @@
+//! Integration tests for the scenario subsystem: registry-driven campaign
+//! runs, seed determinism of the JSON results file, and the zero-code-change
+//! scenario path the CLI exposes.
+
+use rn_bench::{validate_results, Campaign, Json, ProtocolSpec, ScenarioSpec, TrialPlan};
+use rn_graph::TopologySpec;
+use rn_sim::CollisionModel;
+
+fn small_campaign() -> Campaign {
+    Campaign {
+        id: "determinism".into(),
+        // One deterministic and one seeded topology, one paper protocol and
+        // one baseline — exercises every seed-derivation path.
+        topologies: vec![
+            TopologySpec::Grid { w: 6, h: 6 },
+            TopologySpec::Rgg { n: 64, radius: 0.25 },
+        ],
+        protocols: vec![ProtocolSpec::Broadcast, ProtocolSpec::Bgi],
+        models: vec![CollisionModel::NoCollisionDetection],
+        plan: TrialPlan::new(3),
+    }
+}
+
+#[test]
+fn same_master_seed_gives_byte_identical_json() {
+    let campaign = small_campaign();
+    let a = campaign.run(1234).to_json();
+    let b = campaign.run(1234).to_json();
+    assert_eq!(a, b, "same campaign + same master seed must be byte-identical");
+
+    let c = campaign.run(1235).to_json();
+    assert_ne!(a, c, "a different master seed must change the results file");
+
+    let doc = Json::parse(&a).expect("results parse");
+    validate_results(&doc).expect("results validate against the v1 schema");
+    assert_eq!(doc.get("master_seed").and_then(Json::as_u64), Some(1234));
+    assert_eq!(doc.get("cells").and_then(Json::as_arr).map(<[Json]>::len), Some(4));
+}
+
+#[test]
+fn scenario_string_runs_protocol_topology_pair_without_bench_edits() {
+    // The acceptance path: an algorithm/topology pairing that exists nowhere
+    // in the bench crate as code — only as this string.
+    let spec: ScenarioSpec =
+        "leader_election@ring_of_cliques(5,6)".parse().expect("scenario parses");
+    let result = Campaign::single(&spec, 3).run(99);
+    assert_eq!(result.cells.len(), 1);
+    let cell = &result.cells[0];
+    assert_eq!(cell.protocol, "leader_election");
+    assert_eq!(cell.topology, "ring_of_cliques(5,6)");
+    assert_eq!(cell.n, 30);
+    assert_eq!(cell.completed, cell.trials, "leader election must elect on every trial");
+    assert!(cell.rounds.mean > 0.0);
+}
+
+#[test]
+fn collision_model_axis_produces_distinct_cells() {
+    let campaign = Campaign {
+        id: "models".into(),
+        topologies: vec![TopologySpec::Star(64)],
+        protocols: vec![ProtocolSpec::Decay(8)],
+        models: vec![CollisionModel::NoCollisionDetection, CollisionModel::CollisionDetection],
+        plan: TrialPlan::new(2),
+    };
+    let result = campaign.run(7);
+    assert_eq!(result.cells.len(), 2);
+    assert_eq!(result.cells[0].model, "nocd");
+    assert_eq!(result.cells[1].model, "cd");
+}
+
+#[test]
+fn model_record_is_the_effective_model_not_the_requested_one() {
+    // A beep-wave probe can only run under collision detection; requesting
+    // nocd must not mislabel the results file.
+    let spec: ScenarioSpec = "binsearch_le(beep)@grid(6x6)".parse().expect("parses");
+    let campaign = Campaign::single(&spec, 2); // requests nocd by default
+    let result = campaign.run(3);
+    assert_eq!(result.cells[0].model, "cd", "record states the model trials truly ran under");
+    assert_eq!(result.cells[0].completed, 2);
+}

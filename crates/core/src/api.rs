@@ -88,6 +88,36 @@ fn validate(g: &Graph, sources: &[(NodeId, u64)]) -> Result<(), CompeteError> {
     Ok(())
 }
 
+/// The validated execution core shared by every public entry point: callers
+/// must have run [`validate`] (or constructed sources that satisfy it), so
+/// the `O(n + m)` connectivity BFS runs exactly once per call chain.
+fn run_compete(
+    g: &Graph,
+    net: NetParams,
+    sources: &[(NodeId, u64)],
+    params: &CompeteParams,
+    model: CollisionModel,
+    seed: u64,
+) -> CompeteReport {
+    let pre = Precomputed::build(g, net, params, rng::derive(seed, 0x9DE));
+    let mut proto = CompeteProtocol::new(&pre, *params, sources, rng::derive(seed, 0x9D0));
+    let mut sim = Simulator::new(g, model, seed);
+    let budget = params.max_rounds(&net);
+    let stats = sim.run(&mut proto, budget);
+    debug_assert!(matches!(stats.outcome, RunOutcome::ProtocolDone | RunOutcome::BudgetExhausted));
+    let completed = proto.all_know_target();
+    CompeteReport {
+        completed,
+        propagation_rounds: stats.rounds,
+        charged_precompute_rounds: pre.charged_rounds,
+        total_rounds: stats.rounds + pre.charged_rounds,
+        metrics: stats.metrics,
+        target: proto.target(),
+        nodes_knowing: proto.num_knowing(),
+        seed,
+    }
+}
+
 /// Runs **Compete(S)** (Algorithm 1 + 2): spreads the highest source message
 /// to every node. Network parameters are derived from the graph with the
 /// double-sweep diameter estimate; use [`compete_with_net`] to supply exact
@@ -104,7 +134,7 @@ pub fn compete(
 ) -> Result<CompeteReport, CompeteError> {
     validate(g, sources)?;
     let net = NetParams::new(g.n(), g.diameter_double_sweep());
-    compete_with_net(g, net, sources, params, seed)
+    Ok(run_compete(g, net, sources, params, CollisionModel::NoCollisionDetection, seed))
 }
 
 /// As [`compete`], with explicit [`NetParams`] (the `n` and `D` the model
@@ -120,24 +150,29 @@ pub fn compete_with_net(
     params: &CompeteParams,
     seed: u64,
 ) -> Result<CompeteReport, CompeteError> {
+    compete_with_model(g, net, sources, params, CollisionModel::NoCollisionDetection, seed)
+}
+
+/// As [`compete_with_net`], with an explicit [`CollisionModel`] — the
+/// full-control entry point used by the scenario registry's collision-model
+/// axis. The algorithm is designed for (and analyzed in) the no-collision-
+/// detection model; running it under [`CollisionModel::CollisionDetection`]
+/// is an ablation (collision notifications are ignored, but the channel
+/// semantics of delivery are identical).
+///
+/// # Errors
+///
+/// [`CompeteError`] on empty/invalid sources or a disconnected graph.
+pub fn compete_with_model(
+    g: &Graph,
+    net: NetParams,
+    sources: &[(NodeId, u64)],
+    params: &CompeteParams,
+    model: CollisionModel,
+    seed: u64,
+) -> Result<CompeteReport, CompeteError> {
     validate(g, sources)?;
-    let pre = Precomputed::build(g, net, params, rng::derive(seed, 0x9DE));
-    let mut proto = CompeteProtocol::new(&pre, *params, sources, rng::derive(seed, 0x9D0));
-    let mut sim = Simulator::new(g, CollisionModel::NoCollisionDetection, seed);
-    let budget = params.max_rounds(&net);
-    let stats = sim.run(&mut proto, budget);
-    debug_assert!(matches!(stats.outcome, RunOutcome::ProtocolDone | RunOutcome::BudgetExhausted));
-    let completed = proto.all_know_target();
-    Ok(CompeteReport {
-        completed,
-        propagation_rounds: stats.rounds,
-        charged_precompute_rounds: pre.charged_rounds,
-        total_rounds: stats.rounds + pre.charged_rounds,
-        metrics: stats.metrics,
-        target: proto.target(),
-        nodes_knowing: proto.num_knowing(),
-        seed,
-    })
+    Ok(run_compete(g, net, sources, params, model, seed))
 }
 
 /// Runs **broadcasting** (Theorem 5.1): `Compete({source})`.
@@ -169,7 +204,7 @@ pub fn leader_election(
         return Err(CompeteError::Disconnected);
     }
     let net = NetParams::new(g.n(), g.diameter_double_sweep());
-    leader_election_with_net(g, net, params, seed)
+    Ok(run_leader_election(g, net, params, CollisionModel::NoCollisionDetection, seed))
 }
 
 /// As [`leader_election`], with explicit [`NetParams`].
@@ -183,9 +218,36 @@ pub fn leader_election_with_net(
     params: &CompeteParams,
     seed: u64,
 ) -> Result<LeaderElectionReport, CompeteError> {
+    leader_election_with_model(g, net, params, CollisionModel::NoCollisionDetection, seed)
+}
+
+/// As [`leader_election_with_net`], with an explicit [`CollisionModel`]
+/// (see [`compete_with_model`] for the semantics of the ablation).
+///
+/// # Errors
+///
+/// [`CompeteError::Disconnected`] on a disconnected graph.
+pub fn leader_election_with_model(
+    g: &Graph,
+    net: NetParams,
+    params: &CompeteParams,
+    model: CollisionModel,
+    seed: u64,
+) -> Result<LeaderElectionReport, CompeteError> {
     if !g.is_connected() {
         return Err(CompeteError::Disconnected);
     }
+    Ok(run_leader_election(g, net, params, model, seed))
+}
+
+/// Candidate selection + Compete, after connectivity has been checked once.
+fn run_leader_election(
+    g: &Graph,
+    net: NetParams,
+    params: &CompeteParams,
+    model: CollisionModel,
+    seed: u64,
+) -> LeaderElectionReport {
     let n = g.n();
     // Step 1: candidates with probability Θ(log n / n); the constant 2 keeps
     // P[no candidate] ≤ n^-2 while |C| = O(log n) whp.
@@ -203,16 +265,18 @@ pub fn leader_election_with_net(
     if candidates.is_empty() {
         // Degenerate (probability ≤ n^-2): retry with the next seed stream,
         // exactly as restarting the algorithm would.
-        return leader_election_with_net(g, net, params, rng::derive(seed, 0x9999));
+        return run_leader_election(g, net, params, model, rng::derive(seed, 0x9999));
     }
-    let report = compete_with_net(g, net, &candidates, params, seed)?;
+    // Candidates are nonempty and in-range by construction, and connectivity
+    // was checked by the caller — run directly, no second validation BFS.
+    let report = run_compete(g, net, &candidates, params, model, seed);
     let target = report.target;
     let winners: Vec<NodeId> =
         candidates.iter().filter(|&&(_, id)| id == target).map(|&(v, _)| v).collect();
-    Ok(LeaderElectionReport {
+    LeaderElectionReport {
         compete: report,
         num_candidates: candidates.len(),
         leader: winners.first().copied(),
         unique_winner: winners.len() == 1,
-    })
+    }
 }

@@ -52,11 +52,14 @@ mod api;
 mod params;
 mod precompute;
 mod protocol;
+mod scenario;
 
 pub use api::{
-    broadcast, compete, compete_with_net, leader_election, leader_election_with_net, CompeteError,
-    CompeteReport, LeaderElectionReport,
+    broadcast, compete, compete_with_model, compete_with_net, leader_election,
+    leader_election_with_model, leader_election_with_net, CompeteError, CompeteReport,
+    LeaderElectionReport,
 };
 pub use params::{CompeteParams, CurtailMode, PrecomputeMode, SequenceScope};
 pub use precompute::{FineClustering, Precomputed};
 pub use protocol::{CompeteMsg, CompeteProtocol};
+pub use scenario::{BroadcastScenario, CompeteScenario, LeaderElectionScenario};

@@ -1,0 +1,178 @@
+//! [`Runnable`] scenarios for the paper's algorithms — the plug the
+//! campaign registry uses to run Compete, broadcasting and leader election
+//! uniformly against any topology and collision model.
+
+use crate::api::{compete_with_model, leader_election_with_model};
+use crate::params::CompeteParams;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rn_graph::{Graph, NodeId};
+use rn_sim::{rng, CollisionModel, NetParams, Runnable, TrialRecord};
+
+/// Broadcasting (Theorem 5.1): `Compete({node 0})` with the given parameter
+/// set. `label` is the registry name, so the same struct serves the default
+/// Czumaj–Davies configuration and ablation variants (e.g. Haeupler–Wajc
+/// curtailment).
+#[derive(Debug, Clone)]
+pub struct BroadcastScenario {
+    /// Algorithm constants for this variant.
+    pub params: CompeteParams,
+    /// Registry name (e.g. `"broadcast"`, `"broadcast_hw"`).
+    pub label: String,
+}
+
+impl BroadcastScenario {
+    /// The paper's default configuration, named `broadcast`.
+    pub fn czumaj_davies() -> BroadcastScenario {
+        BroadcastScenario { params: CompeteParams::default(), label: "broadcast".into() }
+    }
+
+    /// The Haeupler–Wajc curtailment ablation, named `broadcast_hw`.
+    pub fn haeupler_wajc() -> BroadcastScenario {
+        BroadcastScenario { params: CompeteParams::haeupler_wajc(), label: "broadcast_hw".into() }
+    }
+}
+
+impl Runnable for BroadcastScenario {
+    fn name(&self) -> String {
+        self.label.clone()
+    }
+
+    fn run_trial(
+        &self,
+        g: &Graph,
+        net: NetParams,
+        model: CollisionModel,
+        seed: u64,
+    ) -> TrialRecord {
+        let r = compete_with_model(g, net, &[(0, 1)], &self.params, model, seed)
+            .expect("campaign graphs are connected with an in-range source");
+        TrialRecord::new(r.completed, r.total_rounds, r.metrics)
+    }
+}
+
+/// Multi-source **Compete(S)** (Theorem 4.1) with `sources` seed-random
+/// sources holding distinct messages.
+#[derive(Debug, Clone)]
+pub struct CompeteScenario {
+    /// Algorithm constants.
+    pub params: CompeteParams,
+    /// Number of sources `|S|` (placed uniformly at random per trial).
+    pub sources: usize,
+}
+
+impl CompeteScenario {
+    /// Default-parameter Compete with `sources` sources.
+    pub fn new(sources: usize) -> CompeteScenario {
+        CompeteScenario { params: CompeteParams::default(), sources: sources.max(1) }
+    }
+}
+
+impl Runnable for CompeteScenario {
+    fn name(&self) -> String {
+        format!("compete({})", self.sources)
+    }
+
+    fn run_trial(
+        &self,
+        g: &Graph,
+        net: NetParams,
+        model: CollisionModel,
+        seed: u64,
+    ) -> TrialRecord {
+        // Source placement is part of the trial's randomness: derived from
+        // the trial seed on a separate stream.
+        let mut srng = SmallRng::seed_from_u64(rng::derive(seed, 0x50C));
+        let sources: Vec<(NodeId, u64)> = (0..self.sources)
+            .map(|k| (srng.gen_range(0..g.n()) as NodeId, (k + 1) as u64))
+            .collect();
+        let r = compete_with_model(g, net, &sources, &self.params, model, seed)
+            .expect("campaign graphs are connected with in-range sources");
+        TrialRecord::new(r.completed, r.total_rounds, r.metrics)
+    }
+}
+
+/// Leader election (Algorithm 6, Theorem 5.2): candidate self-selection,
+/// random IDs, Compete on the IDs. A trial completes when Compete finishes
+/// and exactly one node holds the winning ID.
+#[derive(Debug, Clone)]
+pub struct LeaderElectionScenario {
+    /// Algorithm constants.
+    pub params: CompeteParams,
+}
+
+impl LeaderElectionScenario {
+    /// Default-parameter leader election.
+    pub fn new() -> LeaderElectionScenario {
+        LeaderElectionScenario { params: CompeteParams::default() }
+    }
+}
+
+impl Default for LeaderElectionScenario {
+    fn default() -> Self {
+        LeaderElectionScenario::new()
+    }
+}
+
+impl Runnable for LeaderElectionScenario {
+    fn name(&self) -> String {
+        "leader_election".into()
+    }
+
+    fn run_trial(
+        &self,
+        g: &Graph,
+        net: NetParams,
+        model: CollisionModel,
+        seed: u64,
+    ) -> TrialRecord {
+        let r = leader_election_with_model(g, net, &self.params, model, seed)
+            .expect("campaign graphs are connected");
+        TrialRecord::new(
+            r.compete.completed && r.unique_winner,
+            r.compete.total_rounds,
+            r.compete.metrics,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rn_graph::generators;
+
+    fn net_of(g: &Graph) -> NetParams {
+        NetParams::of_graph(g)
+    }
+
+    #[test]
+    fn broadcast_scenario_completes_on_grid() {
+        let g = generators::grid(8, 8);
+        let s = BroadcastScenario::czumaj_davies();
+        assert_eq!(s.name(), "broadcast");
+        let r = s.run_trial(&g, net_of(&g), CollisionModel::NoCollisionDetection, 3);
+        assert!(r.completed);
+        assert!(r.rounds > 0);
+        assert!(r.metrics.deliveries > 0);
+    }
+
+    #[test]
+    fn leader_election_scenario_elects() {
+        let g = generators::grid(8, 8);
+        let s = LeaderElectionScenario::new();
+        assert_eq!(s.name(), "leader_election");
+        let r = s.run_trial(&g, net_of(&g), CollisionModel::NoCollisionDetection, 5);
+        assert!(r.completed);
+    }
+
+    #[test]
+    fn compete_scenario_is_seed_deterministic() {
+        let g = generators::grid(6, 6);
+        let s = CompeteScenario::new(4);
+        assert_eq!(s.name(), "compete(4)");
+        let a = s.run_trial(&g, net_of(&g), CollisionModel::NoCollisionDetection, 11);
+        let b = s.run_trial(&g, net_of(&g), CollisionModel::NoCollisionDetection, 11);
+        assert_eq!(a, b, "same seed, same trial");
+        assert!(a.completed);
+    }
+}

@@ -43,6 +43,8 @@
 
 mod broadcast;
 mod primitive;
+mod scenario;
 
 pub use broadcast::{DecayBroadcast, TruncatedDecayBroadcast};
 pub use primitive::{DecaySteps, SingleDecayRound};
+pub use scenario::DecayScenario;

@@ -1,0 +1,103 @@
+//! [`Runnable`] scenario for the raw decay primitive: multi-source
+//! max-propagating decay broadcast, the building block measured on its own
+//! terms in campaigns (the single-source wrappers with baseline budgets live
+//! in `rn_baselines`).
+
+use crate::broadcast::{DecayBroadcast, TruncatedDecayBroadcast};
+use rn_graph::{Graph, NodeId};
+use rn_sim::{CollisionModel, NetParams, Runnable, Simulator, TrialRecord};
+
+/// Multi-source decay broadcast with `sources` evenly spread sources holding
+/// distinct values; completes when every node is informed. `truncated`
+/// selects the truncated-decay variant.
+#[derive(Debug, Clone, Copy)]
+pub struct DecayScenario {
+    /// Number of sources (evenly spaced over the id range, values `1..=k`).
+    pub sources: usize,
+    /// Run [`TruncatedDecayBroadcast`] instead of plain [`DecayBroadcast`].
+    pub truncated: bool,
+}
+
+impl DecayScenario {
+    /// Plain multi-source decay with `sources` sources.
+    pub fn new(sources: usize) -> DecayScenario {
+        DecayScenario { sources: sources.max(1), truncated: false }
+    }
+
+    /// Truncated-decay variant with `sources` sources.
+    pub fn truncated(sources: usize) -> DecayScenario {
+        DecayScenario { sources: sources.max(1), truncated: true }
+    }
+
+    /// Evenly spaced source placement (deterministic in the graph size).
+    fn place_sources(&self, n: usize) -> Vec<(NodeId, u64)> {
+        let k = self.sources.min(n);
+        (0..k).map(|i| (((i * n) / k) as NodeId, (i + 1) as u64)).collect()
+    }
+}
+
+impl Runnable for DecayScenario {
+    fn name(&self) -> String {
+        if self.truncated {
+            format!("decay_trunc({})", self.sources)
+        } else {
+            format!("decay({})", self.sources)
+        }
+    }
+
+    fn run_trial(
+        &self,
+        g: &Graph,
+        net: NetParams,
+        model: CollisionModel,
+        seed: u64,
+    ) -> TrialRecord {
+        let sources = self.place_sources(g.n());
+        let mut sim = Simulator::new(g, model, seed);
+        if self.truncated {
+            let mut p = TruncatedDecayBroadcast::new(net, &sources, seed);
+            let stats =
+                sim.run_until(&mut p, net.decay_broadcast_budget(), |_, p| p.all_informed());
+            TrialRecord::new(p.all_informed(), stats.rounds, stats.metrics)
+        } else {
+            let mut p = DecayBroadcast::new(net, &sources, seed);
+            let stats =
+                sim.run_until(&mut p, net.decay_broadcast_budget(), |_, p| p.all_informed());
+            TrialRecord::new(p.all_informed(), stats.rounds, stats.metrics)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rn_graph::generators;
+
+    #[test]
+    fn decay_scenario_completes_and_names_stably() {
+        let g = generators::grid(10, 10);
+        let net = NetParams::of_graph(&g);
+        let plain = DecayScenario::new(4);
+        assert_eq!(plain.name(), "decay(4)");
+        let r = plain.run_trial(&g, net, CollisionModel::NoCollisionDetection, 3);
+        assert!(r.completed);
+        assert!(r.metrics.deliveries > 0);
+
+        let trunc = DecayScenario::truncated(2);
+        assert_eq!(trunc.name(), "decay_trunc(2)");
+        let r = trunc.run_trial(&g, net, CollisionModel::NoCollisionDetection, 3);
+        assert!(r.completed);
+    }
+
+    #[test]
+    fn sources_are_clamped_to_graph_size() {
+        let s = DecayScenario::new(100);
+        let placed = s.place_sources(10);
+        assert_eq!(placed.len(), 10);
+        assert!(placed.iter().all(|&(v, _)| (v as usize) < 10));
+        // Distinct placements.
+        let mut ids: Vec<_> = placed.iter().map(|&(v, _)| v).collect();
+        ids.dedup();
+        assert_eq!(ids.len(), 10);
+    }
+}

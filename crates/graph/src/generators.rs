@@ -229,6 +229,33 @@ pub fn barbell(k: usize, bridge: usize) -> Graph {
     Graph::from_edges(n, &edges).expect("barbell construction")
 }
 
+/// Ring of cliques: `k` cliques of `size` nodes each, arranged in a cycle
+/// with one bridge edge between consecutive cliques (the first node of each
+/// clique is its port). `n = k · size`; diameter `⌊k/2⌋ + 2` for `size ≥ 2`.
+/// A many-dense-clusters topology where every inter-cluster hop crosses a
+/// single contended edge — the regime stressing the paper's coarse-cluster
+/// boundary machinery from all sides at once.
+///
+/// # Panics
+///
+/// Panics if `k < 3` (no ring) or `size == 0`.
+pub fn ring_of_cliques(k: usize, size: usize) -> Graph {
+    assert!(k >= 3, "ring of cliques needs at least 3 cliques");
+    assert!(size > 0, "cliques must be nonempty");
+    let n = k * size;
+    let mut edges = Vec::with_capacity(k * (size * (size - 1) / 2 + 1));
+    for c in 0..k {
+        let base = c * size;
+        for u in 0..size {
+            for v in (u + 1)..size {
+                edges.push(((base + u) as NodeId, (base + v) as NodeId));
+            }
+        }
+        edges.push(((c * size) as NodeId, (((c + 1) % k) * size) as NodeId));
+    }
+    Graph::from_edges(n, &edges).expect("ring of cliques construction")
+}
+
 /// Lollipop: a clique of size `k` with a path of `tail` nodes attached.
 ///
 /// # Panics
@@ -581,6 +608,20 @@ mod tests {
         assert_eq!(g.n(), 14);
         assert!(g.is_connected());
         assert_eq!(g.diameter(), 4 + 3);
+    }
+
+    #[test]
+    fn ring_of_cliques_shape() {
+        let g = ring_of_cliques(6, 5);
+        assert_eq!(g.n(), 30);
+        assert_eq!(g.m(), 6 * (5 * 4 / 2) + 6);
+        assert!(g.is_connected());
+        assert_eq!(g.diameter(), 6 / 2 + 2);
+        // size = 1 degenerates to a cycle.
+        let c = ring_of_cliques(7, 1);
+        assert_eq!(c.n(), 7);
+        assert_eq!(c.m(), 7);
+        assert_eq!(c.diameter(), 3);
     }
 
     #[test]

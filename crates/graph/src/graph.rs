@@ -210,8 +210,6 @@ impl Graph {
         let d0 = crate::traversal::bfs(self, 0);
         let far = argmax_dist(&d0).expect("disconnected graph");
         let d1 = crate::traversal::bfs(self, far);
-        let far2 = argmax_dist(&d1).expect("disconnected graph");
-        let _ = far2;
         d1.iter().copied().max().unwrap_or(0)
     }
 

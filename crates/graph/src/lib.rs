@@ -12,7 +12,11 @@
 //!   of the paper's Section 6);
 //! * [`generators`] — topology families used throughout the evaluation:
 //!   paths, cycles, grids, tori, random geometric (unit-disk) graphs,
-//!   `G(n, p)`, random trees, hypercubes, barbells, caterpillars and more.
+//!   `G(n, p)`, random trees, hypercubes, barbells, rings of cliques,
+//!   caterpillars and more;
+//! * [`spec`] — [`TopologySpec`], the declarative string form of those
+//!   families (`"torus(32x32)"`, `"rgg(1600,0.05)"`) used by the scenario
+//!   registry and campaign runner.
 //!
 //! # Example
 //!
@@ -34,8 +38,10 @@
 mod error;
 pub mod generators;
 mod graph;
+pub mod spec;
 pub mod traversal;
 
 pub use error::GraphError;
 pub use graph::{Graph, NodeId, INVALID_NODE};
+pub use spec::{TopologySpec, TopologySpecError};
 pub use traversal::{Bfs, DistanceMatrixSample, LayerHistogram};

@@ -3,7 +3,7 @@
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use rn_graph::{generators, traversal, Graph};
+use rn_graph::{generators, traversal, Graph, TopologySpec};
 
 /// Rejection-free random edge over `n ≥ 2` nodes: pick `u` and an offset.
 fn arb_edge(n: usize) -> impl Strategy<Value = (u32, u32)> {
@@ -102,6 +102,39 @@ proptest! {
         let text = g.to_edge_list();
         let back = Graph::parse_edge_list(&text).expect("parse back");
         prop_assert_eq!(g, back);
+    }
+
+    #[test]
+    fn topology_spec_round_trips_and_builds(
+        kind in 0usize..6,
+        a in 3usize..24,
+        b in 3usize..12,
+        seed in 0u64..1000,
+    ) {
+        let spec = match kind {
+            0 => TopologySpec::Path(a),
+            1 => TopologySpec::Grid { w: a, h: b },
+            2 => TopologySpec::Torus { w: a, h: b },
+            3 => TopologySpec::RingOfCliques { cliques: a, size: b },
+            4 => TopologySpec::Barbell { clique: a, bridge: b },
+            _ => TopologySpec::RandomTree(a * b),
+        };
+        let s = spec.to_string();
+        let back: TopologySpec = s.parse().expect("stable form parses");
+        prop_assert_eq!(&back, &spec);
+        let g = spec.build(seed);
+        prop_assert!(g.is_connected());
+        prop_assert_eq!(g, back.build(seed), "same spec + seed, same graph");
+    }
+
+    #[test]
+    fn ring_of_cliques_structure(k in 3usize..12, size in 1usize..10) {
+        let g = generators::ring_of_cliques(k, size);
+        prop_assert_eq!(g.n(), k * size);
+        prop_assert_eq!(g.m(), k * (size * (size - 1) / 2) + k);
+        prop_assert!(g.is_connected());
+        let expect = if size >= 2 { k as u32 / 2 + 2 } else { k as u32 / 2 };
+        prop_assert_eq!(g.diameter(), expect);
     }
 
     #[test]

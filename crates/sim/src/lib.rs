@@ -50,6 +50,7 @@ mod engine;
 mod params;
 mod protocol;
 pub mod rng;
+mod runnable;
 pub mod testing;
 mod trace;
 
@@ -57,4 +58,5 @@ pub use combinators::{Either, Interleave, Jammer};
 pub use engine::{CollisionModel, Metrics, RunOutcome, RunStats, Simulator};
 pub use params::NetParams;
 pub use protocol::{Protocol, Round, TxBuf};
+pub use runnable::{Runnable, TrialRecord};
 pub use trace::{Event, Trace};

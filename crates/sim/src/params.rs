@@ -75,6 +75,15 @@ impl NetParams {
     pub fn d_pow(&self, exp: f64, min: u64) -> u64 {
         ((self.diameter.max(1) as f64).powf(exp).round() as u64).max(min)
     }
+
+    /// A whp round budget generous enough for every decay-style broadcast:
+    /// `64·(D + log n)·log n + 4096`. The single shared definition used by
+    /// the baseline entry points and the scenario registry, so tuning the
+    /// constant cannot drift between call sites.
+    pub fn decay_broadcast_budget(&self) -> u64 {
+        let log_n = self.log2_n() as u64;
+        64 * (self.diameter as u64 + log_n) * log_n + 4096
+    }
 }
 
 /// `⌈log₂ x⌉` for `x ≥ 1`; 0 for `x ∈ {0, 1}`.
@@ -111,6 +120,15 @@ mod tests {
         let p = NetParams::new(4096, 256);
         assert_eq!(p.log2_n(), 12);
         assert_eq!(p.log2_d(), 8);
+    }
+
+    #[test]
+    fn decay_budget_scales_with_d() {
+        let small = NetParams::new(256, 16).decay_broadcast_budget();
+        let large = NetParams::new(256, 1024).decay_broadcast_budget();
+        assert!(large > small);
+        // Exact formula: 64·(D + log n)·log n + 4096.
+        assert_eq!(small, 64 * (16 + 8) * 8 + 4096);
     }
 
     #[test]

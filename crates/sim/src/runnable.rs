@@ -1,0 +1,126 @@
+//! The [`Runnable`] protocol-factory trait: the uniform entry point every
+//! algorithm crate implements so campaigns can cross *any* protocol with
+//! *any* topology and collision model without naming either in code.
+//!
+//! A `Runnable` is a self-contained scenario: given a graph, the network
+//! knowledge ([`NetParams`]) the model grants nodes, a collision model and a
+//! trial seed, it sets up its protocol (sources, parameters, budgets), runs
+//! it to completion or budget exhaustion, and reports one machine-readable
+//! [`TrialRecord`]. Implementations live next to their algorithms —
+//! `rn_core` (Compete / broadcast / leader election), `rn_baselines` (BGI,
+//! truncated decay, binary-search leader election), `rn_decay` (raw
+//! multi-source decay) — and are registered by name in `rn_bench`'s scenario
+//! registry.
+
+use crate::{CollisionModel, Metrics, NetParams};
+use rn_graph::Graph;
+
+/// Machine-readable outcome of one scenario trial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TrialRecord {
+    /// Whether the scenario reached its goal (all informed, unique leader,
+    /// …) within its budget.
+    pub completed: bool,
+    /// Rounds consumed, including any charged precomputation.
+    pub rounds: u64,
+    /// Channel statistics, when the scenario runs packet-level through the
+    /// simulator (scenarios that only account rounds leave this zeroed).
+    pub metrics: Metrics,
+}
+
+impl TrialRecord {
+    /// A record for a packet-level run: rounds and metrics from the
+    /// simulator, plus the goal predicate.
+    pub fn new(completed: bool, rounds: u64, metrics: Metrics) -> TrialRecord {
+        TrialRecord { completed, rounds, metrics }
+    }
+
+    /// A record for a rounds-accounted run with no channel metrics.
+    pub fn rounds_only(completed: bool, rounds: u64) -> TrialRecord {
+        TrialRecord { completed, rounds, metrics: Metrics::default() }
+    }
+}
+
+/// A named, repeatable scenario: one protocol family plus its setup policy,
+/// runnable on any graph under any collision model.
+///
+/// Implementations must be cheap to construct and reusable across trials —
+/// `run_trial` takes `&self` and is called concurrently from the campaign
+/// runner's worker threads (hence the `Send + Sync` supertraits). All
+/// randomness must derive from the passed `seed` so a `(scenario, graph,
+/// model, seed)` tuple pins the trial exactly.
+pub trait Runnable: Send + Sync {
+    /// The scenario's stable registry name (e.g. `"leader_election"`,
+    /// `"binsearch_le(bgi)"`). Used in tables, JSON results and CLI specs.
+    fn name(&self) -> String;
+
+    /// The collision model a trial actually runs under when `requested` is
+    /// asked for. Most scenarios honor the request (the default); scenarios
+    /// whose probe dictates a fixed model (e.g. a beep wave needs collision
+    /// detection) override this so campaign records stay truthful — the
+    /// campaign runner records and passes the *effective* model.
+    fn effective_model(&self, requested: CollisionModel) -> CollisionModel {
+        requested
+    }
+
+    /// Runs one trial of the scenario on `g` and reports the outcome.
+    ///
+    /// `net` carries the `n`/`D` knowledge the model grants every node
+    /// (callers typically derive it from `g`); `model` selects the collision
+    /// semantics the channel enforces and is always the value
+    /// [`Runnable::effective_model`] mapped the caller's request to.
+    fn run_trial(&self, g: &Graph, net: NetParams, model: CollisionModel, seed: u64)
+        -> TrialRecord;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::NaiveFlood;
+    use crate::Simulator;
+    use rn_graph::generators;
+
+    /// A minimal in-crate Runnable over the testing flood protocol.
+    struct FloodScenario;
+
+    impl Runnable for FloodScenario {
+        fn name(&self) -> String {
+            "naive_flood".into()
+        }
+
+        fn run_trial(
+            &self,
+            g: &Graph,
+            net: NetParams,
+            model: CollisionModel,
+            seed: u64,
+        ) -> TrialRecord {
+            let mut p = NaiveFlood::new(g.n(), 0);
+            let mut sim = Simulator::new(g, model, seed);
+            let stats = sim.run(&mut p, 4 * net.diameter() as u64 + 8);
+            TrialRecord::new(p.informed_count() == g.n(), stats.rounds, stats.metrics)
+        }
+    }
+
+    #[test]
+    fn runnable_objects_are_usable_through_dyn() {
+        let g = generators::path(8);
+        let net = NetParams::of_graph(&g);
+        let scenario: Box<dyn Runnable> = Box::new(FloodScenario);
+        assert_eq!(scenario.name(), "naive_flood");
+        // A path floods fine (each frontier node is alone); a record with
+        // metrics comes back.
+        let r = scenario.run_trial(&g, net, CollisionModel::NoCollisionDetection, 1);
+        assert!(r.completed);
+        assert!(r.rounds > 0);
+        assert!(r.metrics.deliveries > 0);
+    }
+
+    #[test]
+    fn trial_record_constructors() {
+        let r = TrialRecord::rounds_only(true, 42);
+        assert!(r.completed);
+        assert_eq!(r.rounds, 42);
+        assert_eq!(r.metrics, Metrics::default());
+    }
+}

@@ -1,0 +1,49 @@
+//! Campaigns: cross any protocols with any topologies — as data, not code.
+//!
+//! ```text
+//! cargo run --release --example campaign
+//! ```
+//!
+//! The scenario registry makes every workload a string: protocols like
+//! `"leader_election"` or `"bgi"`, topologies like `"torus(16x16)"` or
+//! `"ring_of_cliques(6,8)"`. A [`Campaign`] crosses the axes, fans trials
+//! out across threads, and reports both a markdown table and a versioned
+//! JSON document (`rn-bench-results/v1`) that is byte-identical for a fixed
+//! master seed.
+
+use radio_networks::bench::{Campaign, ProtocolSpec, ScenarioSpec, TrialPlan};
+use radio_networks::graph::TopologySpec;
+use radio_networks::sim::CollisionModel;
+
+fn main() {
+    // 1. An ad-hoc scenario, exactly as `experiments --scenario` parses it:
+    //    a protocol/topology pair never named in any experiment code.
+    let scenario: ScenarioSpec =
+        "leader_election@ring_of_cliques(6,8)".parse().expect("valid scenario spec");
+    let result = Campaign::single(&scenario, 5).run(2017);
+    result.to_table().print();
+
+    // 2. A declarative sweep: the paper's broadcast vs the BGI baseline
+    //    across three shapes, straight from spec strings.
+    let topologies: Vec<TopologySpec> = ["grid(12x12)", "torus(12x12)", "barbell(24,16)"]
+        .iter()
+        .map(|s| s.parse().expect("valid topology spec"))
+        .collect();
+    let sweep = Campaign {
+        id: "example_sweep".into(),
+        topologies,
+        protocols: vec![ProtocolSpec::Broadcast, ProtocolSpec::Bgi],
+        models: vec![CollisionModel::NoCollisionDetection],
+        plan: TrialPlan::new(3),
+    };
+    let result = sweep.run(2017);
+    result.to_table().print();
+
+    // 3. The machine half: the same run as the versioned JSON results
+    //    document (what `--json` writes to disk for cross-PR tracking).
+    let json = result.to_json();
+    println!("\nJSON results ({} bytes), first cell:", json.len());
+    let doc = radio_networks::bench::Json::parse(&json).expect("own output parses");
+    let cell = &doc.get("cells").and_then(|c| c.as_arr()).expect("cells")[0];
+    println!("{}", cell.render());
+}

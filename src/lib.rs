@@ -11,7 +11,9 @@
 //! * [`cluster`] — Partition(β) clustering and the Section 6 analysis;
 //! * [`schedule`] — intra-cluster broadcast/convergecast schedules;
 //! * [`core`] — Compete, broadcasting and leader election (the paper);
-//! * [`baselines`] — the comparison algorithms of the paper's §1.3.
+//! * [`baselines`] — the comparison algorithms of the paper's §1.3;
+//! * [`bench`] — the scenario registry and campaign runner (plus the
+//!   `experiments` binary's experiment suite).
 //!
 //! # Quickstart
 //!
@@ -32,6 +34,7 @@
 #![warn(missing_docs)]
 
 pub use rn_baselines as baselines;
+pub use rn_bench as bench;
 pub use rn_cluster as cluster;
 pub use rn_core as core;
 pub use rn_decay as decay;
