@@ -148,6 +148,34 @@ mod tests {
     }
 
     #[test]
+    fn baseline_scenarios_run_under_faults_without_scenario_code() {
+        use rn_sim::FaultPlan;
+        // The uniform fault seam: these scenarios contain no fault logic at
+        // all, yet run faulted through the Runnable-provided method. Under
+        // total jamming no broadcast can complete.
+        let g = generators::grid(6, 6);
+        let net = NetParams::of_graph(&g);
+        let jam_all = FaultPlan::jam(36, 1.0);
+        for s in [Box::new(BgiScenario) as Box<dyn Runnable>, Box::new(TruncatedScenario)] {
+            let r = s.run_trial_under_faults(
+                &g,
+                net,
+                CollisionModel::NoCollisionDetection,
+                7,
+                &jam_all,
+            );
+            assert!(!r.completed, "{}: no false completion under total jamming", s.name());
+            // Mild dropout still runs, deterministically.
+            let plan = FaultPlan::drop(0.05);
+            let a =
+                s.run_trial_under_faults(&g, net, CollisionModel::NoCollisionDetection, 7, &plan);
+            let b =
+                s.run_trial_under_faults(&g, net, CollisionModel::NoCollisionDetection, 7, &plan);
+            assert_eq!(a, b, "{}: faulted trials are seed-deterministic", s.name());
+        }
+    }
+
+    #[test]
     fn scenario_names_are_stable() {
         assert_eq!(BgiScenario.name(), "bgi");
         assert_eq!(TruncatedScenario.name(), "truncated");

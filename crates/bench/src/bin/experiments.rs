@@ -4,15 +4,21 @@
 //! Usage:
 //!
 //! ```text
-//! experiments [--seed N] [--trials N] [--model nocd|cd] [--json PATH]
+//! experiments [--seed N] [--trials N] [--model nocd|cd] [--faults SPEC]
+//!             [--json PATH]
 //!             (--list | --check PATH | --scenario SPEC | all | ID [ID ...])
 //! ```
 //!
-//! * `--list` — print every topology form, protocol and preset, then exit;
-//! * `--scenario "PROTO@TOPO"` — run an ad-hoc one-cell campaign, e.g.
-//!   `--scenario "leader_election@torus(32x32)" --trials 20 --json out.json`;
+//! * `--list` — print every topology form, protocol, fault form, override
+//!   key and preset, then exit;
+//! * `--scenario "PROTO@TOPO[!FAULTS]"` — run an ad-hoc one-cell campaign,
+//!   e.g. `--scenario "broadcast{curtail=1e6}@rgg(500,0.08)!jam(5,0.5)"
+//!   --trials 20 --json out.json`;
 //! * `ID` — a preset id: a table experiment (`e1`…`e12`) or a campaign
-//!   (`smoke`, `sweep_broadcast`, …); `all` runs every preset;
+//!   (`smoke`, `sweep_broadcast`, `sweep_faults`, …); `all` runs every
+//!   preset;
+//! * `--faults SPEC` — replace a campaign target's fault axis with one plan
+//!   (`jam(K,P)`, `drop(P)`, `jam(K,P)!drop(P)` or `none`);
 //! * `--json PATH` — additionally write the campaign's versioned JSON
 //!   results file (campaign targets only, one target per run);
 //! * `--check PATH` — parse and schema-validate a results file, then exit
@@ -20,9 +26,9 @@
 
 use rn_bench::presets::{self, PresetKind};
 use rn_bench::registry::parse_model;
-use rn_bench::{Campaign, Json, ScenarioSpec, TrialPlan};
+use rn_bench::{Campaign, Json, OverrideKey, ScenarioSpec, TrialPlan};
 use rn_graph::TopologySpec;
-use rn_sim::CollisionModel;
+use rn_sim::{CollisionModel, FaultPlan};
 use std::time::Instant;
 
 /// Everything the CLI accepted, before target resolution.
@@ -30,6 +36,7 @@ struct Args {
     seed: u64,
     trials: Option<u64>,
     model: Option<CollisionModel>,
+    faults: Option<FaultPlan>,
     json: Option<String>,
     scenario: Option<String>,
     check: Option<String>,
@@ -42,6 +49,7 @@ fn parse_args() -> Args {
         seed: 20170725, // PODC 2017 paper, why not
         trials: None,
         model: None,
+        faults: None,
         json: None,
         scenario: None,
         check: None,
@@ -70,6 +78,10 @@ fn parse_args() -> Args {
             "--model" => {
                 args.model =
                     Some(parse_model(&value("--model")).unwrap_or_else(|e| usage(&e.to_string())));
+            }
+            "--faults" => {
+                args.faults =
+                    Some(value("--faults").parse().unwrap_or_else(|e| usage(&format!("{e}"))));
             }
             "--json" => args.json = Some(value("--json")),
             "--scenario" => args.scenario = Some(value("--scenario")),
@@ -116,13 +128,20 @@ fn main() {
     println!("\n_total: {:.1?}_", t_total.elapsed());
 }
 
-/// Runs an ad-hoc one-cell campaign from a `protocol@topology` spec.
+/// Runs an ad-hoc one-cell campaign from a `protocol@topology[!faults]`
+/// spec.
 fn run_scenario(args: &Args, spec_str: &str) {
     let spec: ScenarioSpec =
         spec_str.parse().unwrap_or_else(|e| usage(&format!("--scenario: {e}")));
     let mut campaign = Campaign::single(&spec, args.trials.unwrap_or(10));
     if let Some(model) = args.model {
         campaign.models = vec![model];
+    }
+    if let Some(faults) = args.faults {
+        if !spec.faults.is_none() {
+            usage("faults specified twice (both --faults and a !suffix on --scenario)");
+        }
+        campaign.faults = vec![faults];
     }
     println!("# Scenario run: {spec} (seed {})\n", args.seed);
     run_campaign(&campaign, args.seed, args.json.as_deref());
@@ -140,11 +159,15 @@ fn run_presets(args: &Args) {
     if args.json.is_some() && campaign_targets != 1 {
         usage("--json needs exactly one campaign target (a campaign preset or --scenario)");
     }
-    // Table presets have hard-coded sweeps: silently ignoring --trials or
-    // --model would print tables that look like the requested configuration
-    // but are not.
-    if (args.trials.is_some() || args.model.is_some()) && campaign_targets != args.ids.len() {
-        usage("--trials/--model only apply to campaign targets, not table presets (e1..e12)");
+    // Table presets have hard-coded sweeps: silently ignoring --trials,
+    // --model or --faults would print tables that look like the requested
+    // configuration but are not.
+    if (args.trials.is_some() || args.model.is_some() || args.faults.is_some())
+        && campaign_targets != args.ids.len()
+    {
+        usage(
+            "--trials/--model/--faults only apply to campaign targets, not table presets (e1..e12)",
+        );
     }
     println!("# Experiment run (seed {})\n", args.seed);
     for id in &args.ids {
@@ -166,6 +189,9 @@ fn run_presets(args: &Args) {
                 if let Some(model) = args.model {
                     campaign.models = vec![model];
                 }
+                if let Some(faults) = args.faults {
+                    campaign.faults = vec![faults];
+                }
                 run_campaign(&campaign, args.seed, args.json.as_deref());
             }
         }
@@ -175,6 +201,12 @@ fn run_presets(args: &Args) {
 
 /// Runs one campaign: markdown to stdout, JSON to `json_path` when given.
 fn run_campaign(campaign: &Campaign, seed: u64, json_path: Option<&str>) {
+    // --faults/--model edits bypass the scenario-string parser's placement
+    // checks; re-validate so an oversized plan is a usage error, not a
+    // panic inside a trial worker.
+    if let Err(e) = campaign.validate() {
+        usage(&e);
+    }
     let result = campaign.run(seed);
     result.to_table().print();
     if let Some(path) = json_path {
@@ -206,28 +238,42 @@ fn check_results_file(path: &str) {
     }
 }
 
-/// Prints the full registry: topology grammar, protocols, presets.
+/// Prints the full registry: topology grammar, protocols, fault grammar,
+/// override keys, presets.
 fn print_list() {
     println!("topology specs:");
     for form in TopologySpec::GRAMMAR {
         println!("  {form}");
     }
-    println!("\nprotocols:");
+    println!("\nprotocols (Compete-family ones take {{key=value}} overrides):");
     for p in rn_bench::ProtocolSpec::all() {
         println!("  {p}");
     }
     println!("\ncollision models:\n  nocd\n  cd");
+    println!("\nfault suffixes (append to the topology, also accepted by --faults):");
+    for form in FaultPlan::GRAMMAR {
+        println!("  !{form}");
+    }
+    println!("\noverride keys:");
+    for k in OverrideKey::ALL {
+        println!("  {:<12} {}", k.as_str(), k.about());
+    }
     println!("\npresets:");
     for p in presets::presets() {
         println!("  {:<16} [{:>8}]  {}", p.id, p.kind_name(), p.about);
     }
-    println!("\nscenario syntax: PROTOCOL@TOPOLOGY, e.g. \"leader_election@torus(32x32)\"");
+    println!(
+        "\nscenario syntax: PROTOCOL[{{OVERRIDES}}]@TOPOLOGY[!FAULTS], e.g.\n  \
+         \"leader_election@torus(32x32)\"\n  \
+         \"broadcast{{curtail=1e6}}@rgg(500,0.08)!jam(5,0.5)\""
+    );
 }
 
 fn usage(err: &str) -> ! {
     eprintln!("error: {err}");
     eprintln!(
-        "usage: experiments [--seed N] [--trials N] [--model nocd|cd] [--json PATH]\n\
+        "usage: experiments [--seed N] [--trials N] [--model nocd|cd] [--faults SPEC]\n\
+         \x20                  [--json PATH]\n\
          \x20                  (--list | --check PATH | --scenario SPEC | all | ID [ID ...])"
     );
     std::process::exit(2);

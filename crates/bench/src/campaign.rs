@@ -1,5 +1,6 @@
 //! The campaign runner: crosses topology × protocol × collision model ×
-//! trial plan, fans trials out across threads, and reports every cell both
+//! fault plan × trial plan, fans trials out across threads, and reports
+//! every cell both
 //! as a markdown table and as a versioned, machine-readable JSON document
 //! for cross-PR performance tracking.
 //!
@@ -14,7 +15,7 @@ use crate::harness::{mean, parallel_trials, Table};
 use crate::json::Json;
 use crate::registry::{model_name, ProtocolSpec, ScenarioSpec};
 use rn_graph::TopologySpec;
-use rn_sim::{rng, CollisionModel, NetParams, TrialRecord};
+use rn_sim::{rng, CollisionModel, FaultPlan, NetParams, TrialRecord};
 
 /// Schema tag written into every results file; bump on breaking changes.
 pub const RESULTS_SCHEMA: &str = "rn-bench-results/v1";
@@ -44,27 +45,72 @@ pub struct Campaign {
     pub protocols: Vec<ProtocolSpec>,
     /// Collision-model axis.
     pub models: Vec<CollisionModel>,
+    /// Fault axis (jammers / dropout per cell); use
+    /// [`Campaign::no_faults`] for the sunny-day-only default.
+    pub faults: Vec<FaultPlan>,
     /// Trial plan shared by every cell.
     pub plan: TrialPlan,
 }
 
 impl Campaign {
-    /// A one-cell campaign from a `protocol@topology` scenario spec.
+    /// The single-entry fault axis meaning "no faults" — what every
+    /// non-fault campaign uses.
+    pub fn no_faults() -> Vec<FaultPlan> {
+        vec![FaultPlan::none()]
+    }
+
+    /// A one-cell campaign from a `protocol@topology[!faults]` scenario
+    /// spec.
     pub fn single(scenario: &ScenarioSpec, trials: u64) -> Campaign {
         Campaign {
             id: scenario.to_string(),
             topologies: vec![scenario.topology.clone()],
-            protocols: vec![scenario.protocol],
+            protocols: vec![scenario.protocol.clone()],
             models: vec![CollisionModel::NoCollisionDetection],
+            faults: vec![scenario.faults],
             plan: TrialPlan::new(trials),
         }
     }
 
-    /// Number of axis-cross positions (topologies × protocols × models); an
-    /// upper bound on emitted cells, since positions whose effective model
-    /// duplicates an earlier one are skipped (see [`Campaign::run`]).
+    /// Number of axis-cross positions (topologies × protocols × models ×
+    /// fault plans); an upper bound on emitted cells, since positions whose
+    /// effective model duplicates an earlier one are skipped (see
+    /// [`Campaign::run`]).
     pub fn num_cells(&self) -> usize {
-        self.topologies.len() * self.protocols.len() * self.models.len()
+        self.topologies.len() * self.protocols.len() * self.models.len() * self.faults.len()
+    }
+
+    /// Checks the cross-axis placement preconditions that scenario-string
+    /// parsing enforces (`compete(K)` sources and jammer counts must fit
+    /// every topology), for campaigns assembled programmatically — e.g. a
+    /// preset whose fault axis was replaced from the command line. Without
+    /// this, an oversized plan panics mid-run inside a trial worker.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first violated pairing.
+    pub fn validate(&self) -> Result<(), String> {
+        for topo in &self.topologies {
+            let n = topo.nodes();
+            for proto in &self.protocols {
+                let need = proto.kind.required_nodes();
+                if need > n {
+                    return Err(format!(
+                        "{} needs {need} distinct source nodes but {topo} has only {n}",
+                        proto.kind
+                    ));
+                }
+            }
+            for fault in &self.faults {
+                if fault.jammers() > n {
+                    return Err(format!(
+                        "fault plan {fault} wants {} jammers but {topo} has only {n} nodes",
+                        fault.jammers()
+                    ));
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Runs every cell, parallelizing trials within each cell.
@@ -72,7 +118,9 @@ impl Campaign {
     /// Each topology is built once (from a seed derived off `master_seed`
     /// and the topology's position) and shared by all its cells; each trial
     /// seed derives from the master seed, the cell index and the trial
-    /// index, so any single trial can be reproduced in isolation.
+    /// index, so any single trial can be reproduced in isolation. Faulted
+    /// cells run through [`rn_sim::Runnable::run_trial_under_faults`], so
+    /// the same fault schedule semantics apply to every protocol uniformly.
     pub fn run(&self, master_seed: u64) -> CampaignResult {
         let mut cells = Vec::with_capacity(self.num_cells());
         let mut cell_index = 0u64;
@@ -87,26 +135,40 @@ impl Campaign {
                     // waves need CD) remap the axis value; the record always
                     // states the model the trials truly ran under, and axis
                     // values collapsing onto an already-run model are skipped
-                    // so (topology, protocol, model) keys stay unique.
+                    // so (topology, protocol, model, faults) keys stay
+                    // unique.
                     let model = runnable.effective_model(requested);
-                    // Each axis position owns its seed stream whether or not
-                    // it runs, so adding a model never reseeds later cells.
-                    let cell_seed = rng::derive(master_seed, 0xCE11_0000 + cell_index);
-                    cell_index += 1;
-                    if models_run.contains(&model) {
-                        continue;
+                    let duplicate = models_run.contains(&model);
+                    if !duplicate {
+                        models_run.push(model);
                     }
-                    models_run.push(model);
-                    let records = parallel_trials(self.plan.trials, |i| {
-                        runnable.run_trial(&g, net, model, rng::derive(cell_seed, i))
-                    });
-                    cells.push(CellResult::aggregate(
-                        topo.to_string(),
-                        runnable.name(),
-                        model,
-                        net,
-                        &records,
-                    ));
+                    for &fault in &self.faults {
+                        // Each axis position owns its seed stream whether or
+                        // not it runs, so adding a model or fault plan never
+                        // reseeds later cells.
+                        let cell_seed = rng::derive(master_seed, 0xCE11_0000 + cell_index);
+                        cell_index += 1;
+                        if duplicate {
+                            continue;
+                        }
+                        let records = parallel_trials(self.plan.trials, |i| {
+                            runnable.run_trial_under_faults(
+                                &g,
+                                net,
+                                model,
+                                rng::derive(cell_seed, i),
+                                &fault,
+                            )
+                        });
+                        cells.push(CellResult::aggregate(
+                            topo.to_string(),
+                            runnable.name(),
+                            model,
+                            fault,
+                            net,
+                            &records,
+                        ));
+                    }
                 }
             }
         }
@@ -158,6 +220,8 @@ pub struct CellResult {
     pub protocol: String,
     /// Collision model (`nocd` / `cd`).
     pub model: &'static str,
+    /// Fault plan string (`none`, `jam(3,0.5)`, `drop(0.1)`, …).
+    pub faults: String,
     /// Number of nodes of the built graph.
     pub n: usize,
     /// Diameter handed to protocols (double-sweep estimate).
@@ -181,6 +245,7 @@ impl CellResult {
         topology: String,
         protocol: String,
         model: CollisionModel,
+        faults: FaultPlan,
         net: NetParams,
         records: &[TrialRecord],
     ) -> CellResult {
@@ -188,6 +253,7 @@ impl CellResult {
             topology,
             protocol,
             model: model_name(model),
+            faults: faults.to_string(),
             n: net.n(),
             diameter: net.diameter(),
             trials: records.len() as u64,
@@ -204,6 +270,7 @@ impl CellResult {
             ("topology", Json::Str(self.topology.clone())),
             ("protocol", Json::Str(self.protocol.clone())),
             ("model", Json::Str(self.model.to_string())),
+            ("faults", Json::Str(self.faults.clone())),
             ("n", Json::UInt(self.n as u64)),
             ("diameter", Json::UInt(self.diameter as u64)),
             ("trials", Json::UInt(self.trials)),
@@ -242,6 +309,7 @@ impl CampaignResult {
                 "topology",
                 "protocol",
                 "model",
+                "faults",
                 "n",
                 "D",
                 "ok",
@@ -256,6 +324,7 @@ impl CampaignResult {
                 c.topology.clone(),
                 c.protocol.clone(),
                 c.model.to_string(),
+                c.faults.clone(),
                 c.n.to_string(),
                 c.diameter.to_string(),
                 format!("{}/{}", c.completed, c.trials),
@@ -311,6 +380,12 @@ pub fn validate_results(doc: &Json) -> Result<String, String> {
                 .and_then(Json::as_str)
                 .ok_or(format!("cell {i}: missing string field {key:?}"))?;
         }
+        // Additive v1 field: absent in pre-fault-axis files, a string (and
+        // a parseable fault plan) when present.
+        if let Some(f) = cell.get("faults") {
+            let s = f.as_str().ok_or(format!("cell {i}: faults field must be a string"))?;
+            s.parse::<rn_sim::FaultPlan>().map_err(|e| format!("cell {i}: faults field: {e}"))?;
+        }
         for key in ["n", "diameter", "trials", "completed"] {
             cell.get(key)
                 .and_then(Json::as_u64)
@@ -332,14 +407,18 @@ pub fn validate_results(doc: &Json) -> Result<String, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::registry::ProbeSpec;
+    use crate::registry::{ProbeSpec, ProtocolKind};
 
     fn tiny_campaign() -> Campaign {
         Campaign {
             id: "unit".into(),
             topologies: vec![TopologySpec::Path(16), TopologySpec::Star(9)],
-            protocols: vec![ProtocolSpec::Bgi, ProtocolSpec::Decay(2)],
+            protocols: vec![
+                ProtocolSpec::plain(ProtocolKind::Bgi),
+                ProtocolSpec::plain(ProtocolKind::Decay(2)),
+            ],
             models: vec![CollisionModel::NoCollisionDetection],
+            faults: Campaign::no_faults(),
             plan: TrialPlan::new(2),
         }
     }
@@ -373,11 +452,50 @@ mod tests {
     #[test]
     fn single_scenario_campaign_from_spec_string() {
         let spec: ScenarioSpec = "binsearch_le(beep)@grid(6x6)".parse().expect("parses");
-        assert_eq!(spec.protocol, ProtocolSpec::BinsearchLe(ProbeSpec::Beep));
+        assert_eq!(spec.protocol, ProtocolSpec::plain(ProtocolKind::BinsearchLe(ProbeSpec::Beep)));
         let r = Campaign::single(&spec, 2).run(9);
         assert_eq!(r.cells.len(), 1);
         assert_eq!(r.cells[0].protocol, "binsearch_le(beep)");
+        assert_eq!(r.cells[0].faults, "none");
         assert_eq!(r.cells[0].completed, 2);
+    }
+
+    #[test]
+    fn fault_axis_produces_labeled_cells_that_degrade() {
+        let campaign = Campaign {
+            id: "faulted".into(),
+            topologies: vec![TopologySpec::Grid { w: 6, h: 6 }],
+            protocols: vec![ProtocolSpec::plain(ProtocolKind::Bgi)],
+            models: vec![CollisionModel::NoCollisionDetection],
+            faults: vec![FaultPlan::none(), FaultPlan::jam(36, 1.0)],
+            plan: TrialPlan::new(2),
+        };
+        let r = campaign.run(8);
+        assert_eq!(r.cells.len(), 2);
+        assert_eq!(r.cells[0].faults, "none");
+        assert_eq!(r.cells[1].faults, "jam(36,1)");
+        assert_eq!(r.cells[0].completed, 2, "sunny-day cell completes");
+        assert_eq!(r.cells[1].completed, 0, "total jamming defeats broadcast");
+        // The JSON carries the fault axis and stays schema-valid.
+        let doc = Json::parse(&r.to_json()).expect("parses");
+        validate_results(&doc).expect("schema-valid with fault fields");
+        let cells = doc.get("cells").and_then(Json::as_arr).expect("cells");
+        assert_eq!(cells[1].get("faults").and_then(Json::as_str), Some("jam(36,1)"));
+    }
+
+    #[test]
+    fn validate_catches_cross_axis_placement_violations() {
+        let mut campaign = tiny_campaign();
+        assert!(campaign.validate().is_ok());
+        // star(9) has 9 nodes: 10 jammers cannot be placed.
+        campaign.faults = vec![FaultPlan::jam(10, 0.5)];
+        let err = campaign.validate().unwrap_err();
+        assert!(err.contains("10 jammers") && err.contains("star(9)"), "{err}");
+        // Same guard for compete(K) sources.
+        campaign.faults = Campaign::no_faults();
+        campaign.protocols = vec![ProtocolSpec::plain(ProtocolKind::Compete(10))];
+        let err = campaign.validate().unwrap_err();
+        assert!(err.contains("10 distinct source nodes"), "{err}");
     }
 
     #[test]
@@ -387,8 +505,12 @@ mod tests {
         let campaign = Campaign {
             id: "dedup".into(),
             topologies: vec![TopologySpec::Grid { w: 6, h: 6 }],
-            protocols: vec![ProtocolSpec::BinsearchLe(ProbeSpec::Beep), ProtocolSpec::Bgi],
+            protocols: vec![
+                ProtocolSpec::plain(ProtocolKind::BinsearchLe(ProbeSpec::Beep)),
+                ProtocolSpec::plain(ProtocolKind::Bgi),
+            ],
             models: vec![CollisionModel::NoCollisionDetection, CollisionModel::CollisionDetection],
+            faults: Campaign::no_faults(),
             plan: TrialPlan::new(1),
         };
         let r = campaign.run(4);
@@ -410,6 +532,8 @@ mod tests {
             r#"{"schema":"other/v9","id":"x","master_seed":1,"cells":[{}]}"#,
             r#"{"schema":"rn-bench-results/v1","id":"x","master_seed":1,"cells":[]}"#,
             r#"{"schema":"rn-bench-results/v1","id":"x","master_seed":1,"cells":[{"topology":"p"}]}"#,
+            r#"{"schema":"rn-bench-results/v1","id":"x","master_seed":1,"cells":[{"topology":"p","protocol":"q","model":"nocd","faults":"zap(1)"}]}"#,
+            r#"{"schema":"rn-bench-results/v1","id":"x","master_seed":1,"cells":[{"topology":"p","protocol":"q","model":"nocd","faults":7}]}"#,
         ] {
             let doc = Json::parse(bad).expect("well-formed JSON");
             assert!(validate_results(&doc).is_err(), "{bad} must fail validation");

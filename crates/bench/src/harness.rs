@@ -47,13 +47,19 @@ impl Table {
 
     /// Renders the table as github-flavored markdown.
     pub fn to_markdown(&self) -> String {
+        // Column widths count characters, not bytes: formatter padding
+        // (`{:>w$}`) is character-based, so byte lengths would misalign any
+        // column containing multi-byte UTF-8 (σ, ≈, … in stats output).
+        let chars = |s: &String| s.chars().count();
         let mut out = String::new();
         let _ = writeln!(out, "\n### {}\n", self.title);
         let widths: Vec<usize> = self
             .headers
             .iter()
             .enumerate()
-            .map(|(i, h)| self.rows.iter().map(|r| r[i].len()).chain([h.len()]).max().unwrap_or(3))
+            .map(|(i, h)| {
+                self.rows.iter().map(|r| chars(&r[i])).chain([chars(h)]).max().unwrap_or(3)
+            })
             .collect();
         let fmt_row = |cells: &[String]| {
             let mut line = String::from("|");
@@ -133,6 +139,26 @@ mod tests {
         assert!(md.contains("> a note"));
         assert_eq!(t.len(), 1);
         assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn multibyte_cells_align_by_character_count() {
+        // Regression: widths were computed from byte lengths, so "σ≈3.5"
+        // (5 chars, 9 bytes) forced 4 extra pad spaces into every other row
+        // of its column.
+        let mut t = Table::new("stats", &["name", "value"]);
+        t.row(&["sigma".into(), "σ≈3.5".into()]);
+        t.row(&["plain".into(), "12345".into()]);
+        let md = t.to_markdown();
+        let rows: Vec<&str> =
+            md.lines().filter(|l| l.contains("sigma") || l.contains("plain")).collect();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(
+            rows[0].chars().count(),
+            rows[1].chars().count(),
+            "rows align by display width:\n{md}"
+        );
+        assert!(rows[0].contains("| σ≈3.5 |"), "no spurious padding: {md}");
     }
 
     #[test]

@@ -35,4 +35,7 @@ pub use campaign::{
 };
 pub use harness::{parallel_trials, Table};
 pub use json::{Json, JsonError};
-pub use registry::{model_name, parse_model, ProbeSpec, ProtocolSpec, RegistryError, ScenarioSpec};
+pub use registry::{
+    model_name, parse_model, OverrideKey, Overrides, ProbeSpec, ProtocolKind, ProtocolSpec,
+    RegistryError, ScenarioSpec,
+};

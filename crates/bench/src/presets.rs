@@ -15,9 +15,9 @@
 use crate::campaign::{Campaign, TrialPlan};
 use crate::experiments;
 use crate::harness::Table;
-use crate::registry::{ProbeSpec, ProtocolSpec};
+use crate::registry::{ProbeSpec, ProtocolKind};
 use rn_graph::TopologySpec;
-use rn_sim::CollisionModel;
+use rn_sim::{CollisionModel, FaultPlan};
 
 /// What a preset id resolves to.
 pub enum PresetKind {
@@ -108,6 +108,11 @@ pub fn presets() -> Vec<Preset> {
             about: "collision-model ablation: the same protocols under nocd and cd",
             kind: PresetKind::Campaign(sweep_models),
         },
+        Preset {
+            id: "sweep_faults",
+            about: "robustness axis: broadcast family vs baselines under jamming and dropout",
+            kind: PresetKind::Campaign(sweep_faults),
+        },
     ]
 }
 
@@ -127,8 +132,9 @@ fn smoke() -> Campaign {
             TopologySpec::Grid { w: 8, h: 8 },
             TopologySpec::RingOfCliques { cliques: 4, size: 6 },
         ],
-        protocols: vec![ProtocolSpec::Broadcast, ProtocolSpec::Bgi],
+        protocols: vec![ProtocolKind::Broadcast.into(), ProtocolKind::Bgi.into()],
         models: nocd(),
+        faults: Campaign::no_faults(),
         plan: TrialPlan::new(3),
     }
 }
@@ -145,13 +151,14 @@ fn sweep_broadcast() -> Campaign {
             TopologySpec::Rgg { n: 1024, radius: 0.06 },
         ],
         protocols: vec![
-            ProtocolSpec::Broadcast,
-            ProtocolSpec::BroadcastHw,
-            ProtocolSpec::Bgi,
-            ProtocolSpec::Truncated,
-            ProtocolSpec::Decay(4),
+            ProtocolKind::Broadcast.into(),
+            ProtocolKind::BroadcastHw.into(),
+            ProtocolKind::Bgi.into(),
+            ProtocolKind::Truncated.into(),
+            ProtocolKind::Decay(4).into(),
         ],
         models: nocd(),
+        faults: Campaign::no_faults(),
         plan: TrialPlan::new(5),
     }
 }
@@ -165,11 +172,12 @@ fn sweep_le() -> Campaign {
             TopologySpec::RingOfCliques { cliques: 8, size: 16 },
         ],
         protocols: vec![
-            ProtocolSpec::LeaderElection,
-            ProtocolSpec::BinsearchLe(ProbeSpec::Bgi),
-            ProtocolSpec::BinsearchLe(ProbeSpec::Beep),
+            ProtocolKind::LeaderElection.into(),
+            ProtocolKind::BinsearchLe(ProbeSpec::Bgi).into(),
+            ProtocolKind::BinsearchLe(ProbeSpec::Beep).into(),
         ],
         models: nocd(),
+        faults: Campaign::no_faults(),
         plan: TrialPlan::new(3),
     }
 }
@@ -178,8 +186,32 @@ fn sweep_models() -> Campaign {
     Campaign {
         id: "sweep_models".into(),
         topologies: vec![TopologySpec::Grid { w: 16, h: 16 }, TopologySpec::Star(256)],
-        protocols: vec![ProtocolSpec::Broadcast, ProtocolSpec::Bgi, ProtocolSpec::Decay(8)],
+        protocols: vec![
+            ProtocolKind::Broadcast.into(),
+            ProtocolKind::Bgi.into(),
+            ProtocolKind::Decay(8).into(),
+        ],
         models: vec![CollisionModel::NoCollisionDetection, CollisionModel::CollisionDetection],
+        faults: Campaign::no_faults(),
+        plan: TrialPlan::new(3),
+    }
+}
+
+fn sweep_faults() -> Campaign {
+    Campaign {
+        id: "sweep_faults".into(),
+        topologies: vec![
+            TopologySpec::Grid { w: 16, h: 16 },
+            TopologySpec::RingOfCliques { cliques: 8, size: 16 },
+            TopologySpec::Rgg { n: 400, radius: 0.1 },
+        ],
+        protocols: vec![
+            ProtocolKind::Broadcast.into(),
+            ProtocolKind::Bgi.into(),
+            ProtocolKind::Decay(4).into(),
+        ],
+        models: nocd(),
+        faults: vec![FaultPlan::none(), FaultPlan::jam(3, 0.5), FaultPlan::drop(0.02)],
         plan: TrialPlan::new(3),
     }
 }
@@ -194,7 +226,7 @@ mod tests {
         for e in experiments::ALL_IDS {
             assert!(ids.contains(&e), "table preset {e} must stay registered");
         }
-        for c in ["smoke", "sweep_broadcast", "sweep_le", "sweep_models"] {
+        for c in ["smoke", "sweep_broadcast", "sweep_le", "sweep_models", "sweep_faults"] {
             assert!(ids.contains(&c), "campaign preset {c} must be registered");
         }
         // Ids are unique.

@@ -8,26 +8,41 @@
 //! [`Runnable`] from `rn_core`, `rn_baselines` or `rn_decay`. Adding an
 //! algorithm means implementing `Runnable` in its home crate and adding one
 //! arm here — no experiment code changes anywhere.
+//!
+//! Two orthogonal string axes ride on the base grammar:
+//!
+//! * **parameter overrides** — Compete-family protocols accept per-cell
+//!   [`CompeteParams`] overrides in braces, e.g. `broadcast{curtail=1e6}` or
+//!   `compete(4){mu=0.2,background=0}` (see [`OverrideKey`] for the key
+//!   set);
+//! * **fault suffixes** — a scenario may append `!jam(K,P)` and/or
+//!   `!drop(P)` after the topology, e.g.
+//!   `broadcast@rgg(500,0.08)!jam(5,0.5)`, parsed into an
+//!   [`rn_sim::FaultPlan`].
+//!
+//! Both round-trip through `Display`/`FromStr` exactly like the base
+//! grammar.
 
 use rn_baselines::{BgiScenario, BinarySearchLeScenario, BroadcastKind, TruncatedScenario};
-use rn_core::{BroadcastScenario, CompeteScenario, LeaderElectionScenario};
+use rn_core::{BroadcastScenario, CompeteParams, CompeteScenario, LeaderElectionScenario};
 use rn_decay::DecayScenario;
 use rn_graph::TopologySpec;
-use rn_sim::{CollisionModel, Runnable};
+use rn_sim::{CollisionModel, FaultPlan, Runnable};
 use std::error::Error;
 use std::fmt;
 use std::str::FromStr;
 
-/// A protocol from the registry, in declarative form with a stable string
-/// representation (`Display` and `FromStr` round-trip).
+/// A protocol family from the registry (the part of a [`ProtocolSpec`]
+/// before any `{...}` overrides), with a stable string representation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[non_exhaustive]
-pub enum ProtocolSpec {
+pub enum ProtocolKind {
     /// `broadcast` — the paper's broadcast (Theorem 5.1, default params).
     Broadcast,
     /// `broadcast_hw` — same pipeline under Haeupler–Wajc curtailment.
     BroadcastHw,
-    /// `compete(K)` — Compete(S) with `K` random sources (Theorem 4.1).
+    /// `compete(K)` — Compete(S) with `K` distinct random sources
+    /// (Theorem 4.1).
     Compete(usize),
     /// `leader_election` — Algorithm 6 (Theorem 5.2).
     LeaderElection,
@@ -93,87 +108,71 @@ impl fmt::Display for RegistryError {
 
 impl Error for RegistryError {}
 
-impl ProtocolSpec {
-    /// Every protocol in the registry, one canonical instance per family
-    /// (parameterized forms use their default arity). The list is checked
-    /// exhaustive against the enum by [`ProtocolSpec::family_index`].
-    pub fn all() -> Vec<ProtocolSpec> {
-        vec![
-            ProtocolSpec::Broadcast,
-            ProtocolSpec::BroadcastHw,
-            ProtocolSpec::Compete(4),
-            ProtocolSpec::LeaderElection,
-            ProtocolSpec::Bgi,
-            ProtocolSpec::Truncated,
-            ProtocolSpec::Decay(4),
-            ProtocolSpec::DecayTrunc(4),
-            ProtocolSpec::BinsearchLe(ProbeSpec::Bgi),
-            ProtocolSpec::BinsearchLe(ProbeSpec::Cd17),
-            ProtocolSpec::BinsearchLe(ProbeSpec::Beep),
-        ]
-    }
-
+impl ProtocolKind {
     /// Dense index of the protocol *family* (ignoring parameters). The
     /// exhaustive match here is the registry's completeness guard: adding an
     /// enum variant without registering it in [`ProtocolSpec::all`] fails
     /// the `registry_lists_every_protocol_family` test.
     pub fn family_index(&self) -> usize {
         match self {
-            ProtocolSpec::Broadcast => 0,
-            ProtocolSpec::BroadcastHw => 1,
-            ProtocolSpec::Compete(_) => 2,
-            ProtocolSpec::LeaderElection => 3,
-            ProtocolSpec::Bgi => 4,
-            ProtocolSpec::Truncated => 5,
-            ProtocolSpec::Decay(_) => 6,
-            ProtocolSpec::DecayTrunc(_) => 7,
-            ProtocolSpec::BinsearchLe(_) => 8,
+            ProtocolKind::Broadcast => 0,
+            ProtocolKind::BroadcastHw => 1,
+            ProtocolKind::Compete(_) => 2,
+            ProtocolKind::LeaderElection => 3,
+            ProtocolKind::Bgi => 4,
+            ProtocolKind::Truncated => 5,
+            ProtocolKind::Decay(_) => 6,
+            ProtocolKind::DecayTrunc(_) => 7,
+            ProtocolKind::BinsearchLe(_) => 8,
         }
     }
 
     /// Number of protocol families (the range of
-    /// [`ProtocolSpec::family_index`]).
+    /// [`ProtocolKind::family_index`]).
     pub const FAMILIES: usize = 9;
 
-    /// Instantiates the matching [`Runnable`] from its home crate. The
-    /// returned object's [`Runnable::name`] equals `self.to_string()`.
-    pub fn instantiate(&self) -> Box<dyn Runnable> {
+    /// Whether this family is parameterized by [`CompeteParams`] and thus
+    /// accepts `{key=value}` overrides.
+    pub fn accepts_overrides(&self) -> bool {
+        matches!(
+            self,
+            ProtocolKind::Broadcast
+                | ProtocolKind::BroadcastHw
+                | ProtocolKind::Compete(_)
+                | ProtocolKind::LeaderElection
+        )
+    }
+
+    /// The number of distinct nodes this protocol needs the topology to
+    /// provide (source placement); 1 for single-source protocols.
+    pub fn required_nodes(&self) -> usize {
         match *self {
-            ProtocolSpec::Broadcast => Box::new(BroadcastScenario::czumaj_davies()),
-            ProtocolSpec::BroadcastHw => Box::new(BroadcastScenario::haeupler_wajc()),
-            ProtocolSpec::Compete(k) => Box::new(CompeteScenario::new(k)),
-            ProtocolSpec::LeaderElection => Box::new(LeaderElectionScenario::new()),
-            ProtocolSpec::Bgi => Box::new(BgiScenario),
-            ProtocolSpec::Truncated => Box::new(TruncatedScenario),
-            ProtocolSpec::Decay(k) => Box::new(DecayScenario::new(k)),
-            ProtocolSpec::DecayTrunc(k) => Box::new(DecayScenario::truncated(k)),
-            ProtocolSpec::BinsearchLe(probe) => {
-                Box::new(BinarySearchLeScenario { kind: probe.kind() })
-            }
+            ProtocolKind::Compete(k) => k,
+            _ => 1,
         }
     }
 }
 
-impl fmt::Display for ProtocolSpec {
+impl fmt::Display for ProtocolKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match *self {
-            ProtocolSpec::Broadcast => write!(f, "broadcast"),
-            ProtocolSpec::BroadcastHw => write!(f, "broadcast_hw"),
-            ProtocolSpec::Compete(k) => write!(f, "compete({k})"),
-            ProtocolSpec::LeaderElection => write!(f, "leader_election"),
-            ProtocolSpec::Bgi => write!(f, "bgi"),
-            ProtocolSpec::Truncated => write!(f, "truncated"),
-            ProtocolSpec::Decay(k) => write!(f, "decay({k})"),
-            ProtocolSpec::DecayTrunc(k) => write!(f, "decay_trunc({k})"),
-            ProtocolSpec::BinsearchLe(p) => write!(f, "binsearch_le({})", p.as_str()),
+            ProtocolKind::Broadcast => write!(f, "broadcast"),
+            ProtocolKind::BroadcastHw => write!(f, "broadcast_hw"),
+            ProtocolKind::Compete(k) => write!(f, "compete({k})"),
+            ProtocolKind::LeaderElection => write!(f, "leader_election"),
+            ProtocolKind::Bgi => write!(f, "bgi"),
+            ProtocolKind::Truncated => write!(f, "truncated"),
+            ProtocolKind::Decay(k) => write!(f, "decay({k})"),
+            ProtocolKind::DecayTrunc(k) => write!(f, "decay_trunc({k})"),
+            ProtocolKind::BinsearchLe(p) => write!(f, "binsearch_le({})", p.as_str()),
         }
     }
 }
 
-impl FromStr for ProtocolSpec {
+impl FromStr for ProtocolKind {
     type Err = RegistryError;
 
-    fn from_str(s: &str) -> Result<ProtocolSpec, RegistryError> {
+    fn from_str(s: &str) -> Result<ProtocolKind, RegistryError> {
         let s = s.trim();
         let (family, arg) = match s.find('(') {
             Some(open) if s.ends_with(')') => (&s[..open], Some(s[open + 1..s.len() - 1].trim())),
@@ -194,14 +193,14 @@ impl FromStr for ProtocolSpec {
             Ok(k)
         };
         match (family, arg) {
-            ("broadcast", None) => Ok(ProtocolSpec::Broadcast),
-            ("broadcast_hw", None) => Ok(ProtocolSpec::BroadcastHw),
-            ("leader_election", None) => Ok(ProtocolSpec::LeaderElection),
-            ("bgi", None) => Ok(ProtocolSpec::Bgi),
-            ("truncated", None) => Ok(ProtocolSpec::Truncated),
-            ("compete", arg) => Ok(ProtocolSpec::Compete(count(arg)?)),
-            ("decay", arg) => Ok(ProtocolSpec::Decay(count(arg)?)),
-            ("decay_trunc", arg) => Ok(ProtocolSpec::DecayTrunc(count(arg)?)),
+            ("broadcast", None) => Ok(ProtocolKind::Broadcast),
+            ("broadcast_hw", None) => Ok(ProtocolKind::BroadcastHw),
+            ("leader_election", None) => Ok(ProtocolKind::LeaderElection),
+            ("bgi", None) => Ok(ProtocolKind::Bgi),
+            ("truncated", None) => Ok(ProtocolKind::Truncated),
+            ("compete", arg) => Ok(ProtocolKind::Compete(count(arg)?)),
+            ("decay", arg) => Ok(ProtocolKind::Decay(count(arg)?)),
+            ("decay_trunc", arg) => Ok(ProtocolKind::DecayTrunc(count(arg)?)),
             ("binsearch_le", Some(probe)) => {
                 let p = match probe {
                     "bgi" => ProbeSpec::Bgi,
@@ -213,7 +212,7 @@ impl FromStr for ProtocolSpec {
                         )))
                     }
                 };
-                Ok(ProtocolSpec::BinsearchLe(p))
+                Ok(ProtocolKind::BinsearchLe(p))
             }
             _ => Err(RegistryError::new(format!(
                 "unknown protocol {s:?} (known: {})",
@@ -227,19 +226,373 @@ impl FromStr for ProtocolSpec {
     }
 }
 
-/// A full scenario: `protocol@topology`, e.g.
-/// `leader_election@torus(32x32)` or `bgi@rgg(1600,0.05)`.
+/// A [`CompeteParams`] field addressable from a `{key=value}` override.
+///
+/// Keys are deliberately short — they live inside scenario strings. Flag
+/// keys take `0`/`1`; integer keys take non-negative integers; the rest take
+/// any finite float.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverrideKey {
+    /// `curtail` — main-process curtailment multiplier `curtail_const`.
+    Curtail,
+    /// `bg_curtail` — background curtailment multiplier `bg_curtail_const`.
+    BgCurtail,
+    /// `mu` — background density multiplier `bg_beta_factor` (the μ of the
+    /// practical-scale correction, `β_bg = μ·D^-bg_exp`).
+    Mu,
+    /// `coarse_exp` — coarse clustering exponent `coarse_beta_exp`.
+    CoarseExp,
+    /// `bg_exp` — background clustering exponent `bg_beta_exp`.
+    BgExp,
+    /// `jmin` — fine-clustering range fraction `j_frac_min`.
+    JMin,
+    /// `jmax` — fine-clustering range fraction `j_frac_max`.
+    JMax,
+    /// `copies_exp` — fine clusterings per `j`, `fine_copies_exp`.
+    CopiesExp,
+    /// `copies_cap` — hard cap on fine clusterings per `j` (integer ≥ 1).
+    CopiesCap,
+    /// `seq_exp` — clustering-sequence length exponent `seq_len_exp`.
+    SeqExp,
+    /// `background` — run the Compete background process (flag).
+    Background,
+    /// `icp_bg` — run the ICP background process (flag).
+    IcpBg,
+    /// `foreign` — Algorithm-4 receivers merge foreign-cluster values
+    /// (flag).
+    Foreign,
+    /// `max_rounds` — safety budget factor `max_rounds_factor` (integer
+    /// ≥ 1).
+    MaxRounds,
+}
+
+impl OverrideKey {
+    /// Every key, in listing order (for `--list` help output).
+    pub const ALL: &'static [OverrideKey] = &[
+        OverrideKey::Curtail,
+        OverrideKey::BgCurtail,
+        OverrideKey::Mu,
+        OverrideKey::CoarseExp,
+        OverrideKey::BgExp,
+        OverrideKey::JMin,
+        OverrideKey::JMax,
+        OverrideKey::CopiesExp,
+        OverrideKey::CopiesCap,
+        OverrideKey::SeqExp,
+        OverrideKey::Background,
+        OverrideKey::IcpBg,
+        OverrideKey::Foreign,
+        OverrideKey::MaxRounds,
+    ];
+
+    /// The key's string form.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            OverrideKey::Curtail => "curtail",
+            OverrideKey::BgCurtail => "bg_curtail",
+            OverrideKey::Mu => "mu",
+            OverrideKey::CoarseExp => "coarse_exp",
+            OverrideKey::BgExp => "bg_exp",
+            OverrideKey::JMin => "jmin",
+            OverrideKey::JMax => "jmax",
+            OverrideKey::CopiesExp => "copies_exp",
+            OverrideKey::CopiesCap => "copies_cap",
+            OverrideKey::SeqExp => "seq_exp",
+            OverrideKey::Background => "background",
+            OverrideKey::IcpBg => "icp_bg",
+            OverrideKey::Foreign => "foreign",
+            OverrideKey::MaxRounds => "max_rounds",
+        }
+    }
+
+    /// One-line description of the targeted parameter (for `--list`).
+    pub fn about(self) -> &'static str {
+        match self {
+            OverrideKey::Curtail => "main-process curtailment multiplier",
+            OverrideKey::BgCurtail => "background curtailment multiplier",
+            OverrideKey::Mu => "background density multiplier (bg_beta_factor)",
+            OverrideKey::CoarseExp => "coarse clustering exponent",
+            OverrideKey::BgExp => "background clustering exponent",
+            OverrideKey::JMin => "fine-clustering j range lower fraction",
+            OverrideKey::JMax => "fine-clustering j range upper fraction",
+            OverrideKey::CopiesExp => "fine clusterings per j (exponent)",
+            OverrideKey::CopiesCap => "fine clusterings per j (hard cap, int)",
+            OverrideKey::SeqExp => "clustering-sequence length exponent",
+            OverrideKey::Background => "Compete background process (0|1)",
+            OverrideKey::IcpBg => "ICP background process (0|1)",
+            OverrideKey::Foreign => "accept foreign-cluster values (0|1)",
+            OverrideKey::MaxRounds => "safety budget factor (int)",
+        }
+    }
+
+    fn parse_key(s: &str) -> Result<OverrideKey, RegistryError> {
+        OverrideKey::ALL.iter().copied().find(|k| k.as_str() == s).ok_or_else(|| {
+            RegistryError::new(format!(
+                "unknown override key {s:?} (known: {})",
+                OverrideKey::ALL.iter().map(|k| k.as_str()).collect::<Vec<_>>().join(", ")
+            ))
+        })
+    }
+
+    /// Validates `value` for this key's class.
+    fn validate(self, value: f64) -> Result<(), RegistryError> {
+        let name = self.as_str();
+        if !value.is_finite() {
+            return Err(RegistryError::new(format!("{name}: value must be finite")));
+        }
+        match self {
+            OverrideKey::Background | OverrideKey::IcpBg | OverrideKey::Foreign
+                if value != 0.0 && value != 1.0 =>
+            {
+                Err(RegistryError::new(format!("{name} is a flag: use 0 or 1")))
+            }
+            OverrideKey::CopiesCap | OverrideKey::MaxRounds
+                if value < 1.0 || value.fract() != 0.0 =>
+            {
+                Err(RegistryError::new(format!("{name} takes an integer ≥ 1")))
+            }
+            _ => Ok(()),
+        }
+    }
+
+    fn apply(self, value: f64, p: &mut CompeteParams) {
+        match self {
+            OverrideKey::Curtail => p.curtail_const = value,
+            OverrideKey::BgCurtail => p.bg_curtail_const = value,
+            OverrideKey::Mu => p.bg_beta_factor = value,
+            OverrideKey::CoarseExp => p.coarse_beta_exp = value,
+            OverrideKey::BgExp => p.bg_beta_exp = value,
+            OverrideKey::JMin => p.j_frac_min = value,
+            OverrideKey::JMax => p.j_frac_max = value,
+            OverrideKey::CopiesExp => p.fine_copies_exp = value,
+            OverrideKey::CopiesCap => p.fine_copies_cap = value as u32,
+            OverrideKey::SeqExp => p.seq_len_exp = value,
+            OverrideKey::Background => p.background_process = value != 0.0,
+            OverrideKey::IcpBg => p.icp_background = value != 0.0,
+            OverrideKey::Foreign => p.alg4_accept_foreign = value != 0.0,
+            OverrideKey::MaxRounds => p.max_rounds_factor = value as u64,
+        }
+    }
+}
+
+/// An ordered list of per-cell [`CompeteParams`] overrides, written
+/// `{key=value,key=value}` after a protocol name. Values display in Rust's
+/// shortest-round-trip float form, so `parse(display(x)) == x` exactly.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Overrides(Vec<(OverrideKey, f64)>);
+
+impl Overrides {
+    /// No overrides (the default for every plain protocol name).
+    pub fn none() -> Overrides {
+        Overrides(Vec::new())
+    }
+
+    /// Builds from `(key, value)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError`] on an invalid value for a key's class or a
+    /// duplicated key.
+    pub fn try_from_pairs(
+        pairs: impl IntoIterator<Item = (OverrideKey, f64)>,
+    ) -> Result<Overrides, RegistryError> {
+        let mut out: Vec<(OverrideKey, f64)> = Vec::new();
+        for (k, v) in pairs {
+            k.validate(v)?;
+            if out.iter().any(|&(seen, _)| seen == k) {
+                return Err(RegistryError::new(format!("duplicate override key {:?}", k.as_str())));
+            }
+            out.push((k, v));
+        }
+        Ok(Overrides(out))
+    }
+
+    /// Whether there are no overrides.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The override pairs, in spec order.
+    pub fn pairs(&self) -> &[(OverrideKey, f64)] {
+        &self.0
+    }
+
+    /// Applies every override to `p`.
+    pub fn apply(&self, p: &mut CompeteParams) {
+        for &(k, v) in &self.0 {
+            k.apply(v, p);
+        }
+    }
+
+    /// Parses the inside of a brace list (`key=value,key=value`).
+    fn parse_inner(s: &str) -> Result<Overrides, RegistryError> {
+        if s.trim().is_empty() {
+            return Err(RegistryError::new("empty override list {} (omit the braces instead)"));
+        }
+        let mut pairs = Vec::new();
+        for item in s.split(',') {
+            let item = item.trim();
+            let (key, value) = item
+                .split_once('=')
+                .ok_or_else(|| RegistryError::new(format!("override {item:?} is not key=value")))?;
+            let k = OverrideKey::parse_key(key.trim())?;
+            let v: f64 = value.trim().parse().map_err(|_| {
+                RegistryError::new(format!("{}: {value:?} is not a number", k.as_str()))
+            })?;
+            pairs.push((k, v));
+        }
+        Overrides::try_from_pairs(pairs)
+    }
+}
+
+impl fmt::Display for Overrides {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_empty() {
+            return Ok(());
+        }
+        write!(f, "{{")?;
+        for (i, (k, v)) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{}={v}", k.as_str())?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// A protocol from the registry, in declarative form: a [`ProtocolKind`]
+/// plus optional per-cell parameter [`Overrides`]. `Display` and `FromStr`
+/// round-trip.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProtocolSpec {
+    /// The protocol family and arity.
+    pub kind: ProtocolKind,
+    /// Per-cell [`CompeteParams`] overrides (empty for most specs; only
+    /// Compete-family kinds accept any).
+    pub overrides: Overrides,
+}
+
+impl From<ProtocolKind> for ProtocolSpec {
+    fn from(kind: ProtocolKind) -> ProtocolSpec {
+        ProtocolSpec { kind, overrides: Overrides::none() }
+    }
+}
+
+impl ProtocolSpec {
+    /// A spec with no overrides.
+    pub fn plain(kind: ProtocolKind) -> ProtocolSpec {
+        kind.into()
+    }
+
+    /// Every protocol in the registry, one canonical instance per family
+    /// (parameterized forms use their default arity, no overrides). The
+    /// list is checked exhaustive against the enum by
+    /// [`ProtocolKind::family_index`].
+    pub fn all() -> Vec<ProtocolSpec> {
+        [
+            ProtocolKind::Broadcast,
+            ProtocolKind::BroadcastHw,
+            ProtocolKind::Compete(4),
+            ProtocolKind::LeaderElection,
+            ProtocolKind::Bgi,
+            ProtocolKind::Truncated,
+            ProtocolKind::Decay(4),
+            ProtocolKind::DecayTrunc(4),
+            ProtocolKind::BinsearchLe(ProbeSpec::Bgi),
+            ProtocolKind::BinsearchLe(ProbeSpec::Cd17),
+            ProtocolKind::BinsearchLe(ProbeSpec::Beep),
+        ]
+        .into_iter()
+        .map(ProtocolSpec::plain)
+        .collect()
+    }
+
+    /// The [`CompeteParams`] this spec resolves to: the kind's base
+    /// configuration with the overrides applied.
+    pub fn params(&self) -> CompeteParams {
+        let mut p = match self.kind {
+            ProtocolKind::BroadcastHw => CompeteParams::haeupler_wajc(),
+            _ => CompeteParams::default(),
+        };
+        self.overrides.apply(&mut p);
+        p
+    }
+
+    /// Instantiates the matching [`Runnable`] from its home crate. The
+    /// returned object's [`Runnable::name`] equals `self.to_string()`.
+    pub fn instantiate(&self) -> Box<dyn Runnable> {
+        match self.kind {
+            ProtocolKind::Broadcast | ProtocolKind::BroadcastHw => {
+                Box::new(BroadcastScenario::with_params(self.params(), self.to_string()))
+            }
+            ProtocolKind::Compete(k) => {
+                Box::new(CompeteScenario::with_params(k, self.params(), self.to_string()))
+            }
+            ProtocolKind::LeaderElection => {
+                Box::new(LeaderElectionScenario::with_params(self.params(), self.to_string()))
+            }
+            ProtocolKind::Bgi => Box::new(BgiScenario),
+            ProtocolKind::Truncated => Box::new(TruncatedScenario),
+            ProtocolKind::Decay(k) => Box::new(DecayScenario::new(k)),
+            ProtocolKind::DecayTrunc(k) => Box::new(DecayScenario::truncated(k)),
+            ProtocolKind::BinsearchLe(probe) => {
+                Box::new(BinarySearchLeScenario { kind: probe.kind() })
+            }
+        }
+    }
+}
+
+impl fmt::Display for ProtocolSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.kind, self.overrides)
+    }
+}
+
+impl FromStr for ProtocolSpec {
+    type Err = RegistryError;
+
+    fn from_str(s: &str) -> Result<ProtocolSpec, RegistryError> {
+        let s = s.trim();
+        let (kind_str, overrides) = match s.find('{') {
+            Some(open) if s.ends_with('}') => {
+                (&s[..open], Overrides::parse_inner(&s[open + 1..s.len() - 1])?)
+            }
+            Some(_) => return Err(RegistryError::new(format!("{s:?} is missing a closing brace"))),
+            None => (s, Overrides::none()),
+        };
+        let kind: ProtocolKind = kind_str.parse()?;
+        if !overrides.is_empty() && !kind.accepts_overrides() {
+            return Err(RegistryError::new(format!(
+                "{kind} takes no {{...}} overrides (only the Compete-family protocols \
+                 broadcast, broadcast_hw, compete(K) and leader_election do)"
+            )));
+        }
+        Ok(ProtocolSpec { kind, overrides })
+    }
+}
+
+/// A full scenario: `protocol@topology` with an optional fault suffix, e.g.
+/// `leader_election@torus(32x32)`, `bgi@rgg(1600,0.05)!jam(3,0.5)` or
+/// `broadcast{curtail=1e6}@grid(24x24)!jam(3,0.5)!drop(0.01)`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioSpec {
     /// The protocol half (before `@`).
     pub protocol: ProtocolSpec,
-    /// The topology half (after `@`).
+    /// The topology half (after `@`, before any `!`).
     pub topology: TopologySpec,
+    /// Fault plan from the `!jam(K,P)` / `!drop(P)` suffixes
+    /// ([`FaultPlan::none`] when absent).
+    pub faults: FaultPlan,
 }
 
 impl fmt::Display for ScenarioSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}@{}", self.protocol, self.topology)
+        write!(f, "{}@{}", self.protocol, self.topology)?;
+        if !self.faults.is_none() {
+            write!(f, "!{}", self.faults)?;
+        }
+        Ok(())
     }
 }
 
@@ -247,16 +600,46 @@ impl FromStr for ScenarioSpec {
     type Err = RegistryError;
 
     fn from_str(s: &str) -> Result<ScenarioSpec, RegistryError> {
-        let (proto, topo) = s
+        let (proto, rest) = s
             .split_once('@')
             .ok_or_else(|| RegistryError::new(format!("{s:?} must be protocol@topology")))?;
-        Ok(ScenarioSpec {
+        let (topo, faults) = match rest.split_once('!') {
+            Some((topo, faults)) => {
+                let plan: FaultPlan = faults
+                    .parse()
+                    .map_err(|e: rn_sim::FaultError| RegistryError::new(e.to_string()))?;
+                (topo, plan)
+            }
+            None => (rest, FaultPlan::none()),
+        };
+        let spec = ScenarioSpec {
             protocol: proto.parse()?,
             topology: topo
                 .trim()
                 .parse()
                 .map_err(|e: rn_graph::TopologySpecError| RegistryError::new(e.to_string()))?,
-        })
+            faults,
+        };
+        // Placement preconditions are checkable right here, because node
+        // counts are static per topology family — reject instead of letting
+        // a trial panic (or silently clamp) later.
+        let n = spec.topology.nodes();
+        let need = spec.protocol.kind.required_nodes();
+        if need > n {
+            return Err(RegistryError::new(format!(
+                "{} needs {need} distinct source nodes but {} has only {n}",
+                spec.protocol.kind, spec.topology
+            )));
+        }
+        if spec.faults.jammers() > n {
+            return Err(RegistryError::new(format!(
+                "fault plan {} wants {} jammers but {} has only {n} nodes",
+                spec.faults,
+                spec.faults.jammers(),
+                spec.topology
+            )));
+        }
+        Ok(spec)
     }
 }
 
@@ -288,9 +671,9 @@ mod tests {
     #[test]
     fn registry_lists_every_protocol_family() {
         let all = ProtocolSpec::all();
-        let mut seen = vec![false; ProtocolSpec::FAMILIES];
+        let mut seen = vec![false; ProtocolKind::FAMILIES];
         for spec in &all {
-            seen[spec.family_index()] = true;
+            seen[spec.kind.family_index()] = true;
         }
         assert!(
             seen.iter().all(|&s| s),
@@ -313,11 +696,79 @@ mod tests {
     }
 
     #[test]
+    fn override_specs_round_trip_and_name_their_runnable() {
+        for s in [
+            "broadcast{curtail=1e6}",
+            "broadcast_hw{curtail=2.5,mu=0.2}",
+            "compete(4){mu=0.2}",
+            "leader_election{background=0,max_rounds=128}",
+        ] {
+            let spec: ProtocolSpec = s.parse().unwrap_or_else(|e| panic!("{s}: {e}"));
+            assert!(!spec.overrides.is_empty());
+            let back: ProtocolSpec = spec.to_string().parse().expect("reparses");
+            assert_eq!(back, spec, "value round trip for {s}");
+            assert_eq!(spec.instantiate().name(), spec.to_string());
+        }
+        // Display is the shortest float form: 1e6 renders as 1000000 but
+        // parses back to the same value.
+        let spec: ProtocolSpec = "broadcast{curtail=1e6}".parse().expect("parses");
+        assert_eq!(spec.to_string(), "broadcast{curtail=1000000}");
+        assert_eq!(spec.params().curtail_const, 1e6);
+    }
+
+    #[test]
+    fn overrides_change_the_resolved_params() {
+        let spec: ProtocolSpec =
+            "compete(4){mu=0.2,background=0,copies_cap=3}".parse().expect("parses");
+        let p = spec.params();
+        assert_eq!(p.bg_beta_factor, 0.2);
+        assert!(!p.background_process);
+        assert_eq!(p.fine_copies_cap, 3);
+        // Untouched fields keep their defaults.
+        assert_eq!(p.curtail_const, CompeteParams::default().curtail_const);
+        // broadcast_hw overrides stack on the HW base, not the default.
+        let hw: ProtocolSpec = "broadcast_hw{mu=0.5}".parse().expect("parses");
+        assert_eq!(hw.params().curtail_mode, CompeteParams::haeupler_wajc().curtail_mode);
+    }
+
+    #[test]
+    fn override_parse_rejects_malformed_lists() {
+        for bad in [
+            "broadcast{}",
+            "broadcast{curtail}",
+            "broadcast{curtail=}",
+            "broadcast{curtail=abc}",
+            "broadcast{nosuch=1}",
+            "broadcast{curtail=1,curtail=2}",
+            "broadcast{background=2}",
+            "broadcast{copies_cap=0}",
+            "broadcast{copies_cap=1.5}",
+            "broadcast{max_rounds=inf}",
+            "broadcast{curtail=1",
+            "bgi{curtail=1}",
+            "decay(4){mu=0.2}",
+            "binsearch_le(bgi){curtail=1}",
+        ] {
+            assert!(bad.parse::<ProtocolSpec>().is_err(), "{bad:?} must be rejected");
+        }
+    }
+
+    #[test]
     fn scenario_spec_round_trips() {
-        let s = "leader_election@torus(32x32)";
-        let spec: ScenarioSpec = s.parse().expect("parses");
-        assert_eq!(spec.to_string(), s);
-        assert_eq!(spec.protocol, ProtocolSpec::LeaderElection);
+        for s in [
+            "leader_election@torus(32x32)",
+            "broadcast@rgg(500,0.08)!jam(5,0.5)",
+            "bgi@grid(8x8)!drop(0.1)",
+            "broadcast{curtail=5}@grid(8x8)!jam(2,0.5)!drop(0.01)",
+        ] {
+            let spec: ScenarioSpec = s.parse().unwrap_or_else(|e| panic!("{s}: {e}"));
+            assert_eq!(spec.to_string(), s);
+        }
+        let spec: ScenarioSpec = "leader_election@torus(32x32)".parse().expect("parses");
+        assert_eq!(spec.protocol, ProtocolSpec::plain(ProtocolKind::LeaderElection));
+        assert!(spec.faults.is_none());
+        let spec: ScenarioSpec = "broadcast@rgg(500,0.08)!jam(5,0.5)".parse().expect("parses");
+        assert_eq!(spec.faults, rn_sim::FaultPlan::jam(5, 0.5));
     }
 
     #[test]
@@ -334,9 +785,31 @@ mod tests {
         ] {
             assert!(bad.parse::<ProtocolSpec>().is_err(), "{bad:?} must be rejected");
         }
-        for bad in ["broadcast", "broadcast@", "@grid(3x3)", "broadcast@nosuch(1)"] {
+        for bad in [
+            "broadcast",
+            "broadcast@",
+            "@grid(3x3)",
+            "broadcast@nosuch(1)",
+            "broadcast@grid(3x3)!",
+            "broadcast@grid(3x3)!flood(1)",
+            "broadcast@grid(3x3)!jam(0,0.5)",
+            "broadcast@grid(3x3)!jam(2,1.5)",
+            "broadcast@grid(3x3)!jam(2,0.5)!jam(2,0.5)",
+        ] {
             assert!(bad.parse::<ScenarioSpec>().is_err(), "{bad:?} must be rejected");
         }
+    }
+
+    #[test]
+    fn placement_preconditions_are_checked_at_parse_time() {
+        // compete(K) with K > n: rejected up front, not clamped or panicked.
+        let err = "compete(10)@grid(3x3)".parse::<ScenarioSpec>().unwrap_err();
+        assert!(err.to_string().contains("10 distinct source nodes"), "{err}");
+        assert!("compete(9)@grid(3x3)".parse::<ScenarioSpec>().is_ok(), "K = n is fine");
+        // More jammers than nodes: same treatment.
+        let err = "broadcast@grid(3x3)!jam(10,0.5)".parse::<ScenarioSpec>().unwrap_err();
+        assert!(err.to_string().contains("10 jammers"), "{err}");
+        assert!("broadcast@grid(3x3)!jam(9,0.5)".parse::<ScenarioSpec>().is_ok());
     }
 
     #[test]

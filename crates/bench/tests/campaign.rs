@@ -2,21 +2,28 @@
 //! runs, seed determinism of the JSON results file, and the zero-code-change
 //! scenario path the CLI exposes.
 
-use rn_bench::{validate_results, Campaign, Json, ProtocolSpec, ScenarioSpec, TrialPlan};
+use rn_bench::{
+    validate_results, Campaign, Json, ProtocolKind, ProtocolSpec, ScenarioSpec, TrialPlan,
+};
 use rn_graph::TopologySpec;
-use rn_sim::CollisionModel;
+use rn_sim::{CollisionModel, FaultPlan};
 
 fn small_campaign() -> Campaign {
     Campaign {
         id: "determinism".into(),
         // One deterministic and one seeded topology, one paper protocol and
-        // one baseline — exercises every seed-derivation path.
+        // one baseline, one faulted cell per pair — exercises every
+        // seed-derivation path.
         topologies: vec![
             TopologySpec::Grid { w: 6, h: 6 },
             TopologySpec::Rgg { n: 64, radius: 0.25 },
         ],
-        protocols: vec![ProtocolSpec::Broadcast, ProtocolSpec::Bgi],
+        protocols: vec![
+            ProtocolSpec::plain(ProtocolKind::Broadcast),
+            ProtocolSpec::plain(ProtocolKind::Bgi),
+        ],
         models: vec![CollisionModel::NoCollisionDetection],
+        faults: vec![FaultPlan::none(), FaultPlan::jam(2, 0.5)],
         plan: TrialPlan::new(3),
     }
 }
@@ -34,7 +41,7 @@ fn same_master_seed_gives_byte_identical_json() {
     let doc = Json::parse(&a).expect("results parse");
     validate_results(&doc).expect("results validate against the v1 schema");
     assert_eq!(doc.get("master_seed").and_then(Json::as_u64), Some(1234));
-    assert_eq!(doc.get("cells").and_then(Json::as_arr).map(<[Json]>::len), Some(4));
+    assert_eq!(doc.get("cells").and_then(Json::as_arr).map(<[Json]>::len), Some(8));
 }
 
 #[test]
@@ -58,14 +65,60 @@ fn collision_model_axis_produces_distinct_cells() {
     let campaign = Campaign {
         id: "models".into(),
         topologies: vec![TopologySpec::Star(64)],
-        protocols: vec![ProtocolSpec::Decay(8)],
+        protocols: vec![ProtocolSpec::plain(ProtocolKind::Decay(8))],
         models: vec![CollisionModel::NoCollisionDetection, CollisionModel::CollisionDetection],
+        faults: Campaign::no_faults(),
         plan: TrialPlan::new(2),
     };
     let result = campaign.run(7);
     assert_eq!(result.cells.len(), 2);
     assert_eq!(result.cells[0].model, "nocd");
     assert_eq!(result.cells[1].model, "cd");
+}
+
+#[test]
+fn faulted_scenario_string_runs_records_and_reproduces() {
+    // The acceptance path: a Compete-family protocol with a parameter
+    // override, crossed with interference, all from one string. (Scaled-down
+    // topology versus the CLI example so the test stays fast.)
+    let spec: ScenarioSpec =
+        "broadcast{curtail=1e6}@rgg(100,0.2)!jam(3,0.5)".parse().expect("scenario parses");
+    let campaign = Campaign::single(&spec, 3);
+    let a = campaign.run(42);
+    let b = campaign.run(42);
+    assert_eq!(a.to_json(), b.to_json(), "faulted runs are byte-identical per master seed");
+
+    assert_eq!(a.cells.len(), 1);
+    let cell = &a.cells[0];
+    assert_eq!(cell.protocol, "broadcast{curtail=1000000}");
+    assert_eq!(cell.faults, "jam(3,0.5)");
+    let doc = Json::parse(&a.to_json()).expect("parses");
+    validate_results(&doc).expect("fault fields are schema-valid");
+    let cells = doc.get("cells").and_then(Json::as_arr).expect("cells");
+    assert_eq!(cells[0].get("faults").and_then(Json::as_str), Some("jam(3,0.5)"));
+}
+
+#[test]
+fn jammed_cells_degrade_relative_to_sunny_day_cells() {
+    // Same protocol, same topology, fault axis [none, heavy jam]: the
+    // faulted cell must never beat the sunny-day cell on completions, and
+    // under total jamming nothing completes.
+    let campaign = Campaign {
+        id: "degrade".into(),
+        topologies: vec![TopologySpec::Grid { w: 8, h: 8 }],
+        protocols: vec![ProtocolSpec::plain(ProtocolKind::Bgi)],
+        models: vec![CollisionModel::NoCollisionDetection],
+        faults: vec![FaultPlan::none(), FaultPlan::jam(64, 1.0)],
+        plan: TrialPlan::new(3),
+    };
+    let r = campaign.run(5);
+    assert_eq!(r.cells.len(), 2);
+    assert_eq!(r.cells[0].completed, 3);
+    assert_eq!(r.cells[1].completed, 0, "total jamming defeats every trial");
+    // With every node jamming every round there are no listeners left at
+    // all: the channel is saturated with noise and delivers nothing.
+    assert!(r.cells[1].transmissions.mean > 0.0, "the jammers really transmit");
+    assert_eq!(r.cells[1].deliveries.mean, 0.0, "nothing gets through");
 }
 
 #[test]

@@ -1,0 +1,103 @@
+//! Property-based round-trip tests for the scenario-string grammar
+//! extensions: `!jam(K,P)` / `!drop(P)` fault suffixes and `{key=value}`
+//! parameter overrides. `parse(display(x)) == x` must hold for every
+//! constructible value, not just hand-picked examples — float values rely on
+//! Rust's shortest-round-trip `Display`, which these tests pin down.
+
+use proptest::prelude::*;
+use rn_bench::{OverrideKey, Overrides, ProtocolKind, ProtocolSpec, ScenarioSpec};
+use rn_sim::FaultPlan;
+
+/// Strategy: an arbitrary *valid* fault plan (including the fault-free one).
+fn arb_fault_plan() -> impl Strategy<Value = FaultPlan> {
+    (0usize..5, 0.0f64..1.0, 0.0f64..1.0, 0u8..4).prop_map(|(jammers, jp, dp, shape)| {
+        // Exercise all four shapes: none, jam-only, drop-only, both.
+        let (jammers, dp) = match shape {
+            0 => (0, 0.0),
+            1 => (jammers.max(1), 0.0),
+            2 => (0, dp),
+            _ => (jammers.max(1), dp),
+        };
+        FaultPlan::try_new(jammers, jp, dp).expect("generated plans are valid")
+    })
+}
+
+/// Strategy: a valid override list over distinct keys (possibly empty),
+/// with values in each key's class.
+fn arb_overrides() -> impl Strategy<Value = Overrides> {
+    (0u16..(1 << OverrideKey::ALL.len() as u16), proptest::collection::vec(0.0f64..8.0, 14))
+        .prop_map(|(mask, raw)| {
+            let pairs = OverrideKey::ALL.iter().enumerate().filter_map(|(i, &k)| {
+                if mask & (1 << i) == 0 {
+                    return None;
+                }
+                let v = raw[i];
+                let v = match k {
+                    OverrideKey::Background | OverrideKey::IcpBg | OverrideKey::Foreign => {
+                        if v < 4.0 {
+                            0.0
+                        } else {
+                            1.0
+                        }
+                    }
+                    OverrideKey::CopiesCap | OverrideKey::MaxRounds => 1.0 + v.floor(),
+                    _ => v,
+                };
+                Some((k, v))
+            });
+            Overrides::try_from_pairs(pairs).expect("generated overrides are valid")
+        })
+}
+
+proptest! {
+    #[test]
+    fn fault_plan_strings_round_trip(plan in arb_fault_plan()) {
+        let s = plan.to_string();
+        let back: FaultPlan = s.parse().unwrap_or_else(|e| panic!("{s}: {e}"));
+        prop_assert_eq!(back, plan, "parse(display) for {}", s);
+    }
+
+    #[test]
+    fn fault_suffixes_round_trip_through_scenario_specs(plan in arb_fault_plan()) {
+        let mut s = "bgi@grid(4x4)".to_string();
+        if !plan.is_none() {
+            s.push('!');
+            s.push_str(&plan.to_string());
+        }
+        let spec: ScenarioSpec = s.parse().unwrap_or_else(|e| panic!("{s}: {e}"));
+        prop_assert_eq!(spec.faults, plan);
+        prop_assert_eq!(spec.to_string(), s, "canonical form is stable");
+    }
+
+    #[test]
+    fn override_lists_round_trip_through_protocol_specs(overrides in arb_overrides()) {
+        let spec = ProtocolSpec { kind: ProtocolKind::Broadcast, overrides };
+        let s = spec.to_string();
+        let back: ProtocolSpec = s.parse().unwrap_or_else(|e| panic!("{s}: {e}"));
+        prop_assert_eq!(back, spec, "parse(display) for {}", s);
+    }
+
+    #[test]
+    fn full_scenario_strings_round_trip(
+        overrides in arb_overrides(),
+        plan in arb_fault_plan(),
+        sources in 1usize..16,
+    ) {
+        let spec = ScenarioSpec {
+            protocol: ProtocolSpec { kind: ProtocolKind::Compete(sources), overrides },
+            topology: "grid(4x4)".parse().expect("topology"),
+            faults: plan,
+        };
+        let s = spec.to_string();
+        let back: ScenarioSpec = s.parse().unwrap_or_else(|e| panic!("{s}: {e}"));
+        prop_assert_eq!(back, spec, "parse(display) for {}", s);
+    }
+
+    #[test]
+    fn overridden_specs_resolve_params_exactly(value in 0.001f64..1000.0) {
+        let spec: ProtocolSpec = format!("broadcast{{curtail={value}}}")
+            .parse()
+            .unwrap_or_else(|e| panic!("curtail={value}: {e}"));
+        prop_assert_eq!(spec.params().curtail_const, value, "float survives the string trip");
+    }
+}

@@ -4,8 +4,6 @@
 
 use crate::api::{compete_with_model, leader_election_with_model};
 use crate::params::CompeteParams;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use rn_graph::{Graph, NodeId};
 use rn_sim::{rng, CollisionModel, NetParams, Runnable, TrialRecord};
 
@@ -31,6 +29,12 @@ impl BroadcastScenario {
     pub fn haeupler_wajc() -> BroadcastScenario {
         BroadcastScenario { params: CompeteParams::haeupler_wajc(), label: "broadcast_hw".into() }
     }
+
+    /// An explicit parameter set under an explicit registry name (how the
+    /// scenario registry materializes per-cell `{key=value}` overrides).
+    pub fn with_params(params: CompeteParams, label: impl Into<String>) -> BroadcastScenario {
+        BroadcastScenario { params, label: label.into() }
+    }
 }
 
 impl Runnable for BroadcastScenario {
@@ -52,25 +56,53 @@ impl Runnable for BroadcastScenario {
 }
 
 /// Multi-source **Compete(S)** (Theorem 4.1) with `sources` seed-random
-/// sources holding distinct messages.
+/// sources holding distinct messages. Sources are placed on *distinct*
+/// nodes each trial — sampling with replacement would silently merge two
+/// messages onto one node, measuring `Compete(S')` with `|S'| < |S|`.
 #[derive(Debug, Clone)]
 pub struct CompeteScenario {
     /// Algorithm constants.
     pub params: CompeteParams,
-    /// Number of sources `|S|` (placed uniformly at random per trial).
+    /// Number of sources `|S| ≥ 1` (placed on distinct uniform nodes per
+    /// trial).
     pub sources: usize,
+    /// Registry name (e.g. `"compete(4)"`, `"compete(4){mu=0.2}"`).
+    pub label: String,
 }
 
 impl CompeteScenario {
     /// Default-parameter Compete with `sources` sources.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sources == 0` — a sourceless Compete is meaningless and
+    /// used to be silently clamped to 1.
     pub fn new(sources: usize) -> CompeteScenario {
-        CompeteScenario { params: CompeteParams::default(), sources: sources.max(1) }
+        CompeteScenario::with_params(
+            sources,
+            CompeteParams::default(),
+            format!("compete({sources})"),
+        )
+    }
+
+    /// An explicit parameter set under an explicit registry name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sources == 0`.
+    pub fn with_params(
+        sources: usize,
+        params: CompeteParams,
+        label: impl Into<String>,
+    ) -> CompeteScenario {
+        assert!(sources >= 1, "compete needs at least one source (got 0)");
+        CompeteScenario { params, sources, label: label.into() }
     }
 }
 
 impl Runnable for CompeteScenario {
     fn name(&self) -> String {
-        format!("compete({})", self.sources)
+        self.label.clone()
     }
 
     fn run_trial(
@@ -80,11 +112,20 @@ impl Runnable for CompeteScenario {
         model: CollisionModel,
         seed: u64,
     ) -> TrialRecord {
-        // Source placement is part of the trial's randomness: derived from
-        // the trial seed on a separate stream.
-        let mut srng = SmallRng::seed_from_u64(rng::derive(seed, 0x50C));
-        let sources: Vec<(NodeId, u64)> = (0..self.sources)
-            .map(|k| (srng.gen_range(0..g.n()) as NodeId, (k + 1) as u64))
+        assert!(
+            self.sources <= g.n(),
+            "compete({}) needs {} distinct sources but the graph has only {} nodes",
+            self.sources,
+            self.sources,
+            g.n()
+        );
+        // Source placement is part of the trial's randomness: distinct
+        // nodes, drawn from the trial seed on a separate stream.
+        let mut srng = rng::stream_rng(seed, 0x50C);
+        let sources: Vec<(NodeId, u64)> = rng::sample_distinct(&mut srng, self.sources, g.n())
+            .into_iter()
+            .enumerate()
+            .map(|(k, v)| (v as NodeId, (k + 1) as u64))
             .collect();
         let r = compete_with_model(g, net, &sources, &self.params, model, seed)
             .expect("campaign graphs are connected with in-range sources");
@@ -99,12 +140,20 @@ impl Runnable for CompeteScenario {
 pub struct LeaderElectionScenario {
     /// Algorithm constants.
     pub params: CompeteParams,
+    /// Registry name (e.g. `"leader_election"`,
+    /// `"leader_election{curtail=5}"`).
+    pub label: String,
 }
 
 impl LeaderElectionScenario {
     /// Default-parameter leader election.
     pub fn new() -> LeaderElectionScenario {
-        LeaderElectionScenario { params: CompeteParams::default() }
+        LeaderElectionScenario::with_params(CompeteParams::default(), "leader_election")
+    }
+
+    /// An explicit parameter set under an explicit registry name.
+    pub fn with_params(params: CompeteParams, label: impl Into<String>) -> LeaderElectionScenario {
+        LeaderElectionScenario { params, label: label.into() }
     }
 }
 
@@ -116,7 +165,7 @@ impl Default for LeaderElectionScenario {
 
 impl Runnable for LeaderElectionScenario {
     fn name(&self) -> String {
-        "leader_election".into()
+        self.label.clone()
     }
 
     fn run_trial(
@@ -174,5 +223,70 @@ mod tests {
         let b = s.run_trial(&g, net_of(&g), CollisionModel::NoCollisionDetection, 11);
         assert_eq!(a, b, "same seed, same trial");
         assert!(a.completed);
+    }
+
+    #[test]
+    fn compete_scenario_places_all_sources_distinctly() {
+        // Regression: with-replacement sampling would collide two of K
+        // messages onto one node with probability ≈ 1 - exp(-K²/2n); on a
+        // 9-node graph with 9 sources it is certain to, across seeds. With
+        // distinct placement, Compete(S) sees exactly |S| = n sources, so
+        // the run completes with every node a source.
+        let g = generators::grid(3, 3);
+        let s = CompeteScenario::new(9);
+        for seed in 0..16 {
+            let r = s.run_trial(&g, net_of(&g), CollisionModel::NoCollisionDetection, seed);
+            assert!(r.completed, "seed {seed}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one source")]
+    fn compete_scenario_rejects_zero_sources() {
+        // Regression: K = 0 used to be silently clamped to 1.
+        CompeteScenario::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "only 9 nodes")]
+    fn compete_scenario_rejects_more_sources_than_nodes() {
+        let g = generators::grid(3, 3);
+        let s = CompeteScenario::new(10);
+        s.run_trial(&g, net_of(&g), CollisionModel::NoCollisionDetection, 1);
+    }
+
+    #[test]
+    fn broadcast_scenario_degrades_gracefully_under_faults() {
+        use rn_sim::FaultPlan;
+        // The paper's broadcast run under the uniform fault seam: with every
+        // non-source node jamming at probability 1, nothing can spread — and
+        // the trial must report that honestly rather than complete falsely.
+        let g = generators::grid(4, 4);
+        let s = BroadcastScenario::czumaj_davies();
+        let r = s.run_trial_under_faults(
+            &g,
+            net_of(&g),
+            CollisionModel::NoCollisionDetection,
+            3,
+            &FaultPlan::jam(16, 1.0),
+        );
+        assert!(!r.completed, "no false completion under total jamming");
+        // A mild fault plan still runs deterministically.
+        let plan = FaultPlan::jam(2, 0.3);
+        let a = s.run_trial_under_faults(
+            &g,
+            net_of(&g),
+            CollisionModel::NoCollisionDetection,
+            3,
+            &plan,
+        );
+        let b = s.run_trial_under_faults(
+            &g,
+            net_of(&g),
+            CollisionModel::NoCollisionDetection,
+            3,
+            &plan,
+        );
+        assert_eq!(a, b);
     }
 }

@@ -90,6 +90,29 @@ mod tests {
     }
 
     #[test]
+    fn decay_scenario_runs_under_faults_without_scenario_code() {
+        use rn_sim::FaultPlan;
+        let g = generators::grid(6, 6);
+        let net = NetParams::of_graph(&g);
+        let s = DecayScenario::new(2);
+        // Total jamming: decay cannot inform anyone beyond the sources.
+        let r = s.run_trial_under_faults(
+            &g,
+            net,
+            CollisionModel::NoCollisionDetection,
+            3,
+            &FaultPlan::jam(36, 1.0),
+        );
+        assert!(!r.completed, "no false completion under total jamming");
+        assert_eq!(r.metrics.deliveries, 0, "noise is not a delivery");
+        // A faulted trial is a pure function of (seed, plan).
+        let plan = FaultPlan::try_new(3, 0.5, 0.02).expect("valid plan");
+        let a = s.run_trial_under_faults(&g, net, CollisionModel::NoCollisionDetection, 3, &plan);
+        let b = s.run_trial_under_faults(&g, net, CollisionModel::NoCollisionDetection, 3, &plan);
+        assert_eq!(a, b);
+    }
+
+    #[test]
     fn sources_are_clamped_to_graph_size() {
         let s = DecayScenario::new(100);
         let placed = s.place_sources(10);

@@ -193,6 +193,32 @@ impl TopologySpec {
         }
     }
 
+    /// The exact number of nodes the built graph will have — known
+    /// statically for every family (randomness only affects edges), so
+    /// protocol preconditions like "K sources need K nodes" can be checked
+    /// at spec-parse time, before anything is built.
+    pub fn nodes(&self) -> usize {
+        match *self {
+            TopologySpec::Path(n)
+            | TopologySpec::Cycle(n)
+            | TopologySpec::Complete(n)
+            | TopologySpec::Star(n)
+            | TopologySpec::BinaryTree(n)
+            | TopologySpec::RandomTree(n)
+            | TopologySpec::Rgg { n, .. }
+            | TopologySpec::Gnp { n, .. } => n,
+            TopologySpec::Hypercube(d) => 1usize << d,
+            TopologySpec::Grid { w, h }
+            | TopologySpec::Torus { w, h }
+            | TopologySpec::GridChords { w, h, .. } => w * h,
+            TopologySpec::Caterpillar { spine, legs } => spine * (1 + legs),
+            TopologySpec::Barbell { clique, bridge } => 2 * clique + bridge,
+            TopologySpec::Lollipop { clique, tail } => clique + tail,
+            TopologySpec::RingOfCliques { cliques, size } => cliques * size,
+            TopologySpec::ClusterChain { cliques, blob, .. } => cliques * blob,
+        }
+    }
+
     /// Whether building this spec consumes randomness (so two seeds give two
     /// different graphs).
     pub fn is_randomized(&self) -> bool {
@@ -490,6 +516,13 @@ mod tests {
             let g = spec.build(7);
             assert!(g.is_connected(), "{spec} must build connected");
             assert!(g.n() > 0);
+        }
+    }
+
+    #[test]
+    fn nodes_predicts_built_size_for_every_family() {
+        for spec in one_of_each() {
+            assert_eq!(spec.build(7).n(), spec.nodes(), "{spec}");
         }
     }
 

@@ -1,3 +1,4 @@
+use crate::faults::{self, FaultSchedule};
 use crate::protocol::{Protocol, Round, TxBuf};
 use crate::trace::{Event, Trace};
 use rn_graph::{Graph, NodeId};
@@ -66,6 +67,13 @@ pub struct RunStats {
 /// Per-round cost is proportional to the degree sum of the transmitting
 /// nodes, not to `n` — protocols with sparse activity (decay frontiers,
 /// schedule waves) simulate cheaply even on large networks.
+///
+/// The engine optionally runs under a [`FaultSchedule`] (jammers + per-round
+/// dropout, see [`crate::faults`]): a schedule installed via
+/// [`faults::with_schedule`] when the simulator is constructed — or set
+/// explicitly with [`Simulator::set_faults`] — is applied at the channel
+/// level, so *any* protocol degrades under the same fault model without
+/// protocol-side code.
 #[derive(Debug)]
 pub struct Simulator<'g> {
     graph: &'g Graph,
@@ -73,35 +81,83 @@ pub struct Simulator<'g> {
     round: Round,
     metrics: Metrics,
     trace: Option<Trace>,
+    faults: Option<FaultSchedule>,
     // Stamp-based scratch state, reset implicitly each round.
     hear_stamp: Vec<u64>,
     hear_count: Vec<u32>,
     hear_from: Vec<u32>,
     tx_stamp: Vec<u64>,
     touched: Vec<NodeId>,
+    // Effective transmitters this round: (node, index into the protocol's
+    // TxBuf, or NOISE_TAG for jammer noise).
+    active_tx: Vec<(NodeId, u32)>,
     seed: u64,
 }
+
+/// `active_tx` tag marking a jammer noise burst (carries no message).
+const NOISE_TAG: u32 = u32::MAX;
 
 impl<'g> Simulator<'g> {
     /// Creates an engine over `graph` with the given interference `model`.
     ///
     /// `seed` is recorded for reproducibility metadata (protocols own their
     /// actual randomness; see [`crate::rng`] for seed derivation helpers).
+    /// If an ambient fault schedule is in scope (see
+    /// [`faults::with_schedule`]), the engine adopts it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an adopted ambient fault schedule was resolved for a
+    /// different node count than `graph` has.
     pub fn new(graph: &'g Graph, model: CollisionModel, seed: u64) -> Simulator<'g> {
         let n = graph.n();
+        let faults = faults::ambient();
+        if let Some(f) = &faults {
+            assert!(
+                f.n() == n,
+                "ambient fault schedule was resolved for {} nodes, graph has {n}",
+                f.n()
+            );
+        }
         Simulator {
             graph,
             model,
             round: 0,
             metrics: Metrics::default(),
             trace: None,
+            faults,
             hear_stamp: vec![0; n],
             hear_count: vec![0; n],
             hear_from: vec![0; n],
             tx_stamp: vec![0; n],
             touched: Vec::new(),
+            active_tx: Vec::new(),
             seed,
         }
+    }
+
+    /// Installs (or clears) the fault schedule the channel runs under,
+    /// overriding whatever [`Simulator::new`] adopted from the ambient
+    /// scope.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule was resolved for a different node count.
+    pub fn set_faults(&mut self, faults: Option<FaultSchedule>) {
+        if let Some(f) = &faults {
+            assert!(
+                f.n() == self.graph.n(),
+                "fault schedule was resolved for {} nodes, graph has {}",
+                f.n(),
+                self.graph.n()
+            );
+        }
+        self.faults = faults;
+    }
+
+    /// The fault schedule in force, if any.
+    pub fn faults(&self) -> Option<&FaultSchedule> {
+        self.faults.as_ref()
     }
 
     /// The graph being simulated (measurement/observer use only; protocols
@@ -200,8 +256,14 @@ impl<'g> Simulator<'g> {
         tx.clear();
         protocol.transmit(local, tx);
         let stamp = self.round + 1;
+        let global = self.round;
+        // Move the schedule and the active-transmitter scratch out of `self`
+        // for the round, so they can be read alongside mutable scratch state.
+        let faults = self.faults.take();
+        let mut active = std::mem::take(&mut self.active_tx);
 
-        // Mark transmitters.
+        // Validate and mark protocol transmitters. Double transmission is a
+        // protocol bug whether or not the fault model would suppress it.
         for &(u, _) in tx.entries() {
             let ui = u as usize;
             assert!(ui < self.graph.n(), "protocol transmitted from invalid node {u}");
@@ -211,20 +273,45 @@ impl<'g> Simulator<'g> {
                 self.round
             );
             self.tx_stamp[ui] = stamp;
+        }
+
+        // Effective transmitter set: protocol transmissions that survive the
+        // fault model (jammers never act for the protocol; down nodes are
+        // silent), plus jammer noise bursts.
+        active.clear();
+        for (idx, &(u, _)) in tx.entries().iter().enumerate() {
+            if let Some(f) = &faults {
+                if f.suppresses_tx(global, u) {
+                    self.tx_stamp[u as usize] = 0; // physically silent: may listen
+                    continue;
+                }
+            }
+            active.push((u, idx as u32));
             if let Some(t) = &mut self.trace {
-                t.push(self.round, Event::Transmit { node: u });
+                t.push(global, Event::Transmit { node: u });
+            }
+        }
+        if let Some(f) = &faults {
+            for &j in f.jammer_ids() {
+                if f.jam_fires(global, j) {
+                    self.tx_stamp[j as usize] = stamp;
+                    active.push((j, NOISE_TAG));
+                    if let Some(t) = &mut self.trace {
+                        t.push(global, Event::Transmit { node: j });
+                    }
+                }
             }
         }
 
         // Count what every potential listener hears.
         self.touched.clear();
-        for (idx, &(u, _)) in tx.entries().iter().enumerate() {
+        for (ai, &(u, _)) in active.iter().enumerate() {
             for &v in self.graph.neighbors(u) {
                 let vi = v as usize;
                 if self.hear_stamp[vi] != stamp {
                     self.hear_stamp[vi] = stamp;
                     self.hear_count[vi] = 1;
-                    self.hear_from[vi] = idx as u32;
+                    self.hear_from[vi] = ai as u32;
                     self.touched.push(v);
                 } else {
                     self.hear_count[vi] += 1;
@@ -233,15 +320,23 @@ impl<'g> Simulator<'g> {
         }
 
         // Deliver / report collisions to listeners.
-        let global = self.round;
         for i in 0..self.touched.len() {
             let v = self.touched[i];
             let vi = v as usize;
             if self.tx_stamp[vi] == stamp {
                 continue; // transmitters cannot listen
             }
+            if let Some(f) = &faults {
+                if f.is_down(global, v) {
+                    continue; // down nodes hear nothing
+                }
+            }
             if self.hear_count[vi] == 1 {
-                let (from, msg) = &tx.entries()[self.hear_from[vi] as usize];
+                let (_, tag) = active[self.hear_from[vi] as usize];
+                if tag == NOISE_TAG {
+                    continue; // a uniquely heard noise burst is garbage
+                }
+                let (from, msg) = &tx.entries()[tag as usize];
                 protocol.deliver(local, v, *from, msg);
                 self.metrics.deliveries += 1;
                 if let Some(t) = &mut self.trace {
@@ -258,9 +353,11 @@ impl<'g> Simulator<'g> {
             }
         }
 
-        self.metrics.transmissions += tx.len() as u64;
+        self.metrics.transmissions += active.len() as u64;
         self.metrics.rounds += 1;
         self.round += 1;
+        self.active_tx = active;
+        self.faults = faults;
     }
 }
 
@@ -367,6 +464,93 @@ mod tests {
         assert_eq!(sim.metrics().transmissions, 2);
         assert_eq!(sim.metrics().deliveries, 4);
         assert_eq!(sim.round(), 2);
+    }
+
+    #[test]
+    fn engine_faults_jammer_noise_collides_with_real_traffic() {
+        // Star: leaf 1 transmits every round, leaf 2 jams with probability 1
+        // — the hub always hears a collision, never a delivery.
+        let g = generators::star(3);
+        let mut sim = Simulator::new(&g, CollisionModel::NoCollisionDetection, 1);
+        sim.set_faults(Some(FaultSchedule::new(3, vec![2], 1.0, 0.0, 7)));
+        let mut p = crate::testing::EveryRound::new(1, 7u64);
+        let stats = sim.run(&mut p, 8);
+        assert_eq!(stats.metrics.deliveries, 0, "hub always hears a collision");
+        assert_eq!(stats.metrics.collisions, 8);
+        assert_eq!(stats.metrics.transmissions, 16, "leaf 1 and the jammer each round");
+    }
+
+    #[test]
+    fn engine_faults_unique_noise_is_garbage_not_delivery() {
+        // Only the jammer transmits: listeners hear garbage — no delivery,
+        // no collision notification, but the transmission is real.
+        let g = generators::star(3);
+        let mut sim = Simulator::new(&g, CollisionModel::CollisionDetection, 1);
+        sim.set_faults(Some(FaultSchedule::new(3, vec![0], 1.0, 0.0, 7)));
+        let mut p = OneShot::new(3, vec![]);
+        let stats = sim.run(&mut p, 4);
+        assert_eq!(stats.metrics.transmissions, 4);
+        assert_eq!(stats.metrics.deliveries, 0);
+        assert_eq!(stats.metrics.collisions, 0);
+        assert_eq!(p.collisions(1), 0, "a single noise burst is not a collision signal");
+    }
+
+    #[test]
+    fn engine_faults_jammer_suppresses_protocol_transmissions() {
+        // The hub wants to broadcast every round, but the hub is a jammer
+        // that never fires: total silence.
+        let g = generators::star(3);
+        let mut sim = Simulator::new(&g, CollisionModel::NoCollisionDetection, 1);
+        sim.set_faults(Some(FaultSchedule::new(3, vec![0], 0.0, 0.0, 7)));
+        let mut p = crate::testing::EveryRound::new(0, 7u64);
+        let stats = sim.run(&mut p, 4);
+        assert_eq!(stats.metrics.transmissions, 0);
+        assert_eq!(stats.metrics.deliveries, 0);
+    }
+
+    #[test]
+    fn engine_faults_down_nodes_neither_transmit_nor_receive() {
+        // Path 0-1, node 0 transmitting every round under 40% dropout. The
+        // schedule's coins are public and stateless, so the exact expected
+        // channel activity can be recomputed independently: a transmission
+        // happens iff 0 is up, a delivery iff additionally 1 is up.
+        let g = generators::path(2);
+        let schedule = FaultSchedule::new(2, vec![], 0.0, 0.4, 7);
+        let expect_tx = (0..32).filter(|&r| !schedule.is_down(r, 0)).count() as u64;
+        let expect_del =
+            (0..32).filter(|&r| !schedule.is_down(r, 0) && !schedule.is_down(r, 1)).count() as u64;
+        assert!(expect_del < expect_tx && expect_tx < 32, "seed exercises both fault kinds");
+        let mut sim = Simulator::new(&g, CollisionModel::NoCollisionDetection, 1);
+        sim.set_faults(Some(schedule));
+        let mut p = crate::testing::EveryRound::new(0, 7u64);
+        let stats = sim.run(&mut p, 32);
+        assert_eq!(stats.metrics.transmissions, expect_tx);
+        assert_eq!(stats.metrics.deliveries, expect_del);
+    }
+
+    #[test]
+    fn engine_adopts_ambient_fault_schedule() {
+        let g = generators::star(3);
+        let schedule = FaultSchedule::new(3, vec![2], 1.0, 0.0, 7);
+        let jammed = faults::with_schedule(schedule, || {
+            let mut sim = Simulator::new(&g, CollisionModel::NoCollisionDetection, 1);
+            assert!(sim.faults().is_some(), "constructed inside the scope");
+            let mut p = crate::testing::EveryRound::new(1, 7u64);
+            sim.run(&mut p, 8).metrics
+        });
+        assert_eq!(jammed.deliveries, 0);
+        let mut sim = Simulator::new(&g, CollisionModel::NoCollisionDetection, 1);
+        assert!(sim.faults().is_none(), "no ambient schedule outside the scope");
+        let mut p = crate::testing::EveryRound::new(1, 7u64);
+        assert!(sim.run(&mut p, 8).metrics.deliveries > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "resolved for 5 nodes")]
+    fn engine_rejects_mismatched_fault_schedule() {
+        let g = generators::star(3);
+        let mut sim = Simulator::new(&g, CollisionModel::NoCollisionDetection, 1);
+        sim.set_faults(Some(FaultSchedule::new(5, vec![0], 0.5, 0.0, 7)));
     }
 
     #[test]

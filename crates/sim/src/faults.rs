@@ -1,0 +1,542 @@
+//! Fault injection: declarative fault plans (adversarial jammers, per-round
+//! node dropout) that any protocol can be run under without protocol-side
+//! code.
+//!
+//! A [`FaultPlan`] is pure data — *how many* jammers, with what noise
+//! probability, and what per-round dropout probability — with a stable
+//! string form (`jam(3,0.5)`, `drop(0.1)`, `jam(3,0.5)!drop(0.1)`, `none`;
+//! `Display` and `FromStr` round-trip), so fault configurations travel
+//! through scenario strings, campaign definitions and JSON results exactly
+//! like topologies and protocols do.
+//!
+//! Resolving a plan against a concrete graph size and seed yields a
+//! [`FaultSchedule`]: concrete jammer node ids plus a *stateless* source of
+//! per-`(round, node)` fault coins (SplitMix64-hashed, so querying a coin is
+//! `O(1)`, order-independent, and perfectly reproducible). The schedule is
+//! consumed in two places:
+//!
+//! * the [`crate::Simulator`] engine applies it at the channel level —
+//!   dropped nodes neither transmit nor receive that round, jammers never
+//!   perform protocol actions and instead emit noise with their firing
+//!   probability (noise collides with real traffic; a *uniquely* heard noise
+//!   burst is garbage and delivers nothing);
+//! * the [`crate::Faulty`] combinator applies the same semantics at the
+//!   protocol layer, for tests that want an explicit wrapper. Protocol
+//!   behavior and transmission/collision accounting match the engine path
+//!   coin for coin, but the *deliveries* metric differs: the combinator's
+//!   noise is an ordinary message to the (fault-unaware) engine, so a
+//!   uniquely heard burst counts as a channel delivery there, while the
+//!   engine path counts it as nothing. Measurements should use the engine
+//!   path (campaigns do).
+//!
+//! The engine picks its schedule up from a scoped, thread-local *ambient*
+//! slot installed by [`with_schedule`] — this is what lets
+//! [`crate::Runnable::run_trial_under_faults`] impose faults on every
+//! scenario in the workspace with zero per-scenario code: scenarios build
+//! their simulators wherever and however they like, and every simulator
+//! constructed inside the scope inherits the faulty channel.
+//!
+//! Fault semantics in detail:
+//!
+//! * **Jammers** are adversarial nodes. They never execute the wrapped
+//!   protocol's actions; each round, each jammer independently transmits
+//!   noise with probability `P`. Noise collides with real transmissions like
+//!   any other packet; a listener whose only transmitting neighbor is a
+//!   noise burst hears garbage (no delivery, no collision notification).
+//!   Jammers are exempt from dropout — the adversary is reliable.
+//! * **Dropout** is transient: each round, each non-jammer node is
+//!   independently *down* with probability `P` (the unreliable-node regime
+//!   of the dual-graph literature, not crash-stop). A down node's
+//!   transmission is suppressed and it hears nothing that round.
+
+use crate::rng;
+use rn_graph::NodeId;
+use std::cell::RefCell;
+use std::error::Error;
+use std::fmt;
+use std::str::FromStr;
+
+/// Declarative fault configuration: jammer count + firing probability and a
+/// per-round dropout probability. Construct via [`FaultPlan::none`],
+/// [`FaultPlan::jam`], [`FaultPlan::drop`] or [`FaultPlan::try_new`]; fields
+/// are validated invariants, not raw data.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    jammers: usize,
+    jam_prob: f64,
+    drop_prob: f64,
+}
+
+/// Error from validating or parsing a [`FaultPlan`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultError {
+    msg: String,
+}
+
+impl FaultError {
+    fn new(msg: impl Into<String>) -> FaultError {
+        FaultError { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for FaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid fault plan: {}", self.msg)
+    }
+}
+
+impl Error for FaultError {}
+
+impl FaultPlan {
+    /// The string forms accepted by [`FromStr`], for help text.
+    pub const GRAMMAR: &'static [&'static str] = &["jam(K,P)", "drop(P)", "none"];
+
+    /// The fault-free plan (the default everywhere).
+    pub fn none() -> FaultPlan {
+        FaultPlan { jammers: 0, jam_prob: 0.0, drop_prob: 0.0 }
+    }
+
+    /// Validating constructor.
+    ///
+    /// # Errors
+    ///
+    /// [`FaultError`] if a probability is outside `[0, 1]` (or NaN). A plan
+    /// with zero jammers normalizes its jam probability to 0, so plans are
+    /// canonical by construction.
+    pub fn try_new(jammers: usize, jam_prob: f64, drop_prob: f64) -> Result<FaultPlan, FaultError> {
+        if !(0.0..=1.0).contains(&jam_prob) {
+            return Err(FaultError::new(format!("jam probability {jam_prob} not in [0, 1]")));
+        }
+        if !(0.0..=1.0).contains(&drop_prob) {
+            return Err(FaultError::new(format!("drop probability {drop_prob} not in [0, 1]")));
+        }
+        let jam_prob = if jammers == 0 { 0.0 } else { jam_prob };
+        Ok(FaultPlan { jammers, jam_prob, drop_prob })
+    }
+
+    /// `count` jammers, each firing noise with probability `prob` per round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prob` is not in `[0, 1]`.
+    pub fn jam(count: usize, prob: f64) -> FaultPlan {
+        FaultPlan::try_new(count, prob, 0.0).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Per-round node dropout with probability `prob`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prob` is not in `[0, 1]`.
+    pub fn drop(prob: f64) -> FaultPlan {
+        FaultPlan::try_new(0, 0.0, prob).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Whether this plan injects no faults at all.
+    pub fn is_none(&self) -> bool {
+        self.jammers == 0 && self.drop_prob == 0.0
+    }
+
+    /// Number of jammer nodes.
+    pub fn jammers(&self) -> usize {
+        self.jammers
+    }
+
+    /// Per-round noise probability of each jammer.
+    pub fn jam_prob(&self) -> f64 {
+        self.jam_prob
+    }
+
+    /// Per-round per-node dropout probability.
+    pub fn drop_prob(&self) -> f64 {
+        self.drop_prob
+    }
+
+    /// Resolves the plan against an `n`-node graph: samples the distinct
+    /// jammer ids from `seed` and packages the coin source. Placement is
+    /// part of trial randomness — derive `seed` from the trial seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan wants more jammers than the graph has nodes
+    /// (callers going through the scenario-spec grammar are rejected at
+    /// parse time instead).
+    pub fn resolve(&self, n: usize, seed: u64) -> FaultSchedule {
+        assert!(
+            self.jammers <= n,
+            "fault plan wants {} jammers but the graph has only {n} nodes",
+            self.jammers
+        );
+        let mut r = rng::stream_rng(seed, 0x7A44);
+        let ids = rng::sample_distinct(&mut r, self.jammers, n)
+            .into_iter()
+            .map(|v| v as NodeId)
+            .collect();
+        FaultSchedule::new(n, ids, self.jam_prob, self.drop_prob, seed)
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_none() {
+            return write!(f, "none");
+        }
+        let mut sep = "";
+        if self.jammers > 0 {
+            write!(f, "jam({},{})", self.jammers, self.jam_prob)?;
+            sep = "!";
+        }
+        if self.drop_prob > 0.0 {
+            write!(f, "{sep}drop({})", self.drop_prob)?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for FaultPlan {
+    type Err = FaultError;
+
+    fn from_str(s: &str) -> Result<FaultPlan, FaultError> {
+        let s = s.trim();
+        if s == "none" {
+            return Ok(FaultPlan::none());
+        }
+        if s.is_empty() {
+            return Err(FaultError::new("empty fault spec"));
+        }
+        let mut jam: Option<(usize, f64)> = None;
+        let mut dropout: Option<f64> = None;
+        for item in s.split('!') {
+            let item = item.trim();
+            let open = item
+                .find('(')
+                .ok_or_else(|| FaultError::new(format!("{item:?} has no parameter list")))?;
+            if !item.ends_with(')') {
+                return Err(FaultError::new(format!("{item:?} is missing a closing parenthesis")));
+            }
+            let name = &item[..open];
+            let args: Vec<&str> =
+                item[open + 1..item.len() - 1].split(',').map(str::trim).collect();
+            match name {
+                "jam" => {
+                    if jam.is_some() {
+                        return Err(FaultError::new("duplicate jam(...) clause"));
+                    }
+                    if args.len() != 2 {
+                        return Err(FaultError::new(format!(
+                            "jam takes 2 arguments (count, probability), got {}",
+                            args.len()
+                        )));
+                    }
+                    let k: usize = args[0].parse().map_err(|_| {
+                        FaultError::new(format!("jam: {:?} is not an integer", args[0]))
+                    })?;
+                    if k == 0 {
+                        return Err(FaultError::new("jam needs at least one jammer"));
+                    }
+                    jam = Some((k, parse_prob("jam", args[1])?));
+                }
+                "drop" => {
+                    if dropout.is_some() {
+                        return Err(FaultError::new("duplicate drop(...) clause"));
+                    }
+                    if args.len() != 1 {
+                        return Err(FaultError::new(format!(
+                            "drop takes 1 argument (probability), got {}",
+                            args.len()
+                        )));
+                    }
+                    dropout = Some(parse_prob("drop", args[0])?);
+                }
+                other => {
+                    return Err(FaultError::new(format!(
+                        "unknown fault {other:?} (known: {})",
+                        FaultPlan::GRAMMAR.join(" | ")
+                    )))
+                }
+            }
+        }
+        let (jammers, jam_prob) = jam.unwrap_or((0, 0.0));
+        FaultPlan::try_new(jammers, jam_prob, dropout.unwrap_or(0.0))
+    }
+}
+
+fn parse_prob(what: &str, s: &str) -> Result<f64, FaultError> {
+    let p: f64 =
+        s.parse().map_err(|_| FaultError::new(format!("{what}: {s:?} is not a number")))?;
+    if !(0.0..=1.0).contains(&p) {
+        return Err(FaultError::new(format!("{what}: probability {s} not in [0, 1]")));
+    }
+    Ok(p)
+}
+
+/// A [`FaultPlan`] resolved against a concrete graph: explicit jammer ids
+/// plus a stateless per-`(round, node)` coin source. Cheap to clone (one
+/// small id list, one `n`-bit membership table).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSchedule {
+    n: usize,
+    jammer_ids: Vec<NodeId>,
+    is_jammer: Vec<bool>,
+    jam_prob: f64,
+    drop_prob: f64,
+    seed: u64,
+}
+
+/// Coin streams must not collide: jam and drop decisions for the same
+/// `(round, node)` are independent draws.
+const STREAM_JAM: u64 = 0x4A40;
+const STREAM_DROP: u64 = 0xD209;
+
+impl FaultSchedule {
+    /// Builds a schedule over an `n`-node graph with explicit `jammer_ids`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a descriptive message if a probability is outside
+    /// `[0, 1]`, a jammer id is `>= n`, or an id is listed twice.
+    pub fn new(
+        n: usize,
+        jammer_ids: Vec<NodeId>,
+        jam_prob: f64,
+        drop_prob: f64,
+        seed: u64,
+    ) -> FaultSchedule {
+        assert!((0.0..=1.0).contains(&jam_prob), "jam probability {jam_prob} not in [0, 1]");
+        assert!((0.0..=1.0).contains(&drop_prob), "drop probability {drop_prob} not in [0, 1]");
+        let mut is_jammer = vec![false; n];
+        for &j in &jammer_ids {
+            assert!((j as usize) < n, "jammer id {j} out of range for a {n}-node graph");
+            assert!(!is_jammer[j as usize], "jammer id {j} listed twice");
+            is_jammer[j as usize] = true;
+        }
+        FaultSchedule { n, jammer_ids, is_jammer, jam_prob, drop_prob, seed }
+    }
+
+    /// Number of nodes the schedule was built for.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The jammer node ids.
+    pub fn jammer_ids(&self) -> &[NodeId] {
+        &self.jammer_ids
+    }
+
+    /// Whether `node` is a jammer (jammers never perform protocol actions).
+    pub fn is_jammer(&self, node: NodeId) -> bool {
+        self.is_jammer[node as usize]
+    }
+
+    /// A uniform coin in `[0, 1)` for `(stream, round, node)` — stateless,
+    /// so coins can be queried lazily in any order without perturbing each
+    /// other (this is what keeps the engine's per-round cost proportional to
+    /// activity, not to `n`).
+    fn coin(&self, stream: u64, round: u64, node: NodeId) -> f64 {
+        let z = rng::derive(rng::derive(rng::derive(self.seed, stream), round), node as u64);
+        (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Whether jammer `node` fires noise in `round`. Only meaningful for
+    /// nodes in [`FaultSchedule::jammer_ids`].
+    pub fn jam_fires(&self, round: u64, node: NodeId) -> bool {
+        self.jam_prob > 0.0 && self.coin(STREAM_JAM, round, node) < self.jam_prob
+    }
+
+    /// Whether `node` is down (neither transmits nor receives) in `round`.
+    /// Jammers are exempt: the adversary is reliable.
+    pub fn is_down(&self, round: u64, node: NodeId) -> bool {
+        self.drop_prob > 0.0
+            && !self.is_jammer[node as usize]
+            && self.coin(STREAM_DROP, round, node) < self.drop_prob
+    }
+
+    /// Whether a protocol transmission from `node` in `round` is suppressed
+    /// (the node is a jammer — which never executes protocol actions — or
+    /// down this round).
+    pub fn suppresses_tx(&self, round: u64, node: NodeId) -> bool {
+        self.is_jammer[node as usize] || self.is_down(round, node)
+    }
+}
+
+thread_local! {
+    static AMBIENT: RefCell<Option<FaultSchedule>> = const { RefCell::new(None) };
+}
+
+/// Runs `f` with `schedule` installed as the ambient fault schedule: every
+/// [`crate::Simulator`] constructed inside `f` (on this thread) adopts it.
+/// Nests and unwinds safely; the previous ambient value is restored on exit.
+///
+/// This is the seam [`crate::Runnable::run_trial_under_faults`] uses to
+/// impose faults on arbitrary scenarios without threading a parameter
+/// through every protocol entry point.
+pub fn with_schedule<R>(schedule: FaultSchedule, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<FaultSchedule>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            AMBIENT.with(|a| *a.borrow_mut() = self.0.take());
+        }
+    }
+    let prev = AMBIENT.with(|a| a.borrow_mut().replace(schedule));
+    let _restore = Restore(prev);
+    f()
+}
+
+/// The ambient fault schedule installed by [`with_schedule`], if any.
+pub fn ambient() -> Option<FaultSchedule> {
+    AMBIENT.with(|a| a.borrow().clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_string_forms_round_trip() {
+        for s in ["none", "jam(3,0.5)", "drop(0.1)", "jam(3,0.5)!drop(0.1)", "jam(1,1)", "drop(1)"]
+        {
+            let plan: FaultPlan = s.parse().unwrap_or_else(|e| panic!("{s}: {e}"));
+            assert_eq!(plan.to_string(), s, "display(parse({s:?}))");
+            let back: FaultPlan = plan.to_string().parse().expect("reparses");
+            assert_eq!(back, plan);
+        }
+        // Clause order is free on input; display is canonical (jam first).
+        let plan: FaultPlan = "drop(0.1)!jam(2,0.25)".parse().expect("parses");
+        assert_eq!(plan.to_string(), "jam(2,0.25)!drop(0.1)");
+    }
+
+    #[test]
+    fn plan_parse_rejects_malformed_specs() {
+        for bad in [
+            "",
+            "jam",
+            "jam(3)",
+            "jam(0,0.5)",
+            "jam(3,1.5)",
+            "jam(3,-0.1)",
+            "jam(3,nan)",
+            "jam(x,0.5)",
+            "drop()",
+            "drop(2)",
+            "drop(0.1,0.2)",
+            "jam(3,0.5)!jam(2,0.5)",
+            "drop(0.1)!drop(0.2)",
+            "flood(0.5)",
+            "jam(3,0.5",
+        ] {
+            assert!(bad.parse::<FaultPlan>().is_err(), "{bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn plan_constructors_validate_probabilities() {
+        assert!(FaultPlan::try_new(3, 1.1, 0.0).is_err());
+        assert!(FaultPlan::try_new(3, 0.5, -0.2).is_err());
+        assert!(FaultPlan::try_new(3, f64::NAN, 0.0).is_err());
+        assert!(FaultPlan::none().is_none());
+        assert!(!FaultPlan::jam(1, 0.0).is_none(), "a silent jammer still occupies its node");
+        // Zero jammers normalize the jam probability away.
+        assert_eq!(FaultPlan::try_new(0, 0.9, 0.0).expect("valid"), FaultPlan::none());
+    }
+
+    #[test]
+    #[should_panic(expected = "not in [0, 1]")]
+    fn jam_constructor_panics_on_bad_probability() {
+        FaultPlan::jam(2, 1.5);
+    }
+
+    #[test]
+    fn resolve_places_distinct_in_range_jammers() {
+        let plan = FaultPlan::jam(5, 0.5);
+        let s = plan.resolve(12, 99);
+        assert_eq!(s.jammer_ids().len(), 5);
+        let mut ids: Vec<_> = s.jammer_ids().to_vec();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 5, "distinct jammers");
+        assert!(ids.iter().all(|&j| (j as usize) < 12));
+        // Deterministic in the seed, sensitive to it.
+        assert_eq!(plan.resolve(12, 99), s);
+        assert_ne!(plan.resolve(12, 100).jammer_ids(), s.jammer_ids());
+    }
+
+    #[test]
+    #[should_panic(expected = "only 3 nodes")]
+    fn resolve_rejects_more_jammers_than_nodes() {
+        FaultPlan::jam(4, 0.5).resolve(3, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "jammer id 9 out of range")]
+    fn schedule_rejects_out_of_range_jammer_ids() {
+        FaultSchedule::new(4, vec![1, 9], 0.5, 0.0, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "listed twice")]
+    fn schedule_rejects_duplicate_jammer_ids() {
+        FaultSchedule::new(4, vec![1, 1], 0.5, 0.0, 7);
+    }
+
+    #[test]
+    fn coins_are_deterministic_and_respect_edge_probabilities() {
+        let s = FaultSchedule::new(8, vec![0, 1], 1.0, 0.0, 3);
+        for round in 0..50 {
+            assert!(s.jam_fires(round, 0), "probability 1 always fires");
+            assert!(!s.is_down(round, 5), "drop probability 0 never drops");
+        }
+        let silent = FaultSchedule::new(8, vec![0], 0.0, 1.0, 3);
+        for round in 0..50 {
+            assert!(!silent.jam_fires(round, 0), "probability 0 never fires");
+            assert!(silent.is_down(round, 5), "drop probability 1 always drops");
+            assert!(!silent.is_down(round, 0), "jammers are exempt from dropout");
+        }
+        // Intermediate probabilities are reproducible and round-sensitive.
+        let s = FaultSchedule::new(8, vec![2], 0.5, 0.5, 11);
+        let fires: Vec<bool> = (0..64).map(|r| s.jam_fires(r, 2)).collect();
+        assert_eq!(fires, (0..64).map(|r| s.jam_fires(r, 2)).collect::<Vec<_>>());
+        assert!(fires.iter().any(|&b| b) && fires.iter().any(|&b| !b), "a fair coin varies");
+    }
+
+    #[test]
+    fn jam_and_drop_coins_are_independent_streams() {
+        let s = FaultSchedule::new(64, (0..64).collect(), 0.5, 0.5, 5);
+        // If the streams collided, jam_fires and the raw drop coin would
+        // agree everywhere. (is_down exempts jammers, so compare coins.)
+        let agree = (0..64u64)
+            .filter(|&r| (s.coin(STREAM_JAM, r, 7) < 0.5) == (s.coin(STREAM_DROP, r, 7) < 0.5))
+            .count();
+        assert!(agree < 64, "streams must not be identical");
+    }
+
+    #[test]
+    fn ambient_schedule_scopes_and_restores() {
+        assert!(ambient().is_none());
+        let outer = FaultSchedule::new(4, vec![0], 0.5, 0.0, 1);
+        let inner = FaultSchedule::new(4, vec![1], 0.5, 0.0, 2);
+        with_schedule(outer.clone(), || {
+            assert_eq!(ambient(), Some(outer.clone()));
+            with_schedule(inner.clone(), || {
+                assert_eq!(ambient(), Some(inner.clone()));
+            });
+            assert_eq!(ambient(), Some(outer.clone()), "nested scope restored");
+        });
+        assert!(ambient().is_none(), "outer scope restored");
+    }
+
+    #[test]
+    fn ambient_schedule_restores_across_panics() {
+        let s = FaultSchedule::new(4, vec![0], 0.5, 0.0, 1);
+        let r = std::panic::catch_unwind(|| {
+            with_schedule(s, || panic!("boom"));
+        });
+        assert!(r.is_err());
+        assert!(ambient().is_none(), "ambient cleared even when the scope panics");
+    }
+}

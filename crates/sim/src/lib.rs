@@ -17,6 +17,10 @@
 //!   property of individual protocols;
 //! * running time is the number of rounds; local computation is free.
 //!
+//! An orthogonal **fault axis** (adversarial jammers, per-round node
+//! dropout) can be imposed on any protocol at the channel level — see
+//! [`faults`] and [`Runnable::run_trial_under_faults`].
+//!
 //! Algorithms implement the [`Protocol`] trait and are executed by
 //! [`Simulator::run`]. Protocols only ever see the knowledge the model grants
 //! them — [`NetParams`] (`n` and `D`), their own node ids, their own random
@@ -47,6 +51,7 @@
 
 mod combinators;
 mod engine;
+pub mod faults;
 mod params;
 mod protocol;
 pub mod rng;
@@ -54,8 +59,9 @@ mod runnable;
 pub mod testing;
 mod trace;
 
-pub use combinators::{Either, Interleave, Jammer};
+pub use combinators::{Either, Faulty, Interleave, Jammer, Noise};
 pub use engine::{CollisionModel, Metrics, RunOutcome, RunStats, Simulator};
+pub use faults::{FaultError, FaultPlan, FaultSchedule};
 pub use params::NetParams;
 pub use protocol::{Protocol, Round, TxBuf};
 pub use runnable::{Runnable, TrialRecord};

@@ -75,6 +75,29 @@ pub fn bernoulli_indices(rng: &mut impl rand::Rng, k: usize, p: f64, out: &mut V
     }
 }
 
+/// Samples `k` **distinct** values from `0..n` in `O(k)` time and `O(k²)`
+/// comparisons (Floyd's algorithm). The returned *set* is uniform over all
+/// `k`-subsets; the order is not a uniform permutation. Used for source and
+/// jammer placement, where sampling with replacement would silently merge
+/// roles onto one node.
+///
+/// # Panics
+///
+/// Panics if `k > n`.
+pub fn sample_distinct(rng: &mut impl rand::Rng, k: usize, n: usize) -> Vec<usize> {
+    assert!(k <= n, "cannot sample {k} distinct values from 0..{n}");
+    let mut out: Vec<usize> = Vec::with_capacity(k);
+    for j in (n - k)..n {
+        let t = rng.gen_range(0..=j);
+        if out.contains(&t) {
+            out.push(j);
+        } else {
+            out.push(t);
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -106,6 +129,39 @@ mod tests {
         assert_ne!(splitmix64(0), 0);
         assert_ne!(splitmix64(1), 1);
         assert_ne!(splitmix64(0), splitmix64(1));
+    }
+
+    #[test]
+    fn sample_distinct_is_distinct_and_in_range() {
+        let mut rng = stream_rng(5, 0);
+        for (k, n) in [(0usize, 0usize), (0, 10), (1, 1), (4, 10), (10, 10), (7, 1000)] {
+            let s = sample_distinct(&mut rng, k, n);
+            assert_eq!(s.len(), k, "k={k} n={n}");
+            assert!(s.iter().all(|&v| v < n));
+            let mut sorted = s.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), k, "all distinct for k={k} n={n}");
+        }
+    }
+
+    #[test]
+    fn sample_distinct_covers_every_element_eventually() {
+        let mut rng = stream_rng(6, 0);
+        let mut seen = [false; 10];
+        for _ in 0..200 {
+            for v in sample_distinct(&mut rng, 3, 10) {
+                seen[v] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every index reachable: {seen:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sample")]
+    fn sample_distinct_rejects_oversized_k() {
+        let mut rng = stream_rng(7, 0);
+        sample_distinct(&mut rng, 11, 10);
     }
 
     #[test]

@@ -12,7 +12,8 @@
 //! multi-source decay) — and are registered by name in `rn_bench`'s scenario
 //! registry.
 
-use crate::{CollisionModel, Metrics, NetParams};
+use crate::faults::{self, FaultPlan};
+use crate::{rng, CollisionModel, Metrics, NetParams};
 use rn_graph::Graph;
 
 /// Machine-readable outcome of one scenario trial.
@@ -71,6 +72,31 @@ pub trait Runnable: Send + Sync {
     /// [`Runnable::effective_model`] mapped the caller's request to.
     fn run_trial(&self, g: &Graph, net: NetParams, model: CollisionModel, seed: u64)
         -> TrialRecord;
+
+    /// Runs one trial under a fault plan (jammers / per-round dropout).
+    ///
+    /// This provided method is the uniform fault-injection seam: it resolves
+    /// `plan` against the graph (jammer placement derives from the trial
+    /// seed, so it is part of trial randomness) and installs the resulting
+    /// [`crate::FaultSchedule`] as the ambient schedule around
+    /// [`Runnable::run_trial`]. Every [`crate::Simulator`] the scenario
+    /// constructs inside — however deep in its protocol crate — adopts the
+    /// faulty channel, so no scenario implements anything fault-specific. A
+    /// fault-free plan is exactly [`Runnable::run_trial`].
+    fn run_trial_under_faults(
+        &self,
+        g: &Graph,
+        net: NetParams,
+        model: CollisionModel,
+        seed: u64,
+        plan: &FaultPlan,
+    ) -> TrialRecord {
+        if plan.is_none() {
+            return self.run_trial(g, net, model, seed);
+        }
+        let schedule = plan.resolve(g.n(), rng::derive(seed, 0xFA17));
+        faults::with_schedule(schedule, || self.run_trial(g, net, model, seed))
+    }
 }
 
 #[cfg(test)]
@@ -114,6 +140,42 @@ mod tests {
         assert!(r.completed);
         assert!(r.rounds > 0);
         assert!(r.metrics.deliveries > 0);
+    }
+
+    #[test]
+    fn run_trial_under_faults_defaults_to_plain_and_degrades_under_jam() {
+        use crate::faults::FaultPlan;
+        let g = generators::path(12);
+        let net = NetParams::of_graph(&g);
+        let scenario = FloodScenario;
+        let plain = scenario.run_trial(&g, net, CollisionModel::NoCollisionDetection, 1);
+        let none = scenario.run_trial_under_faults(
+            &g,
+            net,
+            CollisionModel::NoCollisionDetection,
+            1,
+            &FaultPlan::none(),
+        );
+        assert_eq!(plain, none, "a fault-free plan is exactly run_trial");
+        // Half the path jamming at probability 1 makes completion
+        // impossible: every non-source segment is fenced off eventually.
+        let jammed = scenario.run_trial_under_faults(
+            &g,
+            net,
+            CollisionModel::NoCollisionDetection,
+            1,
+            &FaultPlan::jam(12, 1.0),
+        );
+        assert!(!jammed.completed, "no false completion when every node jams");
+        // Determinism: the same (seed, plan) reproduces the trial exactly.
+        let again = scenario.run_trial_under_faults(
+            &g,
+            net,
+            CollisionModel::NoCollisionDetection,
+            1,
+            &FaultPlan::jam(12, 1.0),
+        );
+        assert_eq!(jammed, again);
     }
 
     #[test]

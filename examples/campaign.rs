@@ -11,20 +11,22 @@
 //! JSON document (`rn-bench-results/v1`) that is byte-identical for a fixed
 //! master seed.
 
-use radio_networks::bench::{Campaign, ProtocolSpec, ScenarioSpec, TrialPlan};
+use radio_networks::bench::{Campaign, ProtocolKind, ScenarioSpec, TrialPlan};
 use radio_networks::graph::TopologySpec;
-use radio_networks::sim::CollisionModel;
+use radio_networks::sim::{CollisionModel, FaultPlan};
 
 fn main() {
     // 1. An ad-hoc scenario, exactly as `experiments --scenario` parses it:
-    //    a protocol/topology pair never named in any experiment code.
+    //    a protocol/topology pair never named in any experiment code — here
+    //    with a fault suffix, so three of the 48 nodes jam half the rounds.
     let scenario: ScenarioSpec =
-        "leader_election@ring_of_cliques(6,8)".parse().expect("valid scenario spec");
+        "leader_election@ring_of_cliques(6,8)!jam(3,0.5)".parse().expect("valid scenario spec");
     let result = Campaign::single(&scenario, 5).run(2017);
     result.to_table().print();
 
     // 2. A declarative sweep: the paper's broadcast vs the BGI baseline
-    //    across three shapes, straight from spec strings.
+    //    across three shapes, straight from spec strings, each cell run both
+    //    fault-free and under mild dropout.
     let topologies: Vec<TopologySpec> = ["grid(12x12)", "torus(12x12)", "barbell(24,16)"]
         .iter()
         .map(|s| s.parse().expect("valid topology spec"))
@@ -32,8 +34,9 @@ fn main() {
     let sweep = Campaign {
         id: "example_sweep".into(),
         topologies,
-        protocols: vec![ProtocolSpec::Broadcast, ProtocolSpec::Bgi],
+        protocols: vec![ProtocolKind::Broadcast.into(), ProtocolKind::Bgi.into()],
         models: vec![CollisionModel::NoCollisionDetection],
+        faults: vec![FaultPlan::none(), FaultPlan::drop(0.01)],
         plan: TrialPlan::new(3),
     };
     let result = sweep.run(2017);
