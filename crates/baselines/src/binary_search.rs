@@ -17,7 +17,7 @@ use rand::{Rng, SeedableRng};
 use rn_core::{CompeteParams, CompeteProtocol, Precomputed};
 use rn_decay::DecayBroadcast;
 use rn_graph::{Graph, NodeId};
-use rn_sim::{rng, CollisionModel, NetParams, Simulator};
+use rn_sim::{rng, CollisionModel, FaultSchedule, NetParams, Simulator};
 use serde::{Deserialize, Serialize};
 
 /// Which multi-source broadcast the reduction probes with.
@@ -61,6 +61,21 @@ pub fn binary_search_leader_election(
     budget_factor: f64,
     seed: u64,
 ) -> BinarySearchLeReport {
+    binary_search_le_scheduled(g, net, kind, budget_factor, seed, None)
+}
+
+/// As [`binary_search_leader_election`], running the channel under an
+/// explicit fault schedule (`None` = fault-free) — the entry point
+/// [`crate::BinarySearchLeScenario`] uses so campaign fault injection stays
+/// plain parameter passing.
+pub fn binary_search_le_scheduled(
+    g: &Graph,
+    net: NetParams,
+    kind: BroadcastKind,
+    budget_factor: f64,
+    seed: u64,
+    faults: Option<&FaultSchedule>,
+) -> BinarySearchLeReport {
     let n = g.n();
     let log_n = net.log2_n();
     let bits = 2 * log_n;
@@ -96,7 +111,7 @@ pub fn binary_search_leader_election(
         _ => CollisionModel::NoCollisionDetection,
     };
     let mut total_rounds: u64 = 0;
-    let mut sim = Simulator::new(g, model, seed);
+    let mut sim = Simulator::with_faults(g, model, seed, faults.cloned());
 
     // Compete probe: precompute once (clusterings don't depend on the probe),
     // charge it once.

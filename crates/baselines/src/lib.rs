@@ -25,6 +25,8 @@ mod broadcasts;
 mod scenario;
 
 pub use beep::BeepWave;
-pub use binary_search::{binary_search_leader_election, BinarySearchLeReport, BroadcastKind};
+pub use binary_search::{
+    binary_search_le_scheduled, binary_search_leader_election, BinarySearchLeReport, BroadcastKind,
+};
 pub use broadcasts::{bgi_broadcast, hw_broadcast, truncated_broadcast, BroadcastOutcome};
 pub use scenario::{BgiScenario, BinarySearchLeScenario, TruncatedScenario};

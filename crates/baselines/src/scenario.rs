@@ -1,10 +1,10 @@
 //! [`Runnable`] scenarios for the comparator algorithms, so baselines plug
 //! into campaigns on exactly the same footing as the paper's algorithms.
 
-use crate::binary_search::{binary_search_leader_election, BroadcastKind};
+use crate::binary_search::{binary_search_le_scheduled, BroadcastKind};
 use rn_decay::{DecayBroadcast, TruncatedDecayBroadcast};
 use rn_graph::Graph;
-use rn_sim::{CollisionModel, NetParams, Runnable, Simulator, TrialRecord};
+use rn_sim::{CollisionModel, FaultSchedule, NetParams, Runnable, Simulator, TrialRecord};
 
 /// BGI'92 decay broadcasting from node 0 — the classical
 /// no-spontaneous-transmissions baseline (`O((D + log n)·log n)`).
@@ -16,15 +16,16 @@ impl Runnable for BgiScenario {
         "bgi".into()
     }
 
-    fn run_trial(
+    fn run_trial_scheduled(
         &self,
         g: &Graph,
         net: NetParams,
         model: CollisionModel,
         seed: u64,
+        faults: Option<&FaultSchedule>,
     ) -> TrialRecord {
         let mut p = DecayBroadcast::single_source(net, 0, 1, seed);
-        let mut sim = Simulator::new(g, model, seed);
+        let mut sim = Simulator::with_faults(g, model, seed, faults.cloned());
         let stats = sim.run_until(&mut p, net.decay_broadcast_budget(), |_, p| p.all_informed());
         TrialRecord::new(p.all_informed(), stats.rounds, stats.metrics)
     }
@@ -40,15 +41,16 @@ impl Runnable for TruncatedScenario {
         "truncated".into()
     }
 
-    fn run_trial(
+    fn run_trial_scheduled(
         &self,
         g: &Graph,
         net: NetParams,
         model: CollisionModel,
         seed: u64,
+        faults: Option<&FaultSchedule>,
     ) -> TrialRecord {
         let mut p = TruncatedDecayBroadcast::single_source(net, 0, 1, seed);
-        let mut sim = Simulator::new(g, model, seed);
+        let mut sim = Simulator::with_faults(g, model, seed, faults.cloned());
         let stats = sim.run_until(&mut p, net.decay_broadcast_budget(), |_, p| p.all_informed());
         TrialRecord::new(p.all_informed(), stats.rounds, stats.metrics)
     }
@@ -93,14 +95,15 @@ impl Runnable for BinarySearchLeScenario {
         }
     }
 
-    fn run_trial(
+    fn run_trial_scheduled(
         &self,
         g: &Graph,
         net: NetParams,
         _model: CollisionModel,
         seed: u64,
+        faults: Option<&FaultSchedule>,
     ) -> TrialRecord {
-        let r = binary_search_leader_election(g, net, self.kind, 1.0, seed);
+        let r = binary_search_le_scheduled(g, net, self.kind, 1.0, seed, faults);
         TrialRecord::rounds_only(r.consistent && r.leader.is_some(), r.rounds)
     }
 }

@@ -1,47 +1,40 @@
 //! E7/E8 micro-bench: end-to-end broadcast, ours vs the baselines.
+//!
+//! Workloads are `ScenarioSpec` strings resolved through the scenario
+//! registry — the same grammar campaigns and the `experiments` CLI use — so
+//! bench and experiment workloads cannot drift apart. Changing what is
+//! benchmarked is a string edit, not code.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use rn_baselines::{bgi_broadcast, truncated_broadcast};
-use rn_core::{compete_with_net, CompeteParams};
-use rn_graph::generators;
-use rn_sim::NetParams;
+use rn_bench::ScenarioSpec;
+use rn_graph::Graph;
+use rn_sim::{CollisionModel, NetParams};
+
+/// The registry workloads this suite measures (one benchmark each).
+const SCENARIOS: &[&str] = &["bgi@grid(24x24)", "truncated@grid(24x24)", "broadcast@grid(24x24)"];
+
+/// Graph-build seed: benches pin one topology instance across all runs.
+const TOPOLOGY_SEED: u64 = 0xB0;
 
 fn bench_broadcast_algorithms(c: &mut Criterion) {
-    let g = generators::grid(24, 24);
-    let net = NetParams::new(g.n(), 46);
     let mut group = c.benchmark_group("broadcast_grid24");
     group.sample_size(10);
-
-    group.bench_function("bgi", |b| {
-        let mut seed = 0u64;
-        b.iter(|| {
-            seed += 1;
-            let out = bgi_broadcast(&g, net, 0, seed);
-            assert!(out.completed);
-            out.rounds
+    for spec_str in SCENARIOS {
+        let spec: ScenarioSpec = spec_str.parse().expect("registry scenario");
+        let g: Graph = spec.topology.build(TOPOLOGY_SEED);
+        let net = NetParams::new(g.n(), g.diameter_double_sweep());
+        let runnable = spec.protocol.instantiate();
+        let model = runnable.effective_model(CollisionModel::NoCollisionDetection);
+        group.bench_function(runnable.name(), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let r = runnable.run_trial(&g, net, model, seed);
+                assert!(r.completed, "{spec_str} must complete");
+                r.rounds
+            });
         });
-    });
-
-    group.bench_function("truncated_decay", |b| {
-        let mut seed = 0u64;
-        b.iter(|| {
-            seed += 1;
-            let out = truncated_broadcast(&g, net, 0, seed);
-            assert!(out.completed);
-            out.rounds
-        });
-    });
-
-    let params = CompeteParams::default();
-    group.bench_function("czumaj_davies", |b| {
-        let mut seed = 0u64;
-        b.iter(|| {
-            seed += 1;
-            let r = compete_with_net(&g, net, &[(0, 1)], &params, seed).expect("valid");
-            assert!(r.completed);
-            r.propagation_rounds
-        });
-    });
+    }
     group.finish();
 }
 

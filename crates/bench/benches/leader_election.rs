@@ -1,37 +1,40 @@
 //! E9 micro-bench: leader election — Algorithm 6 vs the binary-search
 //! reduction.
+//!
+//! Workloads are `ScenarioSpec` strings resolved through the scenario
+//! registry (see `benches/broadcast.rs`), keeping bench and experiment
+//! workloads in sync by construction.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use rn_baselines::{binary_search_leader_election, BroadcastKind};
-use rn_core::{leader_election_with_net, CompeteParams};
-use rn_graph::generators;
-use rn_sim::NetParams;
+use rn_bench::ScenarioSpec;
+use rn_graph::Graph;
+use rn_sim::{CollisionModel, NetParams};
+
+/// The registry workloads this suite measures (one benchmark each).
+const SCENARIOS: &[&str] = &["leader_election@grid(16x16)", "binsearch_le(bgi)@grid(16x16)"];
+
+/// Graph-build seed: benches pin one topology instance across all runs.
+const TOPOLOGY_SEED: u64 = 0x1E;
 
 fn bench_leader_election(c: &mut Criterion) {
-    let g = generators::grid(16, 16);
-    let net = NetParams::new(g.n(), 30);
     let mut group = c.benchmark_group("leader_election_grid16");
     group.sample_size(10);
-
-    let params = CompeteParams::default();
-    group.bench_function("algorithm6", |b| {
-        let mut seed = 0u64;
-        b.iter(|| {
-            seed += 1;
-            let r = leader_election_with_net(&g, net, &params, seed).expect("connected");
-            assert!(r.compete.completed);
-            r.compete.propagation_rounds
+    for spec_str in SCENARIOS {
+        let spec: ScenarioSpec = spec_str.parse().expect("registry scenario");
+        let g: Graph = spec.topology.build(TOPOLOGY_SEED);
+        let net = NetParams::new(g.n(), g.diameter_double_sweep());
+        let runnable = spec.protocol.instantiate();
+        let model = runnable.effective_model(CollisionModel::NoCollisionDetection);
+        group.bench_function(runnable.name(), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let r = runnable.run_trial(&g, net, model, seed);
+                assert!(r.completed, "{spec_str} must elect");
+                r.rounds
+            });
         });
-    });
-
-    group.bench_function("binary_search_bgi", |b| {
-        let mut seed = 0u64;
-        b.iter(|| {
-            seed += 1;
-            let r = binary_search_leader_election(&g, net, BroadcastKind::Bgi, 1.0, seed);
-            r.rounds
-        });
-    });
+    }
     group.finish();
 }
 

@@ -1,0 +1,71 @@
+//! Cross-run regression gate: compares two `rn-bench-results/v1` files
+//! cell-by-cell and fails on mean-rounds regressions beyond trial noise.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench-diff [--sigma N] BASELINE.json NEW.json
+//! ```
+//!
+//! Prints a markdown report to stdout. Exit codes: `0` — no regressions
+//! (improvements and within-noise movements are fine); `1` — at least one
+//! cell regressed beyond its noise band or vanished from the new file;
+//! `2` — usage or I/O error. The noise band is
+//! `sigma · sqrt(s_a²/t_a + s_b²/t_b)` per cell, from the files' recorded
+//! `stddev` and trial counts (see `rn_bench::diff`). CI runs this against
+//! the committed `benchmarks/baseline_smoke.json`.
+
+use rn_bench::diff::DEFAULT_SIGMA;
+use rn_bench::{diff_results, Json};
+
+fn main() {
+    let mut sigma = DEFAULT_SIGMA;
+    let mut files: Vec<String> = Vec::new();
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = raw.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--sigma" => {
+                let v = it.next().unwrap_or_else(|| usage("missing value for --sigma"));
+                sigma = v
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|s| s.is_finite() && *s >= 0.0)
+                    .unwrap_or_else(|| usage("--sigma takes a non-negative number"));
+            }
+            other if !other.starts_with('-') => files.push(other.to_string()),
+            other => usage(&format!("unexpected argument {other:?}")),
+        }
+    }
+    let [base_path, new_path] = files.as_slice() else {
+        usage("expected exactly two results files (BASELINE NEW)");
+    };
+
+    let base = load(base_path);
+    let new = load(new_path);
+    let report = diff_results(&base, &new, sigma).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
+    print!("{}", report.to_markdown());
+    if report.has_regressions() {
+        std::process::exit(1);
+    }
+}
+
+fn load(path: &str) -> Json {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("error: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    Json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("error: {path}: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn usage(err: &str) -> ! {
+    eprintln!("error: {err}");
+    eprintln!("usage: bench-diff [--sigma N] BASELINE.json NEW.json");
+    std::process::exit(2);
+}

@@ -4,8 +4,8 @@
 //! Usage:
 //!
 //! ```text
-//! experiments [--seed N] [--trials N] [--model nocd|cd] [--faults SPEC]
-//!             [--json PATH]
+//! experiments [--seed N] [--trials N] [--threads N] [--model nocd|cd]
+//!             [--faults SPEC] [--json PATH]
 //!             (--list | --check PATH | --scenario SPEC | all | ID [ID ...])
 //! ```
 //!
@@ -17,24 +17,34 @@
 //! * `ID` — a preset id: a table experiment (`e1`…`e12`) or a campaign
 //!   (`smoke`, `sweep_broadcast`, `sweep_faults`, …); `all` runs every
 //!   preset;
+//! * `--threads N` — campaign worker-thread budget (default: the
+//!   `RN_BENCH_THREADS` env var, else available parallelism capped at 16);
+//!   results are byte-identical for any value;
 //! * `--faults SPEC` — replace a campaign target's fault axis with one plan
 //!   (`jam(K,P)`, `drop(P)`, `jam(K,P)!drop(P)` or `none`);
-//! * `--json PATH` — additionally write the campaign's versioned JSON
-//!   results file (campaign targets only, one target per run);
+//! * `--json PATH` — additionally stream the campaign's versioned JSON
+//!   results file, cell by cell as they finish (campaign targets only, one
+//!   target per run);
 //! * `--check PATH` — parse and schema-validate a results file, then exit
 //!   (the CI smoke gate).
 
 use rn_bench::presets::{self, PresetKind};
 use rn_bench::registry::parse_model;
-use rn_bench::{Campaign, Json, OverrideKey, ScenarioSpec, TrialPlan};
+use rn_bench::sink::{CampaignSink, RunHeader};
+use rn_bench::{
+    executor, Campaign, CellResult, Json, JsonStreamSink, MemorySink, OverrideKey, ScenarioSpec,
+    TrialPlan,
+};
 use rn_graph::TopologySpec;
 use rn_sim::{CollisionModel, FaultPlan};
+use std::io::{self, BufWriter};
 use std::time::Instant;
 
 /// Everything the CLI accepted, before target resolution.
 struct Args {
     seed: u64,
     trials: Option<u64>,
+    threads: Option<usize>,
     model: Option<CollisionModel>,
     faults: Option<FaultPlan>,
     json: Option<String>,
@@ -48,6 +58,7 @@ fn parse_args() -> Args {
     let mut args = Args {
         seed: 20170725, // PODC 2017 paper, why not
         trials: None,
+        threads: None,
         model: None,
         faults: None,
         json: None,
@@ -73,6 +84,15 @@ fn parse_args() -> Args {
                     value("--trials")
                         .parse()
                         .unwrap_or_else(|_| usage("--trials takes an unsigned integer")),
+                );
+            }
+            "--threads" => {
+                args.threads = Some(
+                    value("--threads")
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|&t| t >= 1)
+                        .unwrap_or_else(|| usage("--threads takes a positive integer")),
                 );
             }
             "--model" => {
@@ -144,7 +164,7 @@ fn run_scenario(args: &Args, spec_str: &str) {
         campaign.faults = vec![faults];
     }
     println!("# Scenario run: {spec} (seed {})\n", args.seed);
-    run_campaign(&campaign, args.seed, args.json.as_deref());
+    run_campaign(&campaign, args);
 }
 
 /// Runs every requested preset id through the registry.
@@ -192,30 +212,69 @@ fn run_presets(args: &Args) {
                 if let Some(faults) = args.faults {
                     campaign.faults = vec![faults];
                 }
-                run_campaign(&campaign, args.seed, args.json.as_deref());
+                run_campaign(&campaign, args);
             }
         }
         println!("\n_[{id} took {:.1?}]_", t0.elapsed());
     }
 }
 
-/// Runs one campaign: markdown to stdout, JSON to `json_path` when given.
-fn run_campaign(campaign: &Campaign, seed: u64, json_path: Option<&str>) {
+/// A sink that both streams JSON to a writer and keeps the cells the
+/// markdown table needs — so the results file is written incrementally
+/// while the table still renders at the end.
+struct TableAndJson<W: io::Write + Send> {
+    table: MemorySink,
+    json: JsonStreamSink<W>,
+}
+
+impl<W: io::Write + Send> CampaignSink for TableAndJson<W> {
+    fn begin(&mut self, header: &RunHeader) -> io::Result<()> {
+        self.table.begin(header)?;
+        self.json.begin(header)
+    }
+
+    fn cell(&mut self, cell: &CellResult) -> io::Result<()> {
+        self.table.cell(cell)?;
+        self.json.cell(cell)
+    }
+
+    fn finish(&mut self) -> io::Result<()> {
+        self.table.finish()?;
+        self.json.finish()
+    }
+}
+
+/// Runs one campaign on the resolved thread budget: markdown to stdout,
+/// and — when `--json` is given — the results file streamed cell-by-cell
+/// (byte-identical to the in-memory rendering for the same seed).
+fn run_campaign(campaign: &Campaign, args: &Args) {
     // --faults/--model edits bypass the scenario-string parser's placement
     // checks; re-validate so an oversized plan is a usage error, not a
     // panic inside a trial worker.
     if let Err(e) = campaign.validate() {
         usage(&e);
     }
-    let result = campaign.run(seed);
-    result.to_table().print();
-    if let Some(path) = json_path {
-        let doc = result.to_json();
-        std::fs::write(path, &doc).unwrap_or_else(|e| {
-            eprintln!("error: cannot write {path}: {e}");
-            std::process::exit(1);
-        });
-        println!("\n_[results written to {path} ({} bytes)]_", doc.len());
+    let threads = executor::resolve_threads(args.threads);
+    let seed = args.seed;
+    match args.json.as_deref() {
+        None => campaign.run_with_threads(seed, threads).to_table().print(),
+        Some(path) => {
+            let file = std::fs::File::create(path).unwrap_or_else(|e| {
+                eprintln!("error: cannot write {path}: {e}");
+                std::process::exit(1);
+            });
+            let mut sink = TableAndJson {
+                table: MemorySink::new(),
+                json: JsonStreamSink::new(BufWriter::new(file)),
+            };
+            executor::execute(campaign, seed, threads, &mut sink).unwrap_or_else(|e| {
+                eprintln!("error: cannot write {path}: {e}");
+                std::process::exit(1);
+            });
+            sink.table.into_result().to_table().print();
+            let cells = sink.json.cells_written();
+            println!("\n_[results streamed to {path} ({cells} cells, {threads} threads)]_");
+        }
     }
 }
 
@@ -272,8 +331,8 @@ fn print_list() {
 fn usage(err: &str) -> ! {
     eprintln!("error: {err}");
     eprintln!(
-        "usage: experiments [--seed N] [--trials N] [--model nocd|cd] [--faults SPEC]\n\
-         \x20                  [--json PATH]\n\
+        "usage: experiments [--seed N] [--trials N] [--threads N] [--model nocd|cd]\n\
+         \x20                  [--faults SPEC] [--json PATH]\n\
          \x20                  (--list | --check PATH | --scenario SPEC | all | ID [ID ...])"
     );
     std::process::exit(2);

@@ -1,19 +1,32 @@
-//! The campaign runner: crosses topology × protocol × collision model ×
-//! fault plan × trial plan, fans trials out across threads, and reports
-//! every cell both
-//! as a markdown table and as a versioned, machine-readable JSON document
-//! for cross-PR performance tracking.
+//! The campaign data model: the declarative cross of topology × protocol ×
+//! collision model × fault plan × trial plan, its **plan** (the pure
+//! enumeration of cells to run), and the aggregated results that render as a
+//! markdown table and as a versioned, machine-readable JSON document for
+//! cross-PR performance tracking.
+//!
+//! Execution is split into a plan/execute/sink pipeline:
+//!
+//! * [`Campaign::plan_cells`] enumerates the cross product into [`CellSpec`]s —
+//!   pure data, instantly testable, carrying every derived seed;
+//! * [`crate::executor`] runs the planned cells on a work-queue of worker
+//!   threads, sharing one built graph per topology;
+//! * a [`crate::CampaignSink`] receives finished [`CellResult`]s in plan
+//!   order — in memory ([`Campaign::run`]) or streamed incrementally to a
+//!   JSON writer so huge sweeps never hold every record at once.
 //!
 //! A [`Campaign`] is pure data — strings for protocols and topologies — so
 //! defining a new workload never touches experiment code. Running one is
-//! deterministic in the master seed: topologies, per-trial seeds and cell
-//! order all derive from it, and [`CampaignResult::to_json`] renders through
-//! the order-preserving [`crate::json`] writer, so the same `(campaign,
-//! seed)` pair always produces a byte-identical results file.
+//! deterministic in the master seed *and independent of the thread count*:
+//! topologies, per-trial seeds and cell order all derive from the seed, and
+//! [`CampaignResult::to_json`] renders through the order-preserving
+//! [`crate::json`] writer, so the same `(campaign, seed)` pair always
+//! produces a byte-identical results file.
 
-use crate::harness::{mean, parallel_trials, Table};
+use crate::executor;
+use crate::harness::Table;
 use crate::json::Json;
 use crate::registry::{model_name, ProtocolSpec, ScenarioSpec};
+use crate::sink::MemorySink;
 use rn_graph::TopologySpec;
 use rn_sim::{rng, CollisionModel, FaultPlan, NetParams, TrialRecord};
 
@@ -113,75 +126,128 @@ impl Campaign {
         Ok(())
     }
 
-    /// Runs every cell, parallelizing trials within each cell.
+    /// Enumerates the full axis cross into the ordered list of cells to run
+    /// — a pure function of the campaign and the master seed, with no graph
+    /// building or trial execution.
     ///
-    /// Each topology is built once (from a seed derived off `master_seed`
-    /// and the topology's position) and shared by all its cells; each trial
-    /// seed derives from the master seed, the cell index and the trial
-    /// index, so any single trial can be reproduced in isolation. Faulted
-    /// cells run through [`rn_sim::Runnable::run_trial_under_faults`], so
-    /// the same fault schedule semantics apply to every protocol uniformly.
-    pub fn run(&self, master_seed: u64) -> CampaignResult {
+    /// The enumeration preserves the original runner's semantics exactly:
+    ///
+    /// * **seed streams** — every axis position (topology × protocol × model
+    ///   × fault, in nested-loop order) owns one slot of the cell-seed
+    ///   stream whether or not it runs, so adding a model or fault plan
+    ///   never reseeds later cells;
+    /// * **model dedup** — axis values whose [`rn_sim::Runnable::
+    ///   effective_model`] collapses onto an already-planned model for the
+    ///   same (topology, protocol) are skipped (their seed slot is still
+    ///   consumed), keeping `(topology, protocol, model, faults)` keys
+    ///   unique.
+    pub fn plan_cells(&self, master_seed: u64) -> Vec<CellSpec> {
         let mut cells = Vec::with_capacity(self.num_cells());
         let mut cell_index = 0u64;
         for (ti, topo) in self.topologies.iter().enumerate() {
-            let g = topo.build(rng::derive(master_seed, 0x7070_0000 + ti as u64));
-            let net = NetParams::new(g.n(), g.diameter_double_sweep());
             for proto in &self.protocols {
                 let runnable = proto.instantiate();
                 let mut models_run = Vec::with_capacity(self.models.len());
                 for &requested in &self.models {
-                    // Scenarios whose probe dictates a fixed model (e.g. beep
-                    // waves need CD) remap the axis value; the record always
-                    // states the model the trials truly ran under, and axis
-                    // values collapsing onto an already-run model are skipped
-                    // so (topology, protocol, model, faults) keys stay
-                    // unique.
                     let model = runnable.effective_model(requested);
                     let duplicate = models_run.contains(&model);
                     if !duplicate {
                         models_run.push(model);
                     }
                     for &fault in &self.faults {
-                        // Each axis position owns its seed stream whether or
-                        // not it runs, so adding a model or fault plan never
-                        // reseeds later cells.
-                        let cell_seed = rng::derive(master_seed, 0xCE11_0000 + cell_index);
+                        let cell_seed = rng::derive(master_seed, CELL_STREAM + cell_index);
                         cell_index += 1;
                         if duplicate {
                             continue;
                         }
-                        let records = parallel_trials(self.plan.trials, |i| {
-                            runnable.run_trial_under_faults(
-                                &g,
-                                net,
-                                model,
-                                rng::derive(cell_seed, i),
-                                &fault,
-                            )
-                        });
-                        cells.push(CellResult::aggregate(
-                            topo.to_string(),
-                            runnable.name(),
+                        cells.push(CellSpec {
+                            order: cells.len(),
+                            topology_index: ti,
+                            topology: topo.clone(),
+                            topology_seed: rng::derive(master_seed, TOPOLOGY_STREAM + ti as u64),
+                            protocol: proto.clone(),
                             model,
-                            fault,
-                            net,
-                            &records,
-                        ));
+                            faults: fault,
+                            cell_seed,
+                        });
                     }
                 }
             }
         }
-        CampaignResult {
-            id: self.id.clone(),
-            master_seed,
-            trials_per_cell: self.plan.trials,
-            cells,
-        }
+        cells
+    }
+
+    /// Runs every cell in memory with the default thread budget (see
+    /// [`crate::executor::resolve_threads`]) and returns the aggregated
+    /// result. Convenience wrapper over [`Campaign::run_with_threads`].
+    pub fn run(&self, master_seed: u64) -> CampaignResult {
+        self.run_with_threads(master_seed, executor::resolve_threads(None))
+    }
+
+    /// Runs every cell on `threads` worker threads, collecting results in
+    /// memory. The output is a pure function of `(self, master_seed)` —
+    /// byte-identical JSON for any thread count.
+    ///
+    /// Cells *and* trials share one work queue: a single-cell campaign still
+    /// saturates the budget, and a wide sweep overlaps cells. Each topology
+    /// is built once (from a seed derived off `master_seed` and the
+    /// topology's position) and shared by all its cells; each trial seed
+    /// derives from the cell seed and the trial index, so any single trial
+    /// can be reproduced in isolation. Faulted cells run through
+    /// [`rn_sim::Runnable::run_trial_under_faults`], so the same fault
+    /// schedule semantics apply to every protocol uniformly.
+    ///
+    /// To stream cells to a sink instead of collecting them (bounded
+    /// memory), use [`crate::executor::execute`] directly.
+    pub fn run_with_threads(&self, master_seed: u64, threads: usize) -> CampaignResult {
+        let mut sink = MemorySink::new();
+        executor::execute(self, master_seed, threads, &mut sink)
+            .expect("the in-memory sink cannot fail");
+        sink.into_result()
     }
 }
 
-/// Mean/min/max summary of one per-trial quantity.
+/// Seed stream for building the topology at a given axis position.
+pub(crate) const TOPOLOGY_STREAM: u64 = 0x7070_0000;
+/// Seed stream for the cell at a given axis-cross index.
+pub(crate) const CELL_STREAM: u64 = 0xCE11_0000;
+
+/// One planned campaign cell: pure data describing *what* to run — produced
+/// by [`Campaign::plan_cells`], consumed by [`crate::executor`]. Carries
+/// every derived seed so a cell (or any single trial inside it) can be
+/// reproduced in isolation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellSpec {
+    /// Position in the deterministic plan order (results are emitted in
+    /// this order regardless of completion order).
+    pub order: usize,
+    /// Index into [`Campaign::topologies`] — cells sharing it share one
+    /// built graph.
+    pub topology_index: usize,
+    /// The topology to build.
+    pub topology: TopologySpec,
+    /// Seed the topology is built from.
+    pub topology_seed: u64,
+    /// The protocol to instantiate.
+    pub protocol: ProtocolSpec,
+    /// The *effective* collision model the cell runs under.
+    pub model: CollisionModel,
+    /// The fault plan applied to every trial.
+    pub faults: FaultPlan,
+    /// Seed of the cell's trial stream (trial `i` runs under
+    /// `rng::derive(cell_seed, i)`).
+    pub cell_seed: u64,
+}
+
+/// Mean/min/max/stddev summary of one per-trial quantity, computed in a
+/// single pass (Welford's algorithm for the moments — numerically stable
+/// even when the mean is large and the spread small, unlike the naive
+/// sum-of-squares form).
+///
+/// `stddev` is the *sample* standard deviation (`n-1` denominator; `0` for
+/// fewer than two trials) — the additive `"stddev"` field of the
+/// `rn-bench-results/v1` schema that `bench-diff` derives its noise band
+/// from.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CellStats {
     /// Mean over trials.
@@ -190,16 +256,35 @@ pub struct CellStats {
     pub min: u64,
     /// Maximum over trials.
     pub max: u64,
+    /// Sample standard deviation over trials (0 when trials < 2).
+    pub stddev: f64,
 }
 
 impl CellStats {
-    fn over(values: impl Iterator<Item = u64> + Clone) -> CellStats {
-        let xs: Vec<f64> = values.clone().map(|v| v as f64).collect();
-        CellStats {
-            mean: mean(&xs),
-            min: values.clone().min().unwrap_or(0),
-            max: values.max().unwrap_or(0),
+    /// Accumulates all four statistics in one pass over `values`, in
+    /// iteration order. (The previous implementation cloned the iterator for
+    /// three separate passes and allocated a scratch `Vec<f64>` per quantity
+    /// per cell.)
+    pub fn over(values: impl IntoIterator<Item = u64>) -> CellStats {
+        let mut count = 0u64;
+        let mut mean = 0.0f64;
+        let mut m2 = 0.0f64;
+        let mut min = u64::MAX;
+        let mut max = 0u64;
+        for v in values {
+            count += 1;
+            let x = v as f64;
+            let delta = x - mean;
+            mean += delta / count as f64;
+            m2 += delta * (x - mean);
+            min = min.min(v);
+            max = max.max(v);
         }
+        if count == 0 {
+            return CellStats { mean: 0.0, min: 0, max: 0, stddev: 0.0 };
+        }
+        let stddev = if count > 1 { (m2 / (count - 1) as f64).max(0.0).sqrt() } else { 0.0 };
+        CellStats { mean, min, max, stddev }
     }
 
     fn to_json(self) -> Json {
@@ -207,6 +292,7 @@ impl CellStats {
             ("mean", Json::Num(self.mean)),
             ("min", Json::UInt(self.min)),
             ("max", Json::UInt(self.max)),
+            ("stddev", Json::Num(self.stddev)),
         ])
     }
 }
@@ -241,7 +327,10 @@ pub struct CellResult {
 }
 
 impl CellResult {
-    fn aggregate(
+    /// Aggregates one cell's trial records (in trial order — the statistics
+    /// are order-sensitive in floating point, so the executor always hands
+    /// records over sorted by trial index).
+    pub(crate) fn aggregate(
         topology: String,
         protocol: String,
         model: CollisionModel,
@@ -265,7 +354,9 @@ impl CellResult {
         }
     }
 
-    fn to_json(&self) -> Json {
+    /// The cell's JSON record (one element of the results file's `cells`
+    /// array; the streaming sink emits these one at a time).
+    pub(crate) fn to_json(&self) -> Json {
         Json::obj(vec![
             ("topology", Json::Str(self.topology.clone())),
             ("protocol", Json::Str(self.protocol.clone())),
@@ -399,6 +490,11 @@ pub fn validate_results(doc: &Json) -> Result<String, String> {
                     .and_then(Json::as_f64)
                     .ok_or(format!("cell {i}: {key}.{sub} missing or non-numeric"))?;
             }
+            // Additive v1 field: absent in pre-stddev files, numeric when
+            // present (bench-diff falls back to a zero band without it).
+            if let Some(sd) = stats.get("stddev") {
+                sd.as_f64().ok_or(format!("cell {i}: {key}.stddev must be numeric"))?;
+            }
         }
     }
     Ok(format!("{id}: {} cell(s), schema {RESULTS_SCHEMA}", cells.len()))
@@ -408,6 +504,7 @@ pub fn validate_results(doc: &Json) -> Result<String, String> {
 mod tests {
     use super::*;
     use crate::registry::{ProbeSpec, ProtocolKind};
+    use rn_core::SourcePlacement;
 
     fn tiny_campaign() -> Campaign {
         Campaign {
@@ -491,9 +588,10 @@ mod tests {
         campaign.faults = vec![FaultPlan::jam(10, 0.5)];
         let err = campaign.validate().unwrap_err();
         assert!(err.contains("10 jammers") && err.contains("star(9)"), "{err}");
-        // Same guard for compete(K) sources.
+        // Same guard for compete(K) sources, whatever the placement.
         campaign.faults = Campaign::no_faults();
-        campaign.protocols = vec![ProtocolSpec::plain(ProtocolKind::Compete(10))];
+        campaign.protocols =
+            vec![ProtocolSpec::plain(ProtocolKind::Compete(10, SourcePlacement::Corner))];
         let err = campaign.validate().unwrap_err();
         assert!(err.contains("10 distinct source nodes"), "{err}");
     }
@@ -523,6 +621,83 @@ mod tests {
             r.cells.iter().map(|c| (c.topology.clone(), c.protocol.clone(), c.model)).collect();
         keys.dedup();
         assert_eq!(keys.len(), r.cells.len());
+    }
+
+    #[test]
+    fn plan_preserves_axis_order_seed_streams_and_dedup() {
+        // Same dedup shape as the model-collapsing test above, but checked
+        // on the pure plan: beep remaps both axis values onto CD (one cell),
+        // bgi keeps both. Seed slots are burned per axis *position* —
+        // including the skipped duplicate — in nested-loop order.
+        let campaign = Campaign {
+            id: "plan".into(),
+            topologies: vec![TopologySpec::Grid { w: 6, h: 6 }],
+            protocols: vec![
+                ProtocolSpec::plain(ProtocolKind::BinsearchLe(ProbeSpec::Beep)),
+                ProtocolSpec::plain(ProtocolKind::Bgi),
+            ],
+            models: vec![CollisionModel::NoCollisionDetection, CollisionModel::CollisionDetection],
+            faults: Campaign::no_faults(),
+            plan: TrialPlan::new(1),
+        };
+        let plan = campaign.plan_cells(4);
+        assert_eq!(plan.len(), 3);
+        assert_eq!(plan[0].protocol.to_string(), "binsearch_le(beep)");
+        assert_eq!(plan[0].model, CollisionModel::CollisionDetection);
+        // Axis positions 0..4; position 1 (beep × cd, a duplicate) consumed
+        // its seed slot without planning a cell.
+        assert_eq!(plan[0].cell_seed, rng::derive(4, CELL_STREAM));
+        assert_eq!(plan[1].cell_seed, rng::derive(4, CELL_STREAM + 2));
+        assert_eq!(plan[2].cell_seed, rng::derive(4, CELL_STREAM + 3));
+        // Emit order and topology sharing are explicit in the spec.
+        assert!(plan.iter().enumerate().all(|(i, c)| c.order == i));
+        assert!(plan.iter().all(|c| c.topology_index == 0));
+        assert_eq!(plan[0].topology_seed, rng::derive(4, TOPOLOGY_STREAM));
+    }
+
+    #[test]
+    fn cell_stats_single_pass_matches_the_naive_computation() {
+        // Regression for the 3-pass + Vec<f64> CellStats::over: one pass
+        // over a large synthetic trial set must reproduce the naive mean and
+        // the definitional sample stddev. Values sit on a large offset with
+        // a small spread — the regime where a sum-of-squares shortcut
+        // catastrophically cancels.
+        let values: Vec<u64> = (0..100_000u64).map(|i| 1_000_000 + i % 1000).collect();
+        let s = CellStats::over(values.iter().copied());
+        let naive_mean = values.iter().map(|&v| v as f64).sum::<f64>() / values.len() as f64;
+        let naive_var = values.iter().map(|&v| (v as f64 - naive_mean).powi(2)).sum::<f64>()
+            / (values.len() - 1) as f64;
+        assert!((s.mean - naive_mean).abs() < 1e-6, "mean {} vs {naive_mean}", s.mean);
+        assert!(
+            (s.stddev - naive_var.sqrt()).abs() / naive_var.sqrt() < 1e-9,
+            "stddev {} vs {}",
+            s.stddev,
+            naive_var.sqrt()
+        );
+        assert_eq!(s.min, 1_000_000);
+        assert_eq!(s.max, 1_000_999);
+        // Degenerate inputs stay well-defined.
+        assert_eq!(
+            CellStats::over(std::iter::empty()),
+            CellStats { mean: 0.0, min: 0, max: 0, stddev: 0.0 }
+        );
+        let one = CellStats::over([42u64]);
+        assert_eq!((one.mean, one.min, one.max, one.stddev), (42.0, 42, 42, 0.0));
+    }
+
+    #[test]
+    fn stddev_is_recorded_in_the_json_stats() {
+        let r = tiny_campaign().run(5);
+        let doc = Json::parse(&r.to_json()).expect("parses");
+        let cells = doc.get("cells").and_then(Json::as_arr).expect("cells");
+        let rounds = cells[0].get("rounds").expect("rounds stats");
+        let sd = rounds.get("stddev").and_then(Json::as_f64).expect("stddev present");
+        assert!(sd >= 0.0);
+        validate_results(&doc).expect("stddev field is schema-valid");
+        // A malformed stddev is rejected.
+        let bad = r.to_json().replacen("\"stddev\":", "\"stddev\":\"x\",\"old\":", 1);
+        let doc = Json::parse(&bad).expect("parses");
+        assert!(validate_results(&doc).is_err());
     }
 
     #[test]

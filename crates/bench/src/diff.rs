@@ -1,0 +1,327 @@
+//! Cross-run regression detection: compares two `rn-bench-results/v1`
+//! documents cell-by-cell and flags mean-rounds movements that exceed trial
+//! noise.
+//!
+//! Cells are keyed on `topology × protocol × model × faults`. For a matched
+//! pair the mean-rounds delta is judged against a noise band derived from
+//! the recorded per-cell `stddev` and trial counts: the standard error of a
+//! difference of means,
+//!
+//! ```text
+//! band = sigma · sqrt(s_a²/t_a + s_b²/t_b)
+//! ```
+//!
+//! with `sigma` the caller's confidence multiplier (default 3). Files
+//! predating the `stddev` field get a zero-width band, so *any* movement is
+//! flagged — strict, but honest about having no noise estimate. A cell
+//! present in the baseline but missing from the new run counts as a
+//! regression (coverage loss must fail loudly); cells only in the new run
+//! are reported informationally.
+//!
+//! The `bench-diff` binary wraps this module: markdown report to stdout,
+//! exit code 1 when [`DiffReport::has_regressions`].
+
+use crate::campaign::validate_results;
+use crate::harness::Table;
+use crate::json::Json;
+
+/// Default confidence multiplier for the noise band (≈ 3 standard errors).
+pub const DEFAULT_SIGMA: f64 = 3.0;
+
+/// How one baseline/new cell pair compares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiffStatus {
+    /// Mean rounds rose beyond the noise band — the failure condition.
+    Regressed,
+    /// Mean rounds fell beyond the noise band.
+    Improved,
+    /// The delta is within the noise band.
+    WithinNoise,
+    /// The cell exists in the baseline but not in the new run (treated as a
+    /// regression: coverage was lost).
+    MissingInNew,
+    /// The cell exists only in the new run (informational).
+    NewOnly,
+}
+
+impl DiffStatus {
+    /// Short human label for the report table.
+    pub fn label(self) -> &'static str {
+        match self {
+            DiffStatus::Regressed => "REGRESSED",
+            DiffStatus::Improved => "improved",
+            DiffStatus::WithinNoise => "ok",
+            DiffStatus::MissingInNew => "MISSING",
+            DiffStatus::NewOnly => "new",
+        }
+    }
+}
+
+/// One row of the comparison: a cell key and how its mean rounds moved.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffRow {
+    /// `topology × protocol × model × faults` key.
+    pub key: String,
+    /// Baseline mean rounds (`None` for [`DiffStatus::NewOnly`]).
+    pub base_mean: Option<f64>,
+    /// New mean rounds (`None` for [`DiffStatus::MissingInNew`]).
+    pub new_mean: Option<f64>,
+    /// Half-width of the noise band the delta was judged against.
+    pub noise: f64,
+    /// The verdict.
+    pub status: DiffStatus,
+}
+
+impl DiffRow {
+    /// `new_mean - base_mean` when both sides exist.
+    pub fn delta(&self) -> Option<f64> {
+        Some(self.new_mean? - self.base_mean?)
+    }
+}
+
+/// Full comparison of two results documents.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffReport {
+    /// Baseline document id.
+    pub base_id: String,
+    /// New document id.
+    pub new_id: String,
+    /// The sigma multiplier the bands used.
+    pub sigma: f64,
+    /// One row per cell key, in baseline order (new-only cells last).
+    pub rows: Vec<DiffRow>,
+}
+
+impl DiffReport {
+    /// Whether any row fails the gate (regressed or missing coverage).
+    pub fn has_regressions(&self) -> bool {
+        self.rows
+            .iter()
+            .any(|r| matches!(r.status, DiffStatus::Regressed | DiffStatus::MissingInNew))
+    }
+
+    /// Count of rows with the given status.
+    pub fn count(&self, status: DiffStatus) -> usize {
+        self.rows.iter().filter(|r| r.status == status).count()
+    }
+
+    /// Renders the comparison as a markdown table with a verdict footnote.
+    pub fn to_markdown(&self) -> String {
+        let mut t = Table::new(
+            format!("bench-diff: {} → {} (±{}σ noise band)", self.base_id, self.new_id, self.sigma),
+            &["cell", "base mean", "new mean", "delta", "band", "verdict"],
+        );
+        let num = |v: Option<f64>| v.map_or_else(|| "-".to_string(), |x| format!("{x:.1}"));
+        for r in &self.rows {
+            let delta = r.delta().map_or_else(
+                || "-".to_string(),
+                |d| format!("{}{:.1}", if d >= 0.0 { "+" } else { "" }, d),
+            );
+            t.row(&[
+                r.key.clone(),
+                num(r.base_mean),
+                num(r.new_mean),
+                delta,
+                format!("±{:.1}", r.noise),
+                r.status.label().to_string(),
+            ]);
+        }
+        t.note(if self.has_regressions() {
+            format!(
+                "FAIL: {} regressed, {} missing (of {} cells)",
+                self.count(DiffStatus::Regressed),
+                self.count(DiffStatus::MissingInNew),
+                self.rows.len()
+            )
+        } else {
+            format!(
+                "PASS: {} cells — {} within noise, {} improved, {} new",
+                self.rows.len(),
+                self.count(DiffStatus::WithinNoise),
+                self.count(DiffStatus::Improved),
+                self.count(DiffStatus::NewOnly)
+            )
+        });
+        t.to_markdown()
+    }
+}
+
+/// A cell's comparison-relevant numbers.
+struct CellNums {
+    key: String,
+    mean: f64,
+    stddev: f64,
+    trials: f64,
+}
+
+fn extract(doc: &Json) -> Result<(String, Vec<CellNums>), String> {
+    validate_results(doc)?;
+    let id = doc.get("id").and_then(Json::as_str).expect("validated above").to_string();
+    let cells = doc.get("cells").and_then(Json::as_arr).expect("validated above");
+    let mut out = Vec::with_capacity(cells.len());
+    for cell in cells {
+        let s = |k: &str| cell.get(k).and_then(Json::as_str).expect("validated above");
+        // `faults` is additive in v1: absent means the pre-fault-axis
+        // fault-free default, which keys identically to "none".
+        let faults = cell.get("faults").and_then(Json::as_str).unwrap_or("none");
+        let rounds = cell.get("rounds").expect("validated above");
+        out.push(CellNums {
+            key: format!("{} × {} × {} × {}", s("topology"), s("protocol"), s("model"), faults),
+            mean: rounds.get("mean").and_then(Json::as_f64).expect("validated above"),
+            stddev: rounds.get("stddev").and_then(Json::as_f64).unwrap_or(0.0),
+            trials: cell.get("trials").and_then(Json::as_u64).expect("validated above") as f64,
+        });
+    }
+    Ok((id, out))
+}
+
+/// Compares `base` and `new` (parsed results documents) under a `sigma`
+/// noise multiplier.
+///
+/// # Errors
+///
+/// A schema-validation message if either document is not a well-formed
+/// `rn-bench-results/v1` file, or a description of duplicate cell keys.
+pub fn diff_results(base: &Json, new: &Json, sigma: f64) -> Result<DiffReport, String> {
+    let (base_id, base_cells) = extract(base)?;
+    let (new_id, new_cells) = extract(new)?;
+    for cells in [&base_cells, &new_cells] {
+        let mut keys: Vec<&str> = cells.iter().map(|c| c.key.as_str()).collect();
+        keys.sort_unstable();
+        if let Some(w) = keys.windows(2).find(|w| w[0] == w[1]) {
+            return Err(format!("duplicate cell key {:?} (not a valid campaign cross)", w[0]));
+        }
+    }
+    let mut rows = Vec::with_capacity(base_cells.len());
+    for b in &base_cells {
+        let row = match new_cells.iter().find(|n| n.key == b.key) {
+            None => DiffRow {
+                key: b.key.clone(),
+                base_mean: Some(b.mean),
+                new_mean: None,
+                noise: 0.0,
+                status: DiffStatus::MissingInNew,
+            },
+            Some(n) => {
+                let noise = sigma
+                    * (b.stddev * b.stddev / b.trials.max(1.0)
+                        + n.stddev * n.stddev / n.trials.max(1.0))
+                    .sqrt();
+                let delta = n.mean - b.mean;
+                let status = if delta > noise {
+                    DiffStatus::Regressed
+                } else if -delta > noise {
+                    DiffStatus::Improved
+                } else {
+                    DiffStatus::WithinNoise
+                };
+                DiffRow {
+                    key: b.key.clone(),
+                    base_mean: Some(b.mean),
+                    new_mean: Some(n.mean),
+                    noise,
+                    status,
+                }
+            }
+        };
+        rows.push(row);
+    }
+    for n in &new_cells {
+        if !base_cells.iter().any(|b| b.key == n.key) {
+            rows.push(DiffRow {
+                key: n.key.clone(),
+                base_mean: None,
+                new_mean: Some(n.mean),
+                noise: 0.0,
+                status: DiffStatus::NewOnly,
+            });
+        }
+    }
+    Ok(DiffReport { base_id, new_id, sigma, rows })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A minimal schema-valid document with one tweakable cell.
+    fn doc(mean: f64, stddev: f64, trials: u64, protocol: &str) -> String {
+        format!(
+            r#"{{"schema":"rn-bench-results/v1","id":"unit","master_seed":1,"trials_per_cell":{trials},"cells":[{{"topology":"grid(4x4)","protocol":"{protocol}","model":"nocd","faults":"none","n":16,"diameter":6,"trials":{trials},"completed":{trials},"rounds":{{"mean":{mean},"min":1,"max":9,"stddev":{stddev}}},"deliveries":{{"mean":1,"min":1,"max":1,"stddev":0}},"collisions":{{"mean":1,"min":1,"max":1,"stddev":0}},"transmissions":{{"mean":1,"min":1,"max":1,"stddev":0}}}}]}}"#
+        )
+    }
+
+    fn parse(s: &str) -> Json {
+        Json::parse(s).expect("test doc parses")
+    }
+
+    #[test]
+    fn identical_files_report_zero_regressions() {
+        let a = parse(&doc(100.0, 5.0, 10, "bgi"));
+        let r = diff_results(&a, &a, DEFAULT_SIGMA).expect("diffs");
+        assert!(!r.has_regressions());
+        assert_eq!(r.count(DiffStatus::WithinNoise), 1);
+        assert!(r.to_markdown().contains("PASS"), "{}", r.to_markdown());
+    }
+
+    #[test]
+    fn regression_beyond_the_noise_band_is_flagged() {
+        // band = 3·sqrt(25/10 + 25/10) ≈ 6.7; a +50 move is far outside.
+        let a = parse(&doc(100.0, 5.0, 10, "bgi"));
+        let b = parse(&doc(150.0, 5.0, 10, "bgi"));
+        let r = diff_results(&a, &b, DEFAULT_SIGMA).expect("diffs");
+        assert!(r.has_regressions());
+        assert_eq!(r.rows[0].status, DiffStatus::Regressed);
+        assert_eq!(r.rows[0].delta(), Some(50.0));
+        assert!(r.to_markdown().contains("REGRESSED"));
+        // The same move downward is an improvement, not a failure.
+        let r = diff_results(&b, &a, DEFAULT_SIGMA).expect("diffs");
+        assert!(!r.has_regressions());
+        assert_eq!(r.rows[0].status, DiffStatus::Improved);
+    }
+
+    #[test]
+    fn small_moves_stay_within_noise_and_zero_stddev_is_strict() {
+        // +4 against a ±6.7 band: noise.
+        let a = parse(&doc(100.0, 5.0, 10, "bgi"));
+        let b = parse(&doc(104.0, 5.0, 10, "bgi"));
+        let r = diff_results(&a, &b, DEFAULT_SIGMA).expect("diffs");
+        assert_eq!(r.rows[0].status, DiffStatus::WithinNoise);
+        // stddev 0 (deterministic cells or pre-stddev files): any upward
+        // movement is out of band.
+        let a = parse(&doc(100.0, 0.0, 10, "bgi"));
+        let b = parse(&doc(100.5, 0.0, 10, "bgi"));
+        assert!(diff_results(&a, &b, DEFAULT_SIGMA).expect("diffs").has_regressions());
+    }
+
+    #[test]
+    fn missing_cells_fail_and_new_cells_inform() {
+        let a = parse(&doc(100.0, 5.0, 10, "bgi"));
+        let b = parse(&doc(100.0, 5.0, 10, "truncated"));
+        let r = diff_results(&a, &b, DEFAULT_SIGMA).expect("diffs");
+        assert!(r.has_regressions(), "losing a baseline cell must fail the gate");
+        assert_eq!(r.count(DiffStatus::MissingInNew), 1);
+        assert_eq!(r.count(DiffStatus::NewOnly), 1);
+        let md = r.to_markdown();
+        assert!(md.contains("MISSING") && md.contains("new"), "{md}");
+    }
+
+    #[test]
+    fn pre_stddev_files_diff_with_a_zero_band() {
+        // Drop the stddev fields entirely (a PR-3-era file): still diffs.
+        let old = doc(100.0, 0.0, 10, "bgi").replace(",\"stddev\":0}", "}");
+        assert!(!old.contains("stddev"));
+        let a = parse(&old);
+        let r = diff_results(&a, &a, DEFAULT_SIGMA).expect("old schema diffs");
+        assert!(!r.has_regressions());
+        assert_eq!(r.rows[0].noise, 0.0);
+    }
+
+    #[test]
+    fn invalid_documents_are_rejected() {
+        let good = parse(&doc(1.0, 0.0, 1, "bgi"));
+        let bad = parse(r#"{"schema":"other/v9","id":"x","master_seed":1,"cells":[{}]}"#);
+        assert!(diff_results(&bad, &good, 3.0).is_err());
+        assert!(diff_results(&good, &bad, 3.0).is_err());
+    }
+}

@@ -1,0 +1,298 @@
+//! The campaign executor: a work-queue of worker threads over *trial units*
+//! of a planned campaign.
+//!
+//! [`execute`] turns a [`Campaign`]'s plan (see [`Campaign::plan_cells`])
+//! into `cells × trials` work units claimed off a single atomic cursor, so
+//! parallelism covers both axes at once: a one-cell `--scenario` run
+//! saturates the thread budget with its trials, while a wide sweep overlaps
+//! many cells. Each topology's graph is built exactly once (lazily, by the
+//! first worker to need it) and shared read-only by every cell on it.
+//!
+//! Determinism: every trial's seed comes from the plan
+//! (`derive(cell_seed, trial)`), never from execution order, and each cell
+//! aggregates its records in trial order — so results are byte-identical
+//! for any thread count. Finished cells pass through a small reorder buffer
+//! that releases them to the [`CampaignSink`] in plan order as soon as they
+//! are contiguous, keeping sink memory proportional to the cells in flight
+//! rather than the whole sweep.
+//!
+//! Fault injection on this path is **explicit**: the worker resolves the
+//! cell's [`rn_sim::FaultPlan`] per trial and the schedule travels by
+//! parameter into [`rn_sim::Runnable::run_trial_scheduled`] — no
+//! thread-local ambient state, so trials are safe to run from any worker.
+
+use crate::campaign::{Campaign, CellResult};
+use crate::sink::{CampaignSink, RunHeader};
+use rn_graph::Graph;
+use rn_sim::{rng, NetParams, Runnable, TrialRecord};
+use std::collections::BTreeMap;
+use std::io;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Environment variable consulted by [`resolve_threads`] when no explicit
+/// budget is given (the `--threads` CLI flag wins over it).
+pub const THREADS_ENV: &str = "RN_BENCH_THREADS";
+
+/// Resolves the worker-thread budget: an explicit request (CLI `--threads`)
+/// wins, then a positive integer in [`THREADS_ENV`], then the machine's
+/// available parallelism capped at 16. Always at least 1; malformed
+/// environment values are ignored.
+pub fn resolve_threads(explicit: Option<usize>) -> usize {
+    if let Some(t) = explicit {
+        return t.max(1);
+    }
+    if let Some(t) = std::env::var(THREADS_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&t| t >= 1)
+    {
+        return t;
+    }
+    std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4).min(16)
+}
+
+/// Per-cell trial accumulator: slots filled as workers finish trials, handed
+/// over (in trial order) once the last one lands.
+struct CellAccum {
+    records: Vec<Option<TrialRecord>>,
+    done: usize,
+}
+
+/// The in-order release valve between out-of-order cell completion and the
+/// strictly ordered sink.
+struct Emitter<'s> {
+    next: usize,
+    pending: BTreeMap<usize, CellResult>,
+    sink: &'s mut dyn CampaignSink,
+    error: Option<io::Error>,
+}
+
+impl Emitter<'_> {
+    fn push(&mut self, order: usize, cell: CellResult) {
+        self.pending.insert(order, cell);
+        while let Some(ready) = self.pending.remove(&self.next) {
+            self.next += 1;
+            if self.error.is_none() {
+                if let Err(e) = self.sink.cell(&ready) {
+                    // Keep draining (workers must not deadlock on a full
+                    // buffer) but stop writing; the first error surfaces
+                    // from execute().
+                    self.error = Some(e);
+                }
+            }
+        }
+    }
+}
+
+/// Runs `campaign` on `threads` workers, emitting cells to `sink` in plan
+/// order. Returns the number of cells emitted.
+///
+/// Output is a pure function of `(campaign, master_seed)` — the thread count
+/// affects wall-clock only. See the [module docs](self) for the execution
+/// model.
+///
+/// # Errors
+///
+/// The first sink I/O error. The work queue is drained on error — each
+/// worker finishes at most its in-flight trial — so a full disk does not
+/// burn the rest of a large sweep.
+///
+/// # Panics
+///
+/// Propagates panics from trial workers (a protocol bug or an invalid
+/// campaign assembled without [`Campaign::validate`]).
+pub fn execute(
+    campaign: &Campaign,
+    master_seed: u64,
+    threads: usize,
+    sink: &mut dyn CampaignSink,
+) -> io::Result<usize> {
+    let plan = campaign.plan_cells(master_seed);
+    sink.begin(&RunHeader {
+        id: campaign.id.clone(),
+        master_seed,
+        trials_per_cell: campaign.plan.trials,
+    })?;
+    let trials = usize::try_from(campaign.plan.trials).expect("trial count fits in memory");
+    let total = plan.len() * trials;
+    let emitted = plan.len();
+
+    // `TrialPlan::new` guarantees ≥ 1 trial, but the field is public: with
+    // zero trials there are no work units, so emit every cell's (empty,
+    // zero-stat) aggregate directly — the pre-executor runner's behavior.
+    if trials == 0 {
+        for spec in &plan {
+            let g = spec.topology.build(spec.topology_seed);
+            let net = NetParams::new(g.n(), g.diameter_double_sweep());
+            let cell = CellResult::aggregate(
+                spec.topology.to_string(),
+                spec.protocol.instantiate().name(),
+                spec.model,
+                spec.faults,
+                net,
+                &[],
+            );
+            sink.cell(&cell)?;
+        }
+        sink.finish()?;
+        return Ok(emitted);
+    }
+
+    // One lazily built graph per topology axis position, shared by all its
+    // cells; OnceLock makes the first worker to need it the builder.
+    let graphs: Vec<OnceLock<(Graph, NetParams)>> =
+        (0..campaign.topologies.len()).map(|_| OnceLock::new()).collect();
+    let cursor = AtomicUsize::new(0);
+    let accums: Vec<Mutex<CellAccum>> =
+        plan.iter().map(|_| Mutex::new(CellAccum { records: Vec::new(), done: 0 })).collect();
+    let emitter = Mutex::new(Emitter { next: 0, pending: BTreeMap::new(), sink, error: None });
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads.max(1).min(total.max(1)) {
+            scope.spawn(|| loop {
+                let unit = cursor.fetch_add(1, Ordering::Relaxed);
+                if unit >= total {
+                    break;
+                }
+                let (ci, ti) = (unit / trials, unit % trials);
+                let spec = &plan[ci];
+                let (g, net) = graphs[spec.topology_index].get_or_init(|| {
+                    let g = spec.topology.build(spec.topology_seed);
+                    let net = NetParams::new(g.n(), g.diameter_double_sweep());
+                    (g, net)
+                });
+                let runnable: Box<dyn Runnable> = spec.protocol.instantiate();
+                let record = runnable.run_trial_under_faults(
+                    g,
+                    *net,
+                    spec.model,
+                    rng::derive(spec.cell_seed, ti as u64),
+                    &spec.faults,
+                );
+                let complete = {
+                    let mut acc = accums[ci].lock().expect("cell accumulator lock");
+                    if acc.records.is_empty() {
+                        acc.records = vec![None; trials];
+                    }
+                    debug_assert!(acc.records[ti].is_none(), "trial unit claimed twice");
+                    acc.records[ti] = Some(record);
+                    acc.done += 1;
+                    (acc.done == trials).then(|| std::mem::take(&mut acc.records))
+                };
+                if let Some(slots) = complete {
+                    // Aggregate in trial order, whatever order workers
+                    // finished in — the statistics are order-sensitive in
+                    // floating point.
+                    let records: Vec<TrialRecord> =
+                        slots.into_iter().map(|r| r.expect("all trial slots filled")).collect();
+                    let cell = CellResult::aggregate(
+                        spec.topology.to_string(),
+                        runnable.name(),
+                        spec.model,
+                        spec.faults,
+                        *net,
+                        &records,
+                    );
+                    let failed = {
+                        let mut em = emitter.lock().expect("emitter lock");
+                        em.push(spec.order, cell);
+                        em.error.is_some()
+                    };
+                    if failed {
+                        // Drain the queue: nothing written past the first
+                        // error is useful, so stop handing out units.
+                        cursor.store(total, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+
+    let Emitter { pending, error, next, .. } = emitter.into_inner().expect("emitter lock");
+    if let Some(e) = error {
+        return Err(e);
+    }
+    debug_assert!(pending.is_empty() && next == emitted, "every planned cell must be emitted");
+    sink.finish()?;
+    Ok(emitted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::TrialPlan;
+    use crate::registry::{ProtocolKind, ProtocolSpec};
+    use rn_graph::TopologySpec;
+    use rn_sim::{CollisionModel, FaultPlan};
+
+    fn campaign() -> Campaign {
+        Campaign {
+            id: "executor-unit".into(),
+            topologies: vec![TopologySpec::Grid { w: 5, h: 5 }, TopologySpec::Path(20)],
+            protocols: vec![
+                ProtocolSpec::plain(ProtocolKind::Bgi),
+                ProtocolSpec::plain(ProtocolKind::Decay(3)),
+            ],
+            models: vec![CollisionModel::NoCollisionDetection],
+            faults: vec![FaultPlan::none(), FaultPlan::drop(0.05)],
+            plan: TrialPlan::new(5),
+        }
+    }
+
+    #[test]
+    fn results_are_independent_of_thread_count() {
+        let c = campaign();
+        let baseline = c.run_with_threads(42, 1).to_json();
+        for threads in [2, 3, 8, 32] {
+            assert_eq!(
+                c.run_with_threads(42, threads).to_json(),
+                baseline,
+                "thread count {threads} must not change the bytes"
+            );
+        }
+    }
+
+    #[test]
+    fn single_cell_campaigns_still_use_the_full_budget() {
+        // cells × trials work units: one cell with 8 trials yields 8 units,
+        // so an 8-thread run must produce the same record set as serial.
+        let c = Campaign {
+            id: "one-cell".into(),
+            topologies: vec![TopologySpec::Grid { w: 6, h: 6 }],
+            protocols: vec![ProtocolSpec::plain(ProtocolKind::Bgi)],
+            models: vec![CollisionModel::NoCollisionDetection],
+            faults: Campaign::no_faults(),
+            plan: TrialPlan::new(8),
+        };
+        assert_eq!(c.run_with_threads(7, 8).to_json(), c.run_with_threads(7, 1).to_json());
+    }
+
+    #[test]
+    fn resolve_threads_prefers_explicit_then_env() {
+        assert_eq!(resolve_threads(Some(5)), 5);
+        assert_eq!(resolve_threads(Some(0)), 1, "explicit budgets clamp to ≥ 1");
+        // No explicit budget: whatever the source, the result is positive.
+        assert!(resolve_threads(None) >= 1);
+    }
+
+    #[test]
+    fn zero_trial_plans_emit_zeroed_cells_instead_of_hanging_the_plan() {
+        // TrialPlan::new clamps to ≥ 1, but the field is public; a raw zero
+        // must still emit every planned cell (with empty-trial stats), as
+        // the pre-executor runner did.
+        let c = Campaign { plan: TrialPlan { trials: 0 }, ..campaign() };
+        let r = c.run_with_threads(3, 4);
+        assert_eq!(r.cells.len(), 8, "every planned cell is emitted");
+        assert!(r.cells.iter().all(|cell| cell.trials == 0 && cell.rounds.mean == 0.0));
+        assert_eq!(r.to_json(), c.run_with_threads(3, 1).to_json());
+    }
+
+    #[test]
+    fn oversized_thread_budgets_are_harmless() {
+        let c = Campaign { plan: TrialPlan::new(1), ..campaign() };
+        // 64 threads for 8 units: workers beyond the unit count idle out.
+        let r = c.run_with_threads(3, 64);
+        assert_eq!(r.cells.len(), 8);
+    }
+}

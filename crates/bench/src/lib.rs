@@ -24,18 +24,26 @@
 #![warn(missing_docs)]
 
 pub mod campaign;
+pub mod diff;
+pub mod executor;
 pub mod experiments;
 mod harness;
 pub mod json;
 pub mod presets;
 pub mod registry;
+pub mod sink;
 
 pub use campaign::{
-    validate_results, Campaign, CampaignResult, CellResult, CellStats, TrialPlan, RESULTS_SCHEMA,
+    validate_results, Campaign, CampaignResult, CellResult, CellSpec, CellStats, TrialPlan,
+    RESULTS_SCHEMA,
 };
+pub use diff::{diff_results, DiffReport, DiffStatus};
+pub use executor::resolve_threads;
 pub use harness::{parallel_trials, Table};
 pub use json::{Json, JsonError};
 pub use registry::{
     model_name, parse_model, OverrideKey, Overrides, ProbeSpec, ProtocolKind, ProtocolSpec,
     RegistryError, ScenarioSpec,
 };
+pub use rn_core::SourcePlacement;
+pub use sink::{CampaignSink, JsonStreamSink, MemorySink, RunHeader};

@@ -16,6 +16,7 @@ use crate::campaign::{Campaign, TrialPlan};
 use crate::experiments;
 use crate::harness::Table;
 use crate::registry::{ProbeSpec, ProtocolKind};
+use rn_core::SourcePlacement;
 use rn_graph::TopologySpec;
 use rn_sim::{CollisionModel, FaultPlan};
 
@@ -112,6 +113,11 @@ pub fn presets() -> Vec<Preset> {
             id: "sweep_faults",
             about: "robustness axis: broadcast family vs baselines under jamming and dropout",
             kind: PresetKind::Campaign(sweep_faults),
+        },
+        Preset {
+            id: "sweep_placement",
+            about: "compete(K) source geometry: uniform vs clustered vs corner placement",
+            kind: PresetKind::Campaign(sweep_placement),
         },
     ]
 }
@@ -216,6 +222,24 @@ fn sweep_faults() -> Campaign {
     }
 }
 
+fn sweep_placement() -> Campaign {
+    Campaign {
+        id: "sweep_placement".into(),
+        topologies: vec![
+            TopologySpec::Grid { w: 16, h: 16 },
+            TopologySpec::Path(256),
+            TopologySpec::RingOfCliques { cliques: 8, size: 16 },
+        ],
+        protocols: SourcePlacement::ALL
+            .iter()
+            .map(|&p| ProtocolKind::Compete(4, p).into())
+            .collect(),
+        models: nocd(),
+        faults: Campaign::no_faults(),
+        plan: TrialPlan::new(3),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -226,7 +250,14 @@ mod tests {
         for e in experiments::ALL_IDS {
             assert!(ids.contains(&e), "table preset {e} must stay registered");
         }
-        for c in ["smoke", "sweep_broadcast", "sweep_le", "sweep_models", "sweep_faults"] {
+        for c in [
+            "smoke",
+            "sweep_broadcast",
+            "sweep_le",
+            "sweep_models",
+            "sweep_faults",
+            "sweep_placement",
+        ] {
             assert!(ids.contains(&c), "campaign preset {c} must be registered");
         }
         // Ids are unique.

@@ -9,22 +9,27 @@
 //! algorithm means implementing `Runnable` in its home crate and adding one
 //! arm here — no experiment code changes anywhere.
 //!
-//! Two orthogonal string axes ride on the base grammar:
+//! Three orthogonal string axes ride on the base grammar:
 //!
 //! * **parameter overrides** — Compete-family protocols accept per-cell
 //!   [`CompeteParams`] overrides in braces, e.g. `broadcast{curtail=1e6}` or
 //!   `compete(4){mu=0.2,background=0}` (see [`OverrideKey`] for the key
 //!   set);
+//! * **source placement** — `compete(K)` accepts a placement policy as a
+//!   second argument, e.g. `compete(4,clustered)` or `compete(4,corner)`
+//!   (see [`SourcePlacement`]; `uniform` is the elided default);
 //! * **fault suffixes** — a scenario may append `!jam(K,P)` and/or
 //!   `!drop(P)` after the topology, e.g.
 //!   `broadcast@rgg(500,0.08)!jam(5,0.5)`, parsed into an
 //!   [`rn_sim::FaultPlan`].
 //!
-//! Both round-trip through `Display`/`FromStr` exactly like the base
+//! All round-trip through `Display`/`FromStr` exactly like the base
 //! grammar.
 
 use rn_baselines::{BgiScenario, BinarySearchLeScenario, BroadcastKind, TruncatedScenario};
-use rn_core::{BroadcastScenario, CompeteParams, CompeteScenario, LeaderElectionScenario};
+use rn_core::{
+    BroadcastScenario, CompeteParams, CompeteScenario, LeaderElectionScenario, SourcePlacement,
+};
 use rn_decay::DecayScenario;
 use rn_graph::TopologySpec;
 use rn_sim::{CollisionModel, FaultPlan, Runnable};
@@ -41,9 +46,11 @@ pub enum ProtocolKind {
     Broadcast,
     /// `broadcast_hw` — same pipeline under Haeupler–Wajc curtailment.
     BroadcastHw,
-    /// `compete(K)` — Compete(S) with `K` distinct random sources
-    /// (Theorem 4.1).
-    Compete(usize),
+    /// `compete(K)` / `compete(K,POLICY)` — Compete(S) with `K` distinct
+    /// sources (Theorem 4.1), placed per the [`SourcePlacement`] policy
+    /// (`uniform` — the default, elided in the canonical form — `clustered`
+    /// or `corner`).
+    Compete(usize, SourcePlacement),
     /// `leader_election` — Algorithm 6 (Theorem 5.2).
     LeaderElection,
     /// `bgi` — BGI'92 decay broadcast baseline.
@@ -117,7 +124,7 @@ impl ProtocolKind {
         match self {
             ProtocolKind::Broadcast => 0,
             ProtocolKind::BroadcastHw => 1,
-            ProtocolKind::Compete(_) => 2,
+            ProtocolKind::Compete(..) => 2,
             ProtocolKind::LeaderElection => 3,
             ProtocolKind::Bgi => 4,
             ProtocolKind::Truncated => 5,
@@ -138,7 +145,7 @@ impl ProtocolKind {
             self,
             ProtocolKind::Broadcast
                 | ProtocolKind::BroadcastHw
-                | ProtocolKind::Compete(_)
+                | ProtocolKind::Compete(..)
                 | ProtocolKind::LeaderElection
         )
     }
@@ -147,7 +154,7 @@ impl ProtocolKind {
     /// provide (source placement); 1 for single-source protocols.
     pub fn required_nodes(&self) -> usize {
         match *self {
-            ProtocolKind::Compete(k) => k,
+            ProtocolKind::Compete(k, _) => k,
             _ => 1,
         }
     }
@@ -158,7 +165,8 @@ impl fmt::Display for ProtocolKind {
         match *self {
             ProtocolKind::Broadcast => write!(f, "broadcast"),
             ProtocolKind::BroadcastHw => write!(f, "broadcast_hw"),
-            ProtocolKind::Compete(k) => write!(f, "compete({k})"),
+            ProtocolKind::Compete(k, SourcePlacement::Uniform) => write!(f, "compete({k})"),
+            ProtocolKind::Compete(k, placement) => write!(f, "compete({k},{placement})"),
             ProtocolKind::LeaderElection => write!(f, "leader_election"),
             ProtocolKind::Bgi => write!(f, "bgi"),
             ProtocolKind::Truncated => write!(f, "truncated"),
@@ -198,7 +206,19 @@ impl FromStr for ProtocolKind {
             ("leader_election", None) => Ok(ProtocolKind::LeaderElection),
             ("bgi", None) => Ok(ProtocolKind::Bgi),
             ("truncated", None) => Ok(ProtocolKind::Truncated),
-            ("compete", arg) => Ok(ProtocolKind::Compete(count(arg)?)),
+            ("compete", arg) => {
+                // `compete(K)` or `compete(K,POLICY)` — split off an
+                // optional placement policy before the count parser.
+                let (k_arg, policy) = match arg.map(|a| a.split_once(',')) {
+                    Some(Some((k, p))) => (Some(k.trim()), Some(p.trim())),
+                    _ => (arg, None),
+                };
+                let placement = match policy {
+                    None => SourcePlacement::Uniform,
+                    Some(p) => p.parse().map_err(RegistryError::new)?,
+                };
+                Ok(ProtocolKind::Compete(count(k_arg)?, placement))
+            }
             ("decay", arg) => Ok(ProtocolKind::Decay(count(arg)?)),
             ("decay_trunc", arg) => Ok(ProtocolKind::DecayTrunc(count(arg)?)),
             ("binsearch_le", Some(probe)) => {
@@ -493,7 +513,9 @@ impl ProtocolSpec {
         [
             ProtocolKind::Broadcast,
             ProtocolKind::BroadcastHw,
-            ProtocolKind::Compete(4),
+            ProtocolKind::Compete(4, SourcePlacement::Uniform),
+            ProtocolKind::Compete(4, SourcePlacement::Clustered),
+            ProtocolKind::Compete(4, SourcePlacement::Corner),
             ProtocolKind::LeaderElection,
             ProtocolKind::Bgi,
             ProtocolKind::Truncated,
@@ -526,9 +548,12 @@ impl ProtocolSpec {
             ProtocolKind::Broadcast | ProtocolKind::BroadcastHw => {
                 Box::new(BroadcastScenario::with_params(self.params(), self.to_string()))
             }
-            ProtocolKind::Compete(k) => {
-                Box::new(CompeteScenario::with_params(k, self.params(), self.to_string()))
-            }
+            ProtocolKind::Compete(k, placement) => Box::new(CompeteScenario::with_placement(
+                k,
+                placement,
+                self.params(),
+                self.to_string(),
+            )),
             ProtocolKind::LeaderElection => {
                 Box::new(LeaderElectionScenario::with_params(self.params(), self.to_string()))
             }
@@ -751,6 +776,36 @@ mod tests {
         ] {
             assert!(bad.parse::<ProtocolSpec>().is_err(), "{bad:?} must be rejected");
         }
+    }
+
+    #[test]
+    fn compete_placement_specs_round_trip_and_validate() {
+        // Canonical forms: uniform is elided, other policies are spelled.
+        for (s, kind) in [
+            ("compete(4)", ProtocolKind::Compete(4, SourcePlacement::Uniform)),
+            ("compete(4,clustered)", ProtocolKind::Compete(4, SourcePlacement::Clustered)),
+            ("compete(4,corner)", ProtocolKind::Compete(4, SourcePlacement::Corner)),
+        ] {
+            let spec: ProtocolSpec = s.parse().unwrap_or_else(|e| panic!("{s}: {e}"));
+            assert_eq!(spec.kind, kind);
+            assert_eq!(spec.to_string(), s, "canonical form is stable");
+            assert_eq!(spec.instantiate().name(), s, "Runnable names match the spec");
+        }
+        // `uniform` may be written explicitly; it canonicalizes away.
+        let spec: ProtocolSpec = "compete(4,uniform)".parse().expect("parses");
+        assert_eq!(spec.to_string(), "compete(4)");
+        // Placement composes with overrides and scenario suffixes.
+        let spec: ScenarioSpec =
+            "compete(4,corner){mu=0.2}@grid(8x8)!drop(0.1)".parse().expect("parses");
+        assert_eq!(spec.to_string(), "compete(4,corner){mu=0.2}@grid(8x8)!drop(0.1)");
+        // Parse-time validation: unknown policies and bad counts rejected.
+        for bad in ["compete(4,nearby)", "compete(4,)", "compete(0,clustered)", "compete(,corner)"]
+        {
+            let err = bad.parse::<ProtocolSpec>().unwrap_err();
+            assert!(!err.to_string().is_empty(), "{bad:?} must be rejected");
+        }
+        // Placement does not relax the K ≤ n placement precondition.
+        assert!("compete(10,corner)@grid(3x3)".parse::<ScenarioSpec>().is_err());
     }
 
     #[test]

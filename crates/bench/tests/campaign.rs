@@ -3,7 +3,8 @@
 //! scenario path the CLI exposes.
 
 use rn_bench::{
-    validate_results, Campaign, Json, ProtocolKind, ProtocolSpec, ScenarioSpec, TrialPlan,
+    executor, validate_results, Campaign, Json, JsonStreamSink, ProtocolKind, ProtocolSpec,
+    ScenarioSpec, TrialPlan,
 };
 use rn_graph::TopologySpec;
 use rn_sim::{CollisionModel, FaultPlan};
@@ -119,6 +120,48 @@ fn jammed_cells_degrade_relative_to_sunny_day_cells() {
     // all: the channel is saturated with noise and delivers nothing.
     assert!(r.cells[1].transmissions.mean > 0.0, "the jammers really transmit");
     assert_eq!(r.cells[1].deliveries.mean, 0.0, "nothing gets through");
+}
+
+#[test]
+fn thread_count_never_changes_the_results_file() {
+    // The acceptance property behind `--threads`: the executor's output is a
+    // pure function of (campaign, master seed). One thread and eight threads
+    // must produce byte-identical JSON, faulted cells included.
+    let campaign = small_campaign();
+    let serial = campaign.run_with_threads(1234, 1).to_json();
+    let parallel = campaign.run_with_threads(1234, 8).to_json();
+    assert_eq!(serial, parallel, "--threads 1 and --threads 8 must agree byte-for-byte");
+    validate_results(&Json::parse(&serial).expect("parses")).expect("schema-valid");
+}
+
+#[test]
+fn streamed_json_is_byte_identical_to_the_in_memory_path() {
+    // The CLI's --json path streams cells as they complete; the bytes on
+    // disk must equal CampaignResult::to_json exactly — same master seed,
+    // any thread count.
+    let campaign = small_campaign();
+    let expected = campaign.run_with_threads(77, 1).to_json();
+    let mut sink = JsonStreamSink::new(Vec::new());
+    executor::execute(&campaign, 77, 8, &mut sink).expect("streamed run");
+    let streamed = String::from_utf8(sink.into_inner().expect("flush")).expect("utf8");
+    assert_eq!(streamed, expected);
+}
+
+#[test]
+fn placement_scenario_string_runs_and_separates_from_uniform() {
+    // The new placement axis end-to-end: corner placement runs from a pure
+    // string, labels its cells, and (being a different source set) produces
+    // a different trial stream than uniform placement under the same seed.
+    let corner: ScenarioSpec = "compete(4,corner)@grid(8x8)".parse().expect("parses");
+    let r = Campaign::single(&corner, 3).run(21);
+    assert_eq!(r.cells[0].protocol, "compete(4,corner)");
+    assert_eq!(r.cells[0].completed, 3);
+    let uniform: ScenarioSpec = "compete(4)@grid(8x8)".parse().expect("parses");
+    let u = Campaign::single(&uniform, 3).run(21);
+    assert_ne!(
+        r.cells[0].rounds, u.cells[0].rounds,
+        "corner and uniform placement are distinct workloads"
+    );
 }
 
 #[test]

@@ -1,11 +1,12 @@
 //! Property-based round-trip tests for the scenario-string grammar
-//! extensions: `!jam(K,P)` / `!drop(P)` fault suffixes and `{key=value}`
-//! parameter overrides. `parse(display(x)) == x` must hold for every
-//! constructible value, not just hand-picked examples — float values rely on
-//! Rust's shortest-round-trip `Display`, which these tests pin down.
+//! extensions: `!jam(K,P)` / `!drop(P)` fault suffixes, `{key=value}`
+//! parameter overrides and `compete(K,POLICY)` source placement.
+//! `parse(display(x)) == x` must hold for every constructible value, not
+//! just hand-picked examples — float values rely on Rust's
+//! shortest-round-trip `Display`, which these tests pin down.
 
 use proptest::prelude::*;
-use rn_bench::{OverrideKey, Overrides, ProtocolKind, ProtocolSpec, ScenarioSpec};
+use rn_bench::{OverrideKey, Overrides, ProtocolKind, ProtocolSpec, ScenarioSpec, SourcePlacement};
 use rn_sim::FaultPlan;
 
 /// Strategy: an arbitrary *valid* fault plan (including the fault-free one).
@@ -82,9 +83,11 @@ proptest! {
         overrides in arb_overrides(),
         plan in arb_fault_plan(),
         sources in 1usize..16,
+        placement_idx in 0usize..SourcePlacement::ALL.len(),
     ) {
+        let placement = SourcePlacement::ALL[placement_idx];
         let spec = ScenarioSpec {
-            protocol: ProtocolSpec { kind: ProtocolKind::Compete(sources), overrides },
+            protocol: ProtocolSpec { kind: ProtocolKind::Compete(sources, placement), overrides },
             topology: "grid(4x4)".parse().expect("topology"),
             faults: plan,
         };

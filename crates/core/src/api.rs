@@ -4,7 +4,7 @@ use crate::protocol::CompeteProtocol;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use rn_graph::{Graph, NodeId};
-use rn_sim::{rng, CollisionModel, Metrics, NetParams, RunOutcome, Simulator};
+use rn_sim::{rng, CollisionModel, FaultSchedule, Metrics, NetParams, RunOutcome, Simulator};
 use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
@@ -98,10 +98,11 @@ fn run_compete(
     params: &CompeteParams,
     model: CollisionModel,
     seed: u64,
+    faults: Option<&FaultSchedule>,
 ) -> CompeteReport {
     let pre = Precomputed::build(g, net, params, rng::derive(seed, 0x9DE));
     let mut proto = CompeteProtocol::new(&pre, *params, sources, rng::derive(seed, 0x9D0));
-    let mut sim = Simulator::new(g, model, seed);
+    let mut sim = Simulator::with_faults(g, model, seed, faults.cloned());
     let budget = params.max_rounds(&net);
     let stats = sim.run(&mut proto, budget);
     debug_assert!(matches!(stats.outcome, RunOutcome::ProtocolDone | RunOutcome::BudgetExhausted));
@@ -134,7 +135,7 @@ pub fn compete(
 ) -> Result<CompeteReport, CompeteError> {
     validate(g, sources)?;
     let net = NetParams::new(g.n(), g.diameter_double_sweep());
-    Ok(run_compete(g, net, sources, params, CollisionModel::NoCollisionDetection, seed))
+    Ok(run_compete(g, net, sources, params, CollisionModel::NoCollisionDetection, seed, None))
 }
 
 /// As [`compete`], with explicit [`NetParams`] (the `n` and `D` the model
@@ -171,8 +172,29 @@ pub fn compete_with_model(
     model: CollisionModel,
     seed: u64,
 ) -> Result<CompeteReport, CompeteError> {
+    compete_scheduled(g, net, sources, params, model, seed, None)
+}
+
+/// As [`compete_with_model`], additionally running the channel under an
+/// explicit fault schedule (`None` = fault-free). This is the entry point
+/// the campaign executor's fault axis reaches: the schedule travels by
+/// parameter, never through ambient state, so trials are safe to run from
+/// any worker thread.
+///
+/// # Errors
+///
+/// [`CompeteError`] on empty/invalid sources or a disconnected graph.
+pub fn compete_scheduled(
+    g: &Graph,
+    net: NetParams,
+    sources: &[(NodeId, u64)],
+    params: &CompeteParams,
+    model: CollisionModel,
+    seed: u64,
+    faults: Option<&FaultSchedule>,
+) -> Result<CompeteReport, CompeteError> {
     validate(g, sources)?;
-    Ok(run_compete(g, net, sources, params, model, seed))
+    Ok(run_compete(g, net, sources, params, model, seed, faults))
 }
 
 /// Runs **broadcasting** (Theorem 5.1): `Compete({source})`.
@@ -204,7 +226,7 @@ pub fn leader_election(
         return Err(CompeteError::Disconnected);
     }
     let net = NetParams::new(g.n(), g.diameter_double_sweep());
-    Ok(run_leader_election(g, net, params, CollisionModel::NoCollisionDetection, seed))
+    Ok(run_leader_election(g, net, params, CollisionModel::NoCollisionDetection, seed, None))
 }
 
 /// As [`leader_election`], with explicit [`NetParams`].
@@ -234,10 +256,28 @@ pub fn leader_election_with_model(
     model: CollisionModel,
     seed: u64,
 ) -> Result<LeaderElectionReport, CompeteError> {
+    leader_election_scheduled(g, net, params, model, seed, None)
+}
+
+/// As [`leader_election_with_model`], additionally running the channel under
+/// an explicit fault schedule (`None` = fault-free); see
+/// [`compete_scheduled`].
+///
+/// # Errors
+///
+/// [`CompeteError::Disconnected`] on a disconnected graph.
+pub fn leader_election_scheduled(
+    g: &Graph,
+    net: NetParams,
+    params: &CompeteParams,
+    model: CollisionModel,
+    seed: u64,
+    faults: Option<&FaultSchedule>,
+) -> Result<LeaderElectionReport, CompeteError> {
     if !g.is_connected() {
         return Err(CompeteError::Disconnected);
     }
-    Ok(run_leader_election(g, net, params, model, seed))
+    Ok(run_leader_election(g, net, params, model, seed, faults))
 }
 
 /// Candidate selection + Compete, after connectivity has been checked once.
@@ -247,6 +287,7 @@ fn run_leader_election(
     params: &CompeteParams,
     model: CollisionModel,
     seed: u64,
+    faults: Option<&FaultSchedule>,
 ) -> LeaderElectionReport {
     let n = g.n();
     // Step 1: candidates with probability Θ(log n / n); the constant 2 keeps
@@ -265,11 +306,11 @@ fn run_leader_election(
     if candidates.is_empty() {
         // Degenerate (probability ≤ n^-2): retry with the next seed stream,
         // exactly as restarting the algorithm would.
-        return run_leader_election(g, net, params, model, rng::derive(seed, 0x9999));
+        return run_leader_election(g, net, params, model, rng::derive(seed, 0x9999), faults);
     }
     // Candidates are nonempty and in-range by construction, and connectivity
     // was checked by the caller — run directly, no second validation BFS.
-    let report = run_compete(g, net, &candidates, params, model, seed);
+    let report = run_compete(g, net, &candidates, params, model, seed, faults);
     let target = report.target;
     let winners: Vec<NodeId> =
         candidates.iter().filter(|&&(_, id)| id == target).map(|&(v, _)| v).collect();

@@ -55,11 +55,11 @@ mod protocol;
 mod scenario;
 
 pub use api::{
-    broadcast, compete, compete_with_model, compete_with_net, leader_election,
-    leader_election_with_model, leader_election_with_net, CompeteError, CompeteReport,
-    LeaderElectionReport,
+    broadcast, compete, compete_scheduled, compete_with_model, compete_with_net, leader_election,
+    leader_election_scheduled, leader_election_with_model, leader_election_with_net, CompeteError,
+    CompeteReport, LeaderElectionReport,
 };
 pub use params::{CompeteParams, CurtailMode, PrecomputeMode, SequenceScope};
 pub use precompute::{FineClustering, Precomputed};
 pub use protocol::{CompeteMsg, CompeteProtocol};
-pub use scenario::{BroadcastScenario, CompeteScenario, LeaderElectionScenario};
+pub use scenario::{BroadcastScenario, CompeteScenario, LeaderElectionScenario, SourcePlacement};

@@ -2,10 +2,12 @@
 //! campaign registry uses to run Compete, broadcasting and leader election
 //! uniformly against any topology and collision model.
 
-use crate::api::{compete_with_model, leader_election_with_model};
+use crate::api::{compete_scheduled, leader_election_scheduled};
 use crate::params::CompeteParams;
-use rn_graph::{Graph, NodeId};
-use rn_sim::{rng, CollisionModel, NetParams, Runnable, TrialRecord};
+use rn_graph::{traversal, Graph, NodeId};
+use rn_sim::{rng, CollisionModel, FaultSchedule, NetParams, Runnable, TrialRecord};
+use std::fmt;
+use std::str::FromStr;
 
 /// Broadcasting (Theorem 5.1): `Compete({node 0})` with the given parameter
 /// set. `label` is the registry name, so the same struct serves the default
@@ -42,36 +44,144 @@ impl Runnable for BroadcastScenario {
         self.label.clone()
     }
 
-    fn run_trial(
+    fn run_trial_scheduled(
         &self,
         g: &Graph,
         net: NetParams,
         model: CollisionModel,
         seed: u64,
+        faults: Option<&FaultSchedule>,
     ) -> TrialRecord {
-        let r = compete_with_model(g, net, &[(0, 1)], &self.params, model, seed)
+        let r = compete_scheduled(g, net, &[(0, 1)], &self.params, model, seed, faults)
             .expect("campaign graphs are connected with an in-range source");
         TrialRecord::new(r.completed, r.total_rounds, r.metrics)
     }
 }
 
-/// Multi-source **Compete(S)** (Theorem 4.1) with `sources` seed-random
-/// sources holding distinct messages. Sources are placed on *distinct*
-/// nodes each trial — sampling with replacement would silently merge two
-/// messages onto one node, measuring `Compete(S')` with `|S'| < |S|`.
+/// Where [`CompeteScenario`] places its `K` sources on the graph.
+///
+/// The paper's Theorem 4.1 bounds hold for *any* source set; the placement
+/// axis probes how much the constants depend on source geometry — uniform
+/// spread (every cluster sees a source early) versus adversarially
+/// concentrated sets that must escape one neighborhood first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SourcePlacement {
+    /// Distinct uniform-random nodes, redrawn each trial (the default).
+    #[default]
+    Uniform,
+    /// A BFS ball: the `K` nodes nearest a trial-random center (ties broken
+    /// by node id), modelling a localized burst of messages.
+    Clustered,
+    /// The deterministic worst corner: the `K` nodes nearest node 0 —
+    /// reproducible across trials, so only protocol randomness varies.
+    Corner,
+}
+
+impl SourcePlacement {
+    /// Every placement policy, in listing order.
+    pub const ALL: &'static [SourcePlacement] =
+        &[SourcePlacement::Uniform, SourcePlacement::Clustered, SourcePlacement::Corner];
+
+    /// The policy's stable string form (used in `compete(K,POLICY)` specs).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SourcePlacement::Uniform => "uniform",
+            SourcePlacement::Clustered => "clustered",
+            SourcePlacement::Corner => "corner",
+        }
+    }
+
+    /// Picks `k` distinct source nodes on `g` under this policy. `seed` is
+    /// the trial's placement stream (ignored by deterministic policies).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > g.n()`.
+    pub fn place(self, g: &Graph, k: usize, seed: u64) -> Vec<NodeId> {
+        assert!(k <= g.n(), "cannot place {k} distinct sources on {} nodes", g.n());
+        match self {
+            SourcePlacement::Uniform => {
+                let mut srng = rng::stream_rng(seed, 0x50C);
+                rng::sample_distinct(&mut srng, k, g.n()).into_iter().map(|v| v as NodeId).collect()
+            }
+            SourcePlacement::Clustered => {
+                let center = (rng::derive(seed, 0xCE27) % g.n() as u64) as NodeId;
+                nearest_k(g, center, k)
+            }
+            SourcePlacement::Corner => nearest_k(g, 0, k),
+        }
+    }
+}
+
+/// The `k` nodes nearest `center` in BFS distance, ties broken by node id —
+/// deterministic for a fixed graph.
+///
+/// The walk stops at the first layer that fills the ball, so the per-trial
+/// cost is proportional to the ball (plus its frontier), not to a
+/// whole-graph BFS and an `O(n log n)` sort — placement must stay cheap on
+/// the million-node sweeps the campaign executor targets.
+fn nearest_k(g: &Graph, center: NodeId, k: usize) -> Vec<NodeId> {
+    let mut out: Vec<NodeId> = Vec::with_capacity(k);
+    let mut walker = traversal::Bfs::new(g, &[center]);
+    loop {
+        // Frontier order is traversal order; sorting one layer restores the
+        // (distance, id) tie-break of a full sort.
+        let mut layer = walker.frontier().to_vec();
+        layer.sort_unstable();
+        layer.truncate(k - out.len());
+        out.extend(layer);
+        if out.len() == k {
+            return out;
+        }
+        if !walker.advance() {
+            // Fewer than k reachable nodes (disconnected graph): fill with
+            // the unreachable remainder in id order, matching a full
+            // (distance, id) sort with distance = ∞.
+            let dist = walker.dist();
+            out.extend(g.nodes().filter(|&v| dist[v as usize] == u32::MAX).take(k - out.len()));
+            return out;
+        }
+    }
+}
+
+impl fmt::Display for SourcePlacement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for SourcePlacement {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<SourcePlacement, String> {
+        SourcePlacement::ALL.iter().copied().find(|p| p.as_str() == s.trim()).ok_or_else(|| {
+            format!(
+                "unknown source placement {s:?} (known: {})",
+                SourcePlacement::ALL.iter().map(|p| p.as_str()).collect::<Vec<_>>().join(" | ")
+            )
+        })
+    }
+}
+
+/// Multi-source **Compete(S)** (Theorem 4.1) with `sources` sources holding
+/// distinct messages, placed per [`SourcePlacement`]. Sources are always
+/// placed on *distinct* nodes each trial — sampling with replacement would
+/// silently merge two messages onto one node, measuring `Compete(S')` with
+/// `|S'| < |S|`.
 #[derive(Debug, Clone)]
 pub struct CompeteScenario {
     /// Algorithm constants.
     pub params: CompeteParams,
-    /// Number of sources `|S| ≥ 1` (placed on distinct uniform nodes per
-    /// trial).
+    /// Number of sources `|S| ≥ 1` (placed on distinct nodes per trial).
     pub sources: usize,
-    /// Registry name (e.g. `"compete(4)"`, `"compete(4){mu=0.2}"`).
+    /// Where the sources land on the graph.
+    pub placement: SourcePlacement,
+    /// Registry name (e.g. `"compete(4)"`, `"compete(4,corner){mu=0.2}"`).
     pub label: String,
 }
 
 impl CompeteScenario {
-    /// Default-parameter Compete with `sources` sources.
+    /// Default-parameter Compete with `sources` uniform-random sources.
     ///
     /// # Panics
     ///
@@ -85,7 +195,8 @@ impl CompeteScenario {
         )
     }
 
-    /// An explicit parameter set under an explicit registry name.
+    /// An explicit parameter set under an explicit registry name, with
+    /// uniform placement.
     ///
     /// # Panics
     ///
@@ -95,8 +206,24 @@ impl CompeteScenario {
         params: CompeteParams,
         label: impl Into<String>,
     ) -> CompeteScenario {
+        CompeteScenario::with_placement(sources, SourcePlacement::Uniform, params, label)
+    }
+
+    /// Fully explicit constructor: source count, placement policy,
+    /// parameters and registry name (how the scenario registry materializes
+    /// `compete(K,POLICY){overrides}` specs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sources == 0`.
+    pub fn with_placement(
+        sources: usize,
+        placement: SourcePlacement,
+        params: CompeteParams,
+        label: impl Into<String>,
+    ) -> CompeteScenario {
         assert!(sources >= 1, "compete needs at least one source (got 0)");
-        CompeteScenario { params, sources, label: label.into() }
+        CompeteScenario { params, sources, placement, label: label.into() }
     }
 }
 
@@ -105,12 +232,13 @@ impl Runnable for CompeteScenario {
         self.label.clone()
     }
 
-    fn run_trial(
+    fn run_trial_scheduled(
         &self,
         g: &Graph,
         net: NetParams,
         model: CollisionModel,
         seed: u64,
+        faults: Option<&FaultSchedule>,
     ) -> TrialRecord {
         assert!(
             self.sources <= g.n(),
@@ -119,15 +247,17 @@ impl Runnable for CompeteScenario {
             self.sources,
             g.n()
         );
-        // Source placement is part of the trial's randomness: distinct
-        // nodes, drawn from the trial seed on a separate stream.
-        let mut srng = rng::stream_rng(seed, 0x50C);
-        let sources: Vec<(NodeId, u64)> = rng::sample_distinct(&mut srng, self.sources, g.n())
+        // Source placement is part of the trial's randomness (for the
+        // randomized policies): distinct nodes, drawn from the trial seed on
+        // a separate stream, holding values 1..=K in placement order.
+        let sources: Vec<(NodeId, u64)> = self
+            .placement
+            .place(g, self.sources, seed)
             .into_iter()
             .enumerate()
-            .map(|(k, v)| (v as NodeId, (k + 1) as u64))
+            .map(|(k, v)| (v, (k + 1) as u64))
             .collect();
-        let r = compete_with_model(g, net, &sources, &self.params, model, seed)
+        let r = compete_scheduled(g, net, &sources, &self.params, model, seed, faults)
             .expect("campaign graphs are connected with in-range sources");
         TrialRecord::new(r.completed, r.total_rounds, r.metrics)
     }
@@ -168,14 +298,15 @@ impl Runnable for LeaderElectionScenario {
         self.label.clone()
     }
 
-    fn run_trial(
+    fn run_trial_scheduled(
         &self,
         g: &Graph,
         net: NetParams,
         model: CollisionModel,
         seed: u64,
+        faults: Option<&FaultSchedule>,
     ) -> TrialRecord {
-        let r = leader_election_with_model(g, net, &self.params, model, seed)
+        let r = leader_election_scheduled(g, net, &self.params, model, seed, faults)
             .expect("campaign graphs are connected");
         TrialRecord::new(
             r.compete.completed && r.unique_winner,
@@ -253,6 +384,91 @@ mod tests {
         let g = generators::grid(3, 3);
         let s = CompeteScenario::new(10);
         s.run_trial(&g, net_of(&g), CollisionModel::NoCollisionDetection, 1);
+    }
+
+    #[test]
+    fn placement_policy_strings_round_trip() {
+        for p in SourcePlacement::ALL {
+            let back: SourcePlacement = p.as_str().parse().expect("round trips");
+            assert_eq!(back, *p);
+        }
+        assert!("nearby".parse::<SourcePlacement>().is_err());
+    }
+
+    #[test]
+    fn corner_placement_is_the_bfs_ball_around_node_zero() {
+        // On a path, the 4 nodes nearest node 0 are exactly 0..4, every
+        // trial, regardless of seed.
+        let g = generators::path(100);
+        for seed in 0..4 {
+            assert_eq!(SourcePlacement::Corner.place(&g, 4, seed), vec![0, 1, 2, 3]);
+        }
+    }
+
+    #[test]
+    fn nearest_k_matches_the_full_sort_reference() {
+        // The layer-by-layer early-exit walk must agree with the
+        // definitional "sort all nodes by (BFS distance, id)" computation —
+        // including on a disconnected graph, where the unreachable
+        // remainder fills in id order.
+        let reference = |g: &Graph, center: NodeId, k: usize| -> Vec<NodeId> {
+            let dist = traversal::bfs(g, center);
+            let mut order: Vec<NodeId> = g.nodes().collect();
+            order.sort_by_key(|&v| (dist[v as usize], v));
+            order.truncate(k);
+            order
+        };
+        let grid = generators::grid(7, 5);
+        for center in [0, 17, 34] {
+            for k in [1, 4, 12, 35] {
+                assert_eq!(
+                    nearest_k(&grid, center, k),
+                    reference(&grid, center, k),
+                    "grid center {center} k {k}"
+                );
+            }
+        }
+        let disconnected = Graph::from_edges(6, &[(0, 1), (1, 2), (4, 5)]).expect("builds");
+        for k in [2, 4, 6] {
+            assert_eq!(nearest_k(&disconnected, 1, k), reference(&disconnected, 1, k), "k {k}");
+        }
+    }
+
+    #[test]
+    fn clustered_placement_is_a_tight_ball_around_a_random_center() {
+        // On a path, a BFS ball is a contiguous interval: K nodes spanning
+        // at most K-1 hops — far tighter than uniform placement, which
+        // spreads across the whole path with overwhelming probability.
+        let g = generators::path(100);
+        for seed in 0..8 {
+            let mut s = SourcePlacement::Clustered.place(&g, 5, seed);
+            s.sort_unstable();
+            assert_eq!(s.len(), 5);
+            let span = s[4] - s[0];
+            assert!(span <= 5, "ball of 5 nodes spans {span} hops: {s:?}");
+            assert!(s.windows(2).all(|w| w[0] != w[1]), "distinct sources");
+        }
+        // Different seeds move the center.
+        let a = SourcePlacement::Clustered.place(&g, 5, 1);
+        let b = SourcePlacement::Clustered.place(&g, 5, 2);
+        assert_ne!(a, b, "center is part of trial randomness");
+    }
+
+    #[test]
+    fn compete_scenario_with_placement_completes_and_is_deterministic() {
+        let g = generators::grid(6, 6);
+        for &placement in SourcePlacement::ALL {
+            let s = CompeteScenario::with_placement(
+                4,
+                placement,
+                CompeteParams::default(),
+                format!("compete(4,{placement})"),
+            );
+            let a = s.run_trial(&g, net_of(&g), CollisionModel::NoCollisionDetection, 11);
+            let b = s.run_trial(&g, net_of(&g), CollisionModel::NoCollisionDetection, 11);
+            assert_eq!(a, b, "{placement}: same seed, same trial");
+            assert!(a.completed, "{placement}: completes on grid-6x6");
+        }
     }
 
     #[test]

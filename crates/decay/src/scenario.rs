@@ -5,7 +5,7 @@
 
 use crate::broadcast::{DecayBroadcast, TruncatedDecayBroadcast};
 use rn_graph::{Graph, NodeId};
-use rn_sim::{CollisionModel, NetParams, Runnable, Simulator, TrialRecord};
+use rn_sim::{CollisionModel, FaultSchedule, NetParams, Runnable, Simulator, TrialRecord};
 
 /// Multi-source decay broadcast with `sources` evenly spread sources holding
 /// distinct values; completes when every node is informed. `truncated`
@@ -45,15 +45,16 @@ impl Runnable for DecayScenario {
         }
     }
 
-    fn run_trial(
+    fn run_trial_scheduled(
         &self,
         g: &Graph,
         net: NetParams,
         model: CollisionModel,
         seed: u64,
+        faults: Option<&FaultSchedule>,
     ) -> TrialRecord {
         let sources = self.place_sources(g.n());
-        let mut sim = Simulator::new(g, model, seed);
+        let mut sim = Simulator::with_faults(g, model, seed, faults.cloned());
         if self.truncated {
             let mut p = TruncatedDecayBroadcast::new(net, &sources, seed);
             let stats =

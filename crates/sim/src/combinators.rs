@@ -135,7 +135,8 @@ pub struct Noise;
 ///
 /// This is the protocol-combinator form of the fault model; the
 /// [`crate::Simulator`] engine applies the same [`FaultSchedule`] semantics
-/// directly at the channel level (see [`crate::faults`]), which is what
+/// directly at the channel level when a schedule is passed to
+/// [`crate::Simulator::with_faults`] (see [`crate::faults`]), which is what
 /// campaign trials use. One accounting caveat: to a fault-unaware engine
 /// the combinator's [`Noise`] is an ordinary message, so a *uniquely* heard
 /// burst counts toward `metrics.deliveries` here (the wrapper discards it

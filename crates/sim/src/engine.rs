@@ -1,4 +1,4 @@
-use crate::faults::{self, FaultSchedule};
+use crate::faults::FaultSchedule;
 use crate::protocol::{Protocol, Round, TxBuf};
 use crate::trace::{Event, Trace};
 use rn_graph::{Graph, NodeId};
@@ -69,11 +69,10 @@ pub struct RunStats {
 /// schedule waves) simulate cheaply even on large networks.
 ///
 /// The engine optionally runs under a [`FaultSchedule`] (jammers + per-round
-/// dropout, see [`crate::faults`]): a schedule installed via
-/// [`faults::with_schedule`] when the simulator is constructed — or set
-/// explicitly with [`Simulator::set_faults`] — is applied at the channel
-/// level, so *any* protocol degrades under the same fault model without
-/// protocol-side code.
+/// dropout, see [`crate::faults`]): a schedule passed explicitly at
+/// construction via [`Simulator::with_faults`] — or installed later with
+/// [`Simulator::set_faults`] — is applied at the channel level, so *any*
+/// protocol degrades under the same fault model without protocol-side code.
 #[derive(Debug)]
 pub struct Simulator<'g> {
     graph: &'g Graph,
@@ -98,26 +97,34 @@ pub struct Simulator<'g> {
 const NOISE_TAG: u32 = u32::MAX;
 
 impl<'g> Simulator<'g> {
-    /// Creates an engine over `graph` with the given interference `model`.
+    /// Creates an engine over `graph` with the given interference `model`,
+    /// running fault-free.
     ///
     /// `seed` is recorded for reproducibility metadata (protocols own their
     /// actual randomness; see [`crate::rng`] for seed derivation helpers).
-    /// If an ambient fault schedule is in scope (see
-    /// [`faults::with_schedule`]), the engine adopts it.
+    pub fn new(graph: &'g Graph, model: CollisionModel, seed: u64) -> Simulator<'g> {
+        Simulator::with_faults(graph, model, seed, None)
+    }
+
+    /// As [`Simulator::new`], with an explicit fault schedule (`None` runs
+    /// fault-free). This is the constructor scenario implementations use to
+    /// honor the schedule [`crate::Runnable::run_trial_scheduled`] hands
+    /// them — fault injection is plain parameter passing, safe to drive from
+    /// any worker thread.
     ///
     /// # Panics
     ///
-    /// Panics if an adopted ambient fault schedule was resolved for a
-    /// different node count than `graph` has.
-    pub fn new(graph: &'g Graph, model: CollisionModel, seed: u64) -> Simulator<'g> {
+    /// Panics if the schedule was resolved for a different node count than
+    /// `graph` has.
+    pub fn with_faults(
+        graph: &'g Graph,
+        model: CollisionModel,
+        seed: u64,
+        faults: Option<FaultSchedule>,
+    ) -> Simulator<'g> {
         let n = graph.n();
-        let faults = faults::ambient();
         if let Some(f) = &faults {
-            assert!(
-                f.n() == n,
-                "ambient fault schedule was resolved for {} nodes, graph has {n}",
-                f.n()
-            );
+            assert!(f.n() == n, "fault schedule was resolved for {} nodes, graph has {n}", f.n());
         }
         Simulator {
             graph,
@@ -137,8 +144,7 @@ impl<'g> Simulator<'g> {
     }
 
     /// Installs (or clears) the fault schedule the channel runs under,
-    /// overriding whatever [`Simulator::new`] adopted from the ambient
-    /// scope.
+    /// replacing whatever [`Simulator::with_faults`] was given.
     ///
     /// # Panics
     ///
@@ -529,18 +535,18 @@ mod tests {
     }
 
     #[test]
-    fn engine_adopts_ambient_fault_schedule() {
+    fn with_faults_constructor_matches_set_faults() {
         let g = generators::star(3);
         let schedule = FaultSchedule::new(3, vec![2], 1.0, 0.0, 7);
-        let jammed = faults::with_schedule(schedule, || {
-            let mut sim = Simulator::new(&g, CollisionModel::NoCollisionDetection, 1);
-            assert!(sim.faults().is_some(), "constructed inside the scope");
-            let mut p = crate::testing::EveryRound::new(1, 7u64);
-            sim.run(&mut p, 8).metrics
-        });
+        let mut sim =
+            Simulator::with_faults(&g, CollisionModel::NoCollisionDetection, 1, Some(schedule));
+        assert!(sim.faults().is_some(), "constructor installs the schedule");
+        let mut p = crate::testing::EveryRound::new(1, 7u64);
+        let jammed = sim.run(&mut p, 8).metrics;
         assert_eq!(jammed.deliveries, 0);
+        // `new` is exactly `with_faults(.., None)`.
         let mut sim = Simulator::new(&g, CollisionModel::NoCollisionDetection, 1);
-        assert!(sim.faults().is_none(), "no ambient schedule outside the scope");
+        assert!(sim.faults().is_none(), "no schedule unless one is passed");
         let mut p = crate::testing::EveryRound::new(1, 7u64);
         assert!(sim.run(&mut p, 8).metrics.deliveries > 0);
     }

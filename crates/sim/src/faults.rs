@@ -29,12 +29,14 @@
 //!   engine path counts it as nothing. Measurements should use the engine
 //!   path (campaigns do).
 //!
-//! The engine picks its schedule up from a scoped, thread-local *ambient*
-//! slot installed by [`with_schedule`] — this is what lets
-//! [`crate::Runnable::run_trial_under_faults`] impose faults on every
-//! scenario in the workspace with zero per-scenario code: scenarios build
-//! their simulators wherever and however they like, and every simulator
-//! constructed inside the scope inherits the faulty channel.
+//! The engine receives its schedule **explicitly**: either at construction
+//! via [`crate::Simulator::with_faults`] or afterwards via
+//! [`crate::Simulator::set_faults`]. Scenario implementations accept an
+//! `Option<&FaultSchedule>` in
+//! [`crate::Runnable::run_trial_scheduled`] and hand it to every simulator
+//! they build, so the campaign executor can run trials from any worker
+//! thread without ambient (thread-local) state. `FaultSchedule` is plain
+//! data — `Send + Sync` — and cheap to clone.
 //!
 //! Fault semantics in detail:
 //!
@@ -51,7 +53,6 @@
 
 use crate::rng;
 use rn_graph::NodeId;
-use std::cell::RefCell;
 use std::error::Error;
 use std::fmt;
 use std::str::FromStr;
@@ -365,33 +366,13 @@ impl FaultSchedule {
     }
 }
 
-thread_local! {
-    static AMBIENT: RefCell<Option<FaultSchedule>> = const { RefCell::new(None) };
-}
-
-/// Runs `f` with `schedule` installed as the ambient fault schedule: every
-/// [`crate::Simulator`] constructed inside `f` (on this thread) adopts it.
-/// Nests and unwinds safely; the previous ambient value is restored on exit.
-///
-/// This is the seam [`crate::Runnable::run_trial_under_faults`] uses to
-/// impose faults on arbitrary scenarios without threading a parameter
-/// through every protocol entry point.
-pub fn with_schedule<R>(schedule: FaultSchedule, f: impl FnOnce() -> R) -> R {
-    struct Restore(Option<FaultSchedule>);
-    impl Drop for Restore {
-        fn drop(&mut self) {
-            AMBIENT.with(|a| *a.borrow_mut() = self.0.take());
-        }
-    }
-    let prev = AMBIENT.with(|a| a.borrow_mut().replace(schedule));
-    let _restore = Restore(prev);
-    f()
-}
-
-/// The ambient fault schedule installed by [`with_schedule`], if any.
-pub fn ambient() -> Option<FaultSchedule> {
-    AMBIENT.with(|a| a.borrow().clone())
-}
+// The executor runs trials from arbitrary worker threads and hands the
+// schedule around by reference; this fails to compile if `FaultSchedule`
+// ever stops being freely shareable.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<FaultSchedule>();
+};
 
 #[cfg(test)]
 mod tests {
@@ -516,27 +497,15 @@ mod tests {
     }
 
     #[test]
-    fn ambient_schedule_scopes_and_restores() {
-        assert!(ambient().is_none());
-        let outer = FaultSchedule::new(4, vec![0], 0.5, 0.0, 1);
-        let inner = FaultSchedule::new(4, vec![1], 0.5, 0.0, 2);
-        with_schedule(outer.clone(), || {
-            assert_eq!(ambient(), Some(outer.clone()));
-            with_schedule(inner.clone(), || {
-                assert_eq!(ambient(), Some(inner.clone()));
-            });
-            assert_eq!(ambient(), Some(outer.clone()), "nested scope restored");
-        });
-        assert!(ambient().is_none(), "outer scope restored");
-    }
-
-    #[test]
-    fn ambient_schedule_restores_across_panics() {
-        let s = FaultSchedule::new(4, vec![0], 0.5, 0.0, 1);
-        let r = std::panic::catch_unwind(|| {
-            with_schedule(s, || panic!("boom"));
-        });
-        assert!(r.is_err());
-        assert!(ambient().is_none(), "ambient cleared even when the scope panics");
+    fn schedules_are_shareable_across_threads() {
+        // The executor hands one schedule to many workers by reference; the
+        // coins must read identically from any thread.
+        let s = FaultSchedule::new(16, vec![3], 0.5, 0.5, 11);
+        let local: Vec<bool> = (0..64).map(|r| s.jam_fires(r, 3)).collect();
+        let remote = std::thread::scope(|scope| {
+            scope.spawn(|| (0..64).map(|r| s.jam_fires(r, 3)).collect::<Vec<bool>>()).join()
+        })
+        .expect("worker thread");
+        assert_eq!(local, remote);
     }
 }

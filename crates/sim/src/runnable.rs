@@ -12,7 +12,7 @@
 //! multi-source decay) — and are registered by name in `rn_bench`'s scenario
 //! registry.
 
-use crate::faults::{self, FaultPlan};
+use crate::faults::{FaultPlan, FaultSchedule};
 use crate::{rng, CollisionModel, Metrics, NetParams};
 use rn_graph::Graph;
 
@@ -64,25 +64,48 @@ pub trait Runnable: Send + Sync {
         requested
     }
 
-    /// Runs one trial of the scenario on `g` and reports the outcome.
+    /// Runs one trial of the scenario on `g` under an optional fault
+    /// schedule — the single required execution method.
     ///
     /// `net` carries the `n`/`D` knowledge the model grants every node
     /// (callers typically derive it from `g`); `model` selects the collision
     /// semantics the channel enforces and is always the value
     /// [`Runnable::effective_model`] mapped the caller's request to.
-    fn run_trial(&self, g: &Graph, net: NetParams, model: CollisionModel, seed: u64)
-        -> TrialRecord;
+    ///
+    /// Implementations must hand `faults` to every [`crate::Simulator`] they
+    /// construct (via [`crate::Simulator::with_faults`]) — fault injection is
+    /// explicit parameter passing, never ambient state, so trials can run
+    /// from any executor worker thread.
+    fn run_trial_scheduled(
+        &self,
+        g: &Graph,
+        net: NetParams,
+        model: CollisionModel,
+        seed: u64,
+        faults: Option<&FaultSchedule>,
+    ) -> TrialRecord;
 
-    /// Runs one trial under a fault plan (jammers / per-round dropout).
+    /// Runs one fault-free trial: [`Runnable::run_trial_scheduled`] with no
+    /// schedule.
+    fn run_trial(
+        &self,
+        g: &Graph,
+        net: NetParams,
+        model: CollisionModel,
+        seed: u64,
+    ) -> TrialRecord {
+        self.run_trial_scheduled(g, net, model, seed, None)
+    }
+
+    /// Runs one trial under a declarative fault plan (jammers / per-round
+    /// dropout).
     ///
     /// This provided method is the uniform fault-injection seam: it resolves
     /// `plan` against the graph (jammer placement derives from the trial
-    /// seed, so it is part of trial randomness) and installs the resulting
-    /// [`crate::FaultSchedule`] as the ambient schedule around
-    /// [`Runnable::run_trial`]. Every [`crate::Simulator`] the scenario
-    /// constructs inside — however deep in its protocol crate — adopts the
-    /// faulty channel, so no scenario implements anything fault-specific. A
-    /// fault-free plan is exactly [`Runnable::run_trial`].
+    /// seed, so it is part of trial randomness) and passes the resulting
+    /// [`crate::FaultSchedule`] explicitly into
+    /// [`Runnable::run_trial_scheduled`]. No scenario implements anything
+    /// fault-specific. A fault-free plan is exactly [`Runnable::run_trial`].
     fn run_trial_under_faults(
         &self,
         g: &Graph,
@@ -95,9 +118,16 @@ pub trait Runnable: Send + Sync {
             return self.run_trial(g, net, model, seed);
         }
         let schedule = plan.resolve(g.n(), rng::derive(seed, 0xFA17));
-        faults::with_schedule(schedule, || self.run_trial(g, net, model, seed))
+        self.run_trial_scheduled(g, net, model, seed, Some(&schedule))
     }
 }
+
+// Campaign executors move boxed scenarios across worker threads; this fails
+// to compile if the trait object ever stops being `Send + Sync`.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync + ?Sized>() {}
+    assert_send_sync::<dyn Runnable>();
+};
 
 #[cfg(test)]
 mod tests {
@@ -114,15 +144,16 @@ mod tests {
             "naive_flood".into()
         }
 
-        fn run_trial(
+        fn run_trial_scheduled(
             &self,
             g: &Graph,
             net: NetParams,
             model: CollisionModel,
             seed: u64,
+            faults: Option<&FaultSchedule>,
         ) -> TrialRecord {
             let mut p = NaiveFlood::new(g.n(), 0);
-            let mut sim = Simulator::new(g, model, seed);
+            let mut sim = Simulator::with_faults(g, model, seed, faults.cloned());
             let stats = sim.run(&mut p, 4 * net.diameter() as u64 + 8);
             TrialRecord::new(p.informed_count() == g.n(), stats.rounds, stats.metrics)
         }
