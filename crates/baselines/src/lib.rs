@@ -22,6 +22,7 @@
 mod beep;
 mod binary_search;
 mod broadcasts;
+mod family;
 mod scenario;
 
 pub use beep::BeepWave;
@@ -29,4 +30,5 @@ pub use binary_search::{
     binary_search_le_scheduled, binary_search_leader_election, BinarySearchLeReport, BroadcastKind,
 };
 pub use broadcasts::{bgi_broadcast, hw_broadcast, truncated_broadcast, BroadcastOutcome};
+pub use family::{families, BgiFamily, BinsearchLeFamily, TruncatedFamily};
 pub use scenario::{BgiScenario, BinarySearchLeScenario, TruncatedScenario};

@@ -1,14 +1,12 @@
 //! E7/E8 micro-bench: end-to-end broadcast, ours vs the baselines.
 //!
 //! Workloads are `ScenarioSpec` strings resolved through the scenario
-//! registry — the same grammar campaigns and the `experiments` CLI use — so
-//! bench and experiment workloads cannot drift apart. Changing what is
-//! benchmarked is a string edit, not code.
+//! registry (via [`BenchWorkload`]) — the same grammar campaigns and the
+//! `experiments` CLI use — so bench and experiment workloads cannot drift
+//! apart. Changing what is benchmarked is a string edit, not code.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use rn_bench::ScenarioSpec;
-use rn_graph::Graph;
-use rn_sim::{CollisionModel, NetParams};
+use rn_bench::BenchWorkload;
 
 /// The registry workloads this suite measures (one benchmark each).
 const SCENARIOS: &[&str] = &["bgi@grid(24x24)", "truncated@grid(24x24)", "broadcast@grid(24x24)"];
@@ -20,16 +18,12 @@ fn bench_broadcast_algorithms(c: &mut Criterion) {
     let mut group = c.benchmark_group("broadcast_grid24");
     group.sample_size(10);
     for spec_str in SCENARIOS {
-        let spec: ScenarioSpec = spec_str.parse().expect("registry scenario");
-        let g: Graph = spec.topology.build(TOPOLOGY_SEED);
-        let net = NetParams::new(g.n(), g.diameter_double_sweep());
-        let runnable = spec.protocol.instantiate();
-        let model = runnable.effective_model(CollisionModel::NoCollisionDetection);
-        group.bench_function(runnable.name(), |b| {
+        let w = BenchWorkload::resolve(spec_str, TOPOLOGY_SEED);
+        group.bench_function(w.name.clone(), |b| {
             let mut seed = 0u64;
             b.iter(|| {
                 seed += 1;
-                let r = runnable.run_trial(&g, net, model, seed);
+                let r = w.run_trial(seed);
                 assert!(r.completed, "{spec_str} must complete");
                 r.rounds
             });

@@ -1,27 +1,36 @@
 //! E10 micro-bench: Compete with growing source sets (Theorem 4.1's
-//! `|S|·D^0.125` term).
+//! `|S|·D^0.125` term), plus the CD-exploiting analogue at one arity.
+//!
+//! Workloads are `ScenarioSpec` strings resolved through the scenario
+//! registry (see `benches/broadcast.rs`) — the PR 4 partial port finished:
+//! growing `K` is a string edit, and the same strings run as campaigns.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rn_core::{compete_with_net, CompeteParams};
-use rn_graph::{generators, NodeId};
-use rn_sim::NetParams;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rn_bench::BenchWorkload;
+
+/// The registry workloads this suite measures (one benchmark each).
+const SCENARIOS: &[&str] = &[
+    "compete(1)@grid(24x24)",
+    "compete(16)@grid(24x24)",
+    "compete(64)@grid(24x24)",
+    "compete_cd(16)@grid(24x24)",
+];
+
+/// Graph-build seed: benches pin one topology instance across all runs.
+const TOPOLOGY_SEED: u64 = 0xC0;
 
 fn bench_compete_sources(c: &mut Criterion) {
-    let g = generators::grid(24, 24);
-    let net = NetParams::new(g.n(), 46);
-    let params = CompeteParams::default();
     let mut group = c.benchmark_group("compete_sources_grid24");
     group.sample_size(10);
-    for s_count in [1usize, 16, 64] {
-        let sources: Vec<(NodeId, u64)> =
-            (0..s_count).map(|k| (((k * 577) % g.n()) as NodeId, k as u64 + 1)).collect();
-        group.bench_with_input(BenchmarkId::from_parameter(s_count), &s_count, |b, _| {
+    for spec_str in SCENARIOS {
+        let w = BenchWorkload::resolve(spec_str, TOPOLOGY_SEED);
+        group.bench_function(w.name.clone(), |b| {
             let mut seed = 0u64;
             b.iter(|| {
                 seed += 1;
-                let r = compete_with_net(&g, net, &sources, &params, seed).expect("valid");
-                assert!(r.completed);
-                r.propagation_rounds
+                let r = w.run_trial(seed);
+                assert!(r.completed, "{spec_str} must complete");
+                r.rounds
             });
         });
     }

@@ -1,50 +1,36 @@
-//! E1 micro-bench: the Decay primitive (Lemma 3.1) and BGI broadcast.
+//! E1 micro-bench: the decay family — raw multi-source decay, its
+//! truncated variant, and BGI broadcast built on it.
+//!
+//! Workloads are `ScenarioSpec` strings resolved through the scenario
+//! registry (see `benches/broadcast.rs`) — the PR 4 partial port finished.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rn_decay::{DecayBroadcast, SingleDecayRound};
-use rn_graph::generators;
-use rn_sim::{CollisionModel, NetParams, Simulator};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rn_bench::BenchWorkload;
 
-fn bench_single_decay_round(c: &mut Criterion) {
-    let mut group = c.benchmark_group("decay_round");
-    group.sample_size(20);
-    for k in [16usize, 256] {
-        let g = generators::star(k + 1);
-        let participants: Vec<u32> = (1..=k as u32).collect();
-        group.bench_with_input(BenchmarkId::new("star", k), &k, |b, _| {
-            let mut seed = 0u64;
-            b.iter(|| {
-                seed += 1;
-                let mut p = SingleDecayRound::new(k + 1, 10, participants.clone(), seed);
-                let mut sim = Simulator::new(&g, CollisionModel::NoCollisionDetection, seed);
-                sim.run(&mut p, 10);
-                p.has_received(0)
-            });
-        });
-    }
-    group.finish();
-}
+/// The registry workloads this suite measures (one benchmark each).
+const SCENARIOS: &[&str] =
+    &["decay(4)@grid(16x16)", "decay_trunc(4)@grid(16x16)", "bgi@grid(24x24)"];
 
-fn bench_bgi_broadcast(c: &mut Criterion) {
-    let mut group = c.benchmark_group("bgi_broadcast");
+/// Graph-build seed: benches pin one topology instance across all runs.
+const TOPOLOGY_SEED: u64 = 0xD0;
+
+fn bench_decay_family(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decay_family");
     group.sample_size(10);
-    for m in [16usize, 24] {
-        let g = generators::grid(m, m);
-        let net = NetParams::new(g.n(), (2 * (m - 1)) as u32);
-        group.bench_with_input(BenchmarkId::new("grid", m), &m, |b, _| {
+    for spec_str in SCENARIOS {
+        let w = BenchWorkload::resolve(spec_str, TOPOLOGY_SEED);
+        group.bench_function(w.name.clone(), |b| {
             let mut seed = 0u64;
             b.iter(|| {
                 seed += 1;
-                let mut p = DecayBroadcast::single_source(net, 0, 1, seed);
-                let mut sim = Simulator::new(&g, CollisionModel::NoCollisionDetection, seed);
-                let stats = sim.run_until(&mut p, 1_000_000, |_, p| p.all_informed());
-                assert!(p.all_informed());
-                stats.rounds
+                let r = w.run_trial(seed);
+                assert!(r.completed, "{spec_str} must complete");
+                r.rounds
             });
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_single_decay_round, bench_bgi_broadcast);
+criterion_group!(benches, bench_decay_family);
 criterion_main!(benches);

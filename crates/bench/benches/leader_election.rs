@@ -6,9 +6,7 @@
 //! workloads in sync by construction.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use rn_bench::ScenarioSpec;
-use rn_graph::Graph;
-use rn_sim::{CollisionModel, NetParams};
+use rn_bench::BenchWorkload;
 
 /// The registry workloads this suite measures (one benchmark each).
 const SCENARIOS: &[&str] = &["leader_election@grid(16x16)", "binsearch_le(bgi)@grid(16x16)"];
@@ -20,16 +18,12 @@ fn bench_leader_election(c: &mut Criterion) {
     let mut group = c.benchmark_group("leader_election_grid16");
     group.sample_size(10);
     for spec_str in SCENARIOS {
-        let spec: ScenarioSpec = spec_str.parse().expect("registry scenario");
-        let g: Graph = spec.topology.build(TOPOLOGY_SEED);
-        let net = NetParams::new(g.n(), g.diameter_double_sweep());
-        let runnable = spec.protocol.instantiate();
-        let model = runnable.effective_model(CollisionModel::NoCollisionDetection);
-        group.bench_function(runnable.name(), |b| {
+        let w = BenchWorkload::resolve(spec_str, TOPOLOGY_SEED);
+        group.bench_function(w.name.clone(), |b| {
             let mut seed = 0u64;
             b.iter(|| {
                 seed += 1;
-                let r = runnable.run_trial(&g, net, model, seed);
+                let r = w.run_trial(seed);
                 assert!(r.completed, "{spec_str} must elect");
                 r.rounds
             });

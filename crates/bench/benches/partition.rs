@@ -1,38 +1,37 @@
-//! E2/E3 micro-bench: Partition(β) oracle construction and property
-//! measurement.
+//! E2/E3 micro-bench: the Partition(β) sub-protocol, now a registry family
+//! — each iteration runs the distributed construction end to end and
+//! reports its radio-round cost.
+//!
+//! Workloads are `ScenarioSpec` strings resolved through the scenario
+//! registry (see `benches/broadcast.rs`); β is part of the string, so
+//! sweeping it is a string edit.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
-use rn_cluster::{stats::PartitionStats, Partition};
-use rn_graph::generators;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rn_bench::BenchWorkload;
 
-fn bench_partition_compute(c: &mut Criterion) {
-    let mut group = c.benchmark_group("partition_compute");
-    group.sample_size(20);
-    let g = generators::grid(32, 32);
-    for j in [1i32, 4] {
-        let beta = (2.0f64).powi(-j);
-        group.bench_with_input(BenchmarkId::new("grid32_beta", format!("2^-{j}")), &j, |b, _| {
+/// The registry workloads this suite measures (one benchmark each):
+/// the acceptance β plus a finer clustering on the same grid.
+const SCENARIOS: &[&str] = &["partition(0.5)@grid(32x32)", "partition(0.0625)@grid(32x32)"];
+
+/// Graph-build seed: benches pin one topology instance across all runs.
+const TOPOLOGY_SEED: u64 = 0x9A;
+
+fn bench_partition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partition_grid32");
+    group.sample_size(10);
+    for spec_str in SCENARIOS {
+        let w = BenchWorkload::resolve(spec_str, TOPOLOGY_SEED);
+        group.bench_function(w.name.clone(), |b| {
             let mut seed = 0u64;
             b.iter(|| {
                 seed += 1;
-                let mut rng = SmallRng::seed_from_u64(seed);
-                Partition::compute(&g, beta, &mut rng).num_clusters()
+                let r = w.run_trial(seed);
+                r.rounds
             });
         });
     }
     group.finish();
 }
 
-fn bench_partition_stats(c: &mut Criterion) {
-    let g = generators::grid(32, 32);
-    let mut rng = SmallRng::seed_from_u64(7);
-    let p = Partition::compute(&g, 0.25, &mut rng);
-    c.bench_function("partition_stats_grid32", |b| {
-        b.iter(|| PartitionStats::measure(&g, &p).cut_edges)
-    });
-}
-
-criterion_group!(benches, bench_partition_compute, bench_partition_stats);
+criterion_group!(benches, bench_partition);
 criterion_main!(benches);

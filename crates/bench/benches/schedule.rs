@@ -1,43 +1,36 @@
-//! E6 micro-bench: schedule construction and downcast execution
-//! (the Lemma 2.3 substrate).
+//! E6 micro-bench: the schedule executors (the Lemma 2.3 substrate), now a
+//! registry family — each iteration computes a fresh Partition(β), builds
+//! the tree schedule and runs one full-radius pass.
+//!
+//! Workloads are `ScenarioSpec` strings resolved through the scenario
+//! registry (see `benches/broadcast.rs`); the executor and β are part of
+//! the string.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
-use rn_cluster::Partition;
-use rn_graph::generators;
-use rn_schedule::{Downcast, SlotPolicy, TreeSchedule};
-use rn_sim::{CollisionModel, Simulator};
+use rn_bench::BenchWorkload;
 
-fn bench_schedule_build(c: &mut Criterion) {
-    let g = generators::grid(32, 32);
-    let mut rng = SmallRng::seed_from_u64(3);
-    let part = Partition::compute(&g, 0.25, &mut rng);
-    c.bench_function("schedule_build_grid32", |b| {
-        b.iter(|| TreeSchedule::build(&g, &part, SlotPolicy::Auto).window())
-    });
-}
+/// The registry workloads this suite measures (one benchmark each).
+const SCENARIOS: &[&str] = &["schedule(downcast)@grid(32x32)", "schedule(upcast)@torus(24x24)"];
 
-fn bench_downcast_pass(c: &mut Criterion) {
-    let g = generators::grid(32, 32);
-    let mut rng = SmallRng::seed_from_u64(4);
-    let part = Partition::compute(&g, 1e-9, &mut rng); // single cluster
-    let sched = TreeSchedule::build(&g, &part, SlotPolicy::Auto);
-    let mut group = c.benchmark_group("downcast_pass");
-    group.sample_size(20);
-    group.bench_function("grid32_full_radius", |b| {
-        let mut seed = 0u64;
-        b.iter(|| {
-            seed += 1;
-            let mut dc = Downcast::from_center_values(&sched, sched.max_depth(), &[Some(1)]);
-            let budget = dc.pass_len();
-            let mut sim = Simulator::new(&g, CollisionModel::NoCollisionDetection, seed);
-            sim.run(&mut dc, budget);
-            dc.value_of(0)
+/// Graph-build seed: benches pin one topology instance across all runs.
+const TOPOLOGY_SEED: u64 = 0x5C;
+
+fn bench_schedule_passes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schedule_passes");
+    group.sample_size(10);
+    for spec_str in SCENARIOS {
+        let w = BenchWorkload::resolve(spec_str, TOPOLOGY_SEED);
+        group.bench_function(w.name.clone(), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let r = w.run_trial(seed);
+                r.rounds
+            });
         });
-    });
+    }
     group.finish();
 }
 
-criterion_group!(benches, bench_schedule_build, bench_downcast_pass);
+criterion_group!(benches, bench_schedule_passes);
 criterion_main!(benches);

@@ -5,7 +5,7 @@
 //!
 //! ```text
 //! experiments [--seed N] [--trials N] [--threads N] [--model nocd|cd]
-//!             [--faults SPEC] [--json PATH]
+//!             [--faults SPEC] [--json PATH] [--no-table]
 //!             (--list | --check PATH | --scenario SPEC | all | ID [ID ...])
 //! ```
 //!
@@ -25,6 +25,9 @@
 //! * `--json PATH` — additionally stream the campaign's versioned JSON
 //!   results file, cell by cell as they finish (campaign targets only, one
 //!   target per run);
+//! * `--no-table` — skip the in-memory markdown table entirely (requires
+//!   `--json`): huge streamed sweeps then hold only the cells in flight,
+//!   never the whole result;
 //! * `--check PATH` — parse and schema-validate a results file, then exit
 //!   (the CI smoke gate).
 
@@ -32,10 +35,9 @@ use rn_bench::presets::{self, PresetKind};
 use rn_bench::registry::parse_model;
 use rn_bench::sink::{CampaignSink, RunHeader};
 use rn_bench::{
-    executor, Campaign, CellResult, Json, JsonStreamSink, MemorySink, OverrideKey, ScenarioSpec,
-    TrialPlan,
+    executor, registry_listing, Campaign, CellResult, Json, JsonStreamSink, MemorySink,
+    ScenarioSpec, TrialPlan,
 };
-use rn_graph::TopologySpec;
 use rn_sim::{CollisionModel, FaultPlan};
 use std::io::{self, BufWriter};
 use std::time::Instant;
@@ -48,6 +50,7 @@ struct Args {
     model: Option<CollisionModel>,
     faults: Option<FaultPlan>,
     json: Option<String>,
+    no_table: bool,
     scenario: Option<String>,
     check: Option<String>,
     list: bool,
@@ -62,6 +65,7 @@ fn parse_args() -> Args {
         model: None,
         faults: None,
         json: None,
+        no_table: false,
         scenario: None,
         check: None,
         list: false,
@@ -104,6 +108,7 @@ fn parse_args() -> Args {
                     Some(value("--faults").parse().unwrap_or_else(|e| usage(&format!("{e}"))));
             }
             "--json" => args.json = Some(value("--json")),
+            "--no-table" => args.no_table = true,
             "--scenario" => args.scenario = Some(value("--scenario")),
             "--check" => args.check = Some(value("--check")),
             "--list" => args.list = true,
@@ -135,6 +140,9 @@ fn main() {
     }
     if args.scenario.is_some() && !args.ids.is_empty() {
         usage("--scenario cannot be combined with preset ids (run them separately)");
+    }
+    if args.no_table && args.json.is_none() {
+        usage("--no-table only makes sense with --json (there would be no output at all)");
     }
 
     let t_total = Instant::now();
@@ -246,7 +254,9 @@ impl<W: io::Write + Send> CampaignSink for TableAndJson<W> {
 
 /// Runs one campaign on the resolved thread budget: markdown to stdout,
 /// and — when `--json` is given — the results file streamed cell-by-cell
-/// (byte-identical to the in-memory rendering for the same seed).
+/// (byte-identical to the in-memory rendering for the same seed). With
+/// `--no-table` the in-memory tee is skipped entirely, so memory stays
+/// proportional to the cells in flight, never the whole sweep.
 fn run_campaign(campaign: &Campaign, args: &Args) {
     // --faults/--model edits bypass the scenario-string parser's placement
     // checks; re-validate so an oversized plan is a usage error, not a
@@ -263,16 +273,23 @@ fn run_campaign(campaign: &Campaign, args: &Args) {
                 eprintln!("error: cannot write {path}: {e}");
                 std::process::exit(1);
             });
-            let mut sink = TableAndJson {
-                table: MemorySink::new(),
-                json: JsonStreamSink::new(BufWriter::new(file)),
-            };
-            executor::execute(campaign, seed, threads, &mut sink).unwrap_or_else(|e| {
+            let stream = JsonStreamSink::new(BufWriter::new(file));
+            let io_error = |e: io::Error| -> ! {
                 eprintln!("error: cannot write {path}: {e}");
                 std::process::exit(1);
-            });
-            sink.table.into_result().to_table().print();
-            let cells = sink.json.cells_written();
+            };
+            let cells = if args.no_table {
+                let mut sink = stream;
+                executor::execute(campaign, seed, threads, &mut sink)
+                    .unwrap_or_else(|e| io_error(e));
+                sink.cells_written()
+            } else {
+                let mut sink = TableAndJson { table: MemorySink::new(), json: stream };
+                executor::execute(campaign, seed, threads, &mut sink)
+                    .unwrap_or_else(|e| io_error(e));
+                sink.table.into_result().to_table().print();
+                sink.json.cells_written()
+            };
             println!("\n_[results streamed to {path} ({cells} cells, {threads} threads)]_");
         }
     }
@@ -297,42 +314,19 @@ fn check_results_file(path: &str) {
     }
 }
 
-/// Prints the full registry: topology grammar, protocols, fault grammar,
-/// override keys, presets.
+/// Prints the full registry: topology grammar, protocol families (grammar,
+/// about, override schemas), fault grammar, presets. Rendered by
+/// [`registry_listing`], which `tests/golden_list.rs` pins against a
+/// committed golden file so grammar drift is caught in review.
 fn print_list() {
-    println!("topology specs:");
-    for form in TopologySpec::GRAMMAR {
-        println!("  {form}");
-    }
-    println!("\nprotocols (Compete-family ones take {{key=value}} overrides):");
-    for p in rn_bench::ProtocolSpec::all() {
-        println!("  {p}");
-    }
-    println!("\ncollision models:\n  nocd\n  cd");
-    println!("\nfault suffixes (append to the topology, also accepted by --faults):");
-    for form in FaultPlan::GRAMMAR {
-        println!("  !{form}");
-    }
-    println!("\noverride keys:");
-    for k in OverrideKey::ALL {
-        println!("  {:<12} {}", k.as_str(), k.about());
-    }
-    println!("\npresets:");
-    for p in presets::presets() {
-        println!("  {:<16} [{:>8}]  {}", p.id, p.kind_name(), p.about);
-    }
-    println!(
-        "\nscenario syntax: PROTOCOL[{{OVERRIDES}}]@TOPOLOGY[!FAULTS], e.g.\n  \
-         \"leader_election@torus(32x32)\"\n  \
-         \"broadcast{{curtail=1e6}}@rgg(500,0.08)!jam(5,0.5)\""
-    );
+    print!("{}", registry_listing());
 }
 
 fn usage(err: &str) -> ! {
     eprintln!("error: {err}");
     eprintln!(
         "usage: experiments [--seed N] [--trials N] [--threads N] [--model nocd|cd]\n\
-         \x20                  [--faults SPEC] [--json PATH]\n\
+         \x20                  [--faults SPEC] [--json PATH] [--no-table]\n\
          \x20                  (--list | --check PATH | --scenario SPEC | all | ID [ID ...])"
     );
     std::process::exit(2);

@@ -106,11 +106,11 @@ impl Campaign {
         for topo in &self.topologies {
             let n = topo.nodes();
             for proto in &self.protocols {
-                let need = proto.kind.required_nodes();
+                let need = proto.required_nodes();
                 if need > n {
                     return Err(format!(
                         "{} needs {need} distinct source nodes but {topo} has only {n}",
-                        proto.kind
+                        proto.base()
                     ));
                 }
             }
@@ -503,17 +503,12 @@ pub fn validate_results(doc: &Json) -> Result<String, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::registry::{ProbeSpec, ProtocolKind};
-    use rn_core::SourcePlacement;
 
     fn tiny_campaign() -> Campaign {
         Campaign {
             id: "unit".into(),
             topologies: vec![TopologySpec::Path(16), TopologySpec::Star(9)],
-            protocols: vec![
-                ProtocolSpec::plain(ProtocolKind::Bgi),
-                ProtocolSpec::plain(ProtocolKind::Decay(2)),
-            ],
+            protocols: vec![ProtocolSpec::parse("bgi"), ProtocolSpec::parse("decay(2)")],
             models: vec![CollisionModel::NoCollisionDetection],
             faults: Campaign::no_faults(),
             plan: TrialPlan::new(2),
@@ -549,7 +544,7 @@ mod tests {
     #[test]
     fn single_scenario_campaign_from_spec_string() {
         let spec: ScenarioSpec = "binsearch_le(beep)@grid(6x6)".parse().expect("parses");
-        assert_eq!(spec.protocol, ProtocolSpec::plain(ProtocolKind::BinsearchLe(ProbeSpec::Beep)));
+        assert_eq!(spec.protocol, ProtocolSpec::parse("binsearch_le(beep)"));
         let r = Campaign::single(&spec, 2).run(9);
         assert_eq!(r.cells.len(), 1);
         assert_eq!(r.cells[0].protocol, "binsearch_le(beep)");
@@ -562,7 +557,7 @@ mod tests {
         let campaign = Campaign {
             id: "faulted".into(),
             topologies: vec![TopologySpec::Grid { w: 6, h: 6 }],
-            protocols: vec![ProtocolSpec::plain(ProtocolKind::Bgi)],
+            protocols: vec![ProtocolSpec::parse("bgi")],
             models: vec![CollisionModel::NoCollisionDetection],
             faults: vec![FaultPlan::none(), FaultPlan::jam(36, 1.0)],
             plan: TrialPlan::new(2),
@@ -590,8 +585,7 @@ mod tests {
         assert!(err.contains("10 jammers") && err.contains("star(9)"), "{err}");
         // Same guard for compete(K) sources, whatever the placement.
         campaign.faults = Campaign::no_faults();
-        campaign.protocols =
-            vec![ProtocolSpec::plain(ProtocolKind::Compete(10, SourcePlacement::Corner))];
+        campaign.protocols = vec![ProtocolSpec::parse("compete(10,corner)")];
         let err = campaign.validate().unwrap_err();
         assert!(err.contains("10 distinct source nodes"), "{err}");
     }
@@ -603,10 +597,7 @@ mod tests {
         let campaign = Campaign {
             id: "dedup".into(),
             topologies: vec![TopologySpec::Grid { w: 6, h: 6 }],
-            protocols: vec![
-                ProtocolSpec::plain(ProtocolKind::BinsearchLe(ProbeSpec::Beep)),
-                ProtocolSpec::plain(ProtocolKind::Bgi),
-            ],
+            protocols: vec![ProtocolSpec::parse("binsearch_le(beep)"), ProtocolSpec::parse("bgi")],
             models: vec![CollisionModel::NoCollisionDetection, CollisionModel::CollisionDetection],
             faults: Campaign::no_faults(),
             plan: TrialPlan::new(1),
@@ -632,10 +623,7 @@ mod tests {
         let campaign = Campaign {
             id: "plan".into(),
             topologies: vec![TopologySpec::Grid { w: 6, h: 6 }],
-            protocols: vec![
-                ProtocolSpec::plain(ProtocolKind::BinsearchLe(ProbeSpec::Beep)),
-                ProtocolSpec::plain(ProtocolKind::Bgi),
-            ],
+            protocols: vec![ProtocolSpec::parse("binsearch_le(beep)"), ProtocolSpec::parse("bgi")],
             models: vec![CollisionModel::NoCollisionDetection, CollisionModel::CollisionDetection],
             faults: Campaign::no_faults(),
             plan: TrialPlan::new(1),

@@ -222,7 +222,7 @@ pub fn execute(
 mod tests {
     use super::*;
     use crate::campaign::TrialPlan;
-    use crate::registry::{ProtocolKind, ProtocolSpec};
+    use crate::registry::ProtocolSpec;
     use rn_graph::TopologySpec;
     use rn_sim::{CollisionModel, FaultPlan};
 
@@ -230,10 +230,7 @@ mod tests {
         Campaign {
             id: "executor-unit".into(),
             topologies: vec![TopologySpec::Grid { w: 5, h: 5 }, TopologySpec::Path(20)],
-            protocols: vec![
-                ProtocolSpec::plain(ProtocolKind::Bgi),
-                ProtocolSpec::plain(ProtocolKind::Decay(3)),
-            ],
+            protocols: vec![ProtocolSpec::parse("bgi"), ProtocolSpec::parse("decay(3)")],
             models: vec![CollisionModel::NoCollisionDetection],
             faults: vec![FaultPlan::none(), FaultPlan::drop(0.05)],
             plan: TrialPlan::new(5),
@@ -260,7 +257,7 @@ mod tests {
         let c = Campaign {
             id: "one-cell".into(),
             topologies: vec![TopologySpec::Grid { w: 6, h: 6 }],
-            protocols: vec![ProtocolSpec::plain(ProtocolKind::Bgi)],
+            protocols: vec![ProtocolSpec::parse("bgi")],
             models: vec![CollisionModel::NoCollisionDetection],
             faults: Campaign::no_faults(),
             plan: TrialPlan::new(8),

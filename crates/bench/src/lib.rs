@@ -29,9 +29,11 @@ pub mod executor;
 pub mod experiments;
 mod harness;
 pub mod json;
+pub mod listing;
 pub mod presets;
 pub mod registry;
 pub mod sink;
+pub mod workload;
 
 pub use campaign::{
     validate_results, Campaign, CampaignResult, CellResult, CellSpec, CellStats, TrialPlan,
@@ -41,9 +43,12 @@ pub use diff::{diff_results, DiffReport, DiffStatus};
 pub use executor::resolve_threads;
 pub use harness::{parallel_trials, Table};
 pub use json::{Json, JsonError};
+pub use listing::registry_listing;
 pub use registry::{
-    model_name, parse_model, OverrideKey, Overrides, ProbeSpec, ProtocolKind, ProtocolSpec,
-    RegistryError, ScenarioSpec,
+    families, find_family, model_name, parse_model, Overrides, ProtocolSpec, RegistryError,
+    ScenarioSpec,
 };
 pub use rn_core::SourcePlacement;
+pub use rn_sim::{OverrideClass, OverrideSpec, ProtocolFamily};
 pub use sink::{CampaignSink, JsonStreamSink, MemorySink, RunHeader};
+pub use workload::BenchWorkload;

@@ -1,0 +1,97 @@
+//! The human-readable registry listing behind `experiments --list`.
+//!
+//! Rendered by one function so the CLI and the golden-file test
+//! (`tests/golden_list.rs`) cannot drift apart: any change to the topology
+//! grammar, a family's grammar/about line, an override schema or the preset
+//! table shows up as a golden diff in review.
+
+use crate::presets;
+use crate::registry::{families, ProtocolSpec};
+use rn_graph::TopologySpec;
+use rn_sim::{FaultPlan, OverrideSpec};
+use std::fmt::Write as _;
+
+/// Renders the full registry: topology grammar, protocol families (with
+/// per-family grammar and override schemas), canonical instances, collision
+/// models, fault grammar and presets.
+pub fn registry_listing() -> String {
+    let mut out = String::new();
+    let w = &mut out;
+    writeln!(w, "topology specs:").unwrap();
+    for form in TopologySpec::GRAMMAR {
+        writeln!(w, "  {form}").unwrap();
+    }
+
+    writeln!(w, "\nprotocol families:").unwrap();
+    for f in families() {
+        let marker = if f.overrides().is_empty() { "" } else { "  {overrides}" };
+        writeln!(w, "  {:<38} {}{marker}", f.grammar(), f.about()).unwrap();
+    }
+
+    writeln!(w, "\ncanonical protocol instances:").unwrap();
+    for spec in ProtocolSpec::all() {
+        writeln!(w, "  {spec}").unwrap();
+    }
+
+    // Override schemas, grouped by identity so shared schemas (the Compete
+    // family's) print once with the list of families accepting them.
+    let mut schemas: Vec<(&'static [OverrideSpec], Vec<&'static str>)> = Vec::new();
+    for f in families() {
+        let schema = f.overrides();
+        if schema.is_empty() {
+            continue;
+        }
+        match schemas.iter_mut().find(|(s, _)| std::ptr::eq(*s, schema)) {
+            Some((_, names)) => names.push(f.name()),
+            None => schemas.push((schema, vec![f.name()])),
+        }
+    }
+    for (schema, names) in &schemas {
+        writeln!(w, "\noverride keys ({{key=value}}, accepted by: {}):", names.join(", ")).unwrap();
+        for k in *schema {
+            writeln!(w, "  {:<12} {}", k.key, k.about).unwrap();
+        }
+    }
+
+    writeln!(w, "\ncollision models:\n  nocd\n  cd").unwrap();
+    writeln!(w, "\nfault suffixes (append to the topology, also accepted by --faults):").unwrap();
+    for form in FaultPlan::GRAMMAR {
+        writeln!(w, "  !{form}").unwrap();
+    }
+
+    writeln!(w, "\npresets:").unwrap();
+    for p in presets::presets() {
+        writeln!(w, "  {:<18} [{:>8}]  {}", p.id, p.kind_name(), p.about).unwrap();
+    }
+
+    writeln!(
+        w,
+        "\nscenario syntax: PROTOCOL[{{OVERRIDES}}]@TOPOLOGY[!FAULTS], e.g.\n  \
+         \"leader_election@torus(32x32)\"\n  \
+         \"broadcast{{curtail=1e6}}@rgg(500,0.08)!jam(5,0.5)\"\n  \
+         \"compete_cd(4)@rgg(500,0.08)!crash(0.01)\"\n  \
+         \"partition(0.5)@grid(32x32)\""
+    )
+    .unwrap();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn listing_names_every_family_and_preset() {
+        let listing = registry_listing();
+        for f in families() {
+            assert!(listing.contains(f.grammar()), "listing misses family {}", f.name());
+        }
+        for spec in ProtocolSpec::all() {
+            assert!(listing.contains(&spec.to_string()), "listing misses instance {spec}");
+        }
+        for p in presets::presets() {
+            assert!(listing.contains(p.id), "listing misses preset {}", p.id);
+        }
+        assert!(listing.contains("!crash(P)"), "fault grammar lists crash");
+    }
+}

@@ -15,10 +15,14 @@
 use crate::campaign::{Campaign, TrialPlan};
 use crate::experiments;
 use crate::harness::Table;
-use crate::registry::{ProbeSpec, ProtocolKind};
-use rn_core::SourcePlacement;
+use crate::registry::ProtocolSpec;
 use rn_graph::TopologySpec;
 use rn_sim::{CollisionModel, FaultPlan};
+
+/// Shorthand: parse a statically known protocol spec.
+fn p(spec: &str) -> ProtocolSpec {
+    ProtocolSpec::parse(spec)
+}
 
 /// What a preset id resolves to.
 pub enum PresetKind {
@@ -119,6 +123,16 @@ pub fn presets() -> Vec<Preset> {
             about: "compete(K) source geometry: uniform vs clustered vs corner placement",
             kind: PresetKind::Campaign(sweep_placement),
         },
+        Preset {
+            id: "sweep_cd",
+            about: "CD ablation: nocd-tolerant protocols vs the CD-exploiting *_cd variants",
+            kind: PresetKind::Campaign(sweep_cd),
+        },
+        Preset {
+            id: "sweep_subprotocols",
+            about: "sub-protocol primitives: Partition(beta) and schedule passes across shapes",
+            kind: PresetKind::Campaign(sweep_subprotocols),
+        },
     ]
 }
 
@@ -138,7 +152,7 @@ fn smoke() -> Campaign {
             TopologySpec::Grid { w: 8, h: 8 },
             TopologySpec::RingOfCliques { cliques: 4, size: 6 },
         ],
-        protocols: vec![ProtocolKind::Broadcast.into(), ProtocolKind::Bgi.into()],
+        protocols: vec![p("broadcast"), p("bgi")],
         models: nocd(),
         faults: Campaign::no_faults(),
         plan: TrialPlan::new(3),
@@ -156,13 +170,7 @@ fn sweep_broadcast() -> Campaign {
             TopologySpec::Barbell { clique: 64, bridge: 64 },
             TopologySpec::Rgg { n: 1024, radius: 0.06 },
         ],
-        protocols: vec![
-            ProtocolKind::Broadcast.into(),
-            ProtocolKind::BroadcastHw.into(),
-            ProtocolKind::Bgi.into(),
-            ProtocolKind::Truncated.into(),
-            ProtocolKind::Decay(4).into(),
-        ],
+        protocols: vec![p("broadcast"), p("broadcast_hw"), p("bgi"), p("truncated"), p("decay(4)")],
         models: nocd(),
         faults: Campaign::no_faults(),
         plan: TrialPlan::new(5),
@@ -177,11 +185,7 @@ fn sweep_le() -> Campaign {
             TopologySpec::Torus { w: 16, h: 16 },
             TopologySpec::RingOfCliques { cliques: 8, size: 16 },
         ],
-        protocols: vec![
-            ProtocolKind::LeaderElection.into(),
-            ProtocolKind::BinsearchLe(ProbeSpec::Bgi).into(),
-            ProtocolKind::BinsearchLe(ProbeSpec::Beep).into(),
-        ],
+        protocols: vec![p("leader_election"), p("binsearch_le(bgi)"), p("binsearch_le(beep)")],
         models: nocd(),
         faults: Campaign::no_faults(),
         plan: TrialPlan::new(3),
@@ -192,11 +196,7 @@ fn sweep_models() -> Campaign {
     Campaign {
         id: "sweep_models".into(),
         topologies: vec![TopologySpec::Grid { w: 16, h: 16 }, TopologySpec::Star(256)],
-        protocols: vec![
-            ProtocolKind::Broadcast.into(),
-            ProtocolKind::Bgi.into(),
-            ProtocolKind::Decay(8).into(),
-        ],
+        protocols: vec![p("broadcast"), p("bgi"), p("decay(8)")],
         models: vec![CollisionModel::NoCollisionDetection, CollisionModel::CollisionDetection],
         faults: Campaign::no_faults(),
         plan: TrialPlan::new(3),
@@ -211,11 +211,7 @@ fn sweep_faults() -> Campaign {
             TopologySpec::RingOfCliques { cliques: 8, size: 16 },
             TopologySpec::Rgg { n: 400, radius: 0.1 },
         ],
-        protocols: vec![
-            ProtocolKind::Broadcast.into(),
-            ProtocolKind::Bgi.into(),
-            ProtocolKind::Decay(4).into(),
-        ],
+        protocols: vec![p("broadcast"), p("bgi"), p("decay(4)")],
         models: nocd(),
         faults: vec![FaultPlan::none(), FaultPlan::jam(3, 0.5), FaultPlan::drop(0.02)],
         plan: TrialPlan::new(3),
@@ -230,10 +226,47 @@ fn sweep_placement() -> Campaign {
             TopologySpec::Path(256),
             TopologySpec::RingOfCliques { cliques: 8, size: 16 },
         ],
-        protocols: SourcePlacement::ALL
-            .iter()
-            .map(|&p| ProtocolKind::Compete(4, p).into())
-            .collect(),
+        protocols: vec![p("compete(4)"), p("compete(4,clustered)"), p("compete(4,corner)")],
+        models: nocd(),
+        faults: Campaign::no_faults(),
+        plan: TrialPlan::new(3),
+    }
+}
+
+fn sweep_cd() -> Campaign {
+    Campaign {
+        id: "sweep_cd".into(),
+        topologies: vec![
+            TopologySpec::Grid { w: 16, h: 16 },
+            TopologySpec::Rgg { n: 400, radius: 0.1 },
+        ],
+        protocols: vec![
+            p("broadcast"),
+            p("broadcast_cd"),
+            p("bgi"),
+            p("compete(4)"),
+            p("compete_cd(4)"),
+        ],
+        models: vec![CollisionModel::NoCollisionDetection, CollisionModel::CollisionDetection],
+        faults: Campaign::no_faults(),
+        plan: TrialPlan::new(3),
+    }
+}
+
+fn sweep_subprotocols() -> Campaign {
+    Campaign {
+        id: "sweep_subprotocols".into(),
+        topologies: vec![
+            TopologySpec::Grid { w: 24, h: 24 },
+            TopologySpec::Torus { w: 24, h: 24 },
+            TopologySpec::Rgg { n: 400, radius: 0.1 },
+        ],
+        protocols: vec![
+            p("partition(0.5)"),
+            p("partition(0.125)"),
+            p("schedule(downcast)"),
+            p("schedule(upcast)"),
+        ],
         models: nocd(),
         faults: Campaign::no_faults(),
         plan: TrialPlan::new(3),
@@ -257,6 +290,8 @@ mod tests {
             "sweep_models",
             "sweep_faults",
             "sweep_placement",
+            "sweep_cd",
+            "sweep_subprotocols",
         ] {
             assert!(ids.contains(&c), "campaign preset {c} must be registered");
         }

@@ -1,98 +1,68 @@
-//! The scenario registry: every [`Runnable`] protocol in the workspace,
-//! addressable by a stable string form, plus the combined
-//! `protocol@topology` scenario spec.
+//! The scenario registry: the assembled **open protocol-family registry**,
+//! plus the combined `protocol@topology` scenario spec.
 //!
 //! The registry is the seam that makes workloads data instead of code: a
 //! campaign (or the `experiments --scenario` CLI) names protocols and
 //! topologies as strings, and the registry instantiates the matching
-//! [`Runnable`] from `rn_core`, `rn_baselines` or `rn_decay`. Adding an
-//! algorithm means implementing `Runnable` in its home crate and adding one
-//! arm here — no experiment code changes anywhere.
+//! [`Runnable`] from whichever crate registered the family. Since the
+//! [`ProtocolFamily`] redesign, this module no longer *knows* the
+//! protocols: it assembles the family lists contributed by `rn_core`,
+//! `rn_baselines`, `rn_decay`, `rn_cluster` and `rn_schedule` (in that
+//! order) and drives everything — parsing, validation, override schemas,
+//! help output, instantiation — through the trait. Adding an algorithm
+//! anywhere in the workspace is one `ProtocolFamily` impl plus one line in
+//! its crate's `families()`; no code here changes.
 //!
 //! Three orthogonal string axes ride on the base grammar:
 //!
-//! * **parameter overrides** — Compete-family protocols accept per-cell
-//!   [`CompeteParams`] overrides in braces, e.g. `broadcast{curtail=1e6}` or
-//!   `compete(4){mu=0.2,background=0}` (see [`OverrideKey`] for the key
-//!   set);
-//! * **source placement** — `compete(K)` accepts a placement policy as a
-//!   second argument, e.g. `compete(4,clustered)` or `compete(4,corner)`
-//!   (see [`SourcePlacement`]; `uniform` is the elided default);
-//! * **fault suffixes** — a scenario may append `!jam(K,P)` and/or
-//!   `!drop(P)` after the topology, e.g.
-//!   `broadcast@rgg(500,0.08)!jam(5,0.5)`, parsed into an
+//! * **parameter overrides** — families with an override schema (the
+//!   Compete family: `broadcast`, `broadcast_hw`, `compete`,
+//!   `leader_election`) accept per-cell `{key=value}` overrides, e.g.
+//!   `broadcast{curtail=1e6}` or `compete(4){mu=0.2,background=0}`;
+//! * **positional arguments** — per-family grammar, e.g. `compete(4,corner)`,
+//!   `binsearch_le(beep)`, `partition(0.5)`, `schedule(upcast,0.1)`;
+//! * **fault suffixes** — a scenario may append `!jam(K,P)`, `!drop(P)`
+//!   and/or `!crash(P)` after the topology, e.g.
+//!   `broadcast@rgg(500,0.08)!jam(5,0.5)!crash(0.01)`, parsed into an
 //!   [`rn_sim::FaultPlan`].
 //!
 //! All round-trip through `Display`/`FromStr` exactly like the base
-//! grammar.
+//! grammar; non-canonical input (`compete(4,uniform)`) normalizes on the
+//! first round trip.
 
-use rn_baselines::{BgiScenario, BinarySearchLeScenario, BroadcastKind, TruncatedScenario};
-use rn_core::{
-    BroadcastScenario, CompeteParams, CompeteScenario, LeaderElectionScenario, SourcePlacement,
-};
-use rn_decay::DecayScenario;
 use rn_graph::TopologySpec;
-use rn_sim::{CollisionModel, FaultPlan, Runnable};
+use rn_sim::{CollisionModel, FaultPlan, OverrideSpec, ProtocolFamily, Runnable};
 use std::error::Error;
 use std::fmt;
 use std::str::FromStr;
+use std::sync::OnceLock;
 
-/// A protocol family from the registry (the part of a [`ProtocolSpec`]
-/// before any `{...}` overrides), with a stable string representation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[non_exhaustive]
-pub enum ProtocolKind {
-    /// `broadcast` — the paper's broadcast (Theorem 5.1, default params).
-    Broadcast,
-    /// `broadcast_hw` — same pipeline under Haeupler–Wajc curtailment.
-    BroadcastHw,
-    /// `compete(K)` / `compete(K,POLICY)` — Compete(S) with `K` distinct
-    /// sources (Theorem 4.1), placed per the [`SourcePlacement`] policy
-    /// (`uniform` — the default, elided in the canonical form — `clustered`
-    /// or `corner`).
-    Compete(usize, SourcePlacement),
-    /// `leader_election` — Algorithm 6 (Theorem 5.2).
-    LeaderElection,
-    /// `bgi` — BGI'92 decay broadcast baseline.
-    Bgi,
-    /// `truncated` — CR/KP-style truncated decay baseline.
-    Truncated,
-    /// `decay(K)` — raw multi-source decay with `K` spread sources.
-    Decay(usize),
-    /// `decay_trunc(K)` — truncated multi-source decay.
-    DecayTrunc(usize),
-    /// `binsearch_le(PROBE)` — the classical leader-election reduction over
-    /// probe `bgi`, `cd17` or `beep`.
-    BinsearchLe(ProbeSpec),
+/// Every registered protocol family, in listing order (assembly order of
+/// the contributing crates; the pre-redesign families keep their historic
+/// positions so `--list` and error messages stay stable).
+pub fn families() -> &'static [&'static dyn ProtocolFamily] {
+    static REGISTRY: OnceLock<Vec<&'static dyn ProtocolFamily>> = OnceLock::new();
+    REGISTRY.get_or_init(|| {
+        let mut all: Vec<&'static dyn ProtocolFamily> = Vec::new();
+        all.extend(rn_core::families());
+        all.extend(rn_baselines::families());
+        all.extend(rn_decay::families());
+        all.extend(rn_cluster::families());
+        all.extend(rn_schedule::families());
+        for (i, f) in all.iter().enumerate() {
+            assert!(
+                all[..i].iter().all(|g| g.name() != f.name()),
+                "duplicate protocol family name {:?} in the registry",
+                f.name()
+            );
+        }
+        all
+    })
 }
 
-/// The probe of the binary-search leader-election reduction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum ProbeSpec {
-    /// BGI decay broadcast probe (the classical setup).
-    Bgi,
-    /// This paper's Compete broadcast as the probe.
-    Cd17,
-    /// A beep wave in the collision-detection model (`D + 1` per probe).
-    Beep,
-}
-
-impl ProbeSpec {
-    fn as_str(self) -> &'static str {
-        match self {
-            ProbeSpec::Bgi => "bgi",
-            ProbeSpec::Cd17 => "cd17",
-            ProbeSpec::Beep => "beep",
-        }
-    }
-
-    fn kind(self) -> BroadcastKind {
-        match self {
-            ProbeSpec::Bgi => BroadcastKind::Bgi,
-            ProbeSpec::Cd17 => BroadcastKind::CzumajDavies,
-            ProbeSpec::Beep => BroadcastKind::BeepWaveCd,
-        }
-    }
+/// Looks a family up by name.
+pub fn find_family(name: &str) -> Option<&'static dyn ProtocolFamily> {
+    families().iter().copied().find(|f| f.name() == name)
 }
 
 /// Error from parsing a [`ProtocolSpec`] or [`ScenarioSpec`] string.
@@ -115,291 +85,20 @@ impl fmt::Display for RegistryError {
 
 impl Error for RegistryError {}
 
-impl ProtocolKind {
-    /// Dense index of the protocol *family* (ignoring parameters). The
-    /// exhaustive match here is the registry's completeness guard: adding an
-    /// enum variant without registering it in [`ProtocolSpec::all`] fails
-    /// the `registry_lists_every_protocol_family` test.
-    pub fn family_index(&self) -> usize {
-        match self {
-            ProtocolKind::Broadcast => 0,
-            ProtocolKind::BroadcastHw => 1,
-            ProtocolKind::Compete(..) => 2,
-            ProtocolKind::LeaderElection => 3,
-            ProtocolKind::Bgi => 4,
-            ProtocolKind::Truncated => 5,
-            ProtocolKind::Decay(_) => 6,
-            ProtocolKind::DecayTrunc(_) => 7,
-            ProtocolKind::BinsearchLe(_) => 8,
-        }
-    }
+/// An ordered list of per-cell parameter overrides, written
+/// `{key=value,key=value}` after a protocol name. Each pair references an
+/// entry of the owning family's [`OverrideSpec`] schema; values display in
+/// Rust's shortest-round-trip float form, so `parse(display(x)) == x`
+/// exactly.
+#[derive(Debug, Clone, Default)]
+pub struct Overrides(Vec<(&'static OverrideSpec, f64)>);
 
-    /// Number of protocol families (the range of
-    /// [`ProtocolKind::family_index`]).
-    pub const FAMILIES: usize = 9;
-
-    /// Whether this family is parameterized by [`CompeteParams`] and thus
-    /// accepts `{key=value}` overrides.
-    pub fn accepts_overrides(&self) -> bool {
-        matches!(
-            self,
-            ProtocolKind::Broadcast
-                | ProtocolKind::BroadcastHw
-                | ProtocolKind::Compete(..)
-                | ProtocolKind::LeaderElection
-        )
-    }
-
-    /// The number of distinct nodes this protocol needs the topology to
-    /// provide (source placement); 1 for single-source protocols.
-    pub fn required_nodes(&self) -> usize {
-        match *self {
-            ProtocolKind::Compete(k, _) => k,
-            _ => 1,
-        }
+impl PartialEq for Overrides {
+    fn eq(&self, other: &Overrides) -> bool {
+        self.0.len() == other.0.len()
+            && self.0.iter().zip(&other.0).all(|(&(a, av), &(b, bv))| a.key == b.key && av == bv)
     }
 }
-
-impl fmt::Display for ProtocolKind {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match *self {
-            ProtocolKind::Broadcast => write!(f, "broadcast"),
-            ProtocolKind::BroadcastHw => write!(f, "broadcast_hw"),
-            ProtocolKind::Compete(k, SourcePlacement::Uniform) => write!(f, "compete({k})"),
-            ProtocolKind::Compete(k, placement) => write!(f, "compete({k},{placement})"),
-            ProtocolKind::LeaderElection => write!(f, "leader_election"),
-            ProtocolKind::Bgi => write!(f, "bgi"),
-            ProtocolKind::Truncated => write!(f, "truncated"),
-            ProtocolKind::Decay(k) => write!(f, "decay({k})"),
-            ProtocolKind::DecayTrunc(k) => write!(f, "decay_trunc({k})"),
-            ProtocolKind::BinsearchLe(p) => write!(f, "binsearch_le({})", p.as_str()),
-        }
-    }
-}
-
-impl FromStr for ProtocolKind {
-    type Err = RegistryError;
-
-    fn from_str(s: &str) -> Result<ProtocolKind, RegistryError> {
-        let s = s.trim();
-        let (family, arg) = match s.find('(') {
-            Some(open) if s.ends_with(')') => (&s[..open], Some(s[open + 1..s.len() - 1].trim())),
-            Some(_) => {
-                return Err(RegistryError::new(format!("{s:?} is missing a closing parenthesis")))
-            }
-            None => (s, None),
-        };
-        let count = |arg: Option<&str>| -> Result<usize, RegistryError> {
-            let a =
-                arg.ok_or_else(|| RegistryError::new(format!("{family} needs a source count")))?;
-            let k: usize = a
-                .parse()
-                .map_err(|_| RegistryError::new(format!("{family}: {a:?} is not an integer")))?;
-            if k == 0 {
-                return Err(RegistryError::new(format!("{family} needs at least one source")));
-            }
-            Ok(k)
-        };
-        match (family, arg) {
-            ("broadcast", None) => Ok(ProtocolKind::Broadcast),
-            ("broadcast_hw", None) => Ok(ProtocolKind::BroadcastHw),
-            ("leader_election", None) => Ok(ProtocolKind::LeaderElection),
-            ("bgi", None) => Ok(ProtocolKind::Bgi),
-            ("truncated", None) => Ok(ProtocolKind::Truncated),
-            ("compete", arg) => {
-                // `compete(K)` or `compete(K,POLICY)` — split off an
-                // optional placement policy before the count parser.
-                let (k_arg, policy) = match arg.map(|a| a.split_once(',')) {
-                    Some(Some((k, p))) => (Some(k.trim()), Some(p.trim())),
-                    _ => (arg, None),
-                };
-                let placement = match policy {
-                    None => SourcePlacement::Uniform,
-                    Some(p) => p.parse().map_err(RegistryError::new)?,
-                };
-                Ok(ProtocolKind::Compete(count(k_arg)?, placement))
-            }
-            ("decay", arg) => Ok(ProtocolKind::Decay(count(arg)?)),
-            ("decay_trunc", arg) => Ok(ProtocolKind::DecayTrunc(count(arg)?)),
-            ("binsearch_le", Some(probe)) => {
-                let p = match probe {
-                    "bgi" => ProbeSpec::Bgi,
-                    "cd17" => ProbeSpec::Cd17,
-                    "beep" => ProbeSpec::Beep,
-                    other => {
-                        return Err(RegistryError::new(format!(
-                            "unknown binsearch_le probe {other:?} (bgi | cd17 | beep)"
-                        )))
-                    }
-                };
-                Ok(ProtocolKind::BinsearchLe(p))
-            }
-            _ => Err(RegistryError::new(format!(
-                "unknown protocol {s:?} (known: {})",
-                ProtocolSpec::all()
-                    .iter()
-                    .map(ProtocolSpec::to_string)
-                    .collect::<Vec<_>>()
-                    .join(", ")
-            ))),
-        }
-    }
-}
-
-/// A [`CompeteParams`] field addressable from a `{key=value}` override.
-///
-/// Keys are deliberately short — they live inside scenario strings. Flag
-/// keys take `0`/`1`; integer keys take non-negative integers; the rest take
-/// any finite float.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum OverrideKey {
-    /// `curtail` — main-process curtailment multiplier `curtail_const`.
-    Curtail,
-    /// `bg_curtail` — background curtailment multiplier `bg_curtail_const`.
-    BgCurtail,
-    /// `mu` — background density multiplier `bg_beta_factor` (the μ of the
-    /// practical-scale correction, `β_bg = μ·D^-bg_exp`).
-    Mu,
-    /// `coarse_exp` — coarse clustering exponent `coarse_beta_exp`.
-    CoarseExp,
-    /// `bg_exp` — background clustering exponent `bg_beta_exp`.
-    BgExp,
-    /// `jmin` — fine-clustering range fraction `j_frac_min`.
-    JMin,
-    /// `jmax` — fine-clustering range fraction `j_frac_max`.
-    JMax,
-    /// `copies_exp` — fine clusterings per `j`, `fine_copies_exp`.
-    CopiesExp,
-    /// `copies_cap` — hard cap on fine clusterings per `j` (integer ≥ 1).
-    CopiesCap,
-    /// `seq_exp` — clustering-sequence length exponent `seq_len_exp`.
-    SeqExp,
-    /// `background` — run the Compete background process (flag).
-    Background,
-    /// `icp_bg` — run the ICP background process (flag).
-    IcpBg,
-    /// `foreign` — Algorithm-4 receivers merge foreign-cluster values
-    /// (flag).
-    Foreign,
-    /// `max_rounds` — safety budget factor `max_rounds_factor` (integer
-    /// ≥ 1).
-    MaxRounds,
-}
-
-impl OverrideKey {
-    /// Every key, in listing order (for `--list` help output).
-    pub const ALL: &'static [OverrideKey] = &[
-        OverrideKey::Curtail,
-        OverrideKey::BgCurtail,
-        OverrideKey::Mu,
-        OverrideKey::CoarseExp,
-        OverrideKey::BgExp,
-        OverrideKey::JMin,
-        OverrideKey::JMax,
-        OverrideKey::CopiesExp,
-        OverrideKey::CopiesCap,
-        OverrideKey::SeqExp,
-        OverrideKey::Background,
-        OverrideKey::IcpBg,
-        OverrideKey::Foreign,
-        OverrideKey::MaxRounds,
-    ];
-
-    /// The key's string form.
-    pub fn as_str(self) -> &'static str {
-        match self {
-            OverrideKey::Curtail => "curtail",
-            OverrideKey::BgCurtail => "bg_curtail",
-            OverrideKey::Mu => "mu",
-            OverrideKey::CoarseExp => "coarse_exp",
-            OverrideKey::BgExp => "bg_exp",
-            OverrideKey::JMin => "jmin",
-            OverrideKey::JMax => "jmax",
-            OverrideKey::CopiesExp => "copies_exp",
-            OverrideKey::CopiesCap => "copies_cap",
-            OverrideKey::SeqExp => "seq_exp",
-            OverrideKey::Background => "background",
-            OverrideKey::IcpBg => "icp_bg",
-            OverrideKey::Foreign => "foreign",
-            OverrideKey::MaxRounds => "max_rounds",
-        }
-    }
-
-    /// One-line description of the targeted parameter (for `--list`).
-    pub fn about(self) -> &'static str {
-        match self {
-            OverrideKey::Curtail => "main-process curtailment multiplier",
-            OverrideKey::BgCurtail => "background curtailment multiplier",
-            OverrideKey::Mu => "background density multiplier (bg_beta_factor)",
-            OverrideKey::CoarseExp => "coarse clustering exponent",
-            OverrideKey::BgExp => "background clustering exponent",
-            OverrideKey::JMin => "fine-clustering j range lower fraction",
-            OverrideKey::JMax => "fine-clustering j range upper fraction",
-            OverrideKey::CopiesExp => "fine clusterings per j (exponent)",
-            OverrideKey::CopiesCap => "fine clusterings per j (hard cap, int)",
-            OverrideKey::SeqExp => "clustering-sequence length exponent",
-            OverrideKey::Background => "Compete background process (0|1)",
-            OverrideKey::IcpBg => "ICP background process (0|1)",
-            OverrideKey::Foreign => "accept foreign-cluster values (0|1)",
-            OverrideKey::MaxRounds => "safety budget factor (int)",
-        }
-    }
-
-    fn parse_key(s: &str) -> Result<OverrideKey, RegistryError> {
-        OverrideKey::ALL.iter().copied().find(|k| k.as_str() == s).ok_or_else(|| {
-            RegistryError::new(format!(
-                "unknown override key {s:?} (known: {})",
-                OverrideKey::ALL.iter().map(|k| k.as_str()).collect::<Vec<_>>().join(", ")
-            ))
-        })
-    }
-
-    /// Validates `value` for this key's class.
-    fn validate(self, value: f64) -> Result<(), RegistryError> {
-        let name = self.as_str();
-        if !value.is_finite() {
-            return Err(RegistryError::new(format!("{name}: value must be finite")));
-        }
-        match self {
-            OverrideKey::Background | OverrideKey::IcpBg | OverrideKey::Foreign
-                if value != 0.0 && value != 1.0 =>
-            {
-                Err(RegistryError::new(format!("{name} is a flag: use 0 or 1")))
-            }
-            OverrideKey::CopiesCap | OverrideKey::MaxRounds
-                if value < 1.0 || value.fract() != 0.0 =>
-            {
-                Err(RegistryError::new(format!("{name} takes an integer ≥ 1")))
-            }
-            _ => Ok(()),
-        }
-    }
-
-    fn apply(self, value: f64, p: &mut CompeteParams) {
-        match self {
-            OverrideKey::Curtail => p.curtail_const = value,
-            OverrideKey::BgCurtail => p.bg_curtail_const = value,
-            OverrideKey::Mu => p.bg_beta_factor = value,
-            OverrideKey::CoarseExp => p.coarse_beta_exp = value,
-            OverrideKey::BgExp => p.bg_beta_exp = value,
-            OverrideKey::JMin => p.j_frac_min = value,
-            OverrideKey::JMax => p.j_frac_max = value,
-            OverrideKey::CopiesExp => p.fine_copies_exp = value,
-            OverrideKey::CopiesCap => p.fine_copies_cap = value as u32,
-            OverrideKey::SeqExp => p.seq_len_exp = value,
-            OverrideKey::Background => p.background_process = value != 0.0,
-            OverrideKey::IcpBg => p.icp_background = value != 0.0,
-            OverrideKey::Foreign => p.alg4_accept_foreign = value != 0.0,
-            OverrideKey::MaxRounds => p.max_rounds_factor = value as u64,
-        }
-    }
-}
-
-/// An ordered list of per-cell [`CompeteParams`] overrides, written
-/// `{key=value,key=value}` after a protocol name. Values display in Rust's
-/// shortest-round-trip float form, so `parse(display(x)) == x` exactly.
-#[derive(Debug, Clone, PartialEq, Default)]
-pub struct Overrides(Vec<(OverrideKey, f64)>);
 
 impl Overrides {
     /// No overrides (the default for every plain protocol name).
@@ -407,22 +106,32 @@ impl Overrides {
         Overrides(Vec::new())
     }
 
-    /// Builds from `(key, value)` pairs.
+    /// Builds from `(key, value)` pairs resolved against `family`'s schema.
     ///
     /// # Errors
     ///
-    /// [`RegistryError`] on an invalid value for a key's class or a
-    /// duplicated key.
-    pub fn try_from_pairs(
-        pairs: impl IntoIterator<Item = (OverrideKey, f64)>,
+    /// [`RegistryError`] on a key the family does not declare (the message
+    /// suggests the family's own keys), an invalid value for the key's
+    /// class, or a duplicated key.
+    pub fn try_from_pairs<'k>(
+        family: &'static dyn ProtocolFamily,
+        pairs: impl IntoIterator<Item = (&'k str, f64)>,
     ) -> Result<Overrides, RegistryError> {
-        let mut out: Vec<(OverrideKey, f64)> = Vec::new();
-        for (k, v) in pairs {
-            k.validate(v)?;
-            if out.iter().any(|&(seen, _)| seen == k) {
-                return Err(RegistryError::new(format!("duplicate override key {:?}", k.as_str())));
+        let schema = family.overrides();
+        let mut out: Vec<(&'static OverrideSpec, f64)> = Vec::new();
+        for (key, v) in pairs {
+            let spec = schema.iter().find(|s| s.key == key).ok_or_else(|| {
+                RegistryError::new(format!(
+                    "unknown override key {key:?} for {} (known: {})",
+                    family.name(),
+                    schema.iter().map(|s| s.key).collect::<Vec<_>>().join(", ")
+                ))
+            })?;
+            spec.validate(v).map_err(RegistryError::new)?;
+            if out.iter().any(|&(seen, _)| seen.key == key) {
+                return Err(RegistryError::new(format!("duplicate override key {key:?}")));
             }
-            out.push((k, v));
+            out.push((spec, v));
         }
         Ok(Overrides(out))
     }
@@ -433,19 +142,16 @@ impl Overrides {
     }
 
     /// The override pairs, in spec order.
-    pub fn pairs(&self) -> &[(OverrideKey, f64)] {
+    pub fn pairs(&self) -> &[(&'static OverrideSpec, f64)] {
         &self.0
     }
 
-    /// Applies every override to `p`.
-    pub fn apply(&self, p: &mut CompeteParams) {
-        for &(k, v) in &self.0 {
-            k.apply(v, p);
-        }
-    }
-
-    /// Parses the inside of a brace list (`key=value,key=value`).
-    fn parse_inner(s: &str) -> Result<Overrides, RegistryError> {
+    /// Parses the inside of a brace list (`key=value,key=value`) against
+    /// `family`'s schema.
+    fn parse_inner(
+        family: &'static dyn ProtocolFamily,
+        s: &str,
+    ) -> Result<Overrides, RegistryError> {
         if s.trim().is_empty() {
             return Err(RegistryError::new("empty override list {} (omit the braces instead)"));
         }
@@ -455,13 +161,14 @@ impl Overrides {
             let (key, value) = item
                 .split_once('=')
                 .ok_or_else(|| RegistryError::new(format!("override {item:?} is not key=value")))?;
-            let k = OverrideKey::parse_key(key.trim())?;
-            let v: f64 = value.trim().parse().map_err(|_| {
-                RegistryError::new(format!("{}: {value:?} is not a number", k.as_str()))
-            })?;
-            pairs.push((k, v));
+            let key = key.trim();
+            let v: f64 = value
+                .trim()
+                .parse()
+                .map_err(|_| RegistryError::new(format!("{key}: {value:?} is not a number")))?;
+            pairs.push((key, v));
         }
-        Overrides::try_from_pairs(pairs)
+        Overrides::try_from_pairs(family, pairs)
     }
 }
 
@@ -475,102 +182,116 @@ impl fmt::Display for Overrides {
             if i > 0 {
                 write!(f, ",")?;
             }
-            write!(f, "{}={v}", k.as_str())?;
+            write!(f, "{}={v}", k.key)?;
         }
         write!(f, "}}")
     }
 }
 
-/// A protocol from the registry, in declarative form: a [`ProtocolKind`]
-/// plus optional per-cell parameter [`Overrides`]. `Display` and `FromStr`
-/// round-trip.
-#[derive(Debug, Clone, PartialEq)]
+/// A protocol from the registry, in declarative form: a registered
+/// [`ProtocolFamily`], its canonical positional arguments, and optional
+/// per-cell parameter [`Overrides`]. `Display` and `FromStr` round-trip.
+#[derive(Clone)]
 pub struct ProtocolSpec {
-    /// The protocol family and arity.
-    pub kind: ProtocolKind,
-    /// Per-cell [`CompeteParams`] overrides (empty for most specs; only
-    /// Compete-family kinds accept any).
+    family: &'static dyn ProtocolFamily,
+    /// Canonical argument text (inside the parentheses), `None` for a bare
+    /// name. Always the output of the family's own `parse_args`.
+    args: Option<String>,
+    /// Distinct nodes the protocol needs of a topology (cached at parse
+    /// time).
+    required_nodes: usize,
+    /// Per-cell parameter overrides (empty for most specs; only families
+    /// with an override schema accept any).
     pub overrides: Overrides,
 }
 
-impl From<ProtocolKind> for ProtocolSpec {
-    fn from(kind: ProtocolKind) -> ProtocolSpec {
-        ProtocolSpec { kind, overrides: Overrides::none() }
+impl PartialEq for ProtocolSpec {
+    fn eq(&self, other: &ProtocolSpec) -> bool {
+        self.family.name() == other.family.name()
+            && self.args == other.args
+            && self.overrides == other.overrides
+    }
+}
+
+impl fmt::Debug for ProtocolSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ProtocolSpec({self})")
     }
 }
 
 impl ProtocolSpec {
-    /// A spec with no overrides.
-    pub fn plain(kind: ProtocolKind) -> ProtocolSpec {
-        kind.into()
+    /// Parses a spec, panicking on failure — for statically known strings
+    /// (presets, tests). Runtime input should use `FromStr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the parse error if `s` is not a valid protocol spec.
+    pub fn parse(s: &str) -> ProtocolSpec {
+        s.parse().unwrap_or_else(|e| panic!("invalid protocol spec {s:?}: {e}"))
     }
 
-    /// Every protocol in the registry, one canonical instance per family
-    /// (parameterized forms use their default arity, no overrides). The
-    /// list is checked exhaustive against the enum by
-    /// [`ProtocolKind::family_index`].
+    /// The registered family this spec names.
+    pub fn family(&self) -> &'static dyn ProtocolFamily {
+        self.family
+    }
+
+    /// The family name (the part before any `(...)` / `{...}`).
+    pub fn family_name(&self) -> &'static str {
+        self.family.name()
+    }
+
+    /// Canonical positional-argument text, if any.
+    pub fn args(&self) -> Option<&str> {
+        self.args.as_deref()
+    }
+
+    /// The number of distinct nodes this protocol needs the topology to
+    /// provide (source placement); 1 for single-source protocols.
+    pub fn required_nodes(&self) -> usize {
+        self.required_nodes
+    }
+
+    /// The spec without its overrides (for error messages).
+    pub fn base(&self) -> String {
+        match &self.args {
+            None => self.family.name().to_string(),
+            Some(a) => format!("{}({a})", self.family.name()),
+        }
+    }
+
+    /// Every protocol in the registry, one canonical instance per
+    /// [`ProtocolFamily::canonical_instances`] entry (parameterized forms
+    /// use their default arity, no overrides) — the completeness surface
+    /// `--list` and the registry tests enumerate.
     pub fn all() -> Vec<ProtocolSpec> {
-        [
-            ProtocolKind::Broadcast,
-            ProtocolKind::BroadcastHw,
-            ProtocolKind::Compete(4, SourcePlacement::Uniform),
-            ProtocolKind::Compete(4, SourcePlacement::Clustered),
-            ProtocolKind::Compete(4, SourcePlacement::Corner),
-            ProtocolKind::LeaderElection,
-            ProtocolKind::Bgi,
-            ProtocolKind::Truncated,
-            ProtocolKind::Decay(4),
-            ProtocolKind::DecayTrunc(4),
-            ProtocolKind::BinsearchLe(ProbeSpec::Bgi),
-            ProtocolKind::BinsearchLe(ProbeSpec::Cd17),
-            ProtocolKind::BinsearchLe(ProbeSpec::Beep),
-        ]
-        .into_iter()
-        .map(ProtocolSpec::plain)
-        .collect()
-    }
-
-    /// The [`CompeteParams`] this spec resolves to: the kind's base
-    /// configuration with the overrides applied.
-    pub fn params(&self) -> CompeteParams {
-        let mut p = match self.kind {
-            ProtocolKind::BroadcastHw => CompeteParams::haeupler_wajc(),
-            _ => CompeteParams::default(),
-        };
-        self.overrides.apply(&mut p);
-        p
+        families()
+            .iter()
+            .flat_map(|f| {
+                f.canonical_instances().iter().map(|args| {
+                    let parsed = f
+                        .parse_args(*args)
+                        .unwrap_or_else(|e| panic!("{}: bad canonical instance: {e}", f.name()));
+                    ProtocolSpec {
+                        family: *f,
+                        args: parsed.canonical,
+                        required_nodes: parsed.required_nodes,
+                        overrides: Overrides::none(),
+                    }
+                })
+            })
+            .collect()
     }
 
     /// Instantiates the matching [`Runnable`] from its home crate. The
     /// returned object's [`Runnable::name`] equals `self.to_string()`.
     pub fn instantiate(&self) -> Box<dyn Runnable> {
-        match self.kind {
-            ProtocolKind::Broadcast | ProtocolKind::BroadcastHw => {
-                Box::new(BroadcastScenario::with_params(self.params(), self.to_string()))
-            }
-            ProtocolKind::Compete(k, placement) => Box::new(CompeteScenario::with_placement(
-                k,
-                placement,
-                self.params(),
-                self.to_string(),
-            )),
-            ProtocolKind::LeaderElection => {
-                Box::new(LeaderElectionScenario::with_params(self.params(), self.to_string()))
-            }
-            ProtocolKind::Bgi => Box::new(BgiScenario),
-            ProtocolKind::Truncated => Box::new(TruncatedScenario),
-            ProtocolKind::Decay(k) => Box::new(DecayScenario::new(k)),
-            ProtocolKind::DecayTrunc(k) => Box::new(DecayScenario::truncated(k)),
-            ProtocolKind::BinsearchLe(probe) => {
-                Box::new(BinarySearchLeScenario { kind: probe.kind() })
-            }
-        }
+        self.family.instantiate(self.args.as_deref(), self.overrides.pairs(), &self.to_string())
     }
 }
 
 impl fmt::Display for ProtocolSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}{}", self.kind, self.overrides)
+        write!(f, "{}{}", self.base(), self.overrides)
     }
 }
 
@@ -579,34 +300,70 @@ impl FromStr for ProtocolSpec {
 
     fn from_str(s: &str) -> Result<ProtocolSpec, RegistryError> {
         let s = s.trim();
-        let (kind_str, overrides) = match s.find('{') {
-            Some(open) if s.ends_with('}') => {
-                (&s[..open], Overrides::parse_inner(&s[open + 1..s.len() - 1])?)
-            }
+        let (base, overrides_str) = match s.find('{') {
+            Some(open) if s.ends_with('}') => (&s[..open], Some(&s[open + 1..s.len() - 1])),
             Some(_) => return Err(RegistryError::new(format!("{s:?} is missing a closing brace"))),
-            None => (s, Overrides::none()),
+            None => (s, None),
         };
-        let kind: ProtocolKind = kind_str.parse()?;
-        if !overrides.is_empty() && !kind.accepts_overrides() {
-            return Err(RegistryError::new(format!(
-                "{kind} takes no {{...}} overrides (only the Compete-family protocols \
-                 broadcast, broadcast_hw, compete(K) and leader_election do)"
-            )));
-        }
-        Ok(ProtocolSpec { kind, overrides })
+        let (name, args) = match base.find('(') {
+            Some(open) if base.ends_with(')') => {
+                (base[..open].trim(), Some(base[open + 1..base.len() - 1].trim()))
+            }
+            Some(_) => {
+                return Err(RegistryError::new(format!(
+                    "{base:?} is missing a closing parenthesis"
+                )))
+            }
+            None => (base.trim(), None),
+        };
+        let family = find_family(name).ok_or_else(|| {
+            RegistryError::new(format!(
+                "unknown protocol {base:?} (known: {})",
+                ProtocolSpec::all()
+                    .iter()
+                    .map(ProtocolSpec::to_string)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ))
+        })?;
+        let parsed = family.parse_args(args).map_err(RegistryError::new)?;
+        let overrides = match overrides_str {
+            None => Overrides::none(),
+            Some(inner) => {
+                if family.overrides().is_empty() {
+                    let takers: Vec<&str> = families()
+                        .iter()
+                        .filter(|f| !f.overrides().is_empty())
+                        .map(|f| f.name())
+                        .collect();
+                    return Err(RegistryError::new(format!(
+                        "{} takes no {{...}} overrides (only {} do)",
+                        family.name(),
+                        takers.join(", ")
+                    )));
+                }
+                Overrides::parse_inner(family, inner)?
+            }
+        };
+        Ok(ProtocolSpec {
+            family,
+            args: parsed.canonical,
+            required_nodes: parsed.required_nodes,
+            overrides,
+        })
     }
 }
 
 /// A full scenario: `protocol@topology` with an optional fault suffix, e.g.
-/// `leader_election@torus(32x32)`, `bgi@rgg(1600,0.05)!jam(3,0.5)` or
-/// `broadcast{curtail=1e6}@grid(24x24)!jam(3,0.5)!drop(0.01)`.
+/// `leader_election@torus(32x32)`, `partition(0.5)@grid(32x32)` or
+/// `compete_cd(4)@rgg(500,0.08)!crash(0.01)`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioSpec {
     /// The protocol half (before `@`).
     pub protocol: ProtocolSpec,
     /// The topology half (after `@`, before any `!`).
     pub topology: TopologySpec,
-    /// Fault plan from the `!jam(K,P)` / `!drop(P)` suffixes
+    /// Fault plan from the `!jam(K,P)` / `!drop(P)` / `!crash(P)` suffixes
     /// ([`FaultPlan::none`] when absent).
     pub faults: FaultPlan,
 }
@@ -649,11 +406,12 @@ impl FromStr for ScenarioSpec {
         // counts are static per topology family — reject instead of letting
         // a trial panic (or silently clamp) later.
         let n = spec.topology.nodes();
-        let need = spec.protocol.kind.required_nodes();
+        let need = spec.protocol.required_nodes();
         if need > n {
             return Err(RegistryError::new(format!(
                 "{} needs {need} distinct source nodes but {} has only {n}",
-                spec.protocol.kind, spec.topology
+                spec.protocol.base(),
+                spec.topology
             )));
         }
         if spec.faults.jammers() > n {
@@ -694,21 +452,48 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_lists_every_protocol_family() {
-        let all = ProtocolSpec::all();
-        let mut seen = vec![false; ProtocolKind::FAMILIES];
-        for spec in &all {
-            seen[spec.kind.family_index()] = true;
+    fn registry_assembles_all_contributing_crates() {
+        let names: Vec<&str> = families().iter().map(|f| f.name()).collect();
+        for expected in [
+            // rn_core
+            "broadcast",
+            "broadcast_hw",
+            "compete",
+            "leader_election",
+            // rn_baselines
+            "bgi",
+            "truncated",
+            "binsearch_le",
+            // rn_decay
+            "decay",
+            "decay_trunc",
+            "broadcast_cd",
+            "compete_cd",
+            // rn_cluster
+            "partition",
+            // rn_schedule
+            "schedule",
+        ] {
+            assert!(names.contains(&expected), "family {expected:?} missing from the registry");
         }
-        assert!(
-            seen.iter().all(|&s| s),
-            "ProtocolSpec::all() must cover every family: coverage {seen:?}"
-        );
+        // Names are unique (the assembly assert guards this; double-check).
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), names.len());
     }
 
     #[test]
-    fn every_protocol_round_trips_and_names_match_runnable() {
-        for spec in ProtocolSpec::all() {
+    fn every_family_appears_in_all_and_every_instance_round_trips() {
+        let all = ProtocolSpec::all();
+        for f in families() {
+            assert!(
+                all.iter().any(|spec| spec.family_name() == f.name()),
+                "family {} has no canonical instance in ProtocolSpec::all()",
+                f.name()
+            );
+        }
+        for spec in all {
             let s = spec.to_string();
             let back: ProtocolSpec = s.parse().unwrap_or_else(|e| panic!("{s}: {e}"));
             assert_eq!(back, spec, "parse(display) round trip for {s}");
@@ -717,6 +502,68 @@ mod tests {
                 s,
                 "registry name and Runnable::name must agree for {s}"
             );
+        }
+    }
+
+    #[test]
+    fn pre_redesign_spec_strings_parse_and_display_unchanged() {
+        // Byte-compatibility: every spelling that parsed before the
+        // ProtocolFamily redesign parses to the same canonical form.
+        for (input, canonical) in [
+            ("broadcast", "broadcast"),
+            ("broadcast_hw", "broadcast_hw"),
+            ("compete(4)", "compete(4)"),
+            ("compete(4,uniform)", "compete(4)"),
+            ("compete(4,clustered)", "compete(4,clustered)"),
+            ("compete(4,corner)", "compete(4,corner)"),
+            ("leader_election", "leader_election"),
+            ("bgi", "bgi"),
+            ("truncated", "truncated"),
+            ("decay(4)", "decay(4)"),
+            ("decay_trunc(4)", "decay_trunc(4)"),
+            ("binsearch_le(bgi)", "binsearch_le(bgi)"),
+            ("binsearch_le(cd17)", "binsearch_le(cd17)"),
+            ("binsearch_le(beep)", "binsearch_le(beep)"),
+            ("broadcast{curtail=1e6}", "broadcast{curtail=1000000}"),
+            ("compete(4){mu=0.2,background=0}", "compete(4){mu=0.2,background=0}"),
+        ] {
+            let spec: ProtocolSpec = input.parse().unwrap_or_else(|e| panic!("{input}: {e}"));
+            assert_eq!(spec.to_string(), canonical, "canonical form of {input}");
+        }
+    }
+
+    #[test]
+    fn new_families_parse_args_and_validate() {
+        for (s, nodes) in [
+            ("partition(0.5)", 1),
+            ("schedule(downcast)", 1),
+            ("schedule(upcast)", 1),
+            ("schedule(upcast,0.1)", 1),
+            ("broadcast_cd", 1),
+            ("compete_cd(4)", 4),
+        ] {
+            let spec: ProtocolSpec = s.parse().unwrap_or_else(|e| panic!("{s}: {e}"));
+            assert_eq!(spec.to_string(), s);
+            assert_eq!(spec.required_nodes(), nodes, "{s}");
+            assert_eq!(spec.instantiate().name(), s);
+        }
+        // Arg canonicalization mirrors the compete(K,uniform) precedent.
+        assert_eq!(ProtocolSpec::parse("partition(0.50)").to_string(), "partition(0.5)");
+        assert_eq!(ProtocolSpec::parse("schedule(upcast,0.25)").to_string(), "schedule(upcast)");
+        for bad in [
+            "partition",
+            "partition()",
+            "partition(0)",
+            "partition(2)",
+            "partition(x)",
+            "schedule",
+            "schedule(sideways)",
+            "schedule(upcast,9)",
+            "compete_cd",
+            "compete_cd(0)",
+            "broadcast_cd(1)",
+        ] {
+            assert!(bad.parse::<ProtocolSpec>().is_err(), "{bad:?} must be rejected");
         }
     }
 
@@ -738,22 +585,17 @@ mod tests {
         // parses back to the same value.
         let spec: ProtocolSpec = "broadcast{curtail=1e6}".parse().expect("parses");
         assert_eq!(spec.to_string(), "broadcast{curtail=1000000}");
-        assert_eq!(spec.params().curtail_const, 1e6);
     }
 
     #[test]
-    fn overrides_change_the_resolved_params() {
-        let spec: ProtocolSpec =
-            "compete(4){mu=0.2,background=0,copies_cap=3}".parse().expect("parses");
-        let p = spec.params();
-        assert_eq!(p.bg_beta_factor, 0.2);
-        assert!(!p.background_process);
-        assert_eq!(p.fine_copies_cap, 3);
-        // Untouched fields keep their defaults.
-        assert_eq!(p.curtail_const, CompeteParams::default().curtail_const);
-        // broadcast_hw overrides stack on the HW base, not the default.
-        let hw: ProtocolSpec = "broadcast_hw{mu=0.5}".parse().expect("parses");
-        assert_eq!(hw.params().curtail_mode, CompeteParams::haeupler_wajc().curtail_mode);
+    fn unknown_override_keys_suggest_the_familys_own_schema() {
+        let err = "broadcast{nosuch=1}".parse::<ProtocolSpec>().unwrap_err().to_string();
+        assert!(err.contains("unknown override key \"nosuch\" for broadcast"), "{err}");
+        assert!(err.contains("curtail") && err.contains("max_rounds"), "suggests keys: {err}");
+        // Schema-less families name who does accept overrides instead.
+        let err = "partition(0.5){curtail=1}".parse::<ProtocolSpec>().unwrap_err().to_string();
+        assert!(err.contains("partition takes no {...} overrides"), "{err}");
+        assert!(err.contains("broadcast") && err.contains("leader_election"), "{err}");
     }
 
     #[test]
@@ -773,39 +615,11 @@ mod tests {
             "bgi{curtail=1}",
             "decay(4){mu=0.2}",
             "binsearch_le(bgi){curtail=1}",
+            "schedule(downcast){mu=0.2}",
+            "compete_cd(4){curtail=1}",
         ] {
             assert!(bad.parse::<ProtocolSpec>().is_err(), "{bad:?} must be rejected");
         }
-    }
-
-    #[test]
-    fn compete_placement_specs_round_trip_and_validate() {
-        // Canonical forms: uniform is elided, other policies are spelled.
-        for (s, kind) in [
-            ("compete(4)", ProtocolKind::Compete(4, SourcePlacement::Uniform)),
-            ("compete(4,clustered)", ProtocolKind::Compete(4, SourcePlacement::Clustered)),
-            ("compete(4,corner)", ProtocolKind::Compete(4, SourcePlacement::Corner)),
-        ] {
-            let spec: ProtocolSpec = s.parse().unwrap_or_else(|e| panic!("{s}: {e}"));
-            assert_eq!(spec.kind, kind);
-            assert_eq!(spec.to_string(), s, "canonical form is stable");
-            assert_eq!(spec.instantiate().name(), s, "Runnable names match the spec");
-        }
-        // `uniform` may be written explicitly; it canonicalizes away.
-        let spec: ProtocolSpec = "compete(4,uniform)".parse().expect("parses");
-        assert_eq!(spec.to_string(), "compete(4)");
-        // Placement composes with overrides and scenario suffixes.
-        let spec: ScenarioSpec =
-            "compete(4,corner){mu=0.2}@grid(8x8)!drop(0.1)".parse().expect("parses");
-        assert_eq!(spec.to_string(), "compete(4,corner){mu=0.2}@grid(8x8)!drop(0.1)");
-        // Parse-time validation: unknown policies and bad counts rejected.
-        for bad in ["compete(4,nearby)", "compete(4,)", "compete(0,clustered)", "compete(,corner)"]
-        {
-            let err = bad.parse::<ProtocolSpec>().unwrap_err();
-            assert!(!err.to_string().is_empty(), "{bad:?} must be rejected");
-        }
-        // Placement does not relax the K ≤ n placement precondition.
-        assert!("compete(10,corner)@grid(3x3)".parse::<ScenarioSpec>().is_err());
     }
 
     #[test]
@@ -815,15 +629,18 @@ mod tests {
             "broadcast@rgg(500,0.08)!jam(5,0.5)",
             "bgi@grid(8x8)!drop(0.1)",
             "broadcast{curtail=5}@grid(8x8)!jam(2,0.5)!drop(0.01)",
+            "partition(0.5)@grid(32x32)",
+            "schedule(upcast)@torus(24x24)",
+            "compete_cd(4)@rgg(500,0.08)!crash(0.01)",
+            "decay(2)@grid(6x6)!crash(0.05)",
         ] {
             let spec: ScenarioSpec = s.parse().unwrap_or_else(|e| panic!("{s}: {e}"));
             assert_eq!(spec.to_string(), s);
         }
-        let spec: ScenarioSpec = "leader_election@torus(32x32)".parse().expect("parses");
-        assert_eq!(spec.protocol, ProtocolSpec::plain(ProtocolKind::LeaderElection));
-        assert!(spec.faults.is_none());
         let spec: ScenarioSpec = "broadcast@rgg(500,0.08)!jam(5,0.5)".parse().expect("parses");
-        assert_eq!(spec.faults, rn_sim::FaultPlan::jam(5, 0.5));
+        assert_eq!(spec.faults, FaultPlan::jam(5, 0.5));
+        let spec: ScenarioSpec = "bgi@grid(4x4)!crash(0.1)".parse().expect("parses");
+        assert_eq!(spec.faults, FaultPlan::crash(0.1));
     }
 
     #[test]
@@ -850,6 +667,7 @@ mod tests {
             "broadcast@grid(3x3)!jam(0,0.5)",
             "broadcast@grid(3x3)!jam(2,1.5)",
             "broadcast@grid(3x3)!jam(2,0.5)!jam(2,0.5)",
+            "broadcast@grid(3x3)!crash(1.5)",
         ] {
             assert!(bad.parse::<ScenarioSpec>().is_err(), "{bad:?} must be rejected");
         }
@@ -861,6 +679,8 @@ mod tests {
         let err = "compete(10)@grid(3x3)".parse::<ScenarioSpec>().unwrap_err();
         assert!(err.to_string().contains("10 distinct source nodes"), "{err}");
         assert!("compete(9)@grid(3x3)".parse::<ScenarioSpec>().is_ok(), "K = n is fine");
+        // compete_cd inherits the same guard through its family.
+        assert!("compete_cd(10)@grid(3x3)".parse::<ScenarioSpec>().is_err());
         // More jammers than nodes: same treatment.
         let err = "broadcast@grid(3x3)!jam(10,0.5)".parse::<ScenarioSpec>().unwrap_err();
         assert!(err.to_string().contains("10 jammers"), "{err}");

@@ -163,7 +163,7 @@ mod tests {
     use super::*;
     use crate::campaign::{Campaign, TrialPlan};
     use crate::executor;
-    use crate::registry::{ProtocolKind, ProtocolSpec};
+    use crate::registry::ProtocolSpec;
     use rn_graph::TopologySpec;
     use rn_sim::CollisionModel;
 
@@ -171,10 +171,7 @@ mod tests {
         Campaign {
             id: "sink-unit".into(),
             topologies: vec![TopologySpec::Path(12), TopologySpec::Star(7)],
-            protocols: vec![
-                ProtocolSpec::plain(ProtocolKind::Bgi),
-                ProtocolSpec::plain(ProtocolKind::Decay(2)),
-            ],
+            protocols: vec![ProtocolSpec::parse("bgi"), ProtocolSpec::parse("decay(2)")],
             models: vec![CollisionModel::NoCollisionDetection],
             faults: Campaign::no_faults(),
             plan: TrialPlan::new(3),

@@ -1,0 +1,85 @@
+//! Shared setup for the criterion suites: resolve a registry
+//! [`ScenarioSpec`] string into everything a bench loop needs.
+//!
+//! Every suite measures workloads expressed as scenario strings — the same
+//! grammar campaigns and the `experiments` CLI use — so bench and
+//! experiment workloads cannot drift apart: changing what is benchmarked is
+//! a string edit, not code.
+
+use crate::registry::ScenarioSpec;
+use rn_graph::Graph;
+use rn_sim::{CollisionModel, NetParams, Runnable, TrialRecord};
+
+/// A resolved bench workload: the built topology, the instantiated
+/// [`Runnable`] and the effective collision model.
+pub struct BenchWorkload {
+    /// The parsed scenario (faults included, if the string carries a
+    /// suffix).
+    pub spec: ScenarioSpec,
+    /// Canonical protocol name (criterion benchmark id).
+    pub name: String,
+    /// The topology, built once and pinned for every iteration.
+    pub graph: Graph,
+    /// Network knowledge handed to trials.
+    pub net: NetParams,
+    /// The protocol under measurement.
+    pub runnable: Box<dyn Runnable>,
+    /// The *effective* model trials run under (the runnable may remap the
+    /// requested one, e.g. beep probes pin CD).
+    pub model: CollisionModel,
+}
+
+impl BenchWorkload {
+    /// Resolves `spec_str` with the topology built from `topology_seed`.
+    /// The requested model is `nocd`; the workload records whatever the
+    /// runnable maps it to.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid scenario string — bench workloads are
+    /// compile-time constants, so failing loudly is the right behavior.
+    pub fn resolve(spec_str: &str, topology_seed: u64) -> BenchWorkload {
+        let spec: ScenarioSpec =
+            spec_str.parse().unwrap_or_else(|e| panic!("bench scenario {spec_str:?}: {e}"));
+        let graph = spec.topology.build(topology_seed);
+        let net = NetParams::new(graph.n(), graph.diameter_double_sweep());
+        let runnable = spec.protocol.instantiate();
+        let model = runnable.effective_model(CollisionModel::NoCollisionDetection);
+        BenchWorkload { name: runnable.name(), spec, graph, net, runnable, model }
+    }
+
+    /// Runs one trial under the workload's fault plan (most workloads have
+    /// none) — the body of a criterion iteration.
+    pub fn run_trial(&self, seed: u64) -> TrialRecord {
+        self.runnable.run_trial_under_faults(
+            &self.graph,
+            self.net,
+            self.model,
+            seed,
+            &self.spec.faults,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_resolve_and_run() {
+        let w = BenchWorkload::resolve("bgi@grid(6x6)", 0xB0);
+        assert_eq!(w.name, "bgi");
+        assert_eq!(w.graph.n(), 36);
+        let r = w.run_trial(1);
+        assert!(r.completed && r.rounds > 0);
+        // A CD-pinning workload reports the model it truly runs under.
+        let w = BenchWorkload::resolve("broadcast_cd@grid(6x6)", 0xB0);
+        assert_eq!(w.model, CollisionModel::CollisionDetection);
+    }
+
+    #[test]
+    #[should_panic(expected = "bench scenario")]
+    fn invalid_bench_scenarios_fail_loudly() {
+        BenchWorkload::resolve("nosuch@grid(6x6)", 0);
+    }
+}

@@ -3,8 +3,8 @@
 //! scenario path the CLI exposes.
 
 use rn_bench::{
-    executor, validate_results, Campaign, Json, JsonStreamSink, ProtocolKind, ProtocolSpec,
-    ScenarioSpec, TrialPlan,
+    executor, validate_results, Campaign, Json, JsonStreamSink, ProtocolSpec, ScenarioSpec,
+    TrialPlan,
 };
 use rn_graph::TopologySpec;
 use rn_sim::{CollisionModel, FaultPlan};
@@ -19,10 +19,7 @@ fn small_campaign() -> Campaign {
             TopologySpec::Grid { w: 6, h: 6 },
             TopologySpec::Rgg { n: 64, radius: 0.25 },
         ],
-        protocols: vec![
-            ProtocolSpec::plain(ProtocolKind::Broadcast),
-            ProtocolSpec::plain(ProtocolKind::Bgi),
-        ],
+        protocols: vec![ProtocolSpec::parse("broadcast"), ProtocolSpec::parse("bgi")],
         models: vec![CollisionModel::NoCollisionDetection],
         faults: vec![FaultPlan::none(), FaultPlan::jam(2, 0.5)],
         plan: TrialPlan::new(3),
@@ -66,7 +63,7 @@ fn collision_model_axis_produces_distinct_cells() {
     let campaign = Campaign {
         id: "models".into(),
         topologies: vec![TopologySpec::Star(64)],
-        protocols: vec![ProtocolSpec::plain(ProtocolKind::Decay(8))],
+        protocols: vec![ProtocolSpec::parse("decay(8)")],
         models: vec![CollisionModel::NoCollisionDetection, CollisionModel::CollisionDetection],
         faults: Campaign::no_faults(),
         plan: TrialPlan::new(2),
@@ -107,7 +104,7 @@ fn jammed_cells_degrade_relative_to_sunny_day_cells() {
     let campaign = Campaign {
         id: "degrade".into(),
         topologies: vec![TopologySpec::Grid { w: 8, h: 8 }],
-        protocols: vec![ProtocolSpec::plain(ProtocolKind::Bgi)],
+        protocols: vec![ProtocolSpec::parse("bgi")],
         models: vec![CollisionModel::NoCollisionDetection],
         faults: vec![FaultPlan::none(), FaultPlan::jam(64, 1.0)],
         plan: TrialPlan::new(3),
@@ -173,4 +170,80 @@ fn model_record_is_the_effective_model_not_the_requested_one() {
     let result = campaign.run(3);
     assert_eq!(result.cells[0].model, "cd", "record states the model trials truly ran under");
     assert_eq!(result.cells[0].completed, 2);
+}
+
+#[test]
+fn smoke_preset_json_is_byte_identical_to_the_committed_baseline() {
+    // The registry redesign's byte-compatibility gate: the `smoke` preset
+    // under the CI seed must reproduce `benchmarks/baseline_smoke.json`
+    // (generated before the ProtocolFamily redesign) byte for byte — same
+    // grammar canonicalization, same per-axis seed streams, same
+    // aggregation. If this fails after an *intentional* workload change,
+    // refresh the baseline as documented in `.github/workflows/ci.yml`.
+    let baseline = include_str!("../../../benchmarks/baseline_smoke.json");
+    let preset = rn_bench::presets::find("smoke").expect("smoke preset registered");
+    let rn_bench::presets::PresetKind::Campaign(build) = preset.kind else {
+        panic!("smoke must be a campaign preset");
+    };
+    let json = build().run(20170725).to_json();
+    assert_eq!(json, baseline, "smoke campaign JSON drifted from the committed baseline");
+}
+
+#[test]
+fn subprotocol_scenarios_run_and_land_in_campaign_json() {
+    // The acceptance strings for the new families, scaled to test size
+    // where the full-size topology is slow; each must parse, run, and
+    // appear in schema-valid campaign JSON under its canonical name.
+    for (spec_str, trials) in [
+        ("partition(0.5)@grid(16x16)", 2),
+        ("schedule(upcast)@torus(12x12)", 2),
+        ("schedule(downcast)@grid(12x12)", 2),
+        ("compete_cd(4)@rgg(200,0.12)!crash(0.01)", 2),
+        ("broadcast_cd@grid(12x12)", 2),
+    ] {
+        let spec: ScenarioSpec = spec_str.parse().unwrap_or_else(|e| panic!("{spec_str}: {e}"));
+        let r = Campaign::single(&spec, trials).run(17);
+        assert_eq!(r.cells.len(), 1, "{spec_str}");
+        let cell = &r.cells[0];
+        assert_eq!(cell.protocol, spec.protocol.to_string(), "{spec_str}");
+        assert_eq!(cell.trials, trials);
+        assert!(cell.rounds.mean > 0.0, "{spec_str} consumed rounds");
+        let doc = Json::parse(&r.to_json()).expect("parses");
+        validate_results(&doc).unwrap_or_else(|e| panic!("{spec_str}: {e}"));
+        let cells = doc.get("cells").and_then(Json::as_arr).expect("cells");
+        assert_eq!(
+            cells[0].get("protocol").and_then(Json::as_str),
+            Some(spec.protocol.to_string().as_str()),
+            "{spec_str} appears in campaign JSON"
+        );
+    }
+}
+
+#[test]
+fn cd_exploiting_cells_complete_where_the_wave_has_cd() {
+    // The point of the cd axis redesign: broadcast_cd *uses* the extra bit.
+    // On a modest grid its cells complete, and the recorded model is cd
+    // regardless of the requested axis value.
+    let spec: ScenarioSpec = "broadcast_cd@grid(10x10)".parse().expect("parses");
+    let r = Campaign::single(&spec, 3).run(5);
+    assert_eq!(r.cells[0].model, "cd", "record states the model trials truly ran under");
+    assert_eq!(r.cells[0].completed, 3, "broadcast_cd completes on grid-10x10");
+}
+
+#[test]
+fn crash_faulted_scenarios_degrade_and_reproduce() {
+    // Crash-stop end to end through the campaign path: heavy crash defeats
+    // broadcasting, and the fault plan travels into the results file.
+    let spec: ScenarioSpec = "bgi@grid(8x8)!crash(0.2)".parse().expect("parses");
+    let campaign = Campaign::single(&spec, 3);
+    let a = campaign.run(9);
+    let b = campaign.run(9);
+    assert_eq!(a.to_json(), b.to_json(), "crash-faulted runs are byte-identical per seed");
+    assert_eq!(a.cells[0].faults, "crash(0.2)");
+    assert!(
+        a.cells[0].completed < 3,
+        "a 20%/round crash hazard must defeat some grid-8x8 broadcasts"
+    );
+    let doc = Json::parse(&a.to_json()).expect("parses");
+    validate_results(&doc).expect("crash fault fields are schema-valid");
 }

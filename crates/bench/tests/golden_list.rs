@@ -1,0 +1,24 @@
+//! Golden test for the registry listing (`experiments --list`): any change
+//! to the topology grammar, a protocol family's grammar/about line, an
+//! override schema, the fault grammar or the preset table must show up as a
+//! reviewed diff of `tests/golden_list.txt` — grammar drift cannot land
+//! silently.
+//!
+//! To refresh after an intentional change:
+//!
+//! ```text
+//! cargo run --release -p rn_bench --bin experiments -- --list \
+//!     > crates/bench/tests/golden_list.txt
+//! ```
+
+#[test]
+fn registry_listing_matches_the_committed_golden_file() {
+    let golden = include_str!("golden_list.txt");
+    let live = rn_bench::registry_listing();
+    assert!(
+        live == golden,
+        "`experiments --list` output drifted from tests/golden_list.txt.\n\
+         If the change is intentional, refresh the golden file (see the\n\
+         module docs).\n--- golden ---\n{golden}\n--- live ---\n{live}"
+    );
+}

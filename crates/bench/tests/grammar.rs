@@ -1,53 +1,95 @@
-//! Property-based round-trip tests for the scenario-string grammar
-//! extensions: `!jam(K,P)` / `!drop(P)` fault suffixes, `{key=value}`
-//! parameter overrides and `compete(K,POLICY)` source placement.
-//! `parse(display(x)) == x` must hold for every constructible value, not
-//! just hand-picked examples — float values rely on Rust's
-//! shortest-round-trip `Display`, which these tests pin down.
+//! Property-based round-trip tests for the scenario-string grammar over the
+//! **open family registry**: `!jam(K,P)` / `!drop(P)` / `!crash(P)` fault
+//! suffixes, `{key=value}` parameter overrides, per-family positional
+//! arguments (`compete(K,POLICY)`, `partition(BETA)`,
+//! `schedule(OP[,BETA])`, …). `parse(display(x)) == x` must hold for every
+//! constructible value, not just hand-picked examples — float values rely
+//! on Rust's shortest-round-trip `Display`, which these tests pin down.
 
 use proptest::prelude::*;
-use rn_bench::{OverrideKey, Overrides, ProtocolKind, ProtocolSpec, ScenarioSpec, SourcePlacement};
-use rn_sim::FaultPlan;
+use rn_bench::{find_family, Overrides, ProtocolSpec, ScenarioSpec};
+use rn_sim::{FaultPlan, OverrideClass};
 
 /// Strategy: an arbitrary *valid* fault plan (including the fault-free one).
 fn arb_fault_plan() -> impl Strategy<Value = FaultPlan> {
-    (0usize..5, 0.0f64..1.0, 0.0f64..1.0, 0u8..4).prop_map(|(jammers, jp, dp, shape)| {
-        // Exercise all four shapes: none, jam-only, drop-only, both.
-        let (jammers, dp) = match shape {
-            0 => (0, 0.0),
-            1 => (jammers.max(1), 0.0),
-            2 => (0, dp),
-            _ => (jammers.max(1), dp),
-        };
-        FaultPlan::try_new(jammers, jp, dp).expect("generated plans are valid")
-    })
+    (0usize..5, 0.0f64..1.0, 0.0f64..1.0, 0.0f64..1.0, 0u8..8).prop_map(
+        |(jammers, jp, dp, cp, shape)| {
+            // The shape bits toggle each clause so all eight combinations of
+            // jam/drop/crash (including none) are exercised.
+            let jammers = if shape & 1 != 0 { jammers.max(1) } else { 0 };
+            let dp = if shape & 2 != 0 { dp } else { 0.0 };
+            let cp = if shape & 4 != 0 { cp } else { 0.0 };
+            FaultPlan::try_new(jammers, jp, dp, cp).expect("generated plans are valid")
+        },
+    )
 }
 
-/// Strategy: a valid override list over distinct keys (possibly empty),
-/// with values in each key's class.
+/// Strategy: a valid override list over distinct keys of the Compete
+/// schema (possibly empty), with values in each key's class.
 fn arb_overrides() -> impl Strategy<Value = Overrides> {
-    (0u16..(1 << OverrideKey::ALL.len() as u16), proptest::collection::vec(0.0f64..8.0, 14))
-        .prop_map(|(mask, raw)| {
-            let pairs = OverrideKey::ALL.iter().enumerate().filter_map(|(i, &k)| {
+    let family = find_family("broadcast").expect("broadcast is registered");
+    let schema = family.overrides();
+    let bits = schema.len() as u32;
+    (0u32..(1 << bits), proptest::collection::vec(0.0f64..8.0, schema.len())).prop_map(
+        move |(mask, raw)| {
+            let pairs = schema.iter().enumerate().filter_map(|(i, spec)| {
                 if mask & (1 << i) == 0 {
                     return None;
                 }
                 let v = raw[i];
-                let v = match k {
-                    OverrideKey::Background | OverrideKey::IcpBg | OverrideKey::Foreign => {
+                let v = match spec.class {
+                    OverrideClass::Flag => {
                         if v < 4.0 {
                             0.0
                         } else {
                             1.0
                         }
                     }
-                    OverrideKey::CopiesCap | OverrideKey::MaxRounds => 1.0 + v.floor(),
-                    _ => v,
+                    OverrideClass::Int => 1.0 + v.floor(),
+                    OverrideClass::Float => v,
                 };
-                Some((k, v))
+                Some((spec.key, v))
             });
-            Overrides::try_from_pairs(pairs).expect("generated overrides are valid")
-        })
+            Overrides::try_from_pairs(family, pairs).expect("generated overrides are valid")
+        },
+    )
+}
+
+/// Strategy: a canonical protocol-spec *string* drawn from every registered
+/// family, with randomized positional arguments where the family takes any.
+fn arb_protocol_string() -> impl Strategy<Value = String> {
+    (0usize..13, 1usize..16, 0usize..3, 1u32..10, 0u8..2).prop_map(
+        |(pick, k, policy, beta_grid, with_beta)| {
+            let with_beta = with_beta == 1;
+            let beta = f64::from(beta_grid) / 10.0;
+            let policy = ["", ",clustered", ",corner"][policy];
+            match pick {
+                0 => "broadcast".into(),
+                1 => "broadcast_hw".into(),
+                2 => format!("compete({k}{policy})"),
+                3 => "leader_election".into(),
+                4 => "bgi".into(),
+                5 => "truncated".into(),
+                6 => {
+                    ["binsearch_le(bgi)", "binsearch_le(cd17)", "binsearch_le(beep)"][k % 3].into()
+                }
+                7 => format!("decay({k})"),
+                8 => format!("decay_trunc({k})"),
+                9 => "broadcast_cd".into(),
+                10 => format!("compete_cd({k})"),
+                11 => format!("partition({beta})"),
+                12 => {
+                    let op = ["downcast", "upcast"][k % 2];
+                    if with_beta && beta != 0.25 {
+                        format!("schedule({op},{beta})")
+                    } else {
+                        format!("schedule({op})")
+                    }
+                }
+                _ => unreachable!(),
+            }
+        },
+    )
 }
 
 proptest! {
@@ -72,22 +114,35 @@ proptest! {
 
     #[test]
     fn override_lists_round_trip_through_protocol_specs(overrides in arb_overrides()) {
-        let spec = ProtocolSpec { kind: ProtocolKind::Broadcast, overrides };
+        let mut spec = ProtocolSpec::parse("broadcast");
+        spec.overrides = overrides;
         let s = spec.to_string();
         let back: ProtocolSpec = s.parse().unwrap_or_else(|e| panic!("{s}: {e}"));
         prop_assert_eq!(back, spec, "parse(display) for {}", s);
     }
 
     #[test]
+    fn every_registered_family_round_trips(proto in arb_protocol_string()) {
+        let spec: ProtocolSpec = proto.parse().unwrap_or_else(|e| panic!("{proto}: {e}"));
+        prop_assert_eq!(spec.to_string(), proto.clone(), "canonical form is stable");
+        let back: ProtocolSpec = spec.to_string().parse().expect("reparses");
+        prop_assert_eq!(back, spec, "parse(display) for {}", proto);
+    }
+
+    #[test]
     fn full_scenario_strings_round_trip(
+        proto in arb_protocol_string(),
         overrides in arb_overrides(),
         plan in arb_fault_plan(),
-        sources in 1usize..16,
-        placement_idx in 0usize..SourcePlacement::ALL.len(),
     ) {
-        let placement = SourcePlacement::ALL[placement_idx];
+        let mut protocol: ProtocolSpec = proto.parse().expect("protocol");
+        // Overrides only attach to families with a schema.
+        if protocol.family().overrides().is_empty() {
+            protocol = ProtocolSpec::parse("compete(4)");
+        }
+        protocol.overrides = overrides;
         let spec = ScenarioSpec {
-            protocol: ProtocolSpec { kind: ProtocolKind::Compete(sources, placement), overrides },
+            protocol,
             topology: "grid(4x4)".parse().expect("topology"),
             faults: plan,
         };
@@ -97,10 +152,12 @@ proptest! {
     }
 
     #[test]
-    fn overridden_specs_resolve_params_exactly(value in 0.001f64..1000.0) {
+    fn overridden_specs_survive_the_string_trip_exactly(value in 0.001f64..1000.0) {
         let spec: ProtocolSpec = format!("broadcast{{curtail={value}}}")
             .parse()
             .unwrap_or_else(|e| panic!("curtail={value}: {e}"));
-        prop_assert_eq!(spec.params().curtail_const, value, "float survives the string trip");
+        let (key, parsed) = spec.overrides.pairs()[0];
+        prop_assert_eq!(key.key, "curtail");
+        prop_assert_eq!(parsed, value, "float survives the string trip");
     }
 }

@@ -50,10 +50,12 @@
 
 mod distributed;
 mod partition;
+mod scenario;
 mod shifts;
 pub mod stats;
 pub mod theory;
 
 pub use distributed::{DistributedPartition, DistributedPartitionConfig};
 pub use partition::Partition;
+pub use scenario::{families, PartitionFamily, PartitionScenario};
 pub use shifts::ExponentialShifts;

@@ -49,6 +49,7 @@
 #![warn(missing_docs)]
 
 mod api;
+mod family;
 mod params;
 mod precompute;
 mod protocol;
@@ -58,6 +59,10 @@ pub use api::{
     broadcast, compete, compete_scheduled, compete_with_model, compete_with_net, leader_election,
     leader_election_scheduled, leader_election_with_model, leader_election_with_net, CompeteError,
     CompeteReport, LeaderElectionReport,
+};
+pub use family::{
+    apply_overrides, families, BroadcastFamily, BroadcastHwFamily, CompeteFamily,
+    LeaderElectionFamily, COMPETE_OVERRIDES,
 };
 pub use params::{CompeteParams, CurtailMode, PrecomputeMode, SequenceScope};
 pub use precompute::{FineClustering, Precomputed};

@@ -1,0 +1,263 @@
+//! **Beep-wave assisted layered decay** — decay broadcasting that actually
+//! *exploits* collision detection instead of merely tolerating it.
+//!
+//! In the CD model a listener distinguishes silence from collision, so any
+//! channel energy carries one bit. This protocol spends that bit twice:
+//!
+//! 1. **Wave phase** (rounds `0..D+1`): the sources beep in round 0 and
+//!    every node that hears *anything* — delivery or collision — beeps once
+//!    in the next round. After `D + 1` rounds each reached node knows its
+//!    **layer**: its BFS distance to the nearest source, read off the round
+//!    in which the wave arrived. Simultaneous sources cost nothing extra
+//!    (collisions propagate the wave just as well — they are the wave).
+//! 2. **Layered decay phase**: rounds are time-sliced `ℓ mod 3`; in a slot
+//!    only nodes whose layer is congruent to it run decay steps. A listener
+//!    in layer `ℓ` therefore never suffers collisions between its
+//!    same-layer neighbors and the layers `ℓ±1` it actually wants to hear
+//!    from — the wave's distance labels convert one bit of CD feedback per
+//!    round into a collision-avoiding transmission schedule.
+//!
+//! Values are max-merged at every hop (the multi-source form is a
+//! CD-exploiting Compete analogue: with `K` sources holding distinct
+//! values, the protocol completes when every node knows the *maximum*).
+//! A node the wave missed (possible under faults) still learns a layer from
+//! the first data message it hears, so the labeling self-heals.
+//!
+//! Run under [`rn_sim::CollisionModel::NoCollisionDetection`] the wave
+//! stalls (collisions read as silence) — scenarios built on this protocol
+//! therefore pin the CD model via `Runnable::effective_model`, exactly like
+//! the beep-probe leader election in `rn_baselines`.
+
+use rn_graph::NodeId;
+use rn_sim::{rng, NetParams, Protocol, Round, TxBuf};
+
+/// Message alphabet of [`LayeredDecayCd`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CdMsg {
+    /// Wave-phase presence beep (content-free; collisions carry it too).
+    Beep,
+    /// Decay-phase payload: the transmitter's current value and layer.
+    Value(u64, u32),
+}
+
+/// The beep-wave assisted layered decay protocol. See the [module
+/// docs](self).
+#[derive(Debug)]
+pub struct LayeredDecayCd {
+    net: NetParams,
+    /// Wave phase length: rounds `0..wave_len` belong to the wave.
+    wave_len: u64,
+    /// Decay depth (number of densities per decay sweep).
+    depth: u32,
+    /// Round in which each node beeps (`Some(0)` for sources).
+    beep_at: Vec<Option<Round>>,
+    /// Layer (distance to the nearest source) once known.
+    layer: Vec<Option<u32>>,
+    /// Highest value known (`None` = uninformed; sources start informed).
+    value: Vec<Option<u64>>,
+    seed: u64,
+}
+
+impl LayeredDecayCd {
+    /// Creates the protocol for `sources` (node, value) pairs on an
+    /// `n = params.n()` node network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sources` is empty or names a node `>= n`.
+    pub fn new(params: NetParams, sources: &[(NodeId, u64)], seed: u64) -> LayeredDecayCd {
+        assert!(!sources.is_empty(), "layered decay needs at least one source");
+        let n = params.n();
+        let mut beep_at = vec![None; n];
+        let mut layer = vec![None; n];
+        let mut value = vec![None; n];
+        for &(s, v) in sources {
+            assert!((s as usize) < n, "source {s} out of range for {n} nodes");
+            beep_at[s as usize] = Some(0);
+            layer[s as usize] = Some(0);
+            value[s as usize] = Some(value[s as usize].map_or(v, |old: u64| old.max(v)));
+        }
+        LayeredDecayCd {
+            net: params,
+            wave_len: params.diameter() as u64 + 1,
+            depth: params.log2_n().max(1),
+            beep_at,
+            layer,
+            value,
+            seed,
+        }
+    }
+
+    /// Round budget within which the protocol completes on a connected
+    /// graph in the sunny case: the wave plus three times the classical
+    /// decay budget (the `mod 3` slicing idles each layer two rounds in
+    /// three).
+    pub fn budget(&self) -> u64 {
+        self.wave_len + 3 * self.net.decay_broadcast_budget()
+    }
+
+    /// Whether every node knows a value `>= target` (use the maximum source
+    /// value for the Compete-style completion predicate).
+    pub fn all_know_at_least(&self, target: u64) -> bool {
+        self.value.iter().all(|v| v.is_some_and(|x| x >= target))
+    }
+
+    /// The value currently known by `node`.
+    pub fn value_of(&self, node: NodeId) -> Option<u64> {
+        self.value[node as usize]
+    }
+
+    /// The layer (distance to the nearest source) `node` has learned, if
+    /// any.
+    pub fn layer_of(&self, node: NodeId) -> Option<u32> {
+        self.layer[node as usize]
+    }
+
+    /// Number of informed nodes.
+    pub fn informed_count(&self) -> usize {
+        self.value.iter().filter(|v| v.is_some()).count()
+    }
+
+    fn wave_hears(&mut self, round: Round, node: NodeId) {
+        if round + 1 >= self.wave_len {
+            return;
+        }
+        let slot = &mut self.beep_at[node as usize];
+        if slot.is_none() {
+            *slot = Some(round + 1);
+            self.layer[node as usize] = Some((round + 1) as u32);
+        }
+    }
+}
+
+impl Protocol for LayeredDecayCd {
+    type Msg = CdMsg;
+
+    fn transmit(&mut self, round: Round, tx: &mut TxBuf<CdMsg>) {
+        if round < self.wave_len {
+            for (v, &at) in self.beep_at.iter().enumerate() {
+                if at == Some(round) {
+                    tx.send(v as NodeId, CdMsg::Beep);
+                }
+            }
+            return;
+        }
+        let r2 = round - self.wave_len;
+        let slot = (r2 % 3) as u32;
+        // Decay density for this slot's sweep position.
+        let i = ((r2 / 3) % self.depth as u64) as u32;
+        let p = 0.5f64.powi(i as i32);
+        let round_seed = rng::derive(self.seed, round);
+        for v in 0..self.value.len() {
+            let (Some(layer), Some(val)) = (self.layer[v], self.value[v]) else { continue };
+            if layer % 3 != slot {
+                continue;
+            }
+            let coin = (rng::derive(round_seed, v as u64) >> 11) as f64 / (1u64 << 53) as f64;
+            if coin < p {
+                tx.send(v as NodeId, CdMsg::Value(val, layer));
+            }
+        }
+    }
+
+    fn deliver(&mut self, round: Round, node: NodeId, _from: NodeId, msg: &CdMsg) {
+        match *msg {
+            CdMsg::Beep => self.wave_hears(round, node),
+            CdMsg::Value(val, sender_layer) => {
+                // Wave stragglers adopt a layer from the first data message
+                // (one hop further out than the sender).
+                if self.layer[node as usize].is_none() {
+                    self.layer[node as usize] = Some(sender_layer + 1);
+                }
+                let slot = &mut self.value[node as usize];
+                match slot {
+                    None => *slot = Some(val),
+                    Some(old) if val > *old => *old = val,
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    fn collision(&mut self, round: Round, node: NodeId) {
+        // The CD model's extra power: during the wave, a collision carries
+        // the presence bit exactly like a delivery.
+        if round < self.wave_len {
+            self.wave_hears(round, node);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rn_graph::generators;
+    use rn_sim::{CollisionModel, Simulator};
+
+    #[test]
+    fn wave_labels_layers_with_bfs_distances() {
+        let g = generators::grid(8, 8);
+        let net = NetParams::of_graph(&g);
+        let mut p = LayeredDecayCd::new(net, &[(0, 7)], 3);
+        let wave = p.wave_len;
+        let mut sim = Simulator::new(&g, CollisionModel::CollisionDetection, 3);
+        sim.run(&mut p, wave);
+        let dist = rn_graph::traversal::bfs(&g, 0);
+        for v in g.nodes() {
+            assert_eq!(p.layer_of(v), Some(dist[v as usize]), "layer of node {v}");
+        }
+    }
+
+    #[test]
+    fn single_source_completes_under_cd_and_stalls_without_it() {
+        let g = generators::grid(8, 8);
+        let net = NetParams::of_graph(&g);
+        let mut p = LayeredDecayCd::new(net, &[(0, 42)], 5);
+        let budget = p.budget();
+        let mut sim = Simulator::new(&g, CollisionModel::CollisionDetection, 5);
+        sim.run_until(&mut p, budget, |_, p| p.all_know_at_least(42));
+        assert!(p.all_know_at_least(42), "CD run informs everyone");
+
+        // The identical protocol without collision detection: the wave
+        // stalls wherever two beepers collide, so layers go missing and the
+        // run cannot complete on a graph wide enough to collide.
+        let g = generators::grid(6, 6);
+        let net = NetParams::of_graph(&g);
+        let mut p = LayeredDecayCd::new(net, &[(0, 42), (35, 41)], 5);
+        let budget = p.wave_len;
+        let mut sim = Simulator::new(&g, CollisionModel::NoCollisionDetection, 5);
+        sim.run(&mut p, budget);
+        let labeled = g.nodes().filter(|&v| p.layer_of(v).is_some()).count();
+        assert!(labeled < g.n(), "without CD the wave must lose nodes to collisions");
+    }
+
+    #[test]
+    fn multi_source_max_reaches_everyone() {
+        // Competing sources at opposite corners: the max value must cross
+        // the watershed between their wave regions.
+        let g = generators::grid(9, 9);
+        let net = NetParams::of_graph(&g);
+        let sources = [(0u32, 5u64), (80u32, 9u64), (8u32, 3u64)];
+        let mut p = LayeredDecayCd::new(net, &sources, 11);
+        let budget = p.budget();
+        let mut sim = Simulator::new(&g, CollisionModel::CollisionDetection, 11);
+        let stats = sim.run_until(&mut p, budget, |_, p| p.all_know_at_least(9));
+        assert!(p.all_know_at_least(9), "everyone learns the maximum");
+        assert!(stats.rounds > p.wave_len, "completion needs the decay phase");
+    }
+
+    #[test]
+    fn runs_are_seed_deterministic() {
+        let g = generators::grid(6, 6);
+        let net = NetParams::of_graph(&g);
+        let run = |seed: u64| {
+            let mut p = LayeredDecayCd::new(net, &[(0, 1), (20, 2)], seed);
+            let budget = p.budget();
+            let mut sim = Simulator::new(&g, CollisionModel::CollisionDetection, seed);
+            let stats = sim.run_until(&mut p, budget, |_, p| p.all_know_at_least(2));
+            (stats.rounds, stats.metrics)
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8), "different seeds give different executions");
+    }
+}

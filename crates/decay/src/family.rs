@@ -1,0 +1,178 @@
+//! [`ProtocolFamily`] registrations for the decay family: the raw
+//! multi-source primitives (`decay(K)`, `decay_trunc(K)`) and the
+//! CD-exploiting beep-wave-assisted variants (`broadcast_cd`,
+//! `compete_cd(K)`).
+
+use crate::scenario::{CdDecayScenario, DecayScenario};
+use rn_sim::family::{parse_count, reject_args, ParsedArgs, ProtocolFamily};
+use rn_sim::Runnable;
+
+/// `decay(K)` — raw multi-source decay with `K` spread sources.
+pub struct DecayFamily;
+
+impl ProtocolFamily for DecayFamily {
+    fn name(&self) -> &'static str {
+        "decay"
+    }
+
+    fn grammar(&self) -> &'static str {
+        "decay(K)"
+    }
+
+    fn about(&self) -> &'static str {
+        "raw multi-source decay with K spread sources"
+    }
+
+    fn canonical_instances(&self) -> &'static [Option<&'static str>] {
+        &[Some("4")]
+    }
+
+    fn parse_args(&self, args: Option<&str>) -> Result<ParsedArgs, String> {
+        let k = parse_count(self.name(), args)?;
+        Ok(ParsedArgs::with_args(k.to_string()))
+    }
+
+    fn instantiate(
+        &self,
+        args: Option<&str>,
+        _overrides: &[(&'static rn_sim::OverrideSpec, f64)],
+        _label: &str,
+    ) -> Box<dyn Runnable> {
+        let k = parse_count(self.name(), args).expect("canonical decay args");
+        Box::new(DecayScenario::new(k))
+    }
+}
+
+/// `decay_trunc(K)` — truncated multi-source decay.
+pub struct DecayTruncFamily;
+
+impl ProtocolFamily for DecayTruncFamily {
+    fn name(&self) -> &'static str {
+        "decay_trunc"
+    }
+
+    fn grammar(&self) -> &'static str {
+        "decay_trunc(K)"
+    }
+
+    fn about(&self) -> &'static str {
+        "truncated multi-source decay"
+    }
+
+    fn canonical_instances(&self) -> &'static [Option<&'static str>] {
+        &[Some("4")]
+    }
+
+    fn parse_args(&self, args: Option<&str>) -> Result<ParsedArgs, String> {
+        let k = parse_count(self.name(), args)?;
+        Ok(ParsedArgs::with_args(k.to_string()))
+    }
+
+    fn instantiate(
+        &self,
+        args: Option<&str>,
+        _overrides: &[(&'static rn_sim::OverrideSpec, f64)],
+        _label: &str,
+    ) -> Box<dyn Runnable> {
+        let k = parse_count(self.name(), args).expect("canonical decay_trunc args");
+        Box::new(DecayScenario::truncated(k))
+    }
+}
+
+/// `broadcast_cd` — beep-wave assisted layered decay broadcast (single
+/// source); pins the collision-detection model.
+pub struct BroadcastCdFamily;
+
+impl ProtocolFamily for BroadcastCdFamily {
+    fn name(&self) -> &'static str {
+        "broadcast_cd"
+    }
+
+    fn grammar(&self) -> &'static str {
+        "broadcast_cd"
+    }
+
+    fn about(&self) -> &'static str {
+        "CD-exploiting broadcast: beep-wave layer labels + layered decay"
+    }
+
+    fn parse_args(&self, args: Option<&str>) -> Result<ParsedArgs, String> {
+        reject_args(self.name(), args)
+    }
+
+    fn instantiate(
+        &self,
+        _args: Option<&str>,
+        _overrides: &[(&'static rn_sim::OverrideSpec, f64)],
+        _label: &str,
+    ) -> Box<dyn Runnable> {
+        Box::new(CdDecayScenario::broadcast())
+    }
+}
+
+/// `compete_cd(K)` — the multi-source CD-exploiting variant: `K` distinct
+/// sources, completion when everyone knows the maximum.
+pub struct CompeteCdFamily;
+
+impl ProtocolFamily for CompeteCdFamily {
+    fn name(&self) -> &'static str {
+        "compete_cd"
+    }
+
+    fn grammar(&self) -> &'static str {
+        "compete_cd(K)"
+    }
+
+    fn about(&self) -> &'static str {
+        "CD-exploiting Compete analogue: K sources, max wins via layered decay"
+    }
+
+    fn canonical_instances(&self) -> &'static [Option<&'static str>] {
+        &[Some("4")]
+    }
+
+    fn parse_args(&self, args: Option<&str>) -> Result<ParsedArgs, String> {
+        let k = parse_count(self.name(), args)?;
+        Ok(ParsedArgs::with_args(k.to_string()).needing_nodes(k))
+    }
+
+    fn instantiate(
+        &self,
+        args: Option<&str>,
+        _overrides: &[(&'static rn_sim::OverrideSpec, f64)],
+        _label: &str,
+    ) -> Box<dyn Runnable> {
+        let k = parse_count(self.name(), args).expect("canonical compete_cd args");
+        Box::new(CdDecayScenario::compete(k))
+    }
+}
+
+/// The protocol families this crate contributes to the registry.
+pub fn families() -> Vec<&'static dyn ProtocolFamily> {
+    vec![&DecayFamily, &DecayTruncFamily, &BroadcastCdFamily, &CompeteCdFamily]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn family_args_parse_and_runnables_name_themselves() {
+        let p = CompeteCdFamily.parse_args(Some("4")).expect("parses");
+        assert_eq!(p.canonical.as_deref(), Some("4"));
+        assert_eq!(p.required_nodes, 4, "compete_cd needs K distinct nodes");
+        assert_eq!(
+            CompeteCdFamily.instantiate(Some("4"), &[], "compete_cd(4)").name(),
+            "compete_cd(4)"
+        );
+        assert_eq!(BroadcastCdFamily.instantiate(None, &[], "broadcast_cd").name(), "broadcast_cd");
+        assert_eq!(DecayFamily.instantiate(Some("3"), &[], "decay(3)").name(), "decay(3)");
+        assert_eq!(
+            DecayTruncFamily.instantiate(Some("2"), &[], "decay_trunc(2)").name(),
+            "decay_trunc(2)"
+        );
+        assert!(DecayFamily.parse_args(None).is_err());
+        assert!(CompeteCdFamily.parse_args(Some("0")).is_err());
+        assert!(BroadcastCdFamily.parse_args(Some("1")).is_err());
+    }
+}

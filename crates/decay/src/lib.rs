@@ -42,9 +42,13 @@
 #![warn(missing_docs)]
 
 mod broadcast;
+mod cd;
+mod family;
 mod primitive;
 mod scenario;
 
 pub use broadcast::{DecayBroadcast, TruncatedDecayBroadcast};
+pub use cd::{CdMsg, LayeredDecayCd};
+pub use family::{families, BroadcastCdFamily, CompeteCdFamily, DecayFamily, DecayTruncFamily};
 pub use primitive::{DecaySteps, SingleDecayRound};
-pub use scenario::DecayScenario;
+pub use scenario::{CdDecayScenario, DecayScenario};

@@ -1,11 +1,13 @@
-//! [`Runnable`] scenario for the raw decay primitive: multi-source
-//! max-propagating decay broadcast, the building block measured on its own
-//! terms in campaigns (the single-source wrappers with baseline budgets live
-//! in `rn_baselines`).
+//! [`Runnable`] scenarios for the decay family: multi-source max-propagating
+//! decay broadcast, its truncated variant, and the CD-*exploiting*
+//! beep-wave-assisted variants (`broadcast_cd` / `compete_cd(K)`) — the
+//! building blocks measured on their own terms in campaigns (the
+//! single-source wrappers with baseline budgets live in `rn_baselines`).
 
 use crate::broadcast::{DecayBroadcast, TruncatedDecayBroadcast};
+use crate::cd::LayeredDecayCd;
 use rn_graph::{Graph, NodeId};
-use rn_sim::{CollisionModel, FaultSchedule, NetParams, Runnable, Simulator, TrialRecord};
+use rn_sim::{rng, CollisionModel, FaultSchedule, NetParams, Runnable, Simulator, TrialRecord};
 
 /// Multi-source decay broadcast with `sources` evenly spread sources holding
 /// distinct values; completes when every node is informed. `truncated`
@@ -69,6 +71,97 @@ impl Runnable for DecayScenario {
     }
 }
 
+/// CD-exploiting scenario over [`LayeredDecayCd`]: `broadcast_cd` (one
+/// source, node 0 — comparable to `broadcast`/`bgi` cells) or
+/// `compete_cd(K)` (`K` distinct uniform-random sources holding values
+/// `1..=K`, completion = everyone knows the maximum — the CD analogue of
+/// `compete(K)`).
+///
+/// The beep wave only works when listeners can tell collisions from
+/// silence, so [`Runnable::effective_model`] pins the collision-detection
+/// model whatever the campaign axis requested — records always state the
+/// model trials truly ran under, and the `cd` axis gets an algorithm that
+/// *uses* the extra bit rather than merely tolerating it.
+#[derive(Debug, Clone, Copy)]
+pub struct CdDecayScenario {
+    /// Number of sources (`compete_cd(K)` places them uniform-random and
+    /// distinct per trial; the `broadcast_cd` form has exactly one).
+    pub sources: usize,
+    /// `broadcast_cd`: pin the single source to node 0 (comparable with
+    /// `broadcast`/`bgi` cells) instead of drawing it per trial. The two
+    /// forms are distinct registry families even at one source —
+    /// `compete_cd(1)` keeps its own name and its random placement.
+    pub fixed_origin: bool,
+}
+
+impl CdDecayScenario {
+    /// Single-source `broadcast_cd` from node 0.
+    pub fn broadcast() -> CdDecayScenario {
+        CdDecayScenario { sources: 1, fixed_origin: true }
+    }
+
+    /// Multi-source `compete_cd(K)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sources == 0`.
+    pub fn compete(sources: usize) -> CdDecayScenario {
+        assert!(sources >= 1, "compete_cd needs at least one source (got 0)");
+        CdDecayScenario { sources, fixed_origin: false }
+    }
+}
+
+impl Runnable for CdDecayScenario {
+    fn name(&self) -> String {
+        if self.fixed_origin {
+            "broadcast_cd".into()
+        } else {
+            format!("compete_cd({})", self.sources)
+        }
+    }
+
+    fn effective_model(&self, _requested: CollisionModel) -> CollisionModel {
+        CollisionModel::CollisionDetection
+    }
+
+    fn run_trial_scheduled(
+        &self,
+        g: &Graph,
+        net: NetParams,
+        model: CollisionModel,
+        seed: u64,
+        faults: Option<&FaultSchedule>,
+    ) -> TrialRecord {
+        assert!(
+            self.sources <= g.n(),
+            "compete_cd({}) needs {} distinct sources but the graph has only {} nodes",
+            self.sources,
+            self.sources,
+            g.n()
+        );
+        // Placement mirrors compete(K): distinct uniform nodes from a
+        // dedicated stream of the trial seed, values 1..=K in draw order —
+        // except broadcast_cd, which pins node 0 so its cells compare
+        // directly with broadcast/bgi.
+        let sources: Vec<(NodeId, u64)> = if self.fixed_origin {
+            vec![(0, 1)]
+        } else {
+            let mut srng = rng::stream_rng(seed, 0x50C);
+            rng::sample_distinct(&mut srng, self.sources, g.n())
+                .into_iter()
+                .enumerate()
+                .map(|(k, v)| (v as NodeId, (k + 1) as u64))
+                .collect()
+        };
+        let target = sources.iter().map(|&(_, v)| v).max().expect("at least one source");
+        let mut p = LayeredDecayCd::new(net, &sources, seed);
+        let budget = p.budget();
+        let mut sim = Simulator::with_faults(g, model, seed, faults.cloned());
+        let stats = sim.run_until(&mut p, budget, |_, p| p.all_know_at_least(target));
+        TrialRecord::new(p.all_know_at_least(target), stats.rounds, stats.metrics)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -107,10 +200,76 @@ mod tests {
         assert!(!r.completed, "no false completion under total jamming");
         assert_eq!(r.metrics.deliveries, 0, "noise is not a delivery");
         // A faulted trial is a pure function of (seed, plan).
-        let plan = FaultPlan::try_new(3, 0.5, 0.02).expect("valid plan");
+        let plan = FaultPlan::try_new(3, 0.5, 0.02, 0.0).expect("valid plan");
         let a = s.run_trial_under_faults(&g, net, CollisionModel::NoCollisionDetection, 3, &plan);
         let b = s.run_trial_under_faults(&g, net, CollisionModel::NoCollisionDetection, 3, &plan);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cd_scenarios_complete_under_the_pinned_cd_model() {
+        let g = generators::grid(8, 8);
+        let net = NetParams::of_graph(&g);
+        let b = CdDecayScenario::broadcast();
+        assert_eq!(b.name(), "broadcast_cd");
+        // The axis may request nocd; the scenario pins CD.
+        let model = b.effective_model(CollisionModel::NoCollisionDetection);
+        assert_eq!(model, CollisionModel::CollisionDetection);
+        let r = b.run_trial(&g, net, model, 3);
+        assert!(r.completed, "broadcast_cd completes on grid-8x8");
+        assert!(r.metrics.deliveries > 0);
+
+        let c = CdDecayScenario::compete(4);
+        assert_eq!(c.name(), "compete_cd(4)");
+        let a = c.run_trial(&g, net, model, 9);
+        let again = c.run_trial(&g, net, model, 9);
+        assert_eq!(a, again, "same seed, same trial");
+        assert!(a.completed, "compete_cd(4) completes on grid-8x8");
+    }
+
+    #[test]
+    fn cd_scenario_degrades_honestly_under_faults() {
+        use rn_sim::FaultPlan;
+        let g = generators::grid(6, 6);
+        let net = NetParams::of_graph(&g);
+        let s = CdDecayScenario::broadcast();
+        let model = CollisionModel::CollisionDetection;
+        // Crash-stop everyone almost immediately: the wave dies, nothing
+        // completes — and the trial reports that honestly.
+        let r = s.run_trial_under_faults(&g, net, model, 3, &FaultPlan::crash(0.9));
+        assert!(!r.completed, "no false completion when the network crash-stops");
+        // A mild crash plan is deterministic in (seed, plan).
+        let plan = FaultPlan::crash(0.001);
+        let a = s.run_trial_under_faults(&g, net, model, 3, &plan);
+        let b = s.run_trial_under_faults(&g, net, model, 3, &plan);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn compete_cd_at_one_source_keeps_its_name_and_random_placement() {
+        // Regression: compete_cd(1) used to instantiate as "broadcast_cd"
+        // (mislabeling campaign cells and bench-diff keys) with its source
+        // silently pinned to node 0. The two forms stay distinct.
+        let one = CdDecayScenario::compete(1);
+        assert_eq!(one.name(), "compete_cd(1)");
+        assert!(!one.fixed_origin, "compete_cd(1) draws its source per trial");
+        assert_eq!(CdDecayScenario::broadcast().name(), "broadcast_cd");
+        // And it is a genuinely different workload: on a path, the trial
+        // stream differs from the node-0-pinned broadcast for some seed.
+        let g = generators::path(40);
+        let net = NetParams::of_graph(&g);
+        let model = CollisionModel::CollisionDetection;
+        let differs = (0..8).any(|seed| {
+            one.run_trial(&g, net, model, seed)
+                != CdDecayScenario::broadcast().run_trial(&g, net, model, seed)
+        });
+        assert!(differs, "random placement must not collapse onto node 0 for every seed");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one source")]
+    fn compete_cd_rejects_zero_sources() {
+        CdDecayScenario::compete(0);
     }
 
     #[test]

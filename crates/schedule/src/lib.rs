@@ -33,8 +33,10 @@
 
 mod executors;
 mod pipeline;
+mod scenario;
 mod tree;
 
 pub use executors::{Downcast, SchedMsg, Upcast};
 pub use pipeline::{PipelineMsg, PipelinedDowncast};
+pub use scenario::{families, ScheduleFamily, ScheduleOp, ScheduleScenario, DEFAULT_SCHEDULE_BETA};
 pub use tree::{SlotPolicy, TreeSchedule};

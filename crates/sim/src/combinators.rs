@@ -239,7 +239,7 @@ impl<P: Protocol> Jammer<P> {
     /// Panics with a descriptive message if `prob` is not in `[0, 1]`, any
     /// jammer id is `>= n`, or an id is listed twice.
     pub fn new(inner: P, n: usize, jammers: Vec<NodeId>, prob: f64, seed: u64) -> Jammer<P> {
-        Jammer { inner: Faulty::new(inner, FaultSchedule::new(n, jammers, prob, 0.0, seed)) }
+        Jammer { inner: Faulty::new(inner, FaultSchedule::new(n, jammers, prob, 0.0, 0.0, seed)) }
     }
 
     /// The wrapped protocol.
@@ -359,7 +359,7 @@ mod tests {
         // nodes informed, under either collision model.
         let g = generators::path(4);
         for model in [CollisionModel::NoCollisionDetection, CollisionModel::CollisionDetection] {
-            let schedule = FaultSchedule::new(4, vec![1], 1.0, 0.0, 9);
+            let schedule = FaultSchedule::new(4, vec![1], 1.0, 0.0, 0.0, 9);
             let mut p = Faulty::new(NaiveFlood::new(4, 0), schedule);
             let mut sim = Simulator::new(&g, model, 5);
             sim.run(&mut p, 256);
@@ -379,7 +379,7 @@ mod tests {
         // Total dropout: every protocol transmission is suppressed and
         // nothing is ever heard.
         let g = generators::path(2);
-        let all_down = FaultSchedule::new(2, vec![], 0.0, 1.0, 9);
+        let all_down = FaultSchedule::new(2, vec![], 0.0, 1.0, 0.0, 9);
         let a = EveryRound::new(0, 1u64);
         let b = EveryRound::new(1, 2u64);
         let mut p = Faulty::new(Interleave::new(a, b), all_down);
@@ -390,7 +390,7 @@ mod tests {
 
         // Jammers are exempt from dropout: node 1 keeps jamming through
         // total dropout, and down node 0 receives none of it.
-        let jam_through = FaultSchedule::new(2, vec![1], 1.0, 1.0, 9);
+        let jam_through = FaultSchedule::new(2, vec![1], 1.0, 1.0, 0.0, 9);
         let mut p = Faulty::new(EveryRound::new(0, 1u64), jam_through);
         let mut sim = Simulator::new(&g, CollisionModel::NoCollisionDetection, 5);
         sim.run(&mut p, 8);
@@ -406,7 +406,7 @@ mod tests {
         // jam-only schedule produces the same transmission pattern either
         // way (dropout differs only in channel accounting).
         let g = generators::grid(4, 4);
-        let schedule = FaultSchedule::new(16, vec![5, 10], 0.5, 0.0, 21);
+        let schedule = FaultSchedule::new(16, vec![5, 10], 0.5, 0.0, 0.0, 21);
 
         let mut wrapped = Faulty::new(NaiveFlood::new(16, 0), schedule.clone());
         let mut sim_a = Simulator::new(&g, CollisionModel::NoCollisionDetection, 5);

@@ -478,7 +478,7 @@ mod tests {
         // — the hub always hears a collision, never a delivery.
         let g = generators::star(3);
         let mut sim = Simulator::new(&g, CollisionModel::NoCollisionDetection, 1);
-        sim.set_faults(Some(FaultSchedule::new(3, vec![2], 1.0, 0.0, 7)));
+        sim.set_faults(Some(FaultSchedule::new(3, vec![2], 1.0, 0.0, 0.0, 7)));
         let mut p = crate::testing::EveryRound::new(1, 7u64);
         let stats = sim.run(&mut p, 8);
         assert_eq!(stats.metrics.deliveries, 0, "hub always hears a collision");
@@ -492,7 +492,7 @@ mod tests {
         // no collision notification, but the transmission is real.
         let g = generators::star(3);
         let mut sim = Simulator::new(&g, CollisionModel::CollisionDetection, 1);
-        sim.set_faults(Some(FaultSchedule::new(3, vec![0], 1.0, 0.0, 7)));
+        sim.set_faults(Some(FaultSchedule::new(3, vec![0], 1.0, 0.0, 0.0, 7)));
         let mut p = OneShot::new(3, vec![]);
         let stats = sim.run(&mut p, 4);
         assert_eq!(stats.metrics.transmissions, 4);
@@ -507,7 +507,7 @@ mod tests {
         // that never fires: total silence.
         let g = generators::star(3);
         let mut sim = Simulator::new(&g, CollisionModel::NoCollisionDetection, 1);
-        sim.set_faults(Some(FaultSchedule::new(3, vec![0], 0.0, 0.0, 7)));
+        sim.set_faults(Some(FaultSchedule::new(3, vec![0], 0.0, 0.0, 0.0, 7)));
         let mut p = crate::testing::EveryRound::new(0, 7u64);
         let stats = sim.run(&mut p, 4);
         assert_eq!(stats.metrics.transmissions, 0);
@@ -521,7 +521,7 @@ mod tests {
         // channel activity can be recomputed independently: a transmission
         // happens iff 0 is up, a delivery iff additionally 1 is up.
         let g = generators::path(2);
-        let schedule = FaultSchedule::new(2, vec![], 0.0, 0.4, 7);
+        let schedule = FaultSchedule::new(2, vec![], 0.0, 0.4, 0.0, 7);
         let expect_tx = (0..32).filter(|&r| !schedule.is_down(r, 0)).count() as u64;
         let expect_del =
             (0..32).filter(|&r| !schedule.is_down(r, 0) && !schedule.is_down(r, 1)).count() as u64;
@@ -535,9 +535,28 @@ mod tests {
     }
 
     #[test]
+    fn engine_faults_crashed_nodes_stay_silent_forever() {
+        // Path 0-1, node 0 transmitting every round under crash-stop only.
+        // Channel activity must be a prefix: once either endpoint crashes,
+        // deliveries stop for good (unlike transient dropout, which can
+        // resume).
+        let g = generators::path(2);
+        let schedule = FaultSchedule::new(2, vec![], 0.0, 0.0, 0.15, 11);
+        let tx_end = schedule.crash_round(0).min(64);
+        let del_end = tx_end.min(schedule.crash_round(1));
+        assert!(del_end < 64, "seed crashes an endpoint inside the horizon");
+        let mut sim = Simulator::new(&g, CollisionModel::NoCollisionDetection, 1);
+        sim.set_faults(Some(schedule));
+        let mut p = crate::testing::EveryRound::new(0, 7u64);
+        let stats = sim.run(&mut p, 64);
+        assert_eq!(stats.metrics.transmissions, tx_end, "transmissions stop at 0's crash");
+        assert_eq!(stats.metrics.deliveries, del_end, "deliveries stop at the first crash");
+    }
+
+    #[test]
     fn with_faults_constructor_matches_set_faults() {
         let g = generators::star(3);
-        let schedule = FaultSchedule::new(3, vec![2], 1.0, 0.0, 7);
+        let schedule = FaultSchedule::new(3, vec![2], 1.0, 0.0, 0.0, 7);
         let mut sim =
             Simulator::with_faults(&g, CollisionModel::NoCollisionDetection, 1, Some(schedule));
         assert!(sim.faults().is_some(), "constructor installs the schedule");
@@ -556,7 +575,7 @@ mod tests {
     fn engine_rejects_mismatched_fault_schedule() {
         let g = generators::star(3);
         let mut sim = Simulator::new(&g, CollisionModel::NoCollisionDetection, 1);
-        sim.set_faults(Some(FaultSchedule::new(5, vec![0], 0.5, 0.0, 7)));
+        sim.set_faults(Some(FaultSchedule::new(5, vec![0], 0.5, 0.0, 0.0, 7)));
     }
 
     #[test]

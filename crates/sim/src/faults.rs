@@ -1,10 +1,11 @@
 //! Fault injection: declarative fault plans (adversarial jammers, per-round
-//! node dropout) that any protocol can be run under without protocol-side
-//! code.
+//! node dropout, crash-stop failures) that any protocol can be run under
+//! without protocol-side code.
 //!
 //! A [`FaultPlan`] is pure data — *how many* jammers, with what noise
-//! probability, and what per-round dropout probability — with a stable
-//! string form (`jam(3,0.5)`, `drop(0.1)`, `jam(3,0.5)!drop(0.1)`, `none`;
+//! probability, what per-round dropout probability, and what per-round
+//! crash-stop probability — with a stable string form (`jam(3,0.5)`,
+//! `drop(0.1)`, `crash(0.01)`, `jam(3,0.5)!drop(0.1)!crash(0.01)`, `none`;
 //! `Display` and `FromStr` round-trip), so fault configurations travel
 //! through scenario strings, campaign definitions and JSON results exactly
 //! like topologies and protocols do.
@@ -48,8 +49,15 @@
 //!   Jammers are exempt from dropout — the adversary is reliable.
 //! * **Dropout** is transient: each round, each non-jammer node is
 //!   independently *down* with probability `P` (the unreliable-node regime
-//!   of the dual-graph literature, not crash-stop). A down node's
-//!   transmission is suppressed and it hears nothing that round.
+//!   of the dual-graph literature). A down node's transmission is
+//!   suppressed and it hears nothing that round.
+//! * **Crash-stop** is permanent: each round, each still-alive non-jammer
+//!   node independently *crashes* with probability `P` and stays down for
+//!   the rest of the trial (the fail-stop regime). Equivalently, each
+//!   node's crash round is an independent geometric draw — which is exactly
+//!   how the schedule evaluates it, from a single stateless per-node coin,
+//!   so crash queries stay `O(1)` and order-independent like the other
+//!   fault coins.
 
 use crate::rng;
 use rn_graph::NodeId;
@@ -57,15 +65,17 @@ use std::error::Error;
 use std::fmt;
 use std::str::FromStr;
 
-/// Declarative fault configuration: jammer count + firing probability and a
-/// per-round dropout probability. Construct via [`FaultPlan::none`],
-/// [`FaultPlan::jam`], [`FaultPlan::drop`] or [`FaultPlan::try_new`]; fields
-/// are validated invariants, not raw data.
+/// Declarative fault configuration: jammer count + firing probability, a
+/// per-round dropout probability and a per-round crash-stop probability.
+/// Construct via [`FaultPlan::none`], [`FaultPlan::jam`],
+/// [`FaultPlan::drop`], [`FaultPlan::crash`] or [`FaultPlan::try_new`];
+/// fields are validated invariants, not raw data.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FaultPlan {
     jammers: usize,
     jam_prob: f64,
     drop_prob: f64,
+    crash_prob: f64,
 }
 
 /// Error from validating or parsing a [`FaultPlan`].
@@ -90,11 +100,11 @@ impl Error for FaultError {}
 
 impl FaultPlan {
     /// The string forms accepted by [`FromStr`], for help text.
-    pub const GRAMMAR: &'static [&'static str] = &["jam(K,P)", "drop(P)", "none"];
+    pub const GRAMMAR: &'static [&'static str] = &["jam(K,P)", "drop(P)", "crash(P)", "none"];
 
     /// The fault-free plan (the default everywhere).
     pub fn none() -> FaultPlan {
-        FaultPlan { jammers: 0, jam_prob: 0.0, drop_prob: 0.0 }
+        FaultPlan { jammers: 0, jam_prob: 0.0, drop_prob: 0.0, crash_prob: 0.0 }
     }
 
     /// Validating constructor.
@@ -104,15 +114,23 @@ impl FaultPlan {
     /// [`FaultError`] if a probability is outside `[0, 1]` (or NaN). A plan
     /// with zero jammers normalizes its jam probability to 0, so plans are
     /// canonical by construction.
-    pub fn try_new(jammers: usize, jam_prob: f64, drop_prob: f64) -> Result<FaultPlan, FaultError> {
+    pub fn try_new(
+        jammers: usize,
+        jam_prob: f64,
+        drop_prob: f64,
+        crash_prob: f64,
+    ) -> Result<FaultPlan, FaultError> {
         if !(0.0..=1.0).contains(&jam_prob) {
             return Err(FaultError::new(format!("jam probability {jam_prob} not in [0, 1]")));
         }
         if !(0.0..=1.0).contains(&drop_prob) {
             return Err(FaultError::new(format!("drop probability {drop_prob} not in [0, 1]")));
         }
+        if !(0.0..=1.0).contains(&crash_prob) {
+            return Err(FaultError::new(format!("crash probability {crash_prob} not in [0, 1]")));
+        }
         let jam_prob = if jammers == 0 { 0.0 } else { jam_prob };
-        Ok(FaultPlan { jammers, jam_prob, drop_prob })
+        Ok(FaultPlan { jammers, jam_prob, drop_prob, crash_prob })
     }
 
     /// `count` jammers, each firing noise with probability `prob` per round.
@@ -121,7 +139,7 @@ impl FaultPlan {
     ///
     /// Panics if `prob` is not in `[0, 1]`.
     pub fn jam(count: usize, prob: f64) -> FaultPlan {
-        FaultPlan::try_new(count, prob, 0.0).unwrap_or_else(|e| panic!("{e}"))
+        FaultPlan::try_new(count, prob, 0.0, 0.0).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Per-round node dropout with probability `prob`.
@@ -130,12 +148,22 @@ impl FaultPlan {
     ///
     /// Panics if `prob` is not in `[0, 1]`.
     pub fn drop(prob: f64) -> FaultPlan {
-        FaultPlan::try_new(0, 0.0, prob).unwrap_or_else(|e| panic!("{e}"))
+        FaultPlan::try_new(0, 0.0, prob, 0.0).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Crash-stop failures: each round, each alive non-jammer node crashes
+    /// with probability `prob` and stays down for the rest of the trial.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prob` is not in `[0, 1]`.
+    pub fn crash(prob: f64) -> FaultPlan {
+        FaultPlan::try_new(0, 0.0, 0.0, prob).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Whether this plan injects no faults at all.
     pub fn is_none(&self) -> bool {
-        self.jammers == 0 && self.drop_prob == 0.0
+        self.jammers == 0 && self.drop_prob == 0.0 && self.crash_prob == 0.0
     }
 
     /// Number of jammer nodes.
@@ -151,6 +179,11 @@ impl FaultPlan {
     /// Per-round per-node dropout probability.
     pub fn drop_prob(&self) -> f64 {
         self.drop_prob
+    }
+
+    /// Per-round per-node crash-stop probability.
+    pub fn crash_prob(&self) -> f64 {
+        self.crash_prob
     }
 
     /// Resolves the plan against an `n`-node graph: samples the distinct
@@ -173,7 +206,7 @@ impl FaultPlan {
             .into_iter()
             .map(|v| v as NodeId)
             .collect();
-        FaultSchedule::new(n, ids, self.jam_prob, self.drop_prob, seed)
+        FaultSchedule::new(n, ids, self.jam_prob, self.drop_prob, self.crash_prob, seed)
     }
 }
 
@@ -195,6 +228,10 @@ impl fmt::Display for FaultPlan {
         }
         if self.drop_prob > 0.0 {
             write!(f, "{sep}drop({})", self.drop_prob)?;
+            sep = "!";
+        }
+        if self.crash_prob > 0.0 {
+            write!(f, "{sep}crash({})", self.crash_prob)?;
         }
         Ok(())
     }
@@ -213,6 +250,7 @@ impl FromStr for FaultPlan {
         }
         let mut jam: Option<(usize, f64)> = None;
         let mut dropout: Option<f64> = None;
+        let mut crash: Option<f64> = None;
         for item in s.split('!') {
             let item = item.trim();
             let open = item
@@ -255,6 +293,18 @@ impl FromStr for FaultPlan {
                     }
                     dropout = Some(parse_prob("drop", args[0])?);
                 }
+                "crash" => {
+                    if crash.is_some() {
+                        return Err(FaultError::new("duplicate crash(...) clause"));
+                    }
+                    if args.len() != 1 {
+                        return Err(FaultError::new(format!(
+                            "crash takes 1 argument (probability), got {}",
+                            args.len()
+                        )));
+                    }
+                    crash = Some(parse_prob("crash", args[0])?);
+                }
                 other => {
                     return Err(FaultError::new(format!(
                         "unknown fault {other:?} (known: {})",
@@ -264,7 +314,7 @@ impl FromStr for FaultPlan {
             }
         }
         let (jammers, jam_prob) = jam.unwrap_or((0, 0.0));
-        FaultPlan::try_new(jammers, jam_prob, dropout.unwrap_or(0.0))
+        FaultPlan::try_new(jammers, jam_prob, dropout.unwrap_or(0.0), crash.unwrap_or(0.0))
     }
 }
 
@@ -287,13 +337,19 @@ pub struct FaultSchedule {
     is_jammer: Vec<bool>,
     jam_prob: f64,
     drop_prob: f64,
+    crash_prob: f64,
+    /// Per-node crash round (empty when `crash_prob == 0`), precomputed at
+    /// construction so the per-(round, node) hot path never pays the
+    /// geometric-quantile `ln()` math.
+    crash_round: Vec<u64>,
     seed: u64,
 }
 
-/// Coin streams must not collide: jam and drop decisions for the same
-/// `(round, node)` are independent draws.
+/// Coin streams must not collide: jam, drop and crash decisions for the
+/// same `(round, node)` are independent draws.
 const STREAM_JAM: u64 = 0x4A40;
 const STREAM_DROP: u64 = 0xD209;
+const STREAM_CRASH: u64 = 0xC2A5;
 
 impl FaultSchedule {
     /// Builds a schedule over an `n`-node graph with explicit `jammer_ids`.
@@ -307,17 +363,36 @@ impl FaultSchedule {
         jammer_ids: Vec<NodeId>,
         jam_prob: f64,
         drop_prob: f64,
+        crash_prob: f64,
         seed: u64,
     ) -> FaultSchedule {
         assert!((0.0..=1.0).contains(&jam_prob), "jam probability {jam_prob} not in [0, 1]");
         assert!((0.0..=1.0).contains(&drop_prob), "drop probability {drop_prob} not in [0, 1]");
+        assert!((0.0..=1.0).contains(&crash_prob), "crash probability {crash_prob} not in [0, 1]");
         let mut is_jammer = vec![false; n];
         for &j in &jammer_ids {
             assert!((j as usize) < n, "jammer id {j} out of range for a {n}-node graph");
             assert!(!is_jammer[j as usize], "jammer id {j} listed twice");
             is_jammer[j as usize] = true;
         }
-        FaultSchedule { n, jammer_ids, is_jammer, jam_prob, drop_prob, seed }
+        let mut schedule = FaultSchedule {
+            n,
+            jammer_ids,
+            is_jammer,
+            jam_prob,
+            drop_prob,
+            crash_prob,
+            crash_round: Vec::new(),
+            seed,
+        };
+        // Crash rounds are per-node constants; precompute them once so the
+        // per-(round, node) hot path stays a vector read rather than two
+        // `ln()` calls.
+        if crash_prob > 0.0 {
+            schedule.crash_round =
+                (0..n).map(|v| schedule.sample_crash_round(v as NodeId)).collect();
+        }
+        schedule
     }
 
     /// Number of nodes the schedule was built for.
@@ -350,12 +425,44 @@ impl FaultSchedule {
         self.jam_prob > 0.0 && self.coin(STREAM_JAM, round, node) < self.jam_prob
     }
 
-    /// Whether `node` is down (neither transmits nor receives) in `round`.
-    /// Jammers are exempt: the adversary is reliable.
+    /// The round in which `node` crash-stops (it is down from that round
+    /// on), or `u64::MAX` if it never crashes under this schedule —
+    /// precomputed at construction, so the query is a vector read.
+    pub fn crash_round(&self, node: NodeId) -> u64 {
+        if self.crash_round.is_empty() {
+            return u64::MAX;
+        }
+        self.crash_round[node as usize]
+    }
+
+    /// The geometric crash-round draw for `node`: the quantile of one
+    /// stateless per-node coin — exactly the distribution of "crash each
+    /// round with probability `P`". Called once per node at construction.
+    fn sample_crash_round(&self, node: NodeId) -> u64 {
+        if self.crash_prob <= 0.0 || self.is_jammer[node as usize] {
+            return u64::MAX;
+        }
+        if self.crash_prob >= 1.0 {
+            return 0;
+        }
+        let u = self.coin(STREAM_CRASH, 0, node);
+        let t = ((1.0 - u).ln() / (1.0 - self.crash_prob).ln()).floor();
+        if t.is_finite() && t < u64::MAX as f64 {
+            t as u64
+        } else {
+            u64::MAX
+        }
+    }
+
+    /// Whether `node` is down (neither transmits nor receives) in `round` —
+    /// transiently via dropout, or permanently once its crash round has
+    /// passed. Jammers are exempt: the adversary is reliable.
     pub fn is_down(&self, round: u64, node: NodeId) -> bool {
-        self.drop_prob > 0.0
-            && !self.is_jammer[node as usize]
-            && self.coin(STREAM_DROP, round, node) < self.drop_prob
+        if self.is_jammer[node as usize] {
+            return false;
+        }
+        (self.drop_prob > 0.0 && self.coin(STREAM_DROP, round, node) < self.drop_prob)
+            || round >= self.crash_round(node)
     }
 
     /// Whether a protocol transmission from `node` in `round` is suppressed
@@ -380,16 +487,83 @@ mod tests {
 
     #[test]
     fn plan_string_forms_round_trip() {
-        for s in ["none", "jam(3,0.5)", "drop(0.1)", "jam(3,0.5)!drop(0.1)", "jam(1,1)", "drop(1)"]
-        {
+        for s in [
+            "none",
+            "jam(3,0.5)",
+            "drop(0.1)",
+            "crash(0.01)",
+            "jam(3,0.5)!drop(0.1)",
+            "jam(3,0.5)!drop(0.1)!crash(0.01)",
+            "drop(0.1)!crash(0.5)",
+            "jam(1,1)",
+            "drop(1)",
+            "crash(1)",
+        ] {
             let plan: FaultPlan = s.parse().unwrap_or_else(|e| panic!("{s}: {e}"));
             assert_eq!(plan.to_string(), s, "display(parse({s:?}))");
             let back: FaultPlan = plan.to_string().parse().expect("reparses");
             assert_eq!(back, plan);
         }
-        // Clause order is free on input; display is canonical (jam first).
+        // Clause order is free on input; display is canonical
+        // (jam, then drop, then crash).
         let plan: FaultPlan = "drop(0.1)!jam(2,0.25)".parse().expect("parses");
         assert_eq!(plan.to_string(), "jam(2,0.25)!drop(0.1)");
+        let plan: FaultPlan = "crash(0.2)!jam(2,0.25)".parse().expect("parses");
+        assert_eq!(plan.to_string(), "jam(2,0.25)!crash(0.2)");
+    }
+
+    #[test]
+    fn crash_is_permanent_and_monotone() {
+        // Crash-stop: once a node goes down it never comes back. With no
+        // dropout in the plan, is_down must be monotone in the round.
+        let s = FaultSchedule::new(32, vec![], 0.0, 0.0, 0.05, 13);
+        for v in 0..32u32 {
+            let first = (0..400u64).find(|&r| s.is_down(r, v));
+            assert_eq!(
+                s.crash_round(v),
+                first.unwrap_or(u64::MAX),
+                "is_down flips exactly at the crash round"
+            );
+            if let Some(r0) = first {
+                assert!((r0..r0 + 200).all(|r| s.is_down(r, v)), "node {v} stays down");
+            }
+        }
+        // A 5% per-round hazard kills most of 32 nodes within 400 rounds.
+        let crashed = (0..32u32).filter(|&v| s.is_down(400, v)).count();
+        assert!(crashed > 16, "only {crashed}/32 crashed after 400 rounds");
+        // Deterministic in the seed, sensitive to it.
+        let again = FaultSchedule::new(32, vec![], 0.0, 0.0, 0.05, 13);
+        assert_eq!(
+            (0..32u32).map(|v| s.crash_round(v)).collect::<Vec<_>>(),
+            (0..32u32).map(|v| again.crash_round(v)).collect::<Vec<_>>()
+        );
+        let other = FaultSchedule::new(32, vec![], 0.0, 0.0, 0.05, 14);
+        assert_ne!(
+            (0..32u32).map(|v| s.crash_round(v)).collect::<Vec<_>>(),
+            (0..32u32).map(|v| other.crash_round(v)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn crash_edge_probabilities_and_jammer_exemption() {
+        // P = 1: everyone (except jammers) is down from round 0.
+        let all = FaultSchedule::new(8, vec![3], 0.5, 0.0, 1.0, 5);
+        for v in 0..8u32 {
+            if v == 3 {
+                assert_eq!(all.crash_round(v), u64::MAX, "jammers never crash");
+                assert!(!all.is_down(50, v));
+            } else {
+                assert_eq!(all.crash_round(v), 0);
+                assert!(all.is_down(0, v));
+            }
+        }
+        // P = 0: nobody ever crashes.
+        let none = FaultSchedule::new(8, vec![], 0.0, 0.0, 0.0, 5);
+        assert!((0..8u32).all(|v| none.crash_round(v) == u64::MAX));
+        // Tiny P: geometric crash rounds land far out (whp beyond any
+        // realistic trial budget; deterministic for this seed).
+        let rare = FaultSchedule::new(64, vec![], 0.0, 0.0, 1e-6, 5);
+        assert!((0..64u32).all(|v| rare.crash_round(v) > 1000));
     }
 
     #[test]
@@ -406,6 +580,11 @@ mod tests {
             "drop()",
             "drop(2)",
             "drop(0.1,0.2)",
+            "crash()",
+            "crash(2)",
+            "crash(-0.1)",
+            "crash(0.1,0.2)",
+            "crash(0.1)!crash(0.2)",
             "jam(3,0.5)!jam(2,0.5)",
             "drop(0.1)!drop(0.2)",
             "flood(0.5)",
@@ -417,13 +596,13 @@ mod tests {
 
     #[test]
     fn plan_constructors_validate_probabilities() {
-        assert!(FaultPlan::try_new(3, 1.1, 0.0).is_err());
-        assert!(FaultPlan::try_new(3, 0.5, -0.2).is_err());
-        assert!(FaultPlan::try_new(3, f64::NAN, 0.0).is_err());
+        assert!(FaultPlan::try_new(3, 1.1, 0.0, 0.0).is_err());
+        assert!(FaultPlan::try_new(3, 0.5, -0.2, 0.0).is_err());
+        assert!(FaultPlan::try_new(3, f64::NAN, 0.0, 0.0).is_err());
         assert!(FaultPlan::none().is_none());
         assert!(!FaultPlan::jam(1, 0.0).is_none(), "a silent jammer still occupies its node");
         // Zero jammers normalize the jam probability away.
-        assert_eq!(FaultPlan::try_new(0, 0.9, 0.0).expect("valid"), FaultPlan::none());
+        assert_eq!(FaultPlan::try_new(0, 0.9, 0.0, 0.0).expect("valid"), FaultPlan::none());
     }
 
     #[test]
@@ -456,30 +635,30 @@ mod tests {
     #[test]
     #[should_panic(expected = "jammer id 9 out of range")]
     fn schedule_rejects_out_of_range_jammer_ids() {
-        FaultSchedule::new(4, vec![1, 9], 0.5, 0.0, 7);
+        FaultSchedule::new(4, vec![1, 9], 0.5, 0.0, 0.0, 7);
     }
 
     #[test]
     #[should_panic(expected = "listed twice")]
     fn schedule_rejects_duplicate_jammer_ids() {
-        FaultSchedule::new(4, vec![1, 1], 0.5, 0.0, 7);
+        FaultSchedule::new(4, vec![1, 1], 0.5, 0.0, 0.0, 7);
     }
 
     #[test]
     fn coins_are_deterministic_and_respect_edge_probabilities() {
-        let s = FaultSchedule::new(8, vec![0, 1], 1.0, 0.0, 3);
+        let s = FaultSchedule::new(8, vec![0, 1], 1.0, 0.0, 0.0, 3);
         for round in 0..50 {
             assert!(s.jam_fires(round, 0), "probability 1 always fires");
             assert!(!s.is_down(round, 5), "drop probability 0 never drops");
         }
-        let silent = FaultSchedule::new(8, vec![0], 0.0, 1.0, 3);
+        let silent = FaultSchedule::new(8, vec![0], 0.0, 1.0, 0.0, 3);
         for round in 0..50 {
             assert!(!silent.jam_fires(round, 0), "probability 0 never fires");
             assert!(silent.is_down(round, 5), "drop probability 1 always drops");
             assert!(!silent.is_down(round, 0), "jammers are exempt from dropout");
         }
         // Intermediate probabilities are reproducible and round-sensitive.
-        let s = FaultSchedule::new(8, vec![2], 0.5, 0.5, 11);
+        let s = FaultSchedule::new(8, vec![2], 0.5, 0.5, 0.0, 11);
         let fires: Vec<bool> = (0..64).map(|r| s.jam_fires(r, 2)).collect();
         assert_eq!(fires, (0..64).map(|r| s.jam_fires(r, 2)).collect::<Vec<_>>());
         assert!(fires.iter().any(|&b| b) && fires.iter().any(|&b| !b), "a fair coin varies");
@@ -487,7 +666,7 @@ mod tests {
 
     #[test]
     fn jam_and_drop_coins_are_independent_streams() {
-        let s = FaultSchedule::new(64, (0..64).collect(), 0.5, 0.5, 5);
+        let s = FaultSchedule::new(64, (0..64).collect(), 0.5, 0.5, 0.0, 5);
         // If the streams collided, jam_fires and the raw drop coin would
         // agree everywhere. (is_down exempts jammers, so compare coins.)
         let agree = (0..64u64)
@@ -500,7 +679,7 @@ mod tests {
     fn schedules_are_shareable_across_threads() {
         // The executor hands one schedule to many workers by reference; the
         // coins must read identically from any thread.
-        let s = FaultSchedule::new(16, vec![3], 0.5, 0.5, 11);
+        let s = FaultSchedule::new(16, vec![3], 0.5, 0.5, 0.0, 11);
         let local: Vec<bool> = (0..64).map(|r| s.jam_fires(r, 3)).collect();
         let remote = std::thread::scope(|scope| {
             scope.spawn(|| (0..64).map(|r| s.jam_fires(r, 3)).collect::<Vec<bool>>()).join()

@@ -51,6 +51,7 @@
 
 mod combinators;
 mod engine;
+pub mod family;
 pub mod faults;
 mod params;
 mod protocol;
@@ -61,6 +62,7 @@ mod trace;
 
 pub use combinators::{Either, Faulty, Interleave, Jammer, Noise};
 pub use engine::{CollisionModel, Metrics, RunOutcome, RunStats, Simulator};
+pub use family::{OverrideClass, OverrideSpec, ParsedArgs, ProtocolFamily};
 pub use faults::{FaultError, FaultPlan, FaultSchedule};
 pub use params::NetParams;
 pub use protocol::{Protocol, Round, TxBuf};

@@ -11,7 +11,7 @@
 //! JSON document (`rn-bench-results/v1`) that is byte-identical for a fixed
 //! master seed.
 
-use radio_networks::bench::{Campaign, ProtocolKind, ScenarioSpec, TrialPlan};
+use radio_networks::bench::{Campaign, ProtocolSpec, ScenarioSpec, TrialPlan};
 use radio_networks::graph::TopologySpec;
 use radio_networks::sim::{CollisionModel, FaultPlan};
 
@@ -34,7 +34,7 @@ fn main() {
     let sweep = Campaign {
         id: "example_sweep".into(),
         topologies,
-        protocols: vec![ProtocolKind::Broadcast.into(), ProtocolKind::Bgi.into()],
+        protocols: vec![ProtocolSpec::parse("broadcast"), ProtocolSpec::parse("bgi")],
         models: vec![CollisionModel::NoCollisionDetection],
         faults: vec![FaultPlan::none(), FaultPlan::drop(0.01)],
         plan: TrialPlan::new(3),
