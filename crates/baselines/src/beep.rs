@@ -26,16 +26,30 @@ use rn_sim::{Protocol, Round, TxBuf};
 pub struct BeepWave {
     /// Round in which each node beeps (sources: 0), `None` = never reached.
     beep_at: Vec<Option<Round>>,
+    /// The beep schedule as per-round buckets: `buckets[r]` holds the nodes
+    /// due to beep in round `r`, each at most once (`beep_at` is written at
+    /// most once per node). A node activated in round `r` lands in bucket
+    /// `r + 1`, so a bucket is complete before its round's `transmit` runs;
+    /// sorting at emission restores the increasing-id order of the original
+    /// full `beep_at` scan without touching all `n` nodes every round.
+    buckets: Vec<Vec<NodeId>>,
+    /// Reached-node count, maintained incrementally.
+    reached: usize,
 }
 
 impl BeepWave {
     /// Creates a wave from `sources` on an `n`-node network.
     pub fn new(n: usize, sources: &[NodeId]) -> BeepWave {
         let mut beep_at = vec![None; n];
+        let mut first = Vec::new();
         for &s in sources {
-            beep_at[s as usize] = Some(0);
+            if beep_at[s as usize].is_none() {
+                beep_at[s as usize] = Some(0);
+                first.push(s);
+            }
         }
-        BeepWave { beep_at }
+        let reached = first.len();
+        BeepWave { beep_at, buckets: vec![first], reached }
     }
 
     /// Whether `node` was reached by the wave (sources count as reached).
@@ -45,13 +59,19 @@ impl BeepWave {
 
     /// Number of reached nodes.
     pub fn reached_count(&self) -> usize {
-        self.beep_at.iter().filter(|x| x.is_some()).count()
+        self.reached
     }
 
     fn activate(&mut self, node: NodeId, round: Round) {
         let slot = &mut self.beep_at[node as usize];
         if slot.is_none() {
             *slot = Some(round + 1);
+            let due = (round + 1) as usize;
+            if self.buckets.len() <= due {
+                self.buckets.resize_with(due + 1, Vec::new);
+            }
+            self.buckets[due].push(node);
+            self.reached += 1;
         }
     }
 }
@@ -60,10 +80,10 @@ impl Protocol for BeepWave {
     type Msg = ();
 
     fn transmit(&mut self, round: Round, tx: &mut TxBuf<()>) {
-        for (v, &at) in self.beep_at.iter().enumerate() {
-            if at == Some(round) {
-                tx.send(v as NodeId, ());
-            }
+        let Some(bucket) = self.buckets.get_mut(round as usize) else { return };
+        bucket.sort_unstable();
+        for i in 0..bucket.len() {
+            tx.send(bucket[i], ());
         }
     }
 

@@ -1,0 +1,95 @@
+//! Scale suite: the engine hot path at `10⁵`–`10⁶` nodes.
+//!
+//! Three A/B groups, all on the random-geometric topologies the scale-smoke
+//! CI lane exercises:
+//!
+//! * `scale_engine_mode` — the same `10⁵`-node broadcast workload under
+//!   [`EngineMode::Frontier`] (SoA/bitset scratch, the default) and
+//!   [`EngineMode::Reference`] (stamp vectors). Round counts are
+//!   byte-identical by construction — the differential tests pin that — so
+//!   any wall-clock gap is pure engine-layout effect.
+//! * `scale_coin_sampler` — [`DecayBroadcast`] with per-index coins (the
+//!   registered default, sequence-pinned by the committed baselines) vs the
+//!   batched SplitMix64 word sampler ([`CoinSampler::Batched`]).
+//! * `scale_million` — one `10⁶`-node end-to-end trial, **gated** behind
+//!   `RN_BENCH_SCALE_MILLION=1` so a default `cargo bench` stays minutes,
+//!   not tens of minutes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rn_bench::BenchWorkload;
+use rn_decay::{CoinSampler, DecayBroadcast};
+use rn_graph::TopologySpec;
+use rn_sim::{with_default_engine_mode, CollisionModel, EngineMode, NetParams, Simulator};
+
+/// The 10⁵-node workload both A/B groups share (same shape as the CI
+/// scale-smoke cell, cheaper protocol so ten samples stay under a minute).
+const SCALE_SCENARIO: &str = "bgi@rgg(100000,0.006)";
+
+/// Graph-build seed: benches pin one topology instance across all runs.
+const TOPOLOGY_SEED: u64 = 0x5CA1E;
+
+fn bench_engine_modes(c: &mut Criterion) {
+    let w = BenchWorkload::resolve(SCALE_SCENARIO, TOPOLOGY_SEED);
+    let mut group = c.benchmark_group("scale_engine_mode");
+    group.sample_size(5);
+    for (mode, label) in [(EngineMode::Frontier, "frontier"), (EngineMode::Reference, "reference")]
+    {
+        group.bench_function(format!("{}/{label}", w.name), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let r = with_default_engine_mode(mode, || w.run_trial(seed));
+                assert!(r.completed, "{SCALE_SCENARIO} must complete under {label}");
+                r.rounds
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_coin_samplers(c: &mut Criterion) {
+    let spec: TopologySpec = "rgg(100000,0.006)".parse().expect("topology spec parses");
+    let g = spec.build(TOPOLOGY_SEED);
+    let net = NetParams::new(g.n(), g.diameter_double_sweep());
+    let mut group = c.benchmark_group("scale_coin_sampler");
+    group.sample_size(5);
+    for (sampler, label) in
+        [(CoinSampler::PerIndex, "per_index"), (CoinSampler::Batched, "batched")]
+    {
+        group.bench_function(label, |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut p = DecayBroadcast::with_coin_sampler(net, &[(0, 1)], seed, sampler);
+                let mut sim = Simulator::new(&g, CollisionModel::NoCollisionDetection, seed);
+                let stats = sim.run_until(&mut p, 1_000_000, |_, p| p.all_informed());
+                assert!(p.all_informed(), "decay broadcast must complete under {label}");
+                stats.rounds
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_million(c: &mut Criterion) {
+    if std::env::var("RN_BENCH_SCALE_MILLION").is_err() {
+        println!("bench scale_million skipped (set RN_BENCH_SCALE_MILLION=1 to run)");
+        return;
+    }
+    let w = BenchWorkload::resolve("bgi@rgg(1000000,0.002)", TOPOLOGY_SEED);
+    let mut group = c.benchmark_group("scale_million");
+    group.sample_size(2);
+    group.bench_function(w.name.clone(), |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let r = w.run_trial(seed);
+            assert!(r.completed, "10⁶-node broadcast must complete");
+            r.rounds
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine_modes, bench_coin_samplers, bench_million);
+criterion_main!(benches);

@@ -5,7 +5,7 @@
 //!
 //! ```text
 //! experiments [--seed N] [--trials N] [--threads N] [--model nocd|cd]
-//!             [--faults SPEC] [--json PATH] [--no-table]
+//!             [--faults SPEC] [--json PATH] [--no-table] [--timing]
 //!             (--list | --check PATH | --scenario SPEC | all | ID [ID ...])
 //! ```
 //!
@@ -28,6 +28,10 @@
 //! * `--no-table` — skip the in-memory markdown table entirely (requires
 //!   `--json`): huge streamed sweeps then hold only the cells in flight,
 //!   never the whole result;
+//! * `--timing` — annotate every emitted cell with `elapsed_ms` (summed
+//!   per-trial wall-clock). Off by default because wall-clock is
+//!   machine-dependent: byte-compared baselines must be generated without
+//!   it, scale-lane files with it;
 //! * `--check PATH` — parse and schema-validate a results file, then exit
 //!   (the CI smoke gate).
 
@@ -51,6 +55,7 @@ struct Args {
     faults: Option<FaultPlan>,
     json: Option<String>,
     no_table: bool,
+    timing: bool,
     scenario: Option<String>,
     check: Option<String>,
     list: bool,
@@ -66,6 +71,7 @@ fn parse_args() -> Args {
         faults: None,
         json: None,
         no_table: false,
+        timing: false,
         scenario: None,
         check: None,
         list: false,
@@ -109,6 +115,7 @@ fn parse_args() -> Args {
             }
             "--json" => args.json = Some(value("--json")),
             "--no-table" => args.no_table = true,
+            "--timing" => args.timing = true,
             "--scenario" => args.scenario = Some(value("--scenario")),
             "--check" => args.check = Some(value("--check")),
             "--list" => args.list = true,
@@ -266,8 +273,14 @@ fn run_campaign(campaign: &Campaign, args: &Args) {
     }
     let threads = executor::resolve_threads(args.threads);
     let seed = args.seed;
+    let options = executor::ExecOptions { timing: args.timing };
     match args.json.as_deref() {
-        None => campaign.run_with_threads(seed, threads).to_table().print(),
+        None => {
+            let mut sink = MemorySink::new();
+            executor::execute_with(campaign, seed, threads, &mut sink, options)
+                .expect("the in-memory sink cannot fail");
+            sink.into_result().to_table().print();
+        }
         Some(path) => {
             let file = std::fs::File::create(path).unwrap_or_else(|e| {
                 eprintln!("error: cannot write {path}: {e}");
@@ -280,12 +293,12 @@ fn run_campaign(campaign: &Campaign, args: &Args) {
             };
             let cells = if args.no_table {
                 let mut sink = stream;
-                executor::execute(campaign, seed, threads, &mut sink)
+                executor::execute_with(campaign, seed, threads, &mut sink, options)
                     .unwrap_or_else(|e| io_error(e));
                 sink.cells_written()
             } else {
                 let mut sink = TableAndJson { table: MemorySink::new(), json: stream };
-                executor::execute(campaign, seed, threads, &mut sink)
+                executor::execute_with(campaign, seed, threads, &mut sink, options)
                     .unwrap_or_else(|e| io_error(e));
                 sink.table.into_result().to_table().print();
                 sink.json.cells_written()
@@ -326,7 +339,7 @@ fn usage(err: &str) -> ! {
     eprintln!("error: {err}");
     eprintln!(
         "usage: experiments [--seed N] [--trials N] [--threads N] [--model nocd|cd]\n\
-         \x20                  [--faults SPEC] [--json PATH] [--no-table]\n\
+         \x20                  [--faults SPEC] [--json PATH] [--no-table] [--timing]\n\
          \x20                  (--list | --check PATH | --scenario SPEC | all | ID [ID ...])"
     );
     std::process::exit(2);

@@ -324,6 +324,12 @@ pub struct CellResult {
     pub collisions: CellStats,
     /// Node transmissions per trial.
     pub transmissions: CellStats,
+    /// Total wall-clock spent running this cell's trials, in milliseconds,
+    /// summed over workers (so it measures CPU-time-like cost, not
+    /// end-to-end latency). `None` unless the run opted into timing
+    /// ([`crate::executor::ExecOptions::timing`]): wall-clock is
+    /// machine-dependent, so it must stay out of byte-pinned baselines.
+    pub elapsed_ms: Option<u64>,
 }
 
 impl CellResult {
@@ -337,6 +343,7 @@ impl CellResult {
         faults: FaultPlan,
         net: NetParams,
         records: &[TrialRecord],
+        elapsed_ms: Option<u64>,
     ) -> CellResult {
         CellResult {
             topology,
@@ -351,13 +358,14 @@ impl CellResult {
             deliveries: CellStats::over(records.iter().map(|r| r.metrics.deliveries)),
             collisions: CellStats::over(records.iter().map(|r| r.metrics.collisions)),
             transmissions: CellStats::over(records.iter().map(|r| r.metrics.transmissions)),
+            elapsed_ms,
         }
     }
 
     /// The cell's JSON record (one element of the results file's `cells`
     /// array; the streaming sink emits these one at a time).
     pub(crate) fn to_json(&self) -> Json {
-        Json::obj(vec![
+        let mut fields = vec![
             ("topology", Json::Str(self.topology.clone())),
             ("protocol", Json::Str(self.protocol.clone())),
             ("model", Json::Str(self.model.to_string())),
@@ -370,7 +378,14 @@ impl CellResult {
             ("deliveries", self.deliveries.to_json()),
             ("collisions", self.collisions.to_json()),
             ("transmissions", self.transmissions.to_json()),
-        ])
+        ];
+        // Additive v1 field, emitted only on timed runs: untimed documents
+        // (including the committed byte-pinned baselines) stay bit-for-bit
+        // unchanged.
+        if let Some(ms) = self.elapsed_ms {
+            fields.push(("elapsed_ms", Json::UInt(ms)));
+        }
+        Json::obj(fields)
     }
 }
 
@@ -481,6 +496,11 @@ pub fn validate_results(doc: &Json) -> Result<String, String> {
             cell.get(key)
                 .and_then(Json::as_u64)
                 .ok_or(format!("cell {i}: missing integer field {key:?}"))?;
+        }
+        // Additive v1 field: absent on untimed runs, a millisecond count
+        // when the run opted into `--timing`.
+        if let Some(ms) = cell.get("elapsed_ms") {
+            ms.as_u64().ok_or(format!("cell {i}: elapsed_ms must be an integer"))?;
         }
         for key in ["rounds", "deliveries", "collisions", "transmissions"] {
             let stats = cell.get(key).ok_or(format!("cell {i}: missing stats field {key:?}"))?;

@@ -70,6 +70,12 @@ pub struct DiffRow {
     pub noise: f64,
     /// The verdict.
     pub status: DiffStatus,
+    /// Baseline `elapsed_ms` annotation, when the file has one.
+    /// **Informational only** — wall-clock is machine-dependent and never
+    /// gates; perf regressions are caught by the criterion scale suite.
+    pub base_elapsed_ms: Option<u64>,
+    /// New-run `elapsed_ms` annotation, same informational-only status.
+    pub new_elapsed_ms: Option<u64>,
 }
 
 impl DiffRow {
@@ -109,14 +115,22 @@ impl DiffReport {
     pub fn to_markdown(&self) -> String {
         let mut t = Table::new(
             format!("bench-diff: {} → {} (±{}σ noise band)", self.base_id, self.new_id, self.sigma),
-            &["cell", "base mean", "new mean", "delta", "band", "verdict"],
+            &["cell", "base mean", "new mean", "delta", "band", "verdict", "elapsed ms"],
         );
         let num = |v: Option<f64>| v.map_or_else(|| "-".to_string(), |x| format!("{x:.1}"));
+        let ms = |v: Option<u64>| v.map_or_else(|| "-".to_string(), |x| x.to_string());
         for r in &self.rows {
             let delta = r.delta().map_or_else(
                 || "-".to_string(),
                 |d| format!("{}{:.1}", if d >= 0.0 { "+" } else { "" }, d),
             );
+            // Wall-clock is shown but never judged: it varies by machine,
+            // so only the seed-deterministic round counts gate.
+            let elapsed = if r.base_elapsed_ms.is_none() && r.new_elapsed_ms.is_none() {
+                "-".to_string()
+            } else {
+                format!("{} → {}", ms(r.base_elapsed_ms), ms(r.new_elapsed_ms))
+            };
             t.row(&[
                 r.key.clone(),
                 num(r.base_mean),
@@ -124,6 +138,7 @@ impl DiffReport {
                 delta,
                 format!("±{:.1}", r.noise),
                 r.status.label().to_string(),
+                elapsed,
             ]);
         }
         t.note(if self.has_regressions() {
@@ -152,6 +167,7 @@ struct CellNums {
     mean: f64,
     stddev: f64,
     trials: f64,
+    elapsed_ms: Option<u64>,
 }
 
 fn extract(doc: &Json) -> Result<(String, Vec<CellNums>), String> {
@@ -170,6 +186,7 @@ fn extract(doc: &Json) -> Result<(String, Vec<CellNums>), String> {
             mean: rounds.get("mean").and_then(Json::as_f64).expect("validated above"),
             stddev: rounds.get("stddev").and_then(Json::as_f64).unwrap_or(0.0),
             trials: cell.get("trials").and_then(Json::as_u64).expect("validated above") as f64,
+            elapsed_ms: cell.get("elapsed_ms").and_then(Json::as_u64),
         });
     }
     Ok((id, out))
@@ -201,6 +218,8 @@ pub fn diff_results(base: &Json, new: &Json, sigma: f64) -> Result<DiffReport, S
                 new_mean: None,
                 noise: 0.0,
                 status: DiffStatus::MissingInNew,
+                base_elapsed_ms: b.elapsed_ms,
+                new_elapsed_ms: None,
             },
             Some(n) => {
                 let noise = sigma
@@ -221,6 +240,8 @@ pub fn diff_results(base: &Json, new: &Json, sigma: f64) -> Result<DiffReport, S
                     new_mean: Some(n.mean),
                     noise,
                     status,
+                    base_elapsed_ms: b.elapsed_ms,
+                    new_elapsed_ms: n.elapsed_ms,
                 }
             }
         };
@@ -234,6 +255,8 @@ pub fn diff_results(base: &Json, new: &Json, sigma: f64) -> Result<DiffReport, S
                 new_mean: Some(n.mean),
                 noise: 0.0,
                 status: DiffStatus::NewOnly,
+                base_elapsed_ms: None,
+                new_elapsed_ms: n.elapsed_ms,
             });
         }
     }
@@ -315,6 +338,26 @@ mod tests {
         let r = diff_results(&a, &a, DEFAULT_SIGMA).expect("old schema diffs");
         assert!(!r.has_regressions());
         assert_eq!(r.rows[0].noise, 0.0);
+    }
+
+    #[test]
+    fn elapsed_ms_is_reported_but_never_gates() {
+        // A timed new run that is 100× slower on the wall clock but has
+        // identical rounds must still pass: elapsed_ms is informational.
+        let a = parse(&doc(100.0, 5.0, 10, "bgi"));
+        let timed = doc(100.0, 5.0, 10, "bgi")
+            .replace("\"stddev\":0}}]}", "\"stddev\":0},\"elapsed_ms\":52100}]}");
+        let b = parse(&timed);
+        assert!(b.get("cells").unwrap().as_arr().unwrap()[0].get("elapsed_ms").is_some());
+        let r = diff_results(&a, &b, DEFAULT_SIGMA).expect("diffs");
+        assert!(!r.has_regressions());
+        assert_eq!(r.rows[0].base_elapsed_ms, None);
+        assert_eq!(r.rows[0].new_elapsed_ms, Some(52100));
+        let md = r.to_markdown();
+        assert!(md.contains("- → 52100"), "{md}");
+        // Both sides timed: rendered as base → new.
+        let r = diff_results(&b, &b, DEFAULT_SIGMA).expect("diffs");
+        assert!(r.to_markdown().contains("52100 → 52100"));
     }
 
     #[test]

@@ -29,6 +29,7 @@ use std::collections::BTreeMap;
 use std::io;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
 
 /// Environment variable consulted by [`resolve_threads`] when no explicit
 /// budget is given (the `--threads` CLI flag wins over it).
@@ -52,11 +53,24 @@ pub fn resolve_threads(explicit: Option<usize>) -> usize {
     std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4).min(16)
 }
 
+/// Knobs for [`execute_with`] beyond the campaign itself.
+///
+/// Defaults reproduce [`execute`] exactly, so plain runs (and every
+/// committed byte-pinned baseline) are unaffected by new options.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExecOptions {
+    /// Record per-cell wall-clock as [`CellResult::elapsed_ms`] (the sum of
+    /// trial durations across workers). Off by default: timing is
+    /// machine-dependent, so it must never leak into byte-compared output.
+    pub timing: bool,
+}
+
 /// Per-cell trial accumulator: slots filled as workers finish trials, handed
 /// over (in trial order) once the last one lands.
 struct CellAccum {
     records: Vec<Option<TrialRecord>>,
     done: usize,
+    elapsed: Duration,
 }
 
 /// The in-order release valve between out-of-order cell completion and the
@@ -108,6 +122,28 @@ pub fn execute(
     threads: usize,
     sink: &mut dyn CampaignSink,
 ) -> io::Result<usize> {
+    execute_with(campaign, master_seed, threads, sink, ExecOptions::default())
+}
+
+/// [`execute`] with explicit [`ExecOptions`] (the CLI's `--timing` flag
+/// lands here). Same determinism contract: the simulation results are a pure
+/// function of `(campaign, master_seed)`; only the optional `elapsed_ms`
+/// annotation varies run to run.
+///
+/// # Errors
+///
+/// The first sink I/O error, as for [`execute`].
+///
+/// # Panics
+///
+/// Propagates panics from trial workers, as for [`execute`].
+pub fn execute_with(
+    campaign: &Campaign,
+    master_seed: u64,
+    threads: usize,
+    sink: &mut dyn CampaignSink,
+    options: ExecOptions,
+) -> io::Result<usize> {
     let plan = campaign.plan_cells(master_seed);
     sink.begin(&RunHeader {
         id: campaign.id.clone(),
@@ -132,6 +168,7 @@ pub fn execute(
                 spec.faults,
                 net,
                 &[],
+                options.timing.then_some(0),
             );
             sink.cell(&cell)?;
         }
@@ -144,8 +181,10 @@ pub fn execute(
     let graphs: Vec<OnceLock<(Graph, NetParams)>> =
         (0..campaign.topologies.len()).map(|_| OnceLock::new()).collect();
     let cursor = AtomicUsize::new(0);
-    let accums: Vec<Mutex<CellAccum>> =
-        plan.iter().map(|_| Mutex::new(CellAccum { records: Vec::new(), done: 0 })).collect();
+    let accums: Vec<Mutex<CellAccum>> = plan
+        .iter()
+        .map(|_| Mutex::new(CellAccum { records: Vec::new(), done: 0, elapsed: Duration::ZERO }))
+        .collect();
     let emitter = Mutex::new(Emitter { next: 0, pending: BTreeMap::new(), sink, error: None });
 
     std::thread::scope(|scope| {
@@ -163,6 +202,7 @@ pub fn execute(
                     (g, net)
                 });
                 let runnable: Box<dyn Runnable> = spec.protocol.instantiate();
+                let started = options.timing.then(Instant::now);
                 let record = runnable.run_trial_under_faults(
                     g,
                     *net,
@@ -170,6 +210,7 @@ pub fn execute(
                     rng::derive(spec.cell_seed, ti as u64),
                     &spec.faults,
                 );
+                let trial_time = started.map(|t| t.elapsed());
                 let complete = {
                     let mut acc = accums[ci].lock().expect("cell accumulator lock");
                     if acc.records.is_empty() {
@@ -178,9 +219,12 @@ pub fn execute(
                     debug_assert!(acc.records[ti].is_none(), "trial unit claimed twice");
                     acc.records[ti] = Some(record);
                     acc.done += 1;
-                    (acc.done == trials).then(|| std::mem::take(&mut acc.records))
+                    if let Some(dt) = trial_time {
+                        acc.elapsed += dt;
+                    }
+                    (acc.done == trials).then(|| (std::mem::take(&mut acc.records), acc.elapsed))
                 };
-                if let Some(slots) = complete {
+                if let Some((slots, elapsed)) = complete {
                     // Aggregate in trial order, whatever order workers
                     // finished in — the statistics are order-sensitive in
                     // floating point.
@@ -193,6 +237,9 @@ pub fn execute(
                         spec.faults,
                         *net,
                         &records,
+                        options
+                            .timing
+                            .then(|| u64::try_from(elapsed.as_millis()).unwrap_or(u64::MAX)),
                     );
                     let failed = {
                         let mut em = emitter.lock().expect("emitter lock");
@@ -283,6 +330,38 @@ mod tests {
         assert_eq!(r.cells.len(), 8, "every planned cell is emitted");
         assert!(r.cells.iter().all(|cell| cell.trials == 0 && cell.rounds.mean == 0.0));
         assert_eq!(r.to_json(), c.run_with_threads(3, 1).to_json());
+    }
+
+    #[test]
+    fn timing_is_opt_in_and_additive() {
+        use crate::campaign::validate_results;
+        use crate::json::Json;
+        use crate::sink::MemorySink;
+
+        let c = campaign();
+        // Default path: no elapsed_ms anywhere — the committed baselines
+        // depend on this staying byte-stable.
+        let plain = c.run_with_threads(11, 2);
+        assert!(plain.cells.iter().all(|cell| cell.elapsed_ms.is_none()));
+        assert!(!plain.to_json().contains("elapsed_ms"));
+
+        // Timed path: every cell annotated, simulation results unchanged,
+        // and the document still schema-validates.
+        let mut sink = MemorySink::new();
+        execute_with(&c, 11, 2, &mut sink, ExecOptions { timing: true }).expect("in-memory run");
+        let timed = sink.into_result();
+        assert!(timed.cells.iter().all(|cell| cell.elapsed_ms.is_some()));
+        let json = timed.to_json();
+        assert!(json.contains("\"elapsed_ms\":"));
+        validate_results(&Json::parse(&json).expect("own JSON parses")).expect("schema-valid");
+        let strip = |r: &crate::campaign::CampaignResult| {
+            let mut r = r.clone();
+            for cell in &mut r.cells {
+                cell.elapsed_ms = None;
+            }
+            r
+        };
+        assert_eq!(strip(&timed), strip(&plain), "timing must not perturb results");
     }
 
     #[test]

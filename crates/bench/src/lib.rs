@@ -40,7 +40,7 @@ pub use campaign::{
     RESULTS_SCHEMA,
 };
 pub use diff::{diff_results, DiffReport, DiffStatus};
-pub use executor::resolve_threads;
+pub use executor::{execute_with, resolve_threads, ExecOptions};
 pub use harness::{parallel_trials, Table};
 pub use json::{Json, JsonError};
 pub use listing::registry_listing;

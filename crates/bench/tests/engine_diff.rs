@@ -1,0 +1,92 @@
+//! Differential gate for the engine's frontier fast path: every registered
+//! protocol family, run through the real scenario plumbing
+//! ([`rn_sim::Runnable::run_trial_under_faults`]), must produce an
+//! *identical* [`rn_sim::TrialRecord`] under [`EngineMode::Frontier`] and
+//! [`EngineMode::Reference`] — same completion, same round count, same
+//! channel metrics — across random small topologies, both collision models
+//! and every fault-plan form (`none`, `jam`, `drop`, `crash`).
+//!
+//! This is the cross-crate complement of the in-crate engine tests: those
+//! pin the channel semantics callback-by-callback on hand-built protocols;
+//! this one pins the full registry surface, so a new family (or a
+//! frontier-aware protocol fast path) cannot drift from the reference
+//! engine without failing here.
+
+use proptest::prelude::*;
+use rn_bench::ProtocolSpec;
+use rn_graph::TopologySpec;
+use rn_sim::{
+    with_default_engine_mode, CollisionModel, EngineMode, FaultPlan, NetParams, TrialRecord,
+};
+
+/// Runs one trial of every canonical registry instance that fits the graph,
+/// under both collision models, on the current thread (so the engine-mode
+/// scope override applies). Returns labelled records for comparison.
+fn run_registry(
+    topo: &TopologySpec,
+    fault: &FaultPlan,
+    seed: u64,
+) -> Vec<(String, &'static str, TrialRecord)> {
+    let g = topo.build(seed);
+    let net = NetParams::new(g.n(), g.diameter_double_sweep());
+    let mut out = Vec::new();
+    for spec in ProtocolSpec::all() {
+        if spec.required_nodes() > g.n() {
+            continue;
+        }
+        let runnable = spec.instantiate();
+        for (model, tag) in [
+            (CollisionModel::NoCollisionDetection, "nocd"),
+            (CollisionModel::CollisionDetection, "cd"),
+        ] {
+            let record = runnable.run_trial_under_faults(&g, net, model, seed, fault);
+            out.push((spec.to_string(), tag, record));
+        }
+    }
+    out
+}
+
+fn topology() -> impl Strategy<Value = TopologySpec> {
+    // The shim's strategy surface has no prop_oneof; an index-mapped pair of
+    // ranges draws uniformly over the same shapes.
+    (0usize..6, 0usize..64).prop_map(|(family, x)| match family {
+        0 => TopologySpec::Path(9 + x % 19),
+        1 => TopologySpec::Cycle(9 + x % 19),
+        2 => TopologySpec::Star(9 + x % 11),
+        3 => TopologySpec::Grid { w: 3 + x % 3, h: 3 + (x / 3) % 3 },
+        4 => TopologySpec::RandomTree(9 + x % 15),
+        _ => TopologySpec::Rgg { n: 12 + x % 12, radius: 0.45 },
+    })
+}
+
+fn fault_plan() -> impl Strategy<Value = FaultPlan> {
+    (0usize..4, 0usize..2).prop_map(|(kind, x)| match kind {
+        0 => FaultPlan::none(),
+        1 => FaultPlan::jam(1 + x, [0.3, 0.7][x]),
+        2 => FaultPlan::drop([0.05, 0.2][x]),
+        _ => format!("crash({})", [0.1, 0.3][x]).parse().expect("crash plan parses"),
+    })
+}
+
+proptest! {
+    // Each case runs the whole registry (≈ 18 instances × 2 models) twice;
+    // a handful of cases already crosses every family with every fault
+    // form over the run history.
+    #![proptest_config(ProptestConfig { cases: 5 })]
+
+    #[test]
+    fn frontier_engine_matches_reference_for_every_registered_family(
+        topo in topology(),
+        fault in fault_plan(),
+        seed in any::<u64>(),
+    ) {
+        let reference =
+            with_default_engine_mode(EngineMode::Reference, || run_registry(&topo, &fault, seed));
+        let frontier =
+            with_default_engine_mode(EngineMode::Frontier, || run_registry(&topo, &fault, seed));
+        prop_assert_eq!(reference.len(), frontier.len());
+        for (r, f) in reference.iter().zip(&frontier) {
+            prop_assert_eq!(r, f, "{} × {} × {} × {} diverged", r.0, r.1, topo, fault);
+        }
+    }
+}

@@ -2,7 +2,45 @@ use crate::primitive::DecaySteps;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use rn_graph::NodeId;
-use rn_sim::{rng::bernoulli_indices, NetParams, Protocol, Round, TxBuf};
+use rn_sim::rng::{bernoulli_indices, bernoulli_pow2_indices, WordStream};
+use rn_sim::{NetParams, Protocol, Round, TxBuf};
+
+/// How a decay protocol draws its per-round transmission coins.
+///
+/// The two samplers draw *different* (equally valid) random sequences, so
+/// the choice is part of a run's identity: registered scenario families pin
+/// [`CoinSampler::PerIndex`] — the historical sequence all committed
+/// baselines were recorded under — and the batched sampler is opt-in for
+/// large-scale runs, where drawing 64 coins per `u64` word beats the
+/// per-success geometric skipping once frontiers reach `10⁵`–`10⁶` nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CoinSampler {
+    /// Geometric index skipping over the informed list (`SmallRng`);
+    /// cost `O(successes)` per round. The default and baseline-pinned
+    /// sequence.
+    #[default]
+    PerIndex,
+    /// Word-batched sampling from a [`WordStream`]: one `u64` draw yields
+    /// 64 fair coins, AND-ed `j` deep for the decay probability `2^-j`;
+    /// cost `O(frontier/64 · j)` per round regardless of density.
+    Batched,
+}
+
+/// The sampler state behind a [`CoinSampler`] choice.
+#[derive(Debug)]
+enum CoinState {
+    PerIndex(SmallRng),
+    Batched(WordStream),
+}
+
+impl CoinState {
+    fn new(sampler: CoinSampler, seed: u64) -> CoinState {
+        match sampler {
+            CoinSampler::PerIndex => CoinState::PerIndex(SmallRng::seed_from_u64(seed)),
+            CoinSampler::Batched => CoinState::Batched(WordStream::new(seed, 0xC01)),
+        }
+    }
+}
 
 /// The Bar-Yehuda–Goldreich–Itai broadcasting algorithm (1992).
 ///
@@ -26,13 +64,25 @@ pub struct DecayBroadcast {
     value: Vec<Option<u64>>,
     /// Dense list of informed nodes, in the order they were informed.
     informed_list: Vec<NodeId>,
-    rng: SmallRng,
+    coins: CoinState,
     scratch: Vec<usize>,
 }
 
 impl DecayBroadcast {
     /// Multi-source broadcast: each `(node, value)` pair starts informed.
+    /// Coins come from the default [`CoinSampler::PerIndex`] sampler.
     pub fn new(params: NetParams, sources: &[(NodeId, u64)], seed: u64) -> DecayBroadcast {
+        DecayBroadcast::with_coin_sampler(params, sources, seed, CoinSampler::default())
+    }
+
+    /// Multi-source broadcast with an explicit coin sampler (see
+    /// [`CoinSampler`] for when the batched variant pays off).
+    pub fn with_coin_sampler(
+        params: NetParams,
+        sources: &[(NodeId, u64)],
+        seed: u64,
+        sampler: CoinSampler,
+    ) -> DecayBroadcast {
         let mut value = vec![None; params.n()];
         let mut informed_list = Vec::with_capacity(sources.len());
         for &(s, v) in sources {
@@ -45,7 +95,7 @@ impl DecayBroadcast {
             steps: DecaySteps::for_params(&params),
             value,
             informed_list,
-            rng: SmallRng::seed_from_u64(seed),
+            coins: CoinState::new(sampler, seed),
             scratch: Vec::new(),
         }
     }
@@ -85,9 +135,17 @@ impl Protocol for DecayBroadcast {
     type Msg = u64;
 
     fn transmit(&mut self, round: Round, tx: &mut TxBuf<u64>) {
-        let p = self.steps.probability(round);
         self.scratch.clear();
-        bernoulli_indices(&mut self.rng, self.informed_list.len(), p, &mut self.scratch);
+        match &mut self.coins {
+            CoinState::PerIndex(rng) => {
+                let p = self.steps.probability(round);
+                bernoulli_indices(rng, self.informed_list.len(), p, &mut self.scratch);
+            }
+            CoinState::Batched(ws) => {
+                let j = self.steps.exponent(round);
+                bernoulli_pow2_indices(ws, self.informed_list.len(), j, &mut self.scratch);
+            }
+        }
         for &idx in &self.scratch {
             let u = self.informed_list[idx];
             let v = self.value[u as usize].expect("informed nodes have values");
@@ -305,6 +363,32 @@ mod tests {
         let mut sim = Simulator::new(&g, CollisionModel::NoCollisionDetection, 13);
         let stats = sim.run(&mut p, 1);
         assert!(stats.metrics.transmissions <= 1);
+    }
+
+    #[test]
+    fn bgi_batched_coins_complete_and_differ_from_per_index() {
+        // The batched sampler is a different (equally valid) random
+        // sequence: broadcasting must still complete, and the default
+        // sampler's sequence — which all committed baselines pin — must be
+        // untouched by its existence.
+        let g = generators::path(64);
+        let params = NetParams::of_graph(&g);
+        let mut batched =
+            DecayBroadcast::with_coin_sampler(params, &[(0, 42)], 7, CoinSampler::Batched);
+        let batched_rounds = run_to_completion(&g, &mut batched, |p| p.all_informed(), 200_000, 7)
+            .expect("batched sampler completes");
+        assert!(g.nodes().all(|v| batched.value_of(v) == Some(42)));
+
+        let run_default = || {
+            let mut p = DecayBroadcast::single_source(params, 0, 42, 7);
+            run_to_completion(&g, &mut p, |p| p.all_informed(), 200_000, 7).expect("completes")
+        };
+        assert_eq!(run_default(), run_default(), "default sampler is deterministic");
+        assert_ne!(
+            batched_rounds,
+            run_default(),
+            "the samplers draw different sequences (same seed)"
+        );
     }
 
     #[test]

@@ -29,7 +29,7 @@
 //! the beep-probe leader election in `rn_baselines`.
 
 use rn_graph::NodeId;
-use rn_sim::{rng, NetParams, Protocol, Round, TxBuf};
+use rn_sim::{rng, NetParams, Protocol, Round, TxBuf, WordBitset};
 
 /// Message alphabet of [`LayeredDecayCd`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,6 +55,28 @@ pub struct LayeredDecayCd {
     layer: Vec<Option<u32>>,
     /// Highest value known (`None` = uninformed; sources start informed).
     value: Vec<Option<u64>>,
+    /// Wave-phase beep schedule as per-round buckets: `wave_buckets[r]`
+    /// holds the nodes due to beep in round `r` (each node at most once —
+    /// `beep_at` is written at most once per node). Buckets for round `r`
+    /// are complete before `transmit(r)` runs and are sorted at emission,
+    /// so the beep order matches the original full `beep_at` scan without
+    /// touching all `n` nodes every wave round.
+    wave_buckets: Vec<Vec<NodeId>>,
+    /// Decay-phase participants by time slot (`layer % 3`): a node joins
+    /// the moment it becomes informed (its layer is fixed by then and never
+    /// changes). Iterating set bits in increasing id order reproduces the
+    /// original full-vector scan's transmission order exactly — the decay
+    /// coins are stateless per `(round, node)` — while a decay round's cost
+    /// is proportional to the informed frontier, not `n`.
+    slot_members: [WordBitset; 3],
+    /// `value[v].is_some()` count, maintained incrementally.
+    informed: usize,
+    /// The maximum source value — the completion target of the
+    /// Compete-style scenarios built on this protocol.
+    max_source_value: u64,
+    /// Nodes whose value has reached `max_source_value`, maintained
+    /// incrementally so the per-round completion predicate is `O(1)`.
+    know_max: usize,
     seed: u64,
 }
 
@@ -68,22 +90,40 @@ impl LayeredDecayCd {
     pub fn new(params: NetParams, sources: &[(NodeId, u64)], seed: u64) -> LayeredDecayCd {
         assert!(!sources.is_empty(), "layered decay needs at least one source");
         let n = params.n();
+        let wave_len = params.diameter() as u64 + 1;
         let mut beep_at = vec![None; n];
         let mut layer = vec![None; n];
         let mut value = vec![None; n];
+        let mut wave_buckets = vec![Vec::new(); wave_len as usize];
+        let mut slot_members = [WordBitset::new(n), WordBitset::new(n), WordBitset::new(n)];
+        let mut informed = 0;
         for &(s, v) in sources {
             assert!((s as usize) < n, "source {s} out of range for {n} nodes");
-            beep_at[s as usize] = Some(0);
+            if beep_at[s as usize].is_none() {
+                beep_at[s as usize] = Some(0);
+                wave_buckets[0].push(s);
+            }
             layer[s as usize] = Some(0);
+            if value[s as usize].is_none() {
+                informed += 1;
+                slot_members[0].set(s as usize);
+            }
             value[s as usize] = Some(value[s as usize].map_or(v, |old: u64| old.max(v)));
         }
+        let max_source_value = sources.iter().map(|&(_, v)| v).max().unwrap();
+        let know_max = value.iter().filter(|v| v.is_some_and(|x| x >= max_source_value)).count();
         LayeredDecayCd {
             net: params,
-            wave_len: params.diameter() as u64 + 1,
+            wave_len,
             depth: params.log2_n().max(1),
             beep_at,
             layer,
             value,
+            wave_buckets,
+            slot_members,
+            informed,
+            max_source_value,
+            know_max,
             seed,
         }
     }
@@ -98,7 +138,14 @@ impl LayeredDecayCd {
 
     /// Whether every node knows a value `>= target` (use the maximum source
     /// value for the Compete-style completion predicate).
+    ///
+    /// For the canonical target — the maximum source value, which is what
+    /// the registered scenarios poll every round — this is an `O(1)`
+    /// counter read; other targets fall back to a full scan.
     pub fn all_know_at_least(&self, target: u64) -> bool {
+        if target == self.max_source_value {
+            return self.know_max == self.value.len();
+        }
         self.value.iter().all(|v| v.is_some_and(|x| x >= target))
     }
 
@@ -115,7 +162,7 @@ impl LayeredDecayCd {
 
     /// Number of informed nodes.
     pub fn informed_count(&self) -> usize {
-        self.value.iter().filter(|v| v.is_some()).count()
+        self.informed
     }
 
     fn wave_hears(&mut self, round: Round, node: NodeId) {
@@ -126,7 +173,18 @@ impl LayeredDecayCd {
         if slot.is_none() {
             *slot = Some(round + 1);
             self.layer[node as usize] = Some((round + 1) as u32);
+            self.wave_buckets[(round + 1) as usize].push(node);
         }
+    }
+
+    /// Records that `node` just became informed (value `None` → `Some`):
+    /// joins its layer's decay slot and bumps the informed counter. The
+    /// layer is always known by this point and never changes afterwards, so
+    /// slot membership is final.
+    fn joins_decay(&mut self, node: NodeId) {
+        self.informed += 1;
+        let layer = self.layer[node as usize].expect("informed node must have a layer");
+        self.slot_members[(layer % 3) as usize].set(node as usize);
     }
 }
 
@@ -135,24 +193,27 @@ impl Protocol for LayeredDecayCd {
 
     fn transmit(&mut self, round: Round, tx: &mut TxBuf<CdMsg>) {
         if round < self.wave_len {
-            for (v, &at) in self.beep_at.iter().enumerate() {
-                if at == Some(round) {
-                    tx.send(v as NodeId, CdMsg::Beep);
-                }
+            // This round's bucket was filled during round - 1 (in engine
+            // discovery order) and is complete by now; sorting restores the
+            // increasing-id emission order of the original beep_at scan.
+            let bucket = &mut self.wave_buckets[round as usize];
+            bucket.sort_unstable();
+            for i in 0..bucket.len() {
+                tx.send(bucket[i], CdMsg::Beep);
             }
             return;
         }
         let r2 = round - self.wave_len;
-        let slot = (r2 % 3) as u32;
+        let slot = (r2 % 3) as usize;
         // Decay density for this slot's sweep position.
         let i = ((r2 / 3) % self.depth as u64) as u32;
         let p = 0.5f64.powi(i as i32);
         let round_seed = rng::derive(self.seed, round);
-        for v in 0..self.value.len() {
+        // Only this slot's informed nodes, in increasing id order — the
+        // same nodes the original 0..n scan would have reached, drawing the
+        // same stateless per-(round, node) coins.
+        for v in self.slot_members[slot].iter_ones() {
             let (Some(layer), Some(val)) = (self.layer[v], self.value[v]) else { continue };
-            if layer % 3 != slot {
-                continue;
-            }
             let coin = (rng::derive(round_seed, v as u64) >> 11) as f64 / (1u64 << 53) as f64;
             if coin < p {
                 tx.send(v as NodeId, CdMsg::Value(val, layer));
@@ -169,11 +230,23 @@ impl Protocol for LayeredDecayCd {
                 if self.layer[node as usize].is_none() {
                     self.layer[node as usize] = Some(sender_layer + 1);
                 }
+                let max = self.max_source_value;
                 let slot = &mut self.value[node as usize];
+                let was_at_max = slot.is_some_and(|x| x >= max);
+                let mut newly_informed = false;
                 match slot {
-                    None => *slot = Some(val),
+                    None => {
+                        *slot = Some(val);
+                        newly_informed = true;
+                    }
                     Some(old) if val > *old => *old = val,
                     _ => {}
+                }
+                if !was_at_max && val >= max {
+                    self.know_max += 1;
+                }
+                if newly_informed {
+                    self.joins_decay(node);
                 }
             }
         }
@@ -244,6 +317,54 @@ mod tests {
         let stats = sim.run_until(&mut p, budget, |_, p| p.all_know_at_least(9));
         assert!(p.all_know_at_least(9), "everyone learns the maximum");
         assert!(stats.rounds > p.wave_len, "completion needs the decay phase");
+    }
+
+    #[test]
+    fn fast_path_transmissions_match_the_dense_scan_every_round() {
+        // The bucketed wave and slot-bitset decay iteration must transmit
+        // exactly the nodes the original dense 0..n scans selected. The
+        // dense scans are re-derived here from the protocol's full state
+        // (the coins are stateless per (round, node), so they can be
+        // recomputed) and checked against the engine's per-round
+        // transmission count, round by round.
+        let g = generators::grid(7, 7);
+        let net = NetParams::of_graph(&g);
+        let mut p = LayeredDecayCd::new(net, &[(0, 5), (48, 9)], 13);
+        let budget = p.budget().min(200);
+        let mut sim = Simulator::new(&g, CollisionModel::CollisionDetection, 13);
+        let mut last_tx = 0;
+        for round in 0..budget {
+            let expected = if round < p.wave_len {
+                p.beep_at.iter().filter(|&&at| at == Some(round)).count() as u64
+            } else {
+                let r2 = round - p.wave_len;
+                let slot = (r2 % 3) as u32;
+                let i = ((r2 / 3) % p.depth as u64) as u32;
+                let prob = 0.5f64.powi(i as i32);
+                let round_seed = rng::derive(p.seed, round);
+                (0..p.value.len())
+                    .filter(|&v| {
+                        let (Some(layer), Some(_)) = (p.layer[v], p.value[v]) else {
+                            return false;
+                        };
+                        layer % 3 == slot
+                            && ((rng::derive(round_seed, v as u64) >> 11) as f64
+                                / (1u64 << 53) as f64)
+                                < prob
+                    })
+                    .count() as u64
+            };
+            sim.step_with(&mut p);
+            let tx = sim.metrics().transmissions;
+            assert_eq!(tx - last_tx, expected, "transmitter count diverged in round {round}");
+            last_tx = tx;
+        }
+        assert!(p.all_know_at_least(9), "the run completes within budget");
+        assert_eq!(
+            p.informed_count(),
+            p.value.iter().filter(|v| v.is_some()).count(),
+            "incremental informed counter matches a dense recount"
+        );
     }
 
     #[test]

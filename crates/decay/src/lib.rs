@@ -47,7 +47,7 @@ mod family;
 mod primitive;
 mod scenario;
 
-pub use broadcast::{DecayBroadcast, TruncatedDecayBroadcast};
+pub use broadcast::{CoinSampler, DecayBroadcast, TruncatedDecayBroadcast};
 pub use cd::{CdMsg, LayeredDecayCd};
 pub use family::{families, BroadcastCdFamily, CompeteCdFamily, DecayFamily, DecayTruncFamily};
 pub use primitive::{DecaySteps, SingleDecayRound};

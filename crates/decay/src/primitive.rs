@@ -55,6 +55,16 @@ impl DecaySteps {
         (2.0f64).powi(-(i + 1))
     }
 
+    /// The exponent `j` such that [`DecaySteps::probability`] is exactly
+    /// `2^-j` at `step` — decay probabilities are all exact powers of two,
+    /// which is what lets the batched word sampler
+    /// ([`rn_sim::rng::bernoulli_pow2_indices`]) draw them 64 coins at a
+    /// time.
+    #[inline]
+    pub fn exponent(&self, step: u64) -> u32 {
+        (step % self.depth as u64) as u32 + 1
+    }
+
     /// Which decay round `step` belongs to.
     #[inline]
     pub fn round_index(&self, step: u64) -> u64 {

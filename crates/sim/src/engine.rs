@@ -1,8 +1,11 @@
+use crate::bitset::WordBitset;
 use crate::faults::FaultSchedule;
 use crate::protocol::{Protocol, Round, TxBuf};
 use crate::trace::{Event, Trace};
 use rn_graph::{Graph, NodeId};
 use serde::{Deserialize, Serialize};
+use std::cell::Cell;
+use std::sync::OnceLock;
 
 /// Which interference model the channel follows.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -13,6 +16,76 @@ pub enum CollisionModel {
     /// A listening node with ≥ 2 transmitting neighbors is told a collision
     /// happened (via [`Protocol::collision`]). Used for ablations only.
     CollisionDetection,
+}
+
+/// Which hot-path implementation the engine steps with.
+///
+/// Both modes implement *identical* channel semantics — same protocol-call
+/// order, same metrics, same trace events, coin-for-coin identical fault
+/// handling — and differ only in the scratch-state layout the per-round
+/// loops touch:
+///
+/// * [`EngineMode::Reference`] keeps the original per-node stamp vectors
+///   (`8`–`24` bytes of scratch per node). It is the executable
+///   specification the frontier path is differentially tested against.
+/// * [`EngineMode::Frontier`] keeps the transmitter / heard / collided /
+///   crashed sets as `u64`-word bitsets (one *bit* per node, cleared
+///   sparsely through the round's touched list), so the listener-marking
+///   loop — the hot path at `10⁵`–`10⁶` nodes — stays in cache where the
+///   stamp vectors thrash it. Permanent crash-stop faults additionally
+///   resolve through an incrementally-advanced crashed bitset instead of a
+///   per-listener `crash_round` vector read.
+///
+/// The default is resolved per construction: a
+/// [`with_default_engine_mode`] scope override wins, then the
+/// `RN_ENGINE_MODE` environment variable (`reference` / `frontier`), then
+/// [`EngineMode::Frontier`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EngineMode {
+    /// Stamp-vector scratch: the executable specification.
+    Reference,
+    /// Struct-of-arrays bitset scratch: the large-`n` fast path (default).
+    Frontier,
+}
+
+thread_local! {
+    static MODE_OVERRIDE: Cell<Option<EngineMode>> = const { Cell::new(None) };
+}
+
+static ENV_MODE: OnceLock<EngineMode> = OnceLock::new();
+
+impl EngineMode {
+    /// The mode new simulators get when none is passed explicitly: a
+    /// [`with_default_engine_mode`] scope override if one is active on this
+    /// thread, else `RN_ENGINE_MODE` from the environment, else
+    /// [`EngineMode::Frontier`].
+    pub fn default_mode() -> EngineMode {
+        if let Some(m) = MODE_OVERRIDE.with(|c| c.get()) {
+            return m;
+        }
+        *ENV_MODE.get_or_init(|| match std::env::var("RN_ENGINE_MODE") {
+            Ok(v) if v.eq_ignore_ascii_case("reference") => EngineMode::Reference,
+            Ok(v) if v.eq_ignore_ascii_case("frontier") => EngineMode::Frontier,
+            Ok(v) => panic!("RN_ENGINE_MODE={v:?} (expected \"reference\" or \"frontier\")"),
+            Err(_) => EngineMode::Frontier,
+        })
+    }
+}
+
+/// Runs `f` with [`EngineMode::default_mode`] pinned to `mode` on the
+/// current thread — the seam differential tests and benchmarks use to run
+/// the *same* scenario code under both engine implementations without
+/// touching process-global state. Scopes nest; the previous override is
+/// restored when `f` returns or panics.
+pub fn with_default_engine_mode<T>(mode: EngineMode, f: impl FnOnce() -> T) -> T {
+    struct Restore(Option<EngineMode>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            MODE_OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let _guard = Restore(MODE_OVERRIDE.with(|c| c.replace(Some(mode))));
+    f()
 }
 
 /// Cumulative channel statistics for a simulator instance.
@@ -61,12 +134,96 @@ pub struct RunStats {
     pub outcome: RunOutcome,
 }
 
+/// Per-round channel scratch, reset implicitly (reference) or sparsely
+/// (frontier) each round. One variant is allocated per simulator, chosen by
+/// its [`EngineMode`] — a million-node frontier simulator carries ~4.4 MB of
+/// scratch (one `u32` plus three bits per node) where the reference layout
+/// carries 24 MB.
+#[derive(Debug)]
+enum Scratch {
+    /// Stamp-based per-node vectors (stamp = round + 1 avoids clearing).
+    Reference {
+        hear_stamp: Vec<u64>,
+        hear_count: Vec<u32>,
+        hear_from: Vec<u32>,
+        tx_stamp: Vec<u64>,
+    },
+    /// Struct-of-arrays bitsets, cleared sparsely via the touched/active
+    /// lists after every round.
+    Frontier {
+        /// Effective transmitters this round.
+        tx: WordBitset,
+        /// Nodes with ≥ 1 transmitting neighbor this round.
+        heard: WordBitset,
+        /// Nodes with ≥ 2 transmitting neighbors this round.
+        collided: WordBitset,
+        /// Index into the active list of the unique transmitter heard; only
+        /// meaningful where `heard` is set and `collided` is not.
+        hear_from: Vec<u32>,
+        /// Nodes whose crash round has passed (permanent; grows only).
+        crashed: WordBitset,
+        /// `(crash_round, node)` pairs of the installed schedule, ascending
+        /// by round; `crash_cursor` marks how far `crashed` has absorbed.
+        crash_events: Vec<(u64, NodeId)>,
+        crash_cursor: usize,
+    },
+}
+
+impl Scratch {
+    fn new(mode: EngineMode, n: usize) -> Scratch {
+        match mode {
+            EngineMode::Reference => Scratch::Reference {
+                hear_stamp: vec![0; n],
+                hear_count: vec![0; n],
+                hear_from: vec![0; n],
+                tx_stamp: vec![0; n],
+            },
+            EngineMode::Frontier => Scratch::Frontier {
+                tx: WordBitset::new(n),
+                heard: WordBitset::new(n),
+                collided: WordBitset::new(n),
+                hear_from: vec![0; n],
+                crashed: WordBitset::new(n),
+                crash_events: Vec::new(),
+                crash_cursor: 0,
+            },
+        }
+    }
+
+    /// (Re)derives the frontier crash queue from `faults`. The crashed
+    /// bitset restarts empty; the step loop re-absorbs events up to the
+    /// current round on its next call, so installing a schedule mid-run
+    /// lands on exactly the same state lazy queries would give.
+    fn rebuild_crash_events(&mut self, faults: Option<&FaultSchedule>, n: usize) {
+        let Scratch::Frontier { crashed, crash_events, crash_cursor, .. } = self else {
+            return;
+        };
+        crashed.clear_all();
+        crash_events.clear();
+        *crash_cursor = 0;
+        if let Some(f) = faults {
+            for v in 0..n as NodeId {
+                let r = f.crash_round(v);
+                if r < u64::MAX {
+                    crash_events.push((r, v));
+                }
+            }
+            crash_events.sort_unstable();
+        }
+    }
+}
+
 /// The radio-channel engine: executes a [`Protocol`] over a [`Graph`] under
 /// exact radio collision semantics.
 ///
 /// Per-round cost is proportional to the degree sum of the transmitting
 /// nodes, not to `n` — protocols with sparse activity (decay frontiers,
-/// schedule waves) simulate cheaply even on large networks.
+/// schedule waves) simulate cheaply even on large networks. The scratch the
+/// per-round loops touch comes in two layouts (see [`EngineMode`]): the
+/// default [`EngineMode::Frontier`] keeps channel sets as one-bit-per-node
+/// bitsets so `10⁵`–`10⁶`-node campaigns stay cache-resident, and the
+/// [`EngineMode::Reference`] stamp path is retained as the executable
+/// specification the fast path is differentially tested against.
 ///
 /// The engine optionally runs under a [`FaultSchedule`] (jammers + per-round
 /// dropout, see [`crate::faults`]): a schedule passed explicitly at
@@ -81,11 +238,7 @@ pub struct Simulator<'g> {
     metrics: Metrics,
     trace: Option<Trace>,
     faults: Option<FaultSchedule>,
-    // Stamp-based scratch state, reset implicitly each round.
-    hear_stamp: Vec<u64>,
-    hear_count: Vec<u32>,
-    hear_from: Vec<u32>,
-    tx_stamp: Vec<u64>,
+    scratch: Scratch,
     touched: Vec<NodeId>,
     // Effective transmitters this round: (node, index into the protocol's
     // TxBuf, or NOISE_TAG for jammer noise).
@@ -98,7 +251,7 @@ const NOISE_TAG: u32 = u32::MAX;
 
 impl<'g> Simulator<'g> {
     /// Creates an engine over `graph` with the given interference `model`,
-    /// running fault-free.
+    /// running fault-free under [`EngineMode::default_mode`].
     ///
     /// `seed` is recorded for reproducibility metadata (protocols own their
     /// actual randomness; see [`crate::rng`] for seed derivation helpers).
@@ -122,10 +275,31 @@ impl<'g> Simulator<'g> {
         seed: u64,
         faults: Option<FaultSchedule>,
     ) -> Simulator<'g> {
+        Simulator::with_mode(graph, model, seed, faults, EngineMode::default_mode())
+    }
+
+    /// The fully explicit constructor: schedule *and* engine mode.
+    /// Differential tests and benchmarks pin the mode here; everything else
+    /// goes through [`Simulator::new`] / [`Simulator::with_faults`] and the
+    /// process default.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule was resolved for a different node count than
+    /// `graph` has.
+    pub fn with_mode(
+        graph: &'g Graph,
+        model: CollisionModel,
+        seed: u64,
+        faults: Option<FaultSchedule>,
+        mode: EngineMode,
+    ) -> Simulator<'g> {
         let n = graph.n();
         if let Some(f) = &faults {
             assert!(f.n() == n, "fault schedule was resolved for {} nodes, graph has {n}", f.n());
         }
+        let mut scratch = Scratch::new(mode, n);
+        scratch.rebuild_crash_events(faults.as_ref(), n);
         Simulator {
             graph,
             model,
@@ -133,10 +307,7 @@ impl<'g> Simulator<'g> {
             metrics: Metrics::default(),
             trace: None,
             faults,
-            hear_stamp: vec![0; n],
-            hear_count: vec![0; n],
-            hear_from: vec![0; n],
-            tx_stamp: vec![0; n],
+            scratch,
             touched: Vec::new(),
             active_tx: Vec::new(),
             seed,
@@ -158,6 +329,7 @@ impl<'g> Simulator<'g> {
                 self.graph.n()
             );
         }
+        self.scratch.rebuild_crash_events(faults.as_ref(), self.graph.n());
         self.faults = faults;
     }
 
@@ -182,6 +354,14 @@ impl<'g> Simulator<'g> {
         self.model
     }
 
+    /// The hot-path implementation this simulator steps with.
+    pub fn mode(&self) -> EngineMode {
+        match self.scratch {
+            Scratch::Reference { .. } => EngineMode::Reference,
+            Scratch::Frontier { .. } => EngineMode::Frontier,
+        }
+    }
+
     /// Master seed recorded at construction.
     pub fn seed(&self) -> u64 {
         self.seed
@@ -200,6 +380,14 @@ impl<'g> Simulator<'g> {
     /// The trace, if enabled.
     pub fn trace(&self) -> Option<&Trace> {
         self.trace.as_ref()
+    }
+
+    /// The nodes that heard channel energy in the most recent round, in the
+    /// order the engine discovered them — the round's *frontier*. Protocol
+    /// observers (not protocols themselves — this is measurement state) can
+    /// use it to track activity without scanning all of `n`.
+    pub fn last_touched(&self) -> &[NodeId] {
+        &self.touched
     }
 
     /// Runs `protocol` for at most `max_rounds` rounds.
@@ -259,6 +447,20 @@ impl<'g> Simulator<'g> {
     /// One round of `protocol` with an explicit protocol-local round number,
     /// reusing a caller-provided buffer.
     fn step_at<P: Protocol>(&mut self, protocol: &mut P, tx: &mut TxBuf<P::Msg>, local: Round) {
+        match self.scratch {
+            Scratch::Reference { .. } => self.step_reference(protocol, tx, local),
+            Scratch::Frontier { .. } => self.step_frontier(protocol, tx, local),
+        }
+    }
+
+    /// The stamp-vector step: the executable specification of one channel
+    /// round. [`Simulator::step_frontier`] must match it call for call.
+    fn step_reference<P: Protocol>(
+        &mut self,
+        protocol: &mut P,
+        tx: &mut TxBuf<P::Msg>,
+        local: Round,
+    ) {
         tx.clear();
         protocol.transmit(local, tx);
         let stamp = self.round + 1;
@@ -267,6 +469,10 @@ impl<'g> Simulator<'g> {
         // for the round, so they can be read alongside mutable scratch state.
         let faults = self.faults.take();
         let mut active = std::mem::take(&mut self.active_tx);
+        let Scratch::Reference { hear_stamp, hear_count, hear_from, tx_stamp } = &mut self.scratch
+        else {
+            unreachable!("reference step dispatched with frontier scratch");
+        };
 
         // Validate and mark protocol transmitters. Double transmission is a
         // protocol bug whether or not the fault model would suppress it.
@@ -274,11 +480,11 @@ impl<'g> Simulator<'g> {
             let ui = u as usize;
             assert!(ui < self.graph.n(), "protocol transmitted from invalid node {u}");
             assert!(
-                self.tx_stamp[ui] != stamp,
+                tx_stamp[ui] != stamp,
                 "protocol bug: node {u} transmitted twice in round {}",
                 self.round
             );
-            self.tx_stamp[ui] = stamp;
+            tx_stamp[ui] = stamp;
         }
 
         // Effective transmitter set: protocol transmissions that survive the
@@ -288,7 +494,7 @@ impl<'g> Simulator<'g> {
         for (idx, &(u, _)) in tx.entries().iter().enumerate() {
             if let Some(f) = &faults {
                 if f.suppresses_tx(global, u) {
-                    self.tx_stamp[u as usize] = 0; // physically silent: may listen
+                    tx_stamp[u as usize] = 0; // physically silent: may listen
                     continue;
                 }
             }
@@ -300,7 +506,7 @@ impl<'g> Simulator<'g> {
         if let Some(f) = &faults {
             for &j in f.jammer_ids() {
                 if f.jam_fires(global, j) {
-                    self.tx_stamp[j as usize] = stamp;
+                    tx_stamp[j as usize] = stamp;
                     active.push((j, NOISE_TAG));
                     if let Some(t) = &mut self.trace {
                         t.push(global, Event::Transmit { node: j });
@@ -314,13 +520,13 @@ impl<'g> Simulator<'g> {
         for (ai, &(u, _)) in active.iter().enumerate() {
             for &v in self.graph.neighbors(u) {
                 let vi = v as usize;
-                if self.hear_stamp[vi] != stamp {
-                    self.hear_stamp[vi] = stamp;
-                    self.hear_count[vi] = 1;
-                    self.hear_from[vi] = ai as u32;
+                if hear_stamp[vi] != stamp {
+                    hear_stamp[vi] = stamp;
+                    hear_count[vi] = 1;
+                    hear_from[vi] = ai as u32;
                     self.touched.push(v);
                 } else {
-                    self.hear_count[vi] += 1;
+                    hear_count[vi] += 1;
                 }
             }
         }
@@ -329,7 +535,7 @@ impl<'g> Simulator<'g> {
         for i in 0..self.touched.len() {
             let v = self.touched[i];
             let vi = v as usize;
-            if self.tx_stamp[vi] == stamp {
+            if tx_stamp[vi] == stamp {
                 continue; // transmitters cannot listen
             }
             if let Some(f) = &faults {
@@ -337,8 +543,8 @@ impl<'g> Simulator<'g> {
                     continue; // down nodes hear nothing
                 }
             }
-            if self.hear_count[vi] == 1 {
-                let (_, tag) = active[self.hear_from[vi] as usize];
+            if hear_count[vi] == 1 {
+                let (_, tag) = active[hear_from[vi] as usize];
                 if tag == NOISE_TAG {
                     continue; // a uniquely heard noise burst is garbage
                 }
@@ -357,6 +563,156 @@ impl<'g> Simulator<'g> {
                     protocol.collision(local, v);
                 }
             }
+        }
+
+        self.metrics.transmissions += active.len() as u64;
+        self.metrics.rounds += 1;
+        self.round += 1;
+        self.active_tx = active;
+        self.faults = faults;
+    }
+
+    /// The struct-of-arrays bitset step. Semantically identical to
+    /// [`Simulator::step_reference`] — same protocol-call order, same
+    /// metrics, same trace — with channel membership kept as one bit per
+    /// node and cleared sparsely through the active/touched lists, so a
+    /// round's memory traffic is proportional to activity and the
+    /// membership tables stay cache-resident at `10⁶` nodes.
+    fn step_frontier<P: Protocol>(
+        &mut self,
+        protocol: &mut P,
+        tx: &mut TxBuf<P::Msg>,
+        local: Round,
+    ) {
+        tx.clear();
+        protocol.transmit(local, tx);
+        let global = self.round;
+        let faults = self.faults.take();
+        let mut active = std::mem::take(&mut self.active_tx);
+        let Scratch::Frontier {
+            tx: tx_bits,
+            heard,
+            collided,
+            hear_from,
+            crashed,
+            crash_events,
+            crash_cursor,
+        } = &mut self.scratch
+        else {
+            unreachable!("frontier step dispatched with reference scratch");
+        };
+
+        // Absorb crash-stop events whose round has arrived: after this loop
+        // `crashed` holds exactly the nodes with `crash_round <= global`, so
+        // the deliver loop's down check is two bit reads plus the dropout
+        // coin instead of a `crash_round` vector read per listener.
+        while let Some(&(r, v)) = crash_events.get(*crash_cursor) {
+            if r > global {
+                break;
+            }
+            crashed.set(v as usize);
+            *crash_cursor += 1;
+        }
+
+        // Validate and mark protocol transmitters (one bit per node; double
+        // transmission is a protocol bug whether or not the fault model
+        // would suppress it).
+        for &(u, _) in tx.entries() {
+            let ui = u as usize;
+            assert!(ui < self.graph.n(), "protocol transmitted from invalid node {u}");
+            assert!(
+                tx_bits.set(ui),
+                "protocol bug: node {u} transmitted twice in round {}",
+                self.round
+            );
+        }
+
+        // Effective transmitter set, exactly as in the reference path.
+        active.clear();
+        for (idx, &(u, _)) in tx.entries().iter().enumerate() {
+            if let Some(f) = &faults {
+                if f.suppresses_tx(global, u) {
+                    tx_bits.clear(u as usize); // physically silent: may listen
+                    continue;
+                }
+            }
+            active.push((u, idx as u32));
+            if let Some(t) = &mut self.trace {
+                t.push(global, Event::Transmit { node: u });
+            }
+        }
+        if let Some(f) = &faults {
+            for &j in f.jammer_ids() {
+                if f.jam_fires(global, j) {
+                    tx_bits.set(j as usize);
+                    active.push((j, NOISE_TAG));
+                    if let Some(t) = &mut self.trace {
+                        t.push(global, Event::Transmit { node: j });
+                    }
+                }
+            }
+        }
+
+        // Mark what every potential listener hears: first energy sets
+        // `heard` and records the source, any further energy sets
+        // `collided`. (`hear_count` is only ever compared against 1, so a
+        // two-bitset one/many lattice replaces the count vector.)
+        self.touched.clear();
+        for (ai, &(u, _)) in active.iter().enumerate() {
+            for &v in self.graph.neighbors(u) {
+                let vi = v as usize;
+                if heard.set(vi) {
+                    hear_from[vi] = ai as u32;
+                    self.touched.push(v);
+                } else {
+                    collided.set(vi);
+                }
+            }
+        }
+
+        // Deliver / report collisions to listeners.
+        for i in 0..self.touched.len() {
+            let v = self.touched[i];
+            let vi = v as usize;
+            if tx_bits.contains(vi) {
+                continue; // transmitters cannot listen
+            }
+            if let Some(f) = &faults {
+                if crashed.contains(vi) || f.is_dropped(global, v) {
+                    continue; // down nodes hear nothing
+                }
+            }
+            if !collided.contains(vi) {
+                let (_, tag) = active[hear_from[vi] as usize];
+                if tag == NOISE_TAG {
+                    continue; // a uniquely heard noise burst is garbage
+                }
+                let (from, msg) = &tx.entries()[tag as usize];
+                protocol.deliver(local, v, *from, msg);
+                self.metrics.deliveries += 1;
+                if let Some(t) = &mut self.trace {
+                    t.push(global, Event::Receive { node: v, from: *from });
+                }
+            } else {
+                self.metrics.collisions += 1;
+                if let Some(t) = &mut self.trace {
+                    t.push(global, Event::Collision { node: v });
+                }
+                if self.model == CollisionModel::CollisionDetection {
+                    protocol.collision(local, v);
+                }
+            }
+        }
+
+        // Sparse clears: the set bits are exactly the active and touched
+        // lists, so resetting costs activity, not `n`.
+        for &(u, _) in &active {
+            tx_bits.clear(u as usize);
+        }
+        for &v in &self.touched {
+            let vi = v as usize;
+            heard.clear(vi);
+            collided.clear(vi);
         }
 
         self.metrics.transmissions += active.len() as u64;
@@ -445,6 +801,21 @@ mod tests {
     fn double_transmission_is_a_protocol_bug() {
         let g = generators::path(2);
         let mut sim = Simulator::new(&g, CollisionModel::NoCollisionDetection, 1);
+        let mut p = OneShot::new(2, vec![(0, 1u64), (0, 2u64)]);
+        sim.run(&mut p, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "transmitted twice")]
+    fn double_transmission_is_a_protocol_bug_in_reference_mode_too() {
+        let g = generators::path(2);
+        let mut sim = Simulator::with_mode(
+            &g,
+            CollisionModel::NoCollisionDetection,
+            1,
+            None,
+            EngineMode::Reference,
+        );
         let mut p = OneShot::new(2, vec![(0, 1u64), (0, 2u64)]);
         sim.run(&mut p, 1);
     }
@@ -589,5 +960,137 @@ mod tests {
         let events: Vec<_> = trace.iter().collect();
         assert_eq!(events.len(), 3); // 1 transmit + 2 receives
         assert!(matches!(events[0].1, Event::Transmit { node: 0 }));
+    }
+
+    #[test]
+    fn default_mode_is_frontier_and_override_scopes_nest() {
+        let g = generators::path(2);
+        assert_eq!(
+            Simulator::new(&g, CollisionModel::NoCollisionDetection, 1).mode(),
+            EngineMode::Frontier
+        );
+        with_default_engine_mode(EngineMode::Reference, || {
+            let sim = Simulator::new(&g, CollisionModel::NoCollisionDetection, 1);
+            assert_eq!(sim.mode(), EngineMode::Reference);
+            with_default_engine_mode(EngineMode::Frontier, || {
+                let sim = Simulator::new(&g, CollisionModel::NoCollisionDetection, 1);
+                assert_eq!(sim.mode(), EngineMode::Frontier);
+            });
+            let sim = Simulator::new(&g, CollisionModel::NoCollisionDetection, 1);
+            assert_eq!(sim.mode(), EngineMode::Reference, "inner scope restored");
+        });
+        let sim = Simulator::new(&g, CollisionModel::NoCollisionDetection, 1);
+        assert_eq!(sim.mode(), EngineMode::Frontier, "outer scope restored");
+    }
+
+    /// Wraps a protocol and logs every engine callback in order — the
+    /// differential tests compare these logs, which pins not just the
+    /// totals but the exact sequence of protocol calls both modes make.
+    struct Recorder<P> {
+        inner: P,
+        log: Vec<(Round, &'static str, NodeId, NodeId)>,
+    }
+
+    impl<P: Protocol<Msg = u64>> Protocol for Recorder<P> {
+        type Msg = u64;
+
+        fn transmit(&mut self, round: Round, tx: &mut TxBuf<u64>) {
+            self.inner.transmit(round, tx);
+        }
+
+        fn deliver(&mut self, round: Round, node: NodeId, from: NodeId, msg: &u64) {
+            self.log.push((round, "deliver", node, from));
+            self.inner.deliver(round, node, from, msg);
+        }
+
+        fn collision(&mut self, round: Round, node: NodeId) {
+            self.log.push((round, "collision", node, 0));
+            self.inner.collision(round, node);
+        }
+    }
+
+    /// Everything observable from one trial: run stats, the full callback
+    /// log, and the final informed count.
+    type FloodObservation = (RunStats, Vec<(Round, &'static str, NodeId, NodeId)>, usize);
+
+    /// Runs one flood trial under the given mode and returns everything
+    /// observable: run stats plus the full callback log.
+    fn flood_trial(
+        mode: EngineMode,
+        g: &rn_graph::Graph,
+        model: CollisionModel,
+        faults: Option<FaultSchedule>,
+        seed: u64,
+        rounds: u64,
+    ) -> FloodObservation {
+        let mut sim = Simulator::with_mode(g, model, seed, faults, mode);
+        let mut p = Recorder { inner: crate::testing::NaiveFlood::new(g.n(), 0), log: Vec::new() };
+        let stats = sim.run(&mut p, rounds);
+        (stats, p.log, p.inner.informed_count())
+    }
+
+    #[test]
+    fn frontier_matches_reference_exactly_across_models_and_faults() {
+        // The frontier path must be byte-identical to the reference path:
+        // same stats AND the same per-node delivery log (which pins the
+        // protocol-call order, not just the totals). Swept over topologies,
+        // both collision models, and every fault axis.
+        let graphs = [
+            generators::path(16),
+            generators::star(12),
+            generators::grid(5, 5),
+            generators::complete(8),
+        ];
+        type PlanFn = fn(usize, u64) -> FaultSchedule;
+        let plans: [Option<PlanFn>; 4] = [
+            None,
+            Some(|n, s| FaultSchedule::new(n, vec![1, 2], 0.5, 0.0, 0.0, s)),
+            Some(|n, s| FaultSchedule::new(n, vec![], 0.0, 0.3, 0.0, s)),
+            Some(|n, s| FaultSchedule::new(n, vec![0], 0.4, 0.2, 0.05, s)),
+        ];
+        for g in &graphs {
+            for model in [CollisionModel::NoCollisionDetection, CollisionModel::CollisionDetection]
+            {
+                for plan in &plans {
+                    for seed in 0..4u64 {
+                        let faults = plan.map(|mk| mk(g.n(), seed + 31));
+                        let a =
+                            flood_trial(EngineMode::Reference, g, model, faults.clone(), seed, 48);
+                        let b = flood_trial(EngineMode::Frontier, g, model, faults, seed, 48);
+                        assert_eq!(a, b, "mode divergence: n={} {model:?} seed={seed}", g.n());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn frontier_crash_bitset_tracks_schedule_after_set_faults_midrun() {
+        // Install a crash schedule after some rounds have already run: the
+        // crash queue must catch up to the current global round, matching
+        // the reference path exactly from the installation point on.
+        let g = generators::path(6);
+        let run = |mode: EngineMode| {
+            let mut sim =
+                Simulator::with_mode(&g, CollisionModel::NoCollisionDetection, 3, None, mode);
+            let mut p = crate::testing::NaiveFlood::new(g.n(), 0);
+            sim.run(&mut p, 10);
+            sim.set_faults(Some(FaultSchedule::new(6, vec![], 0.0, 0.0, 0.25, 9)));
+            let mut p2 = crate::testing::NaiveFlood::new(g.n(), 0);
+            let stats = sim.run(&mut p2, 30);
+            (stats, sim.metrics())
+        };
+        assert_eq!(run(EngineMode::Reference), run(EngineMode::Frontier));
+    }
+
+    #[test]
+    fn last_touched_exposes_the_round_frontier() {
+        let g = generators::star(5);
+        let mut sim = Simulator::new(&g, CollisionModel::NoCollisionDetection, 1);
+        let mut p = OneShot::new(5, vec![(0, 1u64)]);
+        sim.run(&mut p, 1);
+        let mut touched = sim.last_touched().to_vec();
+        touched.sort_unstable();
+        assert_eq!(touched, vec![1, 2, 3, 4], "the hub's neighbors heard energy");
     }
 }

@@ -458,11 +458,22 @@ impl FaultSchedule {
     /// transiently via dropout, or permanently once its crash round has
     /// passed. Jammers are exempt: the adversary is reliable.
     pub fn is_down(&self, round: u64, node: NodeId) -> bool {
+        self.is_dropped(round, node) || round >= self.crash_round(node)
+    }
+
+    /// The transient-dropout component of [`FaultSchedule::is_down`] alone:
+    /// whether `node`'s dropout coin fires in `round` (always `false` for
+    /// jammers). The engine's frontier mode evaluates the permanent
+    /// crash-stop component through an incrementally maintained crashed-node
+    /// bitset instead of the per-query `crash_round` vector read, so for
+    /// every non-jammer `is_down(r, v) == is_dropped(r, v) || r >=
+    /// crash_round(v)` is the invariant both paths share (jammers never
+    /// crash — their crash round is `u64::MAX`).
+    pub fn is_dropped(&self, round: u64, node: NodeId) -> bool {
         if self.is_jammer[node as usize] {
             return false;
         }
-        (self.drop_prob > 0.0 && self.coin(STREAM_DROP, round, node) < self.drop_prob)
-            || round >= self.crash_round(node)
+        self.drop_prob > 0.0 && self.coin(STREAM_DROP, round, node) < self.drop_prob
     }
 
     /// Whether a protocol transmission from `node` in `round` is suppressed
@@ -662,6 +673,24 @@ mod tests {
         let fires: Vec<bool> = (0..64).map(|r| s.jam_fires(r, 2)).collect();
         assert_eq!(fires, (0..64).map(|r| s.jam_fires(r, 2)).collect::<Vec<_>>());
         assert!(fires.iter().any(|&b| b) && fires.iter().any(|&b| !b), "a fair coin varies");
+    }
+
+    #[test]
+    fn is_down_decomposes_into_dropout_plus_crash() {
+        // The invariant the engine's frontier mode relies on: for every
+        // (round, node), is_down == is_dropped || round >= crash_round.
+        let s = FaultSchedule::new(24, vec![5, 11], 0.5, 0.3, 0.02, 21);
+        for round in 0..200u64 {
+            for v in 0..24u32 {
+                assert_eq!(
+                    s.is_down(round, v),
+                    s.is_dropped(round, v) || round >= s.crash_round(v),
+                    "round {round} node {v}"
+                );
+            }
+        }
+        // Jammers: neither component ever fires.
+        assert!((0..200u64).all(|r| !s.is_dropped(r, 5) && s.crash_round(5) == u64::MAX));
     }
 
     #[test]

@@ -49,6 +49,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod bitset;
 mod combinators;
 mod engine;
 pub mod family;
@@ -60,8 +61,11 @@ mod runnable;
 pub mod testing;
 mod trace;
 
+pub use bitset::WordBitset;
 pub use combinators::{Either, Faulty, Interleave, Jammer, Noise};
-pub use engine::{CollisionModel, Metrics, RunOutcome, RunStats, Simulator};
+pub use engine::{
+    with_default_engine_mode, CollisionModel, EngineMode, Metrics, RunOutcome, RunStats, Simulator,
+};
 pub use family::{OverrideClass, OverrideSpec, ParsedArgs, ProtocolFamily};
 pub use faults::{FaultError, FaultPlan, FaultSchedule};
 pub use params::NetParams;
