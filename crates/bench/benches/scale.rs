@@ -1,6 +1,6 @@
 //! Scale suite: the engine hot path at `10⁵`–`10⁶` nodes.
 //!
-//! Three A/B groups, all on the random-geometric topologies the scale-smoke
+//! Four groups, all on the random-geometric topologies the scale-smoke
 //! CI lane exercises:
 //!
 //! * `scale_engine_mode` — the same `10⁵`-node broadcast workload under
@@ -11,6 +11,11 @@
 //! * `scale_coin_sampler` — [`DecayBroadcast`] with per-index coins (the
 //!   registered default, sequence-pinned by the committed baselines) vs the
 //!   batched SplitMix64 word sampler ([`CoinSampler::Batched`]).
+//! * `scale_dense_rounds` — `decay(16)` on a mean-degree-`~125` RGG at
+//!   `10⁵` nodes, frontier vs reference. The frontier engine's degree-sum
+//!   trigger routes almost every round of this workload through the
+//!   word-level dense kernel (bitmap-row OR/AND accumulation), so the gap
+//!   over reference measures the dense kernel plus SoA state together.
 //! * `scale_million` — one `10⁶`-node end-to-end trial, **gated** behind
 //!   `RN_BENCH_SCALE_MILLION=1` so a default `cargo bench` stays minutes,
 //!   not tens of minutes.
@@ -71,6 +76,25 @@ fn bench_coin_samplers(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_dense_rounds(c: &mut Criterion) {
+    let w = BenchWorkload::resolve("decay(16)@rgg(100000,0.02)", TOPOLOGY_SEED);
+    let mut group = c.benchmark_group("scale_dense_rounds");
+    group.sample_size(5);
+    for (mode, label) in [(EngineMode::Frontier, "frontier"), (EngineMode::Reference, "reference")]
+    {
+        group.bench_function(format!("{}/{label}", w.name), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let r = with_default_engine_mode(mode, || w.run_trial(seed));
+                assert!(r.completed, "dense decay broadcast must complete under {label}");
+                r.rounds
+            });
+        });
+    }
+    group.finish();
+}
+
 fn bench_million(c: &mut Criterion) {
     if std::env::var("RN_BENCH_SCALE_MILLION").is_err() {
         println!("bench scale_million skipped (set RN_BENCH_SCALE_MILLION=1 to run)");
@@ -91,5 +115,11 @@ fn bench_million(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_engine_modes, bench_coin_samplers, bench_million);
+criterion_group!(
+    benches,
+    bench_engine_modes,
+    bench_coin_samplers,
+    bench_dense_rounds,
+    bench_million
+);
 criterion_main!(benches);

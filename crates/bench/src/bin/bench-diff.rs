@@ -4,7 +4,7 @@
 //! Usage:
 //!
 //! ```text
-//! bench-diff [--sigma N] BASELINE.json NEW.json
+//! bench-diff [--sigma N] [--gate-time PCT] BASELINE.json NEW.json
 //! ```
 //!
 //! Prints a markdown report to stdout. Exit codes: `0` — no regressions
@@ -12,14 +12,19 @@
 //! cell regressed beyond its noise band or vanished from the new file;
 //! `2` — usage or I/O error. The noise band is
 //! `sigma · sqrt(s_a²/t_a + s_b²/t_b)` per cell, from the files' recorded
-//! `stddev` and trial counts (see `rn_bench::diff`). CI runs this against
-//! the committed `benchmarks/baseline_smoke.json`.
+//! `stddev` and trial counts (see `rn_bench::diff`). By default the
+//! `elapsed_ms` column is informational only; `--gate-time PCT` opts into
+//! failing cells whose wall-clock grew by more than `PCT` percent (for the
+//! scale lane, where machine and scenario are pinned — cells missing the
+//! field on either side are never time-gated). CI runs this against the
+//! committed `benchmarks/baseline_smoke.json`.
 
 use rn_bench::diff::DEFAULT_SIGMA;
-use rn_bench::{diff_results, Json};
+use rn_bench::{diff_results_gated, Json};
 
 fn main() {
     let mut sigma = DEFAULT_SIGMA;
+    let mut gate_time: Option<f64> = None;
     let mut files: Vec<String> = Vec::new();
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let mut it = raw.iter();
@@ -33,6 +38,15 @@ fn main() {
                     .filter(|s| s.is_finite() && *s >= 0.0)
                     .unwrap_or_else(|| usage("--sigma takes a non-negative number"));
             }
+            "--gate-time" => {
+                let v = it.next().unwrap_or_else(|| usage("missing value for --gate-time"));
+                gate_time = Some(
+                    v.parse::<f64>()
+                        .ok()
+                        .filter(|p| p.is_finite() && *p >= 0.0)
+                        .unwrap_or_else(|| usage("--gate-time takes a non-negative percentage")),
+                );
+            }
             other if !other.starts_with('-') => files.push(other.to_string()),
             other => usage(&format!("unexpected argument {other:?}")),
         }
@@ -43,7 +57,7 @@ fn main() {
 
     let base = load(base_path);
     let new = load(new_path);
-    let report = diff_results(&base, &new, sigma).unwrap_or_else(|e| {
+    let report = diff_results_gated(&base, &new, sigma, gate_time).unwrap_or_else(|e| {
         eprintln!("error: {e}");
         std::process::exit(2);
     });
@@ -66,6 +80,6 @@ fn load(path: &str) -> Json {
 
 fn usage(err: &str) -> ! {
     eprintln!("error: {err}");
-    eprintln!("usage: bench-diff [--sigma N] BASELINE.json NEW.json");
+    eprintln!("usage: bench-diff [--sigma N] [--gate-time PCT] BASELINE.json NEW.json");
     std::process::exit(2);
 }

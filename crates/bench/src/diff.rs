@@ -71,10 +71,13 @@ pub struct DiffRow {
     /// The verdict.
     pub status: DiffStatus,
     /// Baseline `elapsed_ms` annotation, when the file has one.
-    /// **Informational only** — wall-clock is machine-dependent and never
-    /// gates; perf regressions are caught by the criterion scale suite.
+    /// **Informational by default** — wall-clock is machine-dependent, so
+    /// it only gates when the caller opts in via [`diff_results_gated`]'s
+    /// time-gate percentage (the scale lane, where machine and scenario are
+    /// pinned); perf regressions elsewhere are caught by the criterion
+    /// scale suite.
     pub base_elapsed_ms: Option<u64>,
-    /// New-run `elapsed_ms` annotation, same informational-only status.
+    /// New-run `elapsed_ms` annotation, same default-informational status.
     pub new_elapsed_ms: Option<u64>,
 }
 
@@ -94,6 +97,10 @@ pub struct DiffReport {
     pub new_id: String,
     /// The sigma multiplier the bands used.
     pub sigma: f64,
+    /// Opt-in wall-clock gate: cells whose `elapsed_ms` grew by more than
+    /// this percentage count as regressed. `None` (the default) keeps
+    /// elapsed time informational.
+    pub time_gate_pct: Option<f64>,
     /// One row per cell key, in baseline order (new-only cells last).
     pub rows: Vec<DiffRow>,
 }
@@ -113,8 +120,13 @@ impl DiffReport {
 
     /// Renders the comparison as a markdown table with a verdict footnote.
     pub fn to_markdown(&self) -> String {
+        let gate =
+            self.time_gate_pct.map_or(String::new(), |pct| format!(", elapsed-ms gate +{pct}%"));
         let mut t = Table::new(
-            format!("bench-diff: {} → {} (±{}σ noise band)", self.base_id, self.new_id, self.sigma),
+            format!(
+                "bench-diff: {} → {} (±{}σ noise band{gate})",
+                self.base_id, self.new_id, self.sigma
+            ),
             &["cell", "base mean", "new mean", "delta", "band", "verdict", "elapsed ms"],
         );
         let num = |v: Option<f64>| v.map_or_else(|| "-".to_string(), |x| format!("{x:.1}"));
@@ -124,8 +136,9 @@ impl DiffReport {
                 || "-".to_string(),
                 |d| format!("{}{:.1}", if d >= 0.0 { "+" } else { "" }, d),
             );
-            // Wall-clock is shown but never judged: it varies by machine,
-            // so only the seed-deterministic round counts gate.
+            // Wall-clock is shown but only judged under an explicit
+            // time-gate percentage; by default the seed-deterministic
+            // round counts alone gate.
             let elapsed = if r.base_elapsed_ms.is_none() && r.new_elapsed_ms.is_none() {
                 "-".to_string()
             } else {
@@ -193,13 +206,32 @@ fn extract(doc: &Json) -> Result<(String, Vec<CellNums>), String> {
 }
 
 /// Compares `base` and `new` (parsed results documents) under a `sigma`
-/// noise multiplier.
+/// noise multiplier, with elapsed time informational only.
 ///
 /// # Errors
 ///
 /// A schema-validation message if either document is not a well-formed
 /// `rn-bench-results/v1` file, or a description of duplicate cell keys.
 pub fn diff_results(base: &Json, new: &Json, sigma: f64) -> Result<DiffReport, String> {
+    diff_results_gated(base, new, sigma, None)
+}
+
+/// [`diff_results`] with an opt-in wall-clock gate: when `time_gate_pct` is
+/// `Some(pct)`, a matched cell whose `elapsed_ms` grew by more than `pct`
+/// percent over the baseline counts as [`DiffStatus::Regressed`] even if
+/// its rounds are within noise. Cells missing `elapsed_ms` on either side
+/// are never time-gated (there is nothing to judge) — the round gate still
+/// applies to them as usual.
+///
+/// # Errors
+///
+/// Same conditions as [`diff_results`].
+pub fn diff_results_gated(
+    base: &Json,
+    new: &Json,
+    sigma: f64,
+    time_gate_pct: Option<f64>,
+) -> Result<DiffReport, String> {
     let (base_id, base_cells) = extract(base)?;
     let (new_id, new_cells) = extract(new)?;
     for cells in [&base_cells, &new_cells] {
@@ -227,13 +259,19 @@ pub fn diff_results(base: &Json, new: &Json, sigma: f64) -> Result<DiffReport, S
                         + n.stddev * n.stddev / n.trials.max(1.0))
                     .sqrt();
                 let delta = n.mean - b.mean;
-                let status = if delta > noise {
+                let mut status = if delta > noise {
                     DiffStatus::Regressed
                 } else if -delta > noise {
                     DiffStatus::Improved
                 } else {
                     DiffStatus::WithinNoise
                 };
+                if let (Some(pct), Some(be), Some(ne)) = (time_gate_pct, b.elapsed_ms, n.elapsed_ms)
+                {
+                    if ne as f64 > be as f64 * (1.0 + pct / 100.0) {
+                        status = DiffStatus::Regressed;
+                    }
+                }
                 DiffRow {
                     key: b.key.clone(),
                     base_mean: Some(b.mean),
@@ -260,7 +298,7 @@ pub fn diff_results(base: &Json, new: &Json, sigma: f64) -> Result<DiffReport, S
             });
         }
     }
-    Ok(DiffReport { base_id, new_id, sigma, rows })
+    Ok(DiffReport { base_id, new_id, sigma, time_gate_pct, rows })
 }
 
 #[cfg(test)]
@@ -358,6 +396,52 @@ mod tests {
         // Both sides timed: rendered as base → new.
         let r = diff_results(&b, &b, DEFAULT_SIGMA).expect("diffs");
         assert!(r.to_markdown().contains("52100 → 52100"));
+    }
+
+    /// A timed variant of [`doc`] (fixed rounds, tweakable wall-clock).
+    fn timed_doc(ms: u64) -> Json {
+        parse(
+            &doc(100.0, 5.0, 10, "bgi")
+                .replace("\"stddev\":0}}]}", &format!("\"stddev\":0}},\"elapsed_ms\":{ms}}}]}}")),
+        )
+    }
+
+    #[test]
+    fn time_gate_passes_growth_within_the_percentage() {
+        let r = diff_results_gated(&timed_doc(1000), &timed_doc(1040), DEFAULT_SIGMA, Some(10.0))
+            .expect("diffs");
+        assert!(!r.has_regressions(), "+4% elapsed is inside a 10% gate");
+        assert_eq!(r.rows[0].status, DiffStatus::WithinNoise);
+        assert!(r.to_markdown().contains("elapsed-ms gate +10%"), "{}", r.to_markdown());
+        // Exactly at the threshold is still a pass (the gate is strict >).
+        let r = diff_results_gated(&timed_doc(1000), &timed_doc(1100), DEFAULT_SIGMA, Some(10.0))
+            .expect("diffs");
+        assert!(!r.has_regressions());
+    }
+
+    #[test]
+    fn time_gate_flags_elapsed_regressions_beyond_the_percentage() {
+        let base = timed_doc(1000);
+        let slow = timed_doc(1200);
+        // Without the gate the same pair passes (informational default).
+        let r = diff_results(&base, &slow, DEFAULT_SIGMA).expect("diffs");
+        assert!(!r.has_regressions(), "default stays informational");
+        // With a 10% gate, +20% wall-clock is a regression even though the
+        // round counts are identical.
+        let r = diff_results_gated(&base, &slow, DEFAULT_SIGMA, Some(10.0)).expect("diffs");
+        assert!(r.has_regressions());
+        assert_eq!(r.rows[0].status, DiffStatus::Regressed);
+        assert!(r.to_markdown().contains("FAIL"), "{}", r.to_markdown());
+    }
+
+    #[test]
+    fn time_gate_ignores_cells_missing_elapsed_on_either_side() {
+        let untimed = parse(&doc(100.0, 5.0, 10, "bgi"));
+        for (a, b) in [(&untimed, &timed_doc(9999)), (&timed_doc(9999), &untimed)] {
+            let r = diff_results_gated(a, b, DEFAULT_SIGMA, Some(10.0)).expect("diffs");
+            assert!(!r.has_regressions(), "absent elapsed_ms cannot be judged");
+            assert_eq!(r.rows[0].status, DiffStatus::WithinNoise);
+        }
     }
 
     #[test]

@@ -48,14 +48,22 @@ fn run_registry(
 
 fn topology() -> impl Strategy<Value = TopologySpec> {
     // The shim's strategy surface has no prop_oneof; an index-mapped pair of
-    // ranges draws uniformly over the same shapes.
-    (0usize..6, 0usize..64).prop_map(|(family, x)| match family {
+    // ranges draws uniformly over the same shapes. The last three families
+    // are dense on purpose: a complete graph or near-critical RGG/Gnp makes
+    // the frontier engine's degree-sum trigger flip between the sparse
+    // per-edge path and the word-level dense kernel *within* a single run
+    // (small frontier early, saturated mid-broadcast), so every proptest
+    // case crosses the dispatch boundary both ways.
+    (0usize..9, 0usize..64).prop_map(|(family, x)| match family {
         0 => TopologySpec::Path(9 + x % 19),
         1 => TopologySpec::Cycle(9 + x % 19),
         2 => TopologySpec::Star(9 + x % 11),
         3 => TopologySpec::Grid { w: 3 + x % 3, h: 3 + (x / 3) % 3 },
         4 => TopologySpec::RandomTree(9 + x % 15),
-        _ => TopologySpec::Rgg { n: 12 + x % 12, radius: 0.45 },
+        5 => TopologySpec::Rgg { n: 12 + x % 12, radius: 0.45 },
+        6 => TopologySpec::Complete(9 + x % 24),
+        7 => TopologySpec::Rgg { n: 24 + x % 24, radius: 0.9 },
+        _ => TopologySpec::Gnp { n: 24 + x % 24, p: 0.6 },
     })
 }
 

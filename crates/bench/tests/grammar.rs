@@ -47,6 +47,7 @@ fn arb_overrides() -> impl Strategy<Value = Overrides> {
                     }
                     OverrideClass::Int => 1.0 + v.floor(),
                     OverrideClass::Float => v,
+                    OverrideClass::Enum(names) => (v as usize % names.len()) as f64,
                 };
                 Some((spec.key, v))
             });
@@ -122,6 +123,25 @@ proptest! {
     }
 
     #[test]
+    fn decay_coin_override_strings_round_trip(
+        k in 1usize..16,
+        trunc in 0u8..2,
+        coins in 0usize..3,
+    ) {
+        // The decay families' enum-valued `coins` override: symbolic names
+        // parse, display canonically (never as an index), and the
+        // instantiated runnable reports the full spec string.
+        let family = if trunc == 1 { "decay_trunc" } else { "decay" };
+        let suffix = ["", "{coins=per_index}", "{coins=batched}"][coins];
+        let s = format!("{family}({k}){suffix}");
+        let spec: ProtocolSpec = s.parse().unwrap_or_else(|e| panic!("{s}: {e}"));
+        prop_assert_eq!(spec.to_string(), s.clone(), "canonical form is stable");
+        let back: ProtocolSpec = spec.to_string().parse().expect("reparses");
+        prop_assert_eq!(back, spec.clone(), "parse(display) for {}", s);
+        prop_assert_eq!(spec.instantiate().name(), s);
+    }
+
+    #[test]
     fn every_registered_family_round_trips(proto in arb_protocol_string()) {
         let spec: ProtocolSpec = proto.parse().unwrap_or_else(|e| panic!("{proto}: {e}"));
         prop_assert_eq!(spec.to_string(), proto.clone(), "canonical form is stable");
@@ -136,8 +156,10 @@ proptest! {
         plan in arb_fault_plan(),
     ) {
         let mut protocol: ProtocolSpec = proto.parse().expect("protocol");
-        // Overrides only attach to families with a schema.
-        if protocol.family().overrides().is_empty() {
+        // The generated overrides reference the Compete schema, so they only
+        // attach to families sharing it (decay's `coins` schema differs).
+        let compete_schema = find_family("broadcast").expect("registered").overrides();
+        if protocol.family().overrides() != compete_schema {
             protocol = ProtocolSpec::parse("compete(4)");
         }
         protocol.overrides = overrides;

@@ -106,35 +106,53 @@ fn icp_phase(pos: u64, pass: u64) -> Phase {
 }
 
 /// Stamped per-node scratch value (reset implicitly at each slot).
+///
+/// Callers stamp each slot with a value that is strictly monotone per
+/// instance (slot indices derived from the round counter), so instead of a
+/// per-node stamp array the scratch keeps one current stamp, a membership
+/// bitset, and the list of touched nodes: rolling to a new stamp lazily
+/// clears only the nodes actually written in the previous slot. A `get`
+/// with any stamp other than the current one reads as unset — exactly the
+/// behavior of the old per-node stamp compare under monotone stamps.
 #[derive(Debug)]
 struct Scratch {
+    has: WordBitset,
     val: Vec<u64>,
-    stamp: Vec<u64>,
+    touched: Vec<NodeId>,
+    cur_stamp: u64,
 }
 
 impl Scratch {
     fn new(n: usize) -> Scratch {
-        Scratch { val: vec![0; n], stamp: vec![0; n] }
+        // Real stamps are >= 1 (slot indices offset by one), so starting at
+        // 0 means "no slot written yet".
+        Scratch { has: WordBitset::new(n), val: vec![0; n], touched: Vec::new(), cur_stamp: 0 }
     }
 
     #[inline]
-    fn get(&self, v: NodeId, stamp: u64) -> Option<u64> {
-        if self.stamp[v as usize] == stamp {
-            Some(self.val[v as usize])
-        } else {
-            None
+    fn roll(&mut self, stamp: u64) {
+        if stamp != self.cur_stamp {
+            for &v in &self.touched {
+                self.has.clear(v as usize);
+            }
+            self.touched.clear();
+            self.cur_stamp = stamp;
         }
     }
 
     #[inline]
+    fn get(&self, v: NodeId, stamp: u64) -> Option<u64> {
+        (stamp == self.cur_stamp && self.has.contains(v as usize)).then(|| self.val[v as usize])
+    }
+
+    #[inline]
     fn merge_max(&mut self, v: NodeId, stamp: u64, value: u64) {
+        self.roll(stamp);
         let vi = v as usize;
-        if self.stamp[vi] == stamp {
-            if self.val[vi] < value {
-                self.val[vi] = value;
-            }
-        } else {
-            self.stamp[vi] = stamp;
+        if self.has.set(vi) {
+            self.val[vi] = value;
+            self.touched.push(v);
+        } else if self.val[vi] < value {
             self.val[vi] = value;
         }
     }

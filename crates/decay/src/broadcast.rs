@@ -3,7 +3,7 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use rn_graph::NodeId;
 use rn_sim::rng::{bernoulli_indices, bernoulli_pow2_indices, WordStream};
-use rn_sim::{NetParams, Protocol, Round, TxBuf};
+use rn_sim::{NetParams, NodeValues, Protocol, Round, TxBuf};
 
 /// How a decay protocol draws its per-round transmission coins.
 ///
@@ -60,9 +60,12 @@ impl CoinState {
 #[derive(Debug)]
 pub struct DecayBroadcast {
     steps: DecaySteps,
-    /// Highest value known per node (`None` = uninformed).
-    value: Vec<Option<u64>>,
-    /// Dense list of informed nodes, in the order they were informed.
+    /// Highest value known per node, frontier-native layout: informed
+    /// bitset + dense value vector (see [`NodeValues`]).
+    values: NodeValues,
+    /// Dense list of informed nodes, in the order they were informed — the
+    /// coin-index space of the decay draw, so its push order is part of a
+    /// run's identity.
     informed_list: Vec<NodeId>,
     coins: CoinState,
     scratch: Vec<usize>,
@@ -83,17 +86,16 @@ impl DecayBroadcast {
         seed: u64,
         sampler: CoinSampler,
     ) -> DecayBroadcast {
-        let mut value = vec![None; params.n()];
+        let mut values = NodeValues::new(params.n());
         let mut informed_list = Vec::with_capacity(sources.len());
         for &(s, v) in sources {
-            if value[s as usize].is_none() {
+            if values.merge_max(s, v) {
                 informed_list.push(s);
             }
-            value[s as usize] = Some(value[s as usize].map_or(v, |old: u64| old.max(v)));
         }
         DecayBroadcast {
             steps: DecaySteps::for_params(&params),
-            value,
+            values,
             informed_list,
             coins: CoinState::new(sampler, seed),
             scratch: Vec::new(),
@@ -112,17 +114,17 @@ impl DecayBroadcast {
 
     /// Whether every node knows some value.
     pub fn all_informed(&self) -> bool {
-        self.informed_list.len() == self.value.len()
+        self.values.all_informed()
     }
 
     /// Whether every node knows a value `>= target`.
     pub fn all_know_at_least(&self, target: u64) -> bool {
-        self.value.iter().all(|v| v.is_some_and(|x| x >= target))
+        self.values.all_know_at_least(target)
     }
 
     /// The value currently known by `node`.
     pub fn value_of(&self, node: NodeId) -> Option<u64> {
-        self.value[node as usize]
+        self.values.get(node)
     }
 
     /// Number of informed nodes.
@@ -148,20 +150,14 @@ impl Protocol for DecayBroadcast {
         }
         for &idx in &self.scratch {
             let u = self.informed_list[idx];
-            let v = self.value[u as usize].expect("informed nodes have values");
+            let v = self.values.get(u).expect("informed nodes have values");
             tx.send(u, v);
         }
     }
 
     fn deliver(&mut self, _round: Round, node: NodeId, _from: NodeId, msg: &u64) {
-        let slot = &mut self.value[node as usize];
-        match slot {
-            None => {
-                *slot = Some(*msg);
-                self.informed_list.push(node);
-            }
-            Some(old) if *msg > *old => *old = *msg,
-            _ => {}
+        if self.values.merge_max(node, *msg) {
+            self.informed_list.push(node);
         }
     }
 }
@@ -186,18 +182,34 @@ pub struct TruncatedDecayBroadcast {
     full: DecaySteps,
     /// Full-depth decay round every this many rounds (≥ 1).
     full_every: u64,
-    value: Vec<Option<u64>>,
+    /// Highest value known per node (frontier-native layout).
+    values: NodeValues,
     informed_list: Vec<NodeId>,
-    rng: SmallRng,
+    coins: CoinState,
     scratch: Vec<usize>,
     /// Precomputed cycle: step offsets → probability, spanning
     /// `(full_every - 1)` truncated rounds followed by one full round.
     cycle_probs: Vec<f64>,
+    /// The same cycle as exponents `j` (probability `2^-j`), for the
+    /// word-batched sampler.
+    cycle_exponents: Vec<u32>,
 }
 
 impl TruncatedDecayBroadcast {
-    /// Multi-source truncated-decay broadcast.
+    /// Multi-source truncated-decay broadcast with the default
+    /// [`CoinSampler::PerIndex`] sampler.
     pub fn new(params: NetParams, sources: &[(NodeId, u64)], seed: u64) -> TruncatedDecayBroadcast {
+        TruncatedDecayBroadcast::with_coin_sampler(params, sources, seed, CoinSampler::default())
+    }
+
+    /// Multi-source truncated-decay broadcast with an explicit coin
+    /// sampler (see [`CoinSampler`]).
+    pub fn with_coin_sampler(
+        params: NetParams,
+        sources: &[(NodeId, u64)],
+        seed: u64,
+        sampler: CoinSampler,
+    ) -> TruncatedDecayBroadcast {
         let log_n = params.log2_n();
         let d = params.diameter().max(1) as f64;
         let ratio = (params.n() as f64 / d).max(2.0);
@@ -208,32 +220,35 @@ impl TruncatedDecayBroadcast {
         let trunc = DecaySteps::new(trunc_depth);
         let full = DecaySteps::new(log_n.max(trunc_depth));
         let mut cycle_probs = Vec::new();
+        let mut cycle_exponents = Vec::new();
         for _ in 0..(full_every - 1) {
             for i in 0..trunc.round_len() {
                 cycle_probs.push(trunc.probability(i as u64));
+                cycle_exponents.push(trunc.exponent(i as u64));
             }
         }
         for i in 0..full.round_len() {
             cycle_probs.push(full.probability(i as u64));
+            cycle_exponents.push(full.exponent(i as u64));
         }
 
-        let mut value = vec![None; params.n()];
+        let mut values = NodeValues::new(params.n());
         let mut informed_list = Vec::with_capacity(sources.len());
         for &(s, v) in sources {
-            if value[s as usize].is_none() {
+            if values.merge_max(s, v) {
                 informed_list.push(s);
             }
-            value[s as usize] = Some(value[s as usize].map_or(v, |old: u64| old.max(v)));
         }
         TruncatedDecayBroadcast {
             trunc,
             full,
             full_every,
-            value,
+            values,
             informed_list,
-            rng: SmallRng::seed_from_u64(seed),
+            coins: CoinState::new(sampler, seed),
             scratch: Vec::new(),
             cycle_probs,
+            cycle_exponents,
         }
     }
 
@@ -249,12 +264,12 @@ impl TruncatedDecayBroadcast {
 
     /// Whether every node knows some value.
     pub fn all_informed(&self) -> bool {
-        self.informed_list.len() == self.value.len()
+        self.values.all_informed()
     }
 
     /// The value currently known by `node`.
     pub fn value_of(&self, node: NodeId) -> Option<u64> {
-        self.value[node as usize]
+        self.values.get(node)
     }
 
     /// Depth of the truncated rounds (exposed for tests/diagnostics).
@@ -277,25 +292,28 @@ impl Protocol for TruncatedDecayBroadcast {
     type Msg = u64;
 
     fn transmit(&mut self, round: Round, tx: &mut TxBuf<u64>) {
-        let p = self.cycle_probs[(round % self.cycle_probs.len() as u64) as usize];
+        let step = (round % self.cycle_probs.len() as u64) as usize;
         self.scratch.clear();
-        bernoulli_indices(&mut self.rng, self.informed_list.len(), p, &mut self.scratch);
+        match &mut self.coins {
+            CoinState::PerIndex(rng) => {
+                let p = self.cycle_probs[step];
+                bernoulli_indices(rng, self.informed_list.len(), p, &mut self.scratch);
+            }
+            CoinState::Batched(ws) => {
+                let j = self.cycle_exponents[step];
+                bernoulli_pow2_indices(ws, self.informed_list.len(), j, &mut self.scratch);
+            }
+        }
         for &idx in &self.scratch {
             let u = self.informed_list[idx];
-            let v = self.value[u as usize].expect("informed nodes have values");
+            let v = self.values.get(u).expect("informed nodes have values");
             tx.send(u, v);
         }
     }
 
     fn deliver(&mut self, _round: Round, node: NodeId, _from: NodeId, msg: &u64) {
-        let slot = &mut self.value[node as usize];
-        match slot {
-            None => {
-                *slot = Some(*msg);
-                self.informed_list.push(node);
-            }
-            Some(old) if *msg > *old => *old = *msg,
-            _ => {}
+        if self.values.merge_max(node, *msg) {
+            self.informed_list.push(node);
         }
     }
 }
@@ -418,6 +436,44 @@ mod tests {
         let params = NetParams::of_graph(&g);
         let mut p = TruncatedDecayBroadcast::single_source(params, 0, 1, 23);
         assert!(run_to_completion(&g, &mut p, |p| p.all_informed(), 400_000, 23).is_some());
+    }
+
+    #[test]
+    fn truncated_batched_coins_complete_and_differ_from_per_index() {
+        // Same contract as the BGI variant: the word-batched sampler is a
+        // different valid sequence, completion still holds, and the default
+        // per-index sequence is untouched.
+        let g = generators::path(128);
+        let params = NetParams::of_graph(&g);
+        let mut batched = TruncatedDecayBroadcast::with_coin_sampler(
+            params,
+            &[(0, 42)],
+            17,
+            CoinSampler::Batched,
+        );
+        let batched_rounds = run_to_completion(&g, &mut batched, |p| p.all_informed(), 400_000, 17)
+            .expect("batched sampler completes");
+        assert!(g.nodes().all(|v| batched.value_of(v) == Some(42)));
+        let run_default = || {
+            let mut p = TruncatedDecayBroadcast::single_source(params, 0, 42, 17);
+            run_to_completion(&g, &mut p, |p| p.all_informed(), 400_000, 17).expect("completes")
+        };
+        assert_eq!(run_default(), run_default(), "default sampler is deterministic");
+        assert_ne!(batched_rounds, run_default(), "different sequences for the same seed");
+    }
+
+    #[test]
+    fn truncated_cycle_exponents_match_probabilities() {
+        // The batched sampler draws Bernoulli(2^-j) from the exponent
+        // cycle; it must describe exactly the same schedule as the float
+        // probabilities the per-index sampler uses.
+        let g = generators::barbell(40, 20);
+        let params = NetParams::of_graph(&g);
+        let p = TruncatedDecayBroadcast::single_source(params, 0, 1, 1);
+        assert_eq!(p.cycle_probs.len(), p.cycle_exponents.len());
+        for (&prob, &j) in p.cycle_probs.iter().zip(&p.cycle_exponents) {
+            assert_eq!(prob, 0.5f64.powi(j as i32), "exponent {j} vs probability {prob}");
+        }
     }
 
     #[test]

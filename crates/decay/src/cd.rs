@@ -29,7 +29,7 @@
 //! the beep-probe leader election in `rn_baselines`.
 
 use rn_graph::NodeId;
-use rn_sim::{rng, NetParams, Protocol, Round, TxBuf, WordBitset};
+use rn_sim::{rng, NetParams, NodeValues, Protocol, Round, TxBuf, WordBitset};
 
 /// Message alphabet of [`LayeredDecayCd`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -49,15 +49,22 @@ pub struct LayeredDecayCd {
     wave_len: u64,
     /// Decay depth (number of densities per decay sweep).
     depth: u32,
-    /// Round in which each node beeps (`Some(0)` for sources).
-    beep_at: Vec<Option<Round>>,
-    /// Layer (distance to the nearest source) once known.
-    layer: Vec<Option<u32>>,
-    /// Highest value known (`None` = uninformed; sources start informed).
-    value: Vec<Option<u64>>,
+    /// Nodes that have (or are scheduled to) beep; `beep_round` holds the
+    /// round for set bits only. Sources beep in round 0.
+    beeped: WordBitset,
+    /// Beep round per node, valid where `beeped` is set.
+    beep_round: Vec<u64>,
+    /// Nodes whose layer is known; `layer` holds the distance for set bits.
+    has_layer: WordBitset,
+    /// Layer (distance to the nearest source), valid where `has_layer` is
+    /// set.
+    layer: Vec<u32>,
+    /// Highest value known per node (sources start informed); the informed
+    /// bitset + dense value array replaces the old `Vec<Option<u64>>`.
+    values: NodeValues,
     /// Wave-phase beep schedule as per-round buckets: `wave_buckets[r]`
     /// holds the nodes due to beep in round `r` (each node at most once —
-    /// `beep_at` is written at most once per node). Buckets for round `r`
+    /// `beeped` is set at most once per node). Buckets for round `r`
     /// are complete before `transmit(r)` runs and are sorted at emission,
     /// so the beep order matches the original full `beep_at` scan without
     /// touching all `n` nodes every wave round.
@@ -69,8 +76,6 @@ pub struct LayeredDecayCd {
     /// coins are stateless per `(round, node)` — while a decay round's cost
     /// is proportional to the informed frontier, not `n`.
     slot_members: [WordBitset; 3],
-    /// `value[v].is_some()` count, maintained incrementally.
-    informed: usize,
     /// The maximum source value — the completion target of the
     /// Compete-style scenarios built on this protocol.
     max_source_value: u64,
@@ -91,37 +96,39 @@ impl LayeredDecayCd {
         assert!(!sources.is_empty(), "layered decay needs at least one source");
         let n = params.n();
         let wave_len = params.diameter() as u64 + 1;
-        let mut beep_at = vec![None; n];
-        let mut layer = vec![None; n];
-        let mut value = vec![None; n];
+        let mut beeped = WordBitset::new(n);
+        let beep_round = vec![0; n];
+        let mut has_layer = WordBitset::new(n);
+        let layer = vec![0; n];
+        let mut values = NodeValues::new(n);
         let mut wave_buckets = vec![Vec::new(); wave_len as usize];
         let mut slot_members = [WordBitset::new(n), WordBitset::new(n), WordBitset::new(n)];
-        let mut informed = 0;
         for &(s, v) in sources {
             assert!((s as usize) < n, "source {s} out of range for {n} nodes");
-            if beep_at[s as usize].is_none() {
-                beep_at[s as usize] = Some(0);
+            if beeped.set(s as usize) {
+                // beep_round[s] stays 0: sources beep in round 0.
                 wave_buckets[0].push(s);
             }
-            layer[s as usize] = Some(0);
-            if value[s as usize].is_none() {
-                informed += 1;
+            has_layer.set(s as usize);
+            if values.merge_max(s, v) {
                 slot_members[0].set(s as usize);
             }
-            value[s as usize] = Some(value[s as usize].map_or(v, |old: u64| old.max(v)));
         }
         let max_source_value = sources.iter().map(|&(_, v)| v).max().unwrap();
-        let know_max = value.iter().filter(|v| v.is_some_and(|x| x >= max_source_value)).count();
+        let know_max = (0..n)
+            .filter(|&v| values.get(v as NodeId).is_some_and(|x| x >= max_source_value))
+            .count();
         LayeredDecayCd {
             net: params,
             wave_len,
             depth: params.log2_n().max(1),
-            beep_at,
+            beeped,
+            beep_round,
+            has_layer,
             layer,
-            value,
+            values,
             wave_buckets,
             slot_members,
-            informed,
             max_source_value,
             know_max,
             seed,
@@ -144,46 +151,45 @@ impl LayeredDecayCd {
     /// counter read; other targets fall back to a full scan.
     pub fn all_know_at_least(&self, target: u64) -> bool {
         if target == self.max_source_value {
-            return self.know_max == self.value.len();
+            return self.know_max == self.values.len();
         }
-        self.value.iter().all(|v| v.is_some_and(|x| x >= target))
+        self.values.all_know_at_least(target)
     }
 
     /// The value currently known by `node`.
     pub fn value_of(&self, node: NodeId) -> Option<u64> {
-        self.value[node as usize]
+        self.values.get(node)
     }
 
     /// The layer (distance to the nearest source) `node` has learned, if
     /// any.
     pub fn layer_of(&self, node: NodeId) -> Option<u32> {
-        self.layer[node as usize]
+        self.has_layer.contains(node as usize).then(|| self.layer[node as usize])
     }
 
     /// Number of informed nodes.
     pub fn informed_count(&self) -> usize {
-        self.informed
+        self.values.informed_count()
     }
 
     fn wave_hears(&mut self, round: Round, node: NodeId) {
         if round + 1 >= self.wave_len {
             return;
         }
-        let slot = &mut self.beep_at[node as usize];
-        if slot.is_none() {
-            *slot = Some(round + 1);
-            self.layer[node as usize] = Some((round + 1) as u32);
+        if self.beeped.set(node as usize) {
+            self.beep_round[node as usize] = round + 1;
+            self.has_layer.set(node as usize);
+            self.layer[node as usize] = (round + 1) as u32;
             self.wave_buckets[(round + 1) as usize].push(node);
         }
     }
 
-    /// Records that `node` just became informed (value `None` → `Some`):
-    /// joins its layer's decay slot and bumps the informed counter. The
-    /// layer is always known by this point and never changes afterwards, so
-    /// slot membership is final.
+    /// Records that `node` just became informed (first `merge_max` hit):
+    /// joins its layer's decay slot. The layer is always known by this
+    /// point and never changes afterwards, so slot membership is final.
     fn joins_decay(&mut self, node: NodeId) {
-        self.informed += 1;
-        let layer = self.layer[node as usize].expect("informed node must have a layer");
+        assert!(self.has_layer.contains(node as usize), "informed node must have a layer");
+        let layer = self.layer[node as usize];
         self.slot_members[(layer % 3) as usize].set(node as usize);
     }
 }
@@ -213,7 +219,8 @@ impl Protocol for LayeredDecayCd {
         // same nodes the original 0..n scan would have reached, drawing the
         // same stateless per-(round, node) coins.
         for v in self.slot_members[slot].iter_ones() {
-            let (Some(layer), Some(val)) = (self.layer[v], self.value[v]) else { continue };
+            let Some(val) = self.values.get(v as NodeId) else { continue };
+            let layer = self.layer[v];
             let coin = (rng::derive(round_seed, v as u64) >> 11) as f64 / (1u64 << 53) as f64;
             if coin < p {
                 tx.send(v as NodeId, CdMsg::Value(val, layer));
@@ -227,21 +234,12 @@ impl Protocol for LayeredDecayCd {
             CdMsg::Value(val, sender_layer) => {
                 // Wave stragglers adopt a layer from the first data message
                 // (one hop further out than the sender).
-                if self.layer[node as usize].is_none() {
-                    self.layer[node as usize] = Some(sender_layer + 1);
+                if self.has_layer.set(node as usize) {
+                    self.layer[node as usize] = sender_layer + 1;
                 }
                 let max = self.max_source_value;
-                let slot = &mut self.value[node as usize];
-                let was_at_max = slot.is_some_and(|x| x >= max);
-                let mut newly_informed = false;
-                match slot {
-                    None => {
-                        *slot = Some(val);
-                        newly_informed = true;
-                    }
-                    Some(old) if val > *old => *old = val,
-                    _ => {}
-                }
+                let was_at_max = self.values.get(node).is_some_and(|x| x >= max);
+                let newly_informed = self.values.merge_max(node, val);
                 if !was_at_max && val >= max {
                     self.know_max += 1;
                 }
@@ -335,19 +333,20 @@ mod tests {
         let mut last_tx = 0;
         for round in 0..budget {
             let expected = if round < p.wave_len {
-                p.beep_at.iter().filter(|&&at| at == Some(round)).count() as u64
+                (0..g.n()).filter(|&v| p.beeped.contains(v) && p.beep_round[v] == round).count()
+                    as u64
             } else {
                 let r2 = round - p.wave_len;
                 let slot = (r2 % 3) as u32;
                 let i = ((r2 / 3) % p.depth as u64) as u32;
                 let prob = 0.5f64.powi(i as i32);
                 let round_seed = rng::derive(p.seed, round);
-                (0..p.value.len())
+                (0..p.values.len())
                     .filter(|&v| {
-                        let (Some(layer), Some(_)) = (p.layer[v], p.value[v]) else {
+                        if !p.has_layer.contains(v) || !p.values.is_informed(v as NodeId) {
                             return false;
-                        };
-                        layer % 3 == slot
+                        }
+                        p.layer[v] % 3 == slot
                             && ((rng::derive(round_seed, v as u64) >> 11) as f64
                                 / (1u64 << 53) as f64)
                                 < prob
@@ -362,7 +361,7 @@ mod tests {
         assert!(p.all_know_at_least(9), "the run completes within budget");
         assert_eq!(
             p.informed_count(),
-            p.value.iter().filter(|v| v.is_some()).count(),
+            p.values.informed().count_ones(),
             "incremental informed counter matches a dense recount"
         );
     }

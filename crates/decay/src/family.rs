@@ -3,9 +3,29 @@
 //! CD-exploiting beep-wave-assisted variants (`broadcast_cd`,
 //! `compete_cd(K)`).
 
+use crate::broadcast::CoinSampler;
 use crate::scenario::{CdDecayScenario, DecayScenario};
 use rn_sim::family::{parse_count, reject_args, ParsedArgs, ProtocolFamily};
-use rn_sim::Runnable;
+use rn_sim::{OverrideClass, OverrideSpec, Runnable};
+
+/// Shared override schema of `decay(K)` / `decay_trunc(K)`: the coin
+/// sampler. `per_index` is the baseline-pinned default; `batched` draws 64
+/// coins per `u64` word (a different, equally valid random sequence —
+/// opt-in for large-scale runs).
+const DECAY_OVERRIDES: &[OverrideSpec] = &[OverrideSpec::new(
+    "coins",
+    "coin sampler: per_index (baseline sequence) or batched (word-level draws)",
+    OverrideClass::Enum(&["per_index", "batched"]),
+)];
+
+/// Resolves the `coins` override to a [`CoinSampler`] (default
+/// [`CoinSampler::PerIndex`]).
+fn coin_sampler(overrides: &[(&'static OverrideSpec, f64)]) -> CoinSampler {
+    match overrides.iter().find(|(s, _)| s.key == "coins") {
+        Some(&(_, v)) if v as usize == 1 => CoinSampler::Batched,
+        _ => CoinSampler::PerIndex,
+    }
+}
 
 /// `decay(K)` — raw multi-source decay with `K` spread sources.
 pub struct DecayFamily;
@@ -27,6 +47,10 @@ impl ProtocolFamily for DecayFamily {
         &[Some("4")]
     }
 
+    fn overrides(&self) -> &'static [OverrideSpec] {
+        DECAY_OVERRIDES
+    }
+
     fn parse_args(&self, args: Option<&str>) -> Result<ParsedArgs, String> {
         let k = parse_count(self.name(), args)?;
         Ok(ParsedArgs::with_args(k.to_string()))
@@ -35,11 +59,11 @@ impl ProtocolFamily for DecayFamily {
     fn instantiate(
         &self,
         args: Option<&str>,
-        _overrides: &[(&'static rn_sim::OverrideSpec, f64)],
-        _label: &str,
+        overrides: &[(&'static OverrideSpec, f64)],
+        label: &str,
     ) -> Box<dyn Runnable> {
         let k = parse_count(self.name(), args).expect("canonical decay args");
-        Box::new(DecayScenario::new(k))
+        Box::new(DecayScenario::new(k).with_coins(coin_sampler(overrides), label))
     }
 }
 
@@ -63,6 +87,10 @@ impl ProtocolFamily for DecayTruncFamily {
         &[Some("4")]
     }
 
+    fn overrides(&self) -> &'static [OverrideSpec] {
+        DECAY_OVERRIDES
+    }
+
     fn parse_args(&self, args: Option<&str>) -> Result<ParsedArgs, String> {
         let k = parse_count(self.name(), args)?;
         Ok(ParsedArgs::with_args(k.to_string()))
@@ -71,11 +99,11 @@ impl ProtocolFamily for DecayTruncFamily {
     fn instantiate(
         &self,
         args: Option<&str>,
-        _overrides: &[(&'static rn_sim::OverrideSpec, f64)],
-        _label: &str,
+        overrides: &[(&'static OverrideSpec, f64)],
+        label: &str,
     ) -> Box<dyn Runnable> {
         let k = parse_count(self.name(), args).expect("canonical decay_trunc args");
-        Box::new(DecayScenario::truncated(k))
+        Box::new(DecayScenario::truncated(k).with_coins(coin_sampler(overrides), label))
     }
 }
 
@@ -174,5 +202,19 @@ mod tests {
         assert!(DecayFamily.parse_args(None).is_err());
         assert!(CompeteCdFamily.parse_args(Some("0")).is_err());
         assert!(BroadcastCdFamily.parse_args(Some("1")).is_err());
+    }
+
+    #[test]
+    fn coins_override_selects_the_batched_sampler_and_keeps_the_label() {
+        let spec = &DECAY_OVERRIDES[0];
+        assert_eq!(coin_sampler(&[]), CoinSampler::PerIndex);
+        assert_eq!(coin_sampler(&[(spec, 0.0)]), CoinSampler::PerIndex);
+        assert_eq!(coin_sampler(&[(spec, 1.0)]), CoinSampler::Batched);
+        let label = "decay(2){coins=batched}";
+        let r = DecayFamily.instantiate(Some("2"), &[(spec, 1.0)], label);
+        assert_eq!(r.name(), label, "the runnable reports the full override label");
+        let label = "decay_trunc(3){coins=batched}";
+        let r = DecayTruncFamily.instantiate(Some("3"), &[(spec, 1.0)], label);
+        assert_eq!(r.name(), label);
     }
 }

@@ -4,7 +4,7 @@
 //! building blocks measured on their own terms in campaigns (the
 //! single-source wrappers with baseline budgets live in `rn_baselines`).
 
-use crate::broadcast::{DecayBroadcast, TruncatedDecayBroadcast};
+use crate::broadcast::{CoinSampler, DecayBroadcast, TruncatedDecayBroadcast};
 use crate::cd::LayeredDecayCd;
 use rn_graph::{Graph, NodeId};
 use rn_sim::{rng, CollisionModel, FaultSchedule, NetParams, Runnable, Simulator, TrialRecord};
@@ -12,23 +12,50 @@ use rn_sim::{rng, CollisionModel, FaultSchedule, NetParams, Runnable, Simulator,
 /// Multi-source decay broadcast with `sources` evenly spread sources holding
 /// distinct values; completes when every node is informed. `truncated`
 /// selects the truncated-decay variant.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct DecayScenario {
     /// Number of sources (evenly spaced over the id range, values `1..=k`).
     pub sources: usize,
     /// Run [`TruncatedDecayBroadcast`] instead of plain [`DecayBroadcast`].
     pub truncated: bool,
+    /// How trials draw their transmission coins ([`CoinSampler::PerIndex`]
+    /// unless the `{coins=batched}` override selects otherwise).
+    pub coins: CoinSampler,
+    /// The canonical spec label this scenario reports as its name (the
+    /// registry requires `Runnable::name` to equal the full spec string,
+    /// overrides included).
+    label: String,
 }
 
 impl DecayScenario {
     /// Plain multi-source decay with `sources` sources.
     pub fn new(sources: usize) -> DecayScenario {
-        DecayScenario { sources: sources.max(1), truncated: false }
+        let sources = sources.max(1);
+        DecayScenario {
+            sources,
+            truncated: false,
+            coins: CoinSampler::default(),
+            label: format!("decay({sources})"),
+        }
     }
 
     /// Truncated-decay variant with `sources` sources.
     pub fn truncated(sources: usize) -> DecayScenario {
-        DecayScenario { sources: sources.max(1), truncated: true }
+        let sources = sources.max(1);
+        DecayScenario {
+            sources,
+            truncated: true,
+            coins: CoinSampler::default(),
+            label: format!("decay_trunc({sources})"),
+        }
+    }
+
+    /// Selects the coin sampler and the label the scenario reports
+    /// (builder-style, for family instantiation with overrides).
+    pub fn with_coins(mut self, coins: CoinSampler, label: impl Into<String>) -> DecayScenario {
+        self.coins = coins;
+        self.label = label.into();
+        self
     }
 
     /// Evenly spaced source placement (deterministic in the graph size).
@@ -40,11 +67,7 @@ impl DecayScenario {
 
 impl Runnable for DecayScenario {
     fn name(&self) -> String {
-        if self.truncated {
-            format!("decay_trunc({})", self.sources)
-        } else {
-            format!("decay({})", self.sources)
-        }
+        self.label.clone()
     }
 
     fn run_trial_scheduled(
@@ -58,12 +81,12 @@ impl Runnable for DecayScenario {
         let sources = self.place_sources(g.n());
         let mut sim = Simulator::with_faults(g, model, seed, faults.cloned());
         if self.truncated {
-            let mut p = TruncatedDecayBroadcast::new(net, &sources, seed);
+            let mut p = TruncatedDecayBroadcast::with_coin_sampler(net, &sources, seed, self.coins);
             let stats =
                 sim.run_until(&mut p, net.decay_broadcast_budget(), |_, p| p.all_informed());
             TrialRecord::new(p.all_informed(), stats.rounds, stats.metrics)
         } else {
-            let mut p = DecayBroadcast::new(net, &sources, seed);
+            let mut p = DecayBroadcast::with_coin_sampler(net, &sources, seed, self.coins);
             let stats =
                 sim.run_until(&mut p, net.decay_broadcast_budget(), |_, p| p.all_informed());
             TrialRecord::new(p.all_informed(), stats.rounds, stats.metrics)

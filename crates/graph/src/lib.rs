@@ -38,10 +38,12 @@
 mod error;
 pub mod generators;
 mod graph;
+mod hybrid;
 pub mod spec;
 pub mod traversal;
 
 pub use error::GraphError;
 pub use graph::{Graph, NodeId, INVALID_NODE};
+pub use hybrid::HybridAdjacency;
 pub use spec::{TopologySpec, TopologySpecError};
 pub use traversal::{Bfs, DistanceMatrixSample, LayerHistogram};

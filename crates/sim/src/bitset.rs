@@ -104,6 +104,17 @@ impl WordBitset {
     pub fn words(&self) -> &[u64] {
         &self.words
     }
+
+    /// Mutable access to the backing words, for word-at-a-time kernels
+    /// (dense-round OR/AND accumulation over adjacency rows).
+    ///
+    /// Callers must preserve the invariant that bits at or above `len` in
+    /// the last word stay zero — scattering only rows that respect the
+    /// bitset's capacity (e.g. adjacency rows of the same graph) does so
+    /// automatically.
+    pub fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.words
+    }
 }
 
 #[cfg(test)]

@@ -116,6 +116,15 @@ impl<A: Protocol, B: Protocol> Protocol for Interleave<A, B> {
         }
     }
 
+    fn round_end(&mut self, round: Round, view: &crate::engine::RoundView<'_>) {
+        // Like `collision`: the slot's owner observes its local round end.
+        if round.is_multiple_of(2) {
+            self.a.round_end(round / 2, view);
+        } else {
+            self.b.round_end(round / 2, view);
+        }
+    }
+
     fn done(&self, round: Round) -> bool {
         // Both sub-protocols must be done at their respective local clocks.
         self.a.done(round / 2 + round % 2) && self.b.done(round / 2)
@@ -213,6 +222,10 @@ impl<P: Protocol> Protocol for Faulty<P> {
         self.inner.collision(round, node);
     }
 
+    fn round_end(&mut self, round: Round, view: &crate::engine::RoundView<'_>) {
+        self.inner.round_end(round, view);
+    }
+
     fn done(&self, round: Round) -> bool {
         self.inner.done(round)
     }
@@ -266,6 +279,10 @@ impl<P: Protocol> Protocol for Jammer<P> {
 
     fn collision(&mut self, round: Round, node: NodeId) {
         self.inner.collision(round, node);
+    }
+
+    fn round_end(&mut self, round: Round, view: &crate::engine::RoundView<'_>) {
+        self.inner.round_end(round, view);
     }
 
     fn done(&self, round: Round) -> bool {

@@ -2,7 +2,7 @@ use crate::bitset::WordBitset;
 use crate::faults::FaultSchedule;
 use crate::protocol::{Protocol, Round, TxBuf};
 use crate::trace::{Event, Trace};
-use rn_graph::{Graph, NodeId};
+use rn_graph::{Graph, HybridAdjacency, NodeId};
 use serde::{Deserialize, Serialize};
 use std::cell::Cell;
 use std::sync::OnceLock;
@@ -69,6 +69,44 @@ impl EngineMode {
             Ok(v) => panic!("RN_ENGINE_MODE={v:?} (expected \"reference\" or \"frontier\")"),
             Err(_) => EngineMode::Frontier,
         })
+    }
+
+    /// Pins the *process-wide* default to `mode` — the seam for CLI flags
+    /// (`experiments --engine-mode …`), which must take effect on every
+    /// worker thread, where a thread-local [`with_default_engine_mode`]
+    /// scope cannot reach. Wins over `RN_ENGINE_MODE` only if called before
+    /// the first [`EngineMode::default_mode`] resolution; afterwards the
+    /// default is frozen.
+    ///
+    /// # Errors
+    ///
+    /// Returns the already-frozen mode when the process default was
+    /// resolved earlier (a simulator was built, the environment variable
+    /// was read, or a prior call pinned it) to something different —
+    /// callers surface this instead of silently racing.
+    pub fn set_process_default(mode: EngineMode) -> Result<(), EngineMode> {
+        let frozen = *ENV_MODE.get_or_init(|| mode);
+        if frozen == mode {
+            Ok(())
+        } else {
+            Err(frozen)
+        }
+    }
+
+    /// Parses a mode name (`reference` / `frontier`, case-insensitive) —
+    /// the spelling `RN_ENGINE_MODE` and `--engine-mode` accept.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message naming the accepted spellings.
+    pub fn parse_name(s: &str) -> Result<EngineMode, String> {
+        if s.eq_ignore_ascii_case("reference") {
+            Ok(EngineMode::Reference)
+        } else if s.eq_ignore_ascii_case("frontier") {
+            Ok(EngineMode::Frontier)
+        } else {
+            Err(format!("unknown engine mode {s:?} (expected \"reference\" or \"frontier\")"))
+        }
     }
 }
 
@@ -213,6 +251,108 @@ impl Scratch {
     }
 }
 
+/// Scratch for the degree-sum–triggered dense-round kernel of
+/// [`Simulator::step_frontier`], built lazily on the first round whose
+/// transmitter degree sum rivals `n`. Rounds below the trigger never touch
+/// it, so sparse workloads pay nothing.
+#[derive(Debug)]
+struct DenseScratch {
+    /// Hybrid CSR/bitmap adjacency cache (see [`HybridAdjacency`]).
+    adj: HybridAdjacency,
+    /// `aidx[u]` = index of `u` in this round's active list; only read for
+    /// nodes whose `tx` bit is set, so stale entries are harmless.
+    aidx: Vec<u32>,
+    /// `(active index, listener)` pairs of the round's unique-transmitter
+    /// receptions, sorted before delivery to reproduce the reference
+    /// callback order.
+    deliveries: Vec<(u32, NodeId)>,
+}
+
+/// A read-only view of one finished round's channel outcome, passed to
+/// [`Protocol::round_end`].
+///
+/// The view abstracts over the engine's two scratch layouts — queries
+/// answer from stamp vectors under [`EngineMode::Reference`] and from
+/// `u64`-word bitsets under [`EngineMode::Frontier`], with identical
+/// results (the differential tests compare them node for node).
+///
+/// [`RoundView::frontier`] is the round's *unordered* set of nodes that
+/// heard channel energy; protocols keeping struct-of-arrays state walk it
+/// to advance bookkeeping in time proportional to activity instead of `n`.
+pub struct RoundView<'a> {
+    inner: ViewInner<'a>,
+    frontier: &'a [NodeId],
+    faults: Option<&'a FaultSchedule>,
+    round: Round,
+}
+
+enum ViewInner<'a> {
+    Reference {
+        hear_stamp: &'a [u64],
+        hear_count: &'a [u32],
+        tx_stamp: &'a [u64],
+        stamp: u64,
+    },
+    Frontier {
+        heard: &'a WordBitset,
+        collided: &'a WordBitset,
+        tx: &'a WordBitset,
+        crashed: &'a WordBitset,
+    },
+}
+
+impl RoundView<'_> {
+    /// The nodes that heard channel energy this round, as an **unordered**
+    /// set (the traversal order differs between engine modes and kernels;
+    /// sort before relying on order).
+    pub fn frontier(&self) -> &[NodeId] {
+        self.frontier
+    }
+
+    /// Whether `node` had at least one transmitting neighbor this round.
+    pub fn heard(&self, node: NodeId) -> bool {
+        let vi = node as usize;
+        match &self.inner {
+            ViewInner::Reference { hear_stamp, stamp, .. } => hear_stamp[vi] == *stamp,
+            ViewInner::Frontier { heard, .. } => heard.contains(vi),
+        }
+    }
+
+    /// Whether `node` had two or more transmitting neighbors this round
+    /// (implies [`RoundView::heard`]).
+    pub fn collided(&self, node: NodeId) -> bool {
+        let vi = node as usize;
+        match &self.inner {
+            ViewInner::Reference { hear_stamp, hear_count, stamp, .. } => {
+                hear_stamp[vi] == *stamp && hear_count[vi] > 1
+            }
+            ViewInner::Frontier { collided, .. } => collided.contains(vi),
+        }
+    }
+
+    /// Whether `node` effectively transmitted this round (protocol
+    /// transmissions surviving the fault model, plus jammer noise).
+    pub fn transmitted(&self, node: NodeId) -> bool {
+        let vi = node as usize;
+        match &self.inner {
+            ViewInner::Reference { tx_stamp, stamp, .. } => tx_stamp[vi] == *stamp,
+            ViewInner::Frontier { tx, .. } => tx.contains(vi),
+        }
+    }
+
+    /// Whether `node` was down this round (crashed or dropped by the fault
+    /// schedule) — down nodes heard nothing regardless of the bits above.
+    pub fn down(&self, node: NodeId) -> bool {
+        match &self.inner {
+            ViewInner::Reference { .. } => self.faults.is_some_and(|f| f.is_down(self.round, node)),
+            ViewInner::Frontier { crashed, .. } => {
+                crashed.contains(node as usize)
+                    || self.faults.is_some_and(|f| f.is_dropped(self.round, node))
+            }
+        }
+    }
+}
+
 /// The radio-channel engine: executes a [`Protocol`] over a [`Graph`] under
 /// exact radio collision semantics.
 ///
@@ -239,6 +379,8 @@ pub struct Simulator<'g> {
     trace: Option<Trace>,
     faults: Option<FaultSchedule>,
     scratch: Scratch,
+    // Dense-round kernel scratch (frontier mode only), built on first use.
+    dense: Option<DenseScratch>,
     touched: Vec<NodeId>,
     // Effective transmitters this round: (node, index into the protocol's
     // TxBuf, or NOISE_TAG for jammer noise).
@@ -308,6 +450,7 @@ impl<'g> Simulator<'g> {
             trace: None,
             faults,
             scratch,
+            dense: None,
             touched: Vec::new(),
             active_tx: Vec::new(),
             seed,
@@ -382,10 +525,12 @@ impl<'g> Simulator<'g> {
         self.trace.as_ref()
     }
 
-    /// The nodes that heard channel energy in the most recent round, in the
-    /// order the engine discovered them — the round's *frontier*. Protocol
-    /// observers (not protocols themselves — this is measurement state) can
-    /// use it to track activity without scanning all of `n`.
+    /// The nodes that heard channel energy in the most recent round — the
+    /// round's *frontier*, as an **unordered** set (sparse rounds list them
+    /// in discovery order, dense-kernel rounds in ascending id; sort before
+    /// relying on order). Protocol observers (not protocols themselves —
+    /// this is measurement state) can use it to track activity without
+    /// scanning all of `n`.
     pub fn last_touched(&self) -> &[NodeId] {
         &self.touched
     }
@@ -565,6 +710,21 @@ impl<'g> Simulator<'g> {
             }
         }
 
+        protocol.round_end(
+            local,
+            &RoundView {
+                inner: ViewInner::Reference {
+                    hear_stamp: hear_stamp.as_slice(),
+                    hear_count: hear_count.as_slice(),
+                    tx_stamp: tx_stamp.as_slice(),
+                    stamp,
+                },
+                frontier: &self.touched,
+                faults: faults.as_ref(),
+                round: global,
+            },
+        );
+
         self.metrics.transmissions += active.len() as u64;
         self.metrics.rounds += 1;
         self.round += 1;
@@ -577,7 +737,9 @@ impl<'g> Simulator<'g> {
     /// metrics, same trace — with channel membership kept as one bit per
     /// node and cleared sparsely through the active/touched lists, so a
     /// round's memory traffic is proportional to activity and the
-    /// membership tables stay cache-resident at `10⁶` nodes.
+    /// membership tables stay cache-resident at `10⁶` nodes. Rounds whose
+    /// transmitter degree sum reaches `n` additionally dispatch to a
+    /// word-level dense kernel over a cached [`HybridAdjacency`].
     fn step_frontier<P: Protocol>(
         &mut self,
         protocol: &mut P,
@@ -653,56 +815,186 @@ impl<'g> Simulator<'g> {
             }
         }
 
-        // Mark what every potential listener hears: first energy sets
-        // `heard` and records the source, any further energy sets
-        // `collided`. (`hear_count` is only ever compared against 1, so a
-        // two-bitset one/many lattice replaces the count vector.)
+        // Dense-round dispatch: when the transmitters' degree sum rivals
+        // `n`, per-edge scatter writes lose to whole-word OR/AND
+        // accumulation over adjacency rows. The word kernel reproduces the
+        // reference callback order by sorting deliveries (proof in the
+        // kernel comments), which covers plain-delivery rounds exactly;
+        // rounds that would interleave collision callbacks (CD model) or
+        // trace events keep the per-edge path.
+        let graph = self.graph;
         self.touched.clear();
-        for (ai, &(u, _)) in active.iter().enumerate() {
-            for &v in self.graph.neighbors(u) {
-                let vi = v as usize;
-                if heard.set(vi) {
-                    hear_from[vi] = ai as u32;
-                    self.touched.push(v);
-                } else {
-                    collided.set(vi);
-                }
-            }
-        }
+        let dense_round = self.model == CollisionModel::NoCollisionDetection
+            && self.trace.is_none()
+            && !active.is_empty()
+            && active.iter().map(|&(u, _)| graph.degree(u)).sum::<usize>() >= graph.n();
 
-        // Deliver / report collisions to listeners.
-        for i in 0..self.touched.len() {
-            let v = self.touched[i];
-            let vi = v as usize;
-            if tx_bits.contains(vi) {
-                continue; // transmitters cannot listen
+        if dense_round {
+            let dense = self.dense.get_or_insert_with(|| DenseScratch {
+                adj: HybridAdjacency::for_graph(graph),
+                aidx: vec![0; graph.n()],
+                deliveries: Vec::new(),
+            });
+            for (ai, &(u, _)) in active.iter().enumerate() {
+                dense.aidx[u as usize] = ai as u32;
             }
-            if let Some(f) = &faults {
-                if crashed.contains(vi) || f.is_dropped(global, v) {
-                    continue; // down nodes hear nothing
+
+            // Accumulate heard/collided word-wise: a word's second energy
+            // is exactly `already-heard AND row`, so the one/many lattice
+            // needs two ops per word (bitmap rows) or per edge (CSR rows).
+            {
+                let hw = heard.words_mut();
+                let cw = collided.words_mut();
+                for &(u, _) in active.iter() {
+                    if let Some(row) = dense.adj.row(u) {
+                        for (wi, &rw) in row.iter().enumerate() {
+                            let h = hw[wi];
+                            cw[wi] |= h & rw;
+                            hw[wi] = h | rw;
+                        }
+                    } else {
+                        for &v in graph.neighbors(u) {
+                            let vi = v as usize;
+                            let mask = 1u64 << (vi & 63);
+                            let wi = vi >> 6;
+                            let h = hw[wi];
+                            cw[wi] |= h & mask;
+                            hw[wi] = h | mask;
+                        }
+                    }
                 }
             }
-            if !collided.contains(vi) {
-                let (_, tag) = active[hear_from[vi] as usize];
+
+            // Sweep the heard words in ascending node order: rebuild the
+            // touched list, count collisions, and resolve each uniquely
+            // heard listener's transmitter from its own adjacency row (the
+            // single neighbor with a `tx` bit). Deliveries are emitted
+            // sorted by (active index, listener): in the reference path a
+            // uniquely heard listener is touched first — and only — by its
+            // unique transmitter, so its delivery order is exactly active
+            // index asc, then neighbor (= listener id) asc.
+            dense.deliveries.clear();
+            let tw = tx_bits.words();
+            for (wi, &hword) in heard.words().iter().enumerate() {
+                if hword == 0 {
+                    continue;
+                }
+                let cword = collided.words()[wi];
+                let tword = tw[wi];
+                let mut rest = hword;
+                while rest != 0 {
+                    let bit = rest & rest.wrapping_neg();
+                    rest ^= bit;
+                    let vi = (wi << 6) | bit.trailing_zeros() as usize;
+                    let v = vi as NodeId;
+                    self.touched.push(v);
+                    if tword & bit != 0 {
+                        continue; // transmitters cannot listen
+                    }
+                    if let Some(f) = &faults {
+                        if crashed.contains(vi) || f.is_dropped(global, v) {
+                            continue; // down nodes hear nothing
+                        }
+                    }
+                    if cword & bit != 0 {
+                        self.metrics.collisions += 1;
+                    } else {
+                        let u = match dense.adj.row(v) {
+                            Some(row) => {
+                                row.iter().zip(tw).enumerate().find_map(|(rwi, (&rw, &twd))| {
+                                    let x = rw & twd;
+                                    (x != 0).then(|| {
+                                        ((rwi << 6) + x.trailing_zeros() as usize) as NodeId
+                                    })
+                                })
+                            }
+                            None => graph
+                                .neighbors(v)
+                                .iter()
+                                .copied()
+                                .find(|&u| tx_bits.contains(u as usize)),
+                        }
+                        .expect("uniquely heard listener has a transmitting neighbor");
+                        dense.deliveries.push((dense.aidx[u as usize], v));
+                    }
+                }
+            }
+            dense.deliveries.sort_unstable();
+            for &(ai, v) in &dense.deliveries {
+                let (_, tag) = active[ai as usize];
                 if tag == NOISE_TAG {
                     continue; // a uniquely heard noise burst is garbage
                 }
                 let (from, msg) = &tx.entries()[tag as usize];
                 protocol.deliver(local, v, *from, msg);
                 self.metrics.deliveries += 1;
-                if let Some(t) = &mut self.trace {
-                    t.push(global, Event::Receive { node: v, from: *from });
+            }
+        } else {
+            // Mark what every potential listener hears: first energy sets
+            // `heard` and records the source, any further energy sets
+            // `collided`. (`hear_count` is only ever compared against 1, so
+            // a two-bitset one/many lattice replaces the count vector.)
+            for (ai, &(u, _)) in active.iter().enumerate() {
+                for &v in graph.neighbors(u) {
+                    let vi = v as usize;
+                    if heard.set(vi) {
+                        hear_from[vi] = ai as u32;
+                        self.touched.push(v);
+                    } else {
+                        collided.set(vi);
+                    }
                 }
-            } else {
-                self.metrics.collisions += 1;
-                if let Some(t) = &mut self.trace {
-                    t.push(global, Event::Collision { node: v });
+            }
+
+            // Deliver / report collisions to listeners.
+            for i in 0..self.touched.len() {
+                let v = self.touched[i];
+                let vi = v as usize;
+                if tx_bits.contains(vi) {
+                    continue; // transmitters cannot listen
                 }
-                if self.model == CollisionModel::CollisionDetection {
-                    protocol.collision(local, v);
+                if let Some(f) = &faults {
+                    if crashed.contains(vi) || f.is_dropped(global, v) {
+                        continue; // down nodes hear nothing
+                    }
+                }
+                if !collided.contains(vi) {
+                    let (_, tag) = active[hear_from[vi] as usize];
+                    if tag == NOISE_TAG {
+                        continue; // a uniquely heard noise burst is garbage
+                    }
+                    let (from, msg) = &tx.entries()[tag as usize];
+                    protocol.deliver(local, v, *from, msg);
+                    self.metrics.deliveries += 1;
+                    if let Some(t) = &mut self.trace {
+                        t.push(global, Event::Receive { node: v, from: *from });
+                    }
+                } else {
+                    self.metrics.collisions += 1;
+                    if let Some(t) = &mut self.trace {
+                        t.push(global, Event::Collision { node: v });
+                    }
+                    if self.model == CollisionModel::CollisionDetection {
+                        protocol.collision(local, v);
+                    }
                 }
             }
         }
+
+        protocol.round_end(
+            local,
+            &RoundView {
+                inner: ViewInner::Frontier {
+                    heard: &*heard,
+                    collided: &*collided,
+                    tx: &*tx_bits,
+                    crashed: &*crashed,
+                },
+                frontier: &self.touched,
+                faults: faults.as_ref(),
+                round: global,
+            },
+        );
 
         // Sparse clears: the set bits are exactly the active and touched
         // lists, so resetting costs activity, not `n`.
@@ -983,6 +1275,23 @@ mod tests {
         assert_eq!(sim.mode(), EngineMode::Frontier, "outer scope restored");
     }
 
+    #[test]
+    fn process_default_setter_freezes_and_names_parse() {
+        // The tests run with RN_ENGINE_MODE unset, so the process default
+        // resolves to Frontier (here or in whichever test ran first);
+        // re-pinning the same mode is fine, contradicting it reports the
+        // frozen value instead of racing.
+        assert_eq!(EngineMode::default_mode(), EngineMode::Frontier);
+        assert_eq!(EngineMode::set_process_default(EngineMode::Frontier), Ok(()));
+        assert_eq!(
+            EngineMode::set_process_default(EngineMode::Reference),
+            Err(EngineMode::Frontier)
+        );
+        assert_eq!(EngineMode::parse_name("reference"), Ok(EngineMode::Reference));
+        assert_eq!(EngineMode::parse_name("Frontier"), Ok(EngineMode::Frontier));
+        assert!(EngineMode::parse_name("fast").is_err());
+    }
+
     /// Wraps a protocol and logs every engine callback in order — the
     /// differential tests compare these logs, which pins not just the
     /// totals but the exact sequence of protocol calls both modes make.
@@ -1035,11 +1344,16 @@ mod tests {
         // same stats AND the same per-node delivery log (which pins the
         // protocol-call order, not just the totals). Swept over topologies,
         // both collision models, and every fault axis.
+        // `complete(8)` / `complete(40)` floods cross the sparse↔dense
+        // dispatch boundary mid-run (round 0 is below the degree-sum
+        // trigger, the all-informed rounds are far above it), so this sweep
+        // also pins the dense kernel against the reference path.
         let graphs = [
             generators::path(16),
             generators::star(12),
             generators::grid(5, 5),
             generators::complete(8),
+            generators::complete(40),
         ];
         type PlanFn = fn(usize, u64) -> FaultSchedule;
         let plans: [Option<PlanFn>; 4] = [
@@ -1058,6 +1372,142 @@ mod tests {
                             flood_trial(EngineMode::Reference, g, model, faults.clone(), seed, 48);
                         let b = flood_trial(EngineMode::Frontier, g, model, faults, seed, 48);
                         assert_eq!(a, b, "mode divergence: n={} {model:?} seed={seed}", g.n());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dense_kernel_engages_and_matches_reference() {
+        // A flood on complete(64): round 0 has one transmitter (degree sum
+        // 63 < 64 — sparse), round 1 has 63 (degree sum ≫ n — dense). The
+        // frontier run must both *use* the dense kernel (the scratch is
+        // built lazily, so its existence proves dispatch happened) and stay
+        // identical to the reference engine.
+        let g = generators::complete(64);
+        let a = flood_trial(
+            EngineMode::Reference,
+            &g,
+            CollisionModel::NoCollisionDetection,
+            None,
+            1,
+            16,
+        );
+        let mut sim = Simulator::with_mode(
+            &g,
+            CollisionModel::NoCollisionDetection,
+            1,
+            None,
+            EngineMode::Frontier,
+        );
+        let mut p = Recorder { inner: crate::testing::NaiveFlood::new(g.n(), 0), log: Vec::new() };
+        let stats = sim.run(&mut p, 16);
+        assert!(sim.dense.is_some(), "degree-sum trigger must engage the dense kernel");
+        assert_eq!(a, (stats, p.log, p.inner.informed_count()));
+    }
+
+    #[test]
+    fn dense_kernel_skips_cd_and_traced_rounds() {
+        // The dense kernel only covers plain-delivery rounds: under CD or
+        // with tracing enabled the per-edge path must keep running (its
+        // callback/trace interleaving is the specification).
+        let g = generators::complete(64);
+        let mut sim = Simulator::with_mode(
+            &g,
+            CollisionModel::CollisionDetection,
+            1,
+            None,
+            EngineMode::Frontier,
+        );
+        let mut p = crate::testing::NaiveFlood::new(g.n(), 0);
+        sim.run(&mut p, 16);
+        assert!(sim.dense.is_none(), "CD rounds stay on the sparse path");
+        let mut sim = Simulator::with_mode(
+            &g,
+            CollisionModel::NoCollisionDetection,
+            1,
+            None,
+            EngineMode::Frontier,
+        );
+        sim.enable_trace(64);
+        let mut p = crate::testing::NaiveFlood::new(g.n(), 0);
+        sim.run(&mut p, 16);
+        assert!(sim.dense.is_none(), "traced rounds stay on the sparse path");
+    }
+
+    /// Per-node (heard, collided, transmitted, down) snapshot of one round.
+    type NodeBits = Vec<(bool, bool, bool, bool)>;
+
+    /// Logs everything a [`RoundView`] exposes at every round end.
+    struct RoundEndProbe<P> {
+        inner: P,
+        n: usize,
+        log: Vec<(Round, Vec<NodeId>, NodeBits)>,
+    }
+
+    impl<P: Protocol<Msg = u64>> Protocol for RoundEndProbe<P> {
+        type Msg = u64;
+
+        fn transmit(&mut self, round: Round, tx: &mut TxBuf<u64>) {
+            self.inner.transmit(round, tx);
+        }
+
+        fn deliver(&mut self, round: Round, node: NodeId, from: NodeId, msg: &u64) {
+            self.inner.deliver(round, node, from, msg);
+        }
+
+        fn collision(&mut self, round: Round, node: NodeId) {
+            self.inner.collision(round, node);
+        }
+
+        fn round_end(&mut self, round: Round, view: &RoundView<'_>) {
+            let mut frontier = view.frontier().to_vec();
+            frontier.sort_unstable();
+            let bits = (0..self.n as NodeId)
+                .map(|v| (view.heard(v), view.collided(v), view.transmitted(v), view.down(v)))
+                .collect();
+            self.log.push((round, frontier, bits));
+        }
+    }
+
+    #[test]
+    fn round_end_view_is_identical_across_modes_and_kernels() {
+        // Every query the RoundView answers must agree bit for bit between
+        // the stamp path, the bitset path, and the dense kernel — including
+        // under jam/drop/crash faults. The probe also cross-checks the
+        // frontier against the per-node heard bits.
+        let graphs = [generators::path(12), generators::star(10), generators::complete(24)];
+        type PlanFn = fn(usize, u64) -> FaultSchedule;
+        let plans: [Option<PlanFn>; 2] =
+            [None, Some(|n, s| FaultSchedule::new(n, vec![0], 0.4, 0.2, 0.05, s))];
+        for g in &graphs {
+            for model in [CollisionModel::NoCollisionDetection, CollisionModel::CollisionDetection]
+            {
+                for plan in &plans {
+                    for seed in 0..2u64 {
+                        let run = |mode: EngineMode| {
+                            let faults = plan.map(|mk| mk(g.n(), seed + 5));
+                            let mut sim = Simulator::with_mode(g, model, seed, faults, mode);
+                            let mut p = RoundEndProbe {
+                                inner: crate::testing::NaiveFlood::new(g.n(), 0),
+                                n: g.n(),
+                                log: Vec::new(),
+                            };
+                            sim.run(&mut p, 24);
+                            p.log
+                        };
+                        let reference = run(EngineMode::Reference);
+                        let frontier = run(EngineMode::Frontier);
+                        assert_eq!(reference.len(), 24, "round_end fires every round");
+                        for (r, f) in reference.iter().zip(&frontier) {
+                            assert_eq!(r, f, "view divergence: n={} {model:?} seed={seed}", g.n());
+                        }
+                        for (_, front, bits) in &reference {
+                            let heard: Vec<NodeId> =
+                                (0..g.n() as NodeId).filter(|&v| bits[v as usize].0).collect();
+                            assert_eq!(front, &heard, "frontier == heard set");
+                        }
                     }
                 }
             }

@@ -60,11 +60,13 @@ pub mod rng;
 mod runnable;
 pub mod testing;
 mod trace;
+mod values;
 
 pub use bitset::WordBitset;
 pub use combinators::{Either, Faulty, Interleave, Jammer, Noise};
 pub use engine::{
-    with_default_engine_mode, CollisionModel, EngineMode, Metrics, RunOutcome, RunStats, Simulator,
+    with_default_engine_mode, CollisionModel, EngineMode, Metrics, RoundView, RunOutcome, RunStats,
+    Simulator,
 };
 pub use family::{OverrideClass, OverrideSpec, ParsedArgs, ProtocolFamily};
 pub use faults::{FaultError, FaultPlan, FaultSchedule};
@@ -72,3 +74,4 @@ pub use params::NetParams;
 pub use protocol::{Protocol, Round, TxBuf};
 pub use runnable::{Runnable, TrialRecord};
 pub use trace::{Event, Trace};
+pub use values::NodeValues;

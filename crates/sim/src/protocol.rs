@@ -1,3 +1,4 @@
+use crate::engine::RoundView;
 use rn_graph::NodeId;
 
 /// A simulation round number (0-based).
@@ -91,6 +92,23 @@ pub trait Protocol {
     /// collisions are indistinguishable from silence and nothing is called.
     fn collision(&mut self, _round: Round, _node: NodeId) {}
 
+    /// End-of-round hook: called once per round after every
+    /// [`Protocol::deliver`] / [`Protocol::collision`] of that round, with a
+    /// read-only [`RoundView`] of the channel outcome — per-node
+    /// heard/collided/transmitted/down bits plus the round's frontier (the
+    /// nodes that heard energy). Both engine modes call it identically.
+    ///
+    /// This is the seam for *frontier-native* protocol state: a protocol
+    /// keeping its per-node state as struct-of-arrays vectors + bitsets can
+    /// advance bookkeeping by walking [`RoundView::frontier`] (cost
+    /// proportional to the round's activity) instead of scanning all `n`
+    /// nodes. The default is a no-op.
+    ///
+    /// Model discipline still applies: the view only exposes what nodes
+    /// could observe locally (their own channel outcome), aggregated for the
+    /// whole network the same way `deliver` already is.
+    fn round_end(&mut self, _round: Round, _view: &RoundView<'_>) {}
+
     /// Optional early-termination signal, polled once per round before
     /// [`Protocol::transmit`]. Most radio protocols cannot detect their own
     /// completion (that is part of the model!) and keep the default `false`,
@@ -115,6 +133,10 @@ impl<P: Protocol + ?Sized> Protocol for &mut P {
 
     fn collision(&mut self, round: Round, node: NodeId) {
         (**self).collision(round, node)
+    }
+
+    fn round_end(&mut self, round: Round, view: &RoundView<'_>) {
+        (**self).round_end(round, view)
     }
 
     fn done(&self, round: Round) -> bool {

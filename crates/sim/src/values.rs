@@ -1,0 +1,168 @@
+//! Frontier-native per-node value state for broadcast-style protocols.
+//!
+//! The recurring protocol-state shape in this workspace is "each node either
+//! knows nothing or knows a `u64` it max-merges on reception". The obvious
+//! layout, `Vec<Option<u64>>`, costs 16 bytes per node and a branchy
+//! discriminant read on the deliver hot path. [`NodeValues`] is the
+//! struct-of-arrays form: an `informed` [`WordBitset`] (one bit per node)
+//! over a plain `Vec<u64>` of values — membership queries stay in cache at
+//! `10⁵`–`10⁶` nodes, and the value vector is only touched for informed
+//! nodes. See the README's "protocol state layout" notes for how family
+//! authors combine this with [`crate::RoundView`].
+
+use crate::bitset::WordBitset;
+use rn_graph::NodeId;
+
+/// An informed-set bitset over a dense value array: `get`/`merge_max`
+/// behave exactly like a `Vec<Option<u64>>` with max-merge semantics, laid
+/// out for the deliver hot path.
+///
+/// # Example
+///
+/// ```
+/// use rn_sim::NodeValues;
+///
+/// let mut vals = NodeValues::new(10);
+/// assert!(vals.merge_max(3, 7), "first value informs the node");
+/// assert!(!vals.merge_max(3, 5), "smaller values are absorbed");
+/// assert_eq!(vals.get(3), Some(7));
+/// assert_eq!(vals.get(4), None);
+/// assert_eq!(vals.informed_count(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct NodeValues {
+    informed: WordBitset,
+    val: Vec<u64>,
+    count: usize,
+}
+
+impl NodeValues {
+    /// All-uninformed state for `n` nodes.
+    pub fn new(n: usize) -> NodeValues {
+        NodeValues { informed: WordBitset::new(n), val: vec![0; n], count: 0 }
+    }
+
+    /// Number of nodes tracked.
+    pub fn len(&self) -> usize {
+        self.val.len()
+    }
+
+    /// Whether the node count is zero.
+    pub fn is_empty(&self) -> bool {
+        self.val.is_empty()
+    }
+
+    /// The value `node` knows, or `None` if uninformed.
+    #[inline]
+    pub fn get(&self, node: NodeId) -> Option<u64> {
+        self.informed.contains(node as usize).then(|| self.val[node as usize])
+    }
+
+    /// Whether `node` knows a value.
+    #[inline]
+    pub fn is_informed(&self, node: NodeId) -> bool {
+        self.informed.contains(node as usize)
+    }
+
+    /// Max-merges `value` into `node`'s knowledge; returns `true` iff the
+    /// node was newly informed (callers push onto their own informed list
+    /// on `true`, preserving their coin-index discipline).
+    #[inline]
+    pub fn merge_max(&mut self, node: NodeId, value: u64) -> bool {
+        let vi = node as usize;
+        if self.informed.set(vi) {
+            self.val[vi] = value;
+            self.count += 1;
+            true
+        } else {
+            if value > self.val[vi] {
+                self.val[vi] = value;
+            }
+            false
+        }
+    }
+
+    /// Number of informed nodes.
+    #[inline]
+    pub fn informed_count(&self) -> usize {
+        self.count
+    }
+
+    /// Whether every node is informed.
+    pub fn all_informed(&self) -> bool {
+        self.count == self.val.len()
+    }
+
+    /// Whether every node is informed *and* knows a value `>= target` (the
+    /// multi-source completion oracle: all nodes converged to the max).
+    pub fn all_know_at_least(&self, target: u64) -> bool {
+        self.all_informed() && self.val.iter().all(|&v| v >= target)
+    }
+
+    /// The informed set as a bitset (for word-level observers).
+    pub fn informed(&self) -> &WordBitset {
+        &self.informed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn behaves_like_option_vec_with_max_merge() {
+        let mut soa = NodeValues::new(50);
+        let mut reference: Vec<Option<u64>> = vec![None; 50];
+        // A little deterministic churn covering inform / absorb / raise.
+        for step in 0..200u64 {
+            let node = ((step * 7) % 50) as NodeId;
+            let value = (step * 13) % 40;
+            let newly = soa.merge_max(node, value);
+            let slot = &mut reference[node as usize];
+            match slot {
+                None => {
+                    assert!(newly);
+                    *slot = Some(value);
+                }
+                Some(old) => {
+                    assert!(!newly);
+                    if value > *old {
+                        *old = value;
+                    }
+                }
+            }
+        }
+        for v in 0..50u32 {
+            assert_eq!(soa.get(v), reference[v as usize], "node {v}");
+            assert_eq!(soa.is_informed(v), reference[v as usize].is_some());
+        }
+        assert_eq!(soa.informed_count(), reference.iter().flatten().count());
+        assert_eq!(soa.informed().count_ones(), soa.informed_count());
+    }
+
+    #[test]
+    fn completion_oracles() {
+        let mut vals = NodeValues::new(3);
+        assert!(!vals.all_informed());
+        assert_eq!(vals.len(), 3);
+        assert!(!vals.is_empty());
+        for v in 0..3 {
+            vals.merge_max(v, 2);
+        }
+        assert!(vals.all_informed());
+        assert!(vals.all_know_at_least(2));
+        assert!(!vals.all_know_at_least(3));
+        vals.merge_max(1, 9);
+        assert!(!vals.all_know_at_least(3), "only node 1 knows 9");
+        assert!(vals.all_know_at_least(2));
+    }
+
+    #[test]
+    fn zero_is_a_real_value_not_uninformed() {
+        let mut vals = NodeValues::new(2);
+        assert!(vals.merge_max(0, 0), "informing with value 0 works");
+        assert_eq!(vals.get(0), Some(0));
+        assert!(vals.get(1).is_none());
+        assert!(!vals.all_informed());
+    }
+}
