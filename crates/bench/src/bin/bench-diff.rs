@@ -4,7 +4,7 @@
 //! Usage:
 //!
 //! ```text
-//! bench-diff [--sigma N] [--gate-time PCT] BASELINE.json NEW.json
+//! bench-diff [--sigma N] [--gate-p95 PCT] [--gate-time PCT] BASELINE.json NEW.json
 //! ```
 //!
 //! Prints a markdown report to stdout. Exit codes: `0` — no regressions
@@ -13,18 +13,21 @@
 //! `2` — usage or I/O error. The noise band is
 //! `sigma · sqrt(s_a²/t_a + s_b²/t_b)` per cell, from the files' recorded
 //! `stddev` and trial counts (see `rn_bench::diff`). By default the
-//! `elapsed_ms` column is informational only; `--gate-time PCT` opts into
-//! failing cells whose wall-clock grew by more than `PCT` percent (for the
-//! scale lane, where machine and scenario are pinned — cells missing the
-//! field on either side are never time-gated). CI runs this against the
-//! committed `benchmarks/baseline_smoke.json`.
+//! rounds-p50/p95 and `elapsed_ms` columns are informational only:
+//! `--gate-p95 PCT` opts into failing cells whose rounds p95 — the paper's
+//! w.h.p. tail, the production metric — grew by more than `PCT` percent,
+//! and `--gate-time PCT` does the same for wall-clock (for the scale lane,
+//! where machine and scenario are pinned). Cells missing the respective
+//! field on either side (e.g. pre-quantile baselines) are never gated on
+//! it. CI runs this against the committed `benchmarks/baseline_smoke.json`.
 
 use rn_bench::diff::DEFAULT_SIGMA;
-use rn_bench::{diff_results_gated, Json};
+use rn_bench::{diff_results_with, DiffOptions, Json};
 
 fn main() {
     let mut sigma = DEFAULT_SIGMA;
     let mut gate_time: Option<f64> = None;
+    let mut gate_p95: Option<f64> = None;
     let mut files: Vec<String> = Vec::new();
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let mut it = raw.iter();
@@ -47,6 +50,15 @@ fn main() {
                         .unwrap_or_else(|| usage("--gate-time takes a non-negative percentage")),
                 );
             }
+            "--gate-p95" => {
+                let v = it.next().unwrap_or_else(|| usage("missing value for --gate-p95"));
+                gate_p95 = Some(
+                    v.parse::<f64>()
+                        .ok()
+                        .filter(|p| p.is_finite() && *p >= 0.0)
+                        .unwrap_or_else(|| usage("--gate-p95 takes a non-negative percentage")),
+                );
+            }
             other if !other.starts_with('-') => files.push(other.to_string()),
             other => usage(&format!("unexpected argument {other:?}")),
         }
@@ -57,7 +69,8 @@ fn main() {
 
     let base = load(base_path);
     let new = load(new_path);
-    let report = diff_results_gated(&base, &new, sigma, gate_time).unwrap_or_else(|e| {
+    let options = DiffOptions { sigma, time_gate_pct: gate_time, p95_gate_pct: gate_p95 };
+    let report = diff_results_with(&base, &new, options).unwrap_or_else(|e| {
         eprintln!("error: {e}");
         std::process::exit(2);
     });
@@ -80,6 +93,8 @@ fn load(path: &str) -> Json {
 
 fn usage(err: &str) -> ! {
     eprintln!("error: {err}");
-    eprintln!("usage: bench-diff [--sigma N] [--gate-time PCT] BASELINE.json NEW.json");
+    eprintln!(
+        "usage: bench-diff [--sigma N] [--gate-p95 PCT] [--gate-time PCT] BASELINE.json NEW.json"
+    );
     std::process::exit(2);
 }

@@ -27,6 +27,8 @@ use crate::harness::Table;
 use crate::json::Json;
 use crate::registry::{model_name, ProtocolSpec, ScenarioSpec};
 use crate::sink::MemorySink;
+pub use crate::stats::CellStats;
+use crate::stats::TrialAccumulator;
 use rn_graph::TopologySpec;
 use rn_sim::{rng, CollisionModel, FaultPlan, NetParams, TrialRecord};
 
@@ -239,64 +241,6 @@ pub struct CellSpec {
     pub cell_seed: u64,
 }
 
-/// Mean/min/max/stddev summary of one per-trial quantity, computed in a
-/// single pass (Welford's algorithm for the moments — numerically stable
-/// even when the mean is large and the spread small, unlike the naive
-/// sum-of-squares form).
-///
-/// `stddev` is the *sample* standard deviation (`n-1` denominator; `0` for
-/// fewer than two trials) — the additive `"stddev"` field of the
-/// `rn-bench-results/v1` schema that `bench-diff` derives its noise band
-/// from.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct CellStats {
-    /// Mean over trials.
-    pub mean: f64,
-    /// Minimum over trials.
-    pub min: u64,
-    /// Maximum over trials.
-    pub max: u64,
-    /// Sample standard deviation over trials (0 when trials < 2).
-    pub stddev: f64,
-}
-
-impl CellStats {
-    /// Accumulates all four statistics in one pass over `values`, in
-    /// iteration order. (The previous implementation cloned the iterator for
-    /// three separate passes and allocated a scratch `Vec<f64>` per quantity
-    /// per cell.)
-    pub fn over(values: impl IntoIterator<Item = u64>) -> CellStats {
-        let mut count = 0u64;
-        let mut mean = 0.0f64;
-        let mut m2 = 0.0f64;
-        let mut min = u64::MAX;
-        let mut max = 0u64;
-        for v in values {
-            count += 1;
-            let x = v as f64;
-            let delta = x - mean;
-            mean += delta / count as f64;
-            m2 += delta * (x - mean);
-            min = min.min(v);
-            max = max.max(v);
-        }
-        if count == 0 {
-            return CellStats { mean: 0.0, min: 0, max: 0, stddev: 0.0 };
-        }
-        let stddev = if count > 1 { (m2 / (count - 1) as f64).max(0.0).sqrt() } else { 0.0 };
-        CellStats { mean, min, max, stddev }
-    }
-
-    fn to_json(self) -> Json {
-        Json::obj(vec![
-            ("mean", Json::Num(self.mean)),
-            ("min", Json::UInt(self.min)),
-            ("max", Json::UInt(self.max)),
-            ("stddev", Json::Num(self.stddev)),
-        ])
-    }
-}
-
 /// Aggregated outcome of one campaign cell.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CellResult {
@@ -318,24 +262,68 @@ pub struct CellResult {
     pub completed: u64,
     /// Rounds per trial (including charged precomputation).
     pub rounds: CellStats,
-    /// Successful receptions per trial.
+    /// Successful receptions per trial. Meaningful only when
+    /// [`CellResult::metrics_present`].
     pub deliveries: CellStats,
-    /// Listener-side collisions per trial.
+    /// Listener-side collisions per trial. Meaningful only when
+    /// [`CellResult::metrics_present`].
     pub collisions: CellStats,
-    /// Node transmissions per trial.
+    /// Node transmissions per trial. Meaningful only when
+    /// [`CellResult::metrics_present`].
     pub transmissions: CellStats,
+    /// Whether the channel-metric distributions are real samples. `false`
+    /// for rounds-only scenarios (e.g. `binsearch_le`), whose records carry
+    /// zeroed placeholder [`rn_sim::Metrics`] — those cells omit the three
+    /// metric objects from JSON and render `-` in tables instead of
+    /// reporting fake 0-means. Also `false` for empty (zero-trial) cells.
+    pub metrics_present: bool,
     /// Total wall-clock spent running this cell's trials, in milliseconds,
     /// summed over workers (so it measures CPU-time-like cost, not
     /// end-to-end latency). `None` unless the run opted into timing
     /// ([`crate::executor::ExecOptions::timing`]): wall-clock is
     /// machine-dependent, so it must stay out of byte-pinned baselines.
     pub elapsed_ms: Option<u64>,
+    /// Per-trial wall-clock distribution in milliseconds — the tail view of
+    /// [`CellResult::elapsed_ms`]. `None` unless the run opted into timing,
+    /// for the same byte-stability reason.
+    pub trial_elapsed_ms: Option<CellStats>,
 }
 
 impl CellResult {
-    /// Aggregates one cell's trial records (in trial order — the statistics
-    /// are order-sensitive in floating point, so the executor always hands
-    /// records over sorted by trial index).
+    /// Assembles the cell from a completed [`TrialAccumulator`] — the
+    /// executor's streaming path. Timing annotations come from the
+    /// accumulator itself (populated only when it was constructed timed).
+    pub(crate) fn from_accum(
+        topology: String,
+        protocol: String,
+        model: CollisionModel,
+        faults: FaultPlan,
+        net: NetParams,
+        acc: &TrialAccumulator,
+    ) -> CellResult {
+        CellResult {
+            topology,
+            protocol,
+            model: model_name(model),
+            faults: faults.to_string(),
+            n: net.n(),
+            diameter: net.diameter(),
+            trials: acc.folded(),
+            completed: acc.completed(),
+            rounds: acc.rounds_stats(),
+            deliveries: acc.deliveries_stats(),
+            collisions: acc.collisions_stats(),
+            transmissions: acc.transmissions_stats(),
+            metrics_present: acc.metrics_present(),
+            elapsed_ms: acc.elapsed_ms(),
+            trial_elapsed_ms: acc.trial_elapsed_stats(),
+        }
+    }
+
+    /// Aggregates one cell's trial records in slice (= trial) order — the
+    /// convenience path for pre-collected records (zero-trial cells, tests).
+    /// Statistically identical to folding the same records through
+    /// [`TrialAccumulator`] one at a time.
     pub(crate) fn aggregate(
         topology: String,
         protocol: String,
@@ -345,21 +333,13 @@ impl CellResult {
         records: &[TrialRecord],
         elapsed_ms: Option<u64>,
     ) -> CellResult {
-        CellResult {
-            topology,
-            protocol,
-            model: model_name(model),
-            faults: faults.to_string(),
-            n: net.n(),
-            diameter: net.diameter(),
-            trials: records.len() as u64,
-            completed: records.iter().filter(|r| r.completed).count() as u64,
-            rounds: CellStats::over(records.iter().map(|r| r.rounds)),
-            deliveries: CellStats::over(records.iter().map(|r| r.metrics.deliveries)),
-            collisions: CellStats::over(records.iter().map(|r| r.metrics.collisions)),
-            transmissions: CellStats::over(records.iter().map(|r| r.metrics.transmissions)),
-            elapsed_ms,
+        let mut acc = TrialAccumulator::new(records.len() as u64, false);
+        for (i, r) in records.iter().enumerate() {
+            acc.push(i as u64, *r, None);
         }
+        let mut cell = CellResult::from_accum(topology, protocol, model, faults, net, &acc);
+        cell.elapsed_ms = elapsed_ms;
+        cell
     }
 
     /// The cell's JSON record (one element of the results file's `cells`
@@ -375,15 +355,23 @@ impl CellResult {
             ("trials", Json::UInt(self.trials)),
             ("completed", Json::UInt(self.completed)),
             ("rounds", self.rounds.to_json()),
-            ("deliveries", self.deliveries.to_json()),
-            ("collisions", self.collisions.to_json()),
-            ("transmissions", self.transmissions.to_json()),
         ];
-        // Additive v1 field, emitted only on timed runs: untimed documents
+        // The channel-metric trio is emitted only when the records carried
+        // real simulator metrics: rounds-only cells would otherwise report
+        // fabricated all-zero distributions.
+        if self.metrics_present {
+            fields.push(("deliveries", self.deliveries.to_json()));
+            fields.push(("collisions", self.collisions.to_json()));
+            fields.push(("transmissions", self.transmissions.to_json()));
+        }
+        // Additive v1 fields, emitted only on timed runs: untimed documents
         // (including the committed byte-pinned baselines) stay bit-for-bit
-        // unchanged.
+        // unchanged run to run.
         if let Some(ms) = self.elapsed_ms {
             fields.push(("elapsed_ms", Json::UInt(ms)));
+        }
+        if let Some(dist) = self.trial_elapsed_ms {
+            fields.push(("trial_elapsed_ms", dist.to_json()));
         }
         Json::obj(fields)
     }
@@ -420,12 +408,22 @@ impl CampaignResult {
                 "D",
                 "ok",
                 "rounds mean",
+                "rounds p50/p95/p99",
                 "rounds min..max",
                 "deliveries",
                 "collisions",
             ],
         );
         for c in &self.cells {
+            // Channel-metric columns are dashes for rounds-only cells: their
+            // zeroed Metrics are placeholders, not samples.
+            let metric = |s: &CellStats| {
+                if c.metrics_present {
+                    format!("{:.0}", s.mean)
+                } else {
+                    "-".to_string()
+                }
+            };
             t.row(&[
                 c.topology.clone(),
                 c.protocol.clone(),
@@ -435,14 +433,15 @@ impl CampaignResult {
                 c.diameter.to_string(),
                 format!("{}/{}", c.completed, c.trials),
                 format!("{:.1}", c.rounds.mean),
+                format!("{:.1}/{:.1}/{:.1}", c.rounds.p50, c.rounds.p95, c.rounds.p99),
                 format!("{}..{}", c.rounds.min, c.rounds.max),
-                format!("{:.0}", c.deliveries.mean),
-                format!("{:.0}", c.collisions.mean),
+                metric(&c.deliveries),
+                metric(&c.collisions),
             ]);
         }
         t.note(format!(
             "Machine-readable form: schema {RESULTS_SCHEMA}; reproduce any cell with \
-             --seed {}.",
+             --seed {}. Quantiles are streaming P² estimates (exact for ≤ 5 trials).",
             self.master_seed
         ));
         t
@@ -502,19 +501,48 @@ pub fn validate_results(doc: &Json) -> Result<String, String> {
         if let Some(ms) = cell.get("elapsed_ms") {
             ms.as_u64().ok_or(format!("cell {i}: elapsed_ms must be an integer"))?;
         }
-        for key in ["rounds", "deliveries", "collisions", "transmissions"] {
-            let stats = cell.get(key).ok_or(format!("cell {i}: missing stats field {key:?}"))?;
+        let check_stats = |key: &str, stats: &Json| -> Result<(), String> {
             for sub in ["mean", "min", "max"] {
                 stats
                     .get(sub)
                     .and_then(Json::as_f64)
                     .ok_or(format!("cell {i}: {key}.{sub} missing or non-numeric"))?;
             }
-            // Additive v1 field: absent in pre-stddev files, numeric when
-            // present (bench-diff falls back to a zero band without it).
-            if let Some(sd) = stats.get("stddev") {
-                sd.as_f64().ok_or(format!("cell {i}: {key}.stddev must be numeric"))?;
+            // Additive v1 fields: stddev predates the quantiles, and both
+            // generations of old files must keep validating — bench-diff
+            // falls back to a zero band / ungated quantiles without them.
+            for sub in ["stddev", "p50", "p95", "p99"] {
+                if let Some(v) = stats.get(sub) {
+                    v.as_f64().ok_or(format!("cell {i}: {key}.{sub} must be numeric"))?;
+                }
             }
+            Ok(())
+        };
+        check_stats(
+            "rounds",
+            cell.get("rounds").ok_or(format!("cell {i}: missing stats field \"rounds\""))?,
+        )?;
+        // The channel-metric trio is all-or-nothing: rounds-only cells omit
+        // all three (their Metrics are placeholders); packet-level cells
+        // carry all three.
+        let metric_keys = ["deliveries", "collisions", "transmissions"];
+        let present = metric_keys.iter().filter(|k| cell.get(k).is_some()).count();
+        if present != 0 && present != metric_keys.len() {
+            return Err(format!(
+                "cell {i}: channel metrics must be all present or all absent \
+                 ({present} of {} found)",
+                metric_keys.len()
+            ));
+        }
+        for key in metric_keys {
+            if let Some(stats) = cell.get(key) {
+                check_stats(key, stats)?;
+            }
+        }
+        // Additive v1 field: the per-trial wall-clock distribution of timed
+        // runs.
+        if let Some(stats) = cell.get("trial_elapsed_ms") {
+            check_stats("trial_elapsed_ms", stats)?;
         }
     }
     Ok(format!("{id}: {} cell(s), schema {RESULTS_SCHEMA}", cells.len()))
@@ -664,48 +692,68 @@ mod tests {
     }
 
     #[test]
-    fn cell_stats_single_pass_matches_the_naive_computation() {
-        // Regression for the 3-pass + Vec<f64> CellStats::over: one pass
-        // over a large synthetic trial set must reproduce the naive mean and
-        // the definitional sample stddev. Values sit on a large offset with
-        // a small spread — the regime where a sum-of-squares shortcut
-        // catastrophically cancels.
-        let values: Vec<u64> = (0..100_000u64).map(|i| 1_000_000 + i % 1000).collect();
-        let s = CellStats::over(values.iter().copied());
-        let naive_mean = values.iter().map(|&v| v as f64).sum::<f64>() / values.len() as f64;
-        let naive_var = values.iter().map(|&v| (v as f64 - naive_mean).powi(2)).sum::<f64>()
-            / (values.len() - 1) as f64;
-        assert!((s.mean - naive_mean).abs() < 1e-6, "mean {} vs {naive_mean}", s.mean);
-        assert!(
-            (s.stddev - naive_var.sqrt()).abs() / naive_var.sqrt() < 1e-9,
-            "stddev {} vs {}",
-            s.stddev,
-            naive_var.sqrt()
-        );
-        assert_eq!(s.min, 1_000_000);
-        assert_eq!(s.max, 1_000_999);
-        // Degenerate inputs stay well-defined.
+    fn degenerate_cell_stats_stay_well_defined() {
+        // The heavy single-pass / quantile coverage lives in crate::stats;
+        // this pins the degenerate shapes the campaign layer leans on.
         assert_eq!(
             CellStats::over(std::iter::empty()),
-            CellStats { mean: 0.0, min: 0, max: 0, stddev: 0.0 }
+            CellStats { mean: 0.0, min: 0, max: 0, stddev: 0.0, p50: 0.0, p95: 0.0, p99: 0.0 }
         );
         let one = CellStats::over([42u64]);
         assert_eq!((one.mean, one.min, one.max, one.stddev), (42.0, 42, 42, 0.0));
+        assert_eq!((one.p50, one.p95, one.p99), (42.0, 42.0, 42.0));
     }
 
     #[test]
-    fn stddev_is_recorded_in_the_json_stats() {
+    fn distribution_fields_are_recorded_in_the_json_stats() {
         let r = tiny_campaign().run(5);
         let doc = Json::parse(&r.to_json()).expect("parses");
         let cells = doc.get("cells").and_then(Json::as_arr).expect("cells");
         let rounds = cells[0].get("rounds").expect("rounds stats");
         let sd = rounds.get("stddev").and_then(Json::as_f64).expect("stddev present");
         assert!(sd >= 0.0);
-        validate_results(&doc).expect("stddev field is schema-valid");
-        // A malformed stddev is rejected.
-        let bad = r.to_json().replacen("\"stddev\":", "\"stddev\":\"x\",\"old\":", 1);
-        let doc = Json::parse(&bad).expect("parses");
-        assert!(validate_results(&doc).is_err());
+        let p50 = rounds.get("p50").and_then(Json::as_f64).expect("p50 present");
+        let p99 = rounds.get("p99").and_then(Json::as_f64).expect("p99 present");
+        let stat = |k: &str| rounds.get(k).and_then(Json::as_f64).expect("numeric");
+        assert!(stat("min") <= p50 && p50 <= p99 && p99 <= stat("max"));
+        validate_results(&doc).expect("distribution fields are schema-valid");
+        // Malformed additive fields are rejected.
+        for field in ["\"stddev\":", "\"p95\":"] {
+            let bad = r.to_json().replacen(field, &format!("{field}\"x\",\"old\":"), 1);
+            let doc = Json::parse(&bad).expect("parses");
+            assert!(validate_results(&doc).is_err(), "non-numeric {field} must fail");
+        }
+        // The table renders the percentile column for every cell.
+        let md = r.to_table().to_markdown();
+        assert!(md.contains("rounds p50/p95/p99"), "{md}");
+    }
+
+    #[test]
+    fn rounds_only_cells_omit_channel_metrics() {
+        let spec: ScenarioSpec = "binsearch_le(beep)@grid(6x6)".parse().expect("parses");
+        let r = Campaign::single(&spec, 3).run(9);
+        assert!(!r.cells[0].metrics_present, "binsearch_le accounts rounds only");
+        let json = r.to_json();
+        for key in ["deliveries", "collisions", "transmissions"] {
+            assert!(!json.contains(key), "placeholder metrics must not be serialized: {key}");
+        }
+        let doc = Json::parse(&json).expect("parses");
+        validate_results(&doc).expect("metric-less cells are schema-valid");
+        // The table shows dashes, not fabricated 0-means.
+        let md = r.to_table().to_markdown();
+        let row = md
+            .lines()
+            .find(|l| l.starts_with('|') && l.contains("binsearch_le"))
+            .expect("data row");
+        let dashes = row.split('|').filter(|cell| cell.trim() == "-").count();
+        assert_eq!(dashes, 2, "deliveries and collisions are dashes: {row}");
+        // A partially present trio is rejected (all-or-nothing).
+        let bad = json.replacen(
+            "\"rounds\":",
+            "\"collisions\":{\"mean\":0,\"min\":0,\"max\":0},\"rounds\":",
+            1,
+        );
+        assert!(validate_results(&Json::parse(&bad).expect("parses")).is_err());
     }
 
     #[test]

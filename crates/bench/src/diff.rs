@@ -18,6 +18,14 @@
 //! regression (coverage loss must fail loudly); cells only in the new run
 //! are reported informationally.
 //!
+//! Beyond the mean, matched cells also report their rounds p50/p95 tail
+//! estimates side by side (when the files carry the additive quantile
+//! fields). The tail is the paper's actual guarantee — w.h.p. round bounds
+//! — so [`DiffOptions::p95_gate_pct`] opts into failing cells whose rounds
+//! p95 grew by more than a percentage, exactly parallel to the opt-in
+//! wall-clock gate. Cells missing p95 on either side (pre-quantile files)
+//! are never p95-gated, so old baselines keep diffing gracefully.
+//!
 //! The `bench-diff` binary wraps this module: markdown report to stdout,
 //! exit code 1 when [`DiffReport::has_regressions`].
 
@@ -70,6 +78,15 @@ pub struct DiffRow {
     pub noise: f64,
     /// The verdict.
     pub status: DiffStatus,
+    /// Baseline rounds p50 (absent in pre-quantile files).
+    pub base_p50: Option<f64>,
+    /// New-run rounds p50 (absent in pre-quantile files).
+    pub new_p50: Option<f64>,
+    /// Baseline rounds p95 — informational unless
+    /// [`DiffOptions::p95_gate_pct`] opts into gating on it.
+    pub base_p95: Option<f64>,
+    /// New-run rounds p95, same default-informational status.
+    pub new_p95: Option<f64>,
     /// Baseline `elapsed_ms` annotation, when the file has one.
     /// **Informational by default** — wall-clock is machine-dependent, so
     /// it only gates when the caller opts in via [`diff_results_gated`]'s
@@ -101,6 +118,10 @@ pub struct DiffReport {
     /// this percentage count as regressed. `None` (the default) keeps
     /// elapsed time informational.
     pub time_gate_pct: Option<f64>,
+    /// Opt-in tail gate: cells whose rounds p95 grew by more than this
+    /// percentage count as regressed. `None` (the default) keeps the
+    /// quantile columns informational.
+    pub p95_gate_pct: Option<f64>,
     /// One row per cell key, in baseline order (new-only cells last).
     pub rows: Vec<DiffRow>,
 }
@@ -120,38 +141,57 @@ impl DiffReport {
 
     /// Renders the comparison as a markdown table with a verdict footnote.
     pub fn to_markdown(&self) -> String {
-        let gate =
+        let time_gate =
             self.time_gate_pct.map_or(String::new(), |pct| format!(", elapsed-ms gate +{pct}%"));
+        let p95_gate = self.p95_gate_pct.map_or(String::new(), |pct| format!(", p95 gate +{pct}%"));
         let mut t = Table::new(
             format!(
-                "bench-diff: {} → {} (±{}σ noise band{gate})",
+                "bench-diff: {} → {} (±{}σ noise band{p95_gate}{time_gate})",
                 self.base_id, self.new_id, self.sigma
             ),
-            &["cell", "base mean", "new mean", "delta", "band", "verdict", "elapsed ms"],
+            &[
+                "cell",
+                "base mean",
+                "new mean",
+                "delta",
+                "band",
+                "p50",
+                "p95",
+                "verdict",
+                "elapsed ms",
+            ],
         );
         let num = |v: Option<f64>| v.map_or_else(|| "-".to_string(), |x| format!("{x:.1}"));
         let ms = |v: Option<u64>| v.map_or_else(|| "-".to_string(), |x| x.to_string());
+        // "base → new" pairs collapse to "-" when neither side has the
+        // value (pre-quantile / untimed files).
+        let pair = |base: String, new: String| {
+            if base == "-" && new == "-" {
+                "-".to_string()
+            } else {
+                format!("{base} → {new}")
+            }
+        };
         for r in &self.rows {
             let delta = r.delta().map_or_else(
                 || "-".to_string(),
                 |d| format!("{}{:.1}", if d >= 0.0 { "+" } else { "" }, d),
             );
-            // Wall-clock is shown but only judged under an explicit
-            // time-gate percentage; by default the seed-deterministic
-            // round counts alone gate.
-            let elapsed = if r.base_elapsed_ms.is_none() && r.new_elapsed_ms.is_none() {
-                "-".to_string()
-            } else {
-                format!("{} → {}", ms(r.base_elapsed_ms), ms(r.new_elapsed_ms))
-            };
             t.row(&[
                 r.key.clone(),
                 num(r.base_mean),
                 num(r.new_mean),
                 delta,
                 format!("±{:.1}", r.noise),
+                // Tail estimates are shown whenever a side has them but
+                // only judged under an explicit p95-gate percentage.
+                pair(num(r.base_p50), num(r.new_p50)),
+                pair(num(r.base_p95), num(r.new_p95)),
                 r.status.label().to_string(),
-                elapsed,
+                // Wall-clock likewise gates only under an explicit
+                // time-gate percentage; by default the seed-deterministic
+                // round counts alone gate.
+                pair(ms(r.base_elapsed_ms), ms(r.new_elapsed_ms)),
             ]);
         }
         t.note(if self.has_regressions() {
@@ -174,11 +214,32 @@ impl DiffReport {
     }
 }
 
+/// Knobs for a diff beyond the two documents: the noise multiplier and the
+/// two opt-in gates. `Default` reproduces the plain informational diff.
+#[derive(Debug, Clone, Copy)]
+pub struct DiffOptions {
+    /// Confidence multiplier for the mean-rounds noise band.
+    pub sigma: f64,
+    /// Opt-in wall-clock gate percentage (see [`DiffReport::time_gate_pct`]).
+    pub time_gate_pct: Option<f64>,
+    /// Opt-in rounds-p95 tail gate percentage (see
+    /// [`DiffReport::p95_gate_pct`]).
+    pub p95_gate_pct: Option<f64>,
+}
+
+impl Default for DiffOptions {
+    fn default() -> Self {
+        DiffOptions { sigma: DEFAULT_SIGMA, time_gate_pct: None, p95_gate_pct: None }
+    }
+}
+
 /// A cell's comparison-relevant numbers.
 struct CellNums {
     key: String,
     mean: f64,
     stddev: f64,
+    p50: Option<f64>,
+    p95: Option<f64>,
     trials: f64,
     elapsed_ms: Option<u64>,
 }
@@ -198,6 +259,11 @@ fn extract(doc: &Json) -> Result<(String, Vec<CellNums>), String> {
             key: format!("{} × {} × {} × {}", s("topology"), s("protocol"), s("model"), faults),
             mean: rounds.get("mean").and_then(Json::as_f64).expect("validated above"),
             stddev: rounds.get("stddev").and_then(Json::as_f64).unwrap_or(0.0),
+            // Additive quantile fields: absent in pre-quantile files, in
+            // which case the tail columns degrade to "-" and the p95 gate
+            // never fires.
+            p50: rounds.get("p50").and_then(Json::as_f64),
+            p95: rounds.get("p95").and_then(Json::as_f64),
             trials: cell.get("trials").and_then(Json::as_u64).expect("validated above") as f64,
             elapsed_ms: cell.get("elapsed_ms").and_then(Json::as_u64),
         });
@@ -232,6 +298,24 @@ pub fn diff_results_gated(
     sigma: f64,
     time_gate_pct: Option<f64>,
 ) -> Result<DiffReport, String> {
+    diff_results_with(base, new, DiffOptions { sigma, time_gate_pct, ..DiffOptions::default() })
+}
+
+/// The full-option diff: [`diff_results`] plus both opt-in gates. The p95
+/// gate mirrors the time gate — a matched cell whose rounds p95 grew by
+/// more than [`DiffOptions::p95_gate_pct`] percent counts as
+/// [`DiffStatus::Regressed`]; cells missing p95 on either side (files
+/// predating the quantile fields) are never p95-gated.
+///
+/// # Errors
+///
+/// Same conditions as [`diff_results`].
+pub fn diff_results_with(
+    base: &Json,
+    new: &Json,
+    options: DiffOptions,
+) -> Result<DiffReport, String> {
+    let DiffOptions { sigma, time_gate_pct, p95_gate_pct } = options;
     let (base_id, base_cells) = extract(base)?;
     let (new_id, new_cells) = extract(new)?;
     for cells in [&base_cells, &new_cells] {
@@ -250,6 +334,10 @@ pub fn diff_results_gated(
                 new_mean: None,
                 noise: 0.0,
                 status: DiffStatus::MissingInNew,
+                base_p50: b.p50,
+                new_p50: None,
+                base_p95: b.p95,
+                new_p95: None,
                 base_elapsed_ms: b.elapsed_ms,
                 new_elapsed_ms: None,
             },
@@ -266,6 +354,14 @@ pub fn diff_results_gated(
                 } else {
                     DiffStatus::WithinNoise
                 };
+                // Both opt-in gates share the missing-field semantics: a
+                // side without the value cannot be judged, so the gate
+                // stays silent and the mean gate alone applies.
+                if let (Some(pct), Some(bp), Some(np)) = (p95_gate_pct, b.p95, n.p95) {
+                    if np > bp * (1.0 + pct / 100.0) {
+                        status = DiffStatus::Regressed;
+                    }
+                }
                 if let (Some(pct), Some(be), Some(ne)) = (time_gate_pct, b.elapsed_ms, n.elapsed_ms)
                 {
                     if ne as f64 > be as f64 * (1.0 + pct / 100.0) {
@@ -278,6 +374,10 @@ pub fn diff_results_gated(
                     new_mean: Some(n.mean),
                     noise,
                     status,
+                    base_p50: b.p50,
+                    new_p50: n.p50,
+                    base_p95: b.p95,
+                    new_p95: n.p95,
                     base_elapsed_ms: b.elapsed_ms,
                     new_elapsed_ms: n.elapsed_ms,
                 }
@@ -293,12 +393,16 @@ pub fn diff_results_gated(
                 new_mean: Some(n.mean),
                 noise: 0.0,
                 status: DiffStatus::NewOnly,
+                base_p50: None,
+                new_p50: n.p50,
+                base_p95: None,
+                new_p95: n.p95,
                 base_elapsed_ms: None,
                 new_elapsed_ms: n.elapsed_ms,
             });
         }
     }
-    Ok(DiffReport { base_id, new_id, sigma, time_gate_pct, rows })
+    Ok(DiffReport { base_id, new_id, sigma, time_gate_pct, p95_gate_pct, rows })
 }
 
 #[cfg(test)]
@@ -442,6 +546,64 @@ mod tests {
             assert!(!r.has_regressions(), "absent elapsed_ms cannot be judged");
             assert_eq!(r.rows[0].status, DiffStatus::WithinNoise);
         }
+    }
+
+    /// A quantile-carrying variant of [`doc`] (fixed mean, tweakable tail).
+    fn quantile_doc(p95: f64) -> Json {
+        parse(&doc(100.0, 5.0, 10, "bgi").replace(
+            "\"stddev\":5}",
+            &format!("\"stddev\":5,\"p50\":99.0,\"p95\":{p95},\"p99\":{}}}", p95 + 4.0),
+        ))
+    }
+
+    #[test]
+    fn p95_gate_flags_tail_regressions_beyond_the_percentage() {
+        let base = quantile_doc(120.0);
+        let heavy_tail = quantile_doc(150.0);
+        // Without the gate the same pair passes: quantiles are
+        // informational by default, and the means are identical.
+        let r = diff_results(&base, &heavy_tail, DEFAULT_SIGMA).expect("diffs");
+        assert!(!r.has_regressions(), "default keeps the tail informational");
+        assert!(r.to_markdown().contains("120.0 → 150.0"), "{}", r.to_markdown());
+        // With a 10% gate, +25% p95 is a regression even at equal means.
+        let opts = DiffOptions { p95_gate_pct: Some(10.0), ..DiffOptions::default() };
+        let r = diff_results_with(&base, &heavy_tail, opts).expect("diffs");
+        assert!(r.has_regressions());
+        assert_eq!(r.rows[0].status, DiffStatus::Regressed);
+        let md = r.to_markdown();
+        assert!(md.contains("p95 gate +10%") && md.contains("FAIL"), "{md}");
+        // Growth inside the gate — and an identical pair — both pass.
+        let mild = quantile_doc(126.0);
+        assert!(!diff_results_with(&base, &mild, opts).expect("diffs").has_regressions());
+        assert!(!diff_results_with(&base, &base, opts).expect("diffs").has_regressions());
+    }
+
+    #[test]
+    fn new_results_degrade_gracefully_against_pre_quantile_files() {
+        // Satellite: a v1 file written before the quantile fields existed
+        // diffs against a quantile-carrying one with "-" tail columns, a
+        // silent p95 gate, a live mean gate, and unchanged exit semantics.
+        let old = parse(&doc(100.0, 5.0, 10, "bgi"));
+        let new = quantile_doc(120.0);
+        let opts = DiffOptions { p95_gate_pct: Some(0.0), ..DiffOptions::default() };
+        for (a, b) in [(&old, &new), (&new, &old)] {
+            let r = diff_results_with(a, b, opts).expect("mixed generations diff");
+            assert!(!r.has_regressions(), "absent p95 cannot be judged, even at gate 0%");
+            assert_eq!(r.rows[0].status, DiffStatus::WithinNoise);
+        }
+        // One-sided tails render as "- → x" (and x → -), like elapsed ms.
+        let md = diff_results_with(&old, &new, opts).expect("diffs").to_markdown();
+        assert!(md.contains("- → 120.0"), "{md}");
+        // Two pre-quantile files: tail columns collapse to "-".
+        let r = diff_results_with(&old, &old, opts).expect("diffs");
+        assert_eq!(r.rows[0].base_p95, None);
+        let md = r.to_markdown();
+        let data_row = md.lines().find(|l| l.contains("bgi")).expect("row");
+        let dashes = data_row.split('|').filter(|cell| cell.trim() == "-").count();
+        assert!(dashes >= 3, "p50/p95/elapsed columns degrade to '-': {data_row}");
+        // The mean gate still fires across generations.
+        let regressed = parse(&doc(150.0, 5.0, 10, "bgi"));
+        assert!(diff_results_with(&old, &regressed, opts).expect("diffs").has_regressions());
     }
 
     #[test]

@@ -10,11 +10,14 @@
 //!
 //! Determinism: every trial's seed comes from the plan
 //! (`derive(cell_seed, trial)`), never from execution order, and each cell
-//! aggregates its records in trial order — so results are byte-identical
-//! for any thread count. Finished cells pass through a small reorder buffer
-//! that releases them to the [`CampaignSink`] in plan order as soon as they
-//! are contiguous, keeping sink memory proportional to the cells in flight
-//! rather than the whole sweep.
+//! folds its records into a streaming [`TrialAccumulator`] whose own
+//! reorder buffer guarantees trial-index fold order — so results (moments
+//! *and* P² quantile sketches, both order-sensitive in floating point) are
+//! byte-identical for any thread count, while per-cell memory stays
+//! O(out-of-order window) instead of O(trials). Finished cells pass through
+//! a second reorder buffer that releases them to the [`CampaignSink`] in
+//! plan order as soon as they are contiguous, keeping sink memory
+//! proportional to the cells in flight rather than the whole sweep.
 //!
 //! Fault injection on this path is **explicit**: the worker resolves the
 //! cell's [`rn_sim::FaultPlan`] per trial and the schedule travels by
@@ -23,13 +26,14 @@
 
 use crate::campaign::{Campaign, CellResult};
 use crate::sink::{CampaignSink, RunHeader};
+use crate::stats::TrialAccumulator;
 use rn_graph::Graph;
-use rn_sim::{rng, NetParams, Runnable, TrialRecord};
+use rn_sim::{rng, NetParams, Runnable};
 use std::collections::BTreeMap;
 use std::io;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
 /// Environment variable consulted by [`resolve_threads`] when no explicit
 /// budget is given (the `--threads` CLI flag wins over it).
@@ -63,14 +67,6 @@ pub struct ExecOptions {
     /// trial durations across workers). Off by default: timing is
     /// machine-dependent, so it must never leak into byte-compared output.
     pub timing: bool,
-}
-
-/// Per-cell trial accumulator: slots filled as workers finish trials, handed
-/// over (in trial order) once the last one lands.
-struct CellAccum {
-    records: Vec<Option<TrialRecord>>,
-    done: usize,
-    elapsed: Duration,
 }
 
 /// The in-order release valve between out-of-order cell completion and the
@@ -181,9 +177,12 @@ pub fn execute_with(
     let graphs: Vec<OnceLock<(Graph, NetParams)>> =
         (0..campaign.topologies.len()).map(|_| OnceLock::new()).collect();
     let cursor = AtomicUsize::new(0);
-    let accums: Vec<Mutex<CellAccum>> = plan
+    // One streaming accumulator per cell: workers fold records incrementally
+    // (O(1)-ish state per cell), instead of buffering every TrialRecord and
+    // aggregating at the end.
+    let accums: Vec<Mutex<TrialAccumulator>> = plan
         .iter()
-        .map(|_| Mutex::new(CellAccum { records: Vec::new(), done: 0, elapsed: Duration::ZERO }))
+        .map(|_| Mutex::new(TrialAccumulator::new(campaign.plan.trials, options.timing)))
         .collect();
     let emitter = Mutex::new(Emitter { next: 0, pending: BTreeMap::new(), sink, error: None });
 
@@ -212,34 +211,23 @@ pub fn execute_with(
                 );
                 let trial_time = started.map(|t| t.elapsed());
                 let complete = {
+                    // The accumulator's reorder buffer folds in trial-index
+                    // order whatever order workers finish in — the moments
+                    // and quantile sketches are order-sensitive in floating
+                    // point. A duplicate claim panics inside push().
                     let mut acc = accums[ci].lock().expect("cell accumulator lock");
-                    if acc.records.is_empty() {
-                        acc.records = vec![None; trials];
-                    }
-                    debug_assert!(acc.records[ti].is_none(), "trial unit claimed twice");
-                    acc.records[ti] = Some(record);
-                    acc.done += 1;
-                    if let Some(dt) = trial_time {
-                        acc.elapsed += dt;
-                    }
-                    (acc.done == trials).then(|| (std::mem::take(&mut acc.records), acc.elapsed))
+                    acc.push(ti as u64, record, trial_time);
+                    acc.is_complete()
+                        .then(|| std::mem::replace(&mut *acc, TrialAccumulator::new(0, false)))
                 };
-                if let Some((slots, elapsed)) = complete {
-                    // Aggregate in trial order, whatever order workers
-                    // finished in — the statistics are order-sensitive in
-                    // floating point.
-                    let records: Vec<TrialRecord> =
-                        slots.into_iter().map(|r| r.expect("all trial slots filled")).collect();
-                    let cell = CellResult::aggregate(
+                if let Some(acc) = complete {
+                    let cell = CellResult::from_accum(
                         spec.topology.to_string(),
                         runnable.name(),
                         spec.model,
                         spec.faults,
                         *net,
-                        &records,
-                        options
-                            .timing
-                            .then(|| u64::try_from(elapsed.as_millis()).unwrap_or(u64::MAX)),
+                        &acc,
                     );
                     let failed = {
                         let mut em = emitter.lock().expect("emitter lock");
@@ -343,21 +331,26 @@ mod tests {
         // depend on this staying byte-stable.
         let plain = c.run_with_threads(11, 2);
         assert!(plain.cells.iter().all(|cell| cell.elapsed_ms.is_none()));
+        assert!(plain.cells.iter().all(|cell| cell.trial_elapsed_ms.is_none()));
         assert!(!plain.to_json().contains("elapsed_ms"));
 
-        // Timed path: every cell annotated, simulation results unchanged,
-        // and the document still schema-validates.
+        // Timed path: every cell annotated (sum + per-trial distribution),
+        // simulation results unchanged, and the document still
+        // schema-validates.
         let mut sink = MemorySink::new();
         execute_with(&c, 11, 2, &mut sink, ExecOptions { timing: true }).expect("in-memory run");
         let timed = sink.into_result();
         assert!(timed.cells.iter().all(|cell| cell.elapsed_ms.is_some()));
+        assert!(timed.cells.iter().all(|cell| cell.trial_elapsed_ms.is_some()));
         let json = timed.to_json();
         assert!(json.contains("\"elapsed_ms\":"));
+        assert!(json.contains("\"trial_elapsed_ms\":"));
         validate_results(&Json::parse(&json).expect("own JSON parses")).expect("schema-valid");
         let strip = |r: &crate::campaign::CampaignResult| {
             let mut r = r.clone();
             for cell in &mut r.cells {
                 cell.elapsed_ms = None;
+                cell.trial_elapsed_ms = None;
             }
             r
         };

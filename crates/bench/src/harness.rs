@@ -162,6 +162,28 @@ mod tests {
     }
 
     #[test]
+    fn multibyte_headers_align_by_character_count() {
+        // The percentile columns put multi-byte glyphs in *headers* too
+        // (e.g. "p95 ≈" / "σ rounds"): header widths must also count
+        // characters, or every data row in those columns inherits the
+        // byte-length excess as spurious padding.
+        let mut t = Table::new("tails", &["rounds σ", "p95 ≈", "plain"]);
+        t.row(&["1.5".into(), "950.0".into(), "12345".into()]);
+        t.row(&["12.25".into(), "7.0".into(), "9".into()]);
+        let md = t.to_markdown();
+        let table_lines: Vec<&str> = md.lines().filter(|l| l.starts_with('|')).collect();
+        assert_eq!(table_lines.len(), 4, "header + separator + two rows:\n{md}");
+        let width = table_lines[0].chars().count();
+        for line in &table_lines {
+            assert_eq!(line.chars().count(), width, "lines align by display width:\n{md}");
+        }
+        // The widest cell ("12345") sets the plain column; the σ header
+        // (8 chars, 9 bytes) sets its own column at 8, not 9.
+        assert!(table_lines[0].contains("| rounds σ |"), "no spurious header padding: {md}");
+        assert!(table_lines[2].contains("|      1.5 |"), "data pads to 8 chars under σ: {md}");
+    }
+
+    #[test]
     #[should_panic(expected = "row width mismatch")]
     fn row_width_checked() {
         let mut t = Table::new("demo", &["a", "b"]);

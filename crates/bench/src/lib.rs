@@ -33,13 +33,16 @@ pub mod listing;
 pub mod presets;
 pub mod registry;
 pub mod sink;
+pub mod stats;
 pub mod workload;
 
 pub use campaign::{
     validate_results, Campaign, CampaignResult, CellResult, CellSpec, CellStats, TrialPlan,
     RESULTS_SCHEMA,
 };
-pub use diff::{diff_results, diff_results_gated, DiffReport, DiffStatus};
+pub use diff::{
+    diff_results, diff_results_gated, diff_results_with, DiffOptions, DiffReport, DiffStatus,
+};
 pub use executor::{execute_with, resolve_threads, ExecOptions};
 pub use harness::{parallel_trials, Table};
 pub use json::{Json, JsonError};
@@ -51,4 +54,5 @@ pub use registry::{
 pub use rn_core::SourcePlacement;
 pub use rn_sim::{OverrideClass, OverrideSpec, ProtocolFamily};
 pub use sink::{CampaignSink, JsonStreamSink, MemorySink, RunHeader};
+pub use stats::{exact_quantile_sorted, P2Sketch, QuantityAccum, TrialAccumulator};
 pub use workload::BenchWorkload;

@@ -133,6 +133,11 @@ pub fn presets() -> Vec<Preset> {
             about: "sub-protocol primitives: Partition(beta) and schedule passes across shapes",
             kind: PresetKind::Campaign(sweep_subprotocols),
         },
+        Preset {
+            id: "sweep_tails",
+            about: "tail telemetry: p50/p95/p99 round distributions at 100 trials/cell",
+            kind: PresetKind::Campaign(sweep_tails),
+        },
     ]
 }
 
@@ -273,6 +278,24 @@ fn sweep_subprotocols() -> Campaign {
     }
 }
 
+/// Tail telemetry: enough trials per cell (100) for the streaming
+/// p50/p95/p99 estimates to mean something — the paper's guarantees are
+/// w.h.p. round bounds, so the tail is the quantity to watch. CI's
+/// campaign-smoke lane runs this with a reduced `--trials` override.
+fn sweep_tails() -> Campaign {
+    Campaign {
+        id: "sweep_tails".into(),
+        topologies: vec![
+            TopologySpec::Rgg { n: 2000, radius: 0.05 },
+            TopologySpec::Grid { w: 32, h: 32 },
+        ],
+        protocols: vec![p("decay(16)"), p("bgi"), p("broadcast")],
+        models: nocd(),
+        faults: Campaign::no_faults(),
+        plan: TrialPlan::new(100),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -292,6 +315,7 @@ mod tests {
             "sweep_placement",
             "sweep_cd",
             "sweep_subprotocols",
+            "sweep_tails",
         ] {
             assert!(ids.contains(&c), "campaign preset {c} must be registered");
         }

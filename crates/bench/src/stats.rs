@@ -1,0 +1,592 @@
+//! Streaming distribution statistics for the campaign pipeline.
+//!
+//! The paper's guarantees are high-probability round bounds, so the *tail*
+//! of the round distribution — not the mean — is the quantity a
+//! reproduction should track. This module provides the three layers that
+//! carry distributions from trial records to the results file:
+//!
+//! * [`P2Sketch`] — the P² streaming quantile estimator (Jain & Chlamtac,
+//!   CACM 1985): five markers per tracked quantile, O(1) memory and update,
+//!   exact for the first five observations;
+//! * [`QuantityAccum`] — one per-trial quantity folded in a single pass:
+//!   Welford moments (mean/stddev), integer min/max, and P² sketches for
+//!   p50/p95/p99, finishing into a [`CellStats`];
+//! * [`TrialAccumulator`] — the per-cell accumulator the executor's workers
+//!   fold [`TrialRecord`]s into as trials finish, replacing the old
+//!   buffer-everything-then-aggregate path.
+//!
+//! **Determinism.** Campaign results must be byte-identical for any thread
+//! count, but both Welford and P² are order-sensitive in floating point.
+//! [`TrialAccumulator`] therefore owns a small reorder buffer: records may
+//! arrive in any worker interleaving, but only the contiguous prefix (in
+//! trial-index order) is folded, so the folded sequence — and every byte
+//! derived from it — is a pure function of the trial records themselves.
+//! Memory is O(out-of-order window), not O(trials).
+
+use crate::json::Json;
+use rn_sim::TrialRecord;
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// Exact quantile of an ascending-sorted sample, with linear interpolation
+/// between order statistics (the `h = p·(n−1)` convention; 0 for an empty
+/// slice). This is the ground truth the P² sketch approximates — and matches
+/// it exactly while the sketch still holds every observation (n ≤ 5).
+pub fn exact_quantile_sorted(sorted: &[f64], p: f64) -> f64 {
+    match sorted.len() {
+        0 => 0.0,
+        n => {
+            let h = p.clamp(0.0, 1.0) * (n - 1) as f64;
+            let lo = h.floor() as usize;
+            let hi = (lo + 1).min(n - 1);
+            sorted[lo] + (h - lo as f64) * (sorted[hi] - sorted[lo])
+        }
+    }
+}
+
+/// A P² streaming estimator for one quantile: five marker heights whose
+/// positions are nudged toward the ideal order-statistic positions by
+/// piecewise-parabolic (hence "P²") interpolation. The estimate is exact
+/// (interpolated order statistic) for up to five observations, then O(1)
+/// per update with bounded error for unimodal-ish data.
+///
+/// The sketch is a pure function of the observation *sequence* — same
+/// values in the same order, same estimate to the last bit — which is why
+/// [`TrialAccumulator`] feeds it in trial-index order regardless of worker
+/// scheduling.
+#[derive(Debug, Clone, PartialEq)]
+pub struct P2Sketch {
+    p: f64,
+    count: u64,
+    /// Marker heights q₀..q₄ (q₀ = running min, q₄ = running max once
+    /// initialized; the estimate is q₂). Holds the raw first observations,
+    /// unsorted, until the fifth arrives.
+    heights: [f64; 5],
+    /// Actual marker positions n₀..n₄ (1-based ranks, kept as f64 but
+    /// always integral).
+    positions: [f64; 5],
+    /// Desired marker positions n′₀..n′₄.
+    desired: [f64; 5],
+    /// Per-observation increments dn′₀..dn′₄.
+    increments: [f64; 5],
+}
+
+impl P2Sketch {
+    /// A sketch tracking the `p`-quantile (`0 ≤ p ≤ 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn new(p: f64) -> P2Sketch {
+        assert!((0.0..=1.0).contains(&p), "quantile must be in [0, 1], got {p}");
+        P2Sketch {
+            p,
+            count: 0,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0],
+            increments: [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0],
+        }
+    }
+
+    /// The tracked quantile.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Observations folded so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Folds one observation.
+    pub fn push(&mut self, x: f64) {
+        let n = self.count as usize;
+        self.count += 1;
+        if n < 5 {
+            self.heights[n] = x;
+            if n == 4 {
+                self.heights.sort_by(f64::total_cmp);
+            }
+            return;
+        }
+        // Locate the marker cell containing x, extending the extremes.
+        let k = if x < self.heights[0] {
+            self.heights[0] = x;
+            0
+        } else if x >= self.heights[4] {
+            self.heights[4] = x;
+            3
+        } else {
+            (0..4)
+                .find(|&i| self.heights[i] <= x && x < self.heights[i + 1])
+                .expect("x is between the extremes, so some cell contains it")
+        };
+        for i in k + 1..5 {
+            self.positions[i] += 1.0;
+        }
+        for i in 0..5 {
+            self.desired[i] += self.increments[i];
+        }
+        // Nudge the three interior markers toward their desired positions.
+        for i in 1..4 {
+            let drift = self.desired[i] - self.positions[i];
+            let room_up = self.positions[i + 1] - self.positions[i] > 1.0;
+            let room_down = self.positions[i - 1] - self.positions[i] < -1.0;
+            if (drift >= 1.0 && room_up) || (drift <= -1.0 && room_down) {
+                let s = if drift >= 1.0 { 1.0 } else { -1.0 };
+                let q = self.parabolic(i, s);
+                // The parabolic candidate must keep the heights ordered;
+                // fall back to linear interpolation toward the neighbor.
+                self.heights[i] = if self.heights[i - 1] < q && q < self.heights[i + 1] {
+                    q
+                } else {
+                    self.linear(i, s)
+                };
+                self.positions[i] += s;
+            }
+        }
+    }
+
+    /// Piecewise-parabolic candidate height for marker `i` moved by `s`.
+    fn parabolic(&self, i: usize, s: f64) -> f64 {
+        let (q, n) = (&self.heights, &self.positions);
+        q[i] + s / (n[i + 1] - n[i - 1])
+            * ((n[i] - n[i - 1] + s) * (q[i + 1] - q[i]) / (n[i + 1] - n[i])
+                + (n[i + 1] - n[i] - s) * (q[i] - q[i - 1]) / (n[i] - n[i - 1]))
+    }
+
+    /// Linear fallback height for marker `i` moved by `s` (s is ±1).
+    fn linear(&self, i: usize, s: f64) -> f64 {
+        let (q, n) = (&self.heights, &self.positions);
+        let j = if s > 0.0 { i + 1 } else { i - 1 };
+        q[i] + s * (q[j] - q[i]) / (n[j] - n[i])
+    }
+
+    /// The current quantile estimate: exact (interpolated order statistic)
+    /// while n ≤ 5, the center P² marker after; 0 with no observations.
+    pub fn quantile(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        if self.count <= 5 {
+            let mut held = self.heights[..self.count as usize].to_vec();
+            held.sort_by(f64::total_cmp);
+            return exact_quantile_sorted(&held, self.p);
+        }
+        self.heights[2]
+    }
+}
+
+/// Distribution summary of one per-trial quantity: mean, min, max, sample
+/// standard deviation, and streaming p50/p95/p99 estimates — the per-key
+/// stats object of the `rn-bench-results/v1` schema.
+///
+/// `stddev` uses the `n−1` denominator (`0` for fewer than two trials) and
+/// feeds `bench-diff`'s noise band; the quantile fields are additive v1
+/// fields (see [`crate::validate_results`]) that `bench-diff --gate-p95`
+/// judges tail regressions from. All values are exact for ≤ 5 trials and
+/// P²-approximated above (documented tolerance in the property tests).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellStats {
+    /// Mean over trials.
+    pub mean: f64,
+    /// Minimum over trials.
+    pub min: u64,
+    /// Maximum over trials.
+    pub max: u64,
+    /// Sample standard deviation over trials (0 when trials < 2).
+    pub stddev: f64,
+    /// Streaming median estimate.
+    pub p50: f64,
+    /// Streaming 95th-percentile estimate.
+    pub p95: f64,
+    /// Streaming 99th-percentile estimate.
+    pub p99: f64,
+}
+
+impl CellStats {
+    /// Accumulates every statistic in one pass over `values`, in iteration
+    /// order (the moments and the sketches are both order-sensitive in
+    /// floating point — callers feed trial order).
+    pub fn over(values: impl IntoIterator<Item = u64>) -> CellStats {
+        let mut acc = QuantityAccum::new();
+        for v in values {
+            acc.push(v);
+        }
+        acc.finish()
+    }
+
+    pub(crate) fn to_json(self) -> Json {
+        Json::obj(vec![
+            ("mean", Json::Num(self.mean)),
+            ("min", Json::UInt(self.min)),
+            ("max", Json::UInt(self.max)),
+            ("stddev", Json::Num(self.stddev)),
+            // Additive v1 fields: absent in pre-quantile files, so old
+            // documents still validate (and old readers ignore them).
+            ("p50", Json::Num(self.p50)),
+            ("p95", Json::Num(self.p95)),
+            ("p99", Json::Num(self.p99)),
+        ])
+    }
+}
+
+/// Single-pass accumulator for one per-trial quantity: Welford moments
+/// (numerically stable when the mean is large and the spread small), integer
+/// min/max, and the three standard quantile sketches. Finishes into a
+/// [`CellStats`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantityAccum {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: u64,
+    max: u64,
+    p50: P2Sketch,
+    p95: P2Sketch,
+    p99: P2Sketch,
+}
+
+impl Default for QuantityAccum {
+    fn default() -> Self {
+        QuantityAccum::new()
+    }
+}
+
+impl QuantityAccum {
+    /// An empty accumulator.
+    pub fn new() -> QuantityAccum {
+        QuantityAccum {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: u64::MAX,
+            max: 0,
+            p50: P2Sketch::new(0.50),
+            p95: P2Sketch::new(0.95),
+            p99: P2Sketch::new(0.99),
+        }
+    }
+
+    /// Folds one observation.
+    pub fn push(&mut self, v: u64) {
+        self.count += 1;
+        let x = v as f64;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.p50.push(x);
+        self.p95.push(x);
+        self.p99.push(x);
+    }
+
+    /// Observations folded so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The summary statistics (all-zero for an empty accumulator).
+    pub fn finish(&self) -> CellStats {
+        if self.count == 0 {
+            return CellStats {
+                mean: 0.0,
+                min: 0,
+                max: 0,
+                stddev: 0.0,
+                p50: 0.0,
+                p95: 0.0,
+                p99: 0.0,
+            };
+        }
+        let stddev =
+            if self.count > 1 { (self.m2 / (self.count - 1) as f64).max(0.0).sqrt() } else { 0.0 };
+        CellStats {
+            mean: self.mean,
+            min: self.min,
+            max: self.max,
+            stddev,
+            p50: self.p50.quantile(),
+            p95: self.p95.quantile(),
+            p99: self.p99.quantile(),
+        }
+    }
+}
+
+/// The per-cell accumulator executor workers fold trial records into as
+/// they finish — mergeable in the sense that pushes may arrive in *any*
+/// interleaving (each trial index exactly once) and the result is still a
+/// pure function of the records: an internal reorder buffer holds
+/// out-of-order arrivals and folds only the contiguous prefix in
+/// trial-index order.
+///
+/// Tracks every per-trial quantity (rounds, deliveries, collisions,
+/// transmissions), the completion count, whether *all* folded records carry
+/// real channel metrics (see [`TrialRecord::metrics_recorded`]), and — when
+/// constructed with timing on — the summed wall-clock plus a per-trial
+/// elapsed-milliseconds distribution.
+#[derive(Debug)]
+pub struct TrialAccumulator {
+    trials: u64,
+    timing: bool,
+    /// Next trial index to fold; everything below is already folded.
+    next: u64,
+    /// Out-of-order arrivals, keyed by trial index, waiting for `next`.
+    pending: BTreeMap<u64, (TrialRecord, Duration)>,
+    completed: u64,
+    metrics_recorded: u64,
+    rounds: QuantityAccum,
+    deliveries: QuantityAccum,
+    collisions: QuantityAccum,
+    transmissions: QuantityAccum,
+    elapsed_total: Duration,
+    trial_elapsed_ms: QuantityAccum,
+}
+
+impl TrialAccumulator {
+    /// An empty accumulator expecting `trials` records (trial indices
+    /// `0..trials`). `timing` mirrors
+    /// [`crate::executor::ExecOptions::timing`]: when off, per-trial
+    /// durations are ignored so wall-clock never leaks into byte-compared
+    /// output.
+    pub fn new(trials: u64, timing: bool) -> TrialAccumulator {
+        TrialAccumulator {
+            trials,
+            timing,
+            next: 0,
+            pending: BTreeMap::new(),
+            completed: 0,
+            metrics_recorded: 0,
+            rounds: QuantityAccum::new(),
+            deliveries: QuantityAccum::new(),
+            collisions: QuantityAccum::new(),
+            transmissions: QuantityAccum::new(),
+            elapsed_total: Duration::ZERO,
+            trial_elapsed_ms: QuantityAccum::new(),
+        }
+    }
+
+    /// Folds the record of trial `trial` (plus its wall-clock, when the run
+    /// is timed). Any arrival order is accepted; the fold itself always
+    /// happens in trial-index order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trial` is out of range or already pushed — both are
+    /// executor bugs (a work unit claimed twice).
+    pub fn push(&mut self, trial: u64, record: TrialRecord, elapsed: Option<Duration>) {
+        assert!(trial < self.trials, "trial {trial} out of range (cell has {})", self.trials);
+        assert!(
+            trial >= self.next && !self.pending.contains_key(&trial),
+            "trial {trial} pushed twice"
+        );
+        self.pending.insert(trial, (record, elapsed.unwrap_or(Duration::ZERO)));
+        while let Some((record, dt)) = self.pending.remove(&self.next) {
+            self.next += 1;
+            self.fold(record, dt);
+        }
+    }
+
+    fn fold(&mut self, record: TrialRecord, dt: Duration) {
+        self.completed += u64::from(record.completed);
+        self.metrics_recorded += u64::from(record.metrics_recorded);
+        self.rounds.push(record.rounds);
+        self.deliveries.push(record.metrics.deliveries);
+        self.collisions.push(record.metrics.collisions);
+        self.transmissions.push(record.metrics.transmissions);
+        if self.timing {
+            self.elapsed_total += dt;
+            self.trial_elapsed_ms.push(u64::try_from(dt.as_millis()).unwrap_or(u64::MAX));
+        }
+    }
+
+    /// Records folded so far (the contiguous prefix; excludes any still in
+    /// the reorder buffer).
+    pub fn folded(&self) -> u64 {
+        self.next
+    }
+
+    /// Whether every expected trial has been folded.
+    pub fn is_complete(&self) -> bool {
+        self.next == self.trials && self.pending.is_empty()
+    }
+
+    /// The expected trial count.
+    pub fn trials(&self) -> u64 {
+        self.trials
+    }
+
+    /// Folded trials that reached their goal.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Whether the cell's channel metrics are real samples: true iff at
+    /// least one record was folded and *every* folded record recorded
+    /// metrics. Rounds-only scenarios (and empty cells) report `false`, so
+    /// their zeroed placeholders are omitted rather than reported as fake
+    /// 0-means.
+    pub fn metrics_present(&self) -> bool {
+        self.next > 0 && self.metrics_recorded == self.next
+    }
+
+    /// Rounds-per-trial distribution.
+    pub fn rounds_stats(&self) -> CellStats {
+        self.rounds.finish()
+    }
+
+    /// Deliveries-per-trial distribution (meaningful only when
+    /// [`TrialAccumulator::metrics_present`]).
+    pub fn deliveries_stats(&self) -> CellStats {
+        self.deliveries.finish()
+    }
+
+    /// Collisions-per-trial distribution (meaningful only when
+    /// [`TrialAccumulator::metrics_present`]).
+    pub fn collisions_stats(&self) -> CellStats {
+        self.collisions.finish()
+    }
+
+    /// Transmissions-per-trial distribution (meaningful only when
+    /// [`TrialAccumulator::metrics_present`]).
+    pub fn transmissions_stats(&self) -> CellStats {
+        self.transmissions.finish()
+    }
+
+    /// Summed wall-clock across folded trials, in ms — `Some` only on timed
+    /// runs (machine-dependent, so it must stay out of byte-pinned
+    /// baselines).
+    pub fn elapsed_ms(&self) -> Option<u64> {
+        self.timing.then(|| u64::try_from(self.elapsed_total.as_millis()).unwrap_or(u64::MAX))
+    }
+
+    /// Per-trial wall-clock distribution in ms — `Some` only on timed runs.
+    pub fn trial_elapsed_stats(&self) -> Option<CellStats> {
+        self.timing.then(|| self.trial_elapsed_ms.finish())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rn_sim::Metrics;
+
+    #[test]
+    fn sketch_is_exact_for_up_to_five_observations() {
+        let mut s = P2Sketch::new(0.5);
+        assert_eq!(s.quantile(), 0.0, "empty sketch reports 0");
+        for (i, x) in [9.0, 1.0, 5.0, 3.0, 7.0].into_iter().enumerate() {
+            s.push(x);
+            let mut sorted = [9.0, 1.0, 5.0, 3.0, 7.0][..=i].to_vec();
+            sorted.sort_by(f64::total_cmp);
+            assert_eq!(s.quantile(), exact_quantile_sorted(&sorted, 0.5), "n = {}", i + 1);
+        }
+        assert_eq!(s.quantile(), 5.0);
+    }
+
+    #[test]
+    fn sketch_tracks_uniform_ramps_closely() {
+        // 0..1000 in order: the p-quantile of the ramp is ≈ 1000p. P² on
+        // sorted input is an easy case; the tolerance here is deliberately
+        // loose (the adversarial bounds live in the proptest suite).
+        for (p, expect) in [(0.5, 500.0), (0.95, 950.0), (0.99, 990.0)] {
+            let mut s = P2Sketch::new(p);
+            for v in 0..=1000 {
+                s.push(v as f64);
+            }
+            assert!((s.quantile() - expect).abs() < 15.0, "p{p}: {} vs {expect}", s.quantile());
+        }
+    }
+
+    #[test]
+    fn sketch_estimate_stays_within_observed_range() {
+        let mut s = P2Sketch::new(0.95);
+        let mut x = 123u64;
+        for _ in 0..5000 {
+            // SplitMix-style scramble: arbitrary-looking but deterministic.
+            x = x.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+            s.push((x >> 40) as f64);
+        }
+        let q = s.quantile();
+        assert!((0.0..=(1u64 << 24) as f64).contains(&q), "estimate {q} escaped the range");
+    }
+
+    #[test]
+    fn quantity_accum_matches_the_naive_moments() {
+        // Large offset, small spread: the regime where a sum-of-squares
+        // shortcut catastrophically cancels — Welford must not.
+        let values: Vec<u64> = (0..10_000u64).map(|i| 1_000_000 + i % 1000).collect();
+        let s = CellStats::over(values.iter().copied());
+        let naive_mean = values.iter().map(|&v| v as f64).sum::<f64>() / values.len() as f64;
+        let naive_var = values.iter().map(|&v| (v as f64 - naive_mean).powi(2)).sum::<f64>()
+            / (values.len() - 1) as f64;
+        assert!((s.mean - naive_mean).abs() < 1e-6);
+        assert!((s.stddev - naive_var.sqrt()).abs() / naive_var.sqrt() < 1e-9);
+        assert_eq!((s.min, s.max), (1_000_000, 1_000_999));
+        // The ramp repeats 0..1000 uniformly, so quantiles sit near the
+        // offset plus 1000p.
+        assert!((s.p50 - 1_000_500.0).abs() < 25.0, "p50 {}", s.p50);
+        assert!((s.p95 - 1_000_950.0).abs() < 25.0, "p95 {}", s.p95);
+    }
+
+    #[test]
+    fn trial_accumulator_folds_out_of_order_pushes_identically() {
+        let records: Vec<TrialRecord> = (0..40u64)
+            .map(|i| {
+                TrialRecord::new(
+                    i % 5 != 0,
+                    100 + (i * 37) % 50,
+                    Metrics { rounds: 0, transmissions: i, deliveries: 2 * i, collisions: i / 3 },
+                )
+            })
+            .collect();
+        let mut forward = TrialAccumulator::new(40, false);
+        for (i, r) in records.iter().enumerate() {
+            forward.push(i as u64, *r, None);
+        }
+        // Reverse order exercises the worst-case reorder buffer (39 held).
+        let mut backward = TrialAccumulator::new(40, false);
+        for (i, r) in records.iter().enumerate().rev() {
+            backward.push(i as u64, *r, None);
+        }
+        assert!(forward.is_complete() && backward.is_complete());
+        assert_eq!(forward.rounds_stats(), backward.rounds_stats());
+        assert_eq!(forward.transmissions_stats(), backward.transmissions_stats());
+        assert_eq!(forward.completed(), backward.completed());
+        assert!(forward.metrics_present());
+        assert_eq!(forward.elapsed_ms(), None, "untimed accumulators never report wall-clock");
+    }
+
+    #[test]
+    fn rounds_only_records_clear_the_metrics_present_flag() {
+        let mut acc = TrialAccumulator::new(3, false);
+        acc.push(0, TrialRecord::new(true, 10, Metrics::default()), None);
+        acc.push(1, TrialRecord::rounds_only(true, 12), None);
+        acc.push(2, TrialRecord::new(true, 11, Metrics::default()), None);
+        assert!(acc.is_complete());
+        assert!(!acc.metrics_present(), "one placeholder record poisons the cell");
+        let empty = TrialAccumulator::new(0, false);
+        assert!(empty.is_complete() && !empty.metrics_present());
+    }
+
+    #[test]
+    #[should_panic(expected = "pushed twice")]
+    fn duplicate_pushes_are_executor_bugs() {
+        let mut acc = TrialAccumulator::new(2, false);
+        acc.push(0, TrialRecord::rounds_only(true, 1), None);
+        acc.push(0, TrialRecord::rounds_only(true, 1), None);
+    }
+
+    #[test]
+    fn timed_accumulators_report_sum_and_distribution() {
+        let mut acc = TrialAccumulator::new(2, true);
+        acc.push(0, TrialRecord::rounds_only(true, 5), Some(Duration::from_millis(30)));
+        acc.push(1, TrialRecord::rounds_only(true, 6), Some(Duration::from_millis(10)));
+        assert_eq!(acc.elapsed_ms(), Some(40));
+        let dist = acc.trial_elapsed_stats().expect("timed run has a distribution");
+        assert_eq!((dist.min, dist.max), (10, 30));
+        assert_eq!(dist.mean, 20.0);
+    }
+}

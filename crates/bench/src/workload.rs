@@ -7,6 +7,7 @@
 //! a string edit, not code.
 
 use crate::registry::ScenarioSpec;
+use crate::stats::{CellStats, QuantityAccum};
 use rn_graph::Graph;
 use rn_sim::{CollisionModel, NetParams, Runnable, TrialRecord};
 
@@ -59,6 +60,19 @@ impl BenchWorkload {
             &self.spec.faults,
         )
     }
+
+    /// Runs trials under seeds `0..trials` and folds their round counts
+    /// into one [`CellStats`] — mean, spread *and* the streaming
+    /// p50/p95/p99 tail. A one-call distribution probe for suites and tests
+    /// that want to report or assert on a workload's round tail without
+    /// standing up a full campaign.
+    pub fn rounds_distribution(&self, trials: u64) -> CellStats {
+        let mut acc = QuantityAccum::new();
+        for seed in 0..trials {
+            acc.push(self.run_trial(seed).rounds);
+        }
+        acc.finish()
+    }
 }
 
 #[cfg(test)]
@@ -75,6 +89,16 @@ mod tests {
         // A CD-pinning workload reports the model it truly runs under.
         let w = BenchWorkload::resolve("broadcast_cd@grid(6x6)", 0xB0);
         assert_eq!(w.model, CollisionModel::CollisionDetection);
+    }
+
+    #[test]
+    fn rounds_distribution_summarizes_the_workload_tail() {
+        let w = BenchWorkload::resolve("bgi@grid(6x6)", 0xB0);
+        let d = w.rounds_distribution(12);
+        assert!(d.mean > 0.0);
+        assert!((d.min as f64) <= d.p50 && d.p50 <= d.p95 && d.p95 <= d.max as f64);
+        // Seeds are fixed, so the probe is reproducible.
+        assert_eq!(d, w.rounds_distribution(12));
     }
 
     #[test]

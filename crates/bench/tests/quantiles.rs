@@ -1,0 +1,126 @@
+//! Property tests for the distribution-telemetry layer: the P² quantile
+//! sketch against exact sorted quantiles, and the trial accumulator's
+//! merge-order determinism (any worker interleaving → identical bytes).
+//!
+//! **Documented sketch tolerance** (what these tests pin): on samples of up
+//! to 1000 values, each P² estimate must fall inside the *exact* quantile
+//! window `q(p − 0.10) ..= q(p + 0.10)` widened by 5% of the sample range —
+//! a rank tolerance of ±10 percentage points plus a small value slack. P²
+//! carries no worst-case guarantee, but staying inside this envelope on
+//! randomized data is what makes the p50/p95/p99 columns trustworthy for
+//! regression gating; estimates are additionally always inside
+//! `[min, max]`, and exact (interpolated order statistics) for n ≤ 5.
+
+use proptest::prelude::*;
+use rn_bench::{exact_quantile_sorted, CellStats, P2Sketch, TrialAccumulator};
+use rn_sim::{Metrics, TrialRecord};
+
+/// The documented accuracy envelope: the exact `q(p ± 0.10)` window widened
+/// by 5% of the sample range.
+fn envelope(sorted: &[f64], p: f64) -> (f64, f64) {
+    let lo = exact_quantile_sorted(sorted, (p - 0.10).max(0.0));
+    let hi = exact_quantile_sorted(sorted, (p + 0.10).min(1.0));
+    let slack = 0.05 * (sorted[sorted.len() - 1] - sorted[0]);
+    (lo - slack - 1e-9, hi + slack + 1e-9)
+}
+
+proptest! {
+    #[test]
+    fn sketch_estimates_stay_inside_the_documented_envelope(
+        values in proptest::collection::vec(0u64..100_000, 6..=1000),
+    ) {
+        let mut sorted: Vec<f64> = values.iter().map(|&v| v as f64).collect();
+        sorted.sort_by(f64::total_cmp);
+        for p in [0.50, 0.95, 0.99] {
+            let mut sketch = P2Sketch::new(p);
+            for &v in &values {
+                sketch.push(v as f64);
+            }
+            let q = sketch.quantile();
+            let (lo, hi) = envelope(&sorted, p);
+            prop_assert!(
+                (lo..=hi).contains(&q),
+                "p{p}: estimate {q} outside [{lo}, {hi}] on {} samples",
+                values.len()
+            );
+            // The hard invariant, tolerance aside: never outside the data.
+            prop_assert!((sorted[0]..=sorted[sorted.len() - 1]).contains(&q));
+        }
+    }
+
+    #[test]
+    fn sketch_is_exact_while_it_still_holds_every_observation(
+        values in proptest::collection::vec(0u64..1000, 1..=5),
+        p in 0.0f64..1.0,
+    ) {
+        let mut sketch = P2Sketch::new(p);
+        for &v in &values {
+            sketch.push(v as f64);
+        }
+        let mut sorted: Vec<f64> = values.iter().map(|&v| v as f64).collect();
+        sorted.sort_by(f64::total_cmp);
+        prop_assert_eq!(sketch.quantile(), exact_quantile_sorted(&sorted, p));
+    }
+
+    #[test]
+    fn any_push_interleaving_yields_identical_bytes(
+        trials in proptest::collection::vec(
+            // (rounds, shuffle key, deliveries, collisions, transmissions)
+            (0u64..5000, proptest::prelude::any::<u64>(), 0u64..200, 0u64..200, 0u64..200),
+            1..=150,
+        ),
+    ) {
+        let records: Vec<TrialRecord> = trials
+            .iter()
+            .enumerate()
+            .map(|(i, &(rounds, _, deliveries, collisions, transmissions))| {
+                TrialRecord::new(
+                    i % 7 != 0,
+                    rounds,
+                    Metrics { rounds: 0, transmissions, deliveries, collisions },
+                )
+            })
+            .collect();
+        // Trial-index push order: the reference fold.
+        let mut sequential = TrialAccumulator::new(records.len() as u64, false);
+        for (i, r) in records.iter().enumerate() {
+            sequential.push(i as u64, *r, None);
+        }
+        // An arbitrary worker interleaving: the same trials pushed in the
+        // order of their generated shuffle keys.
+        let mut order: Vec<usize> = (0..records.len()).collect();
+        order.sort_by_key(|&i| (trials[i].1, i));
+        let mut shuffled = TrialAccumulator::new(records.len() as u64, false);
+        for &i in &order {
+            shuffled.push(i as u64, records[i], None);
+        }
+        prop_assert!(sequential.is_complete() && shuffled.is_complete());
+        prop_assert_eq!(sequential.completed(), shuffled.completed());
+        prop_assert_eq!(sequential.metrics_present(), shuffled.metrics_present());
+        for (a, b) in [
+            (sequential.rounds_stats(), shuffled.rounds_stats()),
+            (sequential.deliveries_stats(), shuffled.deliveries_stats()),
+            (sequential.collisions_stats(), shuffled.collisions_stats()),
+            (sequential.transmissions_stats(), shuffled.transmissions_stats()),
+        ] {
+            // Bit-level equality, not just PartialEq: the JSON renderer
+            // prints these floats, so "equal" must mean "identical bytes
+            // in the results file" (e.g. -0.0 and 0.0 compare equal but
+            // render differently).
+            prop_assert_eq!(stat_bits(&a), stat_bits(&b));
+        }
+    }
+}
+
+/// The raw bit patterns of every CellStats field, in declaration order.
+fn stat_bits(s: &CellStats) -> [u64; 7] {
+    [
+        s.mean.to_bits(),
+        s.min,
+        s.max,
+        s.stddev.to_bits(),
+        s.p50.to_bits(),
+        s.p95.to_bits(),
+        s.p99.to_bits(),
+    ]
+}

@@ -27,18 +27,23 @@ pub struct TrialRecord {
     /// Channel statistics, when the scenario runs packet-level through the
     /// simulator (scenarios that only account rounds leave this zeroed).
     pub metrics: Metrics,
+    /// Whether [`TrialRecord::metrics`] holds real channel statistics.
+    /// `false` for rounds-accounted scenarios (e.g. `binsearch_le`), whose
+    /// zeroed `Metrics` are a placeholder, not a sample — aggregators must
+    /// not fold them into delivery/collision/transmission distributions.
+    pub metrics_recorded: bool,
 }
 
 impl TrialRecord {
     /// A record for a packet-level run: rounds and metrics from the
     /// simulator, plus the goal predicate.
     pub fn new(completed: bool, rounds: u64, metrics: Metrics) -> TrialRecord {
-        TrialRecord { completed, rounds, metrics }
+        TrialRecord { completed, rounds, metrics, metrics_recorded: true }
     }
 
     /// A record for a rounds-accounted run with no channel metrics.
     pub fn rounds_only(completed: bool, rounds: u64) -> TrialRecord {
-        TrialRecord { completed, rounds, metrics: Metrics::default() }
+        TrialRecord { completed, rounds, metrics: Metrics::default(), metrics_recorded: false }
     }
 }
 
@@ -215,5 +220,8 @@ mod tests {
         assert!(r.completed);
         assert_eq!(r.rounds, 42);
         assert_eq!(r.metrics, Metrics::default());
+        assert!(!r.metrics_recorded, "rounds-only records carry placeholder metrics");
+        let m = TrialRecord::new(true, 7, Metrics::default());
+        assert!(m.metrics_recorded, "packet-level records carry real metrics");
     }
 }
