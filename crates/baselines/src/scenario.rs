@@ -2,9 +2,21 @@
 //! into campaigns on exactly the same footing as the paper's algorithms.
 
 use crate::binary_search::{binary_search_le_scheduled, BroadcastKind};
-use rn_decay::{DecayBroadcast, TruncatedDecayBroadcast};
+use rn_decay::{CoinSampler, DecayBroadcast, TruncatedDecayBroadcast};
 use rn_graph::Graph;
-use rn_sim::{CollisionModel, FaultSchedule, NetParams, Runnable, Simulator, TrialRecord};
+use rn_sim::{
+    CollisionModel, FaultSchedule, NetParams, Runnable, Simulator, TrialPool, TrialRecord, TxBuf,
+};
+
+/// Per-worker reusable state behind the pooled baseline trials: one protocol
+/// of each decay variant (re-armed per trial via `reset`) plus the typed
+/// transmission buffer they share.
+#[derive(Debug, Default)]
+struct BaselinePool {
+    plain: Option<DecayBroadcast>,
+    trunc: Option<TruncatedDecayBroadcast>,
+    tx: TxBuf<u64>,
+}
 
 /// BGI'92 decay broadcasting from node 0 — the classical
 /// no-spontaneous-transmissions baseline (`O((D + log n)·log n)`).
@@ -27,6 +39,30 @@ impl Runnable for BgiScenario {
         let mut p = DecayBroadcast::single_source(net, 0, 1, seed);
         let mut sim = Simulator::with_faults(g, model, seed, faults.cloned());
         let stats = sim.run_until(&mut p, net.decay_broadcast_budget(), |_, p| p.all_informed());
+        TrialRecord::new(p.all_informed(), stats.rounds, stats.metrics)
+    }
+
+    fn run_trial_pooled(
+        &self,
+        g: &Graph,
+        net: NetParams,
+        model: CollisionModel,
+        seed: u64,
+        faults: Option<&FaultSchedule>,
+        pool: &mut TrialPool,
+    ) -> TrialRecord {
+        let (engine, st) = pool.parts(BaselinePool::default);
+        match &mut st.plain {
+            Some(p) => p.reset(net, &[(0, 1)], seed, CoinSampler::default()),
+            slot @ None => *slot = Some(DecayBroadcast::single_source(net, 0, 1, seed)),
+        }
+        let p = st.plain.as_mut().expect("slot was just filled");
+        st.tx.clear();
+        st.tx.reserve(g.n());
+        let mut sim = Simulator::reuse(engine, g, model, seed, faults.cloned());
+        let stats = sim.run_until_with_buf(p, &mut st.tx, net.decay_broadcast_budget(), |_, p| {
+            p.all_informed()
+        });
         TrialRecord::new(p.all_informed(), stats.rounds, stats.metrics)
     }
 }
@@ -52,6 +88,30 @@ impl Runnable for TruncatedScenario {
         let mut p = TruncatedDecayBroadcast::single_source(net, 0, 1, seed);
         let mut sim = Simulator::with_faults(g, model, seed, faults.cloned());
         let stats = sim.run_until(&mut p, net.decay_broadcast_budget(), |_, p| p.all_informed());
+        TrialRecord::new(p.all_informed(), stats.rounds, stats.metrics)
+    }
+
+    fn run_trial_pooled(
+        &self,
+        g: &Graph,
+        net: NetParams,
+        model: CollisionModel,
+        seed: u64,
+        faults: Option<&FaultSchedule>,
+        pool: &mut TrialPool,
+    ) -> TrialRecord {
+        let (engine, st) = pool.parts(BaselinePool::default);
+        match &mut st.trunc {
+            Some(p) => p.reset(net, &[(0, 1)], seed, CoinSampler::default()),
+            slot @ None => *slot = Some(TruncatedDecayBroadcast::single_source(net, 0, 1, seed)),
+        }
+        let p = st.trunc.as_mut().expect("slot was just filled");
+        st.tx.clear();
+        st.tx.reserve(g.n());
+        let mut sim = Simulator::reuse(engine, g, model, seed, faults.cloned());
+        let stats = sim.run_until_with_buf(p, &mut st.tx, net.decay_broadcast_budget(), |_, p| {
+            p.all_informed()
+        });
         TrialRecord::new(p.all_informed(), stats.rounds, stats.metrics)
     }
 }
@@ -175,6 +235,29 @@ mod tests {
             let b =
                 s.run_trial_under_faults(&g, net, CollisionModel::NoCollisionDetection, 7, &plan);
             assert_eq!(a, b, "{}: faulted trials are seed-deterministic", s.name());
+        }
+    }
+
+    #[test]
+    fn pooled_trials_match_fresh_trials_exactly() {
+        let graphs = [generators::grid(8, 8), generators::path(50)];
+        let mut pool = TrialPool::new();
+        for s in [Box::new(BgiScenario) as Box<dyn Runnable>, Box::new(TruncatedScenario)] {
+            for g in &graphs {
+                let net = NetParams::of_graph(g);
+                for seed in 0..3 {
+                    let fresh = s.run_trial(g, net, CollisionModel::NoCollisionDetection, seed);
+                    let pooled = s.run_trial_pooled(
+                        g,
+                        net,
+                        CollisionModel::NoCollisionDetection,
+                        seed,
+                        None,
+                        &mut pool,
+                    );
+                    assert_eq!(fresh, pooled, "{} n={} seed {seed}", s.name(), g.n());
+                }
+            }
         }
     }
 

@@ -16,6 +16,13 @@
 //!   trigger routes almost every round of this workload through the
 //!   word-level dense kernel (bitmap-row OR/AND accumulation), so the gap
 //!   over reference measures the dense kernel plus SoA state together.
+//! * `scale_pooled_vs_fresh` — multi-trial `decay(16)` batches (ten at
+//!   `10⁵` nodes, one hundred at the `2×10³` campaign scale) through the
+//!   fresh per-trial path vs one long-lived [`TrialPool`] — the
+//!   steady-state zero-allocation contract's wall-clock payoff.
+//! * `scale_dense_cd` — `broadcast_cd` (collision detection pinned) on the
+//!   same mean-degree-`~125` RGG, frontier vs reference: the CD word-level
+//!   dense kernel A/B.
 //! * `scale_million` — one `10⁶`-node end-to-end trial, **gated** behind
 //!   `RN_BENCH_SCALE_MILLION=1` so a default `cargo bench` stays minutes,
 //!   not tens of minutes.
@@ -24,7 +31,9 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use rn_bench::BenchWorkload;
 use rn_decay::{CoinSampler, DecayBroadcast};
 use rn_graph::TopologySpec;
-use rn_sim::{with_default_engine_mode, CollisionModel, EngineMode, NetParams, Simulator};
+use rn_sim::{
+    with_default_engine_mode, CollisionModel, EngineMode, NetParams, Simulator, TrialPool,
+};
 
 /// The 10⁵-node workload both A/B groups share (same shape as the CI
 /// scale-smoke cell, cheaper protocol so ten samples stay under a minute).
@@ -95,6 +104,84 @@ fn bench_dense_rounds(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_pooled_vs_fresh(c: &mut Criterion) {
+    // Multi-trial batches, matching the executor's unit of steady-state
+    // reuse: the fresh arm pays per-trial protocol construction and scratch
+    // allocation every trial; the pooled arm pays them once per *benchmark*
+    // (the pool persists across iterations). Records are byte-identical —
+    // the pooled_diff test pins that — so any gap is pure allocation and
+    // initialization overhead. Two cells bracket the regime: at 10⁵ nodes
+    // the per-trial setup is amortized into sub-second trials; at the
+    // campaign scale (the smoke cell's 2×10³-node topology, hundred-trial
+    // batches) setup is a visible fraction of every trial.
+    let mut group = c.benchmark_group("scale_pooled_vs_fresh");
+    group.sample_size(5);
+    for (scenario, trials) in
+        [("decay(16)@rgg(100000,0.006)", 10u64), ("decay(16)@rgg(2000,0.05)", 100u64)]
+    {
+        let w = BenchWorkload::resolve(scenario, TOPOLOGY_SEED);
+        group.bench_function(format!("{}x{trials}/fresh", w.name), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                let mut rounds = 0u64;
+                for _ in 0..trials {
+                    seed += 1;
+                    let r = w.run_trial(seed);
+                    assert!(r.completed, "decay must complete (fresh)");
+                    rounds += r.rounds;
+                }
+                rounds
+            });
+        });
+        group.bench_function(format!("{}x{trials}/pooled", w.name), |b| {
+            let mut pool = TrialPool::new();
+            let mut seed = 0u64;
+            b.iter(|| {
+                let mut rounds = 0u64;
+                for _ in 0..trials {
+                    seed += 1;
+                    let r = w.runnable.run_trial_under_faults_pooled(
+                        &w.graph,
+                        w.net,
+                        w.model,
+                        seed,
+                        &w.spec.faults,
+                        &mut pool,
+                    );
+                    assert!(r.completed, "decay must complete (pooled)");
+                    rounds += r.rounds;
+                }
+                rounds
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_dense_cd(c: &mut Criterion) {
+    // CD-model complement of `scale_dense_rounds`: `broadcast_cd` pins
+    // collision detection, and at mean degree ~125 the frontier engine
+    // routes nearly every round through the CD word-level dense kernel
+    // (merged informed/uninformed event accumulation, busy-channel noise at
+    // every silent listener). Reference runs the same rounds per-edge.
+    let w = BenchWorkload::resolve("broadcast_cd@rgg(100000,0.02)", TOPOLOGY_SEED);
+    let mut group = c.benchmark_group("scale_dense_cd");
+    group.sample_size(5);
+    for (mode, label) in [(EngineMode::Frontier, "frontier"), (EngineMode::Reference, "reference")]
+    {
+        group.bench_function(format!("{}/{label}", w.name), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let r = with_default_engine_mode(mode, || w.run_trial(seed));
+                assert!(r.completed, "CD dense broadcast must complete under {label}");
+                r.rounds
+            });
+        });
+    }
+    group.finish();
+}
+
 fn bench_million(c: &mut Criterion) {
     if std::env::var("RN_BENCH_SCALE_MILLION").is_err() {
         println!("bench scale_million skipped (set RN_BENCH_SCALE_MILLION=1 to run)");
@@ -120,6 +207,8 @@ criterion_group!(
     bench_engine_modes,
     bench_coin_samplers,
     bench_dense_rounds,
+    bench_pooled_vs_fresh,
+    bench_dense_cd,
     bench_million
 );
 criterion_main!(benches);

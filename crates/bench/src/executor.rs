@@ -188,56 +188,69 @@ pub fn execute_with(
 
     std::thread::scope(|scope| {
         for _ in 0..threads.max(1).min(total.max(1)) {
-            scope.spawn(|| loop {
-                let unit = cursor.fetch_add(1, Ordering::Relaxed);
-                if unit >= total {
-                    break;
-                }
-                let (ci, ti) = (unit / trials, unit % trials);
-                let spec = &plan[ci];
-                let (g, net) = graphs[spec.topology_index].get_or_init(|| {
-                    let g = spec.topology.build(spec.topology_seed);
-                    let net = NetParams::new(g.n(), g.diameter_double_sweep());
-                    (g, net)
-                });
-                let runnable: Box<dyn Runnable> = spec.protocol.instantiate();
-                let started = options.timing.then(Instant::now);
-                let record = runnable.run_trial_under_faults(
-                    g,
-                    *net,
-                    spec.model,
-                    rng::derive(spec.cell_seed, ti as u64),
-                    &spec.faults,
-                );
-                let trial_time = started.map(|t| t.elapsed());
-                let complete = {
-                    // The accumulator's reorder buffer folds in trial-index
-                    // order whatever order workers finish in — the moments
-                    // and quantile sketches are order-sensitive in floating
-                    // point. A duplicate claim panics inside push().
-                    let mut acc = accums[ci].lock().expect("cell accumulator lock");
-                    acc.push(ti as u64, record, trial_time);
-                    acc.is_complete()
-                        .then(|| std::mem::replace(&mut *acc, TrialAccumulator::new(0, false)))
-                };
-                if let Some(acc) = complete {
-                    let cell = CellResult::from_accum(
-                        spec.topology.to_string(),
-                        runnable.name(),
-                        spec.model,
-                        spec.faults,
+            scope.spawn(|| {
+                // Per-worker steady-state: one TrialPool for the worker's
+                // whole life (scenario-type and graph-size switches re-arm
+                // it in place) and the current cell's instantiated scenario,
+                // so consecutive trials of a cell — the common unit order —
+                // reuse both instead of re-allocating per trial.
+                let mut pool = rn_sim::TrialPool::new();
+                let mut current: Option<(usize, Box<dyn Runnable>)> = None;
+                loop {
+                    let unit = cursor.fetch_add(1, Ordering::Relaxed);
+                    if unit >= total {
+                        break;
+                    }
+                    let (ci, ti) = (unit / trials, unit % trials);
+                    let spec = &plan[ci];
+                    let (g, net) = graphs[spec.topology_index].get_or_init(|| {
+                        let g = spec.topology.build(spec.topology_seed);
+                        let net = NetParams::new(g.n(), g.diameter_double_sweep());
+                        (g, net)
+                    });
+                    if current.as_ref().map(|&(c, _)| c) != Some(ci) {
+                        current = Some((ci, spec.protocol.instantiate()));
+                    }
+                    let runnable = &current.as_ref().expect("slot was just filled").1;
+                    let started = options.timing.then(Instant::now);
+                    let record = runnable.run_trial_under_faults_pooled(
+                        g,
                         *net,
-                        &acc,
+                        spec.model,
+                        rng::derive(spec.cell_seed, ti as u64),
+                        &spec.faults,
+                        &mut pool,
                     );
-                    let failed = {
-                        let mut em = emitter.lock().expect("emitter lock");
-                        em.push(spec.order, cell);
-                        em.error.is_some()
+                    let trial_time = started.map(|t| t.elapsed());
+                    let complete = {
+                        // The accumulator's reorder buffer folds in trial-index
+                        // order whatever order workers finish in — the moments
+                        // and quantile sketches are order-sensitive in floating
+                        // point. A duplicate claim panics inside push().
+                        let mut acc = accums[ci].lock().expect("cell accumulator lock");
+                        acc.push(ti as u64, record, trial_time);
+                        acc.is_complete()
+                            .then(|| std::mem::replace(&mut *acc, TrialAccumulator::new(0, false)))
                     };
-                    if failed {
-                        // Drain the queue: nothing written past the first
-                        // error is useful, so stop handing out units.
-                        cursor.store(total, Ordering::Relaxed);
+                    if let Some(acc) = complete {
+                        let cell = CellResult::from_accum(
+                            spec.topology.to_string(),
+                            runnable.name(),
+                            spec.model,
+                            spec.faults,
+                            *net,
+                            &acc,
+                        );
+                        let failed = {
+                            let mut em = emitter.lock().expect("emitter lock");
+                            em.push(spec.order, cell);
+                            em.error.is_some()
+                        };
+                        if failed {
+                            // Drain the queue: nothing written past the first
+                            // error is useful, so stop handing out units.
+                            cursor.store(total, Ordering::Relaxed);
+                        }
                     }
                 }
             });

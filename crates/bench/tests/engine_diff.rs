@@ -88,13 +88,22 @@ proptest! {
         fault in fault_plan(),
         seed in any::<u64>(),
     ) {
-        let reference =
-            with_default_engine_mode(EngineMode::Reference, || run_registry(&topo, &fault, seed));
-        let frontier =
-            with_default_engine_mode(EngineMode::Frontier, || run_registry(&topo, &fault, seed));
-        prop_assert_eq!(reference.len(), frontier.len());
-        for (r, f) in reference.iter().zip(&frontier) {
-            prop_assert_eq!(r, f, "{} × {} × {} × {} diverged", r.0, r.1, topo, fault);
+        // Every case runs the drawn topology *and* a complete graph: the
+        // complete graph saturates the degree-sum trigger from round one, so
+        // the CD-model word-level dense kernel (whole-frontier collisions,
+        // busy-channel noise at every listener) is exercised on every single
+        // proptest case, not just when the draw lands on a dense family.
+        for topo in [&topo, &TopologySpec::Complete(17 + (seed % 16) as usize)] {
+            let reference = with_default_engine_mode(EngineMode::Reference, || {
+                run_registry(topo, &fault, seed)
+            });
+            let frontier = with_default_engine_mode(EngineMode::Frontier, || {
+                run_registry(topo, &fault, seed)
+            });
+            prop_assert_eq!(reference.len(), frontier.len());
+            for (r, f) in reference.iter().zip(&frontier) {
+                prop_assert_eq!(r, f, "{} × {} × {} × {} diverged", r.0, r.1, topo, fault);
+            }
         }
     }
 }

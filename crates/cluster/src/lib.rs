@@ -56,6 +56,6 @@ pub mod stats;
 pub mod theory;
 
 pub use distributed::{DistributedPartition, DistributedPartitionConfig};
-pub use partition::Partition;
+pub use partition::{Partition, PartitionScratch};
 pub use scenario::{families, PartitionFamily, PartitionScenario};
 pub use shifts::ExponentialShifts;

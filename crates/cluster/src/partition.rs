@@ -42,8 +42,42 @@ pub struct Partition {
     cluster_of: Vec<u32>,
     /// Distinct centers; `centers[cluster_of[v]] == center[v]`.
     centers: Vec<NodeId>,
-    /// Members per cluster.
-    members: Vec<Vec<NodeId>>,
+    /// CSR member lists: cluster `i` owns
+    /// `member_data[member_start[i]..member_start[i + 1]]`, in ascending
+    /// node-id order. Flat (rather than `Vec<Vec<_>>`) so pooled recomputes
+    /// reuse two `n`-bounded buffers even when the cluster count changes.
+    member_start: Vec<u32>,
+    member_data: Vec<NodeId>,
+}
+
+/// Reusable workspace for [`Partition::recompute`] /
+/// [`Partition::recompute_within`]: the race heap, the shift vector, and the
+/// center-index table. All buffers are bounded by the graph (`n + 2m` heap
+/// entries, `n` shifts/indices), so after the first recompute on a given
+/// graph subsequent recomputes perform no heap allocation.
+#[derive(Debug, Default)]
+pub struct PartitionScratch {
+    shifts: Option<ExponentialShifts>,
+    heap: BinaryHeap<Reverse<(Key, NodeId, NodeId)>>,
+    index_of_center: Vec<u32>,
+}
+
+/// Fills (or refreshes) the pooled shift slot and returns a shared borrow.
+/// The slot starts `None` so the first use goes through the ordinary
+/// [`ExponentialShifts::sample`]; thereafter `resample` replays the same
+/// draw sequence with zero heap traffic.
+fn resample_into<'s>(
+    slot: &'s mut Option<ExponentialShifts>,
+    n: usize,
+    beta: f64,
+    rng: &mut impl rand::Rng,
+) -> &'s ExponentialShifts {
+    if let Some(s) = slot.as_mut() {
+        s.resample(n, beta, rng);
+    } else {
+        *slot = Some(ExponentialShifts::sample(n, beta, rng));
+    }
+    slot.as_ref().expect("slot was just filled")
 }
 
 impl Partition {
@@ -79,15 +113,82 @@ impl Partition {
         Partition::race(g, &shifts, Some(region))
     }
 
+    /// In-place [`Partition::compute`]: byte-identical result (single shared
+    /// race code path), but every buffer — shifts, heap, per-node tables,
+    /// member CSR — is reused from `self` and `scratch`.
+    pub fn recompute(
+        &mut self,
+        g: &Graph,
+        beta: f64,
+        rng: &mut impl Rng,
+        scratch: &mut PartitionScratch,
+    ) {
+        let PartitionScratch { shifts, heap, index_of_center } = scratch;
+        let shifts = resample_into(shifts, g.n(), beta, rng);
+        self.race_in_place(g, shifts, None, heap, index_of_center);
+    }
+
+    /// In-place [`Partition::compute_within`] (see [`Partition::recompute`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `region.len() != g.n()` or `beta <= 0`.
+    pub fn recompute_within(
+        &mut self,
+        g: &Graph,
+        beta: f64,
+        region: &[u32],
+        rng: &mut impl Rng,
+        scratch: &mut PartitionScratch,
+    ) {
+        assert_eq!(region.len(), g.n(), "one region label per node");
+        let PartitionScratch { shifts, heap, index_of_center } = scratch;
+        let shifts = resample_into(shifts, g.n(), beta, rng);
+        self.race_in_place(g, shifts, Some(region), heap, index_of_center);
+    }
+
     fn race(g: &Graph, shifts: &ExponentialShifts, region: Option<&[u32]>) -> Partition {
+        let mut p = Partition::shell(shifts.beta());
+        let mut heap = BinaryHeap::new();
+        let mut index_of_center = Vec::new();
+        p.race_in_place(g, shifts, region, &mut heap, &mut index_of_center);
+        p
+    }
+
+    /// An empty partition to be filled by `race_in_place`.
+    fn shell(beta: f64) -> Partition {
+        Partition {
+            beta,
+            center: Vec::new(),
+            cluster_of: Vec::new(),
+            centers: Vec::new(),
+            member_start: Vec::new(),
+            member_data: Vec::new(),
+        }
+    }
+
+    fn race_in_place(
+        &mut self,
+        g: &Graph,
+        shifts: &ExponentialShifts,
+        region: Option<&[u32]>,
+        heap: &mut BinaryHeap<Reverse<(Key, NodeId, NodeId)>>,
+        index_of_center: &mut Vec<u32>,
+    ) {
         assert_eq!(shifts.len(), g.n(), "one shift per node");
         let n = g.n();
         // Lazy-deletion Dijkstra over (key, center) with unit edge weights.
-        let mut heap: BinaryHeap<Reverse<(Key, NodeId, NodeId)>> = BinaryHeap::with_capacity(n * 2);
+        // Total pushes are bounded by n seeds + 2m relaxations, so one
+        // reservation covers every recompute on this graph.
+        heap.clear();
+        heap.reserve(n + 2 * g.m());
         for u in g.nodes() {
             heap.push(Reverse((Key(-shifts.delta(u)), u, u)));
         }
-        let mut center = vec![INVALID_NODE; n];
+        self.beta = shifts.beta();
+        self.center.clear();
+        self.center.resize(n, INVALID_NODE);
+        let center = &mut self.center;
         while let Some(Reverse((key, c, v))) = heap.pop() {
             if center[v as usize] != INVALID_NODE {
                 continue;
@@ -100,30 +201,62 @@ impl Partition {
                 }
             }
         }
-        Partition::from_center_assignment(shifts.beta(), center)
+        self.rebuild_bookkeeping(index_of_center);
     }
 
     /// Builds the bookkeeping (cluster indices, member lists) from a raw
     /// center assignment. Exposed for the distributed construction.
     pub(crate) fn from_center_assignment(beta: f64, center: Vec<NodeId>) -> Partition {
-        let n = center.len();
-        let mut cluster_of = vec![u32::MAX; n];
-        let mut centers = Vec::new();
-        let mut index_of_center = vec![u32::MAX; n];
+        let mut p = Partition::shell(beta);
+        p.center = center;
+        p.rebuild_bookkeeping(&mut Vec::new());
+        p
+    }
+
+    /// Recomputes `cluster_of` / `centers` / the member CSR from
+    /// `self.center`. `index_of_center` is caller-provided scratch (reused
+    /// as the counting-sort cursor array, so `n` entries cover both uses).
+    fn rebuild_bookkeeping(&mut self, index_of_center: &mut Vec<u32>) {
+        let n = self.center.len();
+        index_of_center.clear();
+        index_of_center.resize(n, u32::MAX);
+        if self.cluster_of.len() != n {
+            self.cluster_of.clear();
+            self.cluster_of.resize(n, u32::MAX);
+        }
+        self.centers.clear();
+        self.centers.reserve(n);
         for v in 0..n {
-            let c = center[v] as usize;
-            debug_assert!(center[c] == c as NodeId, "center of anyone is center of itself");
+            let c = self.center[v] as usize;
+            debug_assert!(self.center[c] == c as NodeId, "center of anyone is center of itself");
             if index_of_center[c] == u32::MAX {
-                index_of_center[c] = centers.len() as u32;
-                centers.push(c as NodeId);
+                index_of_center[c] = self.centers.len() as u32;
+                self.centers.push(c as NodeId);
             }
-            cluster_of[v] = index_of_center[c];
+            self.cluster_of[v] = index_of_center[c];
         }
-        let mut members = vec![Vec::new(); centers.len()];
+        // Counting sort into the member CSR (ascending node id per cluster).
+        let k = self.centers.len();
+        self.member_start.clear();
+        self.member_start.reserve(n + 1);
+        self.member_start.resize(k + 1, 0);
         for v in 0..n {
-            members[cluster_of[v] as usize].push(v as NodeId);
+            self.member_start[self.cluster_of[v] as usize + 1] += 1;
         }
-        Partition { beta, center, cluster_of, centers, members }
+        for i in 0..k {
+            self.member_start[i + 1] += self.member_start[i];
+        }
+        if self.member_data.len() != n {
+            self.member_data.clear();
+            self.member_data.resize(n, 0);
+        }
+        // `index_of_center` doubles as the per-cluster write cursor.
+        index_of_center[..k].copy_from_slice(&self.member_start[..k]);
+        for v in 0..n {
+            let cursor = &mut index_of_center[self.cluster_of[v] as usize];
+            self.member_data[*cursor as usize] = v as NodeId;
+            *cursor += 1;
+        }
     }
 
     /// The β this partition was computed with.
@@ -176,7 +309,9 @@ impl Partition {
     ///
     /// Panics if `idx >= num_clusters()`.
     pub fn members(&self, idx: u32) -> &[NodeId] {
-        &self.members[idx as usize]
+        let i = idx as usize;
+        assert!(i < self.centers.len(), "cluster index {idx} out of range");
+        &self.member_data[self.member_start[i] as usize..self.member_start[i + 1] as usize]
     }
 
     /// Strong (intra-cluster) BFS distance from every node to its cluster
@@ -189,7 +324,7 @@ impl Partition {
         for (idx, &c) in self.centers.iter().enumerate() {
             let idx = idx as u32;
             let d = traversal::bfs_filtered(g, &[c], |v| self.cluster_of[v as usize] == idx);
-            for &m in &self.members[idx as usize] {
+            for &m in self.members(idx) {
                 dist[m as usize] = d[m as usize];
             }
         }
@@ -333,6 +468,34 @@ mod tests {
                     members.iter().all(|&m| region[m as usize] == r0),
                     "cluster {idx} spans regions"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn recompute_matches_fresh_compute_exactly() {
+        let g = generators::grid(12, 12);
+        let region: Vec<u32> = g.nodes().map(|v| if v % 12 < 6 { 0 } else { 1 }).collect();
+        let mut scratch = PartitionScratch::default();
+        // Warm the pool on an unrelated graph, then recompute across seeds
+        // and betas: every result must equal the fresh construction.
+        let warm = generators::path(30);
+        let mut pooled = Partition::compute(&warm, 0.5, &mut rng(0));
+        pooled.recompute(&warm, 0.5, &mut rng(0), &mut scratch);
+        for seed in 0..4 {
+            for beta in [0.1, 0.4] {
+                pooled.recompute(&g, beta, &mut rng(seed), &mut scratch);
+                let fresh = Partition::compute(&g, beta, &mut rng(seed));
+                assert_eq!(pooled.center, fresh.center, "seed {seed} beta {beta}");
+                assert_eq!(pooled.cluster_of, fresh.cluster_of);
+                assert_eq!(pooled.centers, fresh.centers);
+                assert_eq!(pooled.member_start, fresh.member_start);
+                assert_eq!(pooled.member_data, fresh.member_data);
+
+                pooled.recompute_within(&g, beta, &region, &mut rng(seed), &mut scratch);
+                let fresh = Partition::compute_within(&g, beta, &region, &mut rng(seed));
+                assert_eq!(pooled.center, fresh.center, "within: seed {seed} beta {beta}");
+                assert_eq!(pooled.member_data, fresh.member_data);
             }
         }
     }

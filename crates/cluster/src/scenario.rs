@@ -9,7 +9,9 @@
 use crate::distributed::{DistributedPartition, DistributedPartitionConfig};
 use rn_graph::Graph;
 use rn_sim::family::{ParsedArgs, ProtocolFamily};
-use rn_sim::{CollisionModel, FaultSchedule, NetParams, Runnable, Simulator, TrialRecord};
+use rn_sim::{
+    CollisionModel, FaultSchedule, NetParams, Runnable, Simulator, TrialPool, TrialRecord,
+};
 
 /// `partition(BETA)`: one trial runs the discretized Haeupler–Wajc race
 /// ([`DistributedPartition`]) to its full phase budget, extracts the
@@ -64,6 +66,28 @@ impl Runnable for PartitionScenario {
             DistributedPartition::new(net, self.beta, DistributedPartitionConfig::default(), seed);
         let budget = p.total_rounds();
         let mut sim = Simulator::with_faults(g, model, seed, faults.cloned());
+        let stats = sim.run(&mut p, budget);
+        let (partition, repairs) = p.into_partition();
+        let valid = repairs == 0 && partition.validate(g).is_ok();
+        TrialRecord::new(valid, stats.rounds, stats.metrics)
+    }
+
+    fn run_trial_pooled(
+        &self,
+        g: &Graph,
+        net: NetParams,
+        model: CollisionModel,
+        seed: u64,
+        faults: Option<&FaultSchedule>,
+        pool: &mut TrialPool,
+    ) -> TrialRecord {
+        // The distributed construction consumes itself (`into_partition`),
+        // so only the engine scratch pools; protocol state stays per-trial.
+        let (engine, ()) = pool.parts(|| ());
+        let mut p =
+            DistributedPartition::new(net, self.beta, DistributedPartitionConfig::default(), seed);
+        let budget = p.total_rounds();
+        let mut sim = Simulator::reuse(engine, g, model, seed, faults.cloned());
         let stats = sim.run(&mut p, budget);
         let (partition, repairs) = p.into_partition();
         let valid = repairs == 0 && partition.validate(g).is_ok();
@@ -163,6 +187,26 @@ mod tests {
             &FaultPlan::jam(36, 1.0),
         );
         assert_eq!(r.metrics.deliveries, 0, "nothing is ever delivered under total jamming");
+    }
+
+    #[test]
+    fn pooled_trials_match_fresh_trials_exactly() {
+        let g = generators::grid(10, 10);
+        let net = NetParams::of_graph(&g);
+        let s = PartitionScenario::new(0.5);
+        let mut pool = TrialPool::new();
+        for seed in 0..3 {
+            let fresh = s.run_trial(&g, net, CollisionModel::NoCollisionDetection, seed);
+            let pooled = s.run_trial_pooled(
+                &g,
+                net,
+                CollisionModel::NoCollisionDetection,
+                seed,
+                None,
+                &mut pool,
+            );
+            assert_eq!(fresh, pooled, "seed {seed}");
+        }
     }
 
     #[test]

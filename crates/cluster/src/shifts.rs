@@ -42,6 +42,25 @@ impl ExponentialShifts {
         ExponentialShifts { beta, delta }
     }
 
+    /// Re-samples in place: after this call the value is indistinguishable
+    /// from [`ExponentialShifts::sample`]`(n, beta, rng)` (same draw
+    /// sequence), but the backing vector is reused — pooled trial loops pay
+    /// no heap traffic once capacity covers `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `beta <= 0` or `n == 0`.
+    pub fn resample(&mut self, n: usize, beta: f64, rng: &mut impl Rng) {
+        assert!(beta > 0.0, "beta must be positive");
+        assert!(n > 0, "need at least one node");
+        self.beta = beta;
+        self.delta.clear();
+        self.delta.extend((0..n).map(|_| {
+            let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+            -u.ln() / beta
+        }));
+    }
+
     /// The rate parameter β.
     #[inline]
     pub fn beta(&self) -> f64 {
@@ -123,6 +142,14 @@ mod tests {
         assert!(clipped > 200, "about e^{{-1}} of draws exceed 1/β");
         assert!(s.max_delta() <= 1.0);
         assert_eq!(s.clamp_max(1.0), 0, "idempotent");
+    }
+
+    #[test]
+    fn resample_matches_fresh_sample_exactly() {
+        let mut s = ExponentialShifts::sample(16, 1.0, &mut SmallRng::seed_from_u64(9));
+        s.resample(500, 0.3, &mut SmallRng::seed_from_u64(10));
+        let fresh = ExponentialShifts::sample(500, 0.3, &mut SmallRng::seed_from_u64(10));
+        assert_eq!(s, fresh, "resample replays the sample draw sequence");
     }
 
     #[test]

@@ -1,10 +1,13 @@
 use crate::params::CompeteParams;
-use crate::precompute::Precomputed;
-use crate::protocol::CompeteProtocol;
+use crate::precompute::{PrecomputeScratch, Precomputed};
+use crate::protocol::{CompeteMsg, CompeteProtocol, CompeteState};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use rn_graph::{Graph, NodeId};
-use rn_sim::{rng, CollisionModel, FaultSchedule, Metrics, NetParams, RunOutcome, Simulator};
+use rn_sim::{
+    rng, CollisionModel, FaultSchedule, Metrics, NetParams, RunOutcome, SimScratch, Simulator,
+    TxBuf,
+};
 use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
@@ -117,6 +120,199 @@ fn run_compete(
         nodes_knowing: proto.num_knowing(),
         seed,
     }
+}
+
+/// Reusable cross-trial state for the pooled Compete entry points
+/// ([`compete_pooled`], [`leader_election_pooled`]): the precompute and its
+/// rebuild scratch, the protocol state, the transmission buffer, the
+/// leader-election candidate list, and a connectivity-check memo. Keep one
+/// pool per worker thread; after the first trial on a given graph shape,
+/// further trials allocate nothing on the heap.
+#[derive(Debug)]
+pub struct CompetePool {
+    pre: Option<Precomputed>,
+    pre_scratch: PrecomputeScratch,
+    state: CompeteState,
+    tx: TxBuf<CompeteMsg>,
+    candidates: Vec<(NodeId, u64)>,
+    /// `(address, n, m)` of the last graph whose connectivity check passed;
+    /// a matching key skips the allocating BFS. Callers must keep graphs at
+    /// stable addresses for the pool's lifetime (campaign executors cache
+    /// them in `OnceLock` cells, which guarantees this).
+    connected: Option<(usize, usize, usize)>,
+}
+
+impl Default for CompetePool {
+    fn default() -> CompetePool {
+        CompetePool {
+            pre: None,
+            pre_scratch: PrecomputeScratch::default(),
+            state: CompeteState::default(),
+            tx: TxBuf::new(),
+            candidates: Vec::new(),
+            connected: None,
+        }
+    }
+}
+
+impl CompetePool {
+    /// An empty pool; the first trial populates it.
+    pub fn new() -> CompetePool {
+        CompetePool::default()
+    }
+
+    fn check_connected(&mut self, g: &Graph) -> Result<(), CompeteError> {
+        let key = (g as *const Graph as usize, g.n(), g.m());
+        if self.connected != Some(key) {
+            if !g.is_connected() {
+                return Err(CompeteError::Disconnected);
+            }
+            self.connected = Some(key);
+        }
+        Ok(())
+    }
+}
+
+/// [`run_compete`] on pooled state: identical seed streams and protocol code
+/// path (constructors are reset-on-shell), so reports are byte-identical to
+/// the fresh entry points, while buffers come from `engine`/`pool`.
+#[allow(clippy::too_many_arguments)]
+fn run_compete_pooled(
+    g: &Graph,
+    net: NetParams,
+    sources: &[(NodeId, u64)],
+    params: &CompeteParams,
+    model: CollisionModel,
+    seed: u64,
+    faults: Option<&FaultSchedule>,
+    engine: &mut SimScratch,
+    pool: &mut CompetePool,
+) -> CompeteReport {
+    if pool.pre.is_none() {
+        pool.pre = Some(Precomputed::shell());
+    }
+    let pre = pool.pre.as_mut().expect("slot was just filled");
+    pre.rebuild(g, net, params, rng::derive(seed, 0x9DE), &mut pool.pre_scratch);
+    let pre = pool.pre.as_ref().expect("filled above");
+    let mut proto =
+        CompeteProtocol::reuse(pre, *params, sources, rng::derive(seed, 0x9D0), &mut pool.state);
+    let mut sim = Simulator::reuse(engine, g, model, seed, faults.cloned());
+    let budget = params.max_rounds(&net);
+    // Worst case: every node transmits in one round. Reserving it up front
+    // keeps the buffer's capacity from chasing a seed-dependent per-round
+    // maximum (which would allocate mid-trial on the unluckiest trial).
+    // Clear first — the buffer still holds the previous trial's final round,
+    // and `reserve` counts beyond the current length.
+    pool.tx.clear();
+    pool.tx.reserve(g.n());
+    let stats = sim.run_with_buf(&mut proto, &mut pool.tx, budget);
+    debug_assert!(matches!(stats.outcome, RunOutcome::ProtocolDone | RunOutcome::BudgetExhausted));
+    let completed = proto.all_know_target();
+    CompeteReport {
+        completed,
+        propagation_rounds: stats.rounds,
+        charged_precompute_rounds: pre.charged_rounds,
+        total_rounds: stats.rounds + pre.charged_rounds,
+        metrics: stats.metrics,
+        target: proto.target(),
+        nodes_knowing: proto.num_knowing(),
+        seed,
+    }
+}
+
+/// As [`compete_scheduled`], reusing engine scratch and a [`CompetePool`]
+/// across calls. Reports are byte-identical to the fresh path for every
+/// input; steady-state trials (after the first on a given graph shape)
+/// perform no heap allocation, except cloning `faults` when a schedule is
+/// supplied.
+///
+/// # Errors
+///
+/// [`CompeteError`] on empty/invalid sources or a disconnected graph.
+#[allow(clippy::too_many_arguments)]
+pub fn compete_pooled(
+    g: &Graph,
+    net: NetParams,
+    sources: &[(NodeId, u64)],
+    params: &CompeteParams,
+    model: CollisionModel,
+    seed: u64,
+    faults: Option<&FaultSchedule>,
+    engine: &mut SimScratch,
+    pool: &mut CompetePool,
+) -> Result<CompeteReport, CompeteError> {
+    if sources.is_empty() {
+        return Err(CompeteError::NoSources);
+    }
+    for &(s, _) in sources {
+        if s as usize >= g.n() {
+            return Err(CompeteError::SourceOutOfRange { node: s });
+        }
+    }
+    pool.check_connected(g)?;
+    Ok(run_compete_pooled(g, net, sources, params, model, seed, faults, engine, pool))
+}
+
+/// As [`leader_election_scheduled`] on pooled state (see [`compete_pooled`]
+/// for the reuse contract): byte-identical reports, allocation-free steady
+/// state apart from rare candidate-list high-water growth.
+///
+/// # Errors
+///
+/// [`CompeteError::Disconnected`] on a disconnected graph.
+#[allow(clippy::too_many_arguments)]
+pub fn leader_election_pooled(
+    g: &Graph,
+    net: NetParams,
+    params: &CompeteParams,
+    model: CollisionModel,
+    seed: u64,
+    faults: Option<&FaultSchedule>,
+    engine: &mut SimScratch,
+    pool: &mut CompetePool,
+) -> Result<LeaderElectionReport, CompeteError> {
+    pool.check_connected(g)?;
+    let n = g.n();
+    let p_cand = (2.0 * net.log2_n() as f64 / n as f64).min(1.0);
+    // Candidate sampling; the (probability ≤ n^-2) empty draw restarts on
+    // the same derived seed stream the fresh path recurses into.
+    let mut cur_seed = seed;
+    loop {
+        let mut crng = SmallRng::seed_from_u64(rng::derive(cur_seed, 0xCA4D));
+        pool.candidates.clear();
+        for v in g.nodes() {
+            if crng.gen::<f64>() < p_cand {
+                let id: u64 = crng.gen::<u64>() & !0xFFFF_FFFFu64 | v as u64;
+                pool.candidates.push((v, id));
+            }
+        }
+        if !pool.candidates.is_empty() {
+            break;
+        }
+        cur_seed = rng::derive(cur_seed, 0x9999);
+    }
+    let candidates = std::mem::take(&mut pool.candidates);
+    let report =
+        run_compete_pooled(g, net, &candidates, params, model, cur_seed, faults, engine, pool);
+    let target = report.target;
+    let mut leader = None;
+    let mut winners = 0usize;
+    for &(v, id) in &candidates {
+        if id == target {
+            if leader.is_none() {
+                leader = Some(v);
+            }
+            winners += 1;
+        }
+    }
+    let num_candidates = candidates.len();
+    pool.candidates = candidates;
+    Ok(LeaderElectionReport {
+        compete: report,
+        num_candidates,
+        leader,
+        unique_winner: winners == 1,
+    })
 }
 
 /// Runs **Compete(S)** (Algorithm 1 + 2): spreads the highest source message

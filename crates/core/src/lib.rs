@@ -56,15 +56,15 @@ mod protocol;
 mod scenario;
 
 pub use api::{
-    broadcast, compete, compete_scheduled, compete_with_model, compete_with_net, leader_election,
-    leader_election_scheduled, leader_election_with_model, leader_election_with_net, CompeteError,
-    CompeteReport, LeaderElectionReport,
+    broadcast, compete, compete_pooled, compete_scheduled, compete_with_model, compete_with_net,
+    leader_election, leader_election_pooled, leader_election_scheduled, leader_election_with_model,
+    leader_election_with_net, CompeteError, CompetePool, CompeteReport, LeaderElectionReport,
 };
 pub use family::{
     apply_overrides, families, BroadcastFamily, BroadcastHwFamily, CompeteFamily,
     LeaderElectionFamily, COMPETE_OVERRIDES,
 };
 pub use params::{CompeteParams, CurtailMode, PrecomputeMode, SequenceScope};
-pub use precompute::{FineClustering, Precomputed};
-pub use protocol::{CompeteMsg, CompeteProtocol};
+pub use precompute::{FineClustering, PrecomputeScratch, Precomputed};
+pub use protocol::{CompeteMsg, CompeteProtocol, CompeteState};
 pub use scenario::{BroadcastScenario, CompeteScenario, LeaderElectionScenario, SourcePlacement};

@@ -148,10 +148,19 @@ impl CompeteParams {
     /// The integer `j` values of the fine clusterings (so `β = 2^-j`), the
     /// practical rescaling of the paper's `[0.01·log D, 0.1·log D]`.
     pub fn j_values(&self, net: &NetParams) -> Vec<u32> {
+        let mut js = Vec::new();
+        self.j_values_into(net, &mut js);
+        js
+    }
+
+    /// [`CompeteParams::j_values`] into a reused buffer (pooled precompute
+    /// rebuilds refresh the list without allocating).
+    pub fn j_values_into(&self, net: &NetParams, out: &mut Vec<u32>) {
         let log_d = net.log2_d() as f64;
         let j_min = ((self.j_frac_min * log_d).round() as u32).max(1);
         let j_max = ((self.j_frac_max * log_d).round() as u32).max(j_min + 1);
-        (j_min..=j_max).collect()
+        out.clear();
+        out.extend(j_min..=j_max);
     }
 
     /// Number of fine clustering copies per `j`: `min(D^fine_copies_exp, cap)`.

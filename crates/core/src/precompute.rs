@@ -1,9 +1,9 @@
 use crate::params::{CompeteParams, PrecomputeMode};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use rn_cluster::Partition;
+use rn_cluster::{Partition, PartitionScratch};
 use rn_graph::Graph;
-use rn_schedule::{SlotPolicy, TreeSchedule};
+use rn_schedule::{SlotPolicy, TreeSchedule, TreeScheduleScratch};
 use rn_sim::{rng, NetParams};
 
 /// One fine clustering ready for Intra-Cluster Propagation: its partition,
@@ -33,6 +33,25 @@ impl FineClustering {
         let pass_len = schedule.pass_len(radius);
         FineClustering { j, beta, partition, schedule, radius, pass_len, icp_len: 3 * pass_len }
     }
+
+    /// Refreshes the curtailment geometry after an in-place partition /
+    /// schedule rebuild.
+    fn reset_meta(&mut self, j: u32, beta: f64, radius: u32) {
+        self.j = j;
+        self.beta = beta;
+        self.radius = radius;
+        self.pass_len = self.schedule.pass_len(radius);
+        self.icp_len = 3 * self.pass_len;
+    }
+}
+
+/// Reusable workspace for [`Precomputed::rebuild`]: the cluster-race and
+/// tree-schedule scratch spaces shared by every partition/schedule pair the
+/// precompute constructs.
+#[derive(Debug, Default)]
+pub struct PrecomputeScratch {
+    partition: PartitionScratch,
+    schedule: TreeScheduleScratch,
 }
 
 /// Everything Algorithm 1 steps 1–6 and Algorithm 2 steps 1–2 produce,
@@ -44,6 +63,9 @@ pub struct Precomputed {
     /// The coarse clustering (`β = D^-0.5`), whose only role is to scope the
     /// shared randomness of the fine-clustering sequences.
     pub coarse: Partition,
+    /// The coarse schedule (only charged, never replayed; kept so pooled
+    /// rebuilds reuse its buffers).
+    pub coarse_sched: TreeSchedule,
     /// Coarse cluster index per node (cached).
     pub coarse_idx: Vec<u32>,
     /// The `j` values in use (so `fines[ji * copies + t]` has `j = js[ji]`).
@@ -75,83 +97,132 @@ impl Precomputed {
     ///
     /// Panics if the graph is disconnected (cluster BFS would not cover it).
     pub fn build(g: &Graph, net: NetParams, params: &CompeteParams, seed: u64) -> Precomputed {
+        let mut pre = Precomputed::shell();
+        pre.rebuild(g, net, params, seed, &mut PrecomputeScratch::default());
+        pre
+    }
+
+    /// A trivial (one-node) precompute whose buffers [`Precomputed::rebuild`]
+    /// replaces. Keeps fresh and pooled construction on one code path.
+    pub(crate) fn shell() -> Precomputed {
+        let g1 = Graph::from_edges(1, &[]).expect("one-node graph");
+        let mut r = SmallRng::seed_from_u64(0);
+        let coarse = Partition::compute(&g1, 1.0, &mut r);
+        let coarse_sched = TreeSchedule::build(&g1, &coarse, SlotPolicy::Fixed(1));
+        Precomputed {
+            net: NetParams::new(1, 1),
+            coarse,
+            coarse_sched,
+            coarse_idx: Vec::new(),
+            js: Vec::new(),
+            copies: 0,
+            fines: Vec::new(),
+            bg: Vec::new(),
+            main_slot_len: 1,
+            bg_slot_len: 1,
+            seq_len: 1,
+            charged_rounds: 0,
+        }
+    }
+
+    /// In-place [`Precomputed::build`]: recomputes every clustering and
+    /// schedule for a fresh `seed` (the precompute is seed-dependent, so
+    /// pooled trial loops must rebuild it each trial) while reusing all
+    /// existing buffers. After the first rebuild on a given `(graph, params)`
+    /// pair, subsequent rebuilds perform no heap allocation.
+    pub fn rebuild(
+        &mut self,
+        g: &Graph,
+        net: NetParams,
+        params: &CompeteParams,
+        seed: u64,
+        scratch: &mut PrecomputeScratch,
+    ) {
         let log_n = net.log2_n() as u64;
         let mut charged: u64 = 0;
+        self.net = net;
 
         // Step 1: coarse clustering with β = D^-0.5.
         let beta_c = params.coarse_beta(&net);
         let mut rng_c = SmallRng::seed_from_u64(rng::derive(seed, 1));
-        let coarse = Partition::compute(g, beta_c, &mut rng_c);
+        self.coarse.recompute(g, beta_c, &mut rng_c, &mut scratch.partition);
         charged += ((log_n * log_n * log_n) as f64 / beta_c).ceil() as u64;
 
         // Step 2: coarse schedule (needed for charging the sequence
         // transmission; the propagation phase itself does not replay it).
-        let coarse_sched = TreeSchedule::build(g, &coarse, SlotPolicy::Auto);
-        charged += coarse_sched.charged_build_rounds(&net);
+        self.coarse_sched.rebuild(g, &self.coarse, SlotPolicy::Auto, &mut scratch.schedule);
+        charged += self.coarse_sched.charged_build_rounds(&net);
 
-        let coarse_idx: Vec<u32> = g.nodes().map(|v| coarse.cluster_index(v)).collect();
+        self.coarse_idx.clear();
+        self.coarse_idx.extend(g.nodes().map(|v| self.coarse.cluster_index(v)));
 
         // Steps 3–4: fine clusterings within coarse clusters, for every j and
         // copy, plus their schedules.
-        let js = params.j_values(&net);
+        params.j_values_into(&net, &mut self.js);
         let copies = params.fine_copies(&net);
-        let mut fines = Vec::with_capacity(js.len() * copies as usize);
-        for (ji, &j) in js.iter().enumerate() {
+        self.copies = copies;
+        let want = self.js.len() * copies as usize;
+        self.fines.truncate(want);
+        for i in 0..want {
+            let (ji, t) = (i / copies as usize, (i % copies as usize) as u32);
+            let j = self.js[ji];
             let beta = (2.0f64).powi(-(j as i32));
             let radius = params.curtail_radius(&net, j);
-            for t in 0..copies {
-                let stream = 1000 + (ji as u64) * 512 + t as u64;
-                let mut r = SmallRng::seed_from_u64(rng::derive(seed, stream));
-                let part = Partition::compute_within(g, beta, &coarse_idx, &mut r);
+            let stream = 1000 + (ji as u64) * 512 + t as u64;
+            let mut r = SmallRng::seed_from_u64(rng::derive(seed, stream));
+            if let Some(f) = self.fines.get_mut(i) {
+                f.partition.recompute_within(
+                    g,
+                    beta,
+                    &self.coarse_idx,
+                    &mut r,
+                    &mut scratch.partition,
+                );
+                f.schedule.rebuild(g, &f.partition, SlotPolicy::Auto, &mut scratch.schedule);
+                f.reset_meta(j, beta, radius);
+            } else {
+                let part = Partition::compute_within(g, beta, &self.coarse_idx, &mut r);
                 let sched = TreeSchedule::build(g, &part, SlotPolicy::Auto);
-                charged += ((log_n * log_n * log_n) as f64 / beta).ceil() as u64;
-                charged += sched.charged_build_rounds(&net);
-                fines.push(FineClustering::new(j, beta, part, sched, radius));
+                self.fines.push(FineClustering::new(j, beta, part, sched, radius));
             }
+            charged += ((log_n * log_n * log_n) as f64 / beta).ceil() as u64;
+            charged += self.fines[i].schedule.charged_build_rounds(&net);
         }
 
         // Steps 5–6: sequences are generated lazily from per-coarse-cluster
         // seed streams (local computation, free); their transmission through
         // the coarse schedule is charged per Lemma 2.3's k-message bound.
-        let seq_len = params.seq_len(&net);
-        charged += coarse_sched.pass_len(coarse_sched.max_depth());
-        charged += seq_len * log_n + log_n * log_n * log_n;
+        self.seq_len = params.seq_len(&net);
+        charged += self.coarse_sched.pass_len(self.coarse_sched.max_depth());
+        charged += self.seq_len * log_n + log_n * log_n * log_n;
 
         // Background process steps 1–2: global clusterings at β = D^-0.1.
         let beta_bg = params.bg_beta(&net);
         let bg_radius = params.bg_curtail_radius(&net);
-        let bg_count = copies.max(2);
-        let mut bg = Vec::with_capacity(bg_count as usize);
+        let bg_count = copies.max(2) as usize;
+        self.bg.truncate(bg_count);
         for t in 0..bg_count {
             let mut r = SmallRng::seed_from_u64(rng::derive(seed, 9000 + t as u64));
-            let part = Partition::compute(g, beta_bg, &mut r);
-            let sched = TreeSchedule::build(g, &part, SlotPolicy::Auto);
+            if let Some(f) = self.bg.get_mut(t) {
+                f.partition.recompute(g, beta_bg, &mut r, &mut scratch.partition);
+                f.schedule.rebuild(g, &f.partition, SlotPolicy::Auto, &mut scratch.schedule);
+                f.reset_meta(0, beta_bg, bg_radius);
+            } else {
+                let part = Partition::compute(g, beta_bg, &mut r);
+                let sched = TreeSchedule::build(g, &part, SlotPolicy::Auto);
+                self.bg.push(FineClustering::new(0, beta_bg, part, sched, bg_radius));
+            }
             charged += ((log_n * log_n * log_n) as f64 / beta_bg).ceil() as u64;
-            charged += sched.charged_build_rounds(&net);
-            bg.push(FineClustering::new(0, beta_bg, part, sched, bg_radius));
+            charged += self.bg[t].schedule.charged_build_rounds(&net);
         }
 
-        let main_slot_len = fines.iter().map(|f| f.icp_len).max().unwrap_or(1).max(1);
-        let bg_slot_len = bg.iter().map(|f| f.icp_len).max().unwrap_or(1).max(1);
+        self.main_slot_len = self.fines.iter().map(|f| f.icp_len).max().unwrap_or(1).max(1);
+        self.bg_slot_len = self.bg.iter().map(|f| f.icp_len).max().unwrap_or(1).max(1);
 
-        let charged_rounds = match params.precompute {
+        self.charged_rounds = match params.precompute {
             PrecomputeMode::Charged => charged,
             PrecomputeMode::Ignored => 0,
         };
-
-        Precomputed {
-            net,
-            coarse,
-            coarse_idx,
-            js,
-            copies,
-            fines,
-            bg,
-            main_slot_len,
-            bg_slot_len,
-            seq_len,
-            charged_rounds,
-        }
     }
 }
 
@@ -218,6 +289,43 @@ mod tests {
             1,
         );
         assert_eq!(free.charged_rounds, 0);
+    }
+
+    #[test]
+    fn rebuild_matches_fresh_build_exactly() {
+        let g = generators::grid(10, 10);
+        let net = NetParams::of_graph(&g);
+        let params = CompeteParams::default();
+        // Warm the pooled value on a different graph, then rebuild across
+        // seeds: every observable must equal the fresh construction.
+        let warm = generators::path(20);
+        let mut pooled = Precomputed::build(&warm, NetParams::of_graph(&warm), &params, 5);
+        let mut scratch = PrecomputeScratch::default();
+        for seed in [7u64, 8, 9] {
+            pooled.rebuild(&g, net, &params, seed, &mut scratch);
+            let fresh = Precomputed::build(&g, net, &params, seed);
+            assert_eq!(pooled.charged_rounds, fresh.charged_rounds, "seed {seed}");
+            assert_eq!(pooled.js, fresh.js);
+            assert_eq!(pooled.copies, fresh.copies);
+            assert_eq!(pooled.coarse_idx, fresh.coarse_idx);
+            assert_eq!(pooled.main_slot_len, fresh.main_slot_len);
+            assert_eq!(pooled.bg_slot_len, fresh.bg_slot_len);
+            assert_eq!(pooled.seq_len, fresh.seq_len);
+            assert_eq!(pooled.fines.len(), fresh.fines.len());
+            for (fp, ff) in
+                pooled.fines.iter().zip(&fresh.fines).chain(pooled.bg.iter().zip(&fresh.bg))
+            {
+                assert_eq!(fp.j, ff.j);
+                assert_eq!(fp.radius, ff.radius);
+                assert_eq!(fp.pass_len, ff.pass_len);
+                assert_eq!(fp.schedule.window(), ff.schedule.window());
+                for v in g.nodes() {
+                    assert_eq!(fp.partition.center_of(v), ff.partition.center_of(v));
+                    assert_eq!(fp.schedule.down_slot(v), ff.schedule.down_slot(v));
+                    assert_eq!(fp.schedule.up_slot(v), ff.schedule.up_slot(v));
+                }
+            }
+        }
     }
 
     #[test]

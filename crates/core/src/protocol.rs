@@ -20,6 +20,18 @@ impl KnowTable {
         KnowTable { informed: WordBitset::new(n), val: vec![0; n] }
     }
 
+    /// Back to all-uninformed for `n` nodes, reusing the backing storage.
+    /// Stale values behind cleared bits are unobservable (`get` gates on
+    /// the bit).
+    fn reset(&mut self, n: usize) {
+        self.informed.reset_capacity(n);
+        self.informed.clear_all();
+        if self.val.len() != n {
+            self.val.clear();
+            self.val.resize(n, 0);
+        }
+    }
+
     fn n(&self) -> usize {
         self.val.len()
     }
@@ -129,6 +141,27 @@ impl Scratch {
         Scratch { has: WordBitset::new(n), val: vec![0; n], touched: Vec::new(), cur_stamp: 0 }
     }
 
+    /// Back to the all-unset state for `n` nodes without dropping storage.
+    /// Relies on the `has ⊆ touched` invariant (every set bit was pushed),
+    /// so the sparse clear is exact; stale `val` entries are unobservable
+    /// behind cleared bits.
+    fn reset(&mut self, n: usize) {
+        if self.val.len() != n {
+            self.has.reset_capacity(n);
+            self.has.clear_all();
+            self.val.clear();
+            self.val.resize(n, 0);
+            self.touched.clear();
+        } else {
+            for &v in &self.touched {
+                self.has.clear(v as usize);
+            }
+            self.touched.clear();
+        }
+        self.touched.reserve(n);
+        self.cur_stamp = 0;
+    }
+
     #[inline]
     fn roll(&mut self, stamp: u64) {
         if stamp != self.cur_stamp {
@@ -168,27 +201,21 @@ struct Alg4State {
     key: Option<(u64, u64)>, // (slot-scope, block)
 }
 
-/// The Compete propagation protocol (Algorithms 1–4 combined):
-///
-/// * global even rounds run the **main process**, odd rounds the
-///   **background process** (Algorithm 2), exactly the paper's interleaving;
-/// * within each process, even sub-rounds execute the current Intra-Cluster
-///   Propagation schedule step and odd sub-rounds the ICP **background
-///   decay** (Algorithm 4);
-/// * the main process consumes, per coarse cluster, a random sequence of
-///   fine clusterings (Algorithm 1 steps 5–7), executing one curtailed ICP
-///   (down/up/down, Algorithm 3) per sequence element;
-/// * the background process round-robins over its global clusterings.
-///
-/// The per-node state is the highest message known (`know`); completion is
-/// every node knowing the highest source message.
-#[derive(Debug)]
-pub struct CompeteProtocol<'p> {
-    pre: &'p Precomputed,
-    params: CompeteParams,
-    seed: u64,
-    log_n: u64,
+impl Alg4State {
+    fn reset(&mut self) {
+        self.participating.clear();
+        self.key = None;
+    }
+}
 
+/// All owned, per-trial mutable state of [`CompeteProtocol`], separated from
+/// the borrowed [`Precomputed`] so pooled trial loops can keep one
+/// `CompeteState` alive across trials: [`CompeteState::reset`] restores the
+/// exact post-construction state while reusing every buffer, and
+/// [`CompeteProtocol::reuse`] wraps it for one trial. After the first trial
+/// on a given `(graph, params)` pair, resets perform no heap allocation.
+#[derive(Debug)]
+pub struct CompeteState {
     know: KnowTable,
     target: u64,
     num_know_target: usize,
@@ -222,98 +249,110 @@ pub struct CompeteProtocol<'p> {
     scratch_idx: Vec<usize>,
 }
 
-impl<'p> CompeteProtocol<'p> {
-    /// Creates the propagation protocol with the given informed `sources`.
+impl Default for CompeteState {
+    /// The empty shell pools start from; [`CompeteState::reset`] (run by
+    /// every constructor and every pooled trial) grows it to the instance.
+    fn default() -> CompeteState {
+        CompeteState {
+            know: KnowTable::new(0),
+            target: 0,
+            num_know_target: 0,
+            cur_slot: None,
+            chosen: Vec::new(),
+            active_fines: Vec::new(),
+            fine_knowing: Vec::new(),
+            fine_live: Vec::new(),
+            bg_knowing: Vec::new(),
+            bg_live: Vec::new(),
+            m_down: Scratch::new(0),
+            m_up: Scratch::new(0),
+            m_down2: Scratch::new(0),
+            b_down: Scratch::new(0),
+            b_up: Scratch::new(0),
+            b_down2: Scratch::new(0),
+            alg4_main: Alg4State::default(),
+            alg4_bg: Alg4State::default(),
+            rng: SmallRng::seed_from_u64(0),
+            scratch_idx: Vec::new(),
+        }
+    }
+}
+
+impl CompeteState {
+    /// Fresh state for one trial (equivalent to `reset` on an empty shell —
+    /// there is exactly one initialization code path).
+    pub fn new(pre: &Precomputed, sources: &[(NodeId, u64)], seed: u64) -> CompeteState {
+        let mut st = CompeteState::default();
+        st.reset(pre, sources, seed);
+        st
+    }
+
+    /// Restores the exact post-[`CompeteState::new`] state for a (possibly
+    /// different) precompute, seed, and source set, reusing all buffers.
+    /// Per-fine tables are re-sized to the new cluster counts with
+    /// worst-case (`n`) reservations, so steady-state resets are
+    /// allocation-free even though cluster counts vary by seed.
     ///
     /// # Panics
     ///
     /// Panics if `sources` is empty or contains an out-of-range node.
-    pub fn new(
-        pre: &'p Precomputed,
-        params: CompeteParams,
-        sources: &[(NodeId, u64)],
-        seed: u64,
-    ) -> CompeteProtocol<'p> {
+    pub fn reset(&mut self, pre: &Precomputed, sources: &[(NodeId, u64)], seed: u64) {
         assert!(!sources.is_empty(), "Compete needs at least one source");
         let n = pre.net.n();
-        let mut know = KnowTable::new(n);
+        self.know.reset(n);
         let target = sources.iter().map(|&(_, v)| v).max().expect("nonempty");
         for &(s, v) in sources {
             assert!((s as usize) < n, "source {s} out of range");
-            know.set(s, know.get(s).map_or(v, |old| old.max(v)));
+            let merged = self.know.get(s).map_or(v, |old| old.max(v));
+            self.know.set(s, merged);
         }
-        let num_know_target =
-            (0..n as NodeId).filter(|&v| know.get(v).is_some_and(|x| x >= target)).count();
+        self.target = target;
+        self.num_know_target =
+            (0..n as NodeId).filter(|&v| self.know.get(v).is_some_and(|x| x >= target)).count();
 
-        let fine_knowing: Vec<Vec<u32>> =
-            pre.fines.iter().map(|f| vec![0; f.partition.num_clusters()]).collect();
-        let bg_knowing: Vec<Vec<u32>> =
-            pre.bg.iter().map(|f| vec![0; f.partition.num_clusters()]).collect();
+        self.cur_slot = None;
+        self.chosen.clear();
+        self.chosen.reserve(n);
+        self.chosen.resize(pre.coarse.num_clusters(), 0);
+        self.active_fines.clear();
+        self.active_fines.reserve(pre.fines.len());
 
-        let mut proto = CompeteProtocol {
-            pre,
-            params,
-            seed,
-            log_n: pre.net.log2_n() as u64,
-            know,
-            target,
-            num_know_target,
-            cur_slot: None,
-            chosen: vec![0; pre.coarse.num_clusters()],
-            active_fines: Vec::new(),
-            fine_knowing,
-            fine_live: vec![Vec::new(); pre.fines.len()],
-            bg_knowing,
-            bg_live: vec![Vec::new(); pre.bg.len()],
-            m_down: Scratch::new(n),
-            m_up: Scratch::new(n),
-            m_down2: Scratch::new(n),
-            b_down: Scratch::new(n),
-            b_up: Scratch::new(n),
-            b_down2: Scratch::new(n),
-            alg4_main: Alg4State::default(),
-            alg4_bg: Alg4State::default(),
-            rng: SmallRng::seed_from_u64(rng::derive(seed, 0xC0)),
-            scratch_idx: Vec::new(),
-        };
+        reset_cluster_tables(&mut self.fine_knowing, &mut self.fine_live, &pre.fines, n);
+        reset_cluster_tables(&mut self.bg_knowing, &mut self.bg_live, &pre.bg, n);
+
+        self.m_down.reset(n);
+        self.m_up.reset(n);
+        self.m_down2.reset(n);
+        self.b_down.reset(n);
+        self.b_up.reset(n);
+        self.b_down2.reset(n);
+
+        self.alg4_main.reset();
+        self.alg4_main.participating.reserve(n);
+        self.alg4_bg.reset();
+        self.alg4_bg.participating.reserve(n);
+
+        self.rng = SmallRng::seed_from_u64(rng::derive(seed, 0xC0));
+        self.scratch_idx.clear();
+        self.scratch_idx.reserve(n);
+
         // Register initial knowledge in the per-cluster counters.
         for v in 0..n as u32 {
-            if proto.know.get(v).is_some() {
-                proto.register_knowing(v);
+            if self.know.get(v).is_some() {
+                self.register_knowing(pre, v);
             }
         }
-        proto
     }
 
-    /// Highest message known by `node`.
-    pub fn value_of(&self, node: NodeId) -> Option<u64> {
-        self.know.get(node)
-    }
-
-    /// Whether every node knows the highest source message.
-    pub fn all_know_target(&self) -> bool {
-        self.num_know_target == self.know.n()
-    }
-
-    /// Number of nodes that know the highest source message.
-    pub fn num_knowing(&self) -> usize {
-        self.num_know_target
-    }
-
-    /// The highest source message (the value Compete must spread).
-    pub fn target(&self) -> u64 {
-        self.target
-    }
-
-    fn register_knowing(&mut self, v: NodeId) {
-        for (fi, fine) in self.pre.fines.iter().enumerate() {
+    fn register_knowing(&mut self, pre: &Precomputed, v: NodeId) {
+        for (fi, fine) in pre.fines.iter().enumerate() {
             let c = fine.partition.cluster_index(v) as usize;
             if self.fine_knowing[fi][c] == 0 {
                 self.fine_live[fi].push(c as u32);
             }
             self.fine_knowing[fi][c] += 1;
         }
-        for (bi, bg) in self.pre.bg.iter().enumerate() {
+        for (bi, bg) in pre.bg.iter().enumerate() {
             let c = bg.partition.cluster_index(v) as usize;
             if self.bg_knowing[bi][c] == 0 {
                 self.bg_live[bi].push(c as u32);
@@ -322,7 +361,7 @@ impl<'p> CompeteProtocol<'p> {
         }
     }
 
-    fn learn(&mut self, v: NodeId, value: u64) {
+    fn learn(&mut self, pre: &Precomputed, v: NodeId, value: u64) {
         let old = self.know.get(v);
         let new = old.map_or(value, |o| o.max(value));
         if old == Some(new) {
@@ -330,45 +369,36 @@ impl<'p> CompeteProtocol<'p> {
         }
         self.know.set(v, new);
         if old.is_none() {
-            self.register_knowing(v);
+            self.register_knowing(pre, v);
         }
         if old.is_none_or(|o| o < self.target) && new >= self.target {
             self.num_know_target += 1;
         }
     }
 
-    /// Routes a protocol-local round to (stream, kind, step).
-    /// stream: 0 = main, 1 = background; kind: 0 = schedule, 1 = Alg-4 decay.
-    fn route(&self, m: Round) -> (u8, u8, u64) {
-        let (stream, sub) =
-            if self.params.background_process { ((m % 2) as u8, m / 2) } else { (0u8, m) };
-        let (kind, step) =
-            if self.params.icp_background { ((sub % 2) as u8, sub / 2) } else { (0u8, sub) };
-        (stream, kind, step)
-    }
-
-    fn roll_slot(&mut self, slot: u64) {
+    fn roll_slot(&mut self, pre: &Precomputed, params: &CompeteParams, seed: u64, slot: u64) {
         if self.cur_slot == Some(slot) {
             return;
         }
         self.cur_slot = Some(slot);
-        let nf = self.pre.fines.len() as u64;
-        match self.params.sequence_scope {
+        let nf = pre.fines.len() as u64;
+        match params.sequence_scope {
             SequenceScope::PerCoarseCluster => {
                 for cc in 0..self.chosen.len() {
-                    let r = rng::derive(rng::derive(self.seed, 0xA11CE ^ cc as u64), slot);
+                    let r = rng::derive(rng::derive(seed, 0xA11CE ^ cc as u64), slot);
                     self.chosen[cc] = (r % nf) as u32;
                 }
             }
             SequenceScope::Global => {
-                let pick = (rng::derive(self.seed, 0xA11CE ^ slot) % nf) as u32;
+                let pick = (rng::derive(seed, 0xA11CE ^ slot) % nf) as u32;
                 for c in self.chosen.iter_mut() {
                     *c = pick;
                 }
             }
         }
         self.active_fines.clear();
-        for &f in &self.chosen {
+        for i in 0..self.chosen.len() {
+            let f = self.chosen[i];
             if !self.active_fines.contains(&f) {
                 self.active_fines.push(f);
             }
@@ -376,40 +406,46 @@ impl<'p> CompeteProtocol<'p> {
     }
 
     /// Executes one main-process schedule step.
-    fn main_sched_transmit(&mut self, step: u64, tx: &mut TxBuf<CompeteMsg>) {
-        let slot = step / self.pre.main_slot_len;
-        if slot >= self.pre.seq_len {
+    fn main_sched_transmit(
+        &mut self,
+        pre: &Precomputed,
+        params: &CompeteParams,
+        seed: u64,
+        step: u64,
+        tx: &mut TxBuf<CompeteMsg>,
+    ) {
+        let slot = step / pre.main_slot_len;
+        if slot >= pre.seq_len {
             return; // sequence exhausted (Algorithm 1's fixed budget)
         }
-        let pos = step % self.pre.main_slot_len;
+        let pos = step % pre.main_slot_len;
         if pos == 0 || self.cur_slot != Some(slot) {
-            self.roll_slot(slot);
+            self.roll_slot(pre, params, seed, slot);
         }
         let stamp = slot + 1;
-        let actives = std::mem::take(&mut self.active_fines);
-        for &fi in &actives {
-            let fine = &self.pre.fines[fi as usize];
+        for k in 0..self.active_fines.len() {
+            let fi = self.active_fines[k];
+            let fine = &pre.fines[fi as usize];
             match icp_phase(pos, fine.pass_len) {
-                Phase::Down1(p) => self.down_transmit(fi, fine, p, stamp, false, false, tx),
-                Phase::Up(p) => self.up_transmit(fi, fine, p, stamp, false, tx),
-                Phase::Down2(p) => self.down_transmit(fi, fine, p, stamp, true, false, tx),
+                Phase::Down1(p) => self.down_transmit(pre, fi, fine, p, stamp, false, false, tx),
+                Phase::Up(p) => self.up_transmit(pre, fi, fine, p, stamp, false, tx),
+                Phase::Down2(p) => self.down_transmit(pre, fi, fine, p, stamp, true, false, tx),
                 Phase::Idle => {}
             }
         }
-        self.active_fines = actives;
     }
 
     /// Executes one background-process schedule step.
-    fn bg_sched_transmit(&mut self, step: u64, tx: &mut TxBuf<CompeteMsg>) {
-        let slot = step / self.pre.bg_slot_len;
-        let pos = step % self.pre.bg_slot_len;
-        let bgi = (slot % self.pre.bg.len() as u64) as u32;
-        let fine = &self.pre.bg[bgi as usize];
+    fn bg_sched_transmit(&mut self, pre: &Precomputed, step: u64, tx: &mut TxBuf<CompeteMsg>) {
+        let slot = step / pre.bg_slot_len;
+        let pos = step % pre.bg_slot_len;
+        let bgi = (slot % pre.bg.len() as u64) as u32;
+        let fine = &pre.bg[bgi as usize];
         let stamp = slot + 1;
         match icp_phase(pos, fine.pass_len) {
-            Phase::Down1(p) => self.down_transmit(bgi, fine, p, stamp, false, true, tx),
-            Phase::Up(p) => self.up_transmit(bgi, fine, p, stamp, true, tx),
-            Phase::Down2(p) => self.down_transmit(bgi, fine, p, stamp, true, true, tx),
+            Phase::Down1(p) => self.down_transmit(pre, bgi, fine, p, stamp, false, true, tx),
+            Phase::Up(p) => self.up_transmit(pre, bgi, fine, p, stamp, true, tx),
+            Phase::Down2(p) => self.down_transmit(pre, bgi, fine, p, stamp, true, true, tx),
             Phase::Idle => {}
         }
     }
@@ -419,6 +455,7 @@ impl<'p> CompeteProtocol<'p> {
     #[allow(clippy::too_many_arguments)]
     fn down_transmit(
         &mut self,
+        pre: &Precomputed,
         ci: u32,
         fine: &FineClustering,
         ppos: u64,
@@ -434,7 +471,7 @@ impl<'p> CompeteProtocol<'p> {
             if fine.schedule.down_slot(u) != slot_in {
                 continue;
             }
-            if !bg && self.chosen[self.pre.coarse_idx[u as usize] as usize] != ci {
+            if !bg && self.chosen[pre.coarse_idx[u as usize] as usize] != ci {
                 continue;
             }
             let value = if window == 0 {
@@ -459,8 +496,10 @@ impl<'p> CompeteProtocol<'p> {
     }
 
     /// An upcast step: deepest layers first, values aggregated via scratch.
+    #[allow(clippy::too_many_arguments)]
     fn up_transmit(
         &mut self,
+        pre: &Precomputed,
         ci: u32,
         fine: &FineClustering,
         ppos: u64,
@@ -483,7 +522,7 @@ impl<'p> CompeteProtocol<'p> {
             if fine.schedule.up_slot(u) != slot_in {
                 continue;
             }
-            if !bg && self.chosen[self.pre.coarse_idx[u as usize] as usize] != ci {
+            if !bg && self.chosen[pre.coarse_idx[u as usize] as usize] != ci {
                 continue;
             }
             // Aggregated value from children plus own participation:
@@ -516,14 +555,22 @@ impl<'p> CompeteProtocol<'p> {
     }
 
     /// One Algorithm-4 decay step for the main or background process.
-    fn alg4_transmit(&mut self, step: u64, bg: bool, tx: &mut TxBuf<CompeteMsg>) {
-        let block = step / self.log_n;
-        let sblock = step % self.log_n;
-        let i = (block % self.log_n) as i32 + 1;
+    fn alg4_transmit(
+        &mut self,
+        pre: &Precomputed,
+        seed: u64,
+        log_n: u64,
+        step: u64,
+        bg: bool,
+        tx: &mut TxBuf<CompeteMsg>,
+    ) {
+        let block = step / log_n;
+        let sblock = step % log_n;
+        let i = (block % log_n) as i32 + 1;
 
         // Scope key: which clusterings are active (main: depends on slot).
         let scope = if bg {
-            (step / self.pre.bg_slot_len) % self.pre.bg.len() as u64
+            (step / pre.bg_slot_len) % pre.bg.len() as u64
         } else {
             self.cur_slot.unwrap_or(0)
         };
@@ -532,51 +579,49 @@ impl<'p> CompeteProtocol<'p> {
             if bg { self.alg4_bg.key != state_key } else { self.alg4_main.key != state_key };
         if need_refresh {
             let p_participate = (2.0f64).powi(-i);
-            let mut participating = Vec::new();
             if bg {
                 let bgi = scope as u32;
+                self.alg4_bg.participating.clear();
                 for &c in &self.bg_live[bgi as usize] {
                     let coin = rng::derive(
-                        rng::derive(rng::derive(self.seed, 0xB6 ^ bgi as u64), c as u64),
+                        rng::derive(rng::derive(seed, 0xB6 ^ bgi as u64), c as u64),
                         block,
                     );
                     if (coin as f64 / u64::MAX as f64) < p_participate {
-                        participating.push((bgi, c));
+                        self.alg4_bg.participating.push((bgi, c));
                     }
                 }
-                self.alg4_bg = Alg4State { participating, key: state_key };
+                self.alg4_bg.key = state_key;
             } else {
-                let actives = self.active_fines.clone();
-                for &fi in &actives {
+                self.alg4_main.participating.clear();
+                for k in 0..self.active_fines.len() {
+                    let fi = self.active_fines[k];
                     for &c in &self.fine_live[fi as usize] {
                         // Only clusters whose coarse cluster chose this fine
                         // clustering take part.
-                        let center = self.pre.fines[fi as usize].partition.centers()[c as usize];
-                        let cc = self.pre.coarse_idx[center as usize] as usize;
+                        let center = pre.fines[fi as usize].partition.centers()[c as usize];
+                        let cc = pre.coarse_idx[center as usize] as usize;
                         if self.chosen[cc] != fi {
                             continue;
                         }
                         let coin = rng::derive(
-                            rng::derive(rng::derive(self.seed, 0xF1 ^ fi as u64), c as u64),
+                            rng::derive(rng::derive(seed, 0xF1 ^ fi as u64), c as u64),
                             block,
                         );
                         if (coin as f64 / u64::MAX as f64) < p_participate {
-                            participating.push((fi, c));
+                            self.alg4_main.participating.push((fi, c));
                         }
                     }
                 }
-                self.alg4_main = Alg4State { participating, key: state_key };
+                self.alg4_main.key = state_key;
             }
         }
 
         let p_tx = (2.0f64).powi(-(sblock as i32 + 1));
-        let participating = if bg {
-            std::mem::take(&mut self.alg4_bg.participating)
-        } else {
-            std::mem::take(&mut self.alg4_main.participating)
-        };
-        for &(ci, c) in &participating {
-            let fine = if bg { &self.pre.bg[ci as usize] } else { &self.pre.fines[ci as usize] };
+        let participating =
+            if bg { &self.alg4_bg.participating } else { &self.alg4_main.participating };
+        for &(ci, c) in participating {
+            let fine = if bg { &pre.bg[ci as usize] } else { &pre.fines[ci as usize] };
             let members = fine.partition.members(c);
             self.scratch_idx.clear();
             bernoulli_into(&mut self.rng, members.len(), p_tx, &mut self.scratch_idx);
@@ -592,22 +637,25 @@ impl<'p> CompeteProtocol<'p> {
                 }
             }
         }
-        if bg {
-            self.alg4_bg.participating = participating;
-        } else {
-            self.alg4_main.participating = participating;
-        }
     }
 
-    fn deliver_sched(&mut self, step: u64, node: NodeId, fine_idx: u32, cluster: u32, value: u64) {
-        let slot = step / self.pre.main_slot_len;
-        let pos = step % self.pre.main_slot_len;
+    fn deliver_sched(
+        &mut self,
+        pre: &Precomputed,
+        step: u64,
+        node: NodeId,
+        fine_idx: u32,
+        cluster: u32,
+        value: u64,
+    ) {
+        let slot = step / pre.main_slot_len;
+        let pos = step % pre.main_slot_len;
         // The receiver must currently be using the same fine clustering.
-        let cc = self.pre.coarse_idx[node as usize] as usize;
+        let cc = pre.coarse_idx[node as usize] as usize;
         if self.cur_slot != Some(slot) || self.chosen[cc] != fine_idx {
             return;
         }
-        let fine = &self.pre.fines[fine_idx as usize];
+        let fine = &pre.fines[fine_idx as usize];
         if fine.schedule.cluster(node) != cluster {
             return;
         }
@@ -621,16 +669,24 @@ impl<'p> CompeteProtocol<'p> {
             Phase::Down2(_) => self.m_down2.merge_max(node, stamp, value),
             Phase::Idle => return,
         }
-        self.learn(node, value);
+        self.learn(pre, node, value);
     }
 
-    fn deliver_bg_sched(&mut self, step: u64, node: NodeId, bgi: u32, cluster: u32, value: u64) {
-        let slot = step / self.pre.bg_slot_len;
-        let pos = step % self.pre.bg_slot_len;
-        if (slot % self.pre.bg.len() as u64) as u32 != bgi {
+    fn deliver_bg_sched(
+        &mut self,
+        pre: &Precomputed,
+        step: u64,
+        node: NodeId,
+        bgi: u32,
+        cluster: u32,
+        value: u64,
+    ) {
+        let slot = step / pre.bg_slot_len;
+        let pos = step % pre.bg_slot_len;
+        if (slot % pre.bg.len() as u64) as u32 != bgi {
             return;
         }
-        let fine = &self.pre.bg[bgi as usize];
+        let fine = &pre.bg[bgi as usize];
         if fine.schedule.cluster(node) != cluster {
             return;
         }
@@ -644,7 +700,154 @@ impl<'p> CompeteProtocol<'p> {
             Phase::Down2(_) => self.b_down2.merge_max(node, stamp, value),
             Phase::Idle => return,
         }
-        self.learn(node, value);
+        self.learn(pre, node, value);
+    }
+}
+
+/// Re-sizes the per-clustering `(knowing counts, live lists)` tables to the
+/// current cluster counts, reusing inner buffers with worst-case (`n`)
+/// reservations so cluster-count changes between trials never reallocate.
+fn reset_cluster_tables(
+    knowing: &mut Vec<Vec<u32>>,
+    live: &mut Vec<Vec<u32>>,
+    fines: &[FineClustering],
+    n: usize,
+) {
+    knowing.truncate(fines.len());
+    knowing.resize_with(fines.len(), Vec::new);
+    live.truncate(fines.len());
+    live.resize_with(fines.len(), Vec::new);
+    for (i, f) in fines.iter().enumerate() {
+        let k = f.partition.num_clusters();
+        knowing[i].clear();
+        knowing[i].reserve(n);
+        knowing[i].resize(k, 0);
+        live[i].clear();
+        live[i].reserve(n);
+    }
+}
+
+/// How a [`CompeteProtocol`] holds its mutable state: owned for one-shot
+/// runs, borrowed from a pool for reused trials.
+#[derive(Debug)]
+enum StateStore<'s> {
+    Owned(Box<CompeteState>),
+    Pooled(&'s mut CompeteState),
+}
+
+impl StateStore<'_> {
+    #[inline]
+    fn get(&self) -> &CompeteState {
+        match self {
+            StateStore::Owned(st) => st,
+            StateStore::Pooled(st) => st,
+        }
+    }
+
+    #[inline]
+    fn get_mut(&mut self) -> &mut CompeteState {
+        match self {
+            StateStore::Owned(st) => st,
+            StateStore::Pooled(st) => st,
+        }
+    }
+}
+
+/// The Compete propagation protocol (Algorithms 1–4 combined):
+///
+/// * global even rounds run the **main process**, odd rounds the
+///   **background process** (Algorithm 2), exactly the paper's interleaving;
+/// * within each process, even sub-rounds execute the current Intra-Cluster
+///   Propagation schedule step and odd sub-rounds the ICP **background
+///   decay** (Algorithm 4);
+/// * the main process consumes, per coarse cluster, a random sequence of
+///   fine clusterings (Algorithm 1 steps 5–7), executing one curtailed ICP
+///   (down/up/down, Algorithm 3) per sequence element;
+/// * the background process round-robins over its global clusterings.
+///
+/// The per-node state is the highest message known (`know`); completion is
+/// every node knowing the highest source message. All of that mutable state
+/// lives in a [`CompeteState`] — owned by default, or borrowed from a pool
+/// via [`CompeteProtocol::reuse`] for allocation-free repeated trials.
+#[derive(Debug)]
+pub struct CompeteProtocol<'p> {
+    pre: &'p Precomputed,
+    params: CompeteParams,
+    seed: u64,
+    log_n: u64,
+    st: StateStore<'p>,
+}
+
+impl<'p> CompeteProtocol<'p> {
+    /// Creates the propagation protocol with the given informed `sources`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sources` is empty or contains an out-of-range node.
+    pub fn new(
+        pre: &'p Precomputed,
+        params: CompeteParams,
+        sources: &[(NodeId, u64)],
+        seed: u64,
+    ) -> CompeteProtocol<'p> {
+        let st = StateStore::Owned(Box::new(CompeteState::new(pre, sources, seed)));
+        CompeteProtocol { pre, params, seed, log_n: pre.net.log2_n() as u64, st }
+    }
+
+    /// Like [`CompeteProtocol::new`] but reusing a pooled [`CompeteState`]:
+    /// `state` is reset to exactly the fresh construction (same single code
+    /// path), so runs are byte-identical to the owned form while steady-state
+    /// trials perform no heap allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sources` is empty or contains an out-of-range node.
+    pub fn reuse(
+        pre: &'p Precomputed,
+        params: CompeteParams,
+        sources: &[(NodeId, u64)],
+        seed: u64,
+        state: &'p mut CompeteState,
+    ) -> CompeteProtocol<'p> {
+        state.reset(pre, sources, seed);
+        CompeteProtocol {
+            pre,
+            params,
+            seed,
+            log_n: pre.net.log2_n() as u64,
+            st: StateStore::Pooled(state),
+        }
+    }
+
+    /// Highest message known by `node`.
+    pub fn value_of(&self, node: NodeId) -> Option<u64> {
+        self.st.get().know.get(node)
+    }
+
+    /// Whether every node knows the highest source message.
+    pub fn all_know_target(&self) -> bool {
+        let st = self.st.get();
+        st.num_know_target == st.know.n()
+    }
+
+    /// Number of nodes that know the highest source message.
+    pub fn num_knowing(&self) -> usize {
+        self.st.get().num_know_target
+    }
+
+    /// The highest source message (the value Compete must spread).
+    pub fn target(&self) -> u64 {
+        self.st.get().target
+    }
+
+    /// Routes a protocol-local round to (stream, kind, step).
+    /// stream: 0 = main, 1 = background; kind: 0 = schedule, 1 = Alg-4 decay.
+    fn route(&self, m: Round) -> (u8, u8, u64) {
+        let (stream, sub) =
+            if self.params.background_process { ((m % 2) as u8, m / 2) } else { (0u8, m) };
+        let (kind, step) =
+            if self.params.icp_background { ((sub % 2) as u8, sub / 2) } else { (0u8, sub) };
+        (stream, kind, step)
     }
 }
 
@@ -659,44 +862,48 @@ impl Protocol for CompeteProtocol<'_> {
 
     fn transmit(&mut self, round: Round, tx: &mut TxBuf<CompeteMsg>) {
         let (stream, kind, step) = self.route(round);
+        let (pre, params, seed, log_n) = (self.pre, &self.params, self.seed, self.log_n);
+        let st = self.st.get_mut();
         match (stream, kind) {
-            (0, 0) => self.main_sched_transmit(step, tx),
-            (0, 1) => self.alg4_transmit(step, false, tx),
-            (1, 0) => self.bg_sched_transmit(step, tx),
-            (1, 1) => self.alg4_transmit(step, true, tx),
+            (0, 0) => st.main_sched_transmit(pre, params, seed, step, tx),
+            (0, 1) => st.alg4_transmit(pre, seed, log_n, step, false, tx),
+            (1, 0) => st.bg_sched_transmit(pre, step, tx),
+            (1, 1) => st.alg4_transmit(pre, seed, log_n, step, true, tx),
             _ => unreachable!(),
         }
     }
 
     fn deliver(&mut self, round: Round, node: NodeId, _from: NodeId, msg: &CompeteMsg) {
         let (stream, kind, step) = self.route(round);
+        let (pre, accept_foreign) = (self.pre, self.params.alg4_accept_foreign);
+        let st = self.st.get_mut();
         match (msg, stream, kind) {
             (&CompeteMsg::Sched { fine, cluster, value }, 0, 0) => {
-                self.deliver_sched(step, node, fine, cluster, value)
+                st.deliver_sched(pre, step, node, fine, cluster, value)
             }
             (&CompeteMsg::Alg4 { fine, cluster, value }, 0, 1) => {
                 // Accept if the node's coarse cluster currently uses this
                 // clustering and the cluster matches — or unconditionally
                 // when foreign values are merged (they are true source
                 // messages; see `CompeteParams::alg4_accept_foreign`).
-                let cc = self.pre.coarse_idx[node as usize] as usize;
-                if self.params.alg4_accept_foreign
-                    || (self.chosen[cc] == fine
-                        && self.pre.fines[fine as usize].partition.cluster_index(node) == cluster)
+                let cc = pre.coarse_idx[node as usize] as usize;
+                if accept_foreign
+                    || (st.chosen[cc] == fine
+                        && pre.fines[fine as usize].partition.cluster_index(node) == cluster)
                 {
-                    self.learn(node, value);
+                    st.learn(pre, node, value);
                 }
             }
             (&CompeteMsg::BgSched { bg, cluster, value }, 1, 0) => {
-                self.deliver_bg_sched(step, node, bg, cluster, value)
+                st.deliver_bg_sched(pre, step, node, bg, cluster, value)
             }
             (&CompeteMsg::BgAlg4 { bg, cluster, value }, 1, 1) => {
-                let slot = step / self.pre.bg_slot_len;
-                if self.params.alg4_accept_foreign
-                    || ((slot % self.pre.bg.len() as u64) as u32 == bg
-                        && self.pre.bg[bg as usize].partition.cluster_index(node) == cluster)
+                let slot = step / pre.bg_slot_len;
+                if accept_foreign
+                    || ((slot % pre.bg.len() as u64) as u32 == bg
+                        && pre.bg[bg as usize].partition.cluster_index(node) == cluster)
                 {
-                    self.learn(node, value);
+                    st.learn(pre, node, value);
                 }
             }
             // Message type arriving on the wrong parity: the transmission
@@ -748,6 +955,40 @@ mod tests {
         let g = generators::path(96);
         let (ok, rounds) = run_broadcast(&g, 5, CompeteParams::default());
         assert!(ok, "broadcast did not complete in {rounds} rounds");
+    }
+
+    #[test]
+    fn reused_state_replays_fresh_runs_exactly() {
+        // One CompeteState across graphs and seeds: every reused run must
+        // report the same completion round and per-node values as a fresh
+        // construction.
+        let graphs = [generators::grid(8, 8), generators::path(60)];
+        let params = CompeteParams::default();
+        let mut state: Option<CompeteState> = None;
+        for g in &graphs {
+            let net = NetParams::of_graph(g);
+            for seed in 0..3u64 {
+                let pre = Precomputed::build(g, net, &params, seed);
+                let mut fresh = CompeteProtocol::new(&pre, params, &[(0, 42)], seed);
+                let mut sim = Simulator::new(g, CollisionModel::NoCollisionDetection, seed);
+                let fresh_stats = sim.run(&mut fresh, params.max_rounds(&net));
+
+                match &mut state {
+                    Some(st) => st.reset(&pre, &[(0, 42)], seed),
+                    slot @ None => *slot = Some(CompeteState::new(&pre, &[(0, 42)], seed)),
+                }
+                let st = state.as_mut().expect("slot was just filled");
+                let mut pooled = CompeteProtocol::reuse(&pre, params, &[(0, 42)], seed, st);
+                let mut sim = Simulator::new(g, CollisionModel::NoCollisionDetection, seed);
+                let pooled_stats = sim.run(&mut pooled, params.max_rounds(&net));
+
+                assert_eq!(fresh_stats.rounds, pooled_stats.rounds, "seed {seed}");
+                assert_eq!(fresh.num_knowing(), pooled.num_knowing());
+                for v in g.nodes() {
+                    assert_eq!(fresh.value_of(v), pooled.value_of(v), "node {v} seed {seed}");
+                }
+            }
+        }
     }
 
     #[test]

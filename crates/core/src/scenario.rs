@@ -2,10 +2,13 @@
 //! campaign registry uses to run Compete, broadcasting and leader election
 //! uniformly against any topology and collision model.
 
-use crate::api::{compete_scheduled, leader_election_scheduled};
+use crate::api::{
+    compete_pooled, compete_scheduled, leader_election_pooled, leader_election_scheduled,
+    CompetePool,
+};
 use crate::params::CompeteParams;
 use rn_graph::{traversal, Graph, NodeId};
-use rn_sim::{rng, CollisionModel, FaultSchedule, NetParams, Runnable, TrialRecord};
+use rn_sim::{rng, CollisionModel, FaultSchedule, NetParams, Runnable, TrialPool, TrialRecord};
 use std::fmt;
 use std::str::FromStr;
 
@@ -53,6 +56,21 @@ impl Runnable for BroadcastScenario {
         faults: Option<&FaultSchedule>,
     ) -> TrialRecord {
         let r = compete_scheduled(g, net, &[(0, 1)], &self.params, model, seed, faults)
+            .expect("campaign graphs are connected with an in-range source");
+        TrialRecord::new(r.completed, r.total_rounds, r.metrics)
+    }
+
+    fn run_trial_pooled(
+        &self,
+        g: &Graph,
+        net: NetParams,
+        model: CollisionModel,
+        seed: u64,
+        faults: Option<&FaultSchedule>,
+        pool: &mut TrialPool,
+    ) -> TrialRecord {
+        let (engine, cp) = pool.parts::<CompetePool>(CompetePool::new);
+        let r = compete_pooled(g, net, &[(0, 1)], &self.params, model, seed, faults, engine, cp)
             .expect("campaign graphs are connected with an in-range source");
         TrialRecord::new(r.completed, r.total_rounds, r.metrics)
     }
@@ -261,6 +279,38 @@ impl Runnable for CompeteScenario {
             .expect("campaign graphs are connected with in-range sources");
         TrialRecord::new(r.completed, r.total_rounds, r.metrics)
     }
+
+    fn run_trial_pooled(
+        &self,
+        g: &Graph,
+        net: NetParams,
+        model: CollisionModel,
+        seed: u64,
+        faults: Option<&FaultSchedule>,
+        pool: &mut TrialPool,
+    ) -> TrialRecord {
+        assert!(
+            self.sources <= g.n(),
+            "compete({}) needs {} distinct sources but the graph has only {} nodes",
+            self.sources,
+            self.sources,
+            g.n()
+        );
+        // Placement still allocates its per-trial source list (it is not on
+        // the zero-allocation contract); the precompute, protocol state and
+        // engine scratch all come from the pool.
+        let sources: Vec<(NodeId, u64)> = self
+            .placement
+            .place(g, self.sources, seed)
+            .into_iter()
+            .enumerate()
+            .map(|(k, v)| (v, (k + 1) as u64))
+            .collect();
+        let (engine, cp) = pool.parts::<CompetePool>(CompetePool::new);
+        let r = compete_pooled(g, net, &sources, &self.params, model, seed, faults, engine, cp)
+            .expect("campaign graphs are connected with in-range sources");
+        TrialRecord::new(r.completed, r.total_rounds, r.metrics)
+    }
 }
 
 /// Leader election (Algorithm 6, Theorem 5.2): candidate self-selection,
@@ -307,6 +357,25 @@ impl Runnable for LeaderElectionScenario {
         faults: Option<&FaultSchedule>,
     ) -> TrialRecord {
         let r = leader_election_scheduled(g, net, &self.params, model, seed, faults)
+            .expect("campaign graphs are connected");
+        TrialRecord::new(
+            r.compete.completed && r.unique_winner,
+            r.compete.total_rounds,
+            r.compete.metrics,
+        )
+    }
+
+    fn run_trial_pooled(
+        &self,
+        g: &Graph,
+        net: NetParams,
+        model: CollisionModel,
+        seed: u64,
+        faults: Option<&FaultSchedule>,
+        pool: &mut TrialPool,
+    ) -> TrialRecord {
+        let (engine, cp) = pool.parts::<CompetePool>(CompetePool::new);
+        let r = leader_election_pooled(g, net, &self.params, model, seed, faults, engine, cp)
             .expect("campaign graphs are connected");
         TrialRecord::new(
             r.compete.completed && r.unique_winner,
@@ -468,6 +537,33 @@ mod tests {
             let b = s.run_trial(&g, net_of(&g), CollisionModel::NoCollisionDetection, 11);
             assert_eq!(a, b, "{placement}: same seed, same trial");
             assert!(a.completed, "{placement}: completes on grid-6x6");
+        }
+    }
+
+    #[test]
+    fn pooled_trials_match_fresh_trials_exactly() {
+        // One TrialPool carried across scenarios, graphs, models and seeds:
+        // every pooled record must equal the fresh-path record bit for bit.
+        let graphs = [generators::grid(8, 8), generators::path(60)];
+        let scenarios: Vec<Box<dyn Runnable>> = vec![
+            Box::new(BroadcastScenario::czumaj_davies()),
+            Box::new(CompeteScenario::new(3)),
+            Box::new(LeaderElectionScenario::new()),
+        ];
+        let mut pool = TrialPool::new();
+        for g in &graphs {
+            let net = net_of(g);
+            for s in &scenarios {
+                for model in
+                    [CollisionModel::NoCollisionDetection, CollisionModel::CollisionDetection]
+                {
+                    for seed in 0..2u64 {
+                        let fresh = s.run_trial_scheduled(g, net, model, seed, None);
+                        let pooled = s.run_trial_pooled(g, net, model, seed, None, &mut pool);
+                        assert_eq!(fresh, pooled, "{} seed {seed}", s.name());
+                    }
+                }
+            }
         }
     }
 

@@ -86,20 +86,42 @@ impl DecayBroadcast {
         seed: u64,
         sampler: CoinSampler,
     ) -> DecayBroadcast {
-        let mut values = NodeValues::new(params.n());
-        let mut informed_list = Vec::with_capacity(sources.len());
-        for &(s, v) in sources {
-            if values.merge_max(s, v) {
-                informed_list.push(s);
-            }
-        }
-        DecayBroadcast {
+        let mut p = DecayBroadcast {
             steps: DecaySteps::for_params(&params),
-            values,
-            informed_list,
+            values: NodeValues::new(0),
+            informed_list: Vec::new(),
             coins: CoinState::new(sampler, seed),
             scratch: Vec::new(),
+        };
+        p.reset(params, sources, seed, sampler);
+        p
+    }
+
+    /// Re-arms the protocol for a fresh trial, reusing every allocation —
+    /// observably identical to [`DecayBroadcast::with_coin_sampler`] with
+    /// the same arguments (the fresh constructor is this method applied to
+    /// an empty shell, so the two paths cannot drift). Buffers are reserved
+    /// to their worst-case bound `n`, so a pooled steady-state trial never
+    /// touches the heap.
+    pub fn reset(
+        &mut self,
+        params: NetParams,
+        sources: &[(NodeId, u64)],
+        seed: u64,
+        sampler: CoinSampler,
+    ) {
+        self.steps = DecaySteps::for_params(&params);
+        self.values.reset(params.n());
+        self.informed_list.clear();
+        self.informed_list.reserve(params.n());
+        for &(s, v) in sources {
+            if self.values.merge_max(s, v) {
+                self.informed_list.push(s);
+            }
         }
+        self.coins = CoinState::new(sampler, seed);
+        self.scratch.clear();
+        self.scratch.reserve(params.n());
     }
 
     /// Single-source broadcast of `value` from `source`.
@@ -210,6 +232,35 @@ impl TruncatedDecayBroadcast {
         seed: u64,
         sampler: CoinSampler,
     ) -> TruncatedDecayBroadcast {
+        let mut p = TruncatedDecayBroadcast {
+            trunc: DecaySteps::new(2),
+            full: DecaySteps::new(2),
+            full_every: 2,
+            values: NodeValues::new(0),
+            informed_list: Vec::new(),
+            coins: CoinState::new(sampler, seed),
+            scratch: Vec::new(),
+            cycle_probs: Vec::new(),
+            cycle_exponents: Vec::new(),
+        };
+        p.reset(params, sources, seed, sampler);
+        p
+    }
+
+    /// Re-arms the protocol for a fresh trial, reusing every allocation —
+    /// observably identical to
+    /// [`TruncatedDecayBroadcast::with_coin_sampler`] with the same
+    /// arguments (the fresh constructor is this method applied to an empty
+    /// shell). The cycle tables are rebuilt in place; for a pool reused on
+    /// one topology their length never changes, so steady-state trials
+    /// never touch the heap.
+    pub fn reset(
+        &mut self,
+        params: NetParams,
+        sources: &[(NodeId, u64)],
+        seed: u64,
+        sampler: CoinSampler,
+    ) {
         let log_n = params.log2_n();
         let d = params.diameter().max(1) as f64;
         let ratio = (params.n() as f64 / d).max(2.0);
@@ -217,39 +268,33 @@ impl TruncatedDecayBroadcast {
         // Full rounds rare enough not to dominate: one per ⌈log n / k⌉ rounds.
         let full_every = ((log_n as f64 / trunc_depth as f64).ceil() as u64).max(2);
 
-        let trunc = DecaySteps::new(trunc_depth);
-        let full = DecaySteps::new(log_n.max(trunc_depth));
-        let mut cycle_probs = Vec::new();
-        let mut cycle_exponents = Vec::new();
+        self.trunc = DecaySteps::new(trunc_depth);
+        self.full = DecaySteps::new(log_n.max(trunc_depth));
+        self.full_every = full_every;
+        self.cycle_probs.clear();
+        self.cycle_exponents.clear();
         for _ in 0..(full_every - 1) {
-            for i in 0..trunc.round_len() {
-                cycle_probs.push(trunc.probability(i as u64));
-                cycle_exponents.push(trunc.exponent(i as u64));
+            for i in 0..self.trunc.round_len() {
+                self.cycle_probs.push(self.trunc.probability(i as u64));
+                self.cycle_exponents.push(self.trunc.exponent(i as u64));
             }
         }
-        for i in 0..full.round_len() {
-            cycle_probs.push(full.probability(i as u64));
-            cycle_exponents.push(full.exponent(i as u64));
+        for i in 0..self.full.round_len() {
+            self.cycle_probs.push(self.full.probability(i as u64));
+            self.cycle_exponents.push(self.full.exponent(i as u64));
         }
 
-        let mut values = NodeValues::new(params.n());
-        let mut informed_list = Vec::with_capacity(sources.len());
+        self.values.reset(params.n());
+        self.informed_list.clear();
+        self.informed_list.reserve(params.n());
         for &(s, v) in sources {
-            if values.merge_max(s, v) {
-                informed_list.push(s);
+            if self.values.merge_max(s, v) {
+                self.informed_list.push(s);
             }
         }
-        TruncatedDecayBroadcast {
-            trunc,
-            full,
-            full_every,
-            values,
-            informed_list,
-            coins: CoinState::new(sampler, seed),
-            scratch: Vec::new(),
-            cycle_probs,
-            cycle_exponents,
-        }
+        self.coins = CoinState::new(sampler, seed);
+        self.scratch.clear();
+        self.scratch.reserve(params.n());
     }
 
     /// Single-source variant.

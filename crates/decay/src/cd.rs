@@ -93,46 +93,83 @@ impl LayeredDecayCd {
     ///
     /// Panics if `sources` is empty or names a node `>= n`.
     pub fn new(params: NetParams, sources: &[(NodeId, u64)], seed: u64) -> LayeredDecayCd {
+        let mut p = LayeredDecayCd {
+            net: params,
+            wave_len: 1,
+            depth: 1,
+            beeped: WordBitset::new(0),
+            beep_round: Vec::new(),
+            has_layer: WordBitset::new(0),
+            layer: Vec::new(),
+            values: NodeValues::new(0),
+            wave_buckets: Vec::new(),
+            slot_members: [WordBitset::new(0), WordBitset::new(0), WordBitset::new(0)],
+            max_source_value: 0,
+            know_max: 0,
+            seed,
+        };
+        p.reset(params, sources, seed);
+        p
+    }
+
+    /// Re-arms the protocol for a fresh trial, reusing every allocation —
+    /// observably identical to [`LayeredDecayCd::new`] with the same
+    /// arguments (the fresh constructor is this method applied to an empty
+    /// shell). Stale per-node entries are unobservable behind their cleared
+    /// bitsets, except for the sources' `beep_round`/`layer`, which are
+    /// re-zeroed explicitly. Wave buckets keep their capacities; their
+    /// per-trial fill varies, so the decay-CD pooled path is low-alloc
+    /// rather than provably allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sources` is empty or names a node `>= n`.
+    pub fn reset(&mut self, params: NetParams, sources: &[(NodeId, u64)], seed: u64) {
         assert!(!sources.is_empty(), "layered decay needs at least one source");
         let n = params.n();
-        let wave_len = params.diameter() as u64 + 1;
-        let mut beeped = WordBitset::new(n);
-        let beep_round = vec![0; n];
-        let mut has_layer = WordBitset::new(n);
-        let layer = vec![0; n];
-        let mut values = NodeValues::new(n);
-        let mut wave_buckets = vec![Vec::new(); wave_len as usize];
-        let mut slot_members = [WordBitset::new(n), WordBitset::new(n), WordBitset::new(n)];
+        self.net = params;
+        self.wave_len = params.diameter() as u64 + 1;
+        self.depth = params.log2_n().max(1);
+        self.beeped.reset_capacity(n);
+        self.beeped.clear_all();
+        if self.beep_round.len() != n {
+            self.beep_round.clear();
+            self.beep_round.resize(n, 0);
+        }
+        self.has_layer.reset_capacity(n);
+        self.has_layer.clear_all();
+        if self.layer.len() != n {
+            self.layer.clear();
+            self.layer.resize(n, 0);
+        }
+        self.values.reset(n);
+        for b in &mut self.wave_buckets {
+            b.clear();
+        }
+        self.wave_buckets.resize_with(self.wave_len as usize, Vec::new);
+        for s in &mut self.slot_members {
+            s.reset_capacity(n);
+            s.clear_all();
+        }
         for &(s, v) in sources {
             assert!((s as usize) < n, "source {s} out of range for {n} nodes");
-            if beeped.set(s as usize) {
-                // beep_round[s] stays 0: sources beep in round 0.
-                wave_buckets[0].push(s);
+            if self.beeped.set(s as usize) {
+                // Sources beep in round 0 at layer 0 — overwrite any stale
+                // entry from a previous trial.
+                self.beep_round[s as usize] = 0;
+                self.layer[s as usize] = 0;
+                self.wave_buckets[0].push(s);
             }
-            has_layer.set(s as usize);
-            if values.merge_max(s, v) {
-                slot_members[0].set(s as usize);
+            self.has_layer.set(s as usize);
+            if self.values.merge_max(s, v) {
+                self.slot_members[0].set(s as usize);
             }
         }
-        let max_source_value = sources.iter().map(|&(_, v)| v).max().unwrap();
-        let know_max = (0..n)
-            .filter(|&v| values.get(v as NodeId).is_some_and(|x| x >= max_source_value))
+        self.max_source_value = sources.iter().map(|&(_, v)| v).max().unwrap();
+        self.know_max = (0..n)
+            .filter(|&v| self.values.get(v as NodeId).is_some_and(|x| x >= self.max_source_value))
             .count();
-        LayeredDecayCd {
-            net: params,
-            wave_len,
-            depth: params.log2_n().max(1),
-            beeped,
-            beep_round,
-            has_layer,
-            layer,
-            values,
-            wave_buckets,
-            slot_members,
-            max_source_value,
-            know_max,
-            seed,
-        }
+        self.seed = seed;
     }
 
     /// Round budget within which the protocol completes on a connected

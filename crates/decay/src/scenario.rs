@@ -5,9 +5,12 @@
 //! single-source wrappers with baseline budgets live in `rn_baselines`).
 
 use crate::broadcast::{CoinSampler, DecayBroadcast, TruncatedDecayBroadcast};
-use crate::cd::LayeredDecayCd;
+use crate::cd::{CdMsg, LayeredDecayCd};
 use rn_graph::{Graph, NodeId};
-use rn_sim::{rng, CollisionModel, FaultSchedule, NetParams, Runnable, Simulator, TrialRecord};
+use rn_sim::{
+    rng, CollisionModel, FaultSchedule, NetParams, Runnable, Simulator, TrialPool, TrialRecord,
+    TxBuf,
+};
 
 /// Multi-source decay broadcast with `sources` evenly spread sources holding
 /// distinct values; completes when every node is informed. `truncated`
@@ -63,6 +66,24 @@ impl DecayScenario {
         let k = self.sources.min(n);
         (0..k).map(|i| (((i * n) / k) as NodeId, (i + 1) as u64)).collect()
     }
+
+    /// [`DecayScenario::place_sources`] into a pooled buffer.
+    fn place_sources_into(&self, n: usize, out: &mut Vec<(NodeId, u64)>) {
+        let k = self.sources.min(n);
+        out.clear();
+        out.extend((0..k).map(|i| (((i * n) / k) as NodeId, (i + 1) as u64)));
+    }
+}
+
+/// Per-worker reusable state behind [`DecayScenario`]'s pooled trials:
+/// the source list, the typed transmission buffer, and one protocol of
+/// each variant (re-armed per trial via `reset`).
+#[derive(Debug, Default)]
+struct DecayPool {
+    sources: Vec<(NodeId, u64)>,
+    plain: Option<DecayBroadcast>,
+    trunc: Option<TruncatedDecayBroadcast>,
+    tx: TxBuf<u64>,
 }
 
 impl Runnable for DecayScenario {
@@ -89,6 +110,50 @@ impl Runnable for DecayScenario {
             let mut p = DecayBroadcast::with_coin_sampler(net, &sources, seed, self.coins);
             let stats =
                 sim.run_until(&mut p, net.decay_broadcast_budget(), |_, p| p.all_informed());
+            TrialRecord::new(p.all_informed(), stats.rounds, stats.metrics)
+        }
+    }
+
+    fn run_trial_pooled(
+        &self,
+        g: &Graph,
+        net: NetParams,
+        model: CollisionModel,
+        seed: u64,
+        faults: Option<&FaultSchedule>,
+        pool: &mut TrialPool,
+    ) -> TrialRecord {
+        let (engine, st) = pool.parts(DecayPool::default);
+        self.place_sources_into(g.n(), &mut st.sources);
+        st.tx.clear();
+        st.tx.reserve(g.n());
+        let mut sim = Simulator::reuse(engine, g, model, seed, faults.cloned());
+        let budget = net.decay_broadcast_budget();
+        if self.truncated {
+            match &mut st.trunc {
+                Some(p) => p.reset(net, &st.sources, seed, self.coins),
+                slot @ None => {
+                    *slot = Some(TruncatedDecayBroadcast::with_coin_sampler(
+                        net,
+                        &st.sources,
+                        seed,
+                        self.coins,
+                    ))
+                }
+            }
+            let p = st.trunc.as_mut().expect("slot was just filled");
+            let stats = sim.run_until_with_buf(p, &mut st.tx, budget, |_, p| p.all_informed());
+            TrialRecord::new(p.all_informed(), stats.rounds, stats.metrics)
+        } else {
+            match &mut st.plain {
+                Some(p) => p.reset(net, &st.sources, seed, self.coins),
+                slot @ None => {
+                    *slot =
+                        Some(DecayBroadcast::with_coin_sampler(net, &st.sources, seed, self.coins))
+                }
+            }
+            let p = st.plain.as_mut().expect("slot was just filled");
+            let stats = sim.run_until_with_buf(p, &mut st.tx, budget, |_, p| p.all_informed());
             TrialRecord::new(p.all_informed(), stats.rounds, stats.metrics)
         }
     }
@@ -183,6 +248,58 @@ impl Runnable for CdDecayScenario {
         let stats = sim.run_until(&mut p, budget, |_, p| p.all_know_at_least(target));
         TrialRecord::new(p.all_know_at_least(target), stats.rounds, stats.metrics)
     }
+
+    fn run_trial_pooled(
+        &self,
+        g: &Graph,
+        net: NetParams,
+        model: CollisionModel,
+        seed: u64,
+        faults: Option<&FaultSchedule>,
+        pool: &mut TrialPool,
+    ) -> TrialRecord {
+        assert!(
+            self.sources <= g.n(),
+            "compete_cd({}) needs {} distinct sources but the graph has only {} nodes",
+            self.sources,
+            self.sources,
+            g.n()
+        );
+        let (engine, st) = pool.parts(CdDecayPool::default);
+        st.sources.clear();
+        if self.fixed_origin {
+            st.sources.push((0, 1));
+        } else {
+            let mut srng = rng::stream_rng(seed, 0x50C);
+            st.sources.extend(
+                rng::sample_distinct(&mut srng, self.sources, g.n())
+                    .into_iter()
+                    .enumerate()
+                    .map(|(k, v)| (v as NodeId, (k + 1) as u64)),
+            );
+        }
+        let target = st.sources.iter().map(|&(_, v)| v).max().expect("at least one source");
+        match &mut st.protocol {
+            Some(p) => p.reset(net, &st.sources, seed),
+            slot @ None => *slot = Some(LayeredDecayCd::new(net, &st.sources, seed)),
+        }
+        let p = st.protocol.as_mut().expect("slot was just filled");
+        let budget = p.budget();
+        st.tx.clear();
+        st.tx.reserve(g.n());
+        let mut sim = Simulator::reuse(engine, g, model, seed, faults.cloned());
+        let stats =
+            sim.run_until_with_buf(p, &mut st.tx, budget, |_, p| p.all_know_at_least(target));
+        TrialRecord::new(p.all_know_at_least(target), stats.rounds, stats.metrics)
+    }
+}
+
+/// Per-worker reusable state behind [`CdDecayScenario`]'s pooled trials.
+#[derive(Debug, Default)]
+struct CdDecayPool {
+    sources: Vec<(NodeId, u64)>,
+    protocol: Option<LayeredDecayCd>,
+    tx: TxBuf<CdMsg>,
 }
 
 #[cfg(test)]
@@ -293,6 +410,59 @@ mod tests {
     #[should_panic(expected = "at least one source")]
     fn compete_cd_rejects_zero_sources() {
         CdDecayScenario::compete(0);
+    }
+
+    #[test]
+    fn pooled_trials_match_fresh_trials_exactly() {
+        // One pool survives scenario-type switches (the slot re-creates on
+        // downcast mismatch) and graph-size switches (every reset re-sizes);
+        // pooling must move allocations, never results.
+        let graphs = [generators::grid(8, 8), generators::path(50)];
+        let mut pool = TrialPool::new();
+        for s in [DecayScenario::new(4), DecayScenario::truncated(2)] {
+            for g in &graphs {
+                let net = NetParams::of_graph(g);
+                let model = CollisionModel::NoCollisionDetection;
+                for seed in 0..4 {
+                    let fresh = s.run_trial(g, net, model, seed);
+                    let pooled = s.run_trial_pooled(g, net, model, seed, None, &mut pool);
+                    assert_eq!(fresh, pooled, "{} n={} seed {seed}", s.name(), g.n());
+                }
+            }
+        }
+        for s in [CdDecayScenario::broadcast(), CdDecayScenario::compete(3)] {
+            for g in &graphs {
+                let net = NetParams::of_graph(g);
+                let model = CollisionModel::CollisionDetection;
+                for seed in 0..4 {
+                    let fresh = s.run_trial(g, net, model, seed);
+                    let pooled = s.run_trial_pooled(g, net, model, seed, None, &mut pool);
+                    assert_eq!(fresh, pooled, "{} n={} seed {seed}", s.name(), g.n());
+                }
+            }
+        }
+        // Faulted trials reuse the pool identically.
+        let g = generators::grid(6, 6);
+        let net = NetParams::of_graph(&g);
+        let s = DecayScenario::new(2);
+        let schedule =
+            rn_sim::FaultPlan::try_new(2, 0.3, 0.02, 0.01).expect("valid plan").resolve(g.n(), 99);
+        let fresh = s.run_trial_scheduled(
+            &g,
+            net,
+            CollisionModel::NoCollisionDetection,
+            5,
+            Some(&schedule),
+        );
+        let pooled = s.run_trial_pooled(
+            &g,
+            net,
+            CollisionModel::NoCollisionDetection,
+            5,
+            Some(&schedule),
+            &mut pool,
+        );
+        assert_eq!(fresh, pooled, "pooled faulted trial replays the scheduled one");
     }
 
     #[test]

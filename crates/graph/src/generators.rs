@@ -301,12 +301,33 @@ pub fn random_geometric(n: usize, radius: f64, rng: &mut impl Rng) -> Graph {
         let cy = ((p.1 * cells as f64) as usize).min(cells - 1);
         (cx, cy)
     };
-    let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); cells * cells];
+    // Counting-sorted CSR buckets (`bucket_start` offsets into a flat
+    // `bucket_nodes`) instead of a Vec-per-cell: two exact-size allocations
+    // for the whole grid, where per-cell Vecs would allocate (and
+    // repeatedly regrow) each occupied cell.
+    let num_cells = cells * cells;
+    let mut bucket_start = vec![0u32; num_cells + 1];
+    for &p in &pts {
+        let (cx, cy) = cell_of(p);
+        bucket_start[cy * cells + cx + 1] += 1;
+    }
+    for c in 0..num_cells {
+        bucket_start[c + 1] += bucket_start[c];
+    }
+    let mut bucket_nodes = vec![0u32; n];
+    let mut head = bucket_start.clone();
     for (i, &p) in pts.iter().enumerate() {
         let (cx, cy) = cell_of(p);
-        buckets[cy * cells + cx].push(i as u32);
+        let at = &mut head[cy * cells + cx];
+        bucket_nodes[*at as usize] = i as u32;
+        *at += 1;
     }
-    let mut edges = Vec::new();
+    // Expected edge count n(n-1)/2 · πr² (pairs within radius, ignoring
+    // boundary loss); reserving it up front keeps the hot collection loop
+    // from regrowing the edge list log(m) times.
+    let expected_edges =
+        (0.5 * n as f64 * (n as f64 - 1.0) * std::f64::consts::PI * r2).ceil() as usize;
+    let mut edges = Vec::with_capacity(expected_edges.min(n.saturating_mul(n) / 2));
     for (i, &p) in pts.iter().enumerate() {
         let (cx, cy) = cell_of(p);
         for dy in -1i64..=1 {
@@ -316,7 +337,8 @@ pub fn random_geometric(n: usize, radius: f64, rng: &mut impl Rng) -> Graph {
                 if nx < 0 || ny < 0 || nx >= cells as i64 || ny >= cells as i64 {
                     continue;
                 }
-                for &j in &buckets[ny as usize * cells + nx as usize] {
+                let c = ny as usize * cells + nx as usize;
+                for &j in &bucket_nodes[bucket_start[c] as usize..bucket_start[c + 1] as usize] {
                     if (j as usize) > i {
                         let q = pts[j as usize];
                         let d2 = (p.0 - q.0).powi(2) + (p.1 - q.1).powi(2);

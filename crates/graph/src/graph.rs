@@ -74,7 +74,10 @@ impl Graph {
             }
         }
 
-        // Counting sort into CSR, then dedup each adjacency list.
+        // Counting sort into CSR, then dedup each adjacency list. `deg` is
+        // reused as the scatter cursor once the prefix sums are in
+        // `offsets`, so the build allocates exactly three buffers (degrees,
+        // offsets, targets), each at its final size.
         let mut deg = vec![0u32; n];
         for &(u, v) in edges {
             deg[u as usize] += 1;
@@ -85,7 +88,8 @@ impl Graph {
             offsets[v + 1] = offsets[v] + deg[v];
         }
         let mut targets = vec![0 as NodeId; offsets[n] as usize];
-        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        let cursor = &mut deg;
+        cursor.copy_from_slice(&offsets[..n]);
         for &(u, v) in edges {
             targets[cursor[u as usize] as usize] = v;
             cursor[u as usize] += 1;

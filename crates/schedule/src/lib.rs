@@ -39,4 +39,4 @@ mod tree;
 pub use executors::{Downcast, SchedMsg, Upcast};
 pub use pipeline::{PipelineMsg, PipelinedDowncast};
 pub use scenario::{families, ScheduleFamily, ScheduleOp, ScheduleScenario, DEFAULT_SCHEDULE_BETA};
-pub use tree::{SlotPolicy, TreeSchedule};
+pub use tree::{SlotPolicy, TreeSchedule, TreeScheduleScratch};

@@ -16,13 +16,28 @@
 //! ICP has to do at a given β.
 
 use crate::executors::{Downcast, Upcast};
-use crate::tree::{SlotPolicy, TreeSchedule};
+use crate::tree::{SlotPolicy, TreeSchedule, TreeScheduleScratch};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use rn_cluster::Partition;
+use rn_cluster::{Partition, PartitionScratch};
 use rn_graph::Graph;
 use rn_sim::family::{ParsedArgs, ProtocolFamily};
-use rn_sim::{rng, CollisionModel, FaultSchedule, NetParams, Runnable, Simulator, TrialRecord};
+use rn_sim::{
+    rng, CollisionModel, FaultSchedule, NetParams, Runnable, Simulator, TrialPool, TrialRecord,
+};
+
+/// Per-worker reusable state behind [`ScheduleScenario`]'s pooled trials:
+/// the per-trial partition and tree schedule (recomputed in place) plus
+/// their construction scratch. The executors themselves still allocate
+/// their value tables — this scenario is not on the zero-allocation
+/// contract; pooling just removes the dominant construction buffers.
+#[derive(Debug, Default)]
+struct SchedulePool {
+    partition: Option<Partition>,
+    pscratch: PartitionScratch,
+    schedule: Option<TreeSchedule>,
+    sscratch: TreeScheduleScratch,
+}
 
 /// Which executor a `schedule(...)` scenario measures.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -75,6 +90,50 @@ impl ScheduleScenario {
         };
         ScheduleScenario { op, beta, label }
     }
+
+    /// One executor pass over an already-constructed clustering + schedule —
+    /// the part of the trial shared by the fresh and pooled paths.
+    fn run_pass(
+        &self,
+        g: &Graph,
+        part: &Partition,
+        sched: &TreeSchedule,
+        sim: &mut Simulator<'_>,
+    ) -> TrialRecord {
+        let radius = sched.max_depth();
+        match self.op {
+            ScheduleOp::Downcast => {
+                // Every center broadcasts a distinct per-cluster value.
+                let values: Vec<Option<u64>> =
+                    (0..part.num_clusters()).map(|i| Some(i as u64 + 1)).collect();
+                let mut dc = Downcast::from_center_values(sched, radius, &values);
+                let budget = dc.pass_len();
+                let stats = sim.run(&mut dc, budget);
+                let complete =
+                    g.nodes().all(|v| dc.value_of(v) == Some(part.cluster_index(v) as u64 + 1));
+                TrialRecord::new(complete, stats.rounds, stats.metrics)
+            }
+            ScheduleOp::Upcast => {
+                // Every node participates with a value decreasing in node
+                // id, so each center must learn the smallest member id's
+                // value — a max that genuinely has to travel.
+                let n = g.n() as u64;
+                let participating: Vec<Option<u64>> =
+                    g.nodes().map(|v| Some(n - v as u64)).collect();
+                let expected = |cluster: u32| {
+                    part.members(cluster).iter().map(|&v| n - v as u64).max().expect("non-empty")
+                };
+                let mut uc = Upcast::new(sched, radius, participating);
+                let budget = uc.pass_len();
+                let stats = sim.run(&mut uc, budget);
+                let complete = part
+                    .centers()
+                    .iter()
+                    .all(|&c| uc.value_of(c) == Some(expected(part.cluster_index(c))));
+                TrialRecord::new(complete, stats.rounds, stats.metrics)
+            }
+        }
+    }
 }
 
 impl Runnable for ScheduleScenario {
@@ -95,40 +154,35 @@ impl Runnable for ScheduleScenario {
         let mut prng = SmallRng::seed_from_u64(rng::derive(seed, 0x5CED));
         let part = Partition::compute(g, self.beta, &mut prng);
         let sched = TreeSchedule::build(g, &part, SlotPolicy::Auto);
-        let radius = sched.max_depth();
         let mut sim = Simulator::with_faults(g, model, seed, faults.cloned());
-        match self.op {
-            ScheduleOp::Downcast => {
-                // Every center broadcasts a distinct per-cluster value.
-                let values: Vec<Option<u64>> =
-                    (0..part.num_clusters()).map(|i| Some(i as u64 + 1)).collect();
-                let mut dc = Downcast::from_center_values(&sched, radius, &values);
-                let budget = dc.pass_len();
-                let stats = sim.run(&mut dc, budget);
-                let complete =
-                    g.nodes().all(|v| dc.value_of(v) == Some(part.cluster_index(v) as u64 + 1));
-                TrialRecord::new(complete, stats.rounds, stats.metrics)
-            }
-            ScheduleOp::Upcast => {
-                // Every node participates with a value decreasing in node
-                // id, so each center must learn the smallest member id's
-                // value — a max that genuinely has to travel.
-                let n = g.n() as u64;
-                let participating: Vec<Option<u64>> =
-                    g.nodes().map(|v| Some(n - v as u64)).collect();
-                let expected = |cluster: u32| {
-                    part.members(cluster).iter().map(|&v| n - v as u64).max().expect("non-empty")
-                };
-                let mut uc = Upcast::new(&sched, radius, participating);
-                let budget = uc.pass_len();
-                let stats = sim.run(&mut uc, budget);
-                let complete = part
-                    .centers()
-                    .iter()
-                    .all(|&c| uc.value_of(c) == Some(expected(part.cluster_index(c))));
-                TrialRecord::new(complete, stats.rounds, stats.metrics)
-            }
+        self.run_pass(g, &part, &sched, &mut sim)
+    }
+
+    fn run_trial_pooled(
+        &self,
+        g: &Graph,
+        _net: NetParams,
+        model: CollisionModel,
+        seed: u64,
+        faults: Option<&FaultSchedule>,
+        pool: &mut TrialPool,
+    ) -> TrialRecord {
+        let (engine, st) = pool.parts(SchedulePool::default);
+        let mut prng = SmallRng::seed_from_u64(rng::derive(seed, 0x5CED));
+        if let Some(p) = st.partition.as_mut() {
+            p.recompute(g, self.beta, &mut prng, &mut st.pscratch);
+        } else {
+            st.partition = Some(Partition::compute(g, self.beta, &mut prng));
         }
+        let part = st.partition.as_ref().expect("slot was just filled");
+        if let Some(s) = st.schedule.as_mut() {
+            s.rebuild(g, part, SlotPolicy::Auto, &mut st.sscratch);
+        } else {
+            st.schedule = Some(TreeSchedule::build(g, part, SlotPolicy::Auto));
+        }
+        let sched = st.schedule.as_ref().expect("slot was just filled");
+        let mut sim = Simulator::reuse(engine, g, model, seed, faults.cloned());
+        self.run_pass(g, part, sched, &mut sim)
     }
 }
 
@@ -223,6 +277,32 @@ mod tests {
             assert_eq!(a, b, "{op:?}: same seed, same trial");
             assert!(a.rounds > 0);
             assert!(a.metrics.transmissions > 0, "{op:?} really transmits");
+        }
+    }
+
+    #[test]
+    fn pooled_trials_match_fresh_trials_exactly() {
+        // One pool across ops, graphs and seeds (partition + schedule are
+        // recomputed in place each trial); records must match bit for bit.
+        let graphs = [generators::grid(10, 10), generators::path(40)];
+        let mut pool = TrialPool::new();
+        for op in [ScheduleOp::Downcast, ScheduleOp::Upcast] {
+            let s = ScheduleScenario::new(op, DEFAULT_SCHEDULE_BETA);
+            for g in &graphs {
+                let net = NetParams::of_graph(g);
+                for seed in 0..3 {
+                    let fresh = s.run_trial(g, net, CollisionModel::NoCollisionDetection, seed);
+                    let pooled = s.run_trial_pooled(
+                        g,
+                        net,
+                        CollisionModel::NoCollisionDetection,
+                        seed,
+                        None,
+                        &mut pool,
+                    );
+                    assert_eq!(fresh, pooled, "{op:?} n={} seed {seed}", g.n());
+                }
+            }
         }
     }
 

@@ -47,26 +47,89 @@ pub struct TreeSchedule {
     down_slot: Vec<u32>,
     /// Upcast slot of a node (valid unless it is a center), else `u32::MAX`.
     up_slot: Vec<u32>,
-    /// Nodes grouped by depth, across all clusters (they share windows).
-    nodes_at_depth: Vec<Vec<NodeId>>,
-    /// Tree children per node (CSR-ish).
-    children: Vec<Vec<NodeId>>,
+    /// CSR of nodes grouped by depth across all clusters (they share
+    /// windows): depth `d` owns `depth_nodes[depth_start[d]..depth_start[d+1]]`.
+    /// Flat so pooled rebuilds reuse two `n`-bounded buffers even when
+    /// `max_depth` changes between trials.
+    depth_start: Vec<u32>,
+    depth_nodes: Vec<NodeId>,
+    /// CSR of tree children: node `v` owns
+    /// `child_data[child_start[v]..child_start[v+1]]`.
+    child_start: Vec<u32>,
+    child_data: Vec<NodeId>,
     /// Number of nodes whose down/up color exceeded the window and wrapped.
     overflow: usize,
+}
+
+/// Reusable workspace for [`TreeSchedule::rebuild`]: the BFS queue, the
+/// greedy coloring's used-color list, and the counting-sort cursors. All
+/// three are bounded by `n`, so after the first rebuild on a given graph
+/// subsequent rebuilds perform no heap allocation.
+#[derive(Debug, Default)]
+pub struct TreeScheduleScratch {
+    queue: VecDeque<NodeId>,
+    used: Vec<u32>,
+    cursor: Vec<u32>,
 }
 
 impl TreeSchedule {
     /// Builds trees and slot colorings for every cluster of `partition`.
     pub fn build(g: &Graph, partition: &Partition, policy: SlotPolicy) -> TreeSchedule {
+        let mut sched = TreeSchedule {
+            window: 1,
+            max_depth: 0,
+            parent: Vec::new(),
+            depth: Vec::new(),
+            cluster: Vec::new(),
+            down_slot: Vec::new(),
+            up_slot: Vec::new(),
+            depth_start: Vec::new(),
+            depth_nodes: Vec::new(),
+            child_start: Vec::new(),
+            child_data: Vec::new(),
+            overflow: 0,
+        };
+        sched.rebuild(g, partition, policy, &mut TreeScheduleScratch::default());
+        sched
+    }
+
+    /// In-place [`TreeSchedule::build`]: byte-identical result (it *is* the
+    /// build code path), but every buffer is reused from `self` and
+    /// `scratch`. Pooled trial loops call this once per clustering instead
+    /// of constructing fresh schedules.
+    pub fn rebuild(
+        &mut self,
+        g: &Graph,
+        partition: &Partition,
+        policy: SlotPolicy,
+        scratch: &mut TreeScheduleScratch,
+    ) {
         let n = g.n();
-        let mut parent = vec![INVALID_NODE; n];
-        let mut depth = vec![u32::MAX; n];
-        let cluster: Vec<u32> = (0..n).map(|v| partition.cluster_index(v as NodeId)).collect();
+        let TreeScheduleScratch { queue, used, cursor } = scratch;
+        self.parent.clear();
+        self.parent.resize(n, INVALID_NODE);
+        self.depth.clear();
+        self.depth.resize(n, u32::MAX);
+        self.cluster.clear();
+        self.cluster.extend((0..n).map(|v| partition.cluster_index(v as NodeId)));
+        let TreeSchedule {
+            parent,
+            depth,
+            cluster,
+            down_slot,
+            up_slot,
+            depth_start,
+            depth_nodes,
+            child_start,
+            child_data,
+            ..
+        } = self;
 
         // Per-cluster BFS with parents, restricted to the cluster.
+        queue.clear();
+        queue.reserve(n);
         for (idx, &c) in partition.centers().iter().enumerate() {
             let idx = idx as u32;
-            let mut queue = VecDeque::new();
             depth[c as usize] = 0;
             queue.push_back(c);
             while let Some(u) = queue.pop_front() {
@@ -83,35 +146,91 @@ impl TreeSchedule {
         debug_assert!(depth.iter().all(|&d| d != u32::MAX), "clusters are connected");
 
         let max_depth = depth.iter().copied().max().unwrap_or(0);
-        let mut nodes_at_depth: Vec<Vec<NodeId>> = vec![Vec::new(); max_depth as usize + 1];
+        self.max_depth = max_depth;
+
+        // Nodes-by-depth CSR via counting sort (ascending node id per layer,
+        // matching the old push order). `cursor` doubles as the write heads.
+        depth_start.clear();
+        depth_start.reserve(n + 2);
+        depth_start.resize(max_depth as usize + 2, 0);
         for v in 0..n {
-            nodes_at_depth[depth[v] as usize].push(v as NodeId);
+            depth_start[depth[v] as usize + 1] += 1;
         }
-        let mut children: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        for d in 0..max_depth as usize + 1 {
+            depth_start[d + 1] += depth_start[d];
+        }
+        if depth_nodes.len() != n {
+            depth_nodes.clear();
+            depth_nodes.resize(n, 0);
+        }
+        cursor.clear();
+        cursor.reserve(n + 1);
+        cursor.extend_from_slice(&depth_start[..max_depth as usize + 1]);
+        for v in 0..n {
+            let at = &mut cursor[depth[v] as usize];
+            depth_nodes[*at as usize] = v as NodeId;
+            *at += 1;
+        }
+
+        // Children CSR (ascending child id per parent, as before).
+        child_start.clear();
+        child_start.resize(n + 1, 0);
+        for &p in parent.iter() {
+            if p != INVALID_NODE {
+                child_start[p as usize + 1] += 1;
+            }
+        }
+        for v in 0..n {
+            child_start[v + 1] += child_start[v];
+        }
+        child_data.clear();
+        // Reserve the worst case (every node a child) rather than the exact
+        // edge count: the count is partition- and therefore seed-dependent,
+        // and chasing it would realloc on the first trial whose trees are
+        // bushier than every one before it.
+        child_data.reserve(n);
+        child_data.resize(child_start[n] as usize, 0);
+        cursor.clear();
+        cursor.extend_from_slice(&child_start[..n]);
         for (v, &p) in parent.iter().enumerate() {
             if p != INVALID_NODE {
-                children[p as usize].push(v as NodeId);
+                let at = &mut cursor[p as usize];
+                child_data[*at as usize] = v as NodeId;
+                *at += 1;
             }
         }
 
-        // Greedy conflict colorings, one layer at a time.
-        let mut down_color = vec![u32::MAX; n];
-        let mut up_color = vec![u32::MAX; n];
+        // Greedy conflict colorings, one layer at a time, written directly
+        // into the slot arrays (folded modulo the window afterwards).
+        down_slot.clear();
+        down_slot.resize(n, u32::MAX);
+        up_slot.clear();
+        up_slot.resize(n, u32::MAX);
+        // Clear before reserving: `reserve` asks for capacity *beyond the
+        // current length*, and `used` may carry entries from the previous
+        // rebuild — without the clear, a reused scratch reallocs once here.
+        used.clear();
+        used.reserve(n);
+        let down_color = down_slot;
+        let up_color = up_slot;
         let mut max_color = 0u32;
-        for layer in &nodes_at_depth {
+        for d in 0..max_depth as usize + 1 {
+            let layer = &depth_nodes[depth_start[d] as usize..depth_start[d + 1] as usize];
             // --- Downcast: transmitters are nodes with children.
             for &p in layer {
-                if children[p as usize].is_empty() {
+                let kids = &child_data
+                    [child_start[p as usize] as usize..child_start[p as usize + 1] as usize];
+                if kids.is_empty() {
                     continue;
                 }
-                let mut used = Vec::new();
+                used.clear();
                 // Conflicts: same cluster+depth transmitters p' that are
                 // adjacent to one of p's children, or whose children are
                 // adjacent to p.
-                for &u in &children[p as usize] {
+                for &u in kids {
                     for &w in g.neighbors(u) {
-                        if w != p && is_peer_transmitter(w, p, &cluster, &depth, &children) {
-                            push_color(&mut used, down_color[w as usize]);
+                        if w != p && is_peer_transmitter(w, p, cluster, depth, child_start) {
+                            push_color(used, down_color[w as usize]);
                         }
                     }
                 }
@@ -120,12 +239,12 @@ impl TreeSchedule {
                     let pw = parent[w as usize];
                     if pw != INVALID_NODE
                         && pw != p
-                        && is_peer_transmitter(pw, p, &cluster, &depth, &children)
+                        && is_peer_transmitter(pw, p, cluster, depth, child_start)
                     {
-                        push_color(&mut used, down_color[pw as usize]);
+                        push_color(used, down_color[pw as usize]);
                     }
                 }
-                let c = smallest_free(&used);
+                let c = smallest_free(used);
                 down_color[p as usize] = c;
                 max_color = max_color.max(c);
             }
@@ -137,28 +256,30 @@ impl TreeSchedule {
                 if pu == INVALID_NODE {
                     continue;
                 }
-                let mut used = Vec::new();
+                used.clear();
                 // u' adjacent to u's parent (same cluster+depth) collides at p(u).
                 for &w in g.neighbors(pu) {
                     if w != u
                         && cluster[w as usize] == cluster[u as usize]
                         && depth[w as usize] == depth[u as usize]
                     {
-                        push_color(&mut used, up_color[w as usize]);
+                        push_color(used, up_color[w as usize]);
                     }
                 }
                 // u adjacent to p(u') collides at p(u'): conflict with u'.
                 for &w in g.neighbors(u) {
-                    for &ch in &children[w as usize] {
+                    let chs = &child_data
+                        [child_start[w as usize] as usize..child_start[w as usize + 1] as usize];
+                    for &ch in chs {
                         if ch != u
                             && cluster[ch as usize] == cluster[u as usize]
                             && depth[ch as usize] == depth[u as usize]
                         {
-                            push_color(&mut used, up_color[ch as usize]);
+                            push_color(used, up_color[ch as usize]);
                         }
                     }
                 }
-                let c = smallest_free(&used);
+                let c = smallest_free(used);
                 up_color[u as usize] = c;
                 max_color = max_color.max(c);
             }
@@ -169,38 +290,25 @@ impl TreeSchedule {
             SlotPolicy::Auto => (max_color + 1).min(params_cap.max(1)),
             SlotPolicy::Fixed(w) => w.max(1),
         };
+        self.window = window;
 
         // Fold colors into the window; count overflows.
         let mut overflow = 0;
-        let mut down_slot = vec![u32::MAX; n];
-        let mut up_slot = vec![u32::MAX; n];
         for v in 0..n {
             if down_color[v] != u32::MAX {
                 if down_color[v] >= window {
                     overflow += 1;
                 }
-                down_slot[v] = down_color[v] % window;
+                down_color[v] %= window;
             }
             if up_color[v] != u32::MAX {
                 if up_color[v] >= window {
                     overflow += 1;
                 }
-                up_slot[v] = up_color[v] % window;
+                up_color[v] %= window;
             }
         }
-
-        TreeSchedule {
-            window,
-            max_depth,
-            parent,
-            depth,
-            cluster,
-            down_slot,
-            up_slot,
-            nodes_at_depth,
-            children,
-            overflow,
-        }
+        self.overflow = overflow;
     }
 
     /// The window width `W` (slots per layer; the schedule's period).
@@ -246,13 +354,17 @@ impl TreeSchedule {
 
     /// Tree children of `v`.
     pub fn children(&self, v: NodeId) -> &[NodeId] {
-        &self.children[v as usize]
+        let v = v as usize;
+        &self.child_data[self.child_start[v] as usize..self.child_start[v + 1] as usize]
     }
 
     /// Nodes at tree depth `d`, across all clusters.
     pub fn nodes_at_depth(&self, d: u32) -> &[NodeId] {
-        static EMPTY: Vec<NodeId> = Vec::new();
-        self.nodes_at_depth.get(d as usize).unwrap_or(&EMPTY)
+        if d > self.max_depth {
+            return &[];
+        }
+        let d = d as usize;
+        &self.depth_nodes[self.depth_start[d] as usize..self.depth_start[d + 1] as usize]
     }
 
     /// How many node colors wrapped past the window (0 = fully conflict-free
@@ -316,11 +428,11 @@ fn is_peer_transmitter(
     p: NodeId,
     cluster: &[u32],
     depth: &[u32],
-    children: &[Vec<NodeId>],
+    child_start: &[u32],
 ) -> bool {
     cluster[w as usize] == cluster[p as usize]
         && depth[w as usize] == depth[p as usize]
-        && !children[w as usize].is_empty()
+        && child_start[w as usize + 1] > child_start[w as usize]
 }
 
 #[inline]
@@ -449,6 +561,35 @@ mod tests {
         let total: usize = (0..=sched.max_depth()).map(|d| sched.nodes_at_depth(d).len()).sum();
         assert_eq!(total, g.n());
         assert!(sched.nodes_at_depth(sched.max_depth() + 5).is_empty());
+    }
+
+    #[test]
+    fn rebuild_matches_fresh_build_exactly() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let g = generators::grid(11, 11);
+        let warm = generators::path(40);
+        let mut scratch = TreeScheduleScratch::default();
+        let mut pooled =
+            TreeSchedule::build(&warm, &Partition::compute(&warm, 0.5, &mut rng), SlotPolicy::Auto);
+        for beta in [1e-9, 0.2, 0.6] {
+            let part = Partition::compute(&g, beta, &mut rng);
+            for policy in [SlotPolicy::Auto, SlotPolicy::Fixed(3)] {
+                pooled.rebuild(&g, &part, policy, &mut scratch);
+                let fresh = TreeSchedule::build(&g, &part, policy);
+                assert_eq!(pooled.window, fresh.window, "beta {beta}");
+                assert_eq!(pooled.max_depth, fresh.max_depth);
+                assert_eq!(pooled.parent, fresh.parent);
+                assert_eq!(pooled.depth, fresh.depth);
+                assert_eq!(pooled.cluster, fresh.cluster);
+                assert_eq!(pooled.down_slot, fresh.down_slot);
+                assert_eq!(pooled.up_slot, fresh.up_slot);
+                assert_eq!(pooled.depth_start, fresh.depth_start);
+                assert_eq!(pooled.depth_nodes, fresh.depth_nodes);
+                assert_eq!(pooled.child_start, fresh.child_start);
+                assert_eq!(pooled.child_data, fresh.child_data);
+                assert_eq!(pooled.overflow, fresh.overflow);
+            }
+        }
     }
 
     #[test]

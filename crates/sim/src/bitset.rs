@@ -82,6 +82,19 @@ impl WordBitset {
         self.words.fill(0);
     }
 
+    /// Resizes the capacity to `n`, zeroing every bit — but only when the
+    /// capacity actually changes. Pooled reuse paths whose bits are already
+    /// clear (the engine's between-rounds invariant) pay nothing on an
+    /// unchanged `n`; callers that need a guaranteed-empty set at the same
+    /// capacity call [`WordBitset::clear_all`] instead.
+    pub fn reset_capacity(&mut self, n: usize) {
+        if self.len != n {
+            self.words.clear();
+            self.words.resize(n.div_ceil(64), 0);
+            self.len = n;
+        }
+    }
+
     /// Number of set bits.
     pub fn count_ones(&self) -> usize {
         self.words.iter().map(|w| w.count_ones() as usize).sum()

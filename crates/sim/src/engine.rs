@@ -259,13 +259,140 @@ impl Scratch {
 struct DenseScratch {
     /// Hybrid CSR/bitmap adjacency cache (see [`HybridAdjacency`]).
     adj: HybridAdjacency,
-    /// `aidx[u]` = index of `u` in this round's active list; only read for
-    /// nodes whose `tx` bit is set, so stale entries are harmless.
-    aidx: Vec<u32>,
-    /// `(active index, listener)` pairs of the round's unique-transmitter
-    /// receptions, sorted before delivery to reproduce the reference
-    /// callback order.
-    deliveries: Vec<(u32, NodeId)>,
+    /// `(first-toucher active index, listener, is_collision)` events of the
+    /// round, ordered before callback emission to reproduce the reference
+    /// order (active index asc, then listener id asc).
+    events: Vec<(u32, NodeId, bool)>,
+    /// Counting-sort bucket cursors, one per active transmitter (+1 for the
+    /// exclusive prefix sum). Under CD nearly every listener emits an event,
+    /// so the per-round ordering is a stable O(events + active) counting
+    /// sort by active index rather than an O(E log E) comparison sort.
+    event_counts: Vec<u32>,
+    /// Counting-sort output buffer (same worst case as `events`: one event
+    /// per listener).
+    events_ordered: Vec<(u32, NodeId, bool)>,
+}
+
+/// Reusable engine state: everything a [`Simulator`] would otherwise
+/// allocate per construction (channel bitsets or stamp vectors, the
+/// dense-kernel adjacency cache, the touched/active lists), hoisted into a
+/// value that survives across trials.
+///
+/// [`Simulator::reuse`] adopts a pool's `SimScratch` for one trial and
+/// resets it sparsely — the frontier bitsets are already all-clear between
+/// rounds (each step clears exactly the bits it set), so a steady-state
+/// trial on an unchanged topology performs **zero heap allocations** for
+/// engine state. The dense-kernel cache is keyed by graph identity
+/// `(address, n, m)` and survives as long as trials run on the same graph
+/// value (pool owners keep one pool per topology; the bench executor keys
+/// pools off its per-topology `OnceLock` cache, whose graphs never move).
+#[derive(Debug)]
+pub struct SimScratch {
+    scratch: Scratch,
+    dense: Option<DenseScratch>,
+    dense_key: (usize, usize, usize),
+    touched: Vec<NodeId>,
+    active_tx: Vec<(NodeId, u32)>,
+}
+
+impl SimScratch {
+    /// An empty pool slot; the first adopting [`Simulator::reuse`] sizes it
+    /// for its graph and engine mode.
+    pub fn new() -> SimScratch {
+        SimScratch {
+            scratch: Scratch::new(EngineMode::Frontier, 0),
+            dense: None,
+            dense_key: (0, 0, 0),
+            touched: Vec::new(),
+            active_tx: Vec::new(),
+        }
+    }
+
+    /// Readies the scratch for a trial of `mode` over `graph`: reuses every
+    /// buffer whose capacity still fits, clears sparsely where the between-
+    /// rounds invariant guarantees emptiness, and reserves the worst-case
+    /// bounds (`n` touched listeners, `n` active transmitters) so steady-
+    /// state rounds can never trigger mid-trial growth.
+    fn prepare(&mut self, mode: EngineMode, graph: &Graph) {
+        let n = graph.n();
+        let key = (graph as *const Graph as usize, n, graph.m());
+        if self.dense_key != key {
+            self.dense = None;
+            self.dense_key = key;
+        }
+        match (&mut self.scratch, mode) {
+            (
+                Scratch::Reference { hear_stamp, hear_count, hear_from, tx_stamp },
+                EngineMode::Reference,
+            ) => {
+                // The protocol clock restarts each trial, so stale stamps
+                // from a previous trial could alias fresh ones: zero both
+                // stamp vectors (hear_count/hear_from are only read behind a
+                // matching hear_stamp, so their stale contents are inert).
+                hear_stamp.clear();
+                hear_stamp.resize(n, 0);
+                tx_stamp.clear();
+                tx_stamp.resize(n, 0);
+                hear_count.resize(n, 0);
+                hear_from.resize(n, 0);
+            }
+            (
+                Scratch::Frontier { tx, heard, collided, hear_from, crashed, .. },
+                EngineMode::Frontier,
+            ) => {
+                // tx/heard/collided are all-clear between rounds; only a
+                // capacity change forces a re-zero. The crash bitset/queue
+                // are rebuilt by `rebuild_crash_events` in every adopting
+                // constructor.
+                tx.reset_capacity(n);
+                heard.reset_capacity(n);
+                collided.reset_capacity(n);
+                crashed.reset_capacity(n);
+                debug_assert!(tx.words().iter().all(|&w| w == 0), "tx bits leak across trials");
+                debug_assert!(heard.words().iter().all(|&w| w == 0), "heard bits leak");
+                debug_assert!(collided.words().iter().all(|&w| w == 0), "collided bits leak");
+                if hear_from.len() != n {
+                    hear_from.clear();
+                    hear_from.resize(n, 0);
+                }
+            }
+            _ => self.scratch = Scratch::new(mode, n),
+        }
+        self.touched.clear();
+        self.touched.reserve(n);
+        self.active_tx.clear();
+        self.active_tx.reserve(n);
+    }
+}
+
+impl Default for SimScratch {
+    fn default() -> Self {
+        SimScratch::new()
+    }
+}
+
+/// Where a simulator's [`SimScratch`] lives: owned by the simulator (the
+/// fresh-construction path) or borrowed from a caller's pool.
+#[derive(Debug)]
+enum Store<'s> {
+    Owned(Box<SimScratch>),
+    Pooled(&'s mut SimScratch),
+}
+
+impl Store<'_> {
+    fn get(&self) -> &SimScratch {
+        match self {
+            Store::Owned(s) => s,
+            Store::Pooled(s) => s,
+        }
+    }
+
+    fn get_mut(&mut self) -> &mut SimScratch {
+        match self {
+            Store::Owned(s) => s,
+            Store::Pooled(s) => s,
+        }
+    }
 }
 
 /// A read-only view of one finished round's channel outcome, passed to
@@ -378,13 +505,9 @@ pub struct Simulator<'g> {
     metrics: Metrics,
     trace: Option<Trace>,
     faults: Option<FaultSchedule>,
-    scratch: Scratch,
-    // Dense-round kernel scratch (frontier mode only), built on first use.
-    dense: Option<DenseScratch>,
-    touched: Vec<NodeId>,
-    // Effective transmitters this round: (node, index into the protocol's
-    // TxBuf, or NOISE_TAG for jammer noise).
-    active_tx: Vec<(NodeId, u32)>,
+    // Engine scratch: owned for fresh constructions, borrowed from a
+    // caller's pool via `Simulator::reuse`.
+    store: Store<'g>,
     seed: u64,
 }
 
@@ -436,12 +559,62 @@ impl<'g> Simulator<'g> {
         faults: Option<FaultSchedule>,
         mode: EngineMode,
     ) -> Simulator<'g> {
+        let mut scratch = Box::new(SimScratch::new());
+        scratch.prepare(mode, graph);
+        Simulator::from_store(Store::Owned(scratch), graph, model, seed, faults)
+    }
+
+    /// As [`Simulator::with_faults`], adopting a pooled [`SimScratch`]
+    /// instead of allocating fresh engine state — the steady-state trial
+    /// constructor. The scratch is reset sparsely (see [`SimScratch`]); on
+    /// an unchanged topology the construction performs no heap allocation,
+    /// and the dense-kernel adjacency cache survives across trials.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule was resolved for a different node count than
+    /// `graph` has.
+    pub fn reuse(
+        scratch: &'g mut SimScratch,
+        graph: &'g Graph,
+        model: CollisionModel,
+        seed: u64,
+        faults: Option<FaultSchedule>,
+    ) -> Simulator<'g> {
+        Simulator::reuse_with_mode(scratch, graph, model, seed, faults, EngineMode::default_mode())
+    }
+
+    /// [`Simulator::reuse`] with an explicit engine mode (differential tests
+    /// pin the mode here).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule was resolved for a different node count than
+    /// `graph` has.
+    pub fn reuse_with_mode(
+        scratch: &'g mut SimScratch,
+        graph: &'g Graph,
+        model: CollisionModel,
+        seed: u64,
+        faults: Option<FaultSchedule>,
+        mode: EngineMode,
+    ) -> Simulator<'g> {
+        scratch.prepare(mode, graph);
+        Simulator::from_store(Store::Pooled(scratch), graph, model, seed, faults)
+    }
+
+    fn from_store(
+        mut store: Store<'g>,
+        graph: &'g Graph,
+        model: CollisionModel,
+        seed: u64,
+        faults: Option<FaultSchedule>,
+    ) -> Simulator<'g> {
         let n = graph.n();
         if let Some(f) = &faults {
             assert!(f.n() == n, "fault schedule was resolved for {} nodes, graph has {n}", f.n());
         }
-        let mut scratch = Scratch::new(mode, n);
-        scratch.rebuild_crash_events(faults.as_ref(), n);
+        store.get_mut().scratch.rebuild_crash_events(faults.as_ref(), n);
         Simulator {
             graph,
             model,
@@ -449,10 +622,7 @@ impl<'g> Simulator<'g> {
             metrics: Metrics::default(),
             trace: None,
             faults,
-            scratch,
-            dense: None,
-            touched: Vec::new(),
-            active_tx: Vec::new(),
+            store,
             seed,
         }
     }
@@ -472,7 +642,7 @@ impl<'g> Simulator<'g> {
                 self.graph.n()
             );
         }
-        self.scratch.rebuild_crash_events(faults.as_ref(), self.graph.n());
+        self.store.get_mut().scratch.rebuild_crash_events(faults.as_ref(), self.graph.n());
         self.faults = faults;
     }
 
@@ -499,7 +669,7 @@ impl<'g> Simulator<'g> {
 
     /// The hot-path implementation this simulator steps with.
     pub fn mode(&self) -> EngineMode {
-        match self.scratch {
+        match self.store.get().scratch {
             Scratch::Reference { .. } => EngineMode::Reference,
             Scratch::Frontier { .. } => EngineMode::Frontier,
         }
@@ -532,7 +702,7 @@ impl<'g> Simulator<'g> {
     /// this is measurement state) can use it to track activity without
     /// scanning all of `n`.
     pub fn last_touched(&self) -> &[NodeId] {
-        &self.touched
+        &self.store.get().touched
     }
 
     /// Runs `protocol` for at most `max_rounds` rounds.
@@ -554,11 +724,35 @@ impl<'g> Simulator<'g> {
         &mut self,
         protocol: &mut P,
         max_rounds: u64,
+        stop: impl FnMut(Round, &P) -> bool,
+    ) -> RunStats {
+        self.run_until_with_buf(protocol, &mut TxBuf::new(), max_rounds, stop)
+    }
+
+    /// As [`Simulator::run`], reusing a caller-provided transmission buffer
+    /// (pooled trial loops pass their pool's buffer so per-round capacity
+    /// growth happens once per topology, not once per trial).
+    pub fn run_with_buf<P: Protocol>(
+        &mut self,
+        protocol: &mut P,
+        tx: &mut TxBuf<P::Msg>,
+        max_rounds: u64,
+    ) -> RunStats {
+        self.run_until_with_buf(protocol, tx, max_rounds, |_, _| false)
+    }
+
+    /// As [`Simulator::run_until`], reusing a caller-provided transmission
+    /// buffer.
+    pub fn run_until_with_buf<P: Protocol>(
+        &mut self,
+        protocol: &mut P,
+        tx: &mut TxBuf<P::Msg>,
+        max_rounds: u64,
         mut stop: impl FnMut(Round, &P) -> bool,
     ) -> RunStats {
         let before = self.metrics;
         let start = self.round;
-        let mut tx = TxBuf::new();
+        tx.clear();
         let outcome = loop {
             let local = self.round - start;
             if local >= max_rounds {
@@ -570,7 +764,7 @@ impl<'g> Simulator<'g> {
             if protocol.done(local) {
                 break RunOutcome::ProtocolDone;
             }
-            self.step_at(protocol, &mut tx, local);
+            self.step_at(protocol, tx, local);
         };
         RunStats { rounds: self.round - start, metrics: self.metrics.diff(before), outcome }
     }
@@ -592,7 +786,7 @@ impl<'g> Simulator<'g> {
     /// One round of `protocol` with an explicit protocol-local round number,
     /// reusing a caller-provided buffer.
     fn step_at<P: Protocol>(&mut self, protocol: &mut P, tx: &mut TxBuf<P::Msg>, local: Round) {
-        match self.scratch {
+        match self.store.get().scratch {
             Scratch::Reference { .. } => self.step_reference(protocol, tx, local),
             Scratch::Frontier { .. } => self.step_frontier(protocol, tx, local),
         }
@@ -613,8 +807,10 @@ impl<'g> Simulator<'g> {
         // Move the schedule and the active-transmitter scratch out of `self`
         // for the round, so they can be read alongside mutable scratch state.
         let faults = self.faults.take();
-        let mut active = std::mem::take(&mut self.active_tx);
-        let Scratch::Reference { hear_stamp, hear_count, hear_from, tx_stamp } = &mut self.scratch
+        let st = self.store.get_mut();
+        let mut active = std::mem::take(&mut st.active_tx);
+        let touched = &mut st.touched;
+        let Scratch::Reference { hear_stamp, hear_count, hear_from, tx_stamp } = &mut st.scratch
         else {
             unreachable!("reference step dispatched with frontier scratch");
         };
@@ -661,7 +857,7 @@ impl<'g> Simulator<'g> {
         }
 
         // Count what every potential listener hears.
-        self.touched.clear();
+        touched.clear();
         for (ai, &(u, _)) in active.iter().enumerate() {
             for &v in self.graph.neighbors(u) {
                 let vi = v as usize;
@@ -669,7 +865,7 @@ impl<'g> Simulator<'g> {
                     hear_stamp[vi] = stamp;
                     hear_count[vi] = 1;
                     hear_from[vi] = ai as u32;
-                    self.touched.push(v);
+                    touched.push(v);
                 } else {
                     hear_count[vi] += 1;
                 }
@@ -677,8 +873,8 @@ impl<'g> Simulator<'g> {
         }
 
         // Deliver / report collisions to listeners.
-        for i in 0..self.touched.len() {
-            let v = self.touched[i];
+        for i in 0..touched.len() {
+            let v = touched[i];
             let vi = v as usize;
             if tx_stamp[vi] == stamp {
                 continue; // transmitters cannot listen
@@ -719,7 +915,7 @@ impl<'g> Simulator<'g> {
                     tx_stamp: tx_stamp.as_slice(),
                     stamp,
                 },
-                frontier: &self.touched,
+                frontier: touched.as_slice(),
                 faults: faults.as_ref(),
                 round: global,
             },
@@ -728,7 +924,7 @@ impl<'g> Simulator<'g> {
         self.metrics.transmissions += active.len() as u64;
         self.metrics.rounds += 1;
         self.round += 1;
-        self.active_tx = active;
+        self.store.get_mut().active_tx = active;
         self.faults = faults;
     }
 
@@ -750,7 +946,9 @@ impl<'g> Simulator<'g> {
         protocol.transmit(local, tx);
         let global = self.round;
         let faults = self.faults.take();
-        let mut active = std::mem::take(&mut self.active_tx);
+        let st = self.store.get_mut();
+        let mut active = std::mem::take(&mut st.active_tx);
+        let SimScratch { scratch, dense, touched, .. } = st;
         let Scratch::Frontier {
             tx: tx_bits,
             heard,
@@ -759,7 +957,7 @@ impl<'g> Simulator<'g> {
             crashed,
             crash_events,
             crash_cursor,
-        } = &mut self.scratch
+        } = scratch
         else {
             unreachable!("frontier step dispatched with reference scratch");
         };
@@ -818,39 +1016,49 @@ impl<'g> Simulator<'g> {
         // Dense-round dispatch: when the transmitters' degree sum rivals
         // `n`, per-edge scatter writes lose to whole-word OR/AND
         // accumulation over adjacency rows. The word kernel reproduces the
-        // reference callback order by sorting deliveries (proof in the
-        // kernel comments), which covers plain-delivery rounds exactly;
-        // rounds that would interleave collision callbacks (CD model) or
-        // trace events keep the per-edge path.
+        // reference callback order — for deliveries *and* CD collision
+        // notifications — by recording each listener's first-toucher active
+        // index during accumulation and sorting the merged event list
+        // (proof in the kernel comments). Only traced rounds keep the
+        // per-edge path: their event interleaving is the specification.
         let graph = self.graph;
-        self.touched.clear();
-        let dense_round = self.model == CollisionModel::NoCollisionDetection
-            && self.trace.is_none()
+        touched.clear();
+        let dense_round = self.trace.is_none()
             && !active.is_empty()
             && active.iter().map(|&(u, _)| graph.degree(u)).sum::<usize>() >= graph.n();
 
         if dense_round {
-            let dense = self.dense.get_or_insert_with(|| DenseScratch {
+            let dense = dense.get_or_insert_with(|| DenseScratch {
                 adj: HybridAdjacency::for_graph(graph),
-                aidx: vec![0; graph.n()],
-                deliveries: Vec::new(),
+                events: Vec::with_capacity(graph.n()),
+                event_counts: Vec::with_capacity(graph.n() + 1),
+                events_ordered: Vec::with_capacity(graph.n()),
             });
-            for (ai, &(u, _)) in active.iter().enumerate() {
-                dense.aidx[u as usize] = ai as u32;
-            }
+            let cd = self.model == CollisionModel::CollisionDetection;
 
             // Accumulate heard/collided word-wise: a word's second energy
             // is exactly `already-heard AND row`, so the one/many lattice
-            // needs two ops per word (bitmap rows) or per edge (CSR rows).
+            // needs two ops per word (bitmap rows) or per edge (CSR rows),
+            // plus one `hear_from` write per *first touch* (bounded by the
+            // frontier size, not the degree sum) recording which active
+            // index reached the listener first. For uniquely heard
+            // listeners that index *is* the transmitter; for collided
+            // listeners it is the reference path's touch order key.
             {
                 let hw = heard.words_mut();
                 let cw = collided.words_mut();
-                for &(u, _) in active.iter() {
+                for (ai, &(u, _)) in active.iter().enumerate() {
                     if let Some(row) = dense.adj.row(u) {
                         for (wi, &rw) in row.iter().enumerate() {
                             let h = hw[wi];
                             cw[wi] |= h & rw;
+                            let mut fresh = rw & !h;
                             hw[wi] = h | rw;
+                            while fresh != 0 {
+                                let bit = fresh & fresh.wrapping_neg();
+                                fresh ^= bit;
+                                hear_from[(wi << 6) | bit.trailing_zeros() as usize] = ai as u32;
+                            }
                         }
                     } else {
                         for &v in graph.neighbors(u) {
@@ -859,6 +1067,9 @@ impl<'g> Simulator<'g> {
                             let wi = vi >> 6;
                             let h = hw[wi];
                             cw[wi] |= h & mask;
+                            if h & mask == 0 {
+                                hear_from[vi] = ai as u32;
+                            }
                             hw[wi] = h | mask;
                         }
                     }
@@ -866,14 +1077,16 @@ impl<'g> Simulator<'g> {
             }
 
             // Sweep the heard words in ascending node order: rebuild the
-            // touched list, count collisions, and resolve each uniquely
-            // heard listener's transmitter from its own adjacency row (the
-            // single neighbor with a `tx` bit). Deliveries are emitted
-            // sorted by (active index, listener): in the reference path a
-            // uniquely heard listener is touched first — and only — by its
-            // unique transmitter, so its delivery order is exactly active
-            // index asc, then neighbor (= listener id) asc.
-            dense.deliveries.clear();
+            // touched list, then emit one event per listening hearer —
+            // `(first-toucher active index, listener, is_collision)` —
+            // sorted before the callback loop. In the reference path a
+            // listener enters the touched list when its first toucher's
+            // adjacency is scanned (active index asc, neighbor id asc
+            // within it), and callbacks replay the touched list, so the
+            // sorted order reproduces the reference interleaving of
+            // deliveries and CD collision notifications exactly. Under
+            // nocd, collisions carry no callback and skip the event list.
+            dense.events.clear();
             let tw = tx_bits.words();
             for (wi, &hword) in heard.words().iter().enumerate() {
                 if hword == 0 {
@@ -887,7 +1100,7 @@ impl<'g> Simulator<'g> {
                     rest ^= bit;
                     let vi = (wi << 6) | bit.trailing_zeros() as usize;
                     let v = vi as NodeId;
-                    self.touched.push(v);
+                    touched.push(v);
                     if tword & bit != 0 {
                         continue; // transmitters cannot listen
                     }
@@ -898,29 +1111,43 @@ impl<'g> Simulator<'g> {
                     }
                     if cword & bit != 0 {
                         self.metrics.collisions += 1;
-                    } else {
-                        let u = match dense.adj.row(v) {
-                            Some(row) => {
-                                row.iter().zip(tw).enumerate().find_map(|(rwi, (&rw, &twd))| {
-                                    let x = rw & twd;
-                                    (x != 0).then(|| {
-                                        ((rwi << 6) + x.trailing_zeros() as usize) as NodeId
-                                    })
-                                })
-                            }
-                            None => graph
-                                .neighbors(v)
-                                .iter()
-                                .copied()
-                                .find(|&u| tx_bits.contains(u as usize)),
+                        if cd {
+                            dense.events.push((hear_from[vi], v, true));
                         }
-                        .expect("uniquely heard listener has a transmitting neighbor");
-                        dense.deliveries.push((dense.aidx[u as usize], v));
+                    } else {
+                        dense.events.push((hear_from[vi], v, false));
                     }
                 }
             }
-            dense.deliveries.sort_unstable();
-            for &(ai, v) in &dense.deliveries {
+            // Stable counting sort by active index: the sweep above emits
+            // events in ascending listener order, so bucketing by `ai`
+            // (stable) yields exactly (active index asc, listener asc) —
+            // the order `sort_unstable` on the `(ai, v, _)` key would
+            // produce, at O(events + active) instead of O(E log E). Under
+            // CD almost every listener is an event, so this is the round's
+            // second-largest cost after accumulation.
+            let counts = &mut dense.event_counts;
+            counts.clear();
+            counts.resize(active.len() + 1, 0);
+            for &(ai, _, _) in &dense.events {
+                counts[ai as usize + 1] += 1;
+            }
+            for i in 0..active.len() {
+                counts[i + 1] += counts[i];
+            }
+            let ordered = &mut dense.events_ordered;
+            ordered.clear();
+            ordered.resize(dense.events.len(), (0, 0, false));
+            for &(ai, v, c) in &dense.events {
+                let slot = &mut counts[ai as usize];
+                ordered[*slot as usize] = (ai, v, c);
+                *slot += 1;
+            }
+            for &(ai, v, is_collision) in ordered.iter() {
+                if is_collision {
+                    protocol.collision(local, v);
+                    continue;
+                }
                 let (_, tag) = active[ai as usize];
                 if tag == NOISE_TAG {
                     continue; // a uniquely heard noise burst is garbage
@@ -939,7 +1166,7 @@ impl<'g> Simulator<'g> {
                     let vi = v as usize;
                     if heard.set(vi) {
                         hear_from[vi] = ai as u32;
-                        self.touched.push(v);
+                        touched.push(v);
                     } else {
                         collided.set(vi);
                     }
@@ -947,8 +1174,8 @@ impl<'g> Simulator<'g> {
             }
 
             // Deliver / report collisions to listeners.
-            for i in 0..self.touched.len() {
-                let v = self.touched[i];
+            for i in 0..touched.len() {
+                let v = touched[i];
                 let vi = v as usize;
                 if tx_bits.contains(vi) {
                     continue; // transmitters cannot listen
@@ -990,7 +1217,7 @@ impl<'g> Simulator<'g> {
                     tx: &*tx_bits,
                     crashed: &*crashed,
                 },
-                frontier: &self.touched,
+                frontier: touched.as_slice(),
                 faults: faults.as_ref(),
                 round: global,
             },
@@ -1001,7 +1228,7 @@ impl<'g> Simulator<'g> {
         for &(u, _) in &active {
             tx_bits.clear(u as usize);
         }
-        for &v in &self.touched {
+        for &v in touched.iter() {
             let vi = v as usize;
             heard.clear(vi);
             collided.clear(vi);
@@ -1010,7 +1237,7 @@ impl<'g> Simulator<'g> {
         self.metrics.transmissions += active.len() as u64;
         self.metrics.rounds += 1;
         self.round += 1;
-        self.active_tx = active;
+        self.store.get_mut().active_tx = active;
         self.faults = faults;
     }
 }
@@ -1403,16 +1630,21 @@ mod tests {
         );
         let mut p = Recorder { inner: crate::testing::NaiveFlood::new(g.n(), 0), log: Vec::new() };
         let stats = sim.run(&mut p, 16);
-        assert!(sim.dense.is_some(), "degree-sum trigger must engage the dense kernel");
+        assert!(sim.store.get().dense.is_some(), "degree-sum trigger must engage the dense kernel");
         assert_eq!(a, (stats, p.log, p.inner.informed_count()));
     }
 
     #[test]
-    fn dense_kernel_skips_cd_and_traced_rounds() {
-        // The dense kernel only covers plain-delivery rounds: under CD or
-        // with tracing enabled the per-edge path must keep running (its
-        // callback/trace interleaving is the specification).
+    fn dense_kernel_engages_under_cd_and_matches_reference() {
+        // Since the CD extension, dense rounds cover both collision models:
+        // the kernel surfaces collision notifications through the sorted
+        // event list in the reference callback order. A flood on
+        // complete(64) under CD must engage the kernel *and* replay the
+        // reference log byte for byte (deliver/collision interleaving
+        // included).
         let g = generators::complete(64);
+        let a =
+            flood_trial(EngineMode::Reference, &g, CollisionModel::CollisionDetection, None, 1, 16);
         let mut sim = Simulator::with_mode(
             &g,
             CollisionModel::CollisionDetection,
@@ -1420,9 +1652,18 @@ mod tests {
             None,
             EngineMode::Frontier,
         );
-        let mut p = crate::testing::NaiveFlood::new(g.n(), 0);
-        sim.run(&mut p, 16);
-        assert!(sim.dense.is_none(), "CD rounds stay on the sparse path");
+        let mut p = Recorder { inner: crate::testing::NaiveFlood::new(g.n(), 0), log: Vec::new() };
+        let stats = sim.run(&mut p, 16);
+        assert!(sim.store.get().dense.is_some(), "CD rounds engage the dense kernel");
+        assert!(p.log.iter().any(|&(_, kind, _, _)| kind == "collision"), "CD callbacks fired");
+        assert_eq!(a, (stats, p.log, p.inner.informed_count()));
+    }
+
+    #[test]
+    fn dense_kernel_skips_traced_rounds() {
+        // Traced rounds keep the per-edge path: their event interleaving is
+        // the specification the trace records.
+        let g = generators::complete(64);
         let mut sim = Simulator::with_mode(
             &g,
             CollisionModel::NoCollisionDetection,
@@ -1433,7 +1674,39 @@ mod tests {
         sim.enable_trace(64);
         let mut p = crate::testing::NaiveFlood::new(g.n(), 0);
         sim.run(&mut p, 16);
-        assert!(sim.dense.is_none(), "traced rounds stay on the sparse path");
+        assert!(sim.store.get().dense.is_none(), "traced rounds stay on the sparse path");
+    }
+
+    #[test]
+    fn reused_scratch_replays_trials_exactly() {
+        // A pooled trial must be byte-identical to a fresh one — stats,
+        // callback log, and informed count — and the scratch must survive
+        // graph switches, fault schedules, model changes, and engine-mode
+        // changes between trials.
+        let graphs = [generators::path(16), generators::complete(40), generators::star(12)];
+        let mut scratch = SimScratch::new();
+        for mode in [EngineMode::Frontier, EngineMode::Reference] {
+            for g in &graphs {
+                for model in
+                    [CollisionModel::NoCollisionDetection, CollisionModel::CollisionDetection]
+                {
+                    for seed in 0..3u64 {
+                        let faults = (seed == 2)
+                            .then(|| FaultSchedule::new(g.n(), vec![0], 0.4, 0.2, 0.05, seed));
+                        let fresh = flood_trial(mode, g, model, faults.clone(), seed, 24);
+                        let mut sim =
+                            Simulator::reuse_with_mode(&mut scratch, g, model, seed, faults, mode);
+                        let mut p = Recorder {
+                            inner: crate::testing::NaiveFlood::new(g.n(), 0),
+                            log: Vec::new(),
+                        };
+                        let stats = sim.run(&mut p, 24);
+                        let pooled = (stats, p.log, p.inner.informed_count());
+                        assert_eq!(fresh, pooled, "pooled divergence: n={} {model:?}", g.n());
+                    }
+                }
+            }
+        }
     }
 
     /// Per-node (heard, collided, transmitted, down) snapshot of one round.

@@ -66,12 +66,12 @@ pub use bitset::WordBitset;
 pub use combinators::{Either, Faulty, Interleave, Jammer, Noise};
 pub use engine::{
     with_default_engine_mode, CollisionModel, EngineMode, Metrics, RoundView, RunOutcome, RunStats,
-    Simulator,
+    SimScratch, Simulator,
 };
 pub use family::{OverrideClass, OverrideSpec, ParsedArgs, ProtocolFamily};
 pub use faults::{FaultError, FaultPlan, FaultSchedule};
 pub use params::NetParams;
 pub use protocol::{Protocol, Round, TxBuf};
-pub use runnable::{Runnable, TrialRecord};
+pub use runnable::{Runnable, TrialPool, TrialRecord};
 pub use trace::{Event, Trace};
 pub use values::NodeValues;

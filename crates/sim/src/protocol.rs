@@ -40,6 +40,13 @@ impl<M> TxBuf<M> {
         self.entries.clear();
     }
 
+    /// Reserves room for at least `additional` further transmissions.
+    /// Pooled trial loops reserve the worst-case bound (`n`, every node
+    /// transmitting) once, so per-round `send` calls never reallocate.
+    pub fn reserve(&mut self, additional: usize) {
+        self.entries.reserve(additional);
+    }
+
     /// The recorded `(node, message)` pairs.
     pub fn entries(&self) -> &[(NodeId, M)] {
         &self.entries

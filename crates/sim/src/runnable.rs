@@ -12,9 +12,51 @@
 //! multi-source decay) — and are registered by name in `rn_bench`'s scenario
 //! registry.
 
+use crate::engine::SimScratch;
 use crate::faults::{FaultPlan, FaultSchedule};
 use crate::{rng, CollisionModel, Metrics, NetParams};
 use rn_graph::Graph;
+use std::any::Any;
+
+/// Per-worker reusable trial state: one [`SimScratch`] of engine scratch
+/// plus one type-erased slot for whatever protocol/scenario state the
+/// scenario's [`Runnable::run_trial_pooled`] override wants to carry across
+/// trials (protocol bitsets, value vectors, transmission buffers, …).
+///
+/// Campaign executors keep one pool per `(worker, topology, protocol)` so a
+/// multi-trial cell allocates its state once and every further trial runs
+/// allocation-free. The pool is plain data — dropping it is always safe,
+/// and a scenario that ignores it just runs the fresh path.
+#[derive(Debug, Default)]
+pub struct TrialPool {
+    engine: SimScratch,
+    protocol: Option<Box<dyn Any + Send>>,
+}
+
+impl TrialPool {
+    /// An empty pool; the first pooled trial populates it.
+    pub fn new() -> TrialPool {
+        TrialPool::default()
+    }
+
+    /// Splits the pool into its engine scratch and the scenario-state slot,
+    /// creating the latter with `make` when the pool is fresh or was last
+    /// used by a scenario with a different state type.
+    pub fn parts<T: Send + 'static>(
+        &mut self,
+        make: impl FnOnce() -> T,
+    ) -> (&mut SimScratch, &mut T) {
+        if !self.protocol.as_deref().is_some_and(|b| b.is::<T>()) {
+            self.protocol = Some(Box::new(make()));
+        }
+        let state = self
+            .protocol
+            .as_deref_mut()
+            .and_then(|b| b.downcast_mut::<T>())
+            .expect("slot was just ensured to hold a T");
+        (&mut self.engine, state)
+    }
+}
 
 /// Machine-readable outcome of one scenario trial.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -90,6 +132,28 @@ pub trait Runnable: Send + Sync {
         faults: Option<&FaultSchedule>,
     ) -> TrialRecord;
 
+    /// Runs one trial reusing a caller's [`TrialPool`] — the steady-state
+    /// entry point campaign executors call when they hold one pool per
+    /// `(worker, topology, protocol)`.
+    ///
+    /// Overrides **must** produce a [`TrialRecord`] byte-identical to
+    /// [`Runnable::run_trial_scheduled`] for every `(graph, net, model,
+    /// seed, faults)` tuple — pooling moves allocations, never results. The
+    /// default ignores the pool and runs the fresh path, so scenarios adopt
+    /// pooling incrementally.
+    fn run_trial_pooled(
+        &self,
+        g: &Graph,
+        net: NetParams,
+        model: CollisionModel,
+        seed: u64,
+        faults: Option<&FaultSchedule>,
+        pool: &mut TrialPool,
+    ) -> TrialRecord {
+        let _ = pool;
+        self.run_trial_scheduled(g, net, model, seed, faults)
+    }
+
     /// Runs one fault-free trial: [`Runnable::run_trial_scheduled`] with no
     /// schedule.
     fn run_trial(
@@ -124,6 +188,25 @@ pub trait Runnable: Send + Sync {
         }
         let schedule = plan.resolve(g.n(), rng::derive(seed, 0xFA17));
         self.run_trial_scheduled(g, net, model, seed, Some(&schedule))
+    }
+
+    /// [`Runnable::run_trial_under_faults`] through the pooled trial path —
+    /// identical fault resolution, records byte-identical to the fresh
+    /// method; the campaign executor's per-worker entry point.
+    fn run_trial_under_faults_pooled(
+        &self,
+        g: &Graph,
+        net: NetParams,
+        model: CollisionModel,
+        seed: u64,
+        plan: &FaultPlan,
+        pool: &mut TrialPool,
+    ) -> TrialRecord {
+        if plan.is_none() {
+            return self.run_trial_pooled(g, net, model, seed, None, pool);
+        }
+        let schedule = plan.resolve(g.n(), rng::derive(seed, 0xFA17));
+        self.run_trial_pooled(g, net, model, seed, Some(&schedule), pool)
     }
 }
 

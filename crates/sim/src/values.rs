@@ -42,6 +42,21 @@ impl NodeValues {
         NodeValues { informed: WordBitset::new(n), val: vec![0; n], count: 0 }
     }
 
+    /// Resets to the all-uninformed state for `n` nodes, reusing the
+    /// backing storage (pooled trial loops call this instead of
+    /// constructing fresh — no heap traffic unless `n` changes). Stale
+    /// values behind cleared informed bits are unobservable: every accessor
+    /// gates on the bit.
+    pub fn reset(&mut self, n: usize) {
+        self.informed.reset_capacity(n);
+        self.informed.clear_all();
+        if self.val.len() != n {
+            self.val.clear();
+            self.val.resize(n, 0);
+        }
+        self.count = 0;
+    }
+
     /// Number of nodes tracked.
     pub fn len(&self) -> usize {
         self.val.len()
