@@ -12,8 +12,7 @@
 //! The probe is pluggable ([`BroadcastKind`]) so the reduction can run over
 //! the BGI baseline (the classical setup) or over this paper's broadcast.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use rand::Rng;
 use rn_core::{CompeteParams, CompeteProtocol, Precomputed};
 use rn_decay::DecayBroadcast;
 use rn_graph::{Graph, NodeId};
@@ -79,7 +78,7 @@ pub fn binary_search_le_scheduled(
     let n = g.n();
     let log_n = net.log2_n();
     let bits = 2 * log_n;
-    let mut idrng = SmallRng::seed_from_u64(rng::derive(seed, 0x1D5));
+    let mut idrng = rng::stream_rng(seed, 0x1D5);
     let ids: Vec<u64> = (0..n).map(|_| idrng.gen::<u64>() & ((1u64 << bits.min(63)) - 1)).collect();
 
     // Per-node search state (kept per node so probe failures surface as

@@ -21,6 +21,8 @@
 //! field on either side (e.g. pre-quantile baselines) are never gated on
 //! it. CI runs this against the committed `benchmarks/baseline_smoke.json`.
 
+#![forbid(unsafe_code)]
+
 use rn_bench::diff::DEFAULT_SIGMA;
 use rn_bench::{diff_results_with, DiffOptions, Json};
 

@@ -42,6 +42,8 @@
 //! * `--check PATH` — parse and schema-validate a results file, then exit
 //!   (the CI smoke gate).
 
+#![forbid(unsafe_code)]
+
 use rn_bench::presets::{self, PresetKind};
 use rn_bench::registry::parse_model;
 use rn_bench::sink::{CampaignSink, RunHeader};
@@ -172,6 +174,7 @@ fn main() {
         usage("--no-table only makes sense with --json (there would be no output at all)");
     }
 
+    // rn-lint: allow(no-wall-clock) — CLI progress timing only, not results.
     let t_total = Instant::now();
     if let Some(spec_str) = &args.scenario {
         run_scenario(&args, spec_str);
@@ -229,6 +232,7 @@ fn run_presets(args: &Args) {
         let preset = presets::find(id).unwrap_or_else(|| {
             usage(&format!("unknown preset {id:?} (run with --list to see the registry)"))
         });
+        // rn-lint: allow(no-wall-clock) — CLI progress timing only, not results.
         let t0 = Instant::now();
         match preset.kind {
             PresetKind::Tables(run) => {

@@ -212,6 +212,7 @@ pub fn execute_with(
                         current = Some((ci, spec.protocol.instantiate()));
                     }
                     let runnable = &current.as_ref().expect("slot was just filled").1;
+                    // rn-lint: allow(no-wall-clock) — opt-in timing telemetry, stripped from diffable result bytes
                     let started = options.timing.then(Instant::now);
                     let record = runnable.run_trial_under_faults_pooled(
                         g,

@@ -8,8 +8,6 @@
 //! [`crate::campaign`].
 
 use crate::harness::{mean, parallel_trials, Table};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 use rn_baselines::{
     bgi_broadcast, binary_search_leader_election, truncated_broadcast, BroadcastKind,
 };
@@ -69,7 +67,7 @@ pub fn e1_decay_success(seed: u64) -> Vec<Table> {
 /// E2 — Lemma 2.1: Partition(β) strong radius `O(log n / β)` and edge-cut
 /// probability `O(β)`.
 pub fn e2_partition_properties(seed: u64) -> Vec<Table> {
-    let mut rng0 = SmallRng::seed_from_u64(rng::derive(seed, 1));
+    let mut rng0 = rng::stream_rng(seed, 1);
     let graphs: Vec<(&str, Graph)> = vec![
         ("grid-40x40", generators::grid(40, 40)),
         ("rgg-1600", generators::random_geometric(1600, 0.05, &mut rng0)),
@@ -84,7 +82,7 @@ pub fn e2_partition_properties(seed: u64) -> Vec<Table> {
         for j in [1u32, 2, 3, 4, 5, 6, 7] {
             let beta = (2.0f64).powi(-(j as i32));
             let results = parallel_trials(30, |i| {
-                let mut r = SmallRng::seed_from_u64(rng::derive(seed, i ^ (j as u64) << 40));
+                let mut r = rng::stream_rng(seed, i ^ (j as u64) << 40);
                 let p = Partition::compute(g, beta, &mut r);
                 let s = stats::PartitionStats::measure(g, &p);
                 (s.max_radius as f64, s.cut_fraction, s.max_bordering_clusters as f64)
@@ -115,7 +113,7 @@ pub fn e2_partition_properties(seed: u64) -> Vec<Table> {
 /// E3 — Theorem 2.2: for a random `j`, with probability ≥ 0.55 the expected
 /// distance to the cluster center is `O(log n / (β log D))`.
 pub fn e3_theorem_2_2(seed: u64) -> Vec<Table> {
-    let mut rng0 = SmallRng::seed_from_u64(rng::derive(seed, 2));
+    let mut rng0 = rng::stream_rng(seed, 2);
     let graphs: Vec<(&str, Graph)> = vec![
         ("path-2048", generators::path(2048)),
         ("grid-64x64", generators::grid(64, 64)),
@@ -135,7 +133,7 @@ pub fn e3_theorem_2_2(seed: u64) -> Vec<Table> {
         for j in 1u32..=7 {
             let beta = (2.0f64).powi(-(j as i32));
             let dists = parallel_trials(30, |i| {
-                let mut r = SmallRng::seed_from_u64(rng::derive(seed, i ^ (j as u64) << 44));
+                let mut r = rng::stream_rng(seed, i ^ (j as u64) << 44);
                 let p = Partition::compute(g, beta, &mut r);
                 p.strong_dist_to_center(g)[v as usize] as f64
             });
@@ -174,7 +172,7 @@ pub fn e3_theorem_2_2(seed: u64) -> Vec<Table> {
 /// E4 — Section 6 machinery: Lemmas 6.1, 6.2, 6.4, 6.7 on real layer
 /// vectors.
 pub fn e4_section6(seed: u64) -> Vec<Table> {
-    let mut rng0 = SmallRng::seed_from_u64(rng::derive(seed, 3));
+    let mut rng0 = rng::stream_rng(seed, 3);
     let graphs: Vec<(&str, Graph)> = vec![
         ("path-1024", generators::path(1024)),
         ("grid-48x48", generators::grid(48, 48)),
@@ -215,7 +213,7 @@ pub fn e4_section6(seed: u64) -> Vec<Table> {
             };
             // Monte-Carlo E[dist to center] for Lemma 6.1.
             let dists = parallel_trials(20, |i| {
-                let mut r = SmallRng::seed_from_u64(rng::derive(seed, i ^ (j as u64) << 48));
+                let mut r = rng::stream_rng(seed, i ^ (j as u64) << 48);
                 let p = Partition::compute(g, beta, &mut r);
                 p.strong_dist_to_center(g)[v as usize] as f64
             });
@@ -241,7 +239,7 @@ pub fn e4_section6(seed: u64) -> Vec<Table> {
 
 /// E5 — Lemma 4.3 (cluster counts near a node) and Lemma 4.4 (bad subpaths).
 pub fn e5_bad_subpaths(seed: u64) -> Vec<Table> {
-    let mut rng0 = SmallRng::seed_from_u64(rng::derive(seed, 4));
+    let mut rng0 = rng::stream_rng(seed, 4);
     let graphs: Vec<(&str, Graph)> = vec![
         ("grid-64x64", generators::grid(64, 64)),
         ("rgg-2500", generators::random_geometric(2500, 0.04, &mut rng0)),
@@ -260,7 +258,7 @@ pub fn e5_bad_subpaths(seed: u64) -> Vec<Table> {
         // Lemma 4.3: sample nodes, three radii.
         for probe_d in [1u32, 2, 4] {
             let hits = parallel_trials(25, |i| {
-                let mut r = SmallRng::seed_from_u64(rng::derive(seed, i ^ 0xE5));
+                let mut r = rng::stream_rng(seed, i ^ 0xE5);
                 let p = Partition::compute(g, beta, &mut r);
                 let mut count = 0usize;
                 let mut total = 0usize;
@@ -281,7 +279,7 @@ pub fn e5_bad_subpaths(seed: u64) -> Vec<Table> {
         let sub_len = ((d_diam as f64).powf(0.12).round() as usize).max(3);
         let nbhd = ((d_diam as f64).powf(0.11).round() as u32).max(1);
         let outcomes = parallel_trials(15, |i| {
-            let mut r = SmallRng::seed_from_u64(rng::derive(seed, i ^ 0xE5B));
+            let mut r = rng::stream_rng(seed, i ^ 0xE5B);
             let p = Partition::compute(g, beta, &mut r);
             let u = ((i as usize * 37) % g.n()) as NodeId;
             let w = ((i as usize * 101 + g.n() / 2) % g.n()) as NodeId;
@@ -315,7 +313,7 @@ pub fn e5_bad_subpaths(seed: u64) -> Vec<Table> {
 /// `(ℓ+1)·W` rounds with period `W = O(log n)`.
 pub fn e6_schedule_contract(seed: u64) -> Vec<Table> {
     use rn_schedule::{Downcast, SlotPolicy, TreeSchedule};
-    let mut rng0 = SmallRng::seed_from_u64(rng::derive(seed, 5));
+    let mut rng0 = rng::stream_rng(seed, 5);
     let graphs: Vec<(&str, Graph)> = vec![
         ("path-512", generators::path(512)),
         ("grid-32x32", generators::grid(32, 32)),
@@ -327,7 +325,7 @@ pub fn e6_schedule_contract(seed: u64) -> Vec<Table> {
         &["graph", "window W", "4·log n cap", "overflow", "ℓ", "rounds", "rounds/(ℓ+1)"],
     );
     for (name, g) in &graphs {
-        let mut r = SmallRng::seed_from_u64(rng::derive(seed, 6));
+        let mut r = rng::stream_rng(seed, 6);
         let single = Partition::compute(g, 1e-9, &mut r);
         let sched = TreeSchedule::build(g, &single, SlotPolicy::Auto);
         let cap = 4 * NetParams::new(g.n(), sched.max_depth()).log2_n();
@@ -531,7 +529,7 @@ pub fn e10_compete_sources(seed: u64) -> Vec<Table> {
     let d = net.diameter() as f64;
     for s_count in [1usize, 2, 4, 8, 16, 32, 64, 128] {
         let outcomes = parallel_trials(3, |i| {
-            let mut srng = SmallRng::seed_from_u64(rng::derive(seed, 0xE10 + i));
+            let mut srng = rng::stream_rng(seed, 0xE10 + i);
             let mut sources = Vec::with_capacity(s_count);
             for k in 0..s_count {
                 use rand::Rng;
@@ -557,7 +555,7 @@ pub fn e10_compete_sources(seed: u64) -> Vec<Table> {
 
 /// E11 — ablations of the paper's design choices.
 pub fn e11_ablations(seed: u64) -> Vec<Table> {
-    let mut rng0 = SmallRng::seed_from_u64(rng::derive(seed, 7));
+    let mut rng0 = rng::stream_rng(seed, 7);
     let graphs: Vec<(&str, Graph)> = vec![
         ("grid-48x48", generators::grid(48, 48)),
         ("chain-10x60", generators::cluster_chain(10, 60, 0.15, &mut rng0)),
@@ -650,7 +648,7 @@ pub fn e12_model(seed: u64) -> Vec<Table> {
             let mut sim = Simulator::new(&g, CollisionModel::NoCollisionDetection, seed);
             let stats = sim.run(&mut proto, budget);
             let (p, _) = proto.into_partition();
-            let mut r = SmallRng::seed_from_u64(rng::derive(seed, 22));
+            let mut r = rng::stream_rng(seed, 22);
             let oracle = Partition::compute(&g, beta, &mut r);
             tb.row(&[
                 "grid-24x24".into(),

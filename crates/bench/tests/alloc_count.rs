@@ -25,22 +25,29 @@ struct CountingAlloc;
 
 static ALLOCS: AtomicU64 = AtomicU64::new(0);
 
+// SAFETY: pure forwarding wrapper around `System`; every method delegates
+// to the corresponding `System` entry point with unchanged arguments, so
+// `System`'s layout/provenance contract is upheld verbatim.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: forwards to `System.alloc` with the caller's layout.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
         System.alloc(layout)
     }
 
+    // SAFETY: forwards to `System.alloc_zeroed` with the caller's layout.
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
         System.alloc_zeroed(layout)
     }
 
+    // SAFETY: forwards to `System.realloc` with the caller's pointer/layout.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
         System.realloc(ptr, layout, new_size)
     }
 
+    // SAFETY: forwards to `System.dealloc` with the caller's pointer/layout.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         System.dealloc(ptr, layout)
     }
@@ -59,29 +66,20 @@ fn steady_state_pooled_trials_allocate_nothing() {
     let g = TopologySpec::Rgg { n: 2000, radius: 0.05 }.build(0x5EED);
     let net = NetParams::new(g.n(), g.diameter_double_sweep());
     let mut pool = TrialPool::new();
-    for name in ["broadcast", "decay(16)"] {
+    // Four families spanning the scratch paths the clear-before-reserve
+    // lint reasons about: plain broadcast, Decay's coin batching, the
+    // CD compete path (pins CollisionDetection via `effective_model`),
+    // and the cluster partition scratch.
+    for name in ["broadcast", "decay(16)", "compete_cd(4)", "partition(0.5)"] {
         let runnable = ProtocolSpec::parse(name).instantiate();
+        let model = runnable.effective_model(CollisionModel::NoCollisionDetection);
         // Warm-up: the first trial on this (pool, scenario, graph) may
         // allocate — it builds the protocol state, reserves worst-case
         // scratch, and memoizes graph connectivity.
-        runnable.run_trial_pooled(
-            &g,
-            net,
-            CollisionModel::NoCollisionDetection,
-            0,
-            None,
-            &mut pool,
-        );
+        runnable.run_trial_pooled(&g, net, model, 0, None, &mut pool);
         for seed in 1..=5u64 {
             let before = allocation_count();
-            let record = runnable.run_trial_pooled(
-                &g,
-                net,
-                CollisionModel::NoCollisionDetection,
-                seed,
-                None,
-                &mut pool,
-            );
+            let record = runnable.run_trial_pooled(&g, net, model, seed, None, &mut pool);
             let during = allocation_count() - before;
             assert!(record.rounds > 0, "{name} seed {seed}: the trial really ran");
             assert_eq!(

@@ -19,9 +19,8 @@
 use crate::partition::Partition;
 use crate::shifts::ExponentialShifts;
 use rand::rngs::SmallRng;
-use rand::SeedableRng;
 use rn_graph::NodeId;
-use rn_sim::{rng::bernoulli_indices, NetParams, Protocol, Round, TxBuf};
+use rn_sim::{rng, rng::bernoulli_indices, NetParams, Protocol, Round, TxBuf};
 
 /// Tuning for the distributed construction.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -94,6 +93,9 @@ pub struct DistributedPartition {
     depth: u32,
     rng: SmallRng,
     scratch: Vec<usize>,
+    /// Pooled shift buffer: [`DistributedPartition::reset`] resamples into
+    /// it so repeated trials pay no shift allocation.
+    shifts: Option<ExponentialShifts>,
 }
 
 impl DistributedPartition {
@@ -109,36 +111,78 @@ impl DistributedPartition {
         config: DistributedPartitionConfig,
         seed: u64,
     ) -> DistributedPartition {
+        let mut p = DistributedPartition {
+            beta,
+            phase_len: 0,
+            num_phases: 0,
+            activation: Vec::new(),
+            own_birth: Vec::new(),
+            claim: Vec::new(),
+            dirty: Vec::new(),
+            announcers: Vec::new(),
+            depth: 0,
+            rng: rng::rng_from_seed(seed),
+            scratch: Vec::new(),
+            shifts: None,
+        };
+        p.reset(params, beta, config, seed);
+        p
+    }
+
+    /// In-place [`DistributedPartition::new`]: byte-identical protocol state
+    /// (the shift resample replays the sample draw sequence), but every
+    /// buffer is reused, so pooled trial loops re-arm the construction with
+    /// zero heap traffic once capacity covers `params.n()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `beta <= 0` or the config's `repeats_per_phase` is 0.
+    pub fn reset(
+        &mut self,
+        params: NetParams,
+        beta: f64,
+        config: DistributedPartitionConfig,
+        seed: u64,
+    ) {
         assert!(config.repeats_per_phase > 0, "need at least one decay repeat per phase");
         let n = params.n();
-        let mut shift_rng = SmallRng::seed_from_u64(seed);
-        let mut shifts = ExponentialShifts::sample(n, beta, &mut shift_rng);
+        let mut shift_rng = rng::rng_from_seed(seed);
+        let shifts = match &mut self.shifts {
+            Some(s) => {
+                s.resample(n, beta, &mut shift_rng);
+                s
+            }
+            slot @ None => {
+                *slot = Some(ExponentialShifts::sample(n, beta, &mut shift_rng));
+                slot.as_mut().expect("slot was just filled")
+            }
+        };
         let cap = (config.cap_factor * (n.max(2) as f64).ln() / beta).max(1.0);
         shifts.clamp_max(cap);
         let k = cap.ceil();
 
-        let depth = params.log2_n();
-        let phase_len = (config.repeats_per_phase * depth) as u64;
+        self.beta = beta;
+        self.depth = params.log2_n();
+        self.phase_len = (config.repeats_per_phase * self.depth) as u64;
         // Activation spread over K phases, flood for up to K more.
-        let num_phases = (2.0 * k).ceil() as u64 + 2;
+        self.num_phases = (2.0 * k).ceil() as u64 + 2;
 
-        let activation: Vec<u64> =
-            (0..n).map(|v| (k - shifts.delta(v as NodeId)).floor().max(0.0) as u64).collect();
-        let own_birth: Vec<f64> = (0..n).map(|v| k - shifts.delta(v as NodeId)).collect();
-
-        DistributedPartition {
-            beta,
-            phase_len,
-            num_phases,
-            activation,
-            own_birth,
-            claim: vec![None; n],
-            dirty: vec![false; n],
-            announcers: Vec::new(),
-            depth,
-            rng: SmallRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15),
-            scratch: Vec::new(),
-        }
+        self.activation.clear();
+        self.activation
+            .extend((0..n).map(|v| (k - shifts.delta(v as NodeId)).floor().max(0.0) as u64));
+        self.own_birth.clear();
+        self.own_birth.extend((0..n).map(|v| k - shifts.delta(v as NodeId)));
+        self.claim.clear();
+        self.claim.resize(n, None);
+        self.dirty.clear();
+        self.dirty.resize(n, false);
+        // Both are bounded by n; reserving up front keeps later trials with
+        // more announcers (a per-seed quantity) from reallocating.
+        self.announcers.clear();
+        self.announcers.reserve(n);
+        self.scratch.clear();
+        self.scratch.reserve(n);
+        self.rng = rng::rng_from_seed(seed ^ 0x9E37_79B9_7F4A_7C15);
     }
 
     /// Total number of rounds the protocol needs.
@@ -188,24 +232,39 @@ impl DistributedPartition {
     /// center, preserving the paper's §2.1 invariant. Returns the partition
     /// and the number of repairs performed.
     pub fn into_partition(self) -> (Partition, usize) {
+        let mut out = Partition::shell(self.beta);
+        let repairs = self.extract_partition(&mut out, &mut Vec::new(), &mut Vec::new());
+        (out, repairs)
+    }
+
+    /// Non-consuming [`DistributedPartition::into_partition`]: writes the
+    /// clustering into `out` (reusing its buffers) and returns the repair
+    /// count. `used` and `idx_scratch` are caller-pooled scratch, both
+    /// bounded by `n` — steady-state extraction performs no heap allocation.
+    pub fn extract_partition(
+        &self,
+        out: &mut Partition,
+        used: &mut Vec<NodeId>,
+        idx_scratch: &mut Vec<u32>,
+    ) -> usize {
         let n = self.claim.len();
-        let mut center: Vec<NodeId> =
-            (0..n).map(|v| self.claim[v].map_or(v as NodeId, |c| c.center)).collect();
+        let center = out.center_vec_mut();
+        center.clear();
+        center.extend((0..n).map(|v| self.claim[v].map_or(v as NodeId, |c| c.center)));
         // Repair pass: any node used as a center must be its own center.
+        used.clear();
+        used.extend_from_slice(center);
+        used.sort_unstable();
+        used.dedup();
         let mut repairs = 0;
-        let used: Vec<NodeId> = {
-            let mut u: Vec<NodeId> = center.clone();
-            u.sort_unstable();
-            u.dedup();
-            u
-        };
-        for c in used {
+        for &c in used.iter() {
             if center[c as usize] != c {
                 center[c as usize] = c;
                 repairs += 1;
             }
         }
-        (Partition::from_center_assignment(self.beta, center), repairs)
+        out.finish_rebuild(self.beta, idx_scratch);
+        repairs
     }
 }
 
@@ -254,6 +313,7 @@ impl Protocol for DistributedPartition {
 mod tests {
     use super::*;
     use crate::stats::PartitionStats;
+    use rand::SeedableRng;
     use rn_graph::generators;
     use rn_sim::{CollisionModel, Simulator};
 

@@ -56,6 +56,6 @@ pub mod stats;
 pub mod theory;
 
 pub use distributed::{DistributedPartition, DistributedPartitionConfig};
-pub use partition::{Partition, PartitionScratch};
+pub use partition::{Partition, PartitionScratch, ValidateScratch};
 pub use scenario::{families, PartitionFamily, PartitionScenario};
 pub use shifts::ExponentialShifts;

@@ -2,7 +2,7 @@ use crate::shifts::ExponentialShifts;
 use rand::Rng;
 use rn_graph::{traversal, Graph, NodeId, INVALID_NODE};
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 /// Total-order wrapper for `f64` race keys (shifts are continuous, so ties
 /// are measure-zero; `total_cmp` still makes the race fully deterministic).
@@ -155,8 +155,9 @@ impl Partition {
         p
     }
 
-    /// An empty partition to be filled by `race_in_place`.
-    fn shell(beta: f64) -> Partition {
+    /// An empty partition to be filled by `race_in_place` or
+    /// [`Partition::finish_rebuild`] (pooled extraction slots start here).
+    pub(crate) fn shell(beta: f64) -> Partition {
         Partition {
             beta,
             center: Vec::new(),
@@ -204,13 +205,18 @@ impl Partition {
         self.rebuild_bookkeeping(index_of_center);
     }
 
-    /// Builds the bookkeeping (cluster indices, member lists) from a raw
-    /// center assignment. Exposed for the distributed construction.
-    pub(crate) fn from_center_assignment(beta: f64, center: Vec<NodeId>) -> Partition {
-        let mut p = Partition::shell(beta);
-        p.center = center;
-        p.rebuild_bookkeeping(&mut Vec::new());
-        p
+    /// The raw center assignment, writable. Callers that fill it directly
+    /// must follow up with [`Partition::finish_rebuild`] — the pooled
+    /// extraction path in `distributed.rs` does exactly that.
+    pub(crate) fn center_vec_mut(&mut self) -> &mut Vec<NodeId> {
+        &mut self.center
+    }
+
+    /// Rebuilds every derived table from `self.center` (reusing existing
+    /// buffer capacity) after a caller wrote a new center assignment.
+    pub(crate) fn finish_rebuild(&mut self, beta: f64, index_of_center: &mut Vec<u32>) {
+        self.beta = beta;
+        self.rebuild_bookkeeping(index_of_center);
     }
 
     /// Recomputes `cluster_of` / `centers` / the member CSR from
@@ -320,21 +326,44 @@ impl Partition {
     /// if a cluster is internally disconnected, which the oracle
     /// construction never produces.
     pub fn strong_dist_to_center(&self, g: &Graph) -> Vec<u32> {
-        let mut dist = vec![u32::MAX; g.n()];
+        let mut scratch = ValidateScratch::default();
+        self.strong_dist_into(g, &mut scratch);
+        std::mem::take(&mut scratch.dist)
+    }
+
+    /// [`Partition::strong_dist_to_center`] into pooled buffers: the result
+    /// lands in `scratch.dist`, and per-cluster BFS state reuses
+    /// `scratch.bfs_dist` / `scratch.queue`.
+    fn strong_dist_into(&self, g: &Graph, scratch: &mut ValidateScratch) {
+        scratch.dist.clear();
+        scratch.dist.resize(g.n(), u32::MAX);
         for (idx, &c) in self.centers.iter().enumerate() {
             let idx = idx as u32;
-            let d = traversal::bfs_filtered(g, &[c], |v| self.cluster_of[v as usize] == idx);
+            traversal::bfs_filtered_into(
+                g,
+                &[c],
+                |v| self.cluster_of[v as usize] == idx,
+                &mut scratch.bfs_dist,
+                &mut scratch.queue,
+            );
             for &m in self.members(idx) {
-                dist[m as usize] = d[m as usize];
+                scratch.dist[m as usize] = scratch.bfs_dist[m as usize];
             }
         }
-        dist
     }
 
     /// Validates the three §2.1 invariants; returns a human-readable reason
     /// on failure. Used by tests and by the distributed construction's
     /// repair logic.
     pub fn validate(&self, g: &Graph) -> Result<(), String> {
+        self.validate_pooled(g, &mut ValidateScratch::default())
+    }
+
+    /// [`Partition::validate`] with caller-pooled traversal buffers: a
+    /// passing validation performs no heap allocation once `scratch` has
+    /// been warmed on a graph of this size (failures allocate only the
+    /// returned diagnostic string).
+    pub fn validate_pooled(&self, g: &Graph, scratch: &mut ValidateScratch) -> Result<(), String> {
         for v in g.nodes() {
             let c = self.center_of(v);
             if self.center_of(c) != c {
@@ -344,12 +373,22 @@ impl Partition {
                 return Err(format!("node {v} not in its center {c}'s cluster"));
             }
         }
-        let dist = self.strong_dist_to_center(g);
-        if let Some(v) = (0..g.n()).find(|&v| dist[v] == u32::MAX) {
+        self.strong_dist_into(g, scratch);
+        if let Some(v) = (0..g.n()).find(|&v| scratch.dist[v] == u32::MAX) {
             return Err(format!("cluster of node {v} is internally disconnected"));
         }
         Ok(())
     }
+}
+
+/// Reusable traversal buffers for [`Partition::validate_pooled`]: the
+/// strong-distance result, one BFS distance array, and the BFS queue — all
+/// bounded by `n`, so steady-state validation stays off the heap.
+#[derive(Debug, Default)]
+pub struct ValidateScratch {
+    dist: Vec<u32>,
+    bfs_dist: Vec<u32>,
+    queue: VecDeque<NodeId>,
 }
 
 #[cfg(test)]

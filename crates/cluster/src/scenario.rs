@@ -6,11 +6,12 @@
 //! topologies, collision models and fault plans) as the algorithms
 //! themselves.
 
-use crate::distributed::{DistributedPartition, DistributedPartitionConfig};
-use rn_graph::Graph;
+use crate::distributed::{Announce, DistributedPartition, DistributedPartitionConfig};
+use crate::partition::{Partition, ValidateScratch};
+use rn_graph::{Graph, NodeId};
 use rn_sim::family::{ParsedArgs, ProtocolFamily};
 use rn_sim::{
-    CollisionModel, FaultSchedule, NetParams, Runnable, Simulator, TrialPool, TrialRecord,
+    CollisionModel, FaultSchedule, NetParams, Runnable, Simulator, TrialPool, TrialRecord, TxBuf,
 };
 
 /// `partition(BETA)`: one trial runs the discretized Haeupler–Wajc race
@@ -81,18 +82,36 @@ impl Runnable for PartitionScenario {
         faults: Option<&FaultSchedule>,
         pool: &mut TrialPool,
     ) -> TrialRecord {
-        // The distributed construction consumes itself (`into_partition`),
-        // so only the engine scratch pools; protocol state stays per-trial.
-        let (engine, ()) = pool.parts(|| ());
-        let mut p =
-            DistributedPartition::new(net, self.beta, DistributedPartitionConfig::default(), seed);
+        let (engine, st) = pool.parts(PartitionPool::default);
+        let config = DistributedPartitionConfig::default();
+        match &mut st.protocol {
+            Some(p) => p.reset(net, self.beta, config, seed),
+            slot @ None => *slot = Some(DistributedPartition::new(net, self.beta, config, seed)),
+        }
+        let p = st.protocol.as_mut().expect("slot was just filled");
         let budget = p.total_rounds();
+        st.tx.clear();
+        st.tx.reserve(g.n());
         let mut sim = Simulator::reuse(engine, g, model, seed, faults.cloned());
-        let stats = sim.run(&mut p, budget);
-        let (partition, repairs) = p.into_partition();
-        let valid = repairs == 0 && partition.validate(g).is_ok();
+        let stats = sim.run_with_buf(p, &mut st.tx, budget);
+        let partition = st.partition.get_or_insert_with(|| Partition::shell(self.beta));
+        let repairs = p.extract_partition(partition, &mut st.used, &mut st.idx);
+        let valid = repairs == 0 && partition.validate_pooled(g, &mut st.validate).is_ok();
         TrialRecord::new(valid, stats.rounds, stats.metrics)
     }
+}
+
+/// Per-worker reusable state behind [`PartitionScenario`]'s pooled trials:
+/// the protocol (re-armed in place per trial), the transmission buffer, the
+/// extracted partition slot, and the extraction/validation scratch.
+#[derive(Debug, Default)]
+struct PartitionPool {
+    protocol: Option<DistributedPartition>,
+    tx: TxBuf<Announce>,
+    partition: Option<Partition>,
+    used: Vec<NodeId>,
+    idx: Vec<u32>,
+    validate: ValidateScratch,
 }
 
 /// `partition(BETA)` — the family registration.

@@ -1,8 +1,7 @@
 use crate::params::CompeteParams;
 use crate::precompute::{PrecomputeScratch, Precomputed};
 use crate::protocol::{CompeteMsg, CompeteProtocol, CompeteState};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use rand::Rng;
 use rn_graph::{Graph, NodeId};
 use rn_sim::{
     rng, CollisionModel, FaultSchedule, Metrics, NetParams, RunOutcome, SimScratch, Simulator,
@@ -135,6 +134,12 @@ pub struct CompetePool {
     state: CompeteState,
     tx: TxBuf<CompeteMsg>,
     candidates: Vec<(NodeId, u64)>,
+    /// Source-placement scratch for the compete scenarios: the raw Floyd
+    /// sample, the placed node ids, and the `(node, value)` list handed to
+    /// the protocol — reused so steady-state placement is allocation-free.
+    pub(crate) place_idx: Vec<usize>,
+    pub(crate) source_ids: Vec<NodeId>,
+    pub(crate) sources: Vec<(NodeId, u64)>,
     /// `(address, n, m)` of the last graph whose connectivity check passed;
     /// a matching key skips the allocating BFS. Callers must keep graphs at
     /// stable addresses for the pool's lifetime (campaign executors cache
@@ -150,6 +155,9 @@ impl Default for CompetePool {
             state: CompeteState::default(),
             tx: TxBuf::new(),
             candidates: Vec::new(),
+            place_idx: Vec::new(),
+            source_ids: Vec::new(),
+            sources: Vec::new(),
             connected: None,
         }
     }
@@ -278,7 +286,7 @@ pub fn leader_election_pooled(
     // the same derived seed stream the fresh path recurses into.
     let mut cur_seed = seed;
     loop {
-        let mut crng = SmallRng::seed_from_u64(rng::derive(cur_seed, 0xCA4D));
+        let mut crng = rng::stream_rng(cur_seed, 0xCA4D);
         pool.candidates.clear();
         for v in g.nodes() {
             if crng.gen::<f64>() < p_cand {
@@ -489,7 +497,7 @@ fn run_leader_election(
     // Step 1: candidates with probability Θ(log n / n); the constant 2 keeps
     // P[no candidate] ≤ n^-2 while |C| = O(log n) whp.
     let p_cand = (2.0 * net.log2_n() as f64 / n as f64).min(1.0);
-    let mut crng = SmallRng::seed_from_u64(rng::derive(seed, 0xCA4D));
+    let mut crng = rng::stream_rng(seed, 0xCA4D);
     let mut candidates: Vec<(NodeId, u64)> = Vec::new();
     for v in g.nodes() {
         if crng.gen::<f64>() < p_cand {

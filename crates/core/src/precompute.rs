@@ -1,6 +1,4 @@
 use crate::params::{CompeteParams, PrecomputeMode};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 use rn_cluster::{Partition, PartitionScratch};
 use rn_graph::Graph;
 use rn_schedule::{SlotPolicy, TreeSchedule, TreeScheduleScratch};
@@ -106,7 +104,7 @@ impl Precomputed {
     /// replaces. Keeps fresh and pooled construction on one code path.
     pub(crate) fn shell() -> Precomputed {
         let g1 = Graph::from_edges(1, &[]).expect("one-node graph");
-        let mut r = SmallRng::seed_from_u64(0);
+        let mut r = rng::rng_from_seed(0);
         let coarse = Partition::compute(&g1, 1.0, &mut r);
         let coarse_sched = TreeSchedule::build(&g1, &coarse, SlotPolicy::Fixed(1));
         Precomputed {
@@ -144,7 +142,7 @@ impl Precomputed {
 
         // Step 1: coarse clustering with β = D^-0.5.
         let beta_c = params.coarse_beta(&net);
-        let mut rng_c = SmallRng::seed_from_u64(rng::derive(seed, 1));
+        let mut rng_c = rng::stream_rng(seed, 1);
         self.coarse.recompute(g, beta_c, &mut rng_c, &mut scratch.partition);
         charged += ((log_n * log_n * log_n) as f64 / beta_c).ceil() as u64;
 
@@ -169,7 +167,7 @@ impl Precomputed {
             let beta = (2.0f64).powi(-(j as i32));
             let radius = params.curtail_radius(&net, j);
             let stream = 1000 + (ji as u64) * 512 + t as u64;
-            let mut r = SmallRng::seed_from_u64(rng::derive(seed, stream));
+            let mut r = rng::stream_rng(seed, stream);
             if let Some(f) = self.fines.get_mut(i) {
                 f.partition.recompute_within(
                     g,
@@ -202,7 +200,7 @@ impl Precomputed {
         let bg_count = copies.max(2) as usize;
         self.bg.truncate(bg_count);
         for t in 0..bg_count {
-            let mut r = SmallRng::seed_from_u64(rng::derive(seed, 9000 + t as u64));
+            let mut r = rng::stream_rng(seed, 9000 + t as u64);
             if let Some(f) = self.bg.get_mut(t) {
                 f.partition.recompute(g, beta_bg, &mut r, &mut scratch.partition);
                 f.schedule.rebuild(g, &f.partition, SlotPolicy::Auto, &mut scratch.schedule);

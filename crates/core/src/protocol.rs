@@ -1,7 +1,6 @@
 use crate::params::{CompeteParams, SequenceScope};
 use crate::precompute::{FineClustering, Precomputed};
 use rand::rngs::SmallRng;
-use rand::SeedableRng;
 use rn_graph::NodeId;
 use rn_sim::{rng, Protocol, Round, TxBuf, WordBitset};
 
@@ -272,7 +271,7 @@ impl Default for CompeteState {
             b_down2: Scratch::new(0),
             alg4_main: Alg4State::default(),
             alg4_bg: Alg4State::default(),
-            rng: SmallRng::seed_from_u64(0),
+            rng: rng::rng_from_seed(0),
             scratch_idx: Vec::new(),
         }
     }
@@ -332,7 +331,7 @@ impl CompeteState {
         self.alg4_bg.reset();
         self.alg4_bg.participating.reserve(n);
 
-        self.rng = SmallRng::seed_from_u64(rng::derive(seed, 0xC0));
+        self.rng = rng::stream_rng(seed, 0xC0);
         self.scratch_idx.clear();
         self.scratch_idx.reserve(n);
 

@@ -116,17 +116,41 @@ impl SourcePlacement {
     ///
     /// Panics if `k > g.n()`.
     pub fn place(self, g: &Graph, k: usize, seed: u64) -> Vec<NodeId> {
+        let (mut idx, mut out) = (Vec::new(), Vec::new());
+        self.place_into(g, k, seed, &mut idx, &mut out);
+        out
+    }
+
+    /// [`SourcePlacement::place`] into caller-owned buffers (both cleared
+    /// first): `idx_scratch` holds the raw Floyd sample, `out` the node
+    /// ids. Pooled trial loops reuse the buffers across trials, keeping
+    /// steady-state `Uniform` placement off the heap (the BFS-ball
+    /// policies still allocate their traversal internally).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > g.n()`.
+    pub fn place_into(
+        self,
+        g: &Graph,
+        k: usize,
+        seed: u64,
+        idx_scratch: &mut Vec<usize>,
+        out: &mut Vec<NodeId>,
+    ) {
         assert!(k <= g.n(), "cannot place {k} distinct sources on {} nodes", g.n());
+        out.clear();
         match self {
             SourcePlacement::Uniform => {
                 let mut srng = rng::stream_rng(seed, 0x50C);
-                rng::sample_distinct(&mut srng, k, g.n()).into_iter().map(|v| v as NodeId).collect()
+                rng::sample_distinct_into(&mut srng, k, g.n(), idx_scratch);
+                out.extend(idx_scratch.iter().map(|&v| v as NodeId));
             }
             SourcePlacement::Clustered => {
                 let center = (rng::derive(seed, 0xCE27) % g.n() as u64) as NodeId;
-                nearest_k(g, center, k)
+                out.extend(nearest_k(g, center, k));
             }
-            SourcePlacement::Corner => nearest_k(g, 0, k),
+            SourcePlacement::Corner => out.extend(nearest_k(g, 0, k)),
         }
     }
 }
@@ -296,19 +320,17 @@ impl Runnable for CompeteScenario {
             self.sources,
             g.n()
         );
-        // Placement still allocates its per-trial source list (it is not on
-        // the zero-allocation contract); the precompute, protocol state and
-        // engine scratch all come from the pool.
-        let sources: Vec<(NodeId, u64)> = self
-            .placement
-            .place(g, self.sources, seed)
-            .into_iter()
-            .enumerate()
-            .map(|(k, v)| (v, (k + 1) as u64))
-            .collect();
+        // Per-trial source placement draws from the pool too: uniform
+        // placement fills reused buffers, so steady-state trials stay on
+        // the zero-allocation contract the alloc_count gate pins.
         let (engine, cp) = pool.parts::<CompetePool>(CompetePool::new);
+        let mut sources = std::mem::take(&mut cp.sources);
+        self.placement.place_into(g, self.sources, seed, &mut cp.place_idx, &mut cp.source_ids);
+        sources.clear();
+        sources.extend(cp.source_ids.iter().enumerate().map(|(k, &v)| (v, (k + 1) as u64)));
         let r = compete_pooled(g, net, &sources, &self.params, model, seed, faults, engine, cp)
             .expect("campaign graphs are connected with in-range sources");
+        cp.sources = sources; // hand the buffer back for the next trial
         TrialRecord::new(r.completed, r.total_rounds, r.metrics)
     }
 }

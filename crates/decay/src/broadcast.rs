@@ -1,8 +1,7 @@
 use crate::primitive::DecaySteps;
 use rand::rngs::SmallRng;
-use rand::SeedableRng;
 use rn_graph::NodeId;
-use rn_sim::rng::{bernoulli_indices, bernoulli_pow2_indices, WordStream};
+use rn_sim::rng::{self, bernoulli_indices, bernoulli_pow2_indices, WordStream};
 use rn_sim::{NetParams, NodeValues, Protocol, Round, TxBuf};
 
 /// How a decay protocol draws its per-round transmission coins.
@@ -36,7 +35,7 @@ enum CoinState {
 impl CoinState {
     fn new(sampler: CoinSampler, seed: u64) -> CoinState {
         match sampler {
-            CoinSampler::PerIndex => CoinState::PerIndex(SmallRng::seed_from_u64(seed)),
+            CoinSampler::PerIndex => CoinState::PerIndex(rng::rng_from_seed(seed)),
             CoinSampler::Batched => CoinState::Batched(WordStream::new(seed, 0xC01)),
         }
     }

@@ -62,13 +62,20 @@ pub struct LayeredDecayCd {
     /// Highest value known per node (sources start informed); the informed
     /// bitset + dense value array replaces the old `Vec<Option<u64>>`.
     values: NodeValues,
-    /// Wave-phase beep schedule as per-round buckets: `wave_buckets[r]`
-    /// holds the nodes due to beep in round `r` (each node at most once —
-    /// `beeped` is set at most once per node). Buckets for round `r`
-    /// are complete before `transmit(r)` runs and are sorted at emission,
-    /// so the beep order matches the original full `beep_at` scan without
-    /// touching all `n` nodes every wave round.
-    wave_buckets: Vec<Vec<NodeId>>,
+    /// Wave-phase beep schedule as a flat arena of per-round buckets:
+    /// `wave_nodes[wave_cur_start..]` is the bucket for the next wave
+    /// round. Pushes are strictly monotone in bucket index — round `r`'s
+    /// deliveries/collisions only ever schedule beeps for round `r + 1`,
+    /// and `transmit(r)` retires its bucket by advancing `wave_cur_start`
+    /// — so one `Vec` with a moving start replaces a `Vec<Vec>` per round.
+    /// Each node enters at most once (`beeped` gates pushes), so one
+    /// up-front reserve of `n` keeps steady-state pooled trials
+    /// allocation-free. Buckets are sorted at emission, so the beep order
+    /// matches the original full `beep_at` scan without touching all `n`
+    /// nodes every wave round.
+    wave_nodes: Vec<NodeId>,
+    /// Start offset in `wave_nodes` of the bucket currently being filled.
+    wave_cur_start: usize,
     /// Decay-phase participants by time slot (`layer % 3`): a node joins
     /// the moment it becomes informed (its layer is fixed by then and never
     /// changes). Iterating set bits in increasing id order reproduces the
@@ -102,7 +109,8 @@ impl LayeredDecayCd {
             has_layer: WordBitset::new(0),
             layer: Vec::new(),
             values: NodeValues::new(0),
-            wave_buckets: Vec::new(),
+            wave_nodes: Vec::new(),
+            wave_cur_start: 0,
             slot_members: [WordBitset::new(0), WordBitset::new(0), WordBitset::new(0)],
             max_source_value: 0,
             know_max: 0,
@@ -143,10 +151,9 @@ impl LayeredDecayCd {
             self.layer.resize(n, 0);
         }
         self.values.reset(n);
-        for b in &mut self.wave_buckets {
-            b.clear();
-        }
-        self.wave_buckets.resize_with(self.wave_len as usize, Vec::new);
+        self.wave_nodes.clear();
+        self.wave_nodes.reserve(n);
+        self.wave_cur_start = 0;
         for s in &mut self.slot_members {
             s.reset_capacity(n);
             s.clear_all();
@@ -158,7 +165,7 @@ impl LayeredDecayCd {
                 // entry from a previous trial.
                 self.beep_round[s as usize] = 0;
                 self.layer[s as usize] = 0;
-                self.wave_buckets[0].push(s);
+                self.wave_nodes.push(s);
             }
             self.has_layer.set(s as usize);
             if self.values.merge_max(s, v) {
@@ -217,7 +224,7 @@ impl LayeredDecayCd {
             self.beep_round[node as usize] = round + 1;
             self.has_layer.set(node as usize);
             self.layer[node as usize] = (round + 1) as u32;
-            self.wave_buckets[(round + 1) as usize].push(node);
+            self.wave_nodes.push(node);
         }
     }
 
@@ -239,11 +246,12 @@ impl Protocol for LayeredDecayCd {
             // This round's bucket was filled during round - 1 (in engine
             // discovery order) and is complete by now; sorting restores the
             // increasing-id emission order of the original beep_at scan.
-            let bucket = &mut self.wave_buckets[round as usize];
-            bucket.sort_unstable();
-            for i in 0..bucket.len() {
-                tx.send(bucket[i], CdMsg::Beep);
+            self.wave_nodes[self.wave_cur_start..].sort_unstable();
+            for i in self.wave_cur_start..self.wave_nodes.len() {
+                tx.send(self.wave_nodes[i], CdMsg::Beep);
             }
+            // Retire the bucket: deliveries of this round fill the next.
+            self.wave_cur_start = self.wave_nodes.len();
             return;
         }
         let r2 = round - self.wave_len;

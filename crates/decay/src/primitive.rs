@@ -1,7 +1,6 @@
 use rand::rngs::SmallRng;
-use rand::SeedableRng;
 use rn_graph::NodeId;
-use rn_sim::{rng::bernoulli_indices, NetParams, Protocol, Round, TxBuf};
+use rn_sim::{rng, rng::bernoulli_indices, NetParams, Protocol, Round, TxBuf};
 
 /// Step/probability bookkeeping for the Decay primitive (Algorithm 5).
 ///
@@ -100,7 +99,7 @@ impl SingleDecayRound {
             steps: DecaySteps::new(depth),
             participants,
             received: vec![false; n],
-            rng: SmallRng::seed_from_u64(seed),
+            rng: rng::rng_from_seed(seed),
             scratch: Vec::new(),
         }
     }

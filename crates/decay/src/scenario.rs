@@ -270,12 +270,12 @@ impl Runnable for CdDecayScenario {
         if self.fixed_origin {
             st.sources.push((0, 1));
         } else {
+            // Draw-identical to `sample_distinct`, but into the pooled
+            // index buffer: steady-state placement stays off the heap.
             let mut srng = rng::stream_rng(seed, 0x50C);
+            rng::sample_distinct_into(&mut srng, self.sources, g.n(), &mut st.place_idx);
             st.sources.extend(
-                rng::sample_distinct(&mut srng, self.sources, g.n())
-                    .into_iter()
-                    .enumerate()
-                    .map(|(k, v)| (v as NodeId, (k + 1) as u64)),
+                st.place_idx.iter().enumerate().map(|(k, &v)| (v as NodeId, (k + 1) as u64)),
             );
         }
         let target = st.sources.iter().map(|&(_, v)| v).max().expect("at least one source");
@@ -297,6 +297,7 @@ impl Runnable for CdDecayScenario {
 /// Per-worker reusable state behind [`CdDecayScenario`]'s pooled trials.
 #[derive(Debug, Default)]
 struct CdDecayPool {
+    place_idx: Vec<usize>,
     sources: Vec<(NodeId, u64)>,
     protocol: Option<LayeredDecayCd>,
     tx: TxBuf<CdMsg>,

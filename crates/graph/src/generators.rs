@@ -687,13 +687,19 @@ mod tests {
     #[test]
     fn pair_index_enumerates_all_pairs() {
         let n = 7;
-        let mut seen = std::collections::HashSet::new();
+        // Deterministic membership: a dense pair-indexed bitmap (the
+        // enumeration domain is exactly the u<v pairs of an n-clique).
+        let mut seen = vec![false; n * n];
+        let mut count = 0usize;
         for idx in 0..(n * (n - 1) / 2) {
             let (u, v) = pair_from_index(idx, n);
             assert!(u < v && (v as usize) < n);
-            assert!(seen.insert((u, v)));
+            let slot = u as usize * n + v as usize;
+            assert!(!seen[slot], "pair ({u},{v}) enumerated twice");
+            seen[slot] = true;
+            count += 1;
         }
-        assert_eq!(seen.len(), n * (n - 1) / 2);
+        assert_eq!(count, n * (n - 1) / 2);
     }
 
     #[test]

@@ -76,7 +76,26 @@ impl HybridAdjacency {
                 row[(u as usize) >> 6] |= 1u64 << (u as usize & 63);
             }
         }
-        HybridAdjacency { words, row_of, bits, threshold }
+        let adj = HybridAdjacency { words, row_of, bits, threshold };
+        // Debug-build round-trip check, compiled out in release: every
+        // bitmap row decodes to exactly its node's CSR neighbor list.
+        #[cfg(debug_assertions)]
+        for &v in rows {
+            let row = adj.row(v).expect("row was just built");
+            let pop: usize = row.iter().map(|w| w.count_ones() as usize).sum();
+            debug_assert_eq!(
+                pop,
+                g.degree(v),
+                "HybridAdjacency: row popcount diverged from degree of node {v}"
+            );
+            for &u in g.neighbors(v) {
+                debug_assert!(
+                    row[(u as usize) >> 6] & (1u64 << (u as usize & 63)) != 0,
+                    "HybridAdjacency: neighbor {u} of {v} missing from bitmap row"
+                );
+            }
+        }
+        adj
     }
 
     /// The bitmap row of `v` (one bit per neighbor), or `None` if `v` is

@@ -240,6 +240,7 @@ impl TopologySpec {
     /// Panics if the spec's parameters violate a generator precondition
     /// (parsing via [`FromStr`] rejects such specs up front).
     pub fn build(&self, seed: u64) -> Graph {
+        // rn-lint: allow(rng-discipline) — rn_graph cannot depend on rn_sim; seeding pinned by byte-identity tests
         let mut rng = SmallRng::seed_from_u64(seed);
         match *self {
             TopologySpec::Path(n) => generators::path(n),

@@ -1,0 +1,484 @@
+//! A small hand-rolled Rust tokenizer: just enough lexical structure for
+//! token-pattern lint rules.
+//!
+//! The hard part of string-searching Rust source is not finding `HashMap` —
+//! it is *not* finding it inside `// comments`, `"string literals"`,
+//! `r#"raw strings"#` and doc examples. This lexer resolves exactly that
+//! layer: it splits source into code tokens (identifiers, punctuation,
+//! lifetimes, opaque literals) and a side channel of comments, handling
+//!
+//! * line comments (`//`, including `///` / `//!` doc comments),
+//! * nested block comments (`/* /* */ */`, including `/**` / `/*!` docs),
+//! * string literals with escapes, byte strings, C strings,
+//! * raw strings `r"…"` / `r#"…"#` / `br##"…"##` with any hash count,
+//! * char and byte-char literals (`'a'`, `'\u{41}'`, `b'\n'`) versus
+//!   lifetimes (`'a`, `'static`, `'_`),
+//! * raw identifiers (`r#type`),
+//! * numeric literals (hex/oct/bin prefixes, floats, exponents, suffixes)
+//!   without swallowing range punctuation (`0..n` stays three tokens).
+//!
+//! Literal *contents* are dropped — rules only ever need to know "a literal
+//! stood here" — while comments keep their text (with line numbers) so the
+//! rule layer can read `// rn-lint: allow(...)` annotations and `// SAFETY:`
+//! justifications.
+
+/// The kind of one lexed code token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (raw identifiers arrive with the `r#`
+    /// prefix stripped).
+    Ident(String),
+    /// A lifetime or loop label, tick stripped (`'a` → `a`).
+    Lifetime(String),
+    /// A single punctuation character; multi-character operators arrive as
+    /// consecutive tokens (`::` is two `Punct(':')`).
+    Punct(char),
+    /// Any literal (string, raw string, byte string, C string, char, byte
+    /// char, or number). Contents are intentionally dropped.
+    Literal,
+}
+
+/// One code token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// What the token is.
+    pub kind: TokKind,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+/// One comment (line or block) with its starting line and full text
+/// (markers included, so `text.starts_with("///")` distinguishes docs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Raw comment text including the `//` / `/*` markers.
+    pub text: String,
+}
+
+impl Comment {
+    /// Whether this is a doc comment (`///`, `//!`, `/**`, `/*!` — but not
+    /// `////`, which rustdoc treats as a plain comment).
+    pub fn is_doc(&self) -> bool {
+        (self.text.starts_with("///") && !self.text.starts_with("////"))
+            || self.text.starts_with("//!")
+            || (self.text.starts_with("/**") && !self.text.starts_with("/***"))
+            || self.text.starts_with("/*!")
+    }
+}
+
+/// Tokenized source: the code-token stream plus the comment side channel.
+#[derive(Debug, Clone, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub toks: Vec<Tok>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+struct Cursor {
+    chars: Vec<char>,
+    at: usize,
+    line: u32,
+}
+
+impl Cursor {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.at + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.at).copied();
+        if let Some(c) = c {
+            self.at += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Tokenizes `src`. Never fails: malformed source degrades to punctuation
+/// tokens rather than panicking, so the lint stays usable on code that does
+/// not yet compile.
+pub fn lex(src: &str) -> Lexed {
+    let mut cur = Cursor { chars: src.chars().collect(), at: 0, line: 1 };
+    let mut out = Lexed::default();
+    while let Some(c) = cur.peek(0) {
+        if c.is_whitespace() {
+            cur.bump();
+        } else if c == '/' && cur.peek(1) == Some('/') {
+            line_comment(&mut cur, &mut out);
+        } else if c == '/' && cur.peek(1) == Some('*') {
+            block_comment(&mut cur, &mut out);
+        } else if c == '"' {
+            let line = cur.line;
+            string_literal(&mut cur);
+            out.toks.push(Tok { kind: TokKind::Literal, line });
+        } else if c == '\'' {
+            char_or_lifetime(&mut cur, &mut out);
+        } else if try_prefixed_literal(&mut cur, &mut out) {
+            // r"…", r#"…"#, b"…", b'…', br#"…"#, c"…", cr#"…"# or r#ident —
+            // consumed by the helper.
+        } else if is_ident_start(c) {
+            let line = cur.line;
+            let name = read_ident(&mut cur);
+            out.toks.push(Tok { kind: TokKind::Ident(name), line });
+        } else if c.is_ascii_digit() {
+            let line = cur.line;
+            number_literal(&mut cur);
+            out.toks.push(Tok { kind: TokKind::Literal, line });
+        } else {
+            let line = cur.line;
+            cur.bump();
+            out.toks.push(Tok { kind: TokKind::Punct(c), line });
+        }
+    }
+    out
+}
+
+fn line_comment(cur: &mut Cursor, out: &mut Lexed) {
+    let line = cur.line;
+    let mut text = String::new();
+    while let Some(c) = cur.peek(0) {
+        if c == '\n' {
+            break;
+        }
+        text.push(c);
+        cur.bump();
+    }
+    out.comments.push(Comment { line, text });
+}
+
+fn block_comment(cur: &mut Cursor, out: &mut Lexed) {
+    let line = cur.line;
+    let mut text = String::new();
+    let mut depth = 0usize;
+    while let Some(c) = cur.peek(0) {
+        if c == '/' && cur.peek(1) == Some('*') {
+            depth += 1;
+            text.push_str("/*");
+            cur.bump_n(2);
+        } else if c == '*' && cur.peek(1) == Some('/') {
+            depth -= 1;
+            text.push_str("*/");
+            cur.bump_n(2);
+            if depth == 0 {
+                break;
+            }
+        } else {
+            text.push(c);
+            cur.bump();
+        }
+    }
+    out.comments.push(Comment { line, text });
+}
+
+/// Consumes a `"…"` string with backslash escapes (opening quote included).
+fn string_literal(cur: &mut Cursor) {
+    cur.bump(); // opening quote
+    while let Some(c) = cur.bump() {
+        if c == '\\' {
+            cur.bump(); // the escaped character, whatever it is
+        } else if c == '"' {
+            break;
+        }
+    }
+}
+
+/// Consumes a raw string starting at the current `#`-or-quote position
+/// (prefix letters already consumed): `#`*n* `"` … `"` `#`*n*.
+fn raw_string_body(cur: &mut Cursor) {
+    let mut hashes = 0usize;
+    while cur.peek(0) == Some('#') {
+        hashes += 1;
+        cur.bump();
+    }
+    cur.bump(); // opening quote
+    'scan: while let Some(c) = cur.bump() {
+        if c == '"' {
+            for k in 0..hashes {
+                if cur.peek(k) != Some('#') {
+                    continue 'scan;
+                }
+            }
+            cur.bump_n(hashes);
+            break;
+        }
+    }
+}
+
+/// Number of `#`s following offset `from`, plus whether a `"` comes next —
+/// the raw-string opener test for `r`/`br`/`cr` prefixes.
+fn raw_opener_at(cur: &Cursor, from: usize) -> bool {
+    let mut k = from;
+    while cur.peek(k) == Some('#') {
+        k += 1;
+    }
+    cur.peek(k) == Some('"')
+}
+
+/// Handles `r`/`b`/`c`-prefixed literals and raw identifiers. Returns true
+/// if it consumed something.
+fn try_prefixed_literal(cur: &mut Cursor, out: &mut Lexed) -> bool {
+    let line = cur.line;
+    let (c0, c1) = (cur.peek(0), cur.peek(1));
+    match c0 {
+        Some('r') => {
+            if raw_opener_at(cur, 1) {
+                cur.bump(); // r
+                raw_string_body(cur);
+                out.toks.push(Tok { kind: TokKind::Literal, line });
+                return true;
+            }
+            if c1 == Some('#') && cur.peek(2).is_some_and(is_ident_start) {
+                cur.bump_n(2); // r#
+                let name = read_ident(cur);
+                out.toks.push(Tok { kind: TokKind::Ident(name), line });
+                return true;
+            }
+        }
+        Some('b') => {
+            if c1 == Some('"') {
+                cur.bump(); // b
+                string_literal(cur);
+                out.toks.push(Tok { kind: TokKind::Literal, line });
+                return true;
+            }
+            if c1 == Some('\'') {
+                cur.bump(); // b
+                char_body(cur);
+                out.toks.push(Tok { kind: TokKind::Literal, line });
+                return true;
+            }
+            if c1 == Some('r') && raw_opener_at(cur, 2) {
+                cur.bump_n(2); // br
+                raw_string_body(cur);
+                out.toks.push(Tok { kind: TokKind::Literal, line });
+                return true;
+            }
+        }
+        Some('c') => {
+            if c1 == Some('"') {
+                cur.bump(); // c
+                string_literal(cur);
+                out.toks.push(Tok { kind: TokKind::Literal, line });
+                return true;
+            }
+            if c1 == Some('r') && raw_opener_at(cur, 2) {
+                cur.bump_n(2); // cr
+                raw_string_body(cur);
+                out.toks.push(Tok { kind: TokKind::Literal, line });
+                return true;
+            }
+        }
+        _ => {}
+    }
+    false
+}
+
+fn read_ident(cur: &mut Cursor) -> String {
+    let mut name = String::new();
+    while let Some(c) = cur.peek(0) {
+        if !is_ident_continue(c) {
+            break;
+        }
+        name.push(c);
+        cur.bump();
+    }
+    name
+}
+
+/// Consumes a char literal body starting at the opening tick.
+fn char_body(cur: &mut Cursor) {
+    cur.bump(); // opening tick
+    while let Some(c) = cur.bump() {
+        if c == '\\' {
+            cur.bump();
+        } else if c == '\'' {
+            break;
+        }
+    }
+}
+
+/// Disambiguates `'a'` (char) from `'a` (lifetime) at an opening tick.
+fn char_or_lifetime(cur: &mut Cursor, out: &mut Lexed) {
+    let line = cur.line;
+    // `'\…'` is always a char escape; `'x'` (any single char then a tick)
+    // is a char literal; otherwise ident chars form a lifetime/label.
+    if cur.peek(1) == Some('\\') || (cur.peek(2) == Some('\'') && cur.peek(1) != Some('\'')) {
+        char_body(cur);
+        out.toks.push(Tok { kind: TokKind::Literal, line });
+    } else if cur.peek(1).is_some_and(is_ident_start) {
+        cur.bump(); // tick
+        let name = read_ident(cur);
+        out.toks.push(Tok { kind: TokKind::Lifetime(name), line });
+    } else {
+        // Stray tick (not valid Rust); surface as punctuation.
+        cur.bump();
+        out.toks.push(Tok { kind: TokKind::Punct('\''), line });
+    }
+}
+
+/// Consumes a numeric literal. `.` is only swallowed when a digit follows
+/// (so `0..n` and `1.max(2)` are left intact); `e`/`E` exponents may carry a
+/// sign; alphanumeric suffixes (`u64`, `f32`, hex digits) are absorbed.
+fn number_literal(cur: &mut Cursor) {
+    let mut prev = '0';
+    while let Some(c) = cur.peek(0) {
+        let digit_follows = || cur.peek(1).is_some_and(|d| d.is_ascii_digit());
+        let continues = c.is_ascii_alphanumeric()
+            || c == '_'
+            || (c == '.' && digit_follows())
+            || ((c == '+' || c == '-') && (prev == 'e' || prev == 'E') && digit_follows());
+        if !continues {
+            break;
+        }
+        prev = c;
+        cur.bump();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn comments_hide_code() {
+        let src = "// HashMap here\nlet x = 1; /* HashSet /* nested HashMap */ still */ use y;";
+        assert_eq!(idents(src), ["let", "x", "use", "y"]);
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 2);
+        assert_eq!(lexed.comments[0].line, 1);
+        assert!(lexed.comments[1].text.contains("nested HashMap"));
+    }
+
+    #[test]
+    fn strings_and_raw_strings_hide_code() {
+        let src = r####"let a = "HashMap"; let b = r#"HashSet "quoted" inside"#; let c = r"x";"####;
+        assert_eq!(idents(src), ["let", "a", "let", "b", "let", "c"]);
+    }
+
+    #[test]
+    fn raw_string_with_many_hashes_and_newlines() {
+        let src = "let s = r##\"line1 \"# still inside\nline2 HashMap\"##; next";
+        let lexed = lex(src);
+        assert_eq!(idents(src), ["let", "s", "next"]);
+        // `next` is on line 2 because the raw string spans a newline.
+        assert_eq!(lexed.toks.last().unwrap().line, 2);
+    }
+
+    #[test]
+    fn byte_and_c_string_prefixes() {
+        let src = r##"let a = b"HashMap"; let b = br#"HashSet"#; let c = c"Instant";"##;
+        assert_eq!(idents(src), ["let", "a", "let", "b", "let", "c"]);
+    }
+
+    #[test]
+    fn char_literals_versus_lifetimes() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'x'; let d = '\\n'; let e = '\\u{41}'; }";
+        let lexed = lex(src);
+        let lifetimes: Vec<_> = lexed
+            .toks
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokKind::Lifetime(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(lifetimes, ["a", "a"]);
+        let literals = lexed.toks.iter().filter(|t| t.kind == TokKind::Literal).count();
+        assert_eq!(literals, 3, "'x', '\\n' and '\\u{{41}}' are char literals");
+    }
+
+    #[test]
+    fn static_lifetime_and_label() {
+        let src = "static S: &'static str = \"\"; 'outer: loop { break 'outer; }";
+        let lexed = lex(src);
+        let lifetimes: Vec<_> = lexed
+            .toks
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokKind::Lifetime(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(lifetimes, ["static", "outer", "outer"]);
+    }
+
+    #[test]
+    fn raw_identifier_is_an_ident_not_a_raw_string() {
+        assert_eq!(idents("let r#type = r#struct;"), ["let", "type", "struct"]);
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges_or_methods() {
+        let src = "for i in 0..n { let x = 1.5e-3f64; let y = 2.max(i); let h = 0xFF_u8; }";
+        let lexed = lex(src);
+        assert_eq!(
+            idents(src),
+            ["for", "i", "in", "n", "let", "x", "let", "y", "max", "i", "let", "h"]
+        );
+        let dots = lexed.toks.iter().filter(|t| t.kind == TokKind::Punct('.')).count();
+        assert_eq!(dots, 3, "`..` plus the `.max` call survive as punctuation");
+    }
+
+    #[test]
+    fn doc_comment_classification() {
+        let lexed =
+            lex("/// doc\n//! inner\n//// not doc\n// plain\n/** block doc */\n/*! bang */");
+        let docs: Vec<bool> = lexed.comments.iter().map(Comment::is_doc).collect();
+        assert_eq!(docs, [true, true, false, false, true, true]);
+    }
+
+    #[test]
+    fn line_numbers_are_exact() {
+        let lexed = lex("a\n\nb /* c\nd */ e\nf");
+        let lines: Vec<(String, u32)> = lexed
+            .toks
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokKind::Ident(s) => Some((s.clone(), t.line)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(lines, [("a".into(), 1), ("b".into(), 3), ("e".into(), 4), ("f".into(), 5)]);
+        assert_eq!(lexed.comments[0].line, 3, "block comment starts on line 3");
+    }
+
+    #[test]
+    fn unterminated_input_degrades_gracefully() {
+        // Never panic on malformed source: the lint may run pre-compile.
+        lex("let s = \"unterminated");
+        lex("/* unterminated");
+        lex("let s = r#\"unterminated");
+        lex("let c = '");
+    }
+}

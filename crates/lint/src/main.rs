@@ -1,0 +1,63 @@
+//! CLI entry point: `cargo run -p rn_lint -- --check [--root PATH] | --rules`.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: rn_lint --check [--root PATH]   scan the tree (exit 1 on findings)\n\
+         \x20      rn_lint --rules               print the registered rule table"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut mode: Option<&str> = None;
+    let mut root: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--check" | "--rules" => {
+                if mode.is_some() {
+                    return usage();
+                }
+                mode = Some(if a == "--check" { "check" } else { "rules" });
+            }
+            "--root" => match it.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    match mode {
+        Some("rules") => {
+            print!("{}", rn_lint::rules_listing());
+            ExitCode::SUCCESS
+        }
+        Some("check") => {
+            // Default root: the workspace that contains this crate, so the
+            // binary works from any cwd under `cargo run -p rn_lint`.
+            let root = root
+                .unwrap_or_else(|| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("..").join(".."));
+            match rn_lint::check_tree(&root) {
+                Ok(report) => {
+                    print!("{}", report.render());
+                    if report.is_clean() {
+                        ExitCode::SUCCESS
+                    } else {
+                        ExitCode::FAILURE
+                    }
+                }
+                Err(e) => {
+                    eprintln!("rn_lint: io error: {e}");
+                    ExitCode::from(2)
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

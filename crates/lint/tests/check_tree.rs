@@ -1,0 +1,22 @@
+//! Tier-1 gate: the repository's own tree is lint-clean.
+//!
+//! This is the integration test the CI `lint` job mirrors with the CLI
+//! (`cargo run -p rn_lint -- --check`): every determinism, allocation and
+//! hygiene rule holds over the whole workspace, with every exception
+//! carrying an in-tree `// rn-lint: allow(<rule>) — <reason>` annotation.
+//! A finding here is a real regression — fix the site or annotate it with
+//! a reason a reviewer can audit.
+
+use std::path::PathBuf;
+
+#[test]
+fn repository_tree_is_lint_clean() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+    let report = rn_lint::check_tree(&root).expect("workspace root is walkable");
+    assert!(report.files > 0, "the tree walk found no Rust files — the root resolution is broken");
+    assert!(
+        report.findings.is_empty(),
+        "the repository tree has lint findings:\n{}",
+        report.render()
+    );
+}

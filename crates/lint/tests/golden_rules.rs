@@ -1,0 +1,22 @@
+//! Golden test for the rule listing (`rn_lint --rules`): adding, removing,
+//! renaming, or re-describing a rule must show up as a reviewed diff of
+//! `tests/golden_rules.txt` — the deny-by-default surface cannot drift
+//! silently. CI diffs the same file against the live binary output.
+//!
+//! To refresh after an intentional change:
+//!
+//! ```text
+//! cargo run -p rn_lint -- --rules > crates/lint/tests/golden_rules.txt
+//! ```
+
+#[test]
+fn rules_listing_matches_the_committed_golden_file() {
+    let golden = include_str!("golden_rules.txt");
+    let live = rn_lint::rules_listing();
+    assert!(
+        live == golden,
+        "`rn_lint --rules` output drifted from tests/golden_rules.txt.\n\
+         If the change is intentional, refresh the golden file (see the\n\
+         module docs).\n--- golden ---\n{golden}\n--- live ---\n{live}"
+    );
+}

@@ -1,0 +1,219 @@
+//! Property tests for the lint tokenizer: generated Rust-like sources plant
+//! a marker identifier in *code* position a known number of times, and also
+//! bury the same spelling inside line comments, nested block comments,
+//! plain/escaped strings, and raw strings with arbitrary `#` fences. The
+//! lexer must report exactly the code-position plants as [`TokKind::Ident`]
+//! tokens — a comment or literal leaking its contents into the token stream
+//! is precisely the bug class that would let a `HashMap`-in-a-doc-comment
+//! produce a false `no-std-hash` finding (or let one in real code hide).
+//!
+//! All marker spellings in this file live inside string literals, so the
+//! repo tree scan (which does lint this file) stays clean.
+
+use proptest::prelude::*;
+use rn_lint::{lex, TokKind};
+
+/// The identifier planted into generated sources. Built by the generator in
+/// code position; buried by it in comment/literal positions.
+const MARKER: &str = "HashMap";
+
+/// One generated source fragment, rendered onto its own line(s).
+#[derive(Debug, Clone)]
+enum Atom {
+    /// The marker as a real code identifier — the only variant the lexer
+    /// must surface as `Ident(MARKER)`.
+    CodeIdent,
+    /// A harmless filler identifier.
+    Filler(&'static str),
+    /// A line comment containing the marker; `true` makes it a doc comment.
+    LineComment(bool),
+    /// A block comment containing the marker, nested `depth` levels deep.
+    BlockComment(u8),
+    /// A plain string literal containing the marker, an escaped quote, and
+    /// a backslash.
+    Str,
+    /// A raw string with `hashes` fence characters containing the marker
+    /// and an embedded quote + shorter fence (a near-terminator).
+    RawStr(u8),
+    /// A char literal (possibly an escaped quote).
+    CharLit(u8),
+    /// A lifetime — starts with a tick like a char literal, but must lex as
+    /// `Lifetime`, not swallow code as a literal.
+    Lifetime(&'static str),
+    /// An integer literal.
+    Number,
+}
+
+const FILLERS: [&str; 4] = ["alpha", "beta", "gamma", "delta"];
+const LIFETIMES: [&str; 3] = ["a", "static", "outer"];
+
+fn arb_atom() -> impl Strategy<Value = Atom> {
+    (0u8..9, 0u8..4).prop_map(|(kind, variant)| match kind {
+        0 => Atom::CodeIdent,
+        1 => Atom::Filler(FILLERS[variant as usize % FILLERS.len()]),
+        2 => Atom::LineComment(variant % 2 == 0),
+        3 => Atom::BlockComment(1 + variant % 3),
+        4 => Atom::Str,
+        5 => Atom::RawStr(variant),
+        6 => Atom::CharLit(variant),
+        7 => Atom::Lifetime(LIFETIMES[variant as usize % LIFETIMES.len()]),
+        _ => Atom::Number,
+    })
+}
+
+impl Atom {
+    fn render(&self, out: &mut String) {
+        match self {
+            Atom::CodeIdent => out.push_str(MARKER),
+            Atom::Filler(name) => out.push_str(name),
+            Atom::LineComment(doc) => {
+                out.push_str(if *doc { "/// " } else { "// " });
+                out.push_str(MARKER);
+                out.push_str(" in a comment");
+            }
+            Atom::BlockComment(depth) => {
+                for _ in 0..*depth {
+                    out.push_str("/* ");
+                }
+                out.push_str(MARKER);
+                // One terminator per opener: balanced nesting.
+                for _ in 0..*depth {
+                    out.push_str(" */");
+                }
+            }
+            Atom::Str => {
+                out.push('"');
+                out.push_str(MARKER);
+                out.push_str(" \\\" still inside \\\\");
+                out.push('"');
+            }
+            Atom::RawStr(hashes) => {
+                out.push('r');
+                for _ in 0..*hashes {
+                    out.push('#');
+                }
+                out.push('"');
+                out.push_str(MARKER);
+                if *hashes > 0 {
+                    // A quote followed by one-fewer hashes: almost (but not
+                    // quite) the terminator.
+                    out.push_str(" \"");
+                    for _ in 0..hashes - 1 {
+                        out.push('#');
+                    }
+                }
+                out.push('"');
+                for _ in 0..*hashes {
+                    out.push('#');
+                }
+            }
+            Atom::CharLit(variant) => out.push_str(match variant % 3 {
+                0 => "'x'",
+                1 => "'\\''",
+                _ => "'\\n'",
+            }),
+            Atom::Lifetime(name) => {
+                out.push('\'');
+                out.push_str(name);
+                // Trailing punctuation so the lifetime is followed by code,
+                // the shape that would break if it were read as a char.
+                out.push_str(" >");
+            }
+            Atom::Number => out.push_str("42"),
+        }
+    }
+
+    /// `Ident(MARKER)` tokens this atom must contribute.
+    fn marker_idents(&self) -> usize {
+        matches!(self, Atom::CodeIdent) as usize
+    }
+
+    /// Comments this atom must contribute (nested blocks are one comment).
+    fn comments(&self) -> usize {
+        matches!(self, Atom::LineComment(_) | Atom::BlockComment(_)) as usize
+    }
+
+    /// `Literal` tokens this atom must contribute.
+    fn literals(&self) -> usize {
+        matches!(self, Atom::Str | Atom::RawStr(_) | Atom::CharLit(_) | Atom::Number) as usize
+    }
+
+    /// `Lifetime` tokens this atom must contribute.
+    fn lifetimes(&self) -> usize {
+        matches!(self, Atom::Lifetime(_)) as usize
+    }
+}
+
+proptest! {
+    #[test]
+    fn marker_count_matches_code_position_plants(
+        atoms in proptest::collection::vec(arb_atom(), 0..40),
+    ) {
+        let mut src = String::new();
+        for atom in &atoms {
+            atom.render(&mut src);
+            src.push('\n');
+        }
+        let lexed = lex(&src);
+
+        let marker_toks = lexed
+            .toks
+            .iter()
+            .filter(|t| matches!(&t.kind, TokKind::Ident(name) if name == MARKER))
+            .count();
+        let want: usize = atoms.iter().map(Atom::marker_idents).sum();
+        prop_assert_eq!(
+            marker_toks, want,
+            "code-position marker idents in:\n{}", src
+        );
+
+        let literal_toks =
+            lexed.toks.iter().filter(|t| t.kind == TokKind::Literal).count();
+        let want: usize = atoms.iter().map(Atom::literals).sum();
+        prop_assert_eq!(literal_toks, want, "literal tokens in:\n{}", src);
+
+        let lifetime_toks = lexed
+            .toks
+            .iter()
+            .filter(|t| matches!(t.kind, TokKind::Lifetime(_)))
+            .count();
+        let want: usize = atoms.iter().map(Atom::lifetimes).sum();
+        prop_assert_eq!(lifetime_toks, want, "lifetime tokens in:\n{}", src);
+
+        prop_assert_eq!(
+            lexed.comments.len(),
+            atoms.iter().map(Atom::comments).sum::<usize>(),
+            "comments in:\n{}", src
+        );
+        // No comment's text may leak into the ident stream, and doc-ness
+        // must match how each comment was rendered.
+        let doc_comments = lexed.comments.iter().filter(|c| c.is_doc()).count();
+        let want = atoms
+            .iter()
+            .filter(|a| matches!(a, Atom::LineComment(true)))
+            .count();
+        prop_assert_eq!(doc_comments, want, "doc comments in:\n{}", src);
+    }
+
+    #[test]
+    fn lexer_is_total_on_tricky_char_soup(
+        chars in proptest::collection::vec(0u8..16, 0..200),
+    ) {
+        // A dense alphabet of exactly the characters that drive the lexer's
+        // state machine: comment markers, quotes, fences, escapes.
+        const ALPHABET: [char; 16] = [
+            '/', '*', '"', '\'', '#', 'r', 'b', '\\', '\n', ' ', 'x', '_',
+            '0', '!', ':', '.',
+        ];
+        let src: String = chars.iter().map(|&c| ALPHABET[c as usize]).collect();
+        let line_bound = src.lines().count().max(1) as u32;
+        // Must not panic, and every reported line must be in range.
+        let lexed = lex(&src);
+        for t in &lexed.toks {
+            prop_assert!(t.line >= 1 && t.line <= line_bound, "tok line in:\n{}", src);
+        }
+        for c in &lexed.comments {
+            prop_assert!(c.line >= 1 && c.line <= line_bound, "comment line in:\n{}", src);
+        }
+    }
+}

@@ -17,8 +17,6 @@
 
 use crate::executors::{Downcast, Upcast};
 use crate::tree::{SlotPolicy, TreeSchedule, TreeScheduleScratch};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 use rn_cluster::{Partition, PartitionScratch};
 use rn_graph::Graph;
 use rn_sim::family::{ParsedArgs, ProtocolFamily};
@@ -151,7 +149,7 @@ impl Runnable for ScheduleScenario {
     ) -> TrialRecord {
         // The partition is part of the trial's randomness: a fresh oracle
         // clustering per trial, from a dedicated stream of the trial seed.
-        let mut prng = SmallRng::seed_from_u64(rng::derive(seed, 0x5CED));
+        let mut prng = rng::stream_rng(seed, 0x5CED);
         let part = Partition::compute(g, self.beta, &mut prng);
         let sched = TreeSchedule::build(g, &part, SlotPolicy::Auto);
         let mut sim = Simulator::with_faults(g, model, seed, faults.cloned());
@@ -168,7 +166,7 @@ impl Runnable for ScheduleScenario {
         pool: &mut TrialPool,
     ) -> TrialRecord {
         let (engine, st) = pool.parts(SchedulePool::default);
-        let mut prng = SmallRng::seed_from_u64(rng::derive(seed, 0x5CED));
+        let mut prng = rng::stream_rng(seed, 0x5CED);
         if let Some(p) = st.partition.as_mut() {
             p.recompute(g, self.beta, &mut prng, &mut st.pscratch);
         } else {

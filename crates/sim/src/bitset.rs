@@ -128,6 +128,32 @@ impl WordBitset {
     pub fn words_mut(&mut self) -> &mut [u64] {
         &mut self.words
     }
+
+    /// Debug-build coherence check, compiled to nothing in release: the
+    /// backing vector holds exactly `⌈len/64⌉` words and no stray bit is
+    /// set at or above `len` in the last word. Word-level kernels that take
+    /// [`WordBitset::words_mut`] call this after scattering to prove they
+    /// upheld the capacity contract.
+    #[inline]
+    pub fn debug_validate(&self) {
+        debug_assert_eq!(
+            self.words.len(),
+            self.len.div_ceil(64),
+            "WordBitset: backing words out of sync with capacity {}",
+            self.len
+        );
+        #[cfg(debug_assertions)]
+        if self.len & 63 != 0 {
+            if let Some(&last) = self.words.last() {
+                debug_assert_eq!(
+                    last & !((1u64 << (self.len & 63)) - 1),
+                    0,
+                    "WordBitset: stray bits at or above len {}",
+                    self.len
+                );
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -59,6 +59,11 @@ impl EngineMode {
     /// [`with_default_engine_mode`] scope override if one is active on this
     /// thread, else `RN_ENGINE_MODE` from the environment, else
     /// [`EngineMode::Frontier`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `RN_ENGINE_MODE` is set to anything other than
+    /// `reference` or `frontier` (case-insensitive).
     pub fn default_mode() -> EngineMode {
         if let Some(m) = MODE_OVERRIDE.with(|c| c.get()) {
             return m;
@@ -1223,6 +1228,27 @@ impl<'g> Simulator<'g> {
             },
         );
 
+        // Debug-build post-round coherence checks, compiled out in release
+        // (scale-smoke timings untouched). The frontier state's contract:
+        // a collision implies energy was heard (`collided ⊆ heard`
+        // word-wise), and `touched` enumerates the heard set exactly — the
+        // sparse clears below rely on the latter to restore the all-zero
+        // between-rounds state.
+        #[cfg(debug_assertions)]
+        {
+            for (wi, (&hw, &cw)) in heard.words().iter().zip(collided.words()).enumerate() {
+                debug_assert_eq!(cw & !hw, 0, "collided ⊄ heard in word {wi}");
+            }
+            debug_assert_eq!(
+                heard.count_ones(),
+                touched.len(),
+                "touched list diverged from heard set"
+            );
+            heard.debug_validate();
+            collided.debug_validate();
+            tx_bits.debug_validate();
+        }
+
         // Sparse clears: the set bits are exactly the active and touched
         // lists, so resetting costs activity, not `n`.
         for &(u, _) in &active {
@@ -1232,6 +1258,16 @@ impl<'g> Simulator<'g> {
             let vi = v as usize;
             heard.clear(vi);
             collided.clear(vi);
+        }
+
+        // The between-rounds invariant the next round's sparse marking
+        // assumes: every frontier bitset back to all-zero.
+        #[cfg(debug_assertions)]
+        for (name, set) in [("heard", &*heard), ("collided", &*collided), ("tx_bits", &*tx_bits)] {
+            debug_assert!(
+                set.words().iter().all(|&w| w == 0),
+                "{name} not fully cleared after round {global}"
+            );
         }
 
         self.metrics.transmissions += active.len() as u64;

@@ -44,6 +44,7 @@ impl<M> TxBuf<M> {
     /// Pooled trial loops reserve the worst-case bound (`n`, every node
     /// transmitting) once, so per-round `send` calls never reallocate.
     pub fn reserve(&mut self, additional: usize) {
+        // rn-lint: allow(clear-before-reserve) — forwarding API; callers clear per round (SimScratch::prepare)
         self.entries.reserve(additional);
     }
 

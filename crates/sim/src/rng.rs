@@ -39,6 +39,19 @@ pub fn stream_rng(master: u64, stream: u64) -> SmallRng {
     SmallRng::seed_from_u64(derive(master, stream))
 }
 
+/// A [`SmallRng`] seeded directly from a raw `u64` — the one sanctioned
+/// home of bare RNG construction (the `rng-discipline` lint denies
+/// `seed_from_u64` everywhere else).
+///
+/// Prefer [`stream_rng`] for new code: it derives per-axis independent
+/// streams from a master seed. `rng_from_seed` exists for legacy seed
+/// schemes whose byte output is pinned by committed baselines, where the
+/// caller's `u64` *is* the contract.
+#[inline]
+pub fn rng_from_seed(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed)
+}
+
 /// A sequential SplitMix64 word generator: the batched-coin counterpart of
 /// [`stream_rng`], drawing raw 64-bit words instead of going through a
 /// `rand` adapter. One word is 64 independent fair coin lanes, so decay-style
@@ -156,8 +169,22 @@ pub fn bernoulli_indices(rng: &mut impl rand::Rng, k: usize, p: f64, out: &mut V
 ///
 /// Panics if `k > n`.
 pub fn sample_distinct(rng: &mut impl rand::Rng, k: usize, n: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    sample_distinct_into(rng, k, n, &mut out);
+    out
+}
+
+/// [`sample_distinct`] into a caller-owned buffer (cleared first): pooled
+/// trial loops reuse one buffer across trials so steady-state placement
+/// stays off the heap. Draw-for-draw identical to [`sample_distinct`].
+///
+/// # Panics
+///
+/// Panics if `k > n`.
+pub fn sample_distinct_into(rng: &mut impl rand::Rng, k: usize, n: usize, out: &mut Vec<usize>) {
     assert!(k <= n, "cannot sample {k} distinct values from 0..{n}");
-    let mut out: Vec<usize> = Vec::with_capacity(k);
+    out.clear();
+    out.reserve(k);
     for j in (n - k)..n {
         let t = rng.gen_range(0..=j);
         if out.contains(&t) {
@@ -166,7 +193,6 @@ pub fn sample_distinct(rng: &mut impl rand::Rng, k: usize, n: usize) -> Vec<usiz
             out.push(t);
         }
     }
-    out
 }
 
 #[cfg(test)]

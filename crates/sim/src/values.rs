@@ -55,6 +55,7 @@ impl NodeValues {
             self.val.resize(n, 0);
         }
         self.count = 0;
+        self.debug_validate();
     }
 
     /// Number of nodes tracked.
@@ -105,6 +106,7 @@ impl NodeValues {
 
     /// Whether every node is informed.
     pub fn all_informed(&self) -> bool {
+        self.debug_validate();
         self.count == self.val.len()
     }
 
@@ -117,6 +119,24 @@ impl NodeValues {
     /// The informed set as a bitset (for word-level observers).
     pub fn informed(&self) -> &WordBitset {
         &self.informed
+    }
+
+    /// Debug-build coherence check, compiled to nothing in release: the
+    /// cached `count` equals the informed bitset's popcount, and the value
+    /// array tracks the bitset's capacity.
+    #[inline]
+    pub fn debug_validate(&self) {
+        self.informed.debug_validate();
+        debug_assert_eq!(
+            self.val.len(),
+            self.informed.len(),
+            "NodeValues: value array out of sync with informed capacity"
+        );
+        debug_assert_eq!(
+            self.count,
+            self.informed.count_ones(),
+            "NodeValues: cached informed count diverged from bitset popcount"
+        );
     }
 }
 
